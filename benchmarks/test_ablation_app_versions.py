@@ -1,0 +1,100 @@
+"""Ablation A7 — Figure 14's comparison on the real stack.
+
+The paper's §5.2 finding 2: "the performance of D-Stampede version is
+comparable to the socket version" (and finding 1: the socket version
+took far more effort — compare ``apps/socket_videoconf.py`` against the
+channel-based ``apps/videoconf.py``).
+
+This bench runs both versions of the conference end-to-end on real
+loopback TCP — same participants, same frames, same image size, every
+tile verified — and checks that the D-Stampede version's wall-clock is
+within a small factor of the hand-written socket version's, i.e. the
+high-level abstractions do not cost an order of magnitude.
+"""
+
+import pytest
+
+from repro.apps.socket_videoconf import run_socket_conference
+from repro.apps.videoconf import run_conference
+
+PARTICIPANTS = 2
+FRAMES = 12
+IMAGE_SIZE = 8_000
+
+
+def test_bench_socket_version(benchmark):
+    def run():
+        result = run_socket_conference(
+            participants=PARTICIPANTS, frames=FRAMES,
+            image_size=IMAGE_SIZE,
+        )
+        assert result.all_verified
+        return result
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_bench_dstampede_single_threaded_version(benchmark):
+    def run():
+        result = run_conference(
+            participants=PARTICIPANTS, frames=FRAMES,
+            image_size=IMAGE_SIZE, mixer_mode="single",
+        )
+        assert result.all_verified
+        return result
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_bench_dstampede_multi_threaded_version(benchmark):
+    def run():
+        result = run_conference(
+            participants=PARTICIPANTS, frames=FRAMES,
+            image_size=IMAGE_SIZE, mixer_mode="multi",
+        )
+        assert result.all_verified
+        return result
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_dstampede_comparable_to_sockets(benchmark):
+    """Finding 2, asserted: same workload, D-Stampede within an order of
+    magnitude of the raw-socket version.
+
+    The paper found the two near-equal because its testbed was
+    network-bound; on loopback the network is nearly free, so what
+    remains is pure per-call CPU cost — the worst possible light for the
+    high-level API — plus thread-scheduling jitter.  We therefore run a
+    longer steady-state conference, take the best of three trials per
+    side (the standard noise-robust estimator), and assert the ratio
+    stays under 10x: the abstractions cost a constant factor, not a
+    complexity class.
+    """
+    import time
+
+    steady_frames = 60
+
+    def best_of(runner, trials=3):
+        best = float("inf")
+        for _ in range(trials):
+            started = time.perf_counter()
+            runner()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    def compare():
+        socket_time = best_of(lambda: run_socket_conference(
+            participants=PARTICIPANTS, frames=steady_frames,
+            image_size=IMAGE_SIZE,
+        ))
+        dstampede_time = best_of(lambda: run_conference(
+            participants=PARTICIPANTS, frames=steady_frames,
+            image_size=IMAGE_SIZE, mixer_mode="single",
+        ))
+        return socket_time, dstampede_time
+
+    socket_time, dstampede_time = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    assert dstampede_time < 10.0 * socket_time

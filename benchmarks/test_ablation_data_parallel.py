@@ -1,0 +1,89 @@
+"""Ablation A3 — the Figure 3 queue-based data-parallelism pattern.
+
+DESIGN.md design choice 3: queues give work-sharing data parallelism.
+This bench runs the splitter / tracker-pool / joiner farm at widths 1-8
+and records throughput.  (CPython threads share the GIL, so wall-clock
+gains reflect pipeline overlap rather than parallel compute; the point
+of the bench is that the structure scales *correctly* — exactly-once
+fragment delivery at every width — and what the queue machinery itself
+costs.)
+"""
+
+import pytest
+
+from benchmarks.conftest import write_csv
+from repro.apps.frames import VirtualCamera
+from repro.apps.trackers import TrackerFarm
+from repro.core.connection import ConnectionMode
+from repro.core.squeue import SQueue
+from repro.core.timestamps import OLDEST
+
+FRAMES = 8
+IMAGE_SIZE = 20_000
+FRAGMENTS = 8
+
+
+def _run_farm(workers: int) -> None:
+    camera = VirtualCamera(0, IMAGE_SIZE)
+    frames = {ts: camera.capture(ts).pixels for ts in range(FRAMES)}
+    farm = TrackerFarm(workers=workers, fragments=FRAGMENTS,
+                       analyzer=lambda index, frag: len(frag))
+    try:
+        joined = farm.process(frames)
+        assert len(joined) == FRAMES
+        assert all(len(t.results) == FRAGMENTS for t in joined.values())
+    finally:
+        farm.destroy()
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4, 8])
+def test_bench_tracker_farm_width(benchmark, workers):
+    benchmark.pedantic(_run_farm, args=(workers,), rounds=3,
+                       iterations=1)
+
+
+def test_bench_queue_throughput_single_worker(benchmark):
+    """Raw queue put/get/consume cycle: the per-fragment overhead every
+    tracker pays."""
+    queue = SQueue("throughput")
+    out = queue.attach(ConnectionMode.OUT)
+    inp = queue.attach(ConnectionMode.IN)
+    try:
+        def cycle():
+            out.put(0, b"fragment")
+            ts, _ = inp.get(OLDEST)
+            inp.consume(ts)
+
+        benchmark(cycle)
+    finally:
+        queue.destroy()
+
+
+def test_bench_queue_fan_out_4_workers(benchmark, results_dir):
+    """Work-sharing correctness under load: 4 workers drain 400
+    fragments exactly once."""
+    from repro.core.threads import spawn
+
+    def fan_out():
+        queue = SQueue("fanout", auto_consume=True)
+        out = queue.attach(ConnectionMode.OUT)
+        workers_conns = [queue.attach(ConnectionMode.IN)
+                         for _ in range(4)]
+        for i in range(400):
+            out.put(i // FRAGMENTS, i)
+
+        def drain(conn):
+            got = []
+            while True:
+                try:
+                    got.append(conn.get(OLDEST, timeout=0.2)[1])
+                except Exception:  # noqa: BLE001 - drained
+                    return got
+
+        threads = [spawn(drain, conn) for conn in workers_conns]
+        results = [t.join(timeout=10.0) for t in threads]
+        queue.destroy()
+        flat = sorted(x for chunk in results for x in chunk)
+        assert flat == list(range(400))
+
+    benchmark.pedantic(fan_out, rounds=3, iterations=1)

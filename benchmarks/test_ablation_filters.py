@@ -1,0 +1,127 @@
+"""Ablation A5 — where selective attention runs: cluster vs device.
+
+The future-work filters (repro.core.filters) execute inside the
+surrogate, so items a device does not want are never marshalled or sent.
+This bench quantifies the saving against the alternative — shipping
+every item to the device and discarding there — on the real TCP stack.
+
+Workload: a channel holding N items of which 1-in-10 are keyframes; a
+device drains all keyframes.
+"""
+
+import pytest
+
+from repro.core.connection import ConnectionMode
+from repro.core.filters import TsModulo
+from repro.core.timestamps import NEWEST
+from repro.errors import StampedeError
+
+ITEMS = 100
+PAYLOAD = b"\xaa" * 2_000
+
+
+@pytest.fixture()
+def cluster():
+    from repro.runtime.runtime import Runtime
+    from repro.runtime.server import StampedeServer
+
+    runtime = Runtime(gc_interval=10.0)  # GC quiet during measurement
+    server = StampedeServer(runtime).start()
+    yield runtime, server
+    server.close()
+    runtime.shutdown()
+
+
+def _fill(client, name):
+    client.create_channel(name)
+    out = client.attach(name, ConnectionMode.OUT)
+    for ts in range(ITEMS):
+        out.put(ts, PAYLOAD)
+
+
+def _drain(connection, want):
+    """Drain everything the connection will yield; returns (kept, got)."""
+    kept = 0
+    got = 0
+    while True:
+        try:
+            ts, _value = connection.get(NEWEST, block=False)
+        except StampedeError:
+            return kept, got
+        got += 1
+        if want(ts):
+            kept += 1
+        connection.consume(ts)
+
+
+def test_bench_filter_on_cluster(benchmark, cluster):
+    """Surrogate-side filtering: only keyframes cross the network."""
+    from repro.client.client import StampedeClient
+
+    _, server = cluster
+    host, port = server.address
+    counter = iter(range(10_000))
+
+    def run():
+        name = f"filtered-{next(counter)}"
+        with StampedeClient(host, port) as client:
+            _fill(client, name)
+            keyframes = client.attach(
+                name, ConnectionMode.IN,
+                attention_filter=TsModulo(divisor=10),
+            )
+            kept, got = _drain(keyframes, lambda ts: ts % 10 == 0)
+            assert kept == ITEMS // 10
+            assert got == ITEMS // 10  # nothing unwanted was shipped
+            return got
+
+    transferred = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert transferred == ITEMS // 10
+
+
+def test_bench_filter_on_device(benchmark, cluster):
+    """Device-side filtering: every item crosses, 90% discarded."""
+    from repro.client.client import StampedeClient
+
+    _, server = cluster
+    host, port = server.address
+    counter = iter(range(10_000))
+
+    def run():
+        name = f"unfiltered-{next(counter)}"
+        with StampedeClient(host, port) as client:
+            _fill(client, name)
+            everything = client.attach(name, ConnectionMode.IN)
+            kept, got = _drain(everything, lambda ts: ts % 10 == 0)
+            assert kept == ITEMS // 10
+            assert got == ITEMS  # the full stream crossed the wire
+            return got
+
+    transferred = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert transferred == ITEMS
+
+
+def test_filter_saves_network_traffic(benchmark, cluster):
+    """Direct comparison: cluster-side filtering moves 10x fewer items
+    (and proportionally fewer payload bytes) for the same result."""
+    from repro.client.client import StampedeClient
+
+    _, server = cluster
+    host, port = server.address
+
+    def compare():
+        with StampedeClient(host, port) as client:
+            _fill(client, "compare-remote")
+            _fill(client, "compare-local")
+            remote = client.attach(
+                "compare-remote", ConnectionMode.IN,
+                attention_filter=TsModulo(divisor=10),
+            )
+            local = client.attach("compare-local", ConnectionMode.IN)
+            _, remote_got = _drain(remote, lambda ts: True)
+            _, local_got = _drain(local, lambda ts: True)
+            return remote_got, local_got
+
+    remote_got, local_got = benchmark.pedantic(compare, rounds=1,
+                                               iterations=1)
+    assert local_got == 10 * remote_got

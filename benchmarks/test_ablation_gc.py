@@ -1,0 +1,96 @@
+"""Ablation A2 — garbage-collection strategies and memory footprint.
+
+DESIGN.md design choice 1: channel reclamation is driven by per-consumer
+consume marks and interest floors ("selective attention").  This bench
+quantifies what that buys on a continuous stream (§2 requirement 7):
+
+* **consume-driven** — the consumer marks each item it is done with;
+* **floor-driven** — the consumer periodically advances its interest
+  floor (the cheap bulk variant);
+* **no-gc baseline** — nobody consumes: the channel grows without bound,
+  which is what any system without stream-aware GC does.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_csv
+from repro.core.channel import Channel
+from repro.core.connection import ConnectionMode
+
+STREAM_LENGTH = 2_000
+ITEM = b"\xcd" * 1_000
+
+
+def _stream(consume_style: str):
+    """Push STREAM_LENGTH items through a channel; returns peak live
+    items."""
+    channel = Channel("gc-bench")
+    out = channel.attach(ConnectionMode.OUT)
+    inp = channel.attach(ConnectionMode.IN)
+    try:
+        for ts in range(STREAM_LENGTH):
+            out.put(ts, ITEM)
+            inp.get(ts)
+            if consume_style == "consume":
+                inp.consume(ts)
+            elif consume_style == "floor" and ts % 50 == 49:
+                inp.consume_until(ts + 1)
+        if consume_style == "floor":
+            inp.consume_until(STREAM_LENGTH)
+        return channel.stats().peak_items
+    finally:
+        channel.destroy()
+
+
+def test_bench_consume_driven_gc(benchmark, results_dir):
+    peak = benchmark.pedantic(lambda: _stream("consume"),
+                              rounds=3, iterations=1)
+    assert peak <= 2  # footprint stays constant on an endless stream
+
+
+def test_bench_floor_driven_gc(benchmark):
+    peak = benchmark.pedantic(lambda: _stream("floor"),
+                              rounds=3, iterations=1)
+    assert peak <= 51  # bounded by the floor-advance period
+
+
+def test_bench_no_gc_baseline(benchmark):
+    peak = benchmark.pedantic(lambda: _stream("none"),
+                              rounds=3, iterations=1)
+    assert peak == STREAM_LENGTH  # unbounded growth
+
+
+def test_gc_strategy_summary(benchmark, results_dir):
+    """One run per strategy, recorded side by side."""
+
+    def run_all():
+        return {style: _stream(style)
+                for style in ("consume", "floor", "none")}
+
+    peaks = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    write_csv(results_dir / "ablation_gc.csv",
+              ["strategy", "peak_live_items"],
+              [(style, peak) for style, peak in peaks.items()])
+    print(f"\n--- GC ablation: peak live items over a "
+          f"{STREAM_LENGTH}-frame stream ---")
+    for style, peak in peaks.items():
+        print(f"  {style:>8}: {peak}")
+    assert peaks["consume"] < peaks["floor"] < peaks["none"]
+
+
+def test_bench_reclaim_handler_cost(benchmark):
+    """Marginal cost of a user reclaim handler on the consume path."""
+    channel = Channel("handler-bench")
+    channel.add_reclaim_handler(lambda ts, value: None)
+    out = channel.attach(ConnectionMode.OUT)
+    inp = channel.attach(ConnectionMode.IN)
+    counter = iter(range(100_000_000))
+    try:
+        def cycle():
+            ts = next(counter)
+            out.put(ts, ITEM)
+            inp.consume(ts)
+
+        benchmark(cycle)
+    finally:
+        channel.destroy()

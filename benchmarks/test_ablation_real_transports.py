@@ -1,0 +1,208 @@
+"""Ablation A1 — the real runtime's transports, measured live.
+
+Experiment 1's methodology applied to this repository's actual
+implementation on loopback: a put+get through a channel (in-process,
+codec-isolated) against raw exchanges over our CLF (reliable UDP), raw
+UDP, and TCP endpoints.  Absolute numbers are Python-on-loopback, not
+2002 hardware; the *structure* mirrors the paper: the high-level
+abstraction costs a bounded constant over the raw transport it rides.
+"""
+
+import pytest
+
+from repro.core.channel import Channel
+from repro.core.connection import ConnectionMode
+from repro.runtime.runtime import IsolatedConnection
+from repro.transport.clf import ClfEndpoint
+from repro.transport.tcp import TcpListener, connect_tcp
+from repro.transport.udp import UdpTransport
+
+PAYLOAD = b"\xab" * 35_000  # the paper's Result-1 comparison size
+
+
+@pytest.fixture()
+def channel_pair():
+    channel = Channel("bench")
+    out = channel.attach(ConnectionMode.OUT)
+    inp = channel.attach(ConnectionMode.IN)
+    yield out, inp
+    channel.destroy()
+
+
+def test_bench_channel_put_get_local(benchmark, channel_pair):
+    """Same-address-space put+get+consume (no marshalling)."""
+    out, inp = channel_pair
+    counter = iter(range(100_000_000))
+
+    def exchange():
+        ts = next(counter)
+        out.put(ts, PAYLOAD)
+        inp.get(ts)
+        inp.consume(ts)
+
+    benchmark(exchange)
+
+
+def test_bench_channel_put_get_isolated(benchmark, channel_pair):
+    """Cross-address-space put+get (codec round-trip both ways) — the
+    D-Stampede data point of the paper's comparison."""
+    out, inp = channel_pair
+    iso_out = IsolatedConnection(out, "xdr")
+    iso_in = IsolatedConnection(inp, "xdr")
+    counter = iter(range(100_000_000))
+
+    def exchange():
+        ts = next(counter)
+        iso_out.put(ts, PAYLOAD)
+        iso_in.get(ts)
+        iso_in.consume(ts)
+
+    benchmark(exchange)
+
+
+def test_bench_udp_exchange(benchmark):
+    """Raw UDP baseline (paper's cheapest transport)."""
+    a = UdpTransport()
+    b = UdpTransport()
+    try:
+        def exchange():
+            a.send(b.address, PAYLOAD)
+            b.recv(timeout=5.0)
+
+        benchmark(exchange)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_bench_clf_exchange(benchmark):
+    """CLF (reliable ordered UDP): what intra-cluster D-Stampede uses."""
+    a = ClfEndpoint()
+    b = ClfEndpoint()
+    try:
+        def exchange():
+            a.send(b.address, PAYLOAD)
+            b.recv(timeout=5.0)
+
+        benchmark(exchange)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_bench_tcp_exchange(benchmark):
+    """Framed TCP baseline."""
+    import threading
+
+    listener = TcpListener()
+    holder = {}
+    t = threading.Thread(
+        target=lambda: holder.update(c=connect_tcp(listener.address))
+    )
+    t.start()
+    server_side = listener.accept(timeout=5.0)
+    t.join()
+    client_side = holder["c"]
+    try:
+        def exchange():
+            client_side.send_frame(PAYLOAD)
+            server_side.recv_frame(timeout=5.0)
+
+        benchmark(exchange)
+    finally:
+        client_side.close()
+        server_side.close()
+        listener.close()
+
+
+def test_bench_client_rpc_put_get(benchmark):
+    """Full end-device path: client library -> TCP -> surrogate ->
+    channel and back (the paper's Experiment 2 configuration 1)."""
+    from repro.runtime.runtime import Runtime
+    from repro.runtime.server import StampedeServer
+    from repro.client.client import StampedeClient
+
+    runtime = Runtime(gc_interval=0.05)
+    server = StampedeServer(runtime).start()
+    host, port = server.address
+    client = StampedeClient(host, port, client_name="bench")
+    client.create_channel("bench-chan")
+    out = client.attach("bench-chan", ConnectionMode.OUT)
+    inp = client.attach("bench-chan", ConnectionMode.IN)
+    counter = iter(range(100_000_000))
+    try:
+        def exchange():
+            ts = next(counter)
+            out.put(ts, PAYLOAD)
+            inp.get(ts)
+            inp.consume(ts)
+
+        benchmark(exchange)
+    finally:
+        client.close()
+        server.close()
+        runtime.shutdown()
+
+
+def test_bench_client_rpc_config2_cross_space(benchmark):
+    """Experiment 2 configuration 2 on the real stack: the consumer sits
+    in a *different* cluster address space from the channel, adding the
+    intra-cluster isolation crossing to every get."""
+    from repro.runtime.runtime import Runtime
+    from repro.runtime.server import StampedeServer
+    from repro.client.client import StampedeClient
+
+    runtime = Runtime(gc_interval=0.05)
+    runtime.create_address_space("other")
+    server = StampedeServer(runtime).start()
+    host, port = server.address
+    client = StampedeClient(host, port, client_name="bench-c2")
+    client.create_channel("c2-chan")
+    out = client.attach("c2-chan", ConnectionMode.OUT)
+    consumer = runtime.attach("c2-chan", ConnectionMode.IN,
+                              from_space="other")
+    counter = iter(range(100_000_000))
+    try:
+        def exchange():
+            ts = next(counter)
+            out.put(ts, PAYLOAD)
+            consumer.get(ts)
+            consumer.consume(ts)
+
+        benchmark(exchange)
+    finally:
+        client.close()
+        server.close()
+        runtime.shutdown()
+
+
+def test_bench_client_rpc_config3_two_devices(benchmark):
+    """Experiment 2 configuration 3 on the real stack: producer and
+    consumer are *both* end devices — every exchange pays two
+    device-to-cluster traversals, the paper's worst case."""
+    from repro.runtime.runtime import Runtime
+    from repro.runtime.server import StampedeServer
+    from repro.client.client import StampedeClient
+
+    runtime = Runtime(gc_interval=0.05)
+    server = StampedeServer(runtime).start()
+    host, port = server.address
+    producer_client = StampedeClient(host, port, client_name="producer")
+    consumer_client = StampedeClient(host, port, client_name="consumer")
+    producer_client.create_channel("c3-chan")
+    out = producer_client.attach("c3-chan", ConnectionMode.OUT)
+    inp = consumer_client.attach("c3-chan", ConnectionMode.IN)
+    counter = iter(range(100_000_000))
+    try:
+        def exchange():
+            ts = next(counter)
+            out.put(ts, PAYLOAD)
+            inp.get(ts)
+            inp.consume(ts)
+
+        benchmark(exchange)
+    finally:
+        producer_client.close()
+        consumer_client.close()
+        server.close()
+        runtime.shutdown()

@@ -1,0 +1,62 @@
+"""Figure 11 — Experiment 1: intra-cluster data exchange.
+
+Producer and consumer threads on different cluster nodes exchange
+payloads of 1 000-60 000 bytes through a D-Stampede channel (over CLF)
+and, as baselines, over raw UDP and TCP.  The paper's claims:
+
+* D-Stampede adds ~700 µs at 10 KB and ~1200 µs at 60 KB over UDP;
+* at high payloads D-Stampede stays under 2x the UDP latency;
+* vs TCP the gap shrinks from ~700 µs (10 KB) to ~400 µs (60 KB), with
+  the TCP curve showing congestion spikes that occasionally put it above
+  D-Stampede.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series, write_csv
+from repro.simnet.params import DEFAULT_PARAMS
+from repro.simnet.stampede_model import MicroModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MicroModel(DEFAULT_PARAMS)
+
+
+def test_figure11_curves(benchmark, model, results_dir):
+    curves = benchmark.pedantic(model.figure11, rounds=3, iterations=1)
+
+    sizes = [point.size for point in curves["dstampede"]]
+    rows = [
+        (size,
+         curves["dstampede"][i].latency_us,
+         curves["udp"][i].latency_us,
+         curves["tcp"][i].latency_us)
+        for i, size in enumerate(sizes)
+    ]
+    write_csv(results_dir / "fig11_intra_cluster.csv",
+              ["size_bytes", "dstampede_us", "udp_us", "tcp_us"], rows)
+    print_series("Figure 11: intra-cluster exchange latency (µs)",
+                 ["size", "dstampede", "udp", "tcp"], rows, every=10)
+
+    ds = {p.size: p.latency_us for p in curves["dstampede"]}
+    udp = {p.size: p.latency_us for p in curves["udp"]}
+    tcp = {p.size: p.latency_us for p in curves["tcp"]}
+
+    # Overhead over UDP: ~700 µs @ 10 KB -> ~1200 µs @ 60 KB.
+    assert 600 <= ds[10_000] - udp[10_000] <= 800
+    assert 1100 <= ds[60_000] - udp[60_000] <= 1300
+    # Under 2x UDP at reasonably high payloads.
+    for size in range(30_000, 60_001, 1_000):
+        assert ds[size] < 2 * udp[size]
+    # TCP spikes occasionally exceed the D-Stampede curve.
+    assert any(tcp[s] > ds[s] for s in range(40_000, 60_001, 1_000))
+    # All curves rise with payload overall.
+    assert ds[60_000] > ds[1_000]
+    assert udp[60_000] > udp[1_000]
+
+
+def test_bench_single_exchange_model(benchmark, model):
+    """Cost of evaluating one modelled exchange (harness overhead)."""
+    latency = benchmark(model.exp1_dstampede, 35_000)
+    assert latency > 0

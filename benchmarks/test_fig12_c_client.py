@@ -1,0 +1,65 @@
+"""Figure 12 — Experiment 2: C client (XDR) end device to cluster.
+
+The producer runs on an end device over the C client library; three
+configurations move the consumer: (1) co-located with the channel on the
+cluster, (2) in a different cluster address space, (3) on a second end
+device.  Baseline: the same exchange as a hand-written C TCP program.
+
+Paper anchors at 55 000 bytes: TCP 2500 µs; config 1 ≈ 3300 µs;
+config 2 ≈ 5000 µs; config 3 ≈ 6100 µs; the D-Stampede curves "track the
+TCP curve for all the configurations".
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series, write_csv
+from repro.simnet.params import DEFAULT_PARAMS
+from repro.simnet.stampede_model import MicroModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MicroModel(DEFAULT_PARAMS)
+
+
+def test_figure12_curves(benchmark, model, results_dir):
+    curves = benchmark.pedantic(model.figure12, rounds=3, iterations=1)
+
+    sizes = [point.size for point in curves["tcp"]]
+    rows = [
+        (size,
+         curves["tcp"][i].latency_us,
+         curves["config1"][i].latency_us,
+         curves["config2"][i].latency_us,
+         curves["config3"][i].latency_us)
+        for i, size in enumerate(sizes)
+    ]
+    write_csv(results_dir / "fig12_c_client.csv",
+              ["size_bytes", "tcp_us", "config1_us", "config2_us",
+               "config3_us"], rows)
+    print_series("Figure 12: C end device <-> cluster latency (µs)",
+                 ["size", "tcp", "config1", "config2", "config3"],
+                 rows, every=10)
+
+    at = {p.size: i for i, p in enumerate(curves["tcp"])}
+
+    def value(curve, size):
+        return curves[curve][at[size]].latency_us
+
+    # 55 KB anchors.
+    assert value("tcp", 55_000) == pytest.approx(2500, rel=0.05)
+    assert value("config1", 55_000) == pytest.approx(3300, rel=0.05)
+    assert value("config2", 55_000) == pytest.approx(5000, rel=0.05)
+    assert value("config3", 55_000) == pytest.approx(6100, rel=0.05)
+    # Strict configuration ordering everywhere.
+    for size in sizes:
+        assert (value("tcp", size) < value("config1", size)
+                < value("config2", size) < value("config3", size))
+    # Config 1 tracks TCP: the gap is bounded and grows slowly.
+    gaps = [value("config1", s) - value("tcp", s) for s in sizes]
+    assert max(gaps) - min(gaps) < 0.35 * (value("tcp", sizes[-1])
+                                           - value("tcp", sizes[0]))
+
+
+def test_bench_config1_model(benchmark, model):
+    assert benchmark(model.exp2_config1, 55_000) > 0

@@ -1,0 +1,78 @@
+"""Figure 13 — Experiment 3: Java client (JDR) end device to cluster.
+
+Identical topology to Experiment 2 but with the Java client library and
+a Java TCP baseline.  Paper anchors at 55 000 bytes: config 1 ≈ 11000 µs,
+config 2 ≈ 12600 µs, config 3 ≈ 21700 µs.  Result 2: the raw TCP
+programs are similar in C and Java, but the D-Stampede exchange is much
+slower in Java because marshalling constructs objects.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series, write_csv
+from repro.simnet.params import DEFAULT_PARAMS
+from repro.simnet.stampede_model import MicroModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MicroModel(DEFAULT_PARAMS)
+
+
+def test_figure13_curves(benchmark, model, results_dir):
+    curves = benchmark.pedantic(model.figure13, rounds=3, iterations=1)
+
+    sizes = [point.size for point in curves["tcp"]]
+    rows = [
+        (size,
+         curves["tcp"][i].latency_us,
+         curves["config1"][i].latency_us,
+         curves["config2"][i].latency_us,
+         curves["config3"][i].latency_us)
+        for i, size in enumerate(sizes)
+    ]
+    write_csv(results_dir / "fig13_java_client.csv",
+              ["size_bytes", "tcp_us", "config1_us", "config2_us",
+               "config3_us"], rows)
+    print_series("Figure 13: Java end device <-> cluster latency (µs)",
+                 ["size", "tcp", "config1", "config2", "config3"],
+                 rows, every=10)
+
+    index = {p.size: i for i, p in enumerate(curves["tcp"])}
+
+    def value(curve, size):
+        return curves[curve][index[size]].latency_us
+
+    # 55 KB anchors.
+    assert value("config1", 55_000) == pytest.approx(11_000, rel=0.05)
+    assert value("config2", 55_000) == pytest.approx(12_600, rel=0.05)
+    assert value("config3", 55_000) == pytest.approx(21_700, rel=0.05)
+    # Ordering everywhere.
+    for size in sizes:
+        assert (value("config1", size) < value("config2", size)
+                < value("config3", size))
+
+
+def test_result2_java_vs_c(benchmark, results_dir):
+    """Result 2 cross-check: Java TCP ≈ C TCP, Java D-Stampede >> C."""
+    model = MicroModel(DEFAULT_PARAMS)
+
+    def compare():
+        return [
+            (size,
+             model.exp2_tcp_baseline(size), model.exp3_tcp_baseline(size),
+             model.exp2_config1(size), model.exp3_config1(size))
+            for size in DEFAULT_PARAMS.sweep_sizes(step=5000)
+        ]
+
+    rows = benchmark.pedantic(compare, rounds=3, iterations=1)
+    write_csv(results_dir / "result2_java_vs_c.csv",
+              ["size_bytes", "c_tcp_us", "java_tcp_us",
+               "c_config1_us", "java_config1_us"], rows)
+    for size, c_tcp, java_tcp, c_ds, java_ds in rows:
+        assert java_tcp / c_tcp < 1.3          # TCP programs similar
+        if size >= 20_000:
+            assert java_ds > 2.0 * c_ds        # D-Stampede much slower
+    # Paper's 35 KB point: Java ≈ 3.3x the C client.
+    at35 = min(rows, key=lambda r: abs(r[0] - 35_000))
+    assert 2.5 < at35[4] / at35[3] < 4.5

@@ -1,0 +1,58 @@
+"""Figure 14 — §5.2: single-threaded mixer, socket vs channel versions.
+
+Two participants; per-client image sizes 74-190 KB; sustained frame rate
+at the display threads.  The paper's claims:
+
+* the hand-written socket version and the D-Stampede channel version are
+  "comparable for the most part";
+* "for a data size of 110 kb, they both deliver 18 frames/second";
+* every plotted point clears the 10 f/s publication floor.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series, write_csv
+from repro.simnet.workload import FIG14_IMAGE_SIZES, figure14_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return figure14_sweep(frames=60)
+
+
+def test_figure14_sustained_rate(benchmark, sweep, results_dir):
+    # Benchmark a single representative simulation run; the module
+    # fixture above supplies the full sweep for the assertions.
+    from repro.simnet.workload import simulate_videoconf
+
+    benchmark.pedantic(
+        lambda: simulate_videoconf("single", 2, 110_000, frames=60),
+        rounds=3, iterations=1,
+    )
+
+    rows = [
+        (size,
+         sweep["socket"][i].fps,
+         sweep["single"][i].fps)
+        for i, size in enumerate(FIG14_IMAGE_SIZES)
+    ]
+    write_csv(results_dir / "fig14_single_threaded.csv",
+              ["image_size_bytes", "socket_fps", "dstampede_fps"], rows)
+    print_series("Figure 14: single-threaded mixer, 2 clients (f/s)",
+                 ["size", "socket", "dstampede"], rows)
+
+    by_size_socket = {r.image_size: r for r in sweep["socket"]}
+    by_size_single = {r.image_size: r for r in sweep["single"]}
+
+    # Comparable performance at every size.
+    for size in FIG14_IMAGE_SIZES:
+        assert by_size_socket[size].fps == pytest.approx(
+            by_size_single[size].fps, rel=0.1
+        )
+    # The 110 KB / 18 f/s anchor, both versions.
+    assert by_size_socket[110_000].fps == pytest.approx(18.0, rel=0.1)
+    assert by_size_single[110_000].fps == pytest.approx(18.0, rel=0.1)
+    # Monotone decline with image size; all points above the floor.
+    rates = [by_size_single[s].fps for s in FIG14_IMAGE_SIZES]
+    assert rates == sorted(rates, reverse=True)
+    assert all(rate >= 10.0 for rate in rates)

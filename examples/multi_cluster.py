@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Multi-cluster federation: the paper's first future-work item.
+
+§6: "we would like to extend the D-Stampede system to support multiple
+heterogeneous clusters connected to a plethora of end devices
+participating in the same D-Stampede application."
+
+This example federates three clusters — a *capture* cluster near the
+sensors, an *analysis* cluster with the compute, and an *archive*
+cluster — into one application:
+
+1. an end device (camera) joins the capture cluster over TCP;
+2. capture relays frames to a channel on the analysis cluster using a
+   qualified name (``analysis!frames``);
+3. analysis processes each frame and fans results out to the archive
+   cluster and back to a viewer device on capture;
+4. the clusters are *heterogeneous*: the capture→analysis bridge speaks
+   XDR, the analysis→archive bridge speaks JDR.
+
+Run:  python examples/multi_cluster.py
+"""
+
+from repro import ConnectionMode, FederatedRuntime, StampedeClient
+
+FRAMES = 8
+
+
+def main() -> None:
+    capture = FederatedRuntime("capture", bridge_codec="xdr")
+    analysis = FederatedRuntime("analysis")
+    archive = FederatedRuntime("archive", bridge_codec="jdr")
+
+    try:
+        # Wire the federation (heterogeneous codecs per bridge).
+        capture.connect_cluster("analysis", *analysis.address)
+        analysis.bridge_codec = "jdr"
+        analysis.connect_cluster("archive", *archive.address)
+        analysis.connect_cluster("capture", *capture.address)
+
+        # Channels on their home clusters.
+        capture.create_channel("raw")          # camera frames land here
+        analysis.create_channel("frames")      # relayed for processing
+        analysis.create_channel("results")
+        archive.create_channel("vault")
+        capture.create_channel("viewer")
+
+        print("federation:",
+              {k: v for k, v in
+               capture.federation_names(kind="channel").items()})
+
+        # --- a camera end device joins the capture cluster ---------------
+        host, port = capture.address
+        camera = StampedeClient(host, port, client_name="camera")
+        cam_out = camera.attach("raw", ConnectionMode.OUT)
+        for ts in range(FRAMES):
+            cam_out.put(ts, {"frame": ts, "pixels": bytes([ts]) * 64})
+
+        # --- capture relays to the analysis cluster ----------------------
+        relay_in = capture.attach("raw", ConnectionMode.IN)
+        relay_out = capture.attach("analysis!frames", ConnectionMode.OUT)
+        for ts in range(FRAMES):
+            _, frame = relay_in.get(ts, timeout=10.0)
+            relay_in.consume(ts)
+            relay_out.put(ts, frame)
+        print(f"capture relayed {FRAMES} frames to the analysis cluster")
+
+        # --- analysis processes and fans out ------------------------------
+        work_in = analysis.attach("frames", ConnectionMode.IN)
+        to_archive = analysis.attach("archive!vault", ConnectionMode.OUT)
+        to_viewer = analysis.attach("capture!viewer", ConnectionMode.OUT)
+        for ts in range(FRAMES):
+            _, frame = work_in.get(ts, timeout=10.0)
+            work_in.consume(ts)
+            verdict = {"frame": frame["frame"],
+                       "objects": frame["frame"] % 3}
+            to_archive.put(ts, verdict)
+            to_viewer.put(ts, verdict)
+        print(f"analysis processed {FRAMES} frames; results fanned out "
+              f"to archive (JDR bridge) and viewer (XDR bridge)")
+
+        # --- consumers on the other clusters -------------------------------
+        vault_in = archive.attach("vault", ConnectionMode.IN)
+        viewer_in = capture.attach("viewer", ConnectionMode.IN)
+        archived = 0
+        viewed = 0
+        for ts in range(FRAMES):
+            _, verdict = vault_in.get(ts, timeout=10.0)
+            vault_in.consume(ts)
+            archived += 1
+            _, verdict = viewer_in.get(ts, timeout=10.0)
+            viewer_in.consume(ts)
+            viewed += 1
+        print(f"archive stored {archived} verdicts; "
+              f"viewer displayed {viewed}")
+
+        camera.close()
+    finally:
+        capture.shutdown()
+        analysis.shutdown()
+        archive.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Real-time synchrony: pacing a camera at 30 frames/second.
+
+The paper (§3.1): "a thread can declare real time 'ticks' at which it
+will re-synchronize with real time, along with a tolerance and an
+exception handler ...  a camera in a telepresence application can pace
+itself to grab images and put them into its output channel at 30 frames
+per second, using absolute frame numbers as timestamps."
+
+This example paces a producer at 30 f/s for two seconds, injects an
+artificial stall to force a slip, and shows the slip handler recovering
+by skipping the missed frames — exactly how a live camera drops frames
+rather than falling progressively behind.
+
+Run:  python examples/realtime_camera.py
+"""
+
+import time
+
+from repro import (
+    Channel,
+    ConnectionMode,
+    NEWEST,
+    RealtimeSynchronizer,
+)
+
+FPS = 30
+DURATION_TICKS = 60  # two seconds
+
+
+def main() -> None:
+    channel = Channel("camera-feed", capacity=64)
+    out = channel.attach(ConnectionMode.OUT, owner="camera")
+    display = channel.attach(ConnectionMode.IN, owner="display")
+
+    skipped_total = 0
+
+    def on_slip(tick: int, lateness: float) -> None:
+        nonlocal skipped_total
+        skipped = sync.skip_to_current_tick()
+        skipped_total += skipped
+        print(f"  slip at tick {tick}: {lateness * 1000:.1f} ms late, "
+              f"dropping {skipped} frame(s)")
+
+    sync = RealtimeSynchronizer(
+        tick_period=1.0 / FPS,
+        tolerance=0.004,
+        on_slip=on_slip,
+    )
+    sync.start()
+    started = time.monotonic()
+
+    frame_number = 0
+    put_count = 0
+    while frame_number < DURATION_TICKS:
+        sync.synchronize(frame_number)
+        out.put(frame_number, f"frame-{frame_number}")
+        put_count += 1
+        if frame_number == 20:
+            # Simulate a processing hiccup (a GC pause, a busy CPU...).
+            time.sleep(0.2)
+        frame_number = sync.next_tick
+
+    elapsed = time.monotonic() - started
+    ts, latest = display.get(NEWEST)
+    display.consume_until(ts + 1)
+
+    print(f"\nproduced {put_count} frames in {elapsed:.2f}s "
+          f"({put_count / elapsed:.1f} f/s achieved, target {FPS})")
+    print(f"frames dropped to stay live: {skipped_total}")
+    print(f"latest frame on the channel: t={ts} ({latest})")
+    print(f"ticks waited on: {sync.waits}, slips: {sync.slips}")
+    channel.destroy()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The paper's opening scenario: a telepresence chat room.
+
+"John is sitting in his living room.  He opens a connection to a virtual
+chat room and joins the discussion.  Coordinated video and audio sensors
+capture John's appearance ... and speech in real-time ... used to
+reconstruct a virtual avatar of John.  Each participant in the chat
+session sees and hears the avatars for the other participants." (§1)
+
+Each station produces video at 33 ms intervals and audio at 11 ms
+intervals on a shared timeline; cluster-side avatar builders temporally
+correlate the two modalities; every other station renders the avatar and
+verifies that what it hears was captured at the same instant as what it
+sees.
+
+Run:  python examples/telepresence_chat.py [participants] [frames]
+"""
+
+import sys
+import time
+
+from repro.apps.telepresence import run_chat_room
+
+
+def main() -> None:
+    participants = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    frames = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+
+    print(f"opening a chat room for {participants} participants, "
+          f"{frames} avatar frames each...")
+    started = time.monotonic()
+    result = run_chat_room(participants=participants, frames=frames,
+                           image_size=2_000)
+    elapsed = time.monotonic() - started
+
+    print(f"finished in {elapsed:.2f}s")
+    for report in result.stations:
+        status = "ok" if report.clean else (report.errors or ["bad"])[0]
+        print(
+            f"  station {report.participant}: "
+            f"{report.avatars_rendered} avatars rendered, "
+            f"{report.correlated} audio/video-correlated, "
+            f"{report.miscorrelated} miscorrelated, "
+            f"{report.corrupt} corrupt [{status}]"
+        )
+    print("every avatar temporally correlated and verified:",
+          result.all_verified)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""The paper's §4 application: a video conference over real TCP.
+
+Structure (Figure 5):
+
+* a cluster runtime with a mixer in address space ``N_M`` and a
+  composite channel ``C0``;
+* one end device per participant, joining over TCP, each running a
+  producer thread (camera -> its channel ``C_j``) and a display thread
+  (``C0`` -> screen);
+* the mixer temporally correlates the participants' frames (same
+  timestamp from every channel) and emits composites.
+
+Every tile of every composite is verified against the deterministic
+virtual-camera pattern, proving end-to-end integrity through marshalling,
+surrogates, channels, and mixing.
+
+Run:  python examples/videoconference.py [participants] [frames]
+"""
+
+import sys
+import time
+
+from repro.apps.videoconf import run_conference
+
+
+def main() -> None:
+    participants = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    frames = int(sys.argv[2]) if len(sys.argv) > 2 else 12
+
+    print(f"starting a {participants}-way conference, "
+          f"{frames} frames per camera...")
+    started = time.monotonic()
+    result = run_conference(
+        participants=participants,
+        frames=frames,
+        image_size=4_000,
+        mixer_mode="multi",
+    )
+    elapsed = time.monotonic() - started
+
+    print(f"finished in {elapsed:.2f}s")
+    for outcome in result.participants:
+        status = "ok" if not outcome.errors else outcome.errors[0]
+        print(
+            f"  participant {outcome.participant}: "
+            f"{outcome.composites_received} composites, "
+            f"{outcome.tiles_verified} tiles verified, "
+            f"{outcome.corrupt_tiles} corrupt [{status}]"
+        )
+    print("all frames verified end-to-end:", result.all_verified)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Setup shim for environments without the `wheel` package.
+
+`python setup.py develop` uses this legacy path; metadata lives in
+pyproject.toml, but console entry points are duplicated here because
+setuptools' legacy path predates [project.scripts].
+"""
+from setuptools import setup
+
+setup(
+    entry_points={
+        "console_scripts": [
+            "dstampede-server = repro.tools.server:main",
+            "dstampede-conference = repro.tools.conference:main",
+            "dstampede-figures = repro.tools.figures:main",
+        ]
+    }
+)

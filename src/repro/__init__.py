@@ -1,0 +1,89 @@
+"""D-Stampede: distributed programming system for ubiquitous computing.
+
+A from-scratch Python reproduction of *D-Stampede* (Adhikari, Paul,
+Ramachandran — ICDCS 2002): space-time memory (temporally indexed
+channels and FIFO queues shared across address spaces), distributed
+garbage collection driven by per-connection consumption, handler
+functions, Beehive-style real-time synchrony, a name server for dynamic
+join/leave, a cluster server with per-device surrogate threads over TCP,
+C-flavoured (XDR) and Java-flavoured (JDR) client personalities, and a
+CLF-style reliable packet transport over UDP.
+
+Quickstart::
+
+    from repro import StampedeApp, ConnectionMode
+
+    with StampedeApp(address_spaces=["N1"]) as app:
+        app.create_channel("frames", space="N1")
+        out = app.attach("frames", ConnectionMode.OUT)
+        inp = app.attach("frames", ConnectionMode.IN)
+        out.put(0, b"frame-0")
+        print(inp.get(0))
+        inp.consume(0)
+
+See ``examples/`` for end devices joining over TCP, temporal correlation
+across streams, data parallelism, and real-time pacing.
+"""
+
+from repro.core import (
+    Channel,
+    Connection,
+    ConnectionMode,
+    GarbageCollector,
+    NEWEST,
+    OLDEST,
+    SQueue,
+    StampedeThread,
+    spawn,
+)
+from repro.core.filters import (
+    AllOf,
+    AnyOf,
+    AttentionFilter,
+    FieldEquals,
+    NotF,
+    SizeAtMost,
+    TsModulo,
+    TsRange,
+)
+from repro.client.client import RemoteConnection, StampedeClient
+from repro.errors import StampedeError
+from repro.runtime.api import StampedeApp
+from repro.runtime.federation import FederatedRuntime
+from repro.runtime.nameserver import NameRecord, NameServer
+from repro.runtime.runtime import Runtime
+from repro.runtime.server import StampedeServer
+from repro.sync.realtime import RealtimeSynchronizer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "AttentionFilter",
+    "Channel",
+    "Connection",
+    "ConnectionMode",
+    "FederatedRuntime",
+    "FieldEquals",
+    "GarbageCollector",
+    "NotF",
+    "SizeAtMost",
+    "TsModulo",
+    "TsRange",
+    "NameRecord",
+    "NameServer",
+    "NEWEST",
+    "OLDEST",
+    "RealtimeSynchronizer",
+    "RemoteConnection",
+    "Runtime",
+    "SQueue",
+    "StampedeApp",
+    "StampedeClient",
+    "StampedeError",
+    "StampedeServer",
+    "StampedeThread",
+    "spawn",
+    "__version__",
+]

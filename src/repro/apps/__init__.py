@@ -1,0 +1,29 @@
+"""Application library: the workloads the paper builds on D-Stampede.
+
+* :mod:`.frames` — virtual cameras, frame encoding, compositing (the
+  "abstract out the camera and display" methodology of §5.2);
+* :mod:`.videoconf` — the §4 video-conferencing application on the real
+  runtime: per-participant channels, a single- or multi-threaded mixer in
+  its own address space, end devices joining over TCP;
+* :mod:`.trackers` — the Figure 3 task-and-data-parallelism pattern:
+  splitter / tracker pool over a queue / joiner;
+* :mod:`.telepresence` — the §1 chat-room scenario: correlated
+  audio+video avatars with cluster-side fusion.
+"""
+
+from repro.apps.frames import Frame, VirtualCamera, compose
+from repro.apps.videoconf import ConferenceResult, run_conference
+from repro.apps.trackers import TrackerFarm
+from repro.apps.telepresence import Avatar, ChatRoomResult, run_chat_room
+
+__all__ = [
+    "Avatar",
+    "ChatRoomResult",
+    "ConferenceResult",
+    "Frame",
+    "TrackerFarm",
+    "VirtualCamera",
+    "compose",
+    "run_chat_room",
+    "run_conference",
+]

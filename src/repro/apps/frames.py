@@ -1,0 +1,161 @@
+"""Virtual cameras, frames, and compositing.
+
+§5.2: "We abstract out the camera and display from the application to
+make the study a controlled experiment ... The producer thread in the
+client program reads a 'virtual' camera (a memory buffer)".  The same
+abstraction serves the functional application (§4): frames are
+self-describing byte blobs so corruption or mis-correlation anywhere in
+the pipeline is detectable, and a composite carries the provenance of
+every tile.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import DecodeError
+
+_HEADER = struct.Struct(">4sIIQI")  # magic, source id, size, ts, checksum
+_MAGIC = b"FRM1"
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One camera frame: source, timestamp, pixel payload."""
+
+    source: int
+    timestamp: int
+    pixels: bytes
+
+    def encode(self) -> bytes:
+        """Self-describing wire form with a CRC over the pixels."""
+        checksum = zlib.crc32(self.pixels)
+        header = _HEADER.pack(_MAGIC, self.source, len(self.pixels),
+                              self.timestamp, checksum)
+        return header + self.pixels
+
+    @staticmethod
+    def decode(data: bytes) -> "Frame":
+        """Parse and integrity-check an encoded frame.
+
+        :raises DecodeError: bad magic, short payload, or CRC mismatch.
+        """
+        if len(data) < _HEADER.size:
+            raise DecodeError(f"frame too short: {len(data)} bytes")
+        magic, source, size, timestamp, checksum = _HEADER.unpack_from(data)
+        if magic != _MAGIC:
+            raise DecodeError(f"bad frame magic {magic!r}")
+        pixels = data[_HEADER.size:]
+        if len(pixels) != size:
+            raise DecodeError(
+                f"frame payload is {len(pixels)} bytes, header says {size}"
+            )
+        if zlib.crc32(pixels) != checksum:
+            raise DecodeError("frame checksum mismatch (corrupt payload)")
+        return Frame(source=source, timestamp=timestamp, pixels=pixels)
+
+    @property
+    def size(self) -> int:
+        """Pixel payload length in bytes."""
+        return len(self.pixels)
+
+
+class VirtualCamera:
+    """Deterministic frame source for one participant.
+
+    Pixel content is a cheap keyed pattern: any (source, timestamp) pair
+    regenerates identical pixels, so a consumer can verify it received
+    exactly the frame the producer made — end-to-end, across marshalling,
+    surrogates, and mixing.
+    """
+
+    def __init__(self, source: int, image_size: int) -> None:
+        if image_size <= 0:
+            raise ValueError(f"image size must be positive: {image_size}")
+        self.source = source
+        self.image_size = image_size
+
+    def capture(self, timestamp: int) -> Frame:
+        """The deterministic frame for *timestamp*."""
+        return Frame(
+            source=self.source,
+            timestamp=timestamp,
+            pixels=self.pixels_for(self.source, timestamp,
+                                   self.image_size),
+        )
+
+    @staticmethod
+    def pixels_for(source: int, timestamp: int, size: int) -> bytes:
+        """The deterministic pattern a verifier can regenerate."""
+        seed = (source * 2_654_435_761 + timestamp * 40_503) & 0xFFFFFFFF
+        unit = struct.pack(">I", seed)
+        repeats = size // 4 + 1
+        return (unit * repeats)[:size]
+
+
+def compose(frames: List[Frame]) -> bytes:
+    """Build the composite image the mixer sends to every display.
+
+    The §4 mixer "takes corresponding timestamped frames from these
+    channels to create a composite video output": all inputs must carry
+    the same timestamp (that is the temporal-correlation guarantee the
+    channels give).  The composite is the per-source tiles concatenated
+    in source order, prefixed with a tile directory.
+
+    :raises ValueError: empty input or mixed timestamps (a correlation
+        bug upstream).
+    """
+    if not frames:
+        raise ValueError("cannot compose zero frames")
+    timestamps = {frame.timestamp for frame in frames}
+    if len(timestamps) != 1:
+        raise ValueError(
+            f"temporal correlation violated: mixing timestamps "
+            f"{sorted(timestamps)}"
+        )
+    ordered = sorted(frames, key=lambda f: f.source)
+    directory = struct.pack(">I", len(ordered))
+    for frame in ordered:
+        directory += struct.pack(">II", frame.source, frame.size)
+    return directory + b"".join(frame.pixels for frame in ordered)
+
+
+def decompose(composite: bytes, timestamp: int) -> List[Frame]:
+    """Split a composite back into per-source frames (display side).
+
+    :raises DecodeError: malformed directory or truncated tiles.
+    """
+    if len(composite) < 4:
+        raise DecodeError("composite too short for its directory")
+    (count,) = struct.unpack_from(">I", composite)
+    offset = 4
+    entries = []
+    for _ in range(count):
+        if offset + 8 > len(composite):
+            raise DecodeError("composite directory truncated")
+        source, size = struct.unpack_from(">II", composite, offset)
+        offset += 8
+        entries.append((source, size))
+    frames = []
+    for source, size in entries:
+        if offset + size > len(composite):
+            raise DecodeError("composite tiles truncated")
+        frames.append(Frame(source=source, timestamp=timestamp,
+                            pixels=composite[offset:offset + size]))
+        offset += size
+    if offset != len(composite):
+        raise DecodeError(
+            f"{len(composite) - offset} trailing bytes in composite"
+        )
+    return frames
+
+
+def verify_frame(frame: Frame) -> bool:
+    """True if the frame's pixels match its camera's deterministic
+    pattern — the end-to-end integrity check used in tests and examples."""
+    expected = VirtualCamera.pixels_for(frame.source, frame.timestamp,
+                                        frame.size)
+    return frame.pixels == expected

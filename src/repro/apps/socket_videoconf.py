@@ -1,0 +1,225 @@
+"""The hand-written TCP-socket video conference (no D-Stampede).
+
+§5.2's first version: "the first version uses Unix TCP/IP socket for
+communication between the client programs and the server program.  The
+mixer (a single thread) obtains images from each client one after the
+other, generates the composite, and sends it to the clients one after
+the other."
+
+The paper keeps this version around for two findings this module lets us
+reproduce on the real stack: "1) Due to the complexity of this
+application, writing it using sockets required much more effort compared
+to D-Stampede.  2) The performance of D-Stampede version is comparable
+to the socket version."  Point 1 is visible in the code itself — this
+file hand-rolls session handshakes, per-client sockets, frame ordering
+and teardown that the D-Stampede version gets from channels — and
+point 2 is asserted by ``benchmarks/test_ablation_app_versions.py``.
+
+The wire protocol is deliberately minimal: length-prefixed frames (the
+shared framing helpers), where the first frame from a client is a HELLO
+carrying its participant id, producers push encoded camera frames in
+timestamp order, and the server pushes composites back on the same
+socket.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.apps.frames import Frame, VirtualCamera, compose, decompose, \
+    verify_frame
+from repro.errors import StampedeError, TransportClosedError
+from repro.transport.tcp import TcpConnection, TcpListener, connect_tcp
+from repro.util.logging import get_logger
+
+_log = get_logger("apps.socket_videoconf")
+
+_HELLO = struct.Struct(">4sI")
+_HELLO_MAGIC = b"VCON"
+
+
+class SocketConferenceServer:
+    """Single-threaded-mixer conference server on raw sockets."""
+
+    def __init__(self, participants: int, frames: int,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.participants = participants
+        self.frames = frames
+        self._listener = TcpListener(host, port)
+        self._connections: Dict[int, TcpConnection] = {}
+        self._mixer_thread: Optional[threading.Thread] = None
+        self._accept_thread = threading.Thread(
+            target=self._accept_all, name="vcon-accept", daemon=True
+        )
+        self._ready = threading.Event()
+        self._failure: Optional[BaseException] = None
+
+    @property
+    def address(self):
+        """The listening (host, port)."""
+        return self._listener.address
+
+    def start(self) -> "SocketConferenceServer":
+        """Begin accepting participants; returns self."""
+        self._accept_thread.start()
+        return self
+
+    def _accept_all(self) -> None:
+        try:
+            while len(self._connections) < self.participants:
+                connection = self._listener.accept(timeout=30.0)
+                magic, participant = _HELLO.unpack(
+                    connection.recv_frame(timeout=10.0)
+                )
+                if magic != _HELLO_MAGIC:
+                    raise StampedeError("bad conference hello")
+                self._connections[participant] = connection
+            self._ready.set()
+            self._mix()
+        except BaseException as exc:  # noqa: BLE001 - surfaced at join
+            self._failure = exc
+            self._ready.set()
+
+    def _mix(self) -> None:
+        """The serial mixer loop the paper describes."""
+        ordered = [self._connections[p]
+                   for p in sorted(self._connections)]
+        for ts in range(self.frames):
+            tiles: List[Frame] = []
+            for connection in ordered:  # one after the other
+                tiles.append(Frame.decode(
+                    connection.recv_frame(timeout=30.0)
+                ))
+            if any(tile.timestamp != ts for tile in tiles):
+                raise StampedeError(
+                    f"socket version lost frame ordering at ts={ts}"
+                )
+            composite = compose(tiles)
+            for connection in ordered:  # one after the other
+                connection.send_frame(composite)
+
+    def join(self, timeout: float) -> None:
+        """Wait for the mixer to finish, re-raising its failure."""
+        self._accept_thread.join(timeout=timeout)
+        if self._accept_thread.is_alive():
+            raise StampedeError("socket mixer did not finish")
+        if self._failure is not None:
+            raise StampedeError(
+                f"socket mixer failed: {self._failure}"
+            ) from self._failure
+
+    def close(self) -> None:
+        """Close every participant socket and the listener."""
+        for connection in self._connections.values():
+            connection.close()
+        self._listener.close()
+
+
+@dataclass
+class SocketParticipantResult:
+    """What one participant's display observed (socket version)."""
+
+    participant: int
+    composites_received: int = 0
+    tiles_verified: int = 0
+    corrupt_tiles: int = 0
+    errors: List[str] = field(default_factory=list)
+
+
+class SocketConferenceClient:
+    """One participant: producer and display sharing one socket."""
+
+    def __init__(self, participant: int, host: str, port: int,
+                 frames: int, image_size: int) -> None:
+        self.participant = participant
+        self.frames = frames
+        self.camera = VirtualCamera(participant, image_size)
+        self.connection = connect_tcp((host, port))
+        self.connection.send_frame(
+            _HELLO.pack(_HELLO_MAGIC, participant)
+        )
+        self.result = SocketParticipantResult(participant)
+        self._threads: List[threading.Thread] = []
+
+    def start(self) -> None:
+        """Begin accepting participants; returns self."""
+        producer = threading.Thread(target=self._produce, daemon=True)
+        display = threading.Thread(target=self._display, daemon=True)
+        self._threads = [producer, display]
+        producer.start()
+        display.start()
+
+    def _produce(self) -> None:
+        try:
+            for ts in range(self.frames):
+                self.connection.send_frame(
+                    self.camera.capture(ts).encode()
+                )
+        except TransportClosedError as exc:
+            self.result.errors.append(f"producer: {exc}")
+
+    def _display(self) -> None:
+        try:
+            for ts in range(self.frames):
+                composite = self.connection.recv_frame(timeout=30.0)
+                self.result.composites_received += 1
+                for tile in decompose(composite, ts):
+                    if verify_frame(tile):
+                        self.result.tiles_verified += 1
+                    else:
+                        self.result.corrupt_tiles += 1
+        except StampedeError as exc:
+            self.result.errors.append(f"display: {exc}")
+
+    def finish(self, timeout: float) -> SocketParticipantResult:
+        """Join this participant's threads and return its report."""
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self.connection.close()
+        return self.result
+
+
+@dataclass(frozen=True)
+class SocketConferenceResult:
+    """Aggregate outcome of a socket-version conference run."""
+
+    participants: List[SocketParticipantResult]
+    frames: int
+
+    @property
+    def all_verified(self) -> bool:
+        """True when every expected tile verified with no errors."""
+        expected = (len(self.participants) * self.frames
+                    * len(self.participants))
+        return (all(not p.errors and p.corrupt_tiles == 0
+                    for p in self.participants)
+                and sum(p.tiles_verified
+                        for p in self.participants) == expected)
+
+
+def run_socket_conference(participants: int = 2, frames: int = 10,
+                          image_size: int = 2_000,
+                          timeout: float = 60.0
+                          ) -> SocketConferenceResult:
+    """Run the socket version end-to-end, verifying every tile."""
+    server = SocketConferenceServer(participants, frames).start()
+    clients: List[SocketConferenceClient] = []
+    try:
+        host, port = server.address
+        for participant in range(participants):
+            client = SocketConferenceClient(
+                participant, host, port, frames, image_size
+            )
+            client.start()
+            clients.append(client)
+        server.join(timeout=timeout)
+        results = [client.finish(timeout=timeout) for client in clients]
+        return SocketConferenceResult(participants=results,
+                                      frames=frames)
+    finally:
+        for client in clients:
+            client.connection.close()
+        server.close()

@@ -1,0 +1,398 @@
+"""Telepresence: the paper's motivating scenario as an application.
+
+§1: "John ... joins the discussion.  Coordinated video and audio sensors
+capture John's appearance ... and speech in real-time.  This information
+is transmitted across the network and used to reconstruct a virtual
+avatar of John.  Each participant in the chat session sees and hears the
+avatars for the other participants."
+
+The pipeline:
+
+* each **station** (an end device over TCP) runs a camera producer and a
+  microphone producer into its own ``video:<name>`` and ``audio:<name>``
+  channels — two streams at *different rates* sharing one millisecond
+  timeline;
+* a cluster-side **avatar builder** per participant temporally
+  correlates the two modalities: for every video timestamp it
+  random-accesses the audio channel at the *same* instant and publishes
+  a fused :class:`Avatar` sample on ``avatar:<name>``;
+* every station's **renderer** subscribes to the *other* participants'
+  avatar channels and verifies that what it hears was captured at the
+  same instant as what it sees.
+
+Stations join at staggered times (the dynamic start/stop requirement);
+late joiners discover existing avatar channels through the name server.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.apps.frames import VirtualCamera, verify_frame, Frame
+from repro.core.connection import ConnectionMode
+from repro.core.threads import StampedeThread, spawn
+from repro.client.client import StampedeClient
+from repro.errors import StampedeError
+from repro.runtime.runtime import Runtime
+from repro.runtime.server import StampedeServer
+
+#: Video frame period on the shared millisecond timeline.
+VIDEO_PERIOD_MS = 33
+#: Audio block period: three audio blocks per video frame.
+AUDIO_PERIOD_MS = 11
+
+
+def video_channel(name: str) -> str:
+    """Channel name for a participant's video stream."""
+    return f"video:{name}"
+
+
+def audio_channel(name: str) -> str:
+    """Channel name for a participant's audio stream."""
+    return f"audio:{name}"
+
+
+def avatar_channel(name: str) -> str:
+    """Channel name for a participant's fused avatar stream."""
+    return f"avatar:{name}"
+
+
+class VirtualMicrophone:
+    """Deterministic audio source, keyed like :class:`VirtualCamera` so
+    a renderer can verify any (speaker, timestamp) block it receives."""
+
+    def __init__(self, speaker: int, block_size: int = 256) -> None:
+        if block_size <= 0:
+            raise ValueError(f"block size must be positive: {block_size}")
+        self.speaker = speaker
+        self.block_size = block_size
+
+    def capture(self, timestamp_ms: int) -> bytes:
+        """The deterministic audio block for *timestamp_ms*."""
+        return self.samples_for(self.speaker, timestamp_ms,
+                                self.block_size)
+
+    @staticmethod
+    def samples_for(speaker: int, timestamp_ms: int, size: int) -> bytes:
+        """The keyed pattern a verifier can regenerate."""
+        seed = (speaker * 92_821 + timestamp_ms * 68_917) & 0xFFFFFFFF
+        unit = struct.pack(">I", seed)
+        return (unit * (size // 4 + 1))[:size]
+
+
+def verify_audio(speaker: int, timestamp_ms: int, samples: bytes) -> bool:
+    """Whether *samples* match the deterministic source pattern."""
+    return samples == VirtualMicrophone.samples_for(
+        speaker, timestamp_ms, len(samples)
+    )
+
+
+@dataclass(frozen=True)
+class Avatar:
+    """One fused audio+video sample of a participant.
+
+    ``audio_ts`` records which audio block the builder correlated with
+    the video frame — equal timestamps is the temporal-correlation
+    guarantee the whole design exists to provide.
+    """
+
+    participant: int
+    timestamp_ms: int
+    video: bytes
+    audio: bytes
+    audio_ts: int
+
+    def to_wire(self) -> dict:
+        """Codec-domain form for crossing the wire."""
+        return {
+            "participant": self.participant,
+            "ts": self.timestamp_ms,
+            "video": self.video,
+            "audio": self.audio,
+            "audio_ts": self.audio_ts,
+        }
+
+    @staticmethod
+    def from_wire(value: dict) -> "Avatar":
+        """Rebuild an Avatar from its wire form."""
+        return Avatar(
+            participant=value["participant"],
+            timestamp_ms=value["ts"],
+            video=value["video"],
+            audio=value["audio"],
+            audio_ts=value["audio_ts"],
+        )
+
+
+@dataclass
+class StationReport:
+    """What one station's renderer observed."""
+
+    participant: int
+    avatars_rendered: int = 0
+    correlated: int = 0
+    miscorrelated: int = 0
+    corrupt: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """No errors, miscorrelations, or corrupt tiles."""
+        return (not self.errors and self.miscorrelated == 0
+                and self.corrupt == 0)
+
+
+class TelepresenceStation:
+    """One participant's end device: camera + microphone + renderer."""
+
+    def __init__(self, participant: int, host: str, port: int,
+                 frames: int, peers: List[int],
+                 image_size: int = 1_500,
+                 codec: str = "xdr") -> None:
+        self.participant = participant
+        self.frames = frames
+        self.peers = [p for p in peers if p != participant]
+        self.camera = VirtualCamera(participant, image_size)
+        self.microphone = VirtualMicrophone(participant)
+        self.client = StampedeClient(
+            host, port, client_name=f"station-{participant}", codec=codec,
+        )
+        self.report = StationReport(participant)
+        self._threads: List[StampedeThread] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def join(self) -> None:
+        """Create this station's channels and start its renderers.
+
+        Renderers attach *before* any producer runs (see
+        :func:`run_chat_room`'s rendezvous): an avatar consumed by the
+        early participants would otherwise be garbage-collected before a
+        late joiner's renderer attaches — exactly the dynamic-join data
+        race space-time memory's per-consumer GC makes explicit.
+        """
+        name = str(self.participant)
+        self.client.create_channel(video_channel(name), capacity=32)
+        self.client.create_channel(audio_channel(name), capacity=96)
+        for peer in self.peers:
+            self._threads.append(spawn(
+                self._renderer, peer,
+                name=f"render-{self.participant}<-{peer}",
+            ))
+
+    def go_live(self) -> None:
+        """Start the camera and microphone producers."""
+        self._threads.append(spawn(
+            self._camera_producer,
+            name=f"camera-{self.participant}",
+        ))
+        self._threads.append(spawn(
+            self._microphone_producer,
+            name=f"mic-{self.participant}",
+        ))
+
+    def finish(self, timeout: float = 60.0) -> StationReport:
+        """Join this station's threads and return its report."""
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self.client.close()
+        return self.report
+
+    # -- producers --------------------------------------------------------------
+
+    def _camera_producer(self) -> None:
+        out = self.client.attach(video_channel(str(self.participant)),
+                                 ConnectionMode.OUT)
+        for index in range(self.frames):
+            ts = index * VIDEO_PERIOD_MS
+            out.put(ts, self.camera.capture(ts).encode())
+
+    def _microphone_producer(self) -> None:
+        out = self.client.attach(audio_channel(str(self.participant)),
+                                 ConnectionMode.OUT)
+        blocks = self.frames * (VIDEO_PERIOD_MS // AUDIO_PERIOD_MS)
+        for index in range(blocks):
+            ts = index * AUDIO_PERIOD_MS
+            out.put(ts, self.microphone.capture(ts))
+
+    # -- renderer -----------------------------------------------------------------
+
+    def _renderer(self, peer: int) -> None:
+        """Consume the peer's avatar stream and verify both modalities
+        and their temporal correlation."""
+        try:
+            inp = self.client.attach(avatar_channel(str(peer)),
+                                     ConnectionMode.IN, wait=30.0)
+        except StampedeError as exc:
+            self.report.errors.append(f"peer {peer}: {exc}")
+            return
+        for index in range(self.frames):
+            ts = index * VIDEO_PERIOD_MS
+            try:
+                _, wire = inp.get(ts, timeout=30.0)
+            except StampedeError as exc:
+                self.report.errors.append(f"peer {peer} t={ts}: {exc}")
+                return
+            avatar = Avatar.from_wire(wire)
+            self.report.avatars_rendered += 1
+            frame = Frame(peer, ts, avatar.video)
+            video_ok = verify_frame(frame)
+            audio_ok = verify_audio(peer, avatar.audio_ts, avatar.audio)
+            if not (video_ok and audio_ok):
+                self.report.corrupt += 1
+            elif avatar.audio_ts == avatar.timestamp_ms == ts:
+                self.report.correlated += 1
+            else:
+                self.report.miscorrelated += 1
+            inp.consume(ts)
+
+
+class AvatarBuilder:
+    """Cluster-side fusion thread for one participant.
+
+    "Extraction of higher order information content from such raw data
+    requires significantly more processing power" (§1) — hence fusion
+    runs on the cluster, in its own address space, fed by the station's
+    channels.
+    """
+
+    def __init__(self, runtime: Runtime, participant: int,
+                 frames: int, space: str = "fusion") -> None:
+        self.runtime = runtime
+        self.participant = participant
+        self.frames = frames
+        self.space = space
+
+    def create_output_channel(self) -> None:
+        """Create this participant's avatar channel up front."""
+        self.runtime.create_channel(avatar_channel(str(self.participant)),
+                                    space=self.space, capacity=32)
+
+    def start(self) -> StampedeThread:
+        """Spawn the fusion thread; returns it for joining."""
+        return self.runtime.spawn(
+            self.space, self._build,
+            name=f"avatar-builder-{self.participant}",
+        )
+
+    def _build(self) -> None:
+        name = str(self.participant)
+        video_in = self.runtime.attach(
+            video_channel(name), ConnectionMode.IN,
+            from_space=self.space, owner=f"builder-{name}", wait=30.0,
+        )
+        audio_in = self.runtime.attach(
+            audio_channel(name), ConnectionMode.IN,
+            from_space=self.space, owner=f"builder-{name}", wait=30.0,
+        )
+        out = self.runtime.attach(
+            avatar_channel(name), ConnectionMode.OUT,
+            from_space=self.space, owner=f"builder-{name}",
+        )
+        for index in range(self.frames):
+            ts = index * VIDEO_PERIOD_MS
+            _, encoded = video_in.get(ts, timeout=30.0)
+            frame = Frame.decode(encoded)
+            # Temporal correlation: the audio block captured at the SAME
+            # instant as the video frame (both producers share the
+            # millisecond timeline, and VIDEO_PERIOD is a multiple of
+            # AUDIO_PERIOD, so the block exists).
+            audio_ts, samples = audio_in.get(ts, timeout=30.0)
+            avatar = Avatar(
+                participant=self.participant,
+                timestamp_ms=ts,
+                video=frame.pixels,
+                audio=samples,
+                audio_ts=audio_ts,
+            )
+            out.put(ts, avatar.to_wire())
+            video_in.consume(ts)
+            # Done with every audio block up to and including this
+            # frame's instant (the skipped-over blocks between video
+            # frames are reclaimed by the floor).
+            audio_in.consume(ts)
+            audio_in.consume_until(ts + 1)
+
+
+@dataclass(frozen=True)
+class ChatRoomResult:
+    """Aggregate outcome of a chat-room run."""
+
+    stations: List[StationReport]
+    frames: int
+
+    @property
+    def all_verified(self) -> bool:
+        """Every avatar at every renderer verified and correlated."""
+        if not all(report.clean for report in self.stations):
+            return False
+        expected_per_station = (len(self.stations) - 1) * self.frames
+        return all(
+            report.correlated == expected_per_station
+            for report in self.stations
+        )
+
+
+def run_chat_room(participants: int = 3, frames: int = 6,
+                  image_size: int = 1_200,
+                  timeout: float = 60.0) -> ChatRoomResult:
+    """Run a full telepresence chat room over real TCP.
+
+    Stations join one after the other (dynamic start); a roster
+    rendezvous ensures every renderer is attached before any camera goes
+    live, so early avatars cannot be garbage-collected before a late
+    joiner sees them.  Every avatar at every renderer is verified for
+    content integrity *and* audio/video temporal correlation.
+    """
+    import time as _time
+
+    if participants < 2:
+        raise ValueError("a chat room needs at least two participants")
+    runtime = Runtime(name="telepresence", gc_interval=0.02)
+    runtime.create_address_space("fusion")
+    server = StampedeServer(runtime, device_spaces=["edge"]).start()
+    stations: List[TelepresenceStation] = []
+    try:
+        host, port = server.address
+        peer_ids = list(range(participants))
+        builders = []
+        for participant in peer_ids:
+            builder = AvatarBuilder(runtime, participant, frames)
+            builder.create_output_channel()
+            builders.append(builder)
+        for participant in peer_ids:
+            station = TelepresenceStation(
+                participant, host, port, frames, peer_ids,
+                image_size=image_size,
+            )
+            station.join()  # staggered joins: one station at a time
+            stations.append(station)
+        # Rendezvous: every avatar channel must have all its renderers
+        # attached before anyone produces.
+        deadline = _time.monotonic() + timeout
+        for participant in peer_ids:
+            channel = runtime.lookup_container(
+                avatar_channel(str(participant))
+            )
+            while len(channel.input_connections()) < participants - 1:
+                if _time.monotonic() > deadline:
+                    raise StampedeError("renderers failed to attach")
+                _time.sleep(0.005)
+        builder_threads = [builder.start() for builder in builders]
+        for station in stations:
+            station.go_live()
+        for thread in builder_threads:
+            thread.join(timeout=timeout)
+        reports = [station.finish(timeout=timeout)
+                   for station in stations]
+        return ChatRoomResult(stations=reports, frames=frames)
+    finally:
+        for station in stations:
+            try:
+                station.client.close()
+            except StampedeError:  # pragma: no cover - teardown race
+                pass
+        server.close()
+        runtime.shutdown()

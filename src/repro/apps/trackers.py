@@ -1,0 +1,182 @@
+"""The Figure 3 pattern: task-and-data parallelism over a queue.
+
+"If it is desired to analyze a given frame of video for objects of
+interest, then the frame can be partitioned into frame-fragments (all
+having the same timestamp) and placed in a queue by a splitter thread.  A
+distinct thread can analyze each frame-fragment ... A joiner thread can
+then stitch together the composite analyzed outputs" (§3.1).
+
+:class:`TrackerFarm` packages the whole pipeline: splitter -> queue ->
+tracker pool -> results queue -> joiner -> output channel.  The analysis
+function is pluggable; the default "tracker" computes a digest per
+fragment so tests can verify exactly-once processing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.channel import Channel
+from repro.core.connection import ConnectionMode
+from repro.core.squeue import SQueue
+from repro.core.threads import StampedeThread, spawn
+from repro.core.timestamps import OLDEST
+
+#: An analyzer maps (fragment index, fragment bytes) -> analysis result.
+Analyzer = Callable[[int, bytes], Any]
+
+
+def default_analyzer(index: int, fragment: bytes) -> str:
+    """A stand-in for the paper's color tracker: digest the fragment."""
+    return hashlib.sha1(fragment).hexdigest()
+
+
+def split_frame(pixels: bytes, fragments: int) -> List[bytes]:
+    """Partition a frame into near-equal fragments (last takes the rest).
+
+    :raises ValueError: more fragments than bytes, or non-positive count.
+    """
+    if fragments <= 0:
+        raise ValueError(f"fragments must be positive, got {fragments}")
+    if fragments > max(1, len(pixels)):
+        raise ValueError(
+            f"cannot split {len(pixels)} bytes into {fragments} fragments"
+        )
+    base = len(pixels) // fragments
+    parts = [
+        pixels[i * base:(i + 1) * base] for i in range(fragments - 1)
+    ]
+    parts.append(pixels[(fragments - 1) * base:])
+    return parts
+
+
+@dataclass(frozen=True)
+class TrackedFrame:
+    """The joiner's stitched output for one timestamp."""
+
+    timestamp: int
+    results: Tuple[Any, ...]  # indexed by fragment
+
+
+class TrackerFarm:
+    """Splitter / tracker-pool / joiner over space-time memory.
+
+    Parameters
+    ----------
+    workers:
+        Tracker threads sharing the fragment queue (the data-parallel
+        width of Figure 3).
+    fragments:
+        Fragments per frame (defaults to ``workers``).
+    analyzer:
+        The per-fragment analysis function.
+    """
+
+    def __init__(self, workers: int, fragments: Optional[int] = None,
+                 analyzer: Analyzer = default_analyzer) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.workers = workers
+        self.fragments = fragments if fragments is not None else workers
+        if self.fragments <= 0:
+            raise ValueError("fragments must be positive")
+        self.analyzer = analyzer
+        self.work = SQueue("tracker-fragments")
+        self.results = SQueue("tracker-results")
+        self.output = Channel("tracked-frames")
+        self._threads: List[StampedeThread] = []
+        self._stop = threading.Event()
+
+    # -- pipeline ------------------------------------------------------------
+
+    def process(self, frames: Dict[int, bytes],
+                timeout: float = 30.0) -> Dict[int, TrackedFrame]:
+        """Run the farm over ``{timestamp: pixels}`` and return the
+        stitched analysis per timestamp."""
+        expected = len(frames)
+        splitter = spawn(self._splitter, frames, name="splitter")
+        trackers = [
+            spawn(self._tracker, frame_count=expected,
+                  name=f"tracker-{index}")
+            for index in range(self.workers)
+        ]
+        joiner = spawn(self._joiner, expected, name="joiner")
+        splitter.join(timeout=timeout)
+        for tracker in trackers:
+            tracker.join(timeout=timeout)
+        joined: Dict[int, TrackedFrame] = joiner.join(timeout=timeout)
+        return joined
+
+    def _splitter(self, frames: Dict[int, bytes]) -> None:
+        out = self.work.attach(ConnectionMode.OUT, owner="splitter")
+        try:
+            for timestamp, pixels in frames.items():
+                for index, fragment in enumerate(
+                    split_frame(pixels, self.fragments)
+                ):
+                    out.put(timestamp, (index, fragment))
+        finally:
+            out.detach()
+
+    def _tracker(self, frame_count: int) -> int:
+        """Each tracker pulls fragments until its share is done.
+
+        Work-sharing: the queue delivers each fragment to exactly one
+        tracker, so the shares need not be equal — this returns how many
+        fragments this tracker analyzed.
+        """
+        total = frame_count * self.fragments
+        base = total // self.workers
+        # Workers race for the remainder; the queue's exactly-once
+        # delivery keeps the global count correct.
+        my_quota = base + (1 if total % self.workers else 0)
+        win = self.work.attach(ConnectionMode.IN, owner="tracker")
+        rout = self.results.attach(ConnectionMode.OUT, owner="tracker")
+        analyzed = 0
+        try:
+            while analyzed < my_quota:
+                try:
+                    ts, (index, fragment) = win.get(OLDEST, timeout=0.25)
+                except Exception:  # noqa: BLE001 - queue drained
+                    break
+                rout.put(ts, (index, self.analyzer(index, fragment)))
+                win.consume(ts)
+                analyzed += 1
+        finally:
+            win.detach()
+            rout.detach()
+        return analyzed
+
+    def _joiner(self, expected: int) -> Dict[int, TrackedFrame]:
+        rin = self.results.attach(ConnectionMode.IN, owner="joiner")
+        out = self.output.attach(ConnectionMode.OUT, owner="joiner")
+        pending: Dict[int, Dict[int, Any]] = {}
+        joined: Dict[int, TrackedFrame] = {}
+        try:
+            while len(joined) < expected:
+                ts, (index, result) = rin.get(OLDEST, timeout=30.0)
+                rin.consume(ts)
+                parts = pending.setdefault(ts, {})
+                parts[index] = result
+                if len(parts) == self.fragments:
+                    tracked = TrackedFrame(
+                        timestamp=ts,
+                        results=tuple(parts[i]
+                                      for i in range(self.fragments)),
+                    )
+                    joined[ts] = tracked
+                    out.put(ts, tracked)
+                    del pending[ts]
+        finally:
+            rin.detach()
+            out.detach()
+        return joined
+
+    def destroy(self) -> None:
+        """Destroy the farm's queues and output channel."""
+        self.work.destroy()
+        self.results.destroy()
+        self.output.destroy()

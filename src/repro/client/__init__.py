@@ -1,0 +1,15 @@
+"""The end-device client library.
+
+"There are client libraries available for both C and Java" (§3.2.1); in
+this reproduction both personalities are the same Python library with a
+different codec: ``codec="xdr"`` is the C client (direct buffer
+marshalling), ``codec="jdr"`` is the Java client (object-graph
+marshalling).  Everything else — the RPC transport, the API surface, the
+reclaim-notification piggybacking — is shared, exactly as the original's
+two client libraries spoke one wire protocol.
+"""
+
+from repro.client.rpc import RpcChannel
+from repro.client.client import RemoteConnection, StampedeClient
+
+__all__ = ["RemoteConnection", "RpcChannel", "StampedeClient"]

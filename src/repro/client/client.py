@@ -1,0 +1,373 @@
+"""The end-device client library proper.
+
+A :class:`StampedeClient` is what a program on a tentacle of the Octopus
+links against.  It mirrors the cluster-side API one-for-one — "the API
+calls of D-Stampede are available to a thread regardless of where it is
+executing" (§3.1) — while every operation actually travels to the
+device's surrogate over TCP.
+
+Choose the personality with ``codec``:
+
+* ``"xdr"`` — the C client library (§3.2.1, XDR marshalling);
+* ``"jdr"`` — the Java client library (object-graph marshalling).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.core.connection import ConnectionMode
+from repro.core.filters import AttentionFilter
+from repro.core.timestamps import (
+    NEWEST,
+    OLDEST,
+    Timestamp,
+    VirtualTime,
+    is_marker,
+    validate_timestamp,
+)
+from repro.errors import ConnectionClosedError, ConnectionModeError
+from repro.marshal import get_codec
+from repro.runtime import ops
+from repro.transport.tcp import connect_tcp
+from repro.util.logging import get_logger
+
+_log = get_logger("client")
+
+
+class RemoteConnection:
+    """Client-side handle mirroring :class:`~repro.core.connection.Connection`.
+
+    Produced by :meth:`StampedeClient.attach`; every method is one RPC to
+    the surrogate, which performs the real container operation.
+    """
+
+    def __init__(self, client: "StampedeClient", wire_id: int,
+                 container: str, mode: ConnectionMode, kind: str) -> None:
+        self._client = client
+        self._wire_id = wire_id
+        self.container_name = container
+        self.mode = mode
+        self.kind = kind
+        self._detached = False
+
+    # -- I/O ------------------------------------------------------------------
+
+    def put(self, timestamp: Timestamp, value: Any, block: bool = True,
+            timeout: Optional[float] = None, sync: bool = True) -> None:
+        """Encode *value* with the client's codec and put it remotely.
+
+        ``sync=False`` sends the put as a fire-and-forget cast: no round
+        trip, so a streaming producer pipelines frames at wire speed.
+        Errors from an async put are logged on the cluster and surface
+        indirectly (the consumer never sees the timestamp); use the
+        default for anything that must be confirmed.
+        """
+        self._require_open()
+        if not self.mode.can_put:
+            raise ConnectionModeError(
+                f"connection to {self.container_name!r} is input-only"
+            )
+        validate_timestamp(timestamp)
+        payload = self._client.codec.encode(value)
+        args = {
+            "connection_id": self._wire_id,
+            "timestamp": timestamp,
+            "payload": payload,
+            "block": block,
+            "has_timeout": timeout is not None,
+            "timeout": timeout if timeout is not None else 0.0,
+        }
+        if sync:
+            self._client._call(ops.OP_PUT, args, io_timeout=timeout)
+        else:
+            self._client._cast(ops.OP_PUT, args)
+
+    def get(self, timestamp: VirtualTime = OLDEST, block: bool = True,
+            timeout: Optional[float] = None) -> Tuple[Timestamp, Any]:
+        """Fetch ``(timestamp, value)``; markers work exactly as locally."""
+        self._require_open()
+        if not self.mode.can_get:
+            raise ConnectionModeError(
+                f"connection to {self.container_name!r} is output-only"
+            )
+        if is_marker(timestamp):
+            vt_kind = ops.VT_NEWEST if timestamp is NEWEST else ops.VT_OLDEST
+            wire_ts = 0
+        else:
+            vt_kind = ops.VT_CONCRETE
+            wire_ts = validate_timestamp(timestamp)
+        results = self._client._call(ops.OP_GET, {
+            "connection_id": self._wire_id,
+            "vt_kind": vt_kind,
+            "timestamp": wire_ts,
+            "block": block,
+            "has_timeout": timeout is not None,
+            "timeout": timeout if timeout is not None else 0.0,
+        }, io_timeout=timeout)
+        value = self._client.codec.decode(results["payload"])
+        return results["timestamp"], value
+
+    def consume(self, timestamp: Timestamp, sync: bool = True) -> None:
+        """Declare the item at *timestamp* garbage for this device."""
+        self._require_open()
+        args = {
+            "connection_id": self._wire_id,
+            "timestamp": validate_timestamp(timestamp),
+        }
+        if sync:
+            self._client._call(ops.OP_CONSUME, args)
+        else:
+            self._client._cast(ops.OP_CONSUME, args)
+
+    def consume_until(self, timestamp: Timestamp,
+                      sync: bool = True) -> None:
+        """Raise this connection's interest floor to *timestamp*."""
+        self._require_open()
+        args = {
+            "connection_id": self._wire_id,
+            "timestamp": validate_timestamp(timestamp),
+        }
+        if sync:
+            self._client._call(ops.OP_CONSUME_UNTIL, args)
+        else:
+            self._client._cast(ops.OP_CONSUME_UNTIL, args)
+
+    def detach(self) -> None:
+        """Detach on the cluster (idempotent)."""
+        if self._detached:
+            return
+        self._detached = True
+        self._client._call(ops.OP_DETACH,
+                           {"connection_id": self._wire_id})
+
+    @property
+    def detached(self) -> bool:
+        """Whether this handle has been detached."""
+        return self._detached
+
+    def _require_open(self) -> None:
+        if self._detached:
+            raise ConnectionClosedError(
+                f"connection to {self.container_name!r} is detached"
+            )
+
+    def __enter__(self) -> "RemoteConnection":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.detach()
+
+    def __repr__(self) -> str:
+        return (
+            f"<RemoteConnection {self.container_name!r} "
+            f"mode={self.mode.value} kind={self.kind}>"
+        )
+
+
+class StampedeClient:
+    """An end device joined to a D-Stampede computation.
+
+    Parameters
+    ----------
+    host, port:
+        The cluster server's listen address.
+    client_name:
+        Diagnostic name reported to the cluster.
+    codec:
+        ``"xdr"`` (C personality) or ``"jdr"`` (Java personality).
+    heartbeat:
+        If set, a daemon thread PINGs the surrogate every *heartbeat*
+        seconds to keep the failure-detection lease alive.
+    on_reclaim:
+        Optional callback ``(container_name, timestamp)`` invoked when the
+        cluster notifies this device that an item it saw was garbage
+        collected (§3.2.4); notifications are also queued for
+        :meth:`take_reclaims`.
+    """
+
+    def __init__(self, host: str, port: int, client_name: str = "device",
+                 codec: str = "xdr", heartbeat: Optional[float] = None,
+                 on_reclaim: Optional[Callable[[str, int], None]] = None,
+                 rpc_timeout: float = 30.0) -> None:
+        from repro.client.rpc import RpcChannel
+
+        self.codec = get_codec(codec)
+        self.client_name = client_name
+        self.rpc_timeout = rpc_timeout
+        self._user_reclaim_cb = on_reclaim
+        self._reclaims: "queue.Queue[Tuple[str, int]]" = queue.Queue()
+        self._rpc = RpcChannel(
+            connect_tcp((host, port)), reclaim_listener=self._on_reclaim
+        )
+        self._closed = False
+        hello = self._call(ops.OP_HELLO, {
+            "client_name": client_name, "codec": codec,
+        })
+        self.session_id = hello["session_id"]
+        self.space = hello["space"]
+        self._heartbeat_stop = threading.Event()
+        self._heartbeat_thread: Optional[threading.Thread] = None
+        if heartbeat is not None:
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop, args=(heartbeat,),
+                name=f"{client_name}-heartbeat", daemon=True,
+            )
+            self._heartbeat_thread.start()
+
+    # -- container API -----------------------------------------------------------
+
+    def create_channel(self, name: str, space: str = "",
+                       capacity: Optional[int] = None) -> None:
+        """Create a channel on the cluster (in this device's assigned
+        address space unless *space* says otherwise) and register it."""
+        self._call(ops.OP_CREATE_CHANNEL, {
+            "name": name, "space": space,
+            "bounded": capacity is not None,
+            "capacity": capacity if capacity is not None else 0,
+        })
+
+    def create_queue(self, name: str, space: str = "",
+                     capacity: Optional[int] = None,
+                     auto_consume: bool = False) -> None:
+        """Create a queue on the cluster and register it."""
+        self._call(ops.OP_CREATE_QUEUE, {
+            "name": name, "space": space,
+            "bounded": capacity is not None,
+            "capacity": capacity if capacity is not None else 0,
+            "auto_consume": auto_consume,
+        })
+
+    def attach(self, container: str, mode: ConnectionMode,
+               wait: Optional[float] = None,
+               attention_filter: Optional["AttentionFilter"] = None
+               ) -> RemoteConnection:
+        """Connect to a named container; ``wait`` blocks for late names.
+
+        *attention_filter* is a declarative
+        :class:`~repro.core.filters.AttentionFilter`; it executes on the
+        cluster inside this device's surrogate, so filtered-out items are
+        never sent over the network.
+        """
+        filter_bytes = b""
+        if attention_filter is not None:
+            filter_bytes = self.codec.encode(attention_filter.to_spec())
+        results = self._call(ops.OP_ATTACH, {
+            "container": container,
+            "mode": mode.value,
+            "wait": wait is not None,
+            "wait_timeout": wait if wait is not None else 0.0,
+            "filter": filter_bytes,
+        }, io_timeout=wait)
+        return RemoteConnection(
+            self, results["connection_id"], container, mode,
+            results["kind"],
+        )
+
+    # -- name server API ------------------------------------------------------------
+
+    def ns_register(self, name: str, kind: str,
+                    metadata: Optional[dict] = None) -> None:
+        """Bind *name* in the cluster's name server."""
+        self._call(ops.OP_NS_REGISTER, {
+            "name": name, "kind": kind,
+            "metadata": self.codec.encode(metadata or {}),
+        })
+
+    def ns_unregister(self, name: str) -> None:
+        """Remove a binding from the name server."""
+        self._call(ops.OP_NS_UNREGISTER, {"name": name})
+
+    def ns_lookup(self, name: str) -> Tuple[str, str, dict]:
+        """Returns ``(kind, address_space, metadata)``."""
+        results = self._call(ops.OP_NS_LOOKUP, {"name": name})
+        metadata = self.codec.decode(results["metadata"]) \
+            if results["metadata"] else {}
+        return results["kind"], results["space"], metadata
+
+    def ns_list(self, kind: str = "") -> List[str]:
+        """Bound names, optionally filtered by kind."""
+        return self._call(ops.OP_NS_LIST, {"kind": kind})["names"]
+
+    # -- misc -------------------------------------------------------------------------
+
+    def ping(self, payload: bytes = b"") -> bytes:
+        """Round-trip *payload* through the surrogate (latency probe and
+        lease keep-alive)."""
+        return self._call(ops.OP_PING, {"payload": payload})["payload"]
+
+    def gc_report(self) -> Tuple[int, int, int]:
+        """Cluster-wide ``(sweeps, items reclaimed, bytes reclaimed)``."""
+        r = self._call(ops.OP_GC_REPORT, {})
+        return r["sweeps"], r["items"], r["bytes"]
+
+    def inspect(self) -> dict:
+        """Full cluster snapshot (see :mod:`repro.runtime.inspect`)."""
+        results = self._call(ops.OP_INSPECT, {})
+        return self.codec.decode(results["snapshot"])
+
+    def take_reclaims(self) -> List[Tuple[str, int]]:
+        """Drain queued reclaim notifications."""
+        drained = []
+        while True:
+            try:
+                drained.append(self._reclaims.get_nowait())
+            except queue.Empty:
+                return drained
+
+    def _on_reclaim(self, container: str, timestamp: int) -> None:
+        self._reclaims.put((container, timestamp))
+        if self._user_reclaim_cb is not None:
+            self._user_reclaim_cb(container, timestamp)
+
+    # -- plumbing ---------------------------------------------------------------------
+
+    def _cast(self, opcode: int, args: dict) -> None:
+        """Fire-and-forget RPC (see :meth:`RpcChannel.cast`)."""
+        self._rpc.cast(opcode, args)
+
+    def _call(self, opcode: int, args: dict,
+              io_timeout: Optional[float] = None) -> dict:
+        """One RPC with a sensible deadline: the base RPC timeout plus any
+        application-level blocking time the operation may legally spend."""
+        deadline = self.rpc_timeout
+        if io_timeout is not None:
+            deadline += io_timeout
+        elif opcode in (ops.OP_GET, ops.OP_PUT, ops.OP_ATTACH):
+            deadline = None  # may block indefinitely by design
+        return self._rpc.call(opcode, args, timeout=deadline)
+
+    def _heartbeat_loop(self, interval: float) -> None:
+        while not self._heartbeat_stop.wait(timeout=interval):
+            try:
+                self.ping()
+            except Exception:  # noqa: BLE001 - connection died
+                break
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Leave the computation cleanly (BYE) and drop the connection."""
+        if self._closed:
+            return
+        self._closed = True
+        self._heartbeat_stop.set()
+        try:
+            self._rpc.call(ops.OP_BYE, {}, timeout=2.0)
+        except Exception:  # noqa: BLE001 - best-effort goodbye
+            pass
+        self._rpc.close()
+
+    def __enter__(self) -> "StampedeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<StampedeClient {self.client_name!r} session="
+            f"{getattr(self, 'session_id', '?')} codec={self.codec.name}>"
+        )

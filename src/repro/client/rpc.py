@@ -1,0 +1,187 @@
+"""Client-side RPC: synchronous calls with concurrent outstanding requests.
+
+An end device runs several threads over one TCP connection to its
+surrogate (the video-conferencing client of §4 has a producer *and* a
+display thread).  The channel therefore correlates responses to requests
+by id: callers block on a per-request event while a single receiver
+thread routes incoming frames.  A display thread blocked in a ``get``
+never stops the producer's ``put`` calls.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+import repro.errors as errors_module
+from repro.errors import (
+    RemoteExecutionError,
+    RpcError,
+    StampedeError,
+    TransportClosedError,
+)
+from repro.runtime import ops
+from repro.transport.tcp import TcpConnection
+from repro.util.logging import get_logger
+
+_log = get_logger("client.rpc")
+
+#: Reclaim notification callback: ``(container name, timestamp)``.
+ReclaimListener = Callable[[str, int], None]
+
+
+class _PendingCall:
+    __slots__ = ("event", "frame")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.frame: Optional[bytes] = None
+
+
+def _rehydrate_error(error_type: str, message: str) -> StampedeError:
+    """Map a remote error back to the matching local exception class.
+
+    Unknown types (including plain ``ValueError`` raised by user handlers
+    on the cluster) surface as :class:`RemoteExecutionError` carrying the
+    original type name.
+    """
+    candidate = getattr(errors_module, error_type, None)
+    if (
+        isinstance(candidate, type)
+        and issubclass(candidate, StampedeError)
+        and candidate is not RemoteExecutionError
+    ):
+        try:
+            return candidate(message)
+        except TypeError:
+            pass  # exception with a custom signature (e.g. SlipError)
+    return RemoteExecutionError(error_type, message)
+
+
+class RpcChannel:
+    """Request/response correlation over one framed TCP connection."""
+
+    def __init__(self, connection: TcpConnection,
+                 reclaim_listener: Optional[ReclaimListener] = None) -> None:
+        self._connection = connection
+        self._reclaim_listener = reclaim_listener
+        self._pending: Dict[int, _PendingCall] = {}
+        self._pending_lock = threading.Lock()
+        self._request_ids = itertools.count(1)
+        self._closed = threading.Event()
+        self._receiver = threading.Thread(
+            target=self._receive_loop, name="rpc-recv", daemon=True
+        )
+        self._receiver.start()
+
+    # -- calls ---------------------------------------------------------------
+
+    def call(self, opcode: int, args: Dict[str, Any],
+             timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Execute one remote operation and return its result fields.
+
+        :raises StampedeError: the remote raised (rehydrated locally).
+        :raises RpcError: no response within *timeout*.
+        :raises TransportClosedError: the connection died.
+        """
+        if self._closed.is_set():
+            raise TransportClosedError("RPC channel is closed")
+        request_id = next(self._request_ids)
+        pending = _PendingCall()
+        with self._pending_lock:
+            self._pending[request_id] = pending
+        try:
+            frame = ops.encode_request(request_id, opcode, args)
+            self._connection.send_frame(frame)
+            if not pending.event.wait(timeout=timeout):
+                raise RpcError(
+                    f"no response to {ops.OP_SCHEMAS[opcode].name!r} "
+                    f"within {timeout}s"
+                )
+        finally:
+            with self._pending_lock:
+                self._pending.pop(request_id, None)
+        if pending.frame is None:
+            raise TransportClosedError(
+                "connection closed while awaiting response"
+            )
+        response = ops.decode_response(pending.frame, opcode)
+        self._deliver_reclaims(response.reclaims)
+        if not response.ok:
+            raise _rehydrate_error(response.error_type,
+                                   response.error_message)
+        return response.results
+
+    def cast(self, opcode: int, args: Dict[str, Any]) -> None:
+        """Fire-and-forget: send the request and return immediately.
+
+        The surrogate executes it in arrival order (so later synchronous
+        calls on this connection observe its effects) but sends no
+        response; a failing cast is logged on the cluster and otherwise
+        lost — use only for operations whose failure the next
+        synchronous call would surface anyway (streaming puts,
+        consumes).
+        """
+        if self._closed.is_set():
+            raise TransportClosedError("RPC channel is closed")
+        frame = ops.encode_request(ops.CAST_REQUEST_ID, opcode, args)
+        self._connection.send_frame(frame)
+
+    def _deliver_reclaims(self, reclaims: List[ops.Reclaim]) -> None:
+        if self._reclaim_listener is None:
+            return
+        for container, timestamp in reclaims:
+            try:
+                self._reclaim_listener(container, timestamp)
+            except Exception:  # noqa: BLE001 - user callback isolation
+                _log.exception("reclaim listener raised")
+
+    # -- receive loop ------------------------------------------------------------
+
+    def _receive_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                frame = self._connection.recv_frame(timeout=0.5)
+            except TransportClosedError:
+                # The surrogate (or its whole cluster) went away: fail
+                # fast so callers do not sit out their full timeouts.
+                self._closed.set()
+                break
+            except StampedeError:
+                continue  # poll the closed flag
+            try:
+                request_id = ops.peek_request_id(frame)
+            except Exception:  # noqa: BLE001 - hostile frame
+                _log.warning("dropping unparseable response frame")
+                continue
+            with self._pending_lock:
+                pending = self._pending.get(request_id)
+            if pending is None:
+                _log.warning("response for unknown request %d", request_id)
+                continue
+            pending.frame = frame
+            pending.event.set()
+        self._fail_all_pending()
+
+    def _fail_all_pending(self) -> None:
+        with self._pending_lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for call in pending:
+            call.event.set()  # frame stays None -> TransportClosedError
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether the channel has shut down."""
+        return self._closed.is_set()
+
+    def close(self) -> None:
+        """Close the connection and fail every pending call."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._connection.close()
+        self._fail_all_pending()

@@ -1,0 +1,66 @@
+"""Space-time memory: the paper's primary contribution.
+
+Channels (random access by timestamp) and queues (FIFO access) hold
+time-sequenced items shared by threads.  Connections mediate all I/O and
+carry the per-thread consumption state that drives the distributed garbage
+collector.
+"""
+
+from repro.core.timestamps import (
+    NEWEST,
+    OLDEST,
+    Timestamp,
+    VirtualTime,
+    is_valid_timestamp,
+    validate_timestamp,
+)
+from repro.core.item import Item, ItemState
+from repro.core.handlers import HandlerSet
+from repro.core.filters import (
+    AllOf,
+    AnyOf,
+    AttentionFilter,
+    FieldEquals,
+    NotF,
+    SizeAtMost,
+    TsModulo,
+    TsRange,
+    filter_from_spec,
+)
+from repro.core.channel import Channel
+from repro.core.squeue import SQueue
+from repro.core.persistence import checkpoint, restore
+from repro.core.connection import Connection, ConnectionMode
+from repro.core.gc import GarbageCollector, GcReport
+from repro.core.threads import StampedeThread, spawn
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "AttentionFilter",
+    "Channel",
+    "FieldEquals",
+    "NotF",
+    "SizeAtMost",
+    "TsModulo",
+    "TsRange",
+    "checkpoint",
+    "filter_from_spec",
+    "restore",
+    "Connection",
+    "ConnectionMode",
+    "GarbageCollector",
+    "GcReport",
+    "HandlerSet",
+    "Item",
+    "ItemState",
+    "NEWEST",
+    "OLDEST",
+    "SQueue",
+    "StampedeThread",
+    "Timestamp",
+    "VirtualTime",
+    "is_valid_timestamp",
+    "spawn",
+    "validate_timestamp",
+]

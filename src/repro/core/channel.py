@@ -1,0 +1,376 @@
+"""Channels: timestamp-indexed shared containers for stream data.
+
+"While the channel allows random access by a thread for items of interest
+(based on the timestamp value associated with an item), a queue ... allows
+FIFO access" (§3.1).  A channel therefore behaves like a sparse array
+indexed by timestamp:
+
+* ``put(ts, value)`` — insert; each timestamp may be written exactly once
+  over the channel's lifetime (re-putting a live *or already reclaimed*
+  timestamp is an error, because a consumer that saw the first value must
+  never observe a different one at the same index);
+* ``get(ts)`` — random access; blocks until an item with that timestamp
+  arrives.  ``get(NEWEST)`` / ``get(OLDEST)`` fetch the extremal live item
+  this connection still cares about (not below its interest floor, not
+  already consumed by it, passing its attention filter);
+* ``consume(ts)`` / ``consume_until(ts)`` — per-connection garbage
+  declarations feeding the distributed collector.
+
+Bounded channels exert back-pressure: ``put`` blocks until collection
+frees a slot, which is the "efficient management and recycling of memory
+buffers" requirement (§2, item 7).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.core.connection import Connection
+from repro.core.container import Container
+from repro.core.item import Item, ItemState
+from repro.core.timestamps import (
+    NEWEST,
+    OLDEST,
+    Timestamp,
+    VirtualTime,
+    is_marker,
+    validate_timestamp,
+)
+from repro.util import trace as tracepoints
+from repro.util.trace import trace
+from repro.errors import (
+    BadTimestampError,
+    ChannelFullError,
+    DuplicateTimestampError,
+    ItemGarbageCollectedError,
+    ItemNotFoundError,
+)
+
+
+class Channel(Container):
+    """A space-time memory channel.
+
+    Parameters mirror :class:`~repro.core.container.Container`, plus:
+
+    overflow:
+        Behaviour of ``put`` on a *bounded* channel that is full:
+
+        * ``"block"`` (default) — wait for the collector to free a slot,
+          the classic back-pressure of §2 item 7;
+        * ``"drop_oldest"`` — evict the oldest live item (running its
+          reclaim handlers) to admit the new one: latest-value semantics
+          for live media, where a stalled consumer should cost freshness,
+          never liveness.  Evictions are counted in ``stats`` via the
+          ``reclaimed`` counter and :attr:`evictions`.
+
+    The channel is purely local; distribution is layered on top by the
+    runtime (remote threads reach a channel through their surrogate,
+    which holds an ordinary local connection on their behalf).
+    """
+
+    KIND = "channel"
+
+    OVERFLOW_BLOCK = "block"
+    OVERFLOW_DROP_OLDEST = "drop_oldest"
+
+    def __init__(self, name: Optional[str] = None,
+                 capacity: Optional[int] = None,
+                 overflow: str = OVERFLOW_BLOCK) -> None:
+        if overflow not in (self.OVERFLOW_BLOCK,
+                            self.OVERFLOW_DROP_OLDEST):
+            raise ValueError(f"unknown overflow policy {overflow!r}")
+        super().__init__(name=name, capacity=capacity)
+        self.overflow = overflow
+        self.evictions = 0
+        self._items: Dict[Timestamp, Item] = {}
+        #: Highest timestamp W such that every ts <= W is reclaimed (or can
+        #: never be put again).  Only reclamation advances it.
+        self._watermark: Timestamp = -1  # type: ignore[assignment]
+        #: Reclaimed timestamps above the watermark (holes from out-of-order
+        #: consumption); folded into the watermark as they become contiguous.
+        self._holes: Set[Timestamp] = set()
+
+    # -- put ------------------------------------------------------------------
+
+    def put(self, connection: Connection, timestamp: Timestamp, value: Any,
+            size: Optional[int] = None, block: bool = True,
+            timeout: Optional[float] = None) -> None:
+        """Insert *value* at *timestamp* on behalf of *connection*.
+
+        :raises DuplicateTimestampError: the timestamp holds a live item.
+        :raises BadTimestampError: the timestamp was already reclaimed.
+        :raises ChannelFullError: bounded blocking channel full and
+            ``block=False`` (or the timeout expired).
+        """
+        validate_timestamp(timestamp)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            self._check_connection(connection)
+            self._check_put_timestamp(timestamp)
+            while self.capacity is not None and len(self._items) >= self.capacity:
+                if self.overflow == self.OVERFLOW_DROP_OLDEST:
+                    self._evict_oldest()
+                    continue
+                if not block:
+                    raise ChannelFullError(
+                        f"channel {self.name!r} is full "
+                        f"({self.capacity} items)"
+                    )
+                if not self._wait(self._not_full, deadline):
+                    raise ChannelFullError(
+                        f"timed out waiting for space in channel {self.name!r}"
+                    )
+                self._check_connection(connection)
+                self._check_put_timestamp(timestamp)
+            item = Item(timestamp, value, size=size,
+                        put_time=time.monotonic())
+            self._items[timestamp] = item
+            self._record_put(item.size)
+            trace(tracepoints.PUT, self.name, ts=timestamp,
+                  size=item.size)
+            self._not_empty.notify_all()
+
+    def _evict_oldest(self) -> None:
+        """Drop-oldest overflow: reclaim the lowest live timestamp.
+
+        Caller holds the lock and has verified the channel is full (so
+        at least one live item exists).
+        """
+        oldest = min(
+            (item for item in self._items.values()
+             if item.state is ItemState.LIVE),
+            key=lambda item: item.timestamp,
+        )
+        self.evictions += 1
+        self._reclaim(oldest)
+
+    def _check_put_timestamp(self, timestamp: Timestamp) -> None:
+        if timestamp in self._items:
+            raise DuplicateTimestampError(
+                f"channel {self.name!r} already holds timestamp {timestamp}"
+            )
+        if timestamp <= self._watermark or timestamp in self._holes:
+            raise BadTimestampError(
+                f"timestamp {timestamp} in channel {self.name!r} was "
+                f"already garbage-collected; timestamps are single-use"
+            )
+
+    # -- get ------------------------------------------------------------------
+
+    def get(self, connection: Connection, timestamp: VirtualTime,
+            block: bool = True,
+            timeout: Optional[float] = None) -> Tuple[Timestamp, Any]:
+        """Fetch the item at *timestamp* (or at a virtual-time marker).
+
+        Returns ``(actual timestamp, value)`` — for markers the actual
+        timestamp tells the caller *which* item it received, which is what
+        enables temporal correlation across channels.
+
+        :raises ItemGarbageCollectedError: the timestamp was reclaimed.
+        :raises BadTimestampError: the connection's interest floor is
+            already above the requested timestamp.
+        :raises ItemNotFoundError: nothing available and ``block=False``
+            (or the timeout expired).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            self._check_connection(connection)
+            if is_marker(timestamp):
+                return self._get_marker(connection, timestamp, block, deadline)
+            validate_timestamp(timestamp)
+            if timestamp < connection.interest_floor:
+                raise BadTimestampError(
+                    f"connection {connection.connection_id} promised not to "
+                    f"request below {connection.interest_floor}, asked for "
+                    f"{timestamp}"
+                )
+            while True:
+                if timestamp <= self._watermark or timestamp in self._holes:
+                    raise ItemGarbageCollectedError(
+                        f"timestamp {timestamp} in channel {self.name!r} "
+                        f"was garbage-collected"
+                    )
+                item = self._items.get(timestamp)
+                if item is not None and item.state is ItemState.LIVE:
+                    self._gets += 1
+                    return item.timestamp, item.value
+                if not block:
+                    raise ItemNotFoundError(
+                        f"no item at timestamp {timestamp} in channel "
+                        f"{self.name!r}"
+                    )
+                if not self._wait(self._not_empty, deadline):
+                    raise ItemNotFoundError(
+                        f"timed out waiting for timestamp {timestamp} in "
+                        f"channel {self.name!r}"
+                    )
+                self._check_connection(connection)
+
+    def _get_marker(self, connection: Connection, marker: VirtualTime,
+                    block: bool, deadline: Optional[float]
+                    ) -> Tuple[Timestamp, Any]:
+        pick_newest = marker is NEWEST
+        while True:
+            best: Optional[Item] = None
+            for item in self._items.values():
+                if item.state is not ItemState.LIVE:
+                    continue
+                if item.is_consumed_by(connection.connection_id):
+                    continue
+                if not connection.wants(item.timestamp, item.value):
+                    continue
+                if best is None:
+                    best = item
+                elif pick_newest and item.timestamp > best.timestamp:
+                    best = item
+                elif not pick_newest and item.timestamp < best.timestamp:
+                    best = item
+            if best is not None:
+                self._gets += 1
+                return best.timestamp, best.value
+            if not block:
+                raise ItemNotFoundError(
+                    f"no live item for {marker!r} in channel {self.name!r}"
+                )
+            if not self._wait(self._not_empty, deadline):
+                raise ItemNotFoundError(
+                    f"timed out waiting for {marker!r} in channel "
+                    f"{self.name!r}"
+                )
+            self._check_connection(connection)
+
+    # -- consume / GC interface -------------------------------------------------
+
+    def consume(self, connection: Connection, timestamp: Timestamp) -> None:
+        """Mark the item at *timestamp* garbage for this connection.
+
+        Consuming a timestamp that holds no item is legal (the consumer may
+        be running ahead of the producer after a marker get on another
+        channel); the mark simply has no effect then.
+        """
+        validate_timestamp(timestamp)
+        with self._lock:
+            self._check_connection(connection)
+            self._consumes += 1
+            item = self._items.get(timestamp)
+            if item is None:
+                return
+            item.mark_consumed(connection.connection_id)
+            self._maybe_reclaim(item)
+
+    def consume_until(self, connection: Connection,
+                      timestamp: Timestamp) -> None:
+        """Raise this connection's interest floor to *timestamp* and sweep."""
+        validate_timestamp(timestamp)
+        with self._lock:
+            self._check_connection(connection)
+            self._consumes += 1
+            connection._advance_floor(timestamp)
+            self._sweep()
+
+    def collect_garbage(self) -> Tuple[int, int]:
+        """Sweep: reclaim every fully-dead item."""
+        with self._lock:
+            return self._sweep()
+
+    def _sweep(self) -> Tuple[int, int]:
+        """Reclaim every fully-dead item.  Caller holds the lock."""
+        items = 0
+        bytes_ = 0
+        for item in list(self._items.values()):
+            if item.state is ItemState.LIVE and self._is_dead(item):
+                self._reclaim(item)
+                items += 1
+                bytes_ += item.size
+        if items:
+            self._not_full.notify_all()
+        return items, bytes_
+
+    def _maybe_reclaim(self, item: Item) -> None:
+        if item.state is ItemState.LIVE and self._is_dead(item):
+            self._reclaim(item)
+            self._not_full.notify_all()
+
+    def _is_dead(self, item: Item) -> bool:
+        """An item is dead once every attached input connection is done with
+        it — consumed it, floored past it, or filtered it out — and at least
+        one input connection exists to have expressed that disinterest."""
+        inputs = self.input_connections()
+        if not inputs:
+            return False
+        for conn in inputs:
+            if item.is_consumed_by(conn.connection_id):
+                continue
+            if not conn.wants(item.timestamp, item.value):
+                continue
+            return False  # this consumer may still want the item
+        return True
+
+    def _reclaim(self, item: Item) -> None:
+        item.state = ItemState.GARBAGE
+        del self._items[item.timestamp]
+        self._record_hole(item.timestamp)
+        self._reclaimed += 1
+        trace(tracepoints.RECLAIM, self.name, ts=item.timestamp,
+              size=item.size)
+        errors = self.handlers.run_reclaim(item.timestamp, item.value)
+        item.state = ItemState.RECLAIMED
+        if errors:
+            from repro.util.logging import get_logger
+
+            log = get_logger("core.channel")
+            for exc in errors:
+                log.warning(
+                    "reclaim handler for %s ts=%d raised: %r",
+                    self.name, item.timestamp, exc,
+                )
+
+    def _record_hole(self, timestamp: Timestamp) -> None:
+        self._holes.add(timestamp)
+        while (self._watermark + 1) in self._holes:
+            self._watermark += 1
+            self._holes.discard(self._watermark)
+
+    # -- introspection ------------------------------------------------------------
+
+    def live_timestamps(self) -> "list[Timestamp]":
+        """Sorted timestamps of live items (diagnostics and tests)."""
+        with self._lock:
+            return sorted(
+                ts for ts, item in self._items.items()
+                if item.state is ItemState.LIVE
+            )
+
+    @property
+    def oldest_live(self) -> Optional[Timestamp]:
+        """Smallest live timestamp, or None when empty."""
+        with self._lock:
+            live = [ts for ts, i in self._items.items()
+                    if i.state is ItemState.LIVE]
+            return min(live) if live else None
+
+    @property
+    def newest_live(self) -> Optional[Timestamp]:
+        """Largest live timestamp, or None when empty."""
+        with self._lock:
+            live = [ts for ts, i in self._items.items()
+                    if i.state is ItemState.LIVE]
+            return max(live) if live else None
+
+    def _live_footprint(self) -> Tuple[int, int]:
+        live = [i for i in self._items.values()
+                if i.state is ItemState.LIVE]
+        return len(live), sum(i.size for i in live)
+
+    # -- internals -------------------------------------------------------------------
+
+    def _wait(self, condition: "Any", deadline: Optional[float]) -> bool:
+        """Wait on *condition*; False means the deadline passed."""
+        if deadline is None:
+            condition.wait()
+            return True
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return False
+        return condition.wait(remaining)

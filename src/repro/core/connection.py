@@ -1,0 +1,198 @@
+"""Connections: the attachment of a thread to a channel or queue.
+
+A thread "(dynamically) 'connects' to a channel (or a queue) for input
+and/or output.  Once connected, a thread can do I/O (in the form get/put
+items)" (§3.1).  The connection is also the unit of garbage-collection
+bookkeeping: each input connection carries
+
+* an **interest floor** — a virtual time below which this connection
+  promises never to ask for items again (advanced by
+  :meth:`Connection.consume_until`), and
+* per-item **consume marks** (set by :meth:`Connection.consume`).
+
+The distributed garbage collector reclaims an item once every attached
+input connection has either consumed it or advanced its floor past it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Callable, Optional, Tuple
+
+from repro.core.container import next_connection_id
+from repro.core.timestamps import Timestamp, VirtualTime
+from repro.errors import ConnectionModeError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.container import Container
+
+
+class ConnectionMode(enum.Enum):
+    """Direction of a connection."""
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+
+    @property
+    def can_get(self) -> bool:
+        """Whether this mode permits get/consume."""
+        return self in (ConnectionMode.IN, ConnectionMode.INOUT)
+
+    @property
+    def can_put(self) -> bool:
+        """Whether this mode permits put."""
+        return self in (ConnectionMode.OUT, ConnectionMode.INOUT)
+
+
+class Connection:
+    """Handle for thread I/O on one container.
+
+    Instances are created by :meth:`Container.attach`, never directly.
+    All I/O methods delegate to the container, which owns the locking.
+    """
+
+    __slots__ = (
+        "connection_id",
+        "container",
+        "mode",
+        "owner",
+        "attention_filter",
+        "_interest_floor",
+        "_detached",
+    )
+
+    def __init__(
+        self,
+        container: "Container",
+        mode: ConnectionMode,
+        owner: str = "",
+        attention_filter: Optional[Callable[[Timestamp, Any], bool]] = None,
+    ) -> None:
+        self.connection_id = next_connection_id()
+        self.container = container
+        self.mode = mode
+        self.owner = owner
+        #: Optional selective-attention predicate ``(ts, value) -> bool``.
+        #: Items failing the predicate are invisible to marker/FIFO gets on
+        #: this connection and never constrain garbage collection for it.
+        self.attention_filter = attention_filter
+        self._interest_floor: Timestamp = 0
+        self._detached = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def detached(self) -> bool:
+        """Whether this connection has been detached."""
+        return self._detached
+
+    def _mark_detached(self) -> None:
+        self._detached = True
+
+    def detach(self) -> None:
+        """Detach from the container.  Idempotent."""
+        if not self._detached:
+            self.container.detach(self)
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.detach()
+
+    # -- GC bookkeeping --------------------------------------------------------
+
+    @property
+    def interest_floor(self) -> Timestamp:
+        """Lowest timestamp this connection may still ask for."""
+        return self._interest_floor
+
+    def _advance_floor(self, timestamp: Timestamp) -> None:
+        """Monotonically raise the interest floor (floors never move back)."""
+        if timestamp > self._interest_floor:
+            self._interest_floor = timestamp
+
+    def set_attention_filter(
+        self, attention_filter: Optional[Callable[[Timestamp, Any], bool]]
+    ) -> None:
+        """Swap this connection's selective-attention predicate.
+
+        Takes effect atomically with respect to container operations;
+        see :meth:`~repro.core.container.Container.update_attention_filter`.
+        """
+        self._require_get()
+        self.container.update_attention_filter(self, attention_filter)
+
+    def wants(self, timestamp: Timestamp, value: Any) -> bool:
+        """Whether this input connection may still request this item."""
+        if self._detached:
+            return False
+        if timestamp < self._interest_floor:
+            return False
+        if self.attention_filter is not None:
+            try:
+                return bool(self.attention_filter(timestamp, value))
+            except Exception:  # noqa: BLE001 - user predicate must not wedge GC
+                return True  # conservatively keep the item
+        return True
+
+    # -- I/O delegation ---------------------------------------------------------
+
+    def put(self, timestamp: Timestamp, value: Any,
+            size: Optional[int] = None, block: bool = True,
+            timeout: Optional[float] = None) -> None:
+        """Insert *value* at *timestamp* (see container ``put`` semantics)."""
+        self._require_put()
+        self.container.put(  # type: ignore[attr-defined]
+            self, timestamp, value, size=size, block=block, timeout=timeout
+        )
+
+    def get(self, timestamp: VirtualTime, block: bool = True,
+            timeout: Optional[float] = None) -> Tuple[Timestamp, Any]:
+        """Fetch an item; returns ``(actual timestamp, value)``."""
+        self._require_get()
+        return self.container.get(  # type: ignore[attr-defined]
+            self, timestamp, block=block, timeout=timeout
+        )
+
+    def consume(self, timestamp: Timestamp) -> None:
+        """Declare the item at *timestamp* garbage as far as this connection
+        is concerned (§3.1 "Garbage Collection")."""
+        self._require_get()
+        self.container.consume(self, timestamp)  # type: ignore[attr-defined]
+
+    def consume_until(self, timestamp: Timestamp) -> None:
+        """Declare every item with timestamp strictly below *timestamp*
+        garbage for this connection, and promise never to request below it.
+
+        This advances the interest floor, the mechanism that lets the
+        collector reclaim items the consumer skipped over (e.g. dropped
+        video frames).
+        """
+        self._require_get()
+        self.container.consume_until(  # type: ignore[attr-defined]
+            self, timestamp
+        )
+
+    # -- mode guards --------------------------------------------------------------
+
+    def _require_get(self) -> None:
+        if not self.mode.can_get:
+            raise ConnectionModeError(
+                f"connection {self.connection_id} to "
+                f"{self.container.name!r} is output-only"
+            )
+
+    def _require_put(self) -> None:
+        if not self.mode.can_put:
+            raise ConnectionModeError(
+                f"connection {self.connection_id} to "
+                f"{self.container.name!r} is input-only"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Connection id={self.connection_id} mode={self.mode.value} "
+            f"container={self.container.name!r} owner={self.owner!r}>"
+        )

@@ -1,0 +1,279 @@
+"""Shared machinery for channels and queues.
+
+Both container kinds are system-wide named objects that threads attach to
+via connections.  This module centralises the parts the paper treats
+uniformly: connection management, handler registration, capacity/flow
+control, destruction, and statistics.  The access discipline (random by
+timestamp vs FIFO) lives in the concrete subclasses.
+
+Thread-safety: one re-entrant lock per container guards all state; two
+condition variables signal "item arrived" (blocking gets) and "space freed"
+(blocking puts on bounded containers).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.core.handlers import (
+    Deserializer,
+    HandlerSet,
+    ReclaimHandler,
+    Serializer,
+)
+from repro.errors import ConnectionClosedError, ContainerDestroyedError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.connection import Connection, ConnectionMode
+
+#: Containers and connections get globally unique small integer ids.
+_container_ids = itertools.count(1)
+_connection_ids = itertools.count(1)
+
+
+def next_container_id() -> int:
+    """Allocate a globally unique container id."""
+    return next(_container_ids)
+
+
+def next_connection_id() -> int:
+    """Allocate a globally unique connection id."""
+    return next(_connection_ids)
+
+
+@dataclass(frozen=True)
+class ContainerStats:
+    """Point-in-time statistics snapshot for a container."""
+
+    puts: int
+    gets: int
+    consumes: int
+    reclaimed: int
+    bytes_in: int
+    live_items: int
+    live_bytes: int
+    peak_items: int
+    peak_bytes: int
+    input_connections: int
+    output_connections: int
+
+
+class Container:
+    """Base class for :class:`~repro.core.channel.Channel` and
+    :class:`~repro.core.squeue.SQueue`.
+
+    Parameters
+    ----------
+    name:
+        System-wide unique name (uniqueness is enforced by the name server,
+        not here; anonymous containers pass ``None`` and get a generated
+        name from their id).
+    capacity:
+        Maximum number of live items, or ``None`` for unbounded.  Bounded
+        containers apply back-pressure: ``put`` blocks until the garbage
+        collector frees a slot.
+    """
+
+    KIND = "container"
+
+    def __init__(self, name: Optional[str] = None,
+                 capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.container_id = next_container_id()
+        self.name = name if name else f"{self.KIND}-{self.container_id}"
+        self.capacity = capacity
+        self.handlers = HandlerSet()
+        self._lock = threading.RLock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._destroyed = False
+        self._connections: Dict[int, "Connection"] = {}
+        # statistics
+        self._puts = 0
+        self._gets = 0
+        self._consumes = 0
+        self._reclaimed = 0
+        self._bytes_in = 0
+        self._peak_items = 0
+        self._peak_bytes = 0
+
+    # -- connection management ------------------------------------------------
+
+    def attach(self, mode: "ConnectionMode", owner: str = "",
+               attention_filter: Optional[Callable] = None) -> "Connection":
+        """Attach a new connection in *mode*; returns the connection handle.
+
+        A thread may hold any number of connections to any number of
+        containers — that is the "selective attention" mechanism of §3.1.
+        """
+        from repro.core.connection import Connection  # cycle guard
+
+        with self._lock:
+            self._check_alive()
+            conn = Connection(
+                container=self,
+                mode=mode,
+                owner=owner,
+                attention_filter=attention_filter,
+            )
+            self._connections[conn.connection_id] = conn
+            return conn
+
+    def update_attention_filter(self, connection: "Connection",
+                                attention_filter) -> None:
+        """Change a connection's selective-attention predicate in place.
+
+        Selective attention is dynamic in the paper's model (a thread
+        "dynamically choose[s] the set of channels and queues it wants
+        to perform I/O on" and filters by timestamp); swapping the
+        predicate re-evaluates the world: items the connection no longer
+        wants stop vetoing collection (one sweep runs immediately), and
+        blocked marker-getters wake to re-scan with the new predicate.
+        """
+        with self._lock:
+            self._check_connection(connection)
+            connection.attention_filter = attention_filter
+            self.collect_garbage()
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def detach(self, connection: "Connection") -> None:
+        """Detach *connection*; its consumption state stops constraining GC."""
+        with self._lock:
+            removed = self._connections.pop(connection.connection_id, None)
+            if removed is not None:
+                connection._mark_detached()
+                # A departing consumer may unblock reclamation.
+                self._not_full.notify_all()
+                self._not_empty.notify_all()
+
+    def connections(self) -> List["Connection"]:
+        """Snapshot of every attached connection."""
+        with self._lock:
+            return list(self._connections.values())
+
+    def input_connections(self) -> List["Connection"]:
+        """Connections attached for input (IN or INOUT)."""
+        from repro.core.connection import ConnectionMode
+
+        with self._lock:
+            return [
+                c for c in self._connections.values()
+                if c.mode in (ConnectionMode.IN, ConnectionMode.INOUT)
+            ]
+
+    def output_connections(self) -> List["Connection"]:
+        """Connections attached for output (OUT or INOUT)."""
+        from repro.core.connection import ConnectionMode
+
+        with self._lock:
+            return [
+                c for c in self._connections.values()
+                if c.mode in (ConnectionMode.OUT, ConnectionMode.INOUT)
+            ]
+
+    # -- handlers --------------------------------------------------------------
+
+    def set_serializer(self, serializer: Serializer,
+                       deserializer: Deserializer) -> None:
+        """Install the marshal/unmarshal pair used when items cross an
+        address-space boundary (§3.1 "Handler Functions")."""
+        with self._lock:
+            self.handlers.serializer = serializer
+            self.handlers.deserializer = deserializer
+
+    def add_reclaim_handler(self, handler: ReclaimHandler) -> None:
+        """Register a callback run when an item is garbage-collected."""
+        with self._lock:
+            self.handlers.add_reclaim_handler(handler)
+
+    def remove_reclaim_handler(self, handler: ReclaimHandler) -> None:
+        """Unregister a previously added reclaim handler."""
+        with self._lock:
+            self.handlers.remove_reclaim_handler(handler)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def destroyed(self) -> bool:
+        """Whether destroy() has run."""
+        return self._destroyed
+
+    def destroy(self) -> None:
+        """Destroy the container: wake all blocked threads with an error and
+        detach every connection."""
+        with self._lock:
+            if self._destroyed:
+                return
+            self._destroyed = True
+            for conn in list(self._connections.values()):
+                conn._mark_detached()
+            self._connections.clear()
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def _check_alive(self) -> None:
+        if self._destroyed:
+            raise ContainerDestroyedError(
+                f"{self.KIND} {self.name!r} has been destroyed"
+            )
+
+    def _check_connection(self, connection: "Connection") -> None:
+        self._check_alive()
+        if connection.detached:
+            raise ConnectionClosedError(
+                f"connection {connection.connection_id} to "
+                f"{self.name!r} is detached"
+            )
+
+    # -- statistics -------------------------------------------------------------
+
+    def _record_put(self, size: int) -> None:
+        self._puts += 1
+        self._bytes_in += size
+        live_items, live_bytes = self._live_footprint()
+        self._peak_items = max(self._peak_items, live_items)
+        self._peak_bytes = max(self._peak_bytes, live_bytes)
+
+    def _live_footprint(self) -> "tuple[int, int]":
+        """(live item count, live byte count) — subclass supplies storage."""
+        raise NotImplementedError
+
+    def stats(self) -> ContainerStats:
+        """Point-in-time statistics snapshot."""
+        with self._lock:
+            live_items, live_bytes = self._live_footprint()
+            return ContainerStats(
+                puts=self._puts,
+                gets=self._gets,
+                consumes=self._consumes,
+                reclaimed=self._reclaimed,
+                bytes_in=self._bytes_in,
+                live_items=live_items,
+                live_bytes=live_bytes,
+                peak_items=self._peak_items,
+                peak_bytes=self._peak_bytes,
+                input_connections=len(self.input_connections()),
+                output_connections=len(self.output_connections()),
+            )
+
+    # -- GC hook -----------------------------------------------------------------
+
+    def collect_garbage(self) -> "tuple[int, int]":
+        """Reclaim every item no attached input connection still needs.
+
+        Returns ``(items_reclaimed, bytes_reclaimed)``.  Called by the
+        per-address-space :class:`~repro.core.gc.GarbageCollector` daemon,
+        and safe to call directly (tests do).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} id={self.container_id} "
+            f"name={self.name!r}>"
+        )

@@ -1,0 +1,163 @@
+"""The distributed garbage collector.
+
+"Using this per-thread knowledge, D-Stampede automatically performs
+distributed garbage collection of timestamps that are of no interest to
+any thread in the computation" (§3.1), and it runs "concurrent with
+application execution" (§3.2.2).
+
+The collector here is the per-address-space daemon.  Distribution falls
+out of the architecture rather than requiring a distributed algorithm: a
+channel lives in exactly one address space, and every consumer — local
+thread or remote end device via its surrogate — is represented by a local
+connection on that channel.  The local sweep therefore sees the complete
+set of interests, and reclamation notifications to end devices travel
+through the reclaim-handler mechanism their surrogates installed
+(§3.2.4).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.container import Container
+from repro.util.logging import get_logger
+
+_log = get_logger("core.gc")
+
+
+@dataclass
+class GcReport:
+    """Cumulative collection statistics."""
+
+    sweeps: int = 0
+    items_reclaimed: int = 0
+    bytes_reclaimed: int = 0
+    per_container: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, container_name: str, items: int, bytes_: int) -> None:
+        """Accumulate one container's sweep result."""
+        self.items_reclaimed += items
+        self.bytes_reclaimed += bytes_
+        if items:
+            self.per_container[container_name] = (
+                self.per_container.get(container_name, 0) + items
+            )
+
+
+class GarbageCollector:
+    """Background sweeper over a set of containers.
+
+    Containers also reclaim opportunistically inside ``consume`` calls; the
+    daemon exists to catch reclamation enabled by *other* events — interest
+    floors advanced on different containers, detached connections, filter
+    state — and to amortise sweep cost off the application's critical path,
+    as in the original system.
+
+    Parameters
+    ----------
+    interval:
+        Seconds between background sweeps.
+    start:
+        Start the daemon thread immediately.
+    """
+
+    def __init__(self, interval: float = 0.05, start: bool = False) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = interval
+        self.report = GcReport()
+        self._containers: Dict[int, Container] = {}
+        self._lock = threading.Lock()
+        self._wakeup = threading.Event()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        if start:
+            self.start()
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, container: Container) -> None:
+        """Begin sweeping *container*."""
+        with self._lock:
+            self._containers[container.container_id] = container
+
+    def unregister(self, container: Container) -> None:
+        """Stop sweeping *container*."""
+        with self._lock:
+            self._containers.pop(container.container_id, None)
+
+    def registered(self) -> List[Container]:
+        """Snapshot of the registered containers."""
+        with self._lock:
+            return list(self._containers.values())
+
+    # -- collection ---------------------------------------------------------------
+
+    def sweep(self) -> "tuple[int, int]":
+        """Run one synchronous sweep over all registered containers.
+
+        Returns ``(items, bytes)`` reclaimed by this sweep.
+        """
+        total_items = 0
+        total_bytes = 0
+        for container in self.registered():
+            if container.destroyed:
+                self.unregister(container)
+                continue
+            items, bytes_ = container.collect_garbage()
+            self.report.record(container.name, items, bytes_)
+            total_items += items
+            total_bytes += bytes_
+        self.report.sweeps += 1
+        return total_items, total_bytes
+
+    def trigger(self) -> None:
+        """Ask the daemon for an immediate sweep (no-op if not running)."""
+        self._wakeup.set()
+
+    # -- daemon lifecycle -----------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the daemon thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Start the background sweeper.  Idempotent."""
+        if self.running:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="dstampede-gc", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, final_sweep: bool = True) -> None:
+        """Stop the daemon; optionally run one last synchronous sweep."""
+        if self._thread is not None:
+            self._stop.set()
+            self._wakeup.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if final_sweep:
+            self.sweep()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._wakeup.wait(timeout=self.interval)
+            self._wakeup.clear()
+            if self._stop.is_set():
+                break
+            try:
+                self.sweep()
+            except Exception:  # noqa: BLE001 - daemon must survive
+                _log.exception("garbage collection sweep failed")
+
+    def __enter__(self) -> "GarbageCollector":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

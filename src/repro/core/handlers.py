@@ -1,0 +1,72 @@
+"""Handler functions attached to channels and queues.
+
+The paper (§3.1, §3.2.4) lets applications associate user-defined functions
+with a container:
+
+* a **serializer** / **deserializer** pair, invoked when an item crosses an
+  address-space (or machine) boundary, so arbitrary user data structures can
+  travel; and
+* a **reclaim handler**, invoked when the runtime determines an item is
+  garbage, so user-space buffers tied to the item can be freed (or, for end
+  devices, so the client library can be told to release its copy).
+
+Handlers are optional.  With no serializer configured, containers fall back
+to the codec of the transport crossing the boundary (see
+:mod:`repro.marshal`); with no reclaim handler, reclamation just drops the
+item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.core.timestamps import Timestamp
+
+#: ``serializer(value) -> bytes``
+Serializer = Callable[[Any], bytes]
+#: ``deserializer(data) -> value``
+Deserializer = Callable[[bytes], Any]
+#: ``reclaim(timestamp, value) -> None``
+ReclaimHandler = Callable[[Timestamp, Any], None]
+#: ``filter(timestamp, value) -> bool`` — selective attention (future-work
+#: extension): input connections can refuse items before they are surfaced.
+AttentionFilter = Callable[[Timestamp, Any], bool]
+
+
+@dataclass
+class HandlerSet:
+    """The bundle of user handlers attached to one container.
+
+    Reclaim handlers accumulate: every registered handler runs (in
+    registration order) when an item is reclaimed, mirroring the original
+    system where each end device's surrogate installed its own generic
+    handler on the same channel.
+    """
+
+    serializer: Optional[Serializer] = None
+    deserializer: Optional[Deserializer] = None
+    reclaim_handlers: List[ReclaimHandler] = field(default_factory=list)
+
+    def add_reclaim_handler(self, handler: ReclaimHandler) -> None:
+        """Register a reclamation callback."""
+        self.reclaim_handlers.append(handler)
+
+    def remove_reclaim_handler(self, handler: ReclaimHandler) -> None:
+        """Unregister a reclamation callback."""
+        self.reclaim_handlers.remove(handler)
+
+    def run_reclaim(self, timestamp: Timestamp, value: Any) -> List[Exception]:
+        """Invoke every reclaim handler; collect (not raise) their errors.
+
+        GC runs concurrently with the application on a daemon thread; a
+        throwing user handler must not kill collection for every other item,
+        so failures are returned for the GC to log.
+        """
+        errors: List[Exception] = []
+        for handler in list(self.reclaim_handlers):
+            try:
+                handler(timestamp, value)
+            except Exception as exc:  # noqa: BLE001 - isolate user code
+                errors.append(exc)
+        return errors

@@ -1,0 +1,109 @@
+"""Items: the unit of data stored in channels and queues.
+
+An item is an application-defined chunk of streaming data (a video frame,
+an audio buffer, a tracker result) tagged with a timestamp.  The container
+tracks, per item, which input connections have consumed it; the garbage
+collector reclaims an item once every relevant consumer is done with it.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Any, Optional, Set
+
+from repro.core.timestamps import Timestamp
+
+
+class ItemState(enum.Enum):
+    """Lifecycle of an item inside a container."""
+
+    #: Present and visible to ``get``.
+    LIVE = "live"
+    #: Determined garbage; reclamation handler may still be pending.
+    GARBAGE = "garbage"
+    #: Fully reclaimed (space released, handler invoked).
+    RECLAIMED = "reclaimed"
+
+
+class Item:
+    """A timestamped value plus its consumption bookkeeping.
+
+    Items are created by the container on ``put`` and are internal to the
+    space-time memory layer; application code sees only ``(timestamp, value)``
+    pairs.  The attributes are documented because the GC and the remote
+    surrogate machinery manipulate them directly.
+
+    The ``size`` is the serialized size in bytes when known (items that
+    crossed an address-space boundary), otherwise an estimate supplied by
+    the producer; it feeds the memory accounting reported by
+    :class:`~repro.core.gc.GarbageCollector`.
+    """
+
+    __slots__ = (
+        "timestamp",
+        "value",
+        "size",
+        "state",
+        "consumed_by",
+        "dequeued_by",
+        "put_time",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        timestamp: Timestamp,
+        value: Any,
+        size: Optional[int] = None,
+        put_time: float = 0.0,
+    ) -> None:
+        self.timestamp = timestamp
+        self.value = value
+        self.size = size if size is not None else _estimate_size(value)
+        self.state = ItemState.LIVE
+        #: Connection ids of input connections that consumed this item.
+        self.consumed_by: Set[int] = set()
+        #: For queues: the connection id that dequeued the item, if any.
+        self.dequeued_by: Optional[int] = None
+        #: Wall/virtual time of the put, for latency accounting.
+        self.put_time = put_time
+        self._lock = threading.Lock()
+
+    def mark_consumed(self, connection_id: int) -> None:
+        """Record that *connection_id* consumed this item."""
+        with self._lock:
+            self.consumed_by.add(connection_id)
+
+    def is_consumed_by(self, connection_id: int) -> bool:
+        """Whether *connection_id* has consumed this item."""
+        with self._lock:
+            return connection_id in self.consumed_by
+
+    def __repr__(self) -> str:
+        return (
+            f"<Item ts={self.timestamp} size={self.size} "
+            f"state={self.state.value} consumers={len(self.consumed_by)}>"
+        )
+
+
+def _estimate_size(value: Any) -> int:
+    """Best-effort byte-size estimate for memory accounting.
+
+    Exact for bytes-like values (the dominant case: media frames); a
+    conservative constant for arbitrary objects whose true footprint is
+    unknown until serialization.
+    """
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value)
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, (list, tuple)):
+        return sum(_estimate_size(v) for v in value) + 8 * len(value)
+    if isinstance(value, dict):
+        return sum(
+            _estimate_size(k) + _estimate_size(v) for k, v in value.items()
+        )
+    return 64

@@ -1,0 +1,211 @@
+"""Container checkpoint and restore.
+
+The paper defers failure handling: "a third area of future research is
+dealing with failures, both towards developing a computational model as
+well as efficient runtime support for the model" (§6), and names high
+availability a requirement "outside the scope of this paper" (§2).
+
+This module supplies the storage half of that story: a container's
+durable state — its identity, GC watermark, and live items — serializes
+to a self-describing byte blob and restores into a fresh container.
+Restore semantics follow recovery convention:
+
+* **channels** restore exactly: live items keep their timestamps, the
+  watermark and holes are preserved so single-use timestamp rules
+  survive the crash;
+* **queues** restore with *redelivery*: items that had been dequeued but
+  not consumed go back on the queue (their consumer may have died mid
+  item — at-least-once is the only safe default);
+* connections are *not* checkpointed: consumers re-attach on recovery,
+  exactly as end devices rejoin through the name server.
+
+Item payloads travel through the container's serializer handler when one
+is installed, else through the named codec — the same rule as crossing
+an address space, because a checkpoint is a crossing into the future.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.channel import Channel
+from repro.core.item import Item, ItemState
+from repro.core.squeue import SQueue
+from repro.errors import DecodeError, EncodeError
+from repro.marshal import get_codec
+from repro.marshal.xdr import XdrDecoder, XdrEncoder
+
+_MAGIC = b"CKPT"
+_VERSION = 1
+
+AnyContainer = Union[Channel, SQueue]
+
+
+def checkpoint(container: AnyContainer, codec: str = "xdr") -> bytes:
+    """Serialize *container*'s durable state.
+
+    :raises EncodeError: an item payload is outside the codec domain and
+        no serializer handler is installed.
+    """
+    if isinstance(container, Channel):
+        return _checkpoint_channel(container, codec)
+    if isinstance(container, SQueue):
+        return _checkpoint_queue(container, codec)
+    raise EncodeError(
+        f"cannot checkpoint a {type(container).__name__}"
+    )
+
+
+def restore(data: bytes, name: Optional[str] = None,
+            codec: str = "xdr",
+            deserializer=None) -> AnyContainer:
+    """Rebuild a container from :func:`checkpoint` output.
+
+    *name* overrides the stored name (restoring next to a survivor).
+    *deserializer* must be supplied when the original container used a
+    serializer handler — handlers are code and cannot ride inside the
+    checkpoint.
+
+    :raises DecodeError: malformed or version-skewed checkpoint.
+    """
+    dec = XdrDecoder(data)
+    magic = dec.unpack_opaque_fixed(4)
+    if magic != _MAGIC:
+        raise DecodeError(f"bad checkpoint magic {magic!r}")
+    version = dec.unpack_uint()
+    if version != _VERSION:
+        raise DecodeError(f"unsupported checkpoint version {version}")
+    kind = dec.unpack_string()
+    if kind == Channel.KIND:
+        return _restore_channel(dec, name, codec, deserializer)
+    if kind == SQueue.KIND:
+        return _restore_queue(dec, name, codec, deserializer)
+    raise DecodeError(f"unknown container kind {kind!r} in checkpoint")
+
+
+# ---------------------------------------------------------------------------
+# Encoding helpers
+# ---------------------------------------------------------------------------
+
+
+def _header(container: AnyContainer) -> XdrEncoder:
+    enc = XdrEncoder()
+    enc.pack_opaque_fixed(_MAGIC)
+    enc.pack_uint(_VERSION)
+    enc.pack_string(container.KIND)
+    enc.pack_string(container.name)
+    enc.pack_bool(container.capacity is not None)
+    enc.pack_uint(container.capacity or 0)
+    return enc
+
+
+def _encode_payload(container: AnyContainer, codec_name: str,
+                    value) -> bytes:
+    serializer = container.handlers.serializer
+    if serializer is not None:
+        return serializer(value)
+    return get_codec(codec_name).encode(value)
+
+
+def _decode_payload(codec_name: str, deserializer, data: bytes):
+    if deserializer is not None:
+        return deserializer(data)
+    return get_codec(codec_name).decode(data)
+
+
+def _pack_item(enc: XdrEncoder, container: AnyContainer,
+               codec_name: str, item: Item) -> None:
+    enc.pack_hyper(item.timestamp)
+    enc.pack_opaque(_encode_payload(container, codec_name, item.value))
+
+
+# ---------------------------------------------------------------------------
+# Channels
+# ---------------------------------------------------------------------------
+
+
+def _checkpoint_channel(channel: Channel, codec_name: str) -> bytes:
+    with channel._lock:
+        enc = _header(channel)
+        enc.pack_string(channel.overflow)
+        enc.pack_hyper(channel._watermark)
+        enc.pack_array(sorted(channel._holes), enc.pack_hyper)
+        live = [item for item in channel._items.values()
+                if item.state is ItemState.LIVE]
+        enc.pack_uint(len(live))
+        for item in sorted(live, key=lambda i: i.timestamp):
+            _pack_item(enc, channel, codec_name, item)
+        return enc.getvalue()
+
+
+def _restore_channel(dec: XdrDecoder, name: Optional[str],
+                     codec_name: str, deserializer=None) -> Channel:
+    stored_name = dec.unpack_string()
+    bounded = dec.unpack_bool()
+    capacity = dec.unpack_uint()
+    overflow = dec.unpack_string()
+    watermark = dec.unpack_hyper()
+    holes = dec.unpack_array(dec.unpack_hyper)
+    channel = Channel(
+        name=name or stored_name,
+        capacity=capacity if bounded else None,
+        overflow=overflow,
+    )
+    channel._watermark = watermark
+    channel._holes = set(holes)
+    count = dec.unpack_uint()
+    if count > dec.remaining:
+        raise DecodeError(f"checkpoint claims {count} items but only "
+                          f"{dec.remaining} bytes remain")
+    for _ in range(count):
+        timestamp = dec.unpack_hyper()
+        payload = dec.unpack_opaque()
+        value = _decode_payload(codec_name, deserializer, payload)
+        channel._items[timestamp] = Item(timestamp, value,
+                                         size=len(payload))
+    dec.done()
+    return channel
+
+
+# ---------------------------------------------------------------------------
+# Queues
+# ---------------------------------------------------------------------------
+
+
+def _checkpoint_queue(queue: SQueue, codec_name: str) -> bytes:
+    with queue._lock:
+        enc = _header(queue)
+        enc.pack_bool(queue.auto_consume)
+        # Redelivery: pending (dequeued, unconsumed) items are written
+        # *ahead of* the queued ones — they were earlier in FIFO order.
+        pending = [item for _, item in queue._pending.values()]
+        queued = list(queue._fifo)
+        enc.pack_uint(len(pending) + len(queued))
+        for item in pending + queued:
+            _pack_item(enc, queue, codec_name, item)
+        return enc.getvalue()
+
+
+def _restore_queue(dec: XdrDecoder, name: Optional[str],
+                   codec_name: str, deserializer=None) -> SQueue:
+    stored_name = dec.unpack_string()
+    bounded = dec.unpack_bool()
+    capacity = dec.unpack_uint()
+    auto_consume = dec.unpack_bool()
+    queue = SQueue(
+        name=name or stored_name,
+        capacity=capacity if bounded else None,
+        auto_consume=auto_consume,
+    )
+    count = dec.unpack_uint()
+    if count > dec.remaining:
+        raise DecodeError(f"checkpoint claims {count} items but only "
+                          f"{dec.remaining} bytes remain")
+    for _ in range(count):
+        timestamp = dec.unpack_hyper()
+        payload = dec.unpack_opaque()
+        value = _decode_payload(codec_name, deserializer, payload)
+        item = Item(timestamp, value, size=len(payload))
+        queue._fifo.append(item)
+    dec.done()
+    return queue

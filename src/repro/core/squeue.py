@@ -1,0 +1,278 @@
+"""Queues: FIFO-access shared containers for stream data.
+
+"A queue, as the name suggests, allows FIFO access to items contained in
+it.  The queue abstraction is primarily designed to exploit any data
+parallelism in an application" (§3.1): a splitter puts frame-fragments —
+all carrying the *same* timestamp — into a queue, a pool of worker threads
+each dequeue one fragment, and a joiner stitches the analyzed outputs back
+together (Figure 3).
+
+Semantics that differ from channels:
+
+* timestamps need **not** be unique — fragments of one frame share one;
+* ``get`` *removes* the front item (each item is delivered to exactly one
+  getter — that is what makes the worker pool a work-sharing construct);
+* a dequeued item is still accounted to the queue until the consumer calls
+  ``consume(ts)`` (or the queue was created with ``auto_consume=True``),
+  at which point the reclaim handlers run.
+
+The class is named ``SQueue`` ("Stampede queue") to avoid clashing with
+:mod:`queue` in the standard library.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.core.connection import Connection
+from repro.core.container import Container
+from repro.core.item import Item, ItemState
+from repro.core.timestamps import (
+    OLDEST,
+    Timestamp,
+    VirtualTime,
+    is_marker,
+    validate_timestamp,
+)
+from repro.util import trace as tracepoints
+from repro.util.trace import trace
+from repro.errors import (
+    BadTimestampError,
+    ChannelFullError,
+    ItemNotFoundError,
+)
+
+
+class SQueue(Container):
+    """A space-time memory queue.
+
+    Parameters
+    ----------
+    name, capacity:
+        As for :class:`~repro.core.container.Container`.  Capacity counts
+        queued *plus* dequeued-but-unconsumed items, since both hold memory.
+    auto_consume:
+        If true, ``get`` immediately consumes the item it returns — the
+        common case for workers that copy what they need out of the
+        fragment before processing.
+    """
+
+    KIND = "queue"
+
+    def __init__(self, name: Optional[str] = None,
+                 capacity: Optional[int] = None,
+                 auto_consume: bool = False) -> None:
+        super().__init__(name=name, capacity=capacity)
+        self.auto_consume = auto_consume
+        self._fifo: Deque[Item] = deque()
+        #: Dequeued, not-yet-consumed items: seq -> (connection_id, item).
+        self._pending: Dict[int, Tuple[int, Item]] = {}
+        self._seq = itertools.count(1)
+        self._pending_seq_by_item: Dict[int, int] = {}
+
+    # -- put ---------------------------------------------------------------------
+
+    def put(self, connection: Connection, timestamp: Timestamp, value: Any,
+            size: Optional[int] = None, block: bool = True,
+            timeout: Optional[float] = None) -> None:
+        """Append *value* with *timestamp* to the back of the queue."""
+        validate_timestamp(timestamp)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            self._check_connection(connection)
+            while self.capacity is not None and self._held() >= self.capacity:
+                if not block:
+                    raise ChannelFullError(
+                        f"queue {self.name!r} is full ({self.capacity} items)"
+                    )
+                if not self._wait(self._not_full, deadline):
+                    raise ChannelFullError(
+                        f"timed out waiting for space in queue {self.name!r}"
+                    )
+                self._check_connection(connection)
+            item = Item(timestamp, value, size=size,
+                        put_time=time.monotonic())
+            self._fifo.append(item)
+            self._record_put(item.size)
+            trace(tracepoints.PUT, self.name, ts=timestamp,
+                  size=item.size)
+            self._not_empty.notify_all()
+
+    def _held(self) -> int:
+        return len(self._fifo) + len(self._pending)
+
+    # -- get ---------------------------------------------------------------------
+
+    def get(self, connection: Connection, timestamp: VirtualTime = OLDEST,
+            block: bool = True,
+            timeout: Optional[float] = None) -> Tuple[Timestamp, Any]:
+        """Dequeue the front item this connection will accept.
+
+        The *timestamp* argument exists for API uniformity with channels
+        and must be :data:`~repro.core.timestamps.OLDEST`; a queue cannot
+        be randomly accessed.
+
+        :raises BadTimestampError: a concrete timestamp (or ``NEWEST``) was
+            requested.
+        :raises ItemNotFoundError: queue empty (after filtering) and
+            ``block=False`` or timeout expired.
+        """
+        if not (is_marker(timestamp) and timestamp is OLDEST):
+            raise BadTimestampError(
+                "queues are FIFO: get() only accepts OLDEST"
+            )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            self._check_connection(connection)
+            while True:
+                item = self._first_acceptable(connection)
+                if item is not None:
+                    self._fifo.remove(item)
+                    self._gets += 1
+                    if self.auto_consume:
+                        self._reclaim(item)
+                        self._not_full.notify_all()
+                    else:
+                        item.dequeued_by = connection.connection_id
+                        seq = next(self._seq)
+                        self._pending[seq] = (connection.connection_id, item)
+                        self._pending_seq_by_item[id(item)] = seq
+                    return item.timestamp, item.value
+                if not block:
+                    raise ItemNotFoundError(
+                        f"queue {self.name!r} has no acceptable item"
+                    )
+                if not self._wait(self._not_empty, deadline):
+                    raise ItemNotFoundError(
+                        f"timed out waiting on queue {self.name!r}"
+                    )
+                self._check_connection(connection)
+
+    def _first_acceptable(self, connection: Connection) -> Optional[Item]:
+        """First queued item passing the connection's selective attention.
+
+        Items the connection filters out are *skipped, not removed* — they
+        remain available to sibling workers with different filters.
+        """
+        for item in self._fifo:
+            if connection.wants(item.timestamp, item.value):
+                return item
+        return None
+
+    # -- consume / GC ------------------------------------------------------------
+
+    def consume(self, connection: Connection, timestamp: Timestamp) -> None:
+        """Reclaim every item this connection dequeued at *timestamp*."""
+        validate_timestamp(timestamp)
+        with self._lock:
+            self._check_connection(connection)
+            self._consumes += 1
+            self._consume_pending(
+                lambda cid, item: cid == connection.connection_id
+                and item.timestamp == timestamp
+            )
+
+    def consume_until(self, connection: Connection,
+                      timestamp: Timestamp) -> None:
+        """Reclaim this connection's dequeued items below *timestamp* and
+        raise its interest floor (future queued items below the floor are
+        skipped for this connection and collectable once no one wants them).
+        """
+        validate_timestamp(timestamp)
+        with self._lock:
+            self._check_connection(connection)
+            self._consumes += 1
+            connection._advance_floor(timestamp)
+            self._consume_pending(
+                lambda cid, item: cid == connection.connection_id
+                and item.timestamp < timestamp
+            )
+            self._sweep_queued()
+
+    def _consume_pending(self, predicate: Any) -> None:
+        reclaimed = False
+        for seq, (cid, item) in list(self._pending.items()):
+            if predicate(cid, item):
+                del self._pending[seq]
+                self._pending_seq_by_item.pop(id(item), None)
+                self._reclaim(item)
+                reclaimed = True
+        if reclaimed:
+            self._not_full.notify_all()
+
+    def collect_garbage(self) -> Tuple[int, int]:
+        """Reclaim queued items no attached input connection will accept."""
+        with self._lock:
+            return self._sweep_queued()
+
+    def _sweep_queued(self) -> Tuple[int, int]:
+        inputs = self.input_connections()
+        if not inputs:
+            return 0, 0
+        dead: List[Item] = [
+            item for item in self._fifo
+            if not any(c.wants(item.timestamp, item.value) for c in inputs)
+        ]
+        items = 0
+        bytes_ = 0
+        for item in dead:
+            self._fifo.remove(item)
+            self._reclaim(item)
+            items += 1
+            bytes_ += item.size
+        if items:
+            self._not_full.notify_all()
+        return items, bytes_
+
+    def _reclaim(self, item: Item) -> None:
+        item.state = ItemState.GARBAGE
+        self._reclaimed += 1
+        trace(tracepoints.RECLAIM, self.name, ts=item.timestamp,
+              size=item.size)
+        errors = self.handlers.run_reclaim(item.timestamp, item.value)
+        item.state = ItemState.RECLAIMED
+        if errors:
+            from repro.util.logging import get_logger
+
+            log = get_logger("core.squeue")
+            for exc in errors:
+                log.warning(
+                    "reclaim handler for %s ts=%d raised: %r",
+                    self.name, item.timestamp, exc,
+                )
+
+    # -- introspection -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of queued (not yet dequeued) items."""
+        with self._lock:
+            return len(self._fifo)
+
+    @property
+    def pending_count(self) -> int:
+        """Dequeued-but-unconsumed items."""
+        with self._lock:
+            return len(self._pending)
+
+    def queued_timestamps(self) -> List[Timestamp]:
+        """Timestamps of queued items, FIFO order."""
+        with self._lock:
+            return [item.timestamp for item in self._fifo]
+
+    def _live_footprint(self) -> Tuple[int, int]:
+        queued = list(self._fifo) + [i for _, i in self._pending.values()]
+        return len(queued), sum(i.size for i in queued)
+
+    # -- internals -------------------------------------------------------------------
+
+    def _wait(self, condition: Any, deadline: Optional[float]) -> bool:
+        if deadline is None:
+            condition.wait()
+            return True
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return False
+        return condition.wait(remaining)

@@ -1,0 +1,136 @@
+"""Stampede threads.
+
+"Stampede threads are POSIX-like and can be created in different
+protection domains (address spaces) for memory isolation purposes" (§3.1).
+Python threads stand in for POSIX threads; protection domains are modelled
+by :class:`~repro.runtime.address_space.AddressSpace`, whose spawn API
+produces these wrappers tagged with their home space.
+
+The wrapper adds what a distributed runtime needs beyond
+:class:`threading.Thread`: exception capture (a worker dying must surface
+at ``join``, not vanish into stderr), a result slot, and a uniform naming
+scheme used in logs and the name server.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable, Optional, Tuple
+
+from repro.errors import ThreadError
+
+_thread_ids = itertools.count(1)
+
+
+class StampedeThread:
+    """A joinable thread with captured result/exception.
+
+    Parameters
+    ----------
+    target:
+        The callable to run.
+    args, kwargs:
+        Passed through to *target*.
+    name:
+        Human-readable name; auto-generated when omitted.
+    address_space:
+        Name of the owning address space ("" for free-standing threads).
+    daemon:
+        Daemonise the underlying OS thread (default true: Stampede threads
+        serve continuous applications and die with the runtime).
+    """
+
+    def __init__(
+        self,
+        target: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[dict] = None,
+        name: Optional[str] = None,
+        address_space: str = "",
+        daemon: bool = True,
+    ) -> None:
+        self.thread_id = next(_thread_ids)
+        self.name = name if name else f"sthread-{self.thread_id}"
+        self.address_space = address_space
+        self._target = target
+        self._args = args
+        self._kwargs = kwargs or {}
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name=self.name, daemon=daemon
+        )
+        self._started = False
+
+    def _run(self) -> None:
+        try:
+            self._result = self._target(*self._args, **self._kwargs)
+        except BaseException as exc:  # noqa: BLE001 - captured for join()
+            self._exception = exc
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "StampedeThread":
+        """Start the underlying OS thread; returns self."""
+        if self._started:
+            raise ThreadError(f"thread {self.name!r} already started")
+        self._started = True
+        self._thread.start()
+        return self
+
+    def join(self, timeout: Optional[float] = None) -> Any:
+        """Join and return the target's result.
+
+        :raises ThreadError: the thread was never started, is still alive
+            after *timeout*, or its target raised (the original exception
+            is chained as ``__cause__``).
+        """
+        if not self._started:
+            raise ThreadError(f"thread {self.name!r} was never started")
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise ThreadError(
+                f"thread {self.name!r} did not finish within {timeout}s"
+            )
+        if self._exception is not None:
+            raise ThreadError(
+                f"thread {self.name!r} raised "
+                f"{type(self._exception).__name__}: {self._exception}"
+            ) from self._exception
+        return self._result
+
+    @property
+    def alive(self) -> bool:
+        """Whether the thread is currently running."""
+        return self._thread.is_alive()
+
+    @property
+    def failed(self) -> bool:
+        """True once the target has raised (thread finished abnormally)."""
+        return self._exception is not None
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The captured exception, if the target raised."""
+        return self._exception
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else ("new" if not self._started
+                                            else "done")
+        return (
+            f"<StampedeThread {self.name!r} space={self.address_space!r} "
+            f"{state}>"
+        )
+
+
+def spawn(target: Callable[..., Any], *args: Any,
+          name: Optional[str] = None, address_space: str = "",
+          **kwargs: Any) -> StampedeThread:
+    """Create *and start* a :class:`StampedeThread` running ``target(*args,
+    **kwargs)`` — the one-liner used throughout the examples."""
+    thread = StampedeThread(
+        target, args=args, kwargs=kwargs, name=name,
+        address_space=address_space,
+    )
+    return thread.start()

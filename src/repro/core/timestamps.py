@@ -1,0 +1,97 @@
+"""Timestamps and virtual-time markers.
+
+A timestamp in D-Stampede is an application-defined index — e.g. the frame
+number of a video stream — not a wall-clock reading (the paper is explicit:
+"the timestamp associated with an item is merely an indexing system ... and
+does not in itself have any direct connection with real time").
+
+Timestamps are non-negative integers.  Two *virtual-time markers*,
+:data:`NEWEST` and :data:`OLDEST`, may be passed to ``get`` calls to request
+the most recent / least recent item currently present instead of a specific
+index.  Markers are singletons and compare unequal to every integer.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import BadTimestampError
+
+#: Highest representable timestamp.  63-bit so it round-trips through the
+#: signed 64-bit fields of both wire formats.
+MAX_TIMESTAMP = 2**63 - 1
+
+Timestamp = int
+
+
+class _Marker:
+    """A named virtual-time singleton (NEWEST / OLDEST)."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __repr__(self) -> str:
+        return f"<VirtualTime {self._name}>"
+
+    def __reduce__(self):
+        # Pickle back to the module-level singleton so identity checks
+        # (``ts is NEWEST``) survive crossing address spaces.
+        return (_marker_by_name, (self._name,))
+
+    @property
+    def name(self) -> str:
+        """The marker's name (NEWEST or OLDEST)."""
+        return self._name
+
+
+#: Request the item with the greatest timestamp currently in the container.
+NEWEST = _Marker("NEWEST")
+
+#: Request the item with the smallest timestamp currently in the container.
+OLDEST = _Marker("OLDEST")
+
+_MARKERS = {"NEWEST": NEWEST, "OLDEST": OLDEST}
+
+
+def _marker_by_name(name: str) -> _Marker:
+    return _MARKERS[name]
+
+
+#: A concrete timestamp or one of the two markers.
+VirtualTime = Union[Timestamp, _Marker]
+
+
+def is_marker(value: object) -> bool:
+    """True if *value* is one of the virtual-time markers."""
+    return value is NEWEST or value is OLDEST
+
+
+def is_valid_timestamp(value: object) -> bool:
+    """True if *value* is a concrete, in-range timestamp.
+
+    Booleans are rejected even though ``bool`` subclasses ``int``: a ``True``
+    timestamp is almost certainly a bug at the call site.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        return False
+    return 0 <= value <= MAX_TIMESTAMP
+
+
+def validate_timestamp(value: object) -> Timestamp:
+    """Return *value* if it is a valid timestamp, else raise.
+
+    :raises BadTimestampError: if *value* is not a non-negative integer
+        within the 63-bit range.
+    """
+    if not is_valid_timestamp(value):
+        raise BadTimestampError(f"invalid timestamp: {value!r}")
+    return value  # type: ignore[return-value]
+
+
+def validate_virtual_time(value: object) -> VirtualTime:
+    """Return *value* if it is a timestamp or marker, else raise."""
+    if is_marker(value):
+        return value  # type: ignore[return-value]
+    return validate_timestamp(value)

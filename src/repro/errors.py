@@ -1,0 +1,181 @@
+"""Exception hierarchy for the D-Stampede reproduction.
+
+Every error raised by the public API derives from :class:`StampedeError`,
+so callers can catch one base class at an application boundary.  The
+sub-hierarchy mirrors the major subsystems: space-time memory, transport,
+runtime/nameserver, marshalling, and real-time synchrony.
+
+The original system reported errors through C return codes (see the
+``api.h`` header referenced in the paper).  A Python reproduction is better
+served by exceptions; the mapping is one class per return-code family.
+"""
+
+from __future__ import annotations
+
+
+class StampedeError(Exception):
+    """Base class for all D-Stampede errors."""
+
+
+# ---------------------------------------------------------------------------
+# Space-time memory errors
+# ---------------------------------------------------------------------------
+
+
+class SpaceTimeError(StampedeError):
+    """Base class for channel/queue (space-time memory) errors."""
+
+
+class BadTimestampError(SpaceTimeError):
+    """A timestamp is malformed or outside the representable range."""
+
+
+class ItemNotFoundError(SpaceTimeError):
+    """A requested timestamp has no item and the call was non-blocking."""
+
+
+class ItemGarbageCollectedError(SpaceTimeError):
+    """The requested timestamp existed but has already been reclaimed."""
+
+
+class DuplicateTimestampError(SpaceTimeError):
+    """A put used a timestamp that already holds an item in the channel."""
+
+
+class ChannelFullError(SpaceTimeError):
+    """A bounded channel/queue has no free slot and the put was non-blocking."""
+
+
+class ConnectionModeError(SpaceTimeError):
+    """An I/O call was made on a connection attached with the wrong mode."""
+
+
+class ConnectionClosedError(SpaceTimeError):
+    """The connection (or its container) was detached or destroyed."""
+
+
+class ContainerDestroyedError(SpaceTimeError):
+    """The channel or queue backing this handle has been destroyed."""
+
+
+# ---------------------------------------------------------------------------
+# Runtime / naming errors
+# ---------------------------------------------------------------------------
+
+
+class RuntimeStateError(StampedeError):
+    """The runtime is not in a state that permits the requested operation."""
+
+
+class AddressSpaceError(StampedeError):
+    """An address-space id is unknown or the space has terminated."""
+
+
+class NameServerError(StampedeError):
+    """Base class for name-server failures."""
+
+
+class NameAlreadyBoundError(NameServerError):
+    """Registration attempted for a name that is already bound."""
+
+
+class NameNotBoundError(NameServerError):
+    """Lookup of a name that has no binding."""
+
+
+class ThreadError(StampedeError):
+    """Stampede thread creation/join failures."""
+
+
+# ---------------------------------------------------------------------------
+# Transport errors
+# ---------------------------------------------------------------------------
+
+
+class TransportError(StampedeError):
+    """Base class for messaging-layer failures."""
+
+
+class TransportClosedError(TransportError):
+    """The endpoint has been closed."""
+
+
+class MessageTooLargeError(TransportError):
+    """A datagram exceeds the maximum size the transport permits."""
+
+
+class DeliveryTimeoutError(TransportError):
+    """A reliable transport gave up retransmitting a packet."""
+
+
+class FramingError(TransportError):
+    """A malformed frame was received on a stream transport."""
+
+
+class RpcError(TransportError):
+    """An RPC-level failure (bad method, remote exception, protocol skew)."""
+
+
+class RemoteExecutionError(RpcError):
+    """The remote side raised while executing an RPC on our behalf.
+
+    The original exception's type name and message are preserved in
+    :attr:`remote_type` and the error string.
+    """
+
+    def __init__(self, remote_type: str, message: str) -> None:
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+
+
+# ---------------------------------------------------------------------------
+# Marshalling errors
+# ---------------------------------------------------------------------------
+
+
+class MarshalError(StampedeError):
+    """Base class for wire-format encode/decode failures."""
+
+
+class EncodeError(MarshalError):
+    """A value cannot be represented in the selected wire format."""
+
+
+class DecodeError(MarshalError):
+    """Received bytes do not decode under the selected wire format."""
+
+
+# ---------------------------------------------------------------------------
+# Real-time synchrony errors
+# ---------------------------------------------------------------------------
+
+
+class SynchronyError(StampedeError):
+    """Base class for real-time synchrony failures."""
+
+
+class SlipError(SynchronyError):
+    """A thread missed its real-time tick by more than the tolerance and no
+    slip handler was registered to absorb the miss."""
+
+    def __init__(self, tick: int, lateness: float, tolerance: float) -> None:
+        super().__init__(
+            f"tick {tick} missed by {lateness:.6f}s "
+            f"(tolerance {tolerance:.6f}s)"
+        )
+        self.tick = tick
+        self.lateness = lateness
+        self.tolerance = tolerance
+
+
+# ---------------------------------------------------------------------------
+# Simulation errors
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(StampedeError):
+    """Base class for discrete-event simulator misuse."""
+
+
+class SimTimeError(SimulationError):
+    """An event was scheduled in the past or simulated time ran backwards."""

@@ -1,0 +1,35 @@
+"""Wire formats for data crossing address spaces.
+
+The original system shipped arguments between end devices and the cluster
+in two representations: the C client library used XDR, while "the Java
+client library uses our own data representation to perform the marshalling
+and unmarshalling of the arguments" (§3.2.1).  Result 2 of the evaluation
+attributes the C/Java performance gap to exactly this difference — XDR
+marshalling is "mostly pointer manipulation, while in Java they involve
+construction of objects".
+
+We implement both: :class:`~repro.marshal.xdr.XdrCodec` (an RFC 1832
+subset made self-describing with a discriminant tag) and
+:class:`~repro.marshal.jdr.JdrCodec` (a Java-serialization-style format
+that really does build an object graph on both encode and decode, so the
+cost asymmetry is reproduced rather than faked).
+"""
+
+from repro.marshal.codec import Codec, available_codecs, get_codec, register_codec
+from repro.marshal.xdr import XdrCodec, XdrDecoder, XdrEncoder
+from repro.marshal.jdr import JdrCodec
+
+# The two personalities the paper ships are always available by name.
+register_codec(XdrCodec(), replace=True)
+register_codec(JdrCodec(), replace=True)
+
+__all__ = [
+    "Codec",
+    "JdrCodec",
+    "XdrCodec",
+    "XdrDecoder",
+    "XdrEncoder",
+    "available_codecs",
+    "get_codec",
+    "register_codec",
+]

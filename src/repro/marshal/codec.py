@@ -1,0 +1,102 @@
+"""Codec interface and registry.
+
+A codec turns a Python value into bytes and back.  The supported value
+domain (shared by every codec so applications can mix clients freely, as
+the paper's C+Java applications do) is:
+
+``None``, ``bool``, ``int`` (64-bit signed), ``float``, ``str``,
+``bytes``/``bytearray``, ``list``/``tuple`` (decoded as list), and ``dict``
+with ``str`` keys.
+
+Containers may nest arbitrarily.  Values outside the domain raise
+:class:`~repro.errors.EncodeError` — the application should install a
+channel serializer handler for exotic types (§3.1 "Handler Functions").
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, List
+
+from repro.errors import EncodeError
+
+
+class Codec(abc.ABC):
+    """Abstract wire format."""
+
+    #: Registry key and wire-negotiation identifier.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def encode(self, value: Any) -> bytes:
+        """Serialize *value*; raises :class:`EncodeError` out of domain."""
+
+    @abc.abstractmethod
+    def decode(self, data: bytes) -> Any:
+        """Deserialize; raises :class:`~repro.errors.DecodeError` on bad
+        input.  Total: every ``encode`` output decodes to an equal value
+        (tuples come back as lists)."""
+
+
+_REGISTRY: Dict[str, Codec] = {}
+
+
+def register_codec(codec: Codec, replace: bool = False) -> None:
+    """Register *codec* under ``codec.name``.
+
+    :raises ValueError: the name is taken and ``replace`` is false.
+    """
+    if not replace and codec.name in _REGISTRY:
+        raise ValueError(f"codec {codec.name!r} already registered")
+    _REGISTRY[codec.name] = codec
+
+
+def get_codec(name: str) -> Codec:
+    """Look up a codec by name.
+
+    :raises KeyError: unknown codec.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown codec {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_codecs() -> List[str]:
+    """Sorted names of the registered codecs."""
+    return sorted(_REGISTRY)
+
+
+def check_in_domain(value: Any, depth: int = 0) -> None:
+    """Validate *value* against the shared codec domain.
+
+    Depth-limited to reject cyclic structures with a clear error instead
+    of a recursion crash deep inside an encoder.
+    """
+    if depth > 64:
+        raise EncodeError("value nests deeper than 64 levels (cycle?)")
+    if value is None or isinstance(value, (bool, float, str, bytes,
+                                           bytearray)):
+        return
+    if isinstance(value, int):
+        if not -(2**63) <= value < 2**63:
+            raise EncodeError(f"integer {value} exceeds 64-bit range")
+        return
+    if isinstance(value, (list, tuple)):
+        for member in value:
+            check_in_domain(member, depth + 1)
+        return
+    if isinstance(value, dict):
+        for key, member in value.items():
+            if not isinstance(key, str):
+                raise EncodeError(
+                    f"dict keys must be str, got {type(key).__name__}"
+                )
+            check_in_domain(member, depth + 1)
+        return
+    raise EncodeError(
+        f"type {type(value).__name__} is outside the codec domain; "
+        f"install a serializer handler on the container"
+    )

@@ -1,0 +1,248 @@
+"""JDR: the Java client's object-style wire format.
+
+The Java client library of the original system "uses our own data
+representation to perform the marshalling and unmarshalling of the
+arguments" (§3.2.1), and Result 2 explains why it is slower than the C
+path: "in C marshalling and unmarshalling arguments involve mostly pointer
+manipulation, while in Java they involve construction of objects".
+
+To reproduce that cost structure honestly rather than with a sleep, this
+codec works the way ``ObjectOutputStream`` does:
+
+* every value is first *boxed* into a node object
+  (:class:`JBox`) forming an explicit object graph;
+* the graph is then walked and written with per-object **class
+  descriptors** — the first occurrence of a class writes its name, later
+  occurrences write a back-reference handle, exactly like Java's handle
+  table;
+* decoding rebuilds the box graph (constructing one wrapper object per
+  value, plus descriptor bookkeeping) before unboxing to plain values.
+
+The format is therefore genuinely more verbose and allocation-heavy than
+XDR, which is what Experiment 3 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.errors import DecodeError, EncodeError
+from repro.marshal.codec import Codec, check_in_domain
+from repro.util.bytesbuf import ByteReader, ByteWriter
+
+#: Stream magic + version, like Java's ``ACED 0005``.
+_MAGIC = 0x4A44
+_VERSION = 1
+
+#: Wire opcodes.
+_OP_NULL = 0x70
+_OP_OBJECT = 0x73
+_OP_CLASSDESC = 0x72
+_OP_CLASSREF = 0x71
+
+
+class JBox:
+    """A boxed value: one node of the intermediate object graph.
+
+    ``class_name`` mirrors the Java wrapper class that would be
+    constructed (``java.lang.Long`` etc.); ``fields`` holds child boxes
+    for container types.
+    """
+
+    __slots__ = ("class_name", "value", "fields")
+
+    def __init__(self, class_name: str, value: Any = None,
+                 fields: "List[JBox]" = None) -> None:  # type: ignore[assignment]
+        self.class_name = class_name
+        self.value = value
+        self.fields = fields if fields is not None else []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<JBox {self.class_name} value={self.value!r}>"
+
+
+_CLASS_BOOL = "java.lang.Boolean"
+_CLASS_LONG = "java.lang.Long"
+_CLASS_DOUBLE = "java.lang.Double"
+_CLASS_STRING = "java.lang.String"
+_CLASS_BYTES = "[B"
+_CLASS_LIST = "java.util.ArrayList"
+_CLASS_MAP = "java.util.HashMap"
+_CLASS_ENTRY = "java.util.MapEntry"
+
+
+def box(value: Any) -> JBox:
+    """Box a domain value into the intermediate object graph."""
+    if value is None:
+        return JBox("null")
+    if isinstance(value, bool):
+        return JBox(_CLASS_BOOL, value)
+    if isinstance(value, int):
+        return JBox(_CLASS_LONG, value)
+    if isinstance(value, float):
+        return JBox(_CLASS_DOUBLE, value)
+    if isinstance(value, str):
+        return JBox(_CLASS_STRING, value)
+    if isinstance(value, (bytes, bytearray)):
+        return JBox(_CLASS_BYTES, bytes(value))
+    if isinstance(value, (list, tuple)):
+        return JBox(_CLASS_LIST, None, [box(v) for v in value])
+    if isinstance(value, dict):
+        entries = [
+            JBox(_CLASS_ENTRY, None, [box(k), box(v)])
+            for k, v in value.items()
+        ]
+        return JBox(_CLASS_MAP, None, entries)
+    raise EncodeError(f"type {type(value).__name__} outside codec domain")
+
+
+def unbox(node: JBox) -> Any:
+    """Collapse a box graph back to plain values."""
+    name = node.class_name
+    if name == "null":
+        return None
+    if name in (_CLASS_BOOL, _CLASS_LONG, _CLASS_DOUBLE, _CLASS_STRING,
+                _CLASS_BYTES):
+        return node.value
+    if name == _CLASS_LIST:
+        return [unbox(child) for child in node.fields]
+    if name == _CLASS_MAP:
+        result: Dict[str, Any] = {}
+        for entry in node.fields:
+            key = unbox(entry.fields[0])
+            result[key] = unbox(entry.fields[1])
+        return result
+    raise DecodeError(f"unknown boxed class {name!r}")
+
+
+class JdrCodec(Codec):
+    """Java-style object serialization for the shared codec domain."""
+
+    name = "jdr"
+
+    # -- encode -------------------------------------------------------------
+
+    def encode(self, value: Any) -> bytes:
+        """Box *value* into an object graph and serialize it."""
+        check_in_domain(value)
+        graph = box(value)  # object-construction pass (the Java cost)
+        writer = ByteWriter()
+        writer.write_u16(_MAGIC)
+        writer.write_u16(_VERSION)
+        handles: Dict[str, int] = {}
+        self._write_node(writer, graph, handles)
+        return writer.getvalue()
+
+    def _write_node(self, writer: ByteWriter, node: JBox,
+                    handles: Dict[str, int]) -> None:
+        if node.class_name == "null":
+            writer.write_u8(_OP_NULL)
+            return
+        writer.write_u8(_OP_OBJECT)
+        self._write_classdesc(writer, node.class_name, handles)
+        name = node.class_name
+        if name == _CLASS_BOOL:
+            writer.write_u8(1 if node.value else 0)
+        elif name == _CLASS_LONG:
+            writer.write_i64(node.value)
+        elif name == _CLASS_DOUBLE:
+            writer.write_f64(node.value)
+        elif name == _CLASS_STRING:
+            data = node.value.encode("utf-8")
+            writer.write_u32(len(data))
+            writer.write_bytes(data)
+        elif name == _CLASS_BYTES:
+            writer.write_u32(len(node.value))
+            writer.write_bytes(node.value)
+        elif name in (_CLASS_LIST, _CLASS_MAP, _CLASS_ENTRY):
+            writer.write_u32(len(node.fields))
+            for child in node.fields:
+                self._write_node(writer, child, handles)
+        else:  # pragma: no cover - box() emits only known classes
+            raise EncodeError(f"unknown class {name!r}")
+
+    def _write_classdesc(self, writer: ByteWriter, class_name: str,
+                         handles: Dict[str, int]) -> None:
+        """First mention: full descriptor; afterwards: handle reference."""
+        handle = handles.get(class_name)
+        if handle is not None:
+            writer.write_u8(_OP_CLASSREF)
+            writer.write_u16(handle)
+            return
+        handles[class_name] = len(handles)
+        writer.write_u8(_OP_CLASSDESC)
+        data = class_name.encode("utf-8")
+        writer.write_u16(len(data))
+        writer.write_bytes(data)
+
+    # -- decode -------------------------------------------------------------
+
+    def decode(self, data: bytes) -> Any:
+        """Rebuild the object graph from *data* and unbox it."""
+        reader = ByteReader(data)
+        if reader.read_u16() != _MAGIC:
+            raise DecodeError("bad JDR stream magic")
+        version = reader.read_u16()
+        if version != _VERSION:
+            raise DecodeError(f"unsupported JDR version {version}")
+        handles: List[str] = []
+        graph = self._read_node(reader, handles)
+        reader.expect_exhausted()
+        return unbox(graph)
+
+    def _read_node(self, reader: ByteReader, handles: List[str]) -> JBox:
+        op = reader.read_u8()
+        if op == _OP_NULL:
+            return JBox("null")
+        if op != _OP_OBJECT:
+            raise DecodeError(f"expected object opcode, got 0x{op:02x}")
+        class_name = self._read_classdesc(reader, handles)
+        if class_name == _CLASS_BOOL:
+            raw = reader.read_u8()
+            if raw not in (0, 1):
+                raise DecodeError(f"bad boolean byte 0x{raw:02x}")
+            return JBox(class_name, bool(raw))
+        if class_name == _CLASS_LONG:
+            return JBox(class_name, reader.read_i64())
+        if class_name == _CLASS_DOUBLE:
+            return JBox(class_name, reader.read_f64())
+        if class_name == _CLASS_STRING:
+            length = reader.read_u32()
+            try:
+                text = reader.read_bytes(length).decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise DecodeError(f"invalid UTF-8 string: {exc}") from exc
+            return JBox(class_name, text)
+        if class_name == _CLASS_BYTES:
+            length = reader.read_u32()
+            return JBox(class_name, reader.read_bytes(length))
+        if class_name in (_CLASS_LIST, _CLASS_MAP, _CLASS_ENTRY):
+            count = reader.read_u32()
+            if count > reader.remaining:
+                raise DecodeError(
+                    f"container count {count} exceeds remaining buffer"
+                )
+            fields = [self._read_node(reader, handles)
+                      for _ in range(count)]
+            if class_name == _CLASS_ENTRY and len(fields) != 2:
+                raise DecodeError("map entry must have exactly two fields")
+            return JBox(class_name, None, fields)
+        raise DecodeError(f"unknown class descriptor {class_name!r}")
+
+    def _read_classdesc(self, reader: ByteReader,
+                        handles: List[str]) -> str:
+        op = reader.read_u8()
+        if op == _OP_CLASSREF:
+            handle = reader.read_u16()
+            if handle >= len(handles):
+                raise DecodeError(f"dangling class handle {handle}")
+            return handles[handle]
+        if op != _OP_CLASSDESC:
+            raise DecodeError(f"expected class descriptor, got 0x{op:02x}")
+        length = reader.read_u16()
+        try:
+            class_name = reader.read_bytes(length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise DecodeError(f"invalid UTF-8 class name: {exc}") from exc
+        handles.append(class_name)
+        return class_name

@@ -1,0 +1,267 @@
+"""XDR: External Data Representation (RFC 1832 subset).
+
+The C client library of the original system marshals API arguments with
+XDR (§3.2.1).  This module provides the XDR primitive encoders — all
+quantities big-endian, every item padded to a multiple of four bytes —
+plus a self-describing generic codec layered on an XDR discriminated
+union, so arbitrary domain values can travel without a compiled schema.
+
+The primitive layer (:class:`XdrEncoder` / :class:`XdrDecoder`) is exactly
+what an ``rpcgen``-style stub would use and is used directly by the RPC
+layer for fixed message headers; the tagged layer (:class:`XdrCodec`) is
+used for item payloads whose shape only the application knows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.errors import DecodeError, EncodeError
+from repro.marshal.codec import Codec, check_in_domain
+from repro.util.bytesbuf import ByteReader, ByteWriter
+
+_PAD = 4
+
+
+class XdrEncoder:
+    """RFC 1832 primitive encoder."""
+
+    def __init__(self) -> None:
+        self._writer = ByteWriter()
+
+    def getvalue(self) -> bytes:
+        """The bytes encoded so far."""
+        return self._writer.getvalue()
+
+    def pack_int(self, value: int) -> None:
+        """Encode an XDR int."""
+        if not -(2**31) <= value < 2**31:
+            raise EncodeError(f"int {value} out of 32-bit range")
+        self._writer.write_i32(value)
+
+    def pack_uint(self, value: int) -> None:
+        """Encode an XDR uint."""
+        if not 0 <= value < 2**32:
+            raise EncodeError(f"uint {value} out of range")
+        self._writer.write_u32(value)
+
+    def pack_hyper(self, value: int) -> None:
+        """Encode an XDR hyper."""
+        if not -(2**63) <= value < 2**63:
+            raise EncodeError(f"hyper {value} out of 64-bit range")
+        self._writer.write_i64(value)
+
+    def pack_uhyper(self, value: int) -> None:
+        """Encode an XDR uhyper."""
+        if not 0 <= value < 2**64:
+            raise EncodeError(f"uhyper {value} out of range")
+        self._writer.write_u64(value)
+
+    def pack_bool(self, value: bool) -> None:
+        """Encode an XDR bool."""
+        self._writer.write_u32(1 if value else 0)
+
+    def pack_float(self, value: float) -> None:
+        """Encode an XDR float."""
+        self._writer.write_f32(value)
+
+    def pack_double(self, value: float) -> None:
+        """Encode an XDR double."""
+        self._writer.write_f64(value)
+
+    def pack_opaque_fixed(self, data: bytes) -> None:
+        """Fixed-length opaque: no length prefix, padded to 4."""
+        self._writer.write_bytes(bytes(data))
+        self._writer.pad_to_multiple(_PAD)
+
+    def pack_opaque(self, data: bytes) -> None:
+        """Variable-length opaque: u32 length, data, padding."""
+        self.pack_uint(len(data))
+        self.pack_opaque_fixed(data)
+
+    def pack_string(self, value: str) -> None:
+        """Encode an XDR string."""
+        self.pack_opaque(value.encode("utf-8"))
+
+    def pack_array(self, items: List[Any],
+                   pack_item: Callable[[Any], None]) -> None:
+        """Variable-length array: u32 count then each element."""
+        self.pack_uint(len(items))
+        for item in items:
+            pack_item(item)
+
+
+class XdrDecoder:
+    """RFC 1832 primitive decoder with strict padding checks."""
+
+    def __init__(self, data: bytes) -> None:
+        self._reader = ByteReader(data)
+
+    @property
+    def remaining(self) -> int:
+        """Unread bytes left in the buffer."""
+        return self._reader.remaining
+
+    def done(self) -> None:
+        """Assert the buffer is fully consumed."""
+        self._reader.expect_exhausted()
+
+    def unpack_int(self) -> int:
+        """Decode an XDR int."""
+        return self._reader.read_i32()
+
+    def unpack_uint(self) -> int:
+        """Decode an XDR uint."""
+        return self._reader.read_u32()
+
+    def unpack_hyper(self) -> int:
+        """Decode an XDR hyper."""
+        return self._reader.read_i64()
+
+    def unpack_uhyper(self) -> int:
+        """Decode an XDR uhyper."""
+        return self._reader.read_u64()
+
+    def unpack_bool(self) -> bool:
+        """Decode an XDR bool."""
+        value = self._reader.read_u32()
+        if value not in (0, 1):
+            raise DecodeError(f"XDR bool must be 0 or 1, got {value}")
+        return bool(value)
+
+    def unpack_float(self) -> float:
+        """Decode an XDR float."""
+        return self._reader.read_f32()
+
+    def unpack_double(self) -> float:
+        """Decode an XDR double."""
+        return self._reader.read_f64()
+
+    def unpack_opaque_fixed(self, length: int) -> bytes:
+        """Decode an XDR opaque fixed."""
+        data = self._reader.read_bytes(length)
+        padding = (-length) % _PAD
+        pad = self._reader.read_bytes(padding)
+        if pad != b"\x00" * padding:
+            raise DecodeError("non-zero XDR padding")
+        return data
+
+    def unpack_opaque(self) -> bytes:
+        """Decode an XDR opaque."""
+        length = self.unpack_uint()
+        if length > self.remaining:
+            raise DecodeError(
+                f"opaque length {length} exceeds remaining "
+                f"{self.remaining} bytes"
+            )
+        return self.unpack_opaque_fixed(length)
+
+    def unpack_string(self) -> str:
+        """Decode an XDR string."""
+        try:
+            return self.unpack_opaque().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise DecodeError(f"invalid UTF-8 in XDR string: {exc}") from exc
+
+    def unpack_array(self, unpack_item: Callable[[], Any]) -> List[Any]:
+        """Decode an XDR array."""
+        count = self.unpack_uint()
+        if count > self.remaining:  # each element is >= 1 byte encoded
+            raise DecodeError(
+                f"array count {count} exceeds remaining buffer"
+            )
+        return [unpack_item() for _ in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Self-describing generic codec (XDR discriminated union)
+# ---------------------------------------------------------------------------
+
+_T_VOID = 0
+_T_BOOL = 1
+_T_HYPER = 2
+_T_DOUBLE = 3
+_T_STRING = 4
+_T_OPAQUE = 5
+_T_ARRAY = 6
+_T_STRUCT = 7  # dict with string keys
+
+
+class XdrCodec(Codec):
+    """Generic value codec: XDR union of the shared codec domain.
+
+    Encoding is direct buffer writes ("mostly pointer manipulation" in the
+    paper's words): no intermediate object graph is built.
+    """
+
+    name = "xdr"
+
+    def encode(self, value: Any) -> bytes:
+        """Encode a domain value as a self-describing XDR union."""
+        check_in_domain(value)
+        enc = XdrEncoder()
+        self._encode_value(enc, value)
+        return enc.getvalue()
+
+    def _encode_value(self, enc: XdrEncoder, value: Any) -> None:
+        if value is None:
+            enc.pack_uint(_T_VOID)
+        elif isinstance(value, bool):
+            enc.pack_uint(_T_BOOL)
+            enc.pack_bool(value)
+        elif isinstance(value, int):
+            enc.pack_uint(_T_HYPER)
+            enc.pack_hyper(value)
+        elif isinstance(value, float):
+            enc.pack_uint(_T_DOUBLE)
+            enc.pack_double(value)
+        elif isinstance(value, str):
+            enc.pack_uint(_T_STRING)
+            enc.pack_string(value)
+        elif isinstance(value, (bytes, bytearray)):
+            enc.pack_uint(_T_OPAQUE)
+            enc.pack_opaque(bytes(value))
+        elif isinstance(value, (list, tuple)):
+            enc.pack_uint(_T_ARRAY)
+            enc.pack_array(list(value),
+                           lambda v: self._encode_value(enc, v))
+        elif isinstance(value, dict):
+            enc.pack_uint(_T_STRUCT)
+            enc.pack_uint(len(value))
+            for key, member in value.items():
+                enc.pack_string(key)
+                self._encode_value(enc, member)
+        else:  # pragma: no cover - check_in_domain rejects earlier
+            raise EncodeError(f"unsupported type {type(value).__name__}")
+
+    def decode(self, data: bytes) -> Any:
+        """Decode a self-describing XDR union back to a value."""
+        dec = XdrDecoder(data)
+        value = self._decode_value(dec)
+        dec.done()
+        return value
+
+    def _decode_value(self, dec: XdrDecoder) -> Any:
+        tag = dec.unpack_uint()
+        if tag == _T_VOID:
+            return None
+        if tag == _T_BOOL:
+            return dec.unpack_bool()
+        if tag == _T_HYPER:
+            return dec.unpack_hyper()
+        if tag == _T_DOUBLE:
+            return dec.unpack_double()
+        if tag == _T_STRING:
+            return dec.unpack_string()
+        if tag == _T_OPAQUE:
+            return dec.unpack_opaque()
+        if tag == _T_ARRAY:
+            return dec.unpack_array(lambda: self._decode_value(dec))
+        if tag == _T_STRUCT:
+            count = dec.unpack_uint()
+            result: Dict[str, Any] = {}
+            for _ in range(count):
+                key = dec.unpack_string()
+                result[key] = self._decode_value(dec)
+            return result
+        raise DecodeError(f"unknown XDR union discriminant {tag}")

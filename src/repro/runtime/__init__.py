@@ -1,0 +1,31 @@
+"""The D-Stampede runtime: address spaces, naming, cluster server.
+
+Layering (bottom to top):
+
+* :mod:`.nameserver` — the registry that makes dynamic start/stop work;
+* :mod:`.address_space` — protection domains holding containers and
+  threads, each with its own garbage collector;
+* :mod:`.runtime` — an in-process cluster: several address spaces whose
+  cross-space traffic is forced through serialization (memory isolation);
+* :mod:`.ops` — the operation wire protocol shared by every remote path;
+* :mod:`.service` — executes decoded operations against a runtime;
+* :mod:`.surrogate` / :mod:`.server` — the cluster-side listener that
+  gives every end device a surrogate thread (§3.2.2);
+* :mod:`.api` — the uniform application-facing facade.
+"""
+
+from repro.runtime.nameserver import NameRecord, NameServer
+from repro.runtime.address_space import AddressSpace
+from repro.runtime.runtime import Runtime
+from repro.runtime.server import StampedeServer
+from repro.runtime.federation import ClusterBridge, FederatedRuntime
+
+__all__ = [
+    "AddressSpace",
+    "ClusterBridge",
+    "FederatedRuntime",
+    "NameRecord",
+    "NameServer",
+    "Runtime",
+    "StampedeServer",
+]

@@ -1,0 +1,160 @@
+"""Address spaces: the protection domains of a D-Stampede computation.
+
+"Stampede threads are POSIX-like and can be created in different
+protection domains (address spaces) for memory isolation purposes"
+(§3.1).  Here an address space is an in-process isolation domain: it owns
+the channels and queues created in it, the threads spawned in it, and a
+garbage collector sweeping its containers.
+
+Isolation is enforced at the runtime layer: a thread whose home space
+differs from a container's home space receives an
+:class:`~repro.runtime.runtime.IsolatedConnection` whose values are
+serialized across the boundary, never shared by reference — exactly the
+observable semantics of separate OS processes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.channel import Channel
+from repro.core.container import Container
+from repro.core.gc import GarbageCollector
+from repro.core.squeue import SQueue
+from repro.core.threads import StampedeThread
+from repro.errors import AddressSpaceError, NameAlreadyBoundError
+
+
+class AddressSpace:
+    """One protection domain.
+
+    Created by :meth:`repro.runtime.runtime.Runtime.create_address_space`;
+    direct construction is allowed for single-space tests.
+
+    Parameters
+    ----------
+    name:
+        Unique within the runtime.
+    gc_interval:
+        Sweep period of this space's garbage-collector daemon.
+    start_gc:
+        Start the daemon immediately (the runtime passes true).
+    """
+
+    def __init__(self, name: str, gc_interval: float = 0.05,
+                 start_gc: bool = False) -> None:
+        self.name = name
+        self.gc = GarbageCollector(interval=gc_interval, start=start_gc)
+        self._containers: Dict[str, Container] = {}
+        self._threads: List[StampedeThread] = []
+        self._lock = threading.Lock()
+        self._destroyed = False
+
+    # -- containers -----------------------------------------------------------
+
+    def create_channel(self, name: str, capacity: Optional[int] = None,
+                       overflow: str = Channel.OVERFLOW_BLOCK) -> Channel:
+        """Create a channel homed in this space and register it with GC."""
+        channel = Channel(name=name, capacity=capacity, overflow=overflow)
+        self._add_container(channel)
+        return channel
+
+    def create_queue(self, name: str, capacity: Optional[int] = None,
+                     auto_consume: bool = False) -> SQueue:
+        """Create a queue homed in this space and register it with GC."""
+        queue = SQueue(name=name, capacity=capacity,
+                       auto_consume=auto_consume)
+        self._add_container(queue)
+        return queue
+
+    def _add_container(self, container: Container) -> None:
+        with self._lock:
+            self._check_alive()
+            if container.name in self._containers:
+                container.destroy()
+                raise NameAlreadyBoundError(
+                    f"container {container.name!r} already exists in "
+                    f"address space {self.name!r}"
+                )
+            self._containers[container.name] = container
+        self.gc.register(container)
+
+    def get_container(self, name: str) -> Optional[Container]:
+        """The named container, or None."""
+        with self._lock:
+            return self._containers.get(name)
+
+    def containers(self) -> List[Container]:
+        """Snapshot of this space's containers."""
+        with self._lock:
+            return list(self._containers.values())
+
+    def remove_container(self, name: str) -> None:
+        """Destroy the named container and drop it from this space."""
+        with self._lock:
+            container = self._containers.pop(name, None)
+        if container is not None:
+            self.gc.unregister(container)
+            container.destroy()
+
+    # -- threads ---------------------------------------------------------------
+
+    def spawn(self, target: Callable[..., Any], *args: Any,
+              name: Optional[str] = None, **kwargs: Any) -> StampedeThread:
+        """Spawn a Stampede thread whose home is this address space."""
+        with self._lock:
+            self._check_alive()
+            thread = StampedeThread(
+                target, args=args, kwargs=kwargs, name=name,
+                address_space=self.name,
+            )
+            self._threads.append(thread)
+        thread.start()
+        return thread
+
+    def threads(self) -> List[StampedeThread]:
+        """Snapshot of this space's spawned threads."""
+        with self._lock:
+            return list(self._threads)
+
+    def join_all(self, timeout: Optional[float] = None) -> None:
+        """Join every spawned thread, re-raising the first failure."""
+        for thread in self.threads():
+            thread.join(timeout=timeout)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @property
+    def destroyed(self) -> bool:
+        """Whether destroy() has run."""
+        return self._destroyed
+
+    def destroy(self) -> None:
+        """Destroy the space: stop GC, destroy all containers.
+
+        Threads are daemonic and will observe
+        :class:`~repro.errors.ContainerDestroyedError` on their next
+        container operation — the paper's model for a component going away.
+        """
+        with self._lock:
+            if self._destroyed:
+                return
+            self._destroyed = True
+            containers = list(self._containers.values())
+            self._containers.clear()
+        self.gc.stop(final_sweep=False)
+        for container in containers:
+            container.destroy()
+
+    def _check_alive(self) -> None:
+        if self._destroyed:
+            raise AddressSpaceError(
+                f"address space {self.name!r} has been destroyed"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<AddressSpace {self.name!r} containers={len(self._containers)}"
+            f" threads={len(self._threads)}>"
+        )

@@ -1,0 +1,124 @@
+"""The uniform API facade.
+
+The paper stresses that "all the parts have access to the same set of
+abstractions via a uniform set of API calls".  :class:`StampedeApp`
+bundles the pieces a typical application touches — runtime, server, name
+server — behind one object, so the §4 recipe ("the server program creates
+multiple address spaces ... spawns a listener thread ... the mixer thread
+does the following ...") is a handful of lines.
+
+For full control, use :class:`~repro.runtime.runtime.Runtime`,
+:class:`~repro.runtime.server.StampedeServer`, and
+:class:`~repro.client.client.StampedeClient` directly; this module adds
+no functionality, only convenience.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.core.channel import Channel
+from repro.core.connection import ConnectionMode
+from repro.core.squeue import SQueue
+from repro.core.threads import StampedeThread
+from repro.runtime.runtime import Runtime
+from repro.runtime.server import StampedeServer
+
+
+class StampedeApp:
+    """A cluster application: runtime + optional TCP front door.
+
+    Parameters
+    ----------
+    name:
+        Application name.
+    address_spaces:
+        Names of the cluster address spaces to create up front (the
+        ``N_1 ... N_k, N_M`` of §4); more can be added later.
+    serve:
+        When true, start a :class:`StampedeServer` so end devices can
+        join over TCP.
+    host, port, device_spaces, lease_timeout:
+        Forwarded to the server when *serve* is true.
+    """
+
+    def __init__(self, name: str = "dstampede-app",
+                 address_spaces: Optional[List[str]] = None,
+                 serve: bool = False, host: str = "127.0.0.1",
+                 port: int = 0,
+                 device_spaces: Optional[List[str]] = None,
+                 lease_timeout: Optional[float] = None,
+                 gc_interval: float = 0.05,
+                 default_codec: str = "xdr") -> None:
+        self.runtime = Runtime(name=name, gc_interval=gc_interval,
+                               default_codec=default_codec)
+        for space in address_spaces or []:
+            self.runtime.create_address_space(space)
+        self.server: Optional[StampedeServer] = None
+        if serve:
+            self.server = StampedeServer(
+                self.runtime, host=host, port=port,
+                device_spaces=device_spaces, lease_timeout=lease_timeout,
+            ).start()
+
+    # -- delegation ------------------------------------------------------------
+
+    @property
+    def nameserver(self):
+        """The runtime's name server."""
+        return self.runtime.nameserver
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The TCP address end devices join through.
+
+        :raises RuntimeError: the app was created with ``serve=False``.
+        """
+        if self.server is None:
+            raise RuntimeError("application is not serving end devices")
+        return self.server.address
+
+    def create_address_space(self, name: str):
+        """Create a protection domain."""
+        return self.runtime.create_address_space(name)
+
+    def create_channel(self, name: str, space: str,
+                       capacity: Optional[int] = None) -> Channel:
+        """Create a channel homed in *space*."""
+        return self.runtime.create_channel(name, space, capacity=capacity)
+
+    def create_queue(self, name: str, space: str,
+                     capacity: Optional[int] = None,
+                     auto_consume: bool = False) -> SQueue:
+        """Create a queue homed in *space*."""
+        return self.runtime.create_queue(
+            name, space, capacity=capacity, auto_consume=auto_consume
+        )
+
+    def attach(self, container: str, mode: ConnectionMode,
+               from_space: Optional[str] = None,
+               wait: Optional[float] = None, **kwargs: Any):
+        """Connect to a named container (see Runtime.attach)."""
+        return self.runtime.attach(
+            container, mode, from_space=from_space, wait=wait, **kwargs
+        )
+
+    def spawn(self, space: str, target: Callable[..., Any], *args: Any,
+              name: Optional[str] = None, **kwargs: Any) -> StampedeThread:
+        """Spawn a thread homed in *space*."""
+        return self.runtime.spawn(space, target, *args, name=name,
+                                  **kwargs)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop the server (if any) and the runtime."""
+        if self.server is not None:
+            self.server.close()
+        self.runtime.shutdown()
+
+    def __enter__(self) -> "StampedeApp":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

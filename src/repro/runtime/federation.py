@@ -1,0 +1,343 @@
+"""Multi-cluster federation.
+
+The paper's first future-work item (§6): "we would like to extend the
+D-Stampede system to support multiple heterogeneous clusters connected
+to a plethora of end devices participating in the same D-Stampede
+application" — the current system's limitation being "there can only be
+one cluster involved in an application" (§3.3).
+
+The federation design reuses the Octopus model compositionally: a
+cluster reaches a peer cluster *as an end device of that peer* — a
+:class:`ClusterBridge` is a :class:`~repro.client.client.StampedeClient`
+connected to the peer's server, so every existing mechanism (surrogates,
+wire ops, reclaim piggybacking, codec personalities, attention filters)
+works across clusters unchanged.  Garbage collection stays local to the
+container's home cluster, because a remote cluster's consumers are
+ordinary connections held by its surrogate there.
+
+Name resolution: each cluster keeps its own name server; a
+:class:`FederatedRuntime` resolves unqualified names locally first, then
+across peers (deterministically, in peer-name order).  Qualified names
+``"cluster!container"`` pin the cluster explicitly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.client.client import RemoteConnection, StampedeClient
+from repro.core.connection import Connection, ConnectionMode
+from repro.core.filters import AttentionFilter
+from repro.errors import NameNotBoundError, StampedeError
+from repro.runtime.runtime import IsolatedConnection, Runtime
+from repro.runtime.server import StampedeServer
+from repro.util.logging import get_logger
+
+_log = get_logger("runtime.federation")
+
+#: Separator for cluster-qualified container names.
+QUALIFIER = "!"
+
+AnyConnection = Union[Connection, IsolatedConnection, RemoteConnection]
+
+
+def split_qualified(name: str) -> Tuple[Optional[str], str]:
+    """``"west!video"`` -> ``("west", "video")``; unqualified -> ``(None,
+    name)``."""
+    if QUALIFIER in name:
+        cluster, _, container = name.partition(QUALIFIER)
+        if not cluster or not container:
+            raise ValueError(f"malformed qualified name {name!r}")
+        return cluster, container
+    return None, name
+
+
+class ClusterBridge:
+    """This cluster's client-side link to one peer cluster."""
+
+    def __init__(self, peer_name: str, host: str, port: int,
+                 local_cluster: str, codec: str = "xdr",
+                 heartbeat: Optional[float] = None) -> None:
+        self.peer_name = peer_name
+        self.client = StampedeClient(
+            host, port,
+            client_name=f"bridge:{local_cluster}->{peer_name}",
+            codec=codec, heartbeat=heartbeat,
+        )
+
+    def has(self, container: str) -> bool:
+        """Whether the peer's name server binds *container*."""
+        try:
+            self.client.ns_lookup(container)
+            return True
+        except StampedeError:
+            return False
+
+    def attach(self, container: str, mode: ConnectionMode,
+               wait: Optional[float] = None,
+               attention_filter: Optional[AttentionFilter] = None
+               ) -> RemoteConnection:
+        """Attach to *container* on the peer cluster."""
+        return self.client.attach(container, mode, wait=wait,
+                                  attention_filter=attention_filter)
+
+    def create_channel(self, name: str,
+                       capacity: Optional[int] = None) -> None:
+        """Create a channel on the peer cluster."""
+        self.client.create_channel(name, capacity=capacity)
+
+    def create_queue(self, name: str, capacity: Optional[int] = None,
+                     auto_consume: bool = False) -> None:
+        """Create a queue on the peer cluster."""
+        self.client.create_queue(name, capacity=capacity,
+                                 auto_consume=auto_consume)
+
+    def names(self, kind: str = "") -> List[str]:
+        """Names bound on the peer, optionally filtered by kind."""
+        return self.client.ns_list(kind)
+
+    def close(self) -> None:
+        """Leave the peer cluster cleanly."""
+        self.client.close()
+
+
+class FederatedRuntime:
+    """One cluster of a multi-cluster application.
+
+    Parameters
+    ----------
+    cluster_name:
+        This cluster's name in the federation (used in qualified names
+        and bridge identities).
+    runtime:
+        An existing :class:`Runtime`, or ``None`` to create one.
+    serve:
+        Start a TCP server so end devices *and peer clusters* can join.
+    bridge_codec:
+        Wire personality for outgoing bridges (peers may differ — the
+        "heterogeneous clusters" of the future-work item).
+    """
+
+    def __init__(self, cluster_name: str,
+                 runtime: Optional[Runtime] = None, serve: bool = True,
+                 host: str = "127.0.0.1", port: int = 0,
+                 device_spaces: Optional[List[str]] = None,
+                 lease_timeout: Optional[float] = None,
+                 bridge_codec: str = "xdr",
+                 bridge_heartbeat: Optional[float] = None) -> None:
+        self.cluster_name = cluster_name
+        self.runtime = runtime if runtime is not None else Runtime(
+            name=cluster_name
+        )
+        self.bridge_codec = bridge_codec
+        self.bridge_heartbeat = bridge_heartbeat
+        self.server: Optional[StampedeServer] = None
+        if serve:
+            self.server = StampedeServer(
+                self.runtime, host=host, port=port,
+                device_spaces=device_spaces, lease_timeout=lease_timeout,
+            ).start()
+        self._bridges: Dict[str, ClusterBridge] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The TCP address peers and devices join through."""
+        if self.server is None:
+            raise RuntimeError(
+                f"cluster {self.cluster_name!r} is not serving"
+            )
+        return self.server.address
+
+    # -- federation management ----------------------------------------------------
+
+    def connect_cluster(self, peer_name: str, host: str,
+                        port: int) -> ClusterBridge:
+        """Bridge to a peer cluster's server.
+
+        :raises ValueError: duplicate or self peer name.
+        """
+        if peer_name == self.cluster_name:
+            raise ValueError("a cluster cannot bridge to itself")
+        with self._lock:
+            if peer_name in self._bridges:
+                raise ValueError(
+                    f"already bridged to cluster {peer_name!r}"
+                )
+            bridge = ClusterBridge(
+                peer_name, host, port, self.cluster_name,
+                codec=self.bridge_codec, heartbeat=self.bridge_heartbeat,
+            )
+            self._bridges[peer_name] = bridge
+        _log.info("cluster %r bridged to %r at %s:%d",
+                  self.cluster_name, peer_name, host, port)
+        return bridge
+
+    def disconnect_cluster(self, peer_name: str) -> None:
+        """Drop the bridge to *peer_name* (idempotent)."""
+        with self._lock:
+            bridge = self._bridges.pop(peer_name, None)
+        if bridge is not None:
+            bridge.close()
+
+    def peers(self) -> List[str]:
+        """Sorted names of the bridged peer clusters."""
+        with self._lock:
+            return sorted(self._bridges)
+
+    def _bridge(self, peer_name: str) -> ClusterBridge:
+        with self._lock:
+            try:
+                return self._bridges[peer_name]
+            except KeyError:
+                raise NameNotBoundError(
+                    f"no bridge to cluster {peer_name!r}; "
+                    f"peers: {sorted(self._bridges)}"
+                ) from None
+
+    # -- naming ---------------------------------------------------------------------
+
+    def resolve(self, name: str) -> Tuple[Optional[str], str]:
+        """Locate *name*: returns ``(cluster or None-for-local,
+        container)``.
+
+        Qualified names pin the cluster; unqualified names resolve
+        locally first, then across peers in sorted order.
+
+        :raises NameNotBoundError: nowhere bound.
+        """
+        cluster, container = split_qualified(name)
+        if cluster is not None:
+            if cluster == self.cluster_name:
+                self.runtime.nameserver.lookup(container)
+                return None, container
+            if not self._bridge(cluster).has(container):
+                raise NameNotBoundError(
+                    f"{container!r} is not bound on cluster {cluster!r}"
+                )
+            return cluster, container
+        if self.runtime.nameserver.contains(container):
+            return None, container
+        for peer_name in self.peers():
+            if self._bridge(peer_name).has(container):
+                return peer_name, container
+        raise NameNotBoundError(
+            f"{container!r} is not bound on this cluster or any of "
+            f"{self.peers()}"
+        )
+
+    def federation_names(self, kind: str = "") -> Dict[str, List[str]]:
+        """All names per cluster (diagnostics and discovery)."""
+        listing = {
+            self.cluster_name: [
+                record.name
+                for record in self.runtime.nameserver.list(
+                    kind=kind or None
+                )
+            ]
+        }
+        for peer_name in self.peers():
+            listing[peer_name] = self._bridge(peer_name).names(kind)
+        return listing
+
+    # -- containers -------------------------------------------------------------------
+
+    def create_channel(self, name: str, space: Optional[str] = None,
+                       capacity: Optional[int] = None):
+        """Create a channel; a qualified name creates it on that peer."""
+        cluster, container = split_qualified(name)
+        if cluster is None or cluster == self.cluster_name:
+            home = space if space is not None else self._default_space()
+            return self.runtime.create_channel(container, home,
+                                               capacity=capacity)
+        self._bridge(cluster).create_channel(container, capacity=capacity)
+        return None
+
+    def create_queue(self, name: str, space: Optional[str] = None,
+                     capacity: Optional[int] = None,
+                     auto_consume: bool = False):
+        """Create a queue on the peer cluster."""
+        cluster, container = split_qualified(name)
+        if cluster is None or cluster == self.cluster_name:
+            home = space if space is not None else self._default_space()
+            return self.runtime.create_queue(
+                container, home, capacity=capacity,
+                auto_consume=auto_consume,
+            )
+        self._bridge(cluster).create_queue(container, capacity=capacity,
+                                           auto_consume=auto_consume)
+        return None
+
+    def _default_space(self) -> str:
+        spaces = self.runtime.address_spaces()
+        if not spaces:
+            return self.runtime.create_address_space("main").name
+        return spaces[0].name
+
+    # -- attach -----------------------------------------------------------------------
+
+    def attach(self, name: str, mode: ConnectionMode,
+               from_space: Optional[str] = None,
+               wait: Optional[float] = None,
+               attention_filter: Optional[AttentionFilter] = None,
+               owner: str = "") -> AnyConnection:
+        """Connect to a container anywhere in the federation.
+
+        Local containers yield local (or isolated) connections; remote
+        ones yield :class:`RemoteConnection` through the peer bridge —
+        the same uniform API either way.
+
+        ``wait`` polls the whole federation until the name appears.
+        """
+        deadline = None if wait is None else time.monotonic() + wait
+        while True:
+            try:
+                cluster, container = self.resolve(name)
+                break
+            except NameNotBoundError:
+                if deadline is None or time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.02)
+        if cluster is None:
+            predicate = (attention_filter.predicate()
+                         if attention_filter is not None else None)
+            return self.runtime.attach(
+                container, mode, from_space=from_space, owner=owner,
+                attention_filter=predicate,
+            )
+        return self._bridge(cluster).attach(
+            container, mode, attention_filter=attention_filter,
+        )
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def spawn(self, space: str, target: Callable, *args, **kwargs):
+        """Spawn a thread in one of this cluster's address spaces."""
+        return self.runtime.spawn(space, target, *args, **kwargs)
+
+    def shutdown(self) -> None:
+        """Close every bridge, the server, and the local runtime."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            bridges = list(self._bridges.values())
+            self._bridges.clear()
+        for bridge in bridges:
+            bridge.close()
+        if self.server is not None:
+            self.server.close()
+        self.runtime.shutdown()
+
+    def __enter__(self) -> "FederatedRuntime":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return (f"<FederatedRuntime {self.cluster_name!r} "
+                f"peers={self.peers()}>")

@@ -1,0 +1,118 @@
+"""Cluster introspection.
+
+Continuous applications need to answer "what is the cluster holding
+right now?" without stopping it: which containers exist, how much live
+data each holds, who is attached, what the collectors have reclaimed.
+:func:`snapshot` renders the whole runtime as a codec-domain value, so
+the same structure serves local diagnostics, the INSPECT wire operation
+(any end device can ask its cluster), and tests asserting global
+invariants like "no live items after shutdown of all consumers".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.runtime.runtime import Runtime
+
+
+def container_snapshot(container: Any) -> Dict[str, Any]:
+    """One container's state as plain data."""
+    stats = container.stats()
+    return {
+        "name": container.name,
+        "kind": container.KIND,
+        "capacity": container.capacity,
+        "destroyed": container.destroyed,
+        "puts": stats.puts,
+        "gets": stats.gets,
+        "consumes": stats.consumes,
+        "reclaimed": stats.reclaimed,
+        "bytes_in": stats.bytes_in,
+        "live_items": stats.live_items,
+        "live_bytes": stats.live_bytes,
+        "peak_items": stats.peak_items,
+        "peak_bytes": stats.peak_bytes,
+        "input_connections": stats.input_connections,
+        "output_connections": stats.output_connections,
+        "connections": [
+            {
+                "id": connection.connection_id,
+                "mode": connection.mode.value,
+                "owner": connection.owner,
+                "interest_floor": connection.interest_floor,
+            }
+            for connection in container.connections()
+        ],
+    }
+
+
+def space_snapshot(space: Any) -> Dict[str, Any]:
+    """One address space's state as plain data."""
+    return {
+        "name": space.name,
+        "destroyed": space.destroyed,
+        "gc_running": space.gc.running,
+        "gc_sweeps": space.gc.report.sweeps,
+        "gc_items_reclaimed": space.gc.report.items_reclaimed,
+        "gc_bytes_reclaimed": space.gc.report.bytes_reclaimed,
+        "threads": [
+            {"name": t.name, "alive": t.alive, "failed": t.failed}
+            for t in space.threads()
+        ],
+        "containers": [
+            container_snapshot(c) for c in space.containers()
+        ],
+    }
+
+
+def snapshot(runtime: Runtime) -> Dict[str, Any]:
+    """The full cluster state as a codec-domain value."""
+    return {
+        "runtime": runtime.name,
+        "names": [
+            {
+                "name": record.name,
+                "kind": record.kind,
+                "space": record.address_space,
+            }
+            for record in runtime.nameserver.list()
+        ],
+        "spaces": [
+            space_snapshot(space) for space in runtime.address_spaces()
+        ],
+    }
+
+
+def total_live_items(runtime: Runtime) -> int:
+    """Live items across every container (leak checks in tests)."""
+    return sum(
+        container.stats().live_items
+        for space in runtime.address_spaces()
+        for container in space.containers()
+    )
+
+
+def render(state: Dict[str, Any]) -> str:
+    """Human-readable rendering of a snapshot."""
+    lines = [f"runtime {state['runtime']!r}: "
+             f"{len(state['names'])} names, "
+             f"{len(state['spaces'])} address spaces"]
+    for space in state["spaces"]:
+        lines.append(
+            f"  space {space['name']!r}: "
+            f"gc={'on' if space['gc_running'] else 'off'} "
+            f"(reclaimed {space['gc_items_reclaimed']} items), "
+            f"{len(space['threads'])} threads"
+        )
+        for container in space["containers"]:
+            lines.append(
+                f"    {container['kind']} {container['name']!r}: "
+                f"{container['live_items']} live "
+                f"({container['live_bytes']} B), "
+                f"{container['puts']} puts / "
+                f"{container['reclaimed']} reclaimed, "
+                f"{container['input_connections']}in/"
+                f"{container['output_connections']}out"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""The name server.
+
+"Application threads can register (and un-register) all pertinent
+information (such as names of channels and queues, as well as their
+intended use in the application) with this name server.  Any new thread
+that starts up in the application anywhere in the entire network ... can
+query this name server to determine resources of interest" (§3.1).
+
+Bindings map a system-wide unique name to a :class:`NameRecord`.  A
+blocking :meth:`NameServer.wait_for` supports the common dynamic-join
+pattern: a late-starting component waits until the resource it needs is
+registered, instead of polling.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import NameAlreadyBoundError, NameNotBoundError
+
+
+@dataclass(frozen=True)
+class NameRecord:
+    """One binding in the name server.
+
+    ``kind`` is free-form but conventional values are ``"channel"``,
+    ``"queue"``, ``"thread"``, and ``"address_space"``.  ``metadata`` holds
+    the "intended use in the application" — anything the registering
+    component wants discoverers to know (it must stay in the codec domain
+    if remote clients are to read it).
+    """
+
+    name: str
+    kind: str
+    address_space: str = ""
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+class NameServer:
+    """Thread-safe name registry with blocking lookup."""
+
+    def __init__(self) -> None:
+        self._bindings: Dict[str, NameRecord] = {}
+        self._lock = threading.Lock()
+        self._bound = threading.Condition(self._lock)
+
+    def register(self, record: NameRecord) -> None:
+        """Bind ``record.name``.
+
+        :raises NameAlreadyBoundError: the name is taken (names are
+            system-wide unique, §3.1).
+        """
+        with self._lock:
+            if record.name in self._bindings:
+                raise NameAlreadyBoundError(
+                    f"name {record.name!r} is already bound to a "
+                    f"{self._bindings[record.name].kind}"
+                )
+            self._bindings[record.name] = record
+            self._bound.notify_all()
+
+    def unregister(self, name: str) -> NameRecord:
+        """Remove and return the binding for *name*.
+
+        :raises NameNotBoundError: nothing bound.
+        """
+        with self._lock:
+            try:
+                return self._bindings.pop(name)
+            except KeyError:
+                raise NameNotBoundError(f"name {name!r} is not bound") \
+                    from None
+
+    def lookup(self, name: str) -> NameRecord:
+        """Return the binding for *name*.
+
+        :raises NameNotBoundError: nothing bound.
+        """
+        with self._lock:
+            try:
+                return self._bindings[name]
+            except KeyError:
+                raise NameNotBoundError(f"name {name!r} is not bound") \
+                    from None
+
+    def wait_for(self, name: str,
+                 timeout: Optional[float] = None) -> NameRecord:
+        """Block until *name* is bound, then return the record.
+
+        :raises NameNotBoundError: *timeout* expired first.
+        """
+        import time
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while name not in self._bindings:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise NameNotBoundError(
+                            f"name {name!r} not bound within {timeout}s"
+                        )
+                self._bound.wait(timeout=remaining)
+            return self._bindings[name]
+
+    def contains(self, name: str) -> bool:
+        """Whether *name* is currently bound."""
+        with self._lock:
+            return name in self._bindings
+
+    def list(self, kind: Optional[str] = None) -> List[NameRecord]:
+        """All bindings, optionally filtered by kind, sorted by name."""
+        with self._lock:
+            records = list(self._bindings.values())
+        if kind is not None:
+            records = [r for r in records if r.kind == kind]
+        return sorted(records, key=lambda r: r.name)
+
+    def clear(self) -> None:
+        """Drop every binding (runtime shutdown)."""
+        with self._lock:
+            self._bindings.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._bindings)

@@ -1,0 +1,359 @@
+"""The operation wire protocol between client libraries and the cluster.
+
+"The D-Stampede APIs are exported to the distributed end points in a
+manner analogous to exporting a procedure call using an RPC interface"
+(§3.2.1).  Every API call becomes a request frame; the surrogate answers
+with a response frame.  Envelopes are XDR (cheap, fixed); *item payloads*
+ride inside as opaque bytes already encoded with the client's chosen
+codec (XDR for the C personality, JDR for the Java personality) — that is
+where the two client libraries genuinely differ, exactly as in the paper.
+
+Frame layouts::
+
+    request  := u32 request_id | u32 opcode | args...
+    response := u32 request_id | u32 status | reclaims | body
+    reclaims := u32 count | count * (string container, hyper timestamp)
+    body     := results...            (status == OK)
+              | string type, string message   (status == ERROR)
+
+``request_id`` 0 marks a **cast**: fire-and-forget, the surrogate sends
+no response (errors are logged cluster-side only).  Streaming producers
+use casts for ``put``/``consume`` so a frame costs no round trip; TCP
+plus the surrogate's in-order inline execution preserve operation order
+relative to later synchronous calls.
+
+Reclaim notifications piggyback on every response — "the generic handler
+... collects the information on behalf of the end device and communicates
+it to the end device at an opportune time (for e.g. when the next
+D-Stampede API call comes from the end device)" (§3.2.4).
+
+Args/results are declared in :data:`OP_SCHEMAS` and packed generically;
+adding an operation means adding one table row, keeping client stubs and
+the server dispatcher mechanically in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.errors import DecodeError, RpcError
+from repro.marshal.xdr import XdrDecoder, XdrEncoder
+
+# -- opcodes -----------------------------------------------------------------
+
+OP_HELLO = 1
+OP_CREATE_CHANNEL = 2
+OP_CREATE_QUEUE = 3
+OP_ATTACH = 4
+OP_DETACH = 5
+OP_PUT = 6
+OP_GET = 7
+OP_CONSUME = 8
+OP_CONSUME_UNTIL = 9
+OP_NS_REGISTER = 10
+OP_NS_UNREGISTER = 11
+OP_NS_LOOKUP = 12
+OP_NS_LIST = 13
+OP_PING = 14
+OP_BYE = 15
+OP_SET_REALTIME = 16
+OP_GC_REPORT = 17
+OP_INSPECT = 18
+
+STATUS_OK = 0
+STATUS_ERROR = 1
+
+#: The reserved request id marking a fire-and-forget cast.
+CAST_REQUEST_ID = 0
+
+#: Virtual-time kinds on the wire (GET requests).
+VT_CONCRETE = 0
+VT_NEWEST = 1
+VT_OLDEST = 2
+
+#: Field type codes used by the schema table.
+#: str / u32 / hyper / bool / double / bytes / strlist
+_FieldSpec = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class OpSchema:
+    """Argument and result layout for one operation."""
+
+    name: str
+    args: Sequence[_FieldSpec]
+    results: Sequence[_FieldSpec]
+
+
+OP_SCHEMAS: Dict[int, OpSchema] = {
+    OP_HELLO: OpSchema(
+        "hello",
+        args=[("client_name", "str"), ("codec", "str")],
+        results=[("session_id", "str"), ("space", "str")],
+    ),
+    OP_CREATE_CHANNEL: OpSchema(
+        "create_channel",
+        args=[("name", "str"), ("space", "str"), ("bounded", "bool"),
+              ("capacity", "u32")],
+        results=[],
+    ),
+    OP_CREATE_QUEUE: OpSchema(
+        "create_queue",
+        args=[("name", "str"), ("space", "str"), ("bounded", "bool"),
+              ("capacity", "u32"), ("auto_consume", "bool")],
+        results=[],
+    ),
+    OP_ATTACH: OpSchema(
+        "attach",
+        # ``filter`` is a codec-encoded declarative attention-filter spec
+        # (see repro.core.filters); empty bytes = no filter.
+        args=[("container", "str"), ("mode", "str"),
+              ("wait", "bool"), ("wait_timeout", "double"),
+              ("filter", "bytes")],
+        results=[("connection_id", "u32"), ("kind", "str")],
+    ),
+    OP_DETACH: OpSchema(
+        "detach",
+        args=[("connection_id", "u32")],
+        results=[],
+    ),
+    OP_PUT: OpSchema(
+        "put",
+        args=[("connection_id", "u32"), ("timestamp", "hyper"),
+              ("payload", "bytes"), ("block", "bool"),
+              ("has_timeout", "bool"), ("timeout", "double")],
+        results=[],
+    ),
+    OP_GET: OpSchema(
+        "get",
+        args=[("connection_id", "u32"), ("vt_kind", "u32"),
+              ("timestamp", "hyper"), ("block", "bool"),
+              ("has_timeout", "bool"), ("timeout", "double")],
+        results=[("timestamp", "hyper"), ("payload", "bytes")],
+    ),
+    OP_CONSUME: OpSchema(
+        "consume",
+        args=[("connection_id", "u32"), ("timestamp", "hyper")],
+        results=[],
+    ),
+    OP_CONSUME_UNTIL: OpSchema(
+        "consume_until",
+        args=[("connection_id", "u32"), ("timestamp", "hyper")],
+        results=[],
+    ),
+    OP_NS_REGISTER: OpSchema(
+        "ns_register",
+        args=[("name", "str"), ("kind", "str"), ("metadata", "bytes")],
+        results=[],
+    ),
+    OP_NS_UNREGISTER: OpSchema(
+        "ns_unregister",
+        args=[("name", "str")],
+        results=[],
+    ),
+    OP_NS_LOOKUP: OpSchema(
+        "ns_lookup",
+        args=[("name", "str")],
+        results=[("kind", "str"), ("space", "str"), ("metadata", "bytes")],
+    ),
+    OP_NS_LIST: OpSchema(
+        "ns_list",
+        args=[("kind", "str")],
+        results=[("names", "strlist")],
+    ),
+    OP_PING: OpSchema(
+        "ping",
+        args=[("payload", "bytes")],
+        results=[("payload", "bytes")],
+    ),
+    OP_BYE: OpSchema(
+        "bye",
+        args=[],
+        results=[],
+    ),
+    OP_SET_REALTIME: OpSchema(
+        "set_realtime",
+        args=[("tick_period", "double"), ("tolerance", "double")],
+        results=[],
+    ),
+    OP_GC_REPORT: OpSchema(
+        "gc_report",
+        args=[],
+        results=[("sweeps", "u32"), ("items", "u32"), ("bytes", "hyper")],
+    ),
+    OP_INSPECT: OpSchema(
+        "inspect",
+        args=[],
+        # The snapshot structure is open-ended, so it travels as a
+        # codec-encoded value rather than fixed XDR fields.
+        results=[("snapshot", "bytes")],
+    ),
+}
+
+_OPCODE_BY_NAME = {schema.name: code for code, schema in OP_SCHEMAS.items()}
+
+
+def opcode_for(name: str) -> int:
+    """Opcode for an operation name (tests and tools)."""
+    return _OPCODE_BY_NAME[name]
+
+
+# -- generic field packing ---------------------------------------------------
+
+
+def _pack_fields(enc: XdrEncoder, specs: Sequence[_FieldSpec],
+                 values: Dict[str, Any]) -> None:
+    for field, kind in specs:
+        try:
+            value = values[field]
+        except KeyError:
+            raise RpcError(f"missing field {field!r}") from None
+        if kind == "str":
+            enc.pack_string(value)
+        elif kind == "u32":
+            enc.pack_uint(value)
+        elif kind == "hyper":
+            enc.pack_hyper(value)
+        elif kind == "bool":
+            enc.pack_bool(bool(value))
+        elif kind == "double":
+            enc.pack_double(float(value))
+        elif kind == "bytes":
+            enc.pack_opaque(value)
+        elif kind == "strlist":
+            enc.pack_array(list(value), enc.pack_string)
+        else:  # pragma: no cover - schema typo guard
+            raise RpcError(f"unknown field kind {kind!r}")
+
+
+def _unpack_fields(dec: XdrDecoder,
+                   specs: Sequence[_FieldSpec]) -> Dict[str, Any]:
+    values: Dict[str, Any] = {}
+    for field, kind in specs:
+        if kind == "str":
+            values[field] = dec.unpack_string()
+        elif kind == "u32":
+            values[field] = dec.unpack_uint()
+        elif kind == "hyper":
+            values[field] = dec.unpack_hyper()
+        elif kind == "bool":
+            values[field] = dec.unpack_bool()
+        elif kind == "double":
+            values[field] = dec.unpack_double()
+        elif kind == "bytes":
+            values[field] = dec.unpack_opaque()
+        elif kind == "strlist":
+            values[field] = dec.unpack_array(dec.unpack_string)
+        else:  # pragma: no cover
+            raise RpcError(f"unknown field kind {kind!r}")
+    return values
+
+
+# -- requests ------------------------------------------------------------------
+
+
+def encode_request(request_id: int, opcode: int,
+                   args: Dict[str, Any]) -> bytes:
+    """Build a request frame."""
+    schema = OP_SCHEMAS.get(opcode)
+    if schema is None:
+        raise RpcError(f"unknown opcode {opcode}")
+    enc = XdrEncoder()
+    enc.pack_uint(request_id)
+    enc.pack_uint(opcode)
+    _pack_fields(enc, schema.args, args)
+    return enc.getvalue()
+
+
+def decode_request(frame: bytes) -> Tuple[int, int, Dict[str, Any]]:
+    """Parse a request frame into ``(request_id, opcode, args)``."""
+    dec = XdrDecoder(frame)
+    request_id = dec.unpack_uint()
+    opcode = dec.unpack_uint()
+    schema = OP_SCHEMAS.get(opcode)
+    if schema is None:
+        raise DecodeError(f"unknown opcode {opcode} in request")
+    args = _unpack_fields(dec, schema.args)
+    dec.done()
+    return request_id, opcode, args
+
+
+# -- responses --------------------------------------------------------------------
+
+#: A reclaim notification: (container name, timestamp).
+Reclaim = Tuple[str, int]
+
+
+def encode_ok_response(request_id: int, opcode: int,
+                       results: Dict[str, Any],
+                       reclaims: Sequence[Reclaim] = ()) -> bytes:
+    """Build a success response frame for *opcode*."""
+    schema = OP_SCHEMAS[opcode]
+    enc = XdrEncoder()
+    enc.pack_uint(request_id)
+    enc.pack_uint(STATUS_OK)
+    _pack_reclaims(enc, reclaims)
+    _pack_fields(enc, schema.results, results)
+    return enc.getvalue()
+
+
+def encode_error_response(request_id: int, error_type: str, message: str,
+                          reclaims: Sequence[Reclaim] = ()) -> bytes:
+    """Build an error response frame."""
+    enc = XdrEncoder()
+    enc.pack_uint(request_id)
+    enc.pack_uint(STATUS_ERROR)
+    _pack_reclaims(enc, reclaims)
+    enc.pack_string(error_type)
+    enc.pack_string(message)
+    return enc.getvalue()
+
+
+def _pack_reclaims(enc: XdrEncoder, reclaims: Sequence[Reclaim]) -> None:
+    enc.pack_uint(len(reclaims))
+    for container, timestamp in reclaims:
+        enc.pack_string(container)
+        enc.pack_hyper(timestamp)
+
+
+@dataclass(frozen=True)
+class Response:
+    """A decoded response frame."""
+
+    request_id: int
+    ok: bool
+    reclaims: List[Reclaim]
+    results: Dict[str, Any]
+    error_type: str = ""
+    error_message: str = ""
+
+
+def decode_response(frame: bytes, opcode: int) -> Response:
+    """Parse a response frame; the caller supplies the request's opcode so
+    the result fields can be decoded by schema."""
+    dec = XdrDecoder(frame)
+    request_id = dec.unpack_uint()
+    status = dec.unpack_uint()
+    count = dec.unpack_uint()
+    if count > dec.remaining:
+        raise DecodeError(f"reclaim count {count} exceeds frame")
+    reclaims = [
+        (dec.unpack_string(), dec.unpack_hyper()) for _ in range(count)
+    ]
+    if status == STATUS_OK:
+        results = _unpack_fields(dec, OP_SCHEMAS[opcode].results)
+        dec.done()
+        return Response(request_id, True, reclaims, results)
+    if status == STATUS_ERROR:
+        error_type = dec.unpack_string()
+        message = dec.unpack_string()
+        dec.done()
+        return Response(request_id, False, reclaims, {},
+                        error_type=error_type, error_message=message)
+    raise DecodeError(f"unknown response status {status}")
+
+
+def peek_request_id(frame: bytes) -> int:
+    """Read only the request id (response routing on the client)."""
+    return XdrDecoder(frame).unpack_uint()

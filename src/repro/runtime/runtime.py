@@ -1,0 +1,354 @@
+"""The in-process cluster runtime.
+
+A :class:`Runtime` hosts the "body" of the Octopus: any number of address
+spaces (the paper's ``N_1 ... N_k`` plus ``N_M``), a name server, and the
+attach machinery that hands threads connections to containers anywhere in
+the computation.
+
+Memory isolation between address spaces is real even though they share an
+OS process: a connection that crosses spaces is an
+:class:`IsolatedConnection`, which serializes every value through the
+container's serializer handler (or the runtime's default codec) on both
+``put`` and ``get``.  No object reference ever crosses a space boundary,
+so programs observe exactly the semantics they would get from separate
+processes — at an honest marshalling cost, which is what the paper's
+micro-benchmarks charge for.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.core.channel import Channel
+from repro.core.connection import Connection, ConnectionMode
+from repro.core.container import Container
+from repro.core.squeue import SQueue
+from repro.core.threads import StampedeThread
+from repro.core.timestamps import Timestamp, VirtualTime
+from repro.errors import (
+    AddressSpaceError,
+    NameNotBoundError,
+    RuntimeStateError,
+)
+from repro.marshal import get_codec
+from repro.runtime.address_space import AddressSpace
+from repro.runtime.nameserver import NameRecord, NameServer
+from repro.util.logging import get_logger
+
+_log = get_logger("runtime")
+
+
+class IsolatedConnection:
+    """A connection whose values are marshalled across the space boundary.
+
+    Mirrors the :class:`~repro.core.connection.Connection` API so
+    application code is oblivious to container placement — the paper's
+    "regardless of the physical location of the threads, channels, and
+    queues" (§3.1).
+    """
+
+    def __init__(self, inner: Connection, codec_name: str) -> None:
+        self._inner = inner
+        self._codec = get_codec(codec_name)
+
+    # -- marshalling ---------------------------------------------------------
+
+    def _outbound(self, value: Any) -> Tuple[Any, int]:
+        """Serialize + rehydrate: the value that crosses the boundary."""
+        serializer = self._inner.container.handlers.serializer
+        deserializer = self._inner.container.handlers.deserializer
+        if serializer is not None and deserializer is not None:
+            data = serializer(value)
+            return deserializer(data), len(data)
+        data = self._codec.encode(value)
+        return self._codec.decode(data), len(data)
+
+    # -- Connection API -------------------------------------------------------
+
+    @property
+    def connection_id(self) -> int:
+        """The wrapped connection's id."""
+        return self._inner.connection_id
+
+    @property
+    def mode(self) -> ConnectionMode:
+        """The wrapped connection's direction."""
+        return self._inner.mode
+
+    @property
+    def container(self) -> Container:
+        """The container this connection is attached to."""
+        return self._inner.container
+
+    @property
+    def detached(self) -> bool:
+        """Whether the wrapped connection is detached."""
+        return self._inner.detached
+
+    @property
+    def interest_floor(self) -> Timestamp:
+        """The wrapped connection's interest floor."""
+        return self._inner.interest_floor
+
+    def put(self, timestamp: Timestamp, value: Any,
+            size: Optional[int] = None, block: bool = True,
+            timeout: Optional[float] = None) -> None:
+        """Marshal *value* across the boundary and put it."""
+        copied, wire_size = self._outbound(value)
+        self._inner.put(
+            timestamp, copied,
+            size=size if size is not None else wire_size,
+            block=block, timeout=timeout,
+        )
+
+    def get(self, timestamp: VirtualTime, block: bool = True,
+            timeout: Optional[float] = None) -> Tuple[Timestamp, Any]:
+        """Get an item; the returned value is a marshalled copy."""
+        ts, value = self._inner.get(timestamp, block=block, timeout=timeout)
+        copied, _wire_size = self._outbound(value)
+        return ts, copied
+
+    def consume(self, timestamp: Timestamp) -> None:
+        """Declare the item at *timestamp* garbage for this consumer."""
+        self._inner.consume(timestamp)
+
+    def consume_until(self, timestamp: Timestamp) -> None:
+        """Raise the interest floor to *timestamp*."""
+        self._inner.consume_until(timestamp)
+
+    def detach(self) -> None:
+        """Detach the underlying connection."""
+        self._inner.detach()
+
+    def __enter__(self) -> "IsolatedConnection":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.detach()
+
+    def __repr__(self) -> str:
+        return f"<IsolatedConnection over {self._inner!r}>"
+
+
+class Runtime:
+    """An in-process D-Stampede cluster.
+
+    Parameters
+    ----------
+    name:
+        Application name (log/diagnostic label).
+    gc_interval:
+        Sweep period for every address space's collector.
+    default_codec:
+        Wire format for cross-space values without a serializer handler.
+    """
+
+    def __init__(self, name: str = "dstampede", gc_interval: float = 0.05,
+                 default_codec: str = "xdr") -> None:
+        self.name = name
+        self.nameserver = NameServer()
+        self.default_codec = default_codec
+        self._gc_interval = gc_interval
+        self._spaces: "dict[str, AddressSpace]" = {}
+        self._lock = threading.Lock()
+        self._shutdown = False
+
+    # -- address spaces ----------------------------------------------------------
+
+    def create_address_space(self, name: str) -> AddressSpace:
+        """Create a protection domain called *name* with a running GC."""
+        with self._lock:
+            self._check_alive()
+            if name in self._spaces:
+                raise AddressSpaceError(
+                    f"address space {name!r} already exists"
+                )
+            space = AddressSpace(name, gc_interval=self._gc_interval,
+                                 start_gc=True)
+            self._spaces[name] = space
+        self.nameserver.register(
+            NameRecord(name=f"space:{name}", kind="address_space",
+                       address_space=name)
+        )
+        return space
+
+    def address_space(self, name: str) -> AddressSpace:
+        """Look up an address space by name."""
+        with self._lock:
+            try:
+                return self._spaces[name]
+            except KeyError:
+                raise AddressSpaceError(
+                    f"no address space named {name!r}"
+                ) from None
+
+    def address_spaces(self) -> List[AddressSpace]:
+        """All live address spaces."""
+        with self._lock:
+            return list(self._spaces.values())
+
+    def destroy_address_space(self, name: str) -> None:
+        """Tear down a space: dynamic component departure."""
+        with self._lock:
+            space = self._spaces.pop(name, None)
+        if space is None:
+            return
+        for container in space.containers():
+            try:
+                self.nameserver.unregister(container.name)
+            except NameNotBoundError:
+                pass
+        try:
+            self.nameserver.unregister(f"space:{name}")
+        except NameNotBoundError:
+            pass
+        space.destroy()
+
+    # -- containers -----------------------------------------------------------------
+
+    def create_channel(self, name: str, space: str,
+                       capacity: Optional[int] = None,
+                       overflow: str = Channel.OVERFLOW_BLOCK,
+                       metadata: Optional[dict] = None) -> Channel:
+        """Create a channel homed in *space*, registered with the name
+        server so any late-joining component can find it."""
+        channel = self.address_space(space).create_channel(
+            name, capacity=capacity, overflow=overflow
+        )
+        self.nameserver.register(
+            NameRecord(name=name, kind="channel", address_space=space,
+                       metadata=metadata or {})
+        )
+        return channel
+
+    def create_queue(self, name: str, space: str,
+                     capacity: Optional[int] = None,
+                     auto_consume: bool = False,
+                     metadata: Optional[dict] = None) -> SQueue:
+        """Create a queue homed in *space* and register it."""
+        queue = self.address_space(space).create_queue(
+            name, capacity=capacity, auto_consume=auto_consume
+        )
+        self.nameserver.register(
+            NameRecord(name=name, kind="queue", address_space=space,
+                       metadata=metadata or {})
+        )
+        return queue
+
+    def lookup_container(self, name: str) -> Container:
+        """Resolve a container by its system-wide name.
+
+        :raises NameNotBoundError: unknown name or stale binding.
+        """
+        record = self.nameserver.lookup(name)
+        container = self.address_space(record.address_space) \
+            .get_container(name)
+        if container is None:
+            raise NameNotBoundError(
+                f"name {name!r} is bound but its container is gone"
+            )
+        return container
+
+    def destroy_container(self, name: str) -> None:
+        """Unregister and destroy the named container."""
+        record = self.nameserver.unregister(name)
+        self.address_space(record.address_space).remove_container(name)
+
+    def migrate_container(self, name: str, to_space: str):
+        """Move a container to another address space (load balancing).
+
+        Implemented as checkpoint + restore + name rebind, so live items
+        and GC state travel intact.  Existing connections do NOT follow:
+        the old instance is destroyed, waking blocked threads with
+        :class:`~repro.errors.ContainerDestroyedError`, and consumers
+        re-attach by name — the same re-join discipline end devices
+        already follow.  Returns the new container.
+        """
+        from repro.core.persistence import checkpoint as _checkpoint
+        from repro.core.persistence import restore as _restore
+
+        record = self.nameserver.lookup(name)
+        if record.address_space == to_space:
+            return self.lookup_container(name)
+        destination = self.address_space(to_space)  # validate early
+        source_space = self.address_space(record.address_space)
+        container = self.lookup_container(name)
+        blob = _checkpoint(container, codec=self.default_codec)
+        replacement = _restore(blob, codec=self.default_codec)
+        self.nameserver.unregister(name)
+        source_space.remove_container(name)
+        destination._add_container(replacement)
+        self.nameserver.register(
+            NameRecord(name=name, kind=record.kind,
+                       address_space=to_space, metadata=record.metadata)
+        )
+        _log.info("migrated %s %r from %r to %r",
+                  record.kind, name, record.address_space, to_space)
+        return replacement
+
+    # -- attach ------------------------------------------------------------------------
+
+    def attach(self, container_name: str, mode: ConnectionMode,
+               from_space: Optional[str] = None, owner: str = "",
+               attention_filter: Optional[Callable] = None,
+               wait: Optional[float] = None):
+        """Connect to a named container from *from_space*.
+
+        Returns a direct :class:`~repro.core.connection.Connection` when
+        the caller shares the container's home space, else an
+        :class:`IsolatedConnection` that marshals every crossing value.
+
+        Parameters
+        ----------
+        wait:
+            If set, block up to this many seconds for the name to appear —
+            the dynamic-join idiom (camera threads attach to a mixer
+            channel that may not exist yet).
+        """
+        self._check_alive()
+        if wait is not None:
+            self.nameserver.wait_for(container_name, timeout=wait)
+        container = self.lookup_container(container_name)
+        record = self.nameserver.lookup(container_name)
+        connection = container.attach(
+            mode, owner=owner, attention_filter=attention_filter
+        )
+        if from_space is None or from_space == record.address_space:
+            return connection
+        return IsolatedConnection(connection, self.default_codec)
+
+    # -- threads ----------------------------------------------------------------------
+
+    def spawn(self, space: str, target: Callable[..., Any], *args: Any,
+              name: Optional[str] = None, **kwargs: Any) -> StampedeThread:
+        """Spawn a thread homed in *space*."""
+        return self.address_space(space).spawn(
+            target, *args, name=name, **kwargs
+        )
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if self._shutdown:
+            raise RuntimeStateError(f"runtime {self.name!r} is shut down")
+
+    def shutdown(self) -> None:
+        """Stop every address space and clear the name server."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            spaces = list(self._spaces.values())
+            self._spaces.clear()
+        for space in spaces:
+            space.destroy()
+        self.nameserver.clear()
+        _log.info("runtime %r shut down (%d spaces)",
+                  self.name, len(spaces))
+
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

@@ -1,0 +1,140 @@
+"""The cluster server library.
+
+"There is a listener thread on the cluster (part of the server library)
+that listens to new end devices joining a D-Stampede computation"
+(§3.2.2).  :class:`StampedeServer` is that listener plus surrogate
+management: every accepted TCP connection gets a
+:class:`~repro.runtime.surrogate.Surrogate` bound to an address space
+chosen round-robin from the configured device spaces (the ``N_i`` of §4).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import DeliveryTimeoutError, TransportClosedError
+from repro.runtime.runtime import Runtime
+from repro.runtime.service import SessionService
+from repro.runtime.surrogate import LeaseReaper, Surrogate
+from repro.transport.tcp import TcpListener
+from repro.util.logging import get_logger
+
+_log = get_logger("runtime.server")
+
+
+class StampedeServer:
+    """TCP front door of a cluster runtime.
+
+    Parameters
+    ----------
+    runtime:
+        The cluster this server exposes.
+    host, port:
+        Listen address (``port=0`` = ephemeral; read :attr:`address`).
+    device_spaces:
+        Address-space names to assign to joining devices round-robin.
+        Spaces that do not exist yet are created.  Default: one space
+        named ``"edge"``.
+    lease_timeout:
+        If set, surrogates idle longer than this many seconds are reaped
+        (failure-detection extension; the paper's system had none).
+    """
+
+    def __init__(self, runtime: Runtime, host: str = "127.0.0.1",
+                 port: int = 0,
+                 device_spaces: Optional[List[str]] = None,
+                 lease_timeout: Optional[float] = None) -> None:
+        self.runtime = runtime
+        self._spaces = device_spaces or ["edge"]
+        for space in self._spaces:
+            try:
+                runtime.address_space(space)
+            except Exception:  # noqa: BLE001 - missing space
+                runtime.create_address_space(space)
+        self._space_cycle = itertools.cycle(self._spaces)
+        self._listener = TcpListener(host, port)
+        self._address = self._listener.address
+        self._surrogates: Dict[str, Surrogate] = {}
+        self._surrogates_lock = threading.Lock()
+        self._closed = threading.Event()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="dstampede-listener", daemon=True
+        )
+        self._reaper: Optional[LeaseReaper] = None
+        if lease_timeout is not None:
+            self._reaper = LeaseReaper(
+                self._surrogates, self._surrogates_lock, lease_timeout
+            )
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> "StampedeServer":
+        """Start accepting end devices; returns self."""
+        self._accept_thread.start()
+        if self._reaper is not None:
+            self._reaper.start()
+        _log.info("server listening on %s", self.address)
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The listen address devices join through."""
+        return self._address
+
+    def close(self) -> None:
+        """Stop accepting, reap every surrogate, keep the runtime running
+        (the runtime may serve other servers or in-process threads)."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._listener.close()
+        if self._reaper is not None:
+            self._reaper.stop()
+        with self._surrogates_lock:
+            surrogates = list(self._surrogates.values())
+        for surrogate in surrogates:
+            surrogate.close()
+        _log.info("server on %s closed", self.address)
+
+    def __enter__(self) -> "StampedeServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- surrogate management ---------------------------------------------------------
+
+    def surrogates(self) -> List[Surrogate]:
+        """Snapshot of the current surrogates."""
+        with self._surrogates_lock:
+            return list(self._surrogates.values())
+
+    @property
+    def device_count(self) -> int:
+        """Number of live (unreaped) surrogates."""
+        with self._surrogates_lock:
+            return sum(1 for s in self._surrogates.values() if s.alive)
+
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                connection = self._listener.accept(timeout=0.5)
+            except DeliveryTimeoutError:
+                continue
+            except TransportClosedError:
+                break
+            service = SessionService(self.runtime, next(self._space_cycle))
+            surrogate = Surrogate(
+                connection, service, on_close=self._forget
+            )
+            with self._surrogates_lock:
+                self._surrogates[service.session_id] = surrogate
+            surrogate.start()
+            _log.info("end device joined: %s assigned to space %r",
+                      service.session_id, service.space)
+
+    def _forget(self, surrogate: Surrogate) -> None:
+        with self._surrogates_lock:
+            self._surrogates.pop(surrogate.service.session_id, None)

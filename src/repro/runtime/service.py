@@ -1,0 +1,327 @@
+"""Executes wire operations against a runtime on behalf of one end device.
+
+One :class:`SessionService` instance exists per connected end device; it
+is the state the paper says the surrogate maintains — "state information
+pertaining to an end device is maintained by the server library via the
+associated surrogate thread" (§3.2.2):
+
+* the device's assigned address space,
+* the device's codec personality (XDR or JDR),
+* its open connections (wire connection-ids map to real
+  :class:`~repro.core.connection.Connection` objects),
+* its pending reclaim notifications (§3.2.4), drained into every response.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.connection import Connection, ConnectionMode
+from repro.core.container import Container
+from repro.core.timestamps import NEWEST, OLDEST
+from repro.errors import RpcError
+from repro.marshal import get_codec
+from repro.runtime import ops
+from repro.runtime.nameserver import NameRecord
+from repro.runtime.runtime import Runtime
+
+_session_ids = itertools.count(1)
+
+_MODES = {
+    "in": ConnectionMode.IN,
+    "out": ConnectionMode.OUT,
+    "inout": ConnectionMode.INOUT,
+}
+
+
+class SessionService:
+    """Per-end-device operation executor.
+
+    Parameters
+    ----------
+    runtime:
+        The cluster runtime operations act on.
+    space:
+        The address space assigned to this device (the ``N_i`` its
+        listener lives in, §4).
+    client_name:
+        Diagnostic label until HELLO overrides it.
+    """
+
+    def __init__(self, runtime: Runtime, space: str,
+                 client_name: str = "") -> None:
+        self.runtime = runtime
+        self.space = space
+        self.client_name = client_name
+        self.session_id = f"session-{next(_session_ids)}"
+        self.codec = get_codec("xdr")
+        self._connections: Dict[int, Connection] = {}
+        self._conn_ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._pending_reclaims: List[ops.Reclaim] = []
+        #: containers we installed a reclaim-forwarding handler on:
+        #: name -> (container, handler) for removal at close.
+        self._handlers: Dict[str, Tuple[Container, Any]] = {}
+        self._registered_names: List[str] = []
+        self.closed = False
+
+    # -- reclaim piggybacking ----------------------------------------------------
+
+    def drain_reclaims(self) -> List[ops.Reclaim]:
+        """Take (and clear) pending reclaim notifications."""
+        with self._lock:
+            drained = self._pending_reclaims
+            self._pending_reclaims = []
+            return drained
+
+    def _install_reclaim_forwarder(self, container: Container) -> None:
+        with self._lock:
+            if container.name in self._handlers:
+                return
+
+            def forwarder(timestamp, value, _name=container.name):
+                with self._lock:
+                    self._pending_reclaims.append((_name, timestamp))
+
+            self._handlers[container.name] = (container, forwarder)
+        container.add_reclaim_handler(forwarder)
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def execute(self, opcode: int, args: Dict[str, Any]) -> Dict[str, Any]:
+        """Run one operation; returns the result fields.
+
+        Exceptions propagate to the surrogate, which encodes them as error
+        responses.
+        """
+        handler = self._DISPATCH.get(opcode)
+        if handler is None:
+            raise RpcError(f"unhandled opcode {opcode}")
+        return handler(self, args)
+
+    # -- operations ------------------------------------------------------------------
+
+    def _op_hello(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        self.client_name = args["client_name"]
+        self.codec = get_codec(args["codec"])
+        return {"session_id": self.session_id, "space": self.space}
+
+    def _op_create_channel(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        space = args["space"] or self.space
+        capacity = args["capacity"] if args["bounded"] else None
+        self.runtime.create_channel(args["name"], space, capacity=capacity)
+        return {}
+
+    def _op_create_queue(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        space = args["space"] or self.space
+        capacity = args["capacity"] if args["bounded"] else None
+        self.runtime.create_queue(
+            args["name"], space, capacity=capacity,
+            auto_consume=args["auto_consume"],
+        )
+        return {}
+
+    def _op_attach(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        mode_name = args["mode"]
+        mode = _MODES.get(mode_name)
+        if mode is None:
+            raise RpcError(f"unknown connection mode {mode_name!r}")
+        if args["wait"]:
+            self.runtime.nameserver.wait_for(
+                args["container"], timeout=args["wait_timeout"]
+            )
+        attention_filter = None
+        if args["filter"]:
+            # The device shipped a declarative filter spec: rebuild it
+            # here so filtering runs on the cluster, before items cross
+            # the network (the paper's selective-attention future work).
+            from repro.core.filters import filter_from_spec
+
+            spec = self.codec.decode(args["filter"])
+            attention_filter = filter_from_spec(spec).predicate()
+        container = self.runtime.lookup_container(args["container"])
+        connection = container.attach(
+            mode, owner=f"{self.session_id}:{self.client_name}",
+            attention_filter=attention_filter,
+        )
+        if mode.can_get:
+            # The device may hold user buffers for items it got; forward
+            # reclamations so its client library can free them (§3.2.4).
+            self._install_reclaim_forwarder(container)
+        wire_id = next(self._conn_ids)
+        with self._lock:
+            self._connections[wire_id] = connection
+        return {"connection_id": wire_id, "kind": container.KIND}
+
+    def _op_detach(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        connection = self._take_connection(args["connection_id"])
+        connection.detach()
+        return {}
+
+    def _op_put(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        connection = self._connection(args["connection_id"])
+        value = self.codec.decode(args["payload"])
+        timeout = args["timeout"] if args["has_timeout"] else None
+        connection.put(
+            args["timestamp"], value, size=len(args["payload"]),
+            block=args["block"], timeout=timeout,
+        )
+        return {}
+
+    def _op_get(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        connection = self._connection(args["connection_id"])
+        vt_kind = args["vt_kind"]
+        if vt_kind == ops.VT_NEWEST:
+            vt = NEWEST
+        elif vt_kind == ops.VT_OLDEST:
+            vt = OLDEST
+        elif vt_kind == ops.VT_CONCRETE:
+            vt = args["timestamp"]
+        else:
+            raise RpcError(f"unknown virtual-time kind {vt_kind}")
+        timeout = args["timeout"] if args["has_timeout"] else None
+        ts, value = connection.get(vt, block=args["block"], timeout=timeout)
+        return {"timestamp": ts, "payload": self.codec.encode(value)}
+
+    def _op_consume(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        self._connection(args["connection_id"]).consume(args["timestamp"])
+        return {}
+
+    def _op_consume_until(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        self._connection(args["connection_id"]).consume_until(
+            args["timestamp"]
+        )
+        return {}
+
+    def _op_ns_register(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        metadata = self.codec.decode(args["metadata"]) \
+            if args["metadata"] else {}
+        self.runtime.nameserver.register(
+            NameRecord(name=args["name"], kind=args["kind"],
+                       address_space=self.space, metadata=metadata)
+        )
+        with self._lock:
+            self._registered_names.append(args["name"])
+        return {}
+
+    def _op_ns_unregister(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        self.runtime.nameserver.unregister(args["name"])
+        with self._lock:
+            if args["name"] in self._registered_names:
+                self._registered_names.remove(args["name"])
+        return {}
+
+    def _op_ns_lookup(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        record = self.runtime.nameserver.lookup(args["name"])
+        return {
+            "kind": record.kind,
+            "space": record.address_space,
+            "metadata": self.codec.encode(record.metadata),
+        }
+
+    def _op_ns_list(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        kind: Optional[str] = args["kind"] or None
+        records = self.runtime.nameserver.list(kind=kind)
+        return {"names": [r.name for r in records]}
+
+    def _op_ping(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        return {"payload": args["payload"]}
+
+    def _op_bye(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        self.close()
+        return {}
+
+    def _op_set_realtime(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        # Real-time pacing runs on the end device (the client library owns
+        # the clock it paces against); the surrogate only records the
+        # declared cadence for diagnostics.
+        self.realtime_tick = args["tick_period"]
+        self.realtime_tolerance = args["tolerance"]
+        return {}
+
+    def _op_gc_report(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        sweeps = 0
+        items = 0
+        bytes_ = 0
+        for space in self.runtime.address_spaces():
+            sweeps += space.gc.report.sweeps
+            # Reclamation happens both in daemon sweeps and inline inside
+            # consume calls; container counters see every path.
+            for container in space.containers():
+                items += container.stats().reclaimed
+            bytes_ += space.gc.report.bytes_reclaimed
+        return {"sweeps": sweeps, "items": items, "bytes": bytes_}
+
+    def _op_inspect(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.runtime.inspect import snapshot
+
+        return {"snapshot": self.codec.encode(snapshot(self.runtime))}
+
+    _DISPATCH = {
+        ops.OP_HELLO: _op_hello,
+        ops.OP_CREATE_CHANNEL: _op_create_channel,
+        ops.OP_CREATE_QUEUE: _op_create_queue,
+        ops.OP_ATTACH: _op_attach,
+        ops.OP_DETACH: _op_detach,
+        ops.OP_PUT: _op_put,
+        ops.OP_GET: _op_get,
+        ops.OP_CONSUME: _op_consume,
+        ops.OP_CONSUME_UNTIL: _op_consume_until,
+        ops.OP_NS_REGISTER: _op_ns_register,
+        ops.OP_NS_UNREGISTER: _op_ns_unregister,
+        ops.OP_NS_LOOKUP: _op_ns_lookup,
+        ops.OP_NS_LIST: _op_ns_list,
+        ops.OP_PING: _op_ping,
+        ops.OP_BYE: _op_bye,
+        ops.OP_SET_REALTIME: _op_set_realtime,
+        ops.OP_GC_REPORT: _op_gc_report,
+        ops.OP_INSPECT: _op_inspect,
+    }
+
+    # -- connection table -------------------------------------------------------------
+
+    def has_connection(self, wire_id: int) -> bool:
+        """Whether *wire_id* names a live connection of this session."""
+        with self._lock:
+            return wire_id in self._connections
+
+    def _connection(self, wire_id: int) -> Connection:
+        with self._lock:
+            connection = self._connections.get(wire_id)
+        if connection is None:
+            raise RpcError(f"unknown connection id {wire_id}")
+        return connection
+
+    def _take_connection(self, wire_id: int) -> Connection:
+        with self._lock:
+            connection = self._connections.pop(wire_id, None)
+        if connection is None:
+            raise RpcError(f"unknown connection id {wire_id}")
+        return connection
+
+    # -- teardown ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release everything the device held: connections detach (so GC
+        stops waiting on it) and reclaim forwarders are removed.
+
+        Mirrors "the surrogate thread ceases to exist when the end device
+        goes away" (§3.2.2).
+        """
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            connections = list(self._connections.values())
+            self._connections.clear()
+            handlers = list(self._handlers.values())
+            self._handlers.clear()
+        for connection in connections:
+            connection.detach()
+        for container, forwarder in handlers:
+            try:
+                container.remove_reclaim_handler(forwarder)
+            except ValueError:
+                pass  # container already destroyed

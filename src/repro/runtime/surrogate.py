@@ -1,0 +1,310 @@
+"""Surrogate threads: the cluster-side representatives of end devices.
+
+"Upon joining, a specific surrogate thread is created on the cluster on
+behalf of the new end device.  All subsequent D-Stampede calls from this
+end device are fielded and carried out by this specific surrogate thread"
+(§3.2.2).
+
+A :class:`Surrogate` owns one TCP connection and one
+:class:`~repro.runtime.service.SessionService`.  The receive loop decodes
+request frames; each request is executed on its own worker thread so a
+blocking ``get`` from the device's display thread never stalls the puts
+of its producer thread (both share the device's single connection).
+
+Beyond the paper (which lists failure handling as an open limitation), a
+surrogate carries a **lease**: the server can reap surrogates whose
+device has been silent too long, instead of leaving them "in an
+indeterminate state".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.errors import StampedeError, TransportClosedError
+from repro.runtime import ops
+from repro.runtime.service import SessionService
+from repro.transport.tcp import TcpConnection
+from repro.util import trace as tracepoints
+from repro.util.logging import get_logger
+from repro.util.trace import trace
+
+_log = get_logger("runtime.surrogate")
+
+
+class Surrogate:
+    """The cluster-side agent of one end device."""
+
+    def __init__(self, connection: TcpConnection, service: SessionService,
+                 on_close: Optional[Callable[["Surrogate"], None]] = None
+                 ) -> None:
+        self.connection = connection
+        self.service = service
+        self._on_close = on_close
+        self._closed = threading.Event()
+        self._send_lock = threading.Lock()
+        self._executors: Dict[int, "_SerialExecutor"] = {}
+        self._executors_lock = threading.Lock()
+        self.last_activity = time.monotonic()
+        self.requests_served = 0
+        self._thread = threading.Thread(
+            target=self._serve, name=f"surrogate-{service.session_id}",
+            daemon=True,
+        )
+
+    def start(self) -> "Surrogate":
+        """Begin serving the device; returns self."""
+        trace(tracepoints.JOIN, self.service.session_id,
+              client=self.service.client_name, space=self.service.space)
+        self._thread.start()
+        return self
+
+    @property
+    def alive(self) -> bool:
+        """False once the surrogate has been closed."""
+        return not self._closed.is_set()
+
+    @property
+    def idle_seconds(self) -> float:
+        """Seconds since the device's last request (lease age)."""
+        return time.monotonic() - self.last_activity
+
+    # -- serving ------------------------------------------------------------------
+
+    def _serve(self) -> None:
+        try:
+            while not self._closed.is_set():
+                try:
+                    frame = self.connection.recv_frame(timeout=0.5)
+                except TransportClosedError:
+                    break
+                except StampedeError:
+                    continue  # recv timeout: poll the closed flag
+                self.last_activity = time.monotonic()
+                self._dispatch(frame)
+        finally:
+            self.close()
+
+    def _dispatch(self, frame: bytes) -> None:
+        """Route one request to the right execution context.
+
+        * Operations on a container connection (put/get/consume/...)
+          run on that connection's **serial executor**: a lazily-created
+          per-connection worker that preserves issue order even when an
+          operation blocks — without it, a blocked put racing later puts
+          (possible with fire-and-forget streaming) could fill a bounded
+          channel out of order and deadlock an in-order consumer.
+          Different connections execute in parallel, so a display
+          thread's blocking get never stalls its device's producer.
+        * ``attach`` with ``wait`` may block on the name server: its own
+          worker thread.
+        * Everything else (HELLO, PING, NS ops, INSPECT...) is fast and
+          runs inline on the receive loop.
+        """
+        try:
+            request_id, opcode, args = ops.decode_request(frame)
+        except Exception as exc:  # noqa: BLE001 - hostile frame
+            try:
+                request_id = ops.peek_request_id(frame)
+            except Exception:  # noqa: BLE001 - not even an envelope
+                request_id = ops.CAST_REQUEST_ID
+            if request_id != ops.CAST_REQUEST_ID:
+                self._send(ops.encode_error_response(
+                    request_id, type(exc).__name__, str(exc),
+                    reclaims=self.service.drain_reclaims(),
+                ))
+            return
+        connection_id = args.get("connection_id")
+        if connection_id is not None:
+            if not self.service.has_connection(connection_id):
+                # Unknown/detached id: answer inline with the usual
+                # RpcError instead of materialising an executor thread —
+                # otherwise a hostile client could mint one thread per
+                # random id.
+                self._handle(request_id, opcode, args)
+                return
+            self._executor(connection_id).submit(
+                (request_id, opcode, args)
+            )
+            return
+        if opcode == ops.OP_ATTACH and args.get("wait"):
+            worker = threading.Thread(
+                target=self._handle, args=(request_id, opcode, args),
+                name=f"{self._thread.name}-attach", daemon=True,
+            )
+            worker.start()
+            return
+        self._handle(request_id, opcode, args)
+
+    def _executor(self, connection_id: int) -> "_SerialExecutor":
+        with self._executors_lock:
+            executor = self._executors.get(connection_id)
+            if executor is None:
+                executor = _SerialExecutor(self, connection_id)
+                self._executors[connection_id] = executor
+            return executor
+
+    def _handle(self, request_id: int, opcode: int, args) -> None:
+        is_cast = request_id == ops.CAST_REQUEST_ID
+        try:
+            results = self.service.execute(opcode, args)
+            self.requests_served += 1
+            if opcode == ops.OP_BYE:
+                if not is_cast:
+                    self._send(ops.encode_ok_response(
+                        request_id, opcode, results,
+                        reclaims=self.service.drain_reclaims(),
+                    ))
+                self.close()
+                return
+            if is_cast:
+                return  # fire-and-forget: no response
+            response = ops.encode_ok_response(
+                request_id, opcode, results,
+                reclaims=self.service.drain_reclaims(),
+            )
+        except Exception as exc:  # noqa: BLE001 - becomes an error frame
+            if is_cast:
+                _log.warning(
+                    "cast %s from %s failed: %r",
+                    ops.OP_SCHEMAS.get(opcode,
+                                       ops.OP_SCHEMAS[ops.OP_PING]).name,
+                    self.service.session_id, exc,
+                )
+                return
+            response = ops.encode_error_response(
+                request_id, type(exc).__name__, str(exc),
+                reclaims=self.service.drain_reclaims(),
+            )
+        self._send(response)
+
+    def _send(self, frame: bytes) -> None:
+        try:
+            self.connection.send_frame(frame)
+        except TransportClosedError:
+            self.close()
+
+    # -- teardown --------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Annihilate the surrogate: release session state, drop the pipe.
+
+        Idempotent; called on clean BYE, device disconnect, or lease
+        expiry.
+        """
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        with self._executors_lock:
+            executors = list(self._executors.values())
+            self._executors.clear()
+        for executor in executors:
+            executor.stop()
+        self.service.close()
+        self.connection.close()
+        if self._on_close is not None:
+            self._on_close(self)
+        trace(tracepoints.LEAVE, self.service.session_id,
+              requests=self.requests_served)
+        _log.info(
+            "surrogate %s closed after %d requests",
+            self.service.session_id, self.requests_served,
+        )
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "closed"
+        return (
+            f"<Surrogate {self.service.session_id} "
+            f"client={self.service.client_name!r} {state}>"
+        )
+
+
+class _SerialExecutor:
+    """In-order executor for one wire connection's operations.
+
+    A lazily-started daemon thread drains a FIFO of requests, so the
+    issue order a device thread observes locally is exactly the
+    execution order on the cluster — including across fire-and-forget
+    casts — while other connections proceed in parallel.
+    """
+
+    _STOP = object()
+
+    def __init__(self, surrogate: Surrogate, connection_id: int) -> None:
+        import queue
+
+        self._surrogate = surrogate
+        self._queue: "queue.Queue" = queue.Queue()
+        self._thread = threading.Thread(
+            target=self._run,
+            name=(f"surrogate-{surrogate.service.session_id}"
+                  f"-conn{connection_id}"),
+            daemon=True,
+        )
+        self._thread.start()
+
+    def submit(self, request) -> None:
+        """Enqueue one decoded request for in-order execution."""
+        self._queue.put(request)
+
+    def stop(self) -> None:
+        """Stop the executor after the queued requests drain."""
+        self._queue.put(self._STOP)
+
+    def _run(self) -> None:
+        while True:
+            request = self._queue.get()
+            if request is self._STOP:
+                return
+            request_id, opcode, args = request
+            self._surrogate._handle(request_id, opcode, args)
+
+
+class LeaseReaper:
+    """Failure-detection extension: reaps surrogates idle past a lease.
+
+    The paper's stated limitation — "if an end device does not cleanly
+    leave an application ... it will leave its surrogate on the cluster in
+    an indeterminate state" (§3.3) — is closed by treating device silence
+    longer than *lease_timeout* as a failure.  Client libraries keep the
+    lease alive with periodic PINGs.
+    """
+
+    def __init__(self, surrogates: Dict[str, Surrogate],
+                 lock: threading.Lock, lease_timeout: float,
+                 check_interval: Optional[float] = None) -> None:
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        self._surrogates = surrogates
+        self._lock = lock
+        self._lease = lease_timeout
+        self._interval = check_interval or lease_timeout / 4
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="surrogate-reaper", daemon=True
+        )
+
+    def start(self) -> None:
+        """Begin serving the device; returns self."""
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the executor after the queued requests drain."""
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(timeout=self._interval):
+            with self._lock:
+                expired = [
+                    s for s in self._surrogates.values()
+                    if s.alive and s.idle_seconds > self._lease
+                ]
+            for surrogate in expired:
+                _log.warning(
+                    "lease expired for %s (idle %.1fs) — reaping",
+                    surrogate.service.session_id, surrogate.idle_seconds,
+                )
+                surrogate.close()

@@ -1,0 +1,38 @@
+"""Discrete-event simulation of the paper's 2002 testbed.
+
+The original evaluation ran on "a cluster consisting of 17 eight-way SMPs
+interconnected by Gigabit Ethernet.  Each processor is a 550MHz Pentium
+III Xeon" (§5).  That hardware no longer exists; this package substitutes
+a discrete-event model so the benchmark harness can regenerate every data
+figure (11–15) and Table 1 with the paper's *shape* — orderings,
+crossovers, saturation points — rather than its absolute microseconds.
+
+Pieces:
+
+* :mod:`.engine` — the event loop: processes, timeouts, FCFS resources,
+  serialized links;
+* :mod:`.params` — every calibration constant, each traced to the paper
+  sentence it anchors;
+* :mod:`.protocols` — latency models for raw UDP, TCP (with congestion
+  spikes) and CLF exchanges;
+* :mod:`.stampede_model` — end-to-end path models for the micro
+  experiments (Exp. 1 and configs 1–3 of Exps. 2/3);
+* :mod:`.octopus` — the testbed topology (cluster nodes, end devices,
+  shared egress links);
+* :mod:`.workload` — the video-conferencing application of §5.2 as a
+  simulated pipeline (socket / single-threaded / multi-threaded mixer).
+"""
+
+from repro.simnet.engine import Event, Pipe, Process, Resource, Simulator
+from repro.simnet.params import TestbedParams
+from repro.simnet.octopus import OctopusTestbed
+
+__all__ = [
+    "Event",
+    "OctopusTestbed",
+    "Pipe",
+    "Process",
+    "Resource",
+    "Simulator",
+    "TestbedParams",
+]

@@ -1,0 +1,332 @@
+"""A minimal process-oriented discrete-event engine.
+
+Three primitives cover everything the testbed model needs:
+
+* :class:`Simulator` — the event loop (a time-ordered heap of callbacks);
+* :class:`Process` — a generator-based coroutine; ``yield`` an
+  :class:`Event` to suspend until it fires (``sim.timeout``, resource
+  service completion, link delivery);
+* :class:`Resource` / :class:`Pipe` — contention: an N-server FCFS queue
+  (CPUs) and a serialized link with bandwidth and latency (NICs).
+
+The engine is deterministic: ties in time break by schedule order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import SimTimeError, SimulationError
+
+
+class Event:
+    """Something that will happen at a simulated instant.
+
+    Callbacks added before the event fires run at fire time; a callback
+    added to an already-fired event (a ``Store`` accepted a put without
+    blocking, say) runs on the next loop turn at the current time, so a
+    process can always safely ``yield`` any event.
+    """
+
+    __slots__ = ("sim", "fired", "value", "_callbacks")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.fired = False
+        self.value: Any = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run *callback* when the event fires (or next turn if it already has)."""
+        if self.fired:
+            relay = self.sim.timeout(0.0, self.value)
+            relay._callbacks.append(lambda _ev: callback(self))
+            return
+        self._callbacks.append(callback)
+
+    def fire(self, value: Any = None) -> None:
+        """Mark the event occurred and run its callbacks."""
+        if self.fired:
+            raise SimulationError("event fired twice")
+        self.fired = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Process:
+    """A generator coroutine driven by the simulator.
+
+    The generator yields :class:`Event` objects; each ``yield`` suspends
+    the process until the event fires, and the yield expression evaluates
+    to the event's value.  When the generator returns, the process's
+    :attr:`completed` event fires with its return value.
+    """
+
+    def __init__(self, sim: "Simulator",
+                 generator: Generator[Event, Any, Any],
+                 name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._generator = generator
+        self.completed = Event(sim)
+        self._step(None)
+
+    def _step(self, value: Any) -> None:
+        try:
+            event = self._generator.send(value)
+        except StopIteration as stop:
+            self.completed.fire(stop.value)
+            return
+        if not isinstance(event, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(event).__name__}, "
+                f"expected Event"
+            )
+        event.add_callback(lambda ev: self._step(ev.value))
+
+
+class Simulator:
+    """The event loop."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, Event, Any]] = []
+        self._tiebreak = itertools.count()
+        self.events_processed = 0
+
+    # -- scheduling -----------------------------------------------------------
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event firing *delay* seconds from now."""
+        if delay < 0:
+            raise SimTimeError(f"negative delay {delay}")
+        event = Event(self)
+        heapq.heappush(
+            self._heap, (self.now + delay, next(self._tiebreak), event,
+                         value)
+        )
+        return event
+
+    def at(self, time: float, value: Any = None) -> Event:
+        """An event firing at absolute simulated *time*."""
+        if time < self.now:
+            raise SimTimeError(
+                f"cannot schedule at {time} (now is {self.now})"
+            )
+        return self.timeout(time - self.now, value)
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: str = "") -> Process:
+        """Start a process coroutine."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: List[Event]) -> Event:
+        """An event firing when the first of *events* fires."""
+        combined = Event(self)
+
+        def on_first(ev: Event) -> None:
+            if not combined.fired:
+                combined.fire(ev.value)
+
+        for event in events:
+            event.add_callback(on_first)
+        return combined
+
+    def all_of(self, events: List[Event]) -> Event:
+        """An event firing when every one of *events* has fired, with the
+        list of their values."""
+        combined = Event(self)
+        remaining = [len(events)]
+        if not events:
+            # Fire on the next loop turn to keep semantics uniform.
+            return self.timeout(0.0, [])
+
+        def on_each(_ev: Event) -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                combined.fire([e.value for e in events])
+
+        for event in events:
+            event.add_callback(on_each)
+        return combined
+
+    # -- running ----------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the heap empties or *until* is reached.
+
+        Returns the simulation time at stop.
+        """
+        while self._heap:
+            time, _tie, event, value = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            if time < self.now:  # pragma: no cover - heap invariant
+                raise SimTimeError("time ran backwards")
+            self.now = time
+            self.events_processed += 1
+            event.fire(value)
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    def run_until_fired(self, event: Event,
+                        limit: float = 1e9) -> Any:
+        """Run until *event* fires; returns its value.
+
+        :raises SimulationError: the event never fired before the heap
+            drained or *limit* simulated seconds elapsed (deadlock or
+            starvation in the model).
+        """
+        while not event.fired:
+            if not self._heap:
+                raise SimulationError(
+                    "event never fired: simulation deadlocked"
+                )
+            if self.now > limit:
+                raise SimulationError(f"simulation passed limit {limit}s")
+            time, _tie, pending, value = heapq.heappop(self._heap)
+            self.now = time
+            self.events_processed += 1
+            pending.fire(value)
+        return event.value
+
+
+class Store:
+    """A bounded FIFO buffer connecting pipeline stages.
+
+    ``put`` returns an event firing once the item is accepted (immediately
+    if a slot is free, else when a consumer drains one — back-pressure);
+    ``get`` returns an event firing with the next item.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None,
+                 name: str = "store") -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: List[Any] = []
+        self._waiting_puts: List[Tuple[Event, Any]] = []
+        self._waiting_gets: List[Event] = []
+
+    def put(self, item: Any) -> Event:
+        """Offer *item*; the event fires when a slot accepts it."""
+        event = Event(self.sim)
+        if self._waiting_gets:
+            getter = self._waiting_gets.pop(0)
+            getter.fire(item)
+            event.fire(None)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            event.fire(None)
+        else:
+            self._waiting_puts.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Take the next item; the event fires with it."""
+        event = Event(self.sim)
+        if self._items:
+            item = self._items.pop(0)
+            if self._waiting_puts:
+                put_event, queued = self._waiting_puts.pop(0)
+                self._items.append(queued)
+                put_event.fire(None)
+            event.fire(item)
+        else:
+            self._waiting_gets.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Resource:
+    """An N-server FCFS service centre (e.g. the CPUs of one SMP node).
+
+    ``use(duration)`` returns an event that fires when a server has both
+    become available *and* held the job for *duration* seconds.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int,
+                 name: str = "resource") -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        #: Next-free times, one per server.
+        self._free_at = [0.0] * capacity
+        self.jobs_served = 0
+        self.busy_time = 0.0
+
+    def use(self, duration: float) -> Event:
+        """Occupy the earliest-available server for *duration*."""
+        if duration < 0:
+            raise ValueError(f"negative duration {duration}")
+        index = min(range(self.capacity), key=lambda i: self._free_at[i])
+        start = max(self.sim.now, self._free_at[index])
+        finish = start + duration
+        self._free_at[index] = finish
+        self.jobs_served += 1
+        self.busy_time += duration
+        return self.sim.at(finish)
+
+    def utilisation(self, elapsed: float) -> float:
+        """Aggregate busy fraction over *elapsed* seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / (elapsed * self.capacity)
+
+
+class Pipe:
+    """A serialized link: bandwidth + propagation latency.
+
+    Transfers queue behind each other (a NIC sends one frame at a time);
+    delivery happens one latency after the last byte leaves.  This is the
+    mechanism behind the egress saturation of Table 1.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth: float,
+                 latency: float = 0.0, name: str = "pipe") -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if latency < 0:
+            raise ValueError(f"negative latency {latency}")
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.name = name
+        self._free_at = 0.0
+        self.bytes_sent = 0
+        self.transfers = 0
+
+    def transfer(self, size: float) -> Event:
+        """Deliver *size* bytes; the returned event fires at delivery."""
+        if size < 0:
+            raise ValueError(f"negative transfer size {size}")
+        start = max(self.sim.now, self._free_at)
+        done_sending = start + size / self.bandwidth
+        self._free_at = done_sending
+        self.bytes_sent += size
+        self.transfers += 1
+        return self.sim.at(done_sending + self.latency)
+
+    @property
+    def backlog_seconds(self) -> float:
+        """Seconds of queued work ahead of a transfer issued now."""
+        return max(0.0, self._free_at - self.sim.now)
+
+    def delivered_bandwidth(self, elapsed: float) -> float:
+        """Average delivered bytes/second over *elapsed* seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return self.bytes_sent / elapsed

@@ -1,0 +1,102 @@
+"""The Octopus testbed topology.
+
+Builds the simulated counterpart of the paper's hardware (§5): a cluster
+of 8-way SMP nodes behind ~50 MB/s effective egress NICs, and end devices
+hanging off the cluster with their own uplink and display-ingest
+capacities.  The workload module composes these pieces into the §5.2
+application pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.simnet.engine import Pipe, Resource, Simulator
+from repro.simnet.params import DEFAULT_PARAMS, TestbedParams
+
+
+@dataclass
+class ClusterNode:
+    """One SMP node: CPUs plus a shared egress NIC."""
+
+    name: str
+    cpus: Resource
+    egress: Pipe
+
+
+@dataclass
+class EndDevice:
+    """One tentacle: a camera uplink and a display ingest path."""
+
+    name: str
+    uplink: Pipe
+    display_stream: Pipe
+
+
+@dataclass
+class OctopusTestbed:
+    """A built topology: simulator, cluster nodes, end devices."""
+
+    sim: Simulator
+    params: TestbedParams
+    nodes: List[ClusterNode] = field(default_factory=list)
+    devices: Dict[str, EndDevice] = field(default_factory=dict)
+
+    @staticmethod
+    def build(num_devices: int,
+              params: TestbedParams = DEFAULT_PARAMS) -> "OctopusTestbed":
+        """Create the testbed: the full cluster plus *num_devices* end
+        devices, each with its own uplink and display-ingest pipes."""
+        if num_devices < 0:
+            raise ValueError(f"negative device count {num_devices}")
+        sim = Simulator()
+        testbed = OctopusTestbed(sim=sim, params=params)
+        app = params.app
+        for index in range(params.cluster_nodes):
+            testbed.nodes.append(ClusterNode(
+                name=f"node-{index}",
+                cpus=Resource(sim, params.cpus_per_node,
+                              name=f"node-{index}-cpus"),
+                egress=Pipe(sim, app.egress_bandwidth,
+                            name=f"node-{index}-egress"),
+            ))
+        for index in range(num_devices):
+            name = f"device-{index}"
+            testbed.devices[name] = EndDevice(
+                name=name,
+                uplink=Pipe(sim, app.uplink_bandwidth,
+                            name=f"{name}-uplink"),
+                display_stream=Pipe(sim, app.stream_bandwidth,
+                                    name=f"{name}-display"),
+            )
+        return testbed
+
+    @property
+    def mixer_node(self) -> ClusterNode:
+        """The node hosting the mixer's address space ``N_M`` — "all the
+        threads of the mixer run in one node (an 8-way SMP)" (§5.2)."""
+        if not self.nodes:
+            raise ValueError("testbed has no cluster nodes")
+        return self.nodes[0]
+
+    def device(self, index: int) -> EndDevice:
+        """The *index*-th end device."""
+        return self.devices[f"device-{index}"]
+
+    # -- modelling helpers -------------------------------------------------------
+
+    def egress_send_bytes(self, composite_size: int) -> float:
+        """Wire-equivalent bytes for one composite send on the mixer's
+        egress NIC: payload plus the per-send fixed overhead expressed in
+        bytes at egress bandwidth."""
+        app = self.params.app
+        return composite_size + app.egress_send_overhead_s \
+            * app.egress_bandwidth
+
+    def stream_recv_bytes(self, composite_size: int) -> float:
+        """Wire-equivalent bytes for one composite arriving at a display
+        stream: payload plus the per-frame fixed ingest cost."""
+        app = self.params.app
+        return composite_size + app.stream_overhead_s \
+            * app.stream_bandwidth

@@ -1,0 +1,91 @@
+"""Latency models for the raw transports of the micro experiments.
+
+Each function maps a payload size (bytes) to an end-to-end *exchange*
+latency in microseconds, matching how §5.1 measures: "latency is measured
+as the sum of the put and get operations" for D-Stampede, and half a
+round-trip cycle for the socket baselines.
+"""
+
+from __future__ import annotations
+
+from repro.simnet.params import MicroParams
+
+
+def _check_size(size: int) -> None:
+    if size < 0:
+        raise ValueError(f"negative payload size {size}")
+
+
+def udp_exchange_us(size: int, p: MicroParams) -> float:
+    """Raw UDP send+receive exchange (Exp. 1 baseline).
+
+    Fixed per-datagram cost (syscalls, interrupts) plus wire time at the
+    effective bandwidth of the 2002 GigE stack.
+    """
+    _check_size(size)
+    return p.udp_fixed_us + size / p.udp_bandwidth * 1e6
+
+
+def tcp_exchange_us(size: int, p: MicroParams) -> float:
+    """Intra-cluster TCP exchange (Exp. 1 baseline).
+
+    Slower per byte than UDP (acknowledgement and congestion-control
+    machinery) and with deterministic "spikes that are due to the
+    inherent congestion control properties of TCP/IP".
+    """
+    _check_size(size)
+    base = p.tcp_fixed_us + size / p.tcp_bandwidth * 1e6
+    if _is_spike(size, p):
+        return base * p.tcp_spike_factor
+    return base
+
+
+def _is_spike(size: int, p: MicroParams) -> bool:
+    kilo = size // 1000
+    return kilo % p.tcp_spike_stride == p.tcp_spike_offset
+
+
+def client_tcp_exchange_us(size: int, p: MicroParams) -> float:
+    """End-device-to-cluster TCP exchange, C program (Exps. 2/3 baseline).
+
+    Anchored at 2500 µs for 55 000 bytes.
+    """
+    _check_size(size)
+    return p.ctcp_fixed_us + size / p.ctcp_bandwidth * 1e6
+
+
+def java_client_tcp_exchange_us(size: int, p: MicroParams) -> float:
+    """Same exchange written in Java: "similar" to the C program
+    (Result 2) — a small constant JVM cost and slightly lower throughput.
+    """
+    _check_size(size)
+    bandwidth = p.ctcp_bandwidth * p.jtcp_bandwidth_factor
+    return (p.ctcp_fixed_us + p.jtcp_extra_fixed_us
+            + size / bandwidth * 1e6)
+
+
+def clf_hop_us(size: int, p: MicroParams) -> float:
+    """One intra-cluster CLF traversal (the extra hop of config 2)."""
+    _check_size(size)
+    return p.clf_hop_fixed_us + size * p.clf_hop_per_byte_us
+
+
+def c_marshal_us(size: int, p: MicroParams) -> float:
+    """C client runtime cost per cluster traversal: XDR marshalling is
+    "mostly pointer manipulation" — a small fixed cost plus a shallow
+    per-byte slope."""
+    _check_size(size)
+    return p.c_marshal_fixed_us + size * p.c_marshal_per_byte_us
+
+
+def java_marshal_us(size: int, p: MicroParams) -> float:
+    """Java client runtime cost per traversal: marshalling "involve[s]
+    construction of objects" — an order of magnitude steeper slope."""
+    _check_size(size)
+    return p.j_marshal_fixed_us + size * p.j_marshal_per_byte_us
+
+
+def java_unmarshal_us(size: int, p: MicroParams) -> float:
+    """Object reconstruction on the receiving Java device."""
+    _check_size(size)
+    return p.j_get_fixed_us + size * p.j_get_per_byte_us

@@ -1,0 +1,142 @@
+"""End-to-end path models for the micro experiments (Figs. 11-13).
+
+Each experiment is a composition of the protocol models in
+:mod:`~repro.simnet.protocols` along the exact message path the paper
+diagrams (Figures 7-10):
+
+* **Experiment 1** — producer and consumer on different cluster nodes,
+  channel co-located with the consumer: one CLF exchange plus the
+  D-Stampede runtime's put+get processing.
+* **Experiment 2** (C client) / **Experiment 3** (Java client) — the
+  producer is an end device; three configurations move the consumer from
+  the channel's node (config 1), to another cluster address space
+  (config 2), to a second end device (config 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.simnet import protocols
+from repro.simnet.params import DEFAULT_PARAMS, TestbedParams
+
+
+@dataclass(frozen=True)
+class LatencyPoint:
+    """One point of a latency curve."""
+
+    size: int
+    latency_us: float
+
+
+Curve = List[LatencyPoint]
+
+
+def _sweep(sizes: List[int],
+           model: Callable[[int], float]) -> Curve:
+    return [LatencyPoint(size, model(size)) for size in sizes]
+
+
+class MicroModel:
+    """The three micro experiments as latency-curve generators."""
+
+    def __init__(self, params: TestbedParams = DEFAULT_PARAMS) -> None:
+        self.params = params
+        self._m = params.micro
+
+    # -- Experiment 1: intra-cluster (Figure 11) -------------------------------
+
+    def exp1_udp(self, size: int) -> float:
+        """Raw UDP exchange latency (µs) at *size* bytes."""
+        return protocols.udp_exchange_us(size, self._m)
+
+    def exp1_tcp(self, size: int) -> float:
+        """Intra-cluster TCP exchange latency (µs), spikes included."""
+        return protocols.tcp_exchange_us(size, self._m)
+
+    def exp1_dstampede(self, size: int) -> float:
+        """put+get through a channel on the consumer's node: the CLF
+        exchange carries the item once; the runtime charges its put and
+        get processing on top."""
+        exchange = protocols.udp_exchange_us(size, self._m)
+        runtime = self._m.ds_fixed_us + size * self._m.ds_per_byte_us
+        return exchange + runtime
+
+    # -- Experiment 2: C client (Figure 12) ---------------------------------------
+
+    def exp2_tcp_baseline(self, size: int) -> float:
+        """Device-to-cluster TCP exchange latency (µs), C program."""
+        return protocols.client_tcp_exchange_us(size, self._m)
+
+    def exp2_config1(self, size: int) -> float:
+        """Device -> cluster; consumer co-located with the channel: one
+        network traversal, so this curve is 'the exact overhead that the
+        D-Stampede runtime adds to TCP/IP'."""
+        return (protocols.client_tcp_exchange_us(size, self._m)
+                + protocols.c_marshal_us(size, self._m))
+
+    def exp2_config2(self, size: int) -> float:
+        """Consumer in a different cluster address space: adds one
+        intra-cluster CLF traversal for the get."""
+        return self.exp2_config1(size) + protocols.clf_hop_us(size, self._m)
+
+    def exp2_config3(self, size: int) -> float:
+        """Consumer on a second end device: the get pays another
+        device-to-cluster TCP traversal plus the device-side runtime
+        entry (unmarshalling in C is pointer work: fixed cost only)."""
+        return (self.exp2_config1(size)
+                + protocols.client_tcp_exchange_us(size, self._m)
+                + self._m.c_get_fixed_us)
+
+    # -- Experiment 3: Java client (Figure 13) ---------------------------------------
+
+    def exp3_tcp_baseline(self, size: int) -> float:
+        """Device-to-cluster TCP exchange latency (µs), Java program."""
+        return protocols.java_client_tcp_exchange_us(size, self._m)
+
+    def exp3_config1(self, size: int) -> float:
+        """Java client, consumer co-located with the channel."""
+        return (protocols.java_client_tcp_exchange_us(size, self._m)
+                + protocols.java_marshal_us(size, self._m))
+
+    def exp3_config2(self, size: int) -> float:
+        """Java client, consumer in another cluster address space."""
+        return self.exp3_config1(size) + protocols.clf_hop_us(size, self._m)
+
+    def exp3_config3(self, size: int) -> float:
+        """Java client, consumer on a second end device."""
+        return (self.exp3_config1(size)
+                + protocols.java_client_tcp_exchange_us(size, self._m)
+                + protocols.java_unmarshal_us(size, self._m))
+
+    # -- curve builders -----------------------------------------------------------------
+
+    def figure11(self, step: int = None) -> Dict[str, Curve]:  # type: ignore[assignment]
+        """The three Figure 11 curves over the payload sweep."""
+        sizes = self.params.sweep_sizes(step)
+        return {
+            "dstampede": _sweep(sizes, self.exp1_dstampede),
+            "udp": _sweep(sizes, self.exp1_udp),
+            "tcp": _sweep(sizes, self.exp1_tcp),
+        }
+
+    def figure12(self, step: int = None) -> Dict[str, Curve]:  # type: ignore[assignment]
+        """The four Figure 12 curves (C client)."""
+        sizes = self.params.sweep_sizes(step)
+        return {
+            "tcp": _sweep(sizes, self.exp2_tcp_baseline),
+            "config1": _sweep(sizes, self.exp2_config1),
+            "config2": _sweep(sizes, self.exp2_config2),
+            "config3": _sweep(sizes, self.exp2_config3),
+        }
+
+    def figure13(self, step: int = None) -> Dict[str, Curve]:  # type: ignore[assignment]
+        """The four Figure 13 curves (Java client)."""
+        sizes = self.params.sweep_sizes(step)
+        return {
+            "tcp": _sweep(sizes, self.exp3_tcp_baseline),
+            "config1": _sweep(sizes, self.exp3_config1),
+            "config2": _sweep(sizes, self.exp3_config2),
+            "config3": _sweep(sizes, self.exp3_config3),
+        }

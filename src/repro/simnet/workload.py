@@ -1,0 +1,260 @@
+"""The §5.2 video-conferencing workload on the simulated testbed.
+
+Three versions, exactly as the paper builds them:
+
+* **socket** — hand-written TCP version, single-threaded mixer;
+* **single** — D-Stampede channels, single-threaded mixer;
+* **multi** — D-Stampede channels, one mixer thread per client on the
+  8-way SMP.
+
+"The producer thread in the client program reads a 'virtual' camera (a
+memory buffer) and sends it to the server program continuously ... This
+structure allows us to stress the communication infrastructure of
+D-Stampede at the maximum possible rate" — so producers here are never
+the bottleneck, and the measured quantity is the sustained frame rate at
+the slowest display, as in Figures 14/15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.simnet.engine import Store
+from repro.simnet.octopus import OctopusTestbed
+from repro.simnet.params import DEFAULT_PARAMS, TestbedParams
+from repro.util.stats import RateMeter
+
+
+@dataclass(frozen=True)
+class VideoConfResult:
+    """Outcome of one simulated run."""
+
+    version: str
+    clients: int
+    image_size: int
+    #: Sustained frames/second at the slowest display.
+    fps: float
+    #: Frames each display received.
+    frames: int
+    #: K²·S·F — the delivered-bandwidth figure of Table 1 (bytes/s).
+    delivered_bandwidth: float
+    #: Simulated seconds the run took.
+    duration: float
+
+    @property
+    def meets_threshold(self) -> bool:
+        """The paper's 10 f/s publication floor."""
+        return self.fps >= DEFAULT_PARAMS.app.fps_floor
+
+
+def simulate_videoconf(version: str, clients: int, image_size: int,
+                       frames: int = 80, warmup: int = 10,
+                       params: TestbedParams = DEFAULT_PARAMS
+                       ) -> VideoConfResult:
+    """Run one configuration and return its sustained frame rate.
+
+    Parameters
+    ----------
+    version:
+        ``"socket"``, ``"single"`` or ``"multi"``.
+    clients:
+        Number of participants K; each display receives composites of
+        ``K * image_size`` bytes.
+    image_size:
+        Per-client camera image size S in bytes.
+    frames:
+        Frames to deliver per display (after which the run stops).
+    warmup:
+        Leading frames excluded from the sustained-rate window.
+    """
+    if version not in ("socket", "single", "multi"):
+        raise ValueError(f"unknown version {version!r}")
+    if clients < 1:
+        raise ValueError(f"need at least one client, got {clients}")
+    if image_size <= 0:
+        raise ValueError(f"image size must be positive, got {image_size}")
+    if frames <= warmup + 1:
+        raise ValueError("need more frames than warmup")
+
+    testbed = OctopusTestbed.build(clients, params=params)
+    meters = [RateMeter() for _ in range(clients)]
+    if version == "multi":
+        _build_multithreaded(testbed, clients, image_size, frames, meters)
+    else:
+        _build_single_threaded(testbed, clients, image_size, frames,
+                               meters, socket_version=(version == "socket"))
+    duration = testbed.sim.run()
+
+    fps = min(meter.rate(skip_warmup=warmup) for meter in meters)
+    composite = clients * image_size
+    return VideoConfResult(
+        version=version,
+        clients=clients,
+        image_size=image_size,
+        fps=fps,
+        frames=min(meter.count for meter in meters),
+        delivered_bandwidth=clients * composite * fps,
+        duration=duration,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Multi-threaded mixer (Figure 15)
+# ---------------------------------------------------------------------------
+
+
+def _build_multithreaded(testbed: OctopusTestbed, clients: int,
+                         image_size: int, frames: int,
+                         meters: List[RateMeter]) -> None:
+    """Pipelined stages: compose (8 CPUs) -> egress send (shared NIC) ->
+    display ingest (per-client stream), connected by bounded stores so
+    back-pressure propagates like the bounded channels of the real
+    runtime."""
+    sim = testbed.sim
+    app = testbed.params.app
+    mixer = testbed.mixer_node
+    composite = clients * image_size
+    window = app.stage_window
+
+    send_queues: List[Store] = [Store(sim, capacity=window)
+                                for _ in range(clients)]
+    arrive_queues: List[Store] = [Store(sim, capacity=window)
+                                  for _ in range(clients)]
+
+    def composer():
+        compose_time = composite * app.compose_per_byte_s
+        for ts in range(frames):
+            yield mixer.cpus.use(compose_time)
+            for q in send_queues:
+                yield q.put(ts)
+
+    def egress_sender(k: int):
+        for _ in range(frames):
+            ts = yield send_queues[k].get()
+            yield mixer.egress.transfer(
+                testbed.egress_send_bytes(composite)
+            )
+            yield arrive_queues[k].put(ts)
+
+    def display(k: int):
+        stream = testbed.device(k).display_stream
+        for _ in range(frames):
+            yield arrive_queues[k].get()
+            yield stream.transfer(testbed.stream_recv_bytes(composite))
+            meters[k].record(sim.now)
+
+    sim.process(composer(), name="mixer-composer")
+    for k in range(clients):
+        sim.process(egress_sender(k), name=f"egress-{k}")
+        sim.process(display(k), name=f"display-{k}")
+
+
+# ---------------------------------------------------------------------------
+# Single-threaded mixer (Figure 14): socket and channel versions
+# ---------------------------------------------------------------------------
+
+
+def _build_single_threaded(testbed: OctopusTestbed, clients: int,
+                           image_size: int, frames: int,
+                           meters: List[RateMeter],
+                           socket_version: bool) -> None:
+    """One mixer thread does everything serially: obtain each client's
+    image, build the composite, then write it out to each client one
+    after the other — "the mixer (a single thread) obtains images from
+    each client one after the other, generates the composite, and sends
+    it to the clients one after the other"."""
+    sim = testbed.sim
+    app = testbed.params.app
+    mixer = testbed.mixer_node
+    composite = clients * image_size
+    per_client = (app.single_per_client_socket_s if socket_version
+                  else app.single_per_client_s)
+    write_bandwidth = app.single_write_bandwidth
+
+    arrive_queues: List[Store] = [Store(sim, capacity=app.stage_window)
+                                  for _ in range(clients)]
+    # The single-threaded writer cannot keep the NIC saturated; model its
+    # effective serialized throughput with a dedicated pipe.
+    from repro.simnet.engine import Pipe
+
+    write_pipe = Pipe(sim, write_bandwidth, name="single-writer")
+
+    def mixer_loop():
+        for ts in range(frames):
+            for _k in range(clients):
+                # get + composite share for one client's image (serial).
+                yield mixer.cpus.use(per_client)
+            for q in arrive_queues:
+                # send the composite to one client after the other.
+                yield write_pipe.transfer(composite)
+                yield q.put(ts)
+
+    def display(k: int):
+        stream = testbed.device(k).display_stream
+        for _ in range(frames):
+            yield arrive_queues[k].get()
+            yield stream.transfer(testbed.stream_recv_bytes(composite))
+            meters[k].record(sim.now)
+
+    sim.process(mixer_loop(), name="mixer-single")
+    for k in range(clients):
+        sim.process(display(k), name=f"display-{k}")
+
+
+# ---------------------------------------------------------------------------
+# Sweeps for the figures and the table
+# ---------------------------------------------------------------------------
+
+#: The per-client image sizes of Figures 14/15 and Table 1 (bytes).
+PAPER_IMAGE_SIZES = [74_000, 89_000, 125_000, 145_000, 190_000]
+
+#: Fig. 14 sweeps image size at 2 clients for the single-threaded
+#: versions; it also reports 110 KB explicitly ("for a data size of
+#: 110 kb, they both deliver 18 frames/second").
+FIG14_IMAGE_SIZES = [74_000, 89_000, 106_000, 110_000, 125_000,
+                     145_000, 166_000, 190_000]
+
+
+def figure14_sweep(frames: int = 60,
+                   params: TestbedParams = DEFAULT_PARAMS
+                   ) -> Dict[str, List[VideoConfResult]]:
+    """Socket vs single-threaded-channel versions, 2 clients."""
+    return {
+        version: [
+            simulate_videoconf(version, clients=2, image_size=size,
+                               frames=frames, params=params)
+            for size in FIG14_IMAGE_SIZES
+        ]
+        for version in ("socket", "single")
+    }
+
+
+def figure15_sweep(max_clients: int = 7, frames: int = 60,
+                   params: TestbedParams = DEFAULT_PARAMS
+                   ) -> Dict[int, List[VideoConfResult]]:
+    """Multi-threaded mixer: clients 2..max for each paper image size.
+
+    Returns ``{image_size: [result per client count]}`` including the
+    sub-threshold points (the caller applies the 10 f/s floor, as the
+    paper does when plotting).
+    """
+    return {
+        size: [
+            simulate_videoconf("multi", clients=k, image_size=size,
+                               frames=frames, params=params)
+            for k in range(2, max_clients + 1)
+        ]
+        for size in PAPER_IMAGE_SIZES
+    }
+
+
+def table1(results: Dict[int, List[VideoConfResult]]
+           ) -> Dict[int, List[float]]:
+    """Delivered bandwidth K²·S·F (MB/s) per image size and client count,
+    derived from the Figure 15 measurements exactly as the paper derives
+    Table 1."""
+    return {
+        size: [r.delivered_bandwidth / 1e6 for r in row]
+        for size, row in results.items()
+    }

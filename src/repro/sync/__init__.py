@@ -1,0 +1,11 @@
+"""Real-time synchrony: pacing threads against wall-clock time.
+
+"For pacing a thread relative to real time, D-Stampede provides an API
+for loose temporal synchrony that is borrowed from the Beehive system"
+(§3.1).
+"""
+
+from repro.sync.clock import Clock, RealClock, VirtualClock
+from repro.sync.realtime import RealtimeSynchronizer
+
+__all__ = ["Clock", "RealClock", "RealtimeSynchronizer", "VirtualClock"]

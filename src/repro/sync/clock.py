@@ -1,0 +1,81 @@
+"""Clock abstraction.
+
+The synchrony machinery never touches :mod:`time` directly: it reads a
+:class:`Clock`.  Production code uses :class:`RealClock`;
+:class:`VirtualClock` lets tests drive time by hand, so slip/tolerance
+logic is tested deterministically instead of with sleeps.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+import time
+
+
+class Clock(abc.ABC):
+    """Monotonic time source with a sleep primitive."""
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (monotonic, arbitrary origin)."""
+
+    @abc.abstractmethod
+    def sleep_until(self, deadline: float) -> None:
+        """Block until ``now() >= deadline`` (returns at once if past)."""
+
+
+class RealClock(Clock):
+    """Wall-clock implementation over :func:`time.monotonic`."""
+
+    def now(self) -> float:
+        """Current monotonic time in seconds."""
+        return time.monotonic()
+
+    def sleep_until(self, deadline: float) -> None:
+        """Block until the clock reaches *deadline*."""
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            time.sleep(min(remaining, 0.05))
+
+
+class VirtualClock(Clock):
+    """Manually-advanced clock for deterministic tests.
+
+    ``sleep_until`` blocks on a condition variable until another thread
+    calls :meth:`advance` (or :meth:`set_time`) far enough.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self._lock = threading.Lock()
+        self._moved = threading.Condition(self._lock)
+
+    def now(self) -> float:
+        """Current monotonic time in seconds."""
+        with self._lock:
+            return self._now
+
+    def sleep_until(self, deadline: float) -> None:
+        """Block until the clock reaches *deadline*."""
+        with self._lock:
+            while self._now < deadline:
+                self._moved.wait()
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward, waking sleepers whose deadline passed."""
+        if seconds < 0:
+            raise ValueError("time cannot go backwards")
+        with self._lock:
+            self._now += seconds
+            self._moved.notify_all()
+
+    def set_time(self, value: float) -> None:
+        """Jump time forward to *value*, waking due sleepers."""
+        with self._lock:
+            if value < self._now:
+                raise ValueError("time cannot go backwards")
+            self._now = value
+            self._moved.notify_all()

@@ -1,0 +1,137 @@
+"""Loose temporal synchrony (Beehive-style ticks).
+
+"A thread can declare real time 'ticks' at which it will re-synchronize
+with real time, along with a tolerance and an exception handler.  As the
+thread executes, after each 'tick', it performs a D-Stampede call
+attempting to synchronize with real time.  If it is early, the thread
+waits until that synchrony is achieved.  If it is late by more than the
+specified tolerance, D-Stampede calls the thread's registered exception
+handler which can attempt to recover from this slippage" (§3.1).
+
+The motivating use — "a camera in a telepresence application can pace
+itself to grab images and put them into its output channel at 30 frames
+per second, using absolute frame numbers as timestamps" — is exactly the
+:meth:`RealtimeSynchronizer.synchronize` loop in
+``examples/realtime_camera.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import SlipError
+from repro.util import trace as tracepoints
+from repro.util.trace import trace
+from repro.sync.clock import Clock, RealClock
+
+#: Slip handler: ``(tick, lateness_seconds) -> None``.  May recover (e.g.
+#: skip frames) or re-raise.
+SlipHandler = Callable[[int, float], None]
+
+
+class RealtimeSynchronizer:
+    """Paces a thread against an absolute tick grid.
+
+    Parameters
+    ----------
+    tick_period:
+        Seconds between consecutive ticks (1/30 for a 30 fps camera).
+    tolerance:
+        Permitted lateness per tick before the slip handler fires.
+    on_slip:
+        Recovery handler; when ``None`` a slip raises
+        :class:`~repro.errors.SlipError`.
+    clock:
+        Time source (tests inject a
+        :class:`~repro.sync.clock.VirtualClock`).
+
+    Ticks are measured from :meth:`start`; tick *n* is due at
+    ``epoch + n * tick_period``.  The grid is absolute — a thread that is
+    late for one tick does not shift every later deadline, matching the
+    "absolute frame numbers as timestamps" usage.
+    """
+
+    def __init__(self, tick_period: float, tolerance: float = 0.0,
+                 on_slip: Optional[SlipHandler] = None,
+                 clock: Optional[Clock] = None) -> None:
+        if tick_period <= 0:
+            raise ValueError(f"tick_period must be positive, "
+                             f"got {tick_period}")
+        if tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+        self.tick_period = tick_period
+        self.tolerance = tolerance
+        self.on_slip = on_slip
+        self.clock = clock if clock is not None else RealClock()
+        self._epoch: Optional[float] = None
+        self._next_tick = 0
+        self.slips = 0
+        self.waits = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, epoch: Optional[float] = None) -> None:
+        """Anchor tick 0.  Default epoch: now."""
+        self._epoch = self.clock.now() if epoch is None else epoch
+        self._next_tick = 0
+
+    @property
+    def started(self) -> bool:
+        """Whether start() has anchored the tick grid."""
+        return self._epoch is not None
+
+    # -- synchrony --------------------------------------------------------------
+
+    def deadline_for(self, tick: int) -> float:
+        """Absolute clock time at which *tick* is due."""
+        if self._epoch is None:
+            raise RuntimeError("synchronizer not started")
+        return self._epoch + tick * self.tick_period
+
+    def synchronize(self, tick: Optional[int] = None) -> float:
+        """Re-synchronize with real time at *tick* (default: the next
+        unconsumed tick).
+
+        Returns the lateness in seconds at the moment of the call
+        (negative = early, i.e. the thread waited).
+
+        :raises SlipError: lateness exceeded the tolerance and no slip
+            handler is registered.
+        """
+        if tick is None:
+            tick = self._next_tick
+        self._next_tick = tick + 1
+        deadline = self.deadline_for(tick)
+        lateness = self.clock.now() - deadline
+        if lateness <= 0:
+            self.waits += 1
+            self.clock.sleep_until(deadline)
+            return lateness
+        if lateness > self.tolerance:
+            self.slips += 1
+            trace(tracepoints.SLIP, "realtime", tick=tick,
+                  lateness=round(lateness, 6))
+            if self.on_slip is None:
+                raise SlipError(tick, lateness, self.tolerance)
+            self.on_slip(tick, lateness)
+        return lateness
+
+    def skip_to_current_tick(self) -> int:
+        """Slip recovery: jump the tick counter to the present.
+
+        Returns the number of ticks skipped.  A camera whose processing
+        fell behind calls this from its slip handler to drop frames
+        instead of accumulating lag.
+        """
+        if self._epoch is None:
+            raise RuntimeError("synchronizer not started")
+        elapsed = self.clock.now() - self._epoch
+        current = int(elapsed / self.tick_period) + 1
+        skipped = max(0, current - self._next_tick)
+        self._next_tick = max(self._next_tick, current)
+        return skipped
+
+    @property
+    def next_tick(self) -> int:
+        """The next tick synchronize() will consume."""
+        return self._next_tick

@@ -1,0 +1,9 @@
+"""Command-line tools.
+
+* ``python -m repro.tools.server`` — run a standalone cluster server that
+  end devices (and peer clusters) join over TCP;
+* ``python -m repro.tools.conference`` — run the §4 video-conference
+  demo end-to-end and report verification results;
+* ``python -m repro.tools.figures`` — regenerate every evaluation figure
+  and Table 1 as CSV plus terminal ASCII plots, without pytest.
+"""

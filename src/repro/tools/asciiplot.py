@@ -1,0 +1,69 @@
+"""Minimal ASCII line plots for terminal figure output.
+
+The figure tools render each regenerated curve as a small character
+chart so the *shape* the paper argues — orderings, gaps, crossovers —
+is visible straight from the command line, no plotting stack required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Glyphs assigned to series in declaration order.
+GLYPHS = "*o+x#@%&"
+
+
+def render(series: Dict[str, List[Tuple[float, float]]],
+           width: int = 72, height: int = 20,
+           x_label: str = "", y_label: str = "") -> str:
+    """Render named ``[(x, y), ...]`` series into one ASCII chart.
+
+    Series share axes; each gets a glyph from :data:`GLYPHS` (later
+    series overwrite earlier ones on collisions, so list the headline
+    series last).
+
+    :raises ValueError: no data, or non-positive dimensions.
+    """
+    if width < 16 or height < 4:
+        raise ValueError(f"chart too small: {width}x{height}")
+    points = [(x, y) for curve in series.values() for x, y in curve]
+    if not points:
+        raise ValueError("nothing to plot")
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, curve) in enumerate(series.items()):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        for x, y in curve:
+            column = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            grid[row][column] = glyph
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:>10.0f} |"
+        elif row_index == height - 1:
+            label = f"{y_min:>10.0f} |"
+        else:
+            label = "           |"
+        lines.append(label + "".join(row))
+    lines.append("           +" + "-" * width)
+    x_axis = (f"{'':11}{x_min:<12.0f}"
+              f"{x_label:^{max(0, width - 24)}}"
+              f"{x_max:>12.0f}")
+    lines.append(x_axis)
+    legend = "   ".join(
+        f"{GLYPHS[i % len(GLYPHS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"{'':11}{legend}")
+    return "\n".join(lines)

@@ -1,0 +1,155 @@
+"""Regenerate every evaluation figure and Table 1 from the command line.
+
+Writes the same CSV series the benchmark harness produces and renders
+each figure as an ASCII chart::
+
+    python -m repro.tools.figures --out results/ --step 2000
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.simnet.params import DEFAULT_PARAMS
+from repro.simnet.stampede_model import MicroModel
+from repro.simnet.workload import (
+    FIG14_IMAGE_SIZES,
+    PAPER_IMAGE_SIZES,
+    figure14_sweep,
+    figure15_sweep,
+    table1,
+)
+from repro.tools.asciiplot import render
+
+Series = Dict[str, List[Tuple[float, float]]]
+
+
+def _write_csv(path: Path, header: List[str], rows: List[tuple]) -> None:
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    print(f"  wrote {path}")
+
+
+def _micro_figure(name: str, curves: Dict, out: Path,
+                  order: List[str]) -> None:
+    sizes = [p.size for p in curves[order[0]]]
+    rows = [
+        tuple([size] + [curves[key][i].latency_us for key in order])
+        for i, size in enumerate(sizes)
+    ]
+    _write_csv(out / f"{name}.csv",
+               ["size_bytes"] + [f"{key}_us" for key in order], rows)
+    series: Series = {
+        key: [(p.size, p.latency_us) for p in curves[key]]
+        for key in order
+    }
+    print(render(series, x_label="payload (bytes)",
+                 y_label=f"{name}: latency (µs)"))
+    print()
+
+
+def generate_micro_figures(out: Path, step: int) -> None:
+    """Regenerate Figures 11-13 (CSV + ASCII charts)."""
+    model = MicroModel(DEFAULT_PARAMS)
+    print("Figure 11 — Experiment 1 (intra-cluster):")
+    _micro_figure("fig11_intra_cluster", model.figure11(step), out,
+                  ["udp", "tcp", "dstampede"])
+    print("Figure 12 — Experiment 2 (C client):")
+    _micro_figure("fig12_c_client", model.figure12(step), out,
+                  ["tcp", "config1", "config2", "config3"])
+    print("Figure 13 — Experiment 3 (Java client):")
+    _micro_figure("fig13_java_client", model.figure13(step), out,
+                  ["tcp", "config1", "config2", "config3"])
+
+
+def generate_app_figures(out: Path, frames: int) -> None:
+    """Regenerate Figures 14-15 and Table 1."""
+    print("Figure 14 — single-threaded mixer (2 clients):")
+    fig14 = figure14_sweep(frames=frames)
+    rows = [
+        (size, fig14["socket"][i].fps, fig14["single"][i].fps)
+        for i, size in enumerate(FIG14_IMAGE_SIZES)
+    ]
+    _write_csv(out / "fig14_single_threaded.csv",
+               ["image_size_bytes", "socket_fps", "dstampede_fps"], rows)
+    print(render(
+        {
+            "socket": [(s, fig14["socket"][i].fps)
+                       for i, s in enumerate(FIG14_IMAGE_SIZES)],
+            "dstampede": [(s, fig14["single"][i].fps)
+                          for i, s in enumerate(FIG14_IMAGE_SIZES)],
+        },
+        x_label="image size (bytes)", y_label="fig14: sustained f/s",
+    ))
+    print()
+
+    print("Figure 15 — multi-threaded mixer:")
+    fig15 = figure15_sweep(max_clients=7, frames=frames)
+    clients = list(range(2, 8))
+    rows = [
+        tuple([k] + [fig15[size][i].fps for size in PAPER_IMAGE_SIZES])
+        for i, k in enumerate(clients)
+    ]
+    _write_csv(out / "fig15_multi_threaded.csv",
+               ["clients"] + [f"{s // 1000}KB_fps"
+                              for s in PAPER_IMAGE_SIZES], rows)
+    print(render(
+        {
+            f"{size // 1000}KB": [
+                (k, fig15[size][i].fps)
+                for i, k in enumerate(clients)
+                if fig15[size][i].fps >= 10.0  # the paper's floor
+            ]
+            for size in PAPER_IMAGE_SIZES
+        },
+        x_label="participants", y_label="fig15: sustained f/s (>=10)",
+    ))
+    print()
+
+    print("Table 1 — delivered bandwidth K^2*S*F (MB/s):")
+    bandwidth = table1(fig15)
+    rows = [
+        tuple([size // 1000] + [round(b, 1) for b in bandwidth[size]])
+        for size in PAPER_IMAGE_SIZES
+    ]
+    _write_csv(out / "table1_bandwidth.csv",
+               ["image_size_kb"] + [f"K={k}" for k in clients], rows)
+    header = "  size KB " + "".join(f"{f'K={k}':>8}" for k in clients)
+    print(header)
+    for row in rows:
+        print(f"  {row[0]:>7} " + "".join(f"{v:>8}" for v in row[1:]))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.figures",
+        description="Regenerate the paper's evaluation figures and table.",
+    )
+    parser.add_argument("--out", default="figure-results",
+                        help="output directory for CSVs")
+    parser.add_argument("--step", type=int, default=1000,
+                        help="payload sweep step for Figs. 11-13")
+    parser.add_argument("--frames", type=int, default=60,
+                        help="simulated frames per app-level run")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    generate_micro_figures(out, args.step)
+    generate_app_figures(out, args.frames)
+    print(f"\nall series written to {out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""Inspect a running cluster from the command line.
+
+Connects to a cluster server as an ordinary end device, issues the
+INSPECT operation, and renders the snapshot::
+
+    python -m repro.tools.inspect --host 127.0.0.1 --port 7070
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.client.client import StampedeClient
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.inspect",
+        description="Print a running D-Stampede cluster's state.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7070)
+    parser.add_argument("--watch", type=float, default=None,
+                        help="re-inspect every N seconds until Ctrl-C")
+    return parser
+
+
+def render_remote(state: dict) -> str:
+    """Render a snapshot fetched over the wire."""
+    from repro.runtime.inspect import render
+
+    return render(state)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    with StampedeClient(args.host, args.port,
+                        client_name="inspector") as client:
+        if args.watch is None:
+            print(render_remote(client.inspect()))
+            return 0
+        import time
+
+        try:
+            while True:
+                print(render_remote(client.inspect()))
+                print("-" * 60)
+                time.sleep(args.watch)
+        except KeyboardInterrupt:
+            return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""Standalone cluster server.
+
+Runs the server library as its own process so end devices (and peer
+clusters via federation bridges) can join from anywhere::
+
+    python -m repro.tools.server --port 7070 --spaces N1,N2 --lease 30
+
+The process serves until interrupted, printing join/leave activity; with
+``--trace`` the runtime's event ring is dumped on shutdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import threading
+from typing import List, Optional
+
+from repro.runtime.runtime import Runtime
+from repro.runtime.server import StampedeServer
+from repro.util.logging import configure_debug_logging
+from repro.util.trace import enable_tracing
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.server",
+        description="Run a standalone D-Stampede cluster server.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="listen address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=7070,
+                        help="listen port (0 = ephemeral; default 7070)")
+    parser.add_argument(
+        "--spaces", default="N1",
+        help="comma-separated device address spaces (default N1)",
+    )
+    parser.add_argument(
+        "--lease", type=float, default=None,
+        help="surrogate lease timeout in seconds (default: no reaping)",
+    )
+    parser.add_argument(
+        "--gc-interval", type=float, default=0.05,
+        help="garbage-collector sweep period (default 0.05s)",
+    )
+    parser.add_argument("--trace", action="store_true",
+                        help="record runtime events; dump on shutdown")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the runtime's info logging")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; serves until interrupted."""
+    args = build_parser().parse_args(argv)
+    if not args.quiet:
+        configure_debug_logging()
+    tracer = enable_tracing() if args.trace else None
+
+    runtime = Runtime(name="standalone", gc_interval=args.gc_interval)
+    spaces = [s.strip() for s in args.spaces.split(",") if s.strip()]
+    server = StampedeServer(
+        runtime, host=args.host, port=args.port,
+        device_spaces=spaces or None, lease_timeout=args.lease,
+    ).start()
+    host, port = server.address
+    print(f"D-Stampede cluster serving on {host}:{port} "
+          f"(spaces: {', '.join(spaces)};"
+          f" lease: {args.lease if args.lease else 'off'})")
+    print("press Ctrl-C to stop")
+
+    stop = threading.Event()
+
+    def handle_signal(_signum, _frame):
+        stop.set()
+
+    signal.signal(signal.SIGINT, handle_signal)
+    signal.signal(signal.SIGTERM, handle_signal)
+    stop.wait()
+
+    print("\nshutting down...")
+    server.close()
+    runtime.shutdown()
+    if tracer is not None:
+        print("\n--- runtime event trace ---")
+        print(tracer.dump(limit=200))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

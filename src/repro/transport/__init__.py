@@ -1,0 +1,42 @@
+"""Messaging substrates.
+
+The original system rides on two transports: **CLF**, "a low level packet
+transport layer ... [providing] reliable, ordered point-to-point packet
+transport between the D-Stampede address spaces within the cluster, with
+the illusion of an infinite packet queue", exploiting "shared memory
+within an SMP" and falling back to "UDP over a LAN" (§3.2.2); and
+**TCP/IP**, used between client libraries on end devices and the server
+library (§3.2.1).
+
+This package implements all of them against real OS sockets, plus the
+in-process shared-memory fast path:
+
+========================  =====================================================
+Module                    Role
+========================  =====================================================
+:mod:`.message`           frame/packet headers shared by every transport
+:mod:`.base`              the small interfaces the runtime programs against
+:mod:`.inproc`            CLF's intra-SMP shared-memory path (queue handoff)
+:mod:`.udp`               raw datagrams — the unreliable baseline of Exp. 1
+:mod:`.reliability`       sliding-window ARQ engine (acks, retransmit, order)
+:mod:`.clf`               CLF = reliability + fragmentation over UDP sockets
+:mod:`.tcp`               stream transport with length-prefixed frames
+========================  =====================================================
+"""
+
+from repro.transport.base import DatagramTransport, StreamTransport
+from repro.transport.inproc import InProcHub
+from repro.transport.udp import UdpTransport
+from repro.transport.clf import ClfEndpoint
+from repro.transport.tcp import TcpConnection, TcpListener, connect_tcp
+
+__all__ = [
+    "ClfEndpoint",
+    "DatagramTransport",
+    "InProcHub",
+    "StreamTransport",
+    "TcpConnection",
+    "TcpListener",
+    "UdpTransport",
+    "connect_tcp",
+]

@@ -1,0 +1,73 @@
+"""Transport interfaces.
+
+Two shapes cover everything the runtime needs:
+
+* :class:`DatagramTransport` — addressed packets (UDP, CLF, in-process).
+  Addresses are transport-specific and opaque to callers.
+* :class:`StreamTransport` — a connected byte-frame pipe (TCP connection).
+
+Both are blocking with optional timeouts, matching the synchronous RPC
+style of the original client library.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Optional, Tuple
+
+
+class DatagramTransport(abc.ABC):
+    """Addressed, packet-oriented endpoint."""
+
+    @property
+    @abc.abstractmethod
+    def address(self) -> Any:
+        """This endpoint's address, give-out-able to peers."""
+
+    @abc.abstractmethod
+    def send(self, destination: Any, payload: bytes) -> None:
+        """Send one packet.  Reliability depends on the implementation."""
+
+    @abc.abstractmethod
+    def recv(self, timeout: Optional[float] = None) -> Tuple[Any, bytes]:
+        """Receive ``(source address, payload)``.
+
+        :raises repro.errors.DeliveryTimeoutError: nothing arrived in time.
+        :raises repro.errors.TransportClosedError: endpoint closed.
+        """
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release resources; pending and future calls fail."""
+
+    def __enter__(self) -> "DatagramTransport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class StreamTransport(abc.ABC):
+    """Connected, frame-oriented pipe."""
+
+    @abc.abstractmethod
+    def send_frame(self, payload: bytes) -> None:
+        """Send one length-delimited frame."""
+
+    @abc.abstractmethod
+    def recv_frame(self, timeout: Optional[float] = None) -> bytes:
+        """Receive one frame.
+
+        :raises repro.errors.DeliveryTimeoutError: timeout expired.
+        :raises repro.errors.TransportClosedError: peer closed the pipe.
+        """
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Close the pipe."""
+
+    def __enter__(self) -> "StreamTransport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

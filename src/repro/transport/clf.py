@@ -1,0 +1,229 @@
+"""CLF: the cluster transport, reimplemented over real UDP sockets.
+
+"The server library is implemented on top of a message-passing substrate
+called CLF ... CLF provides reliable, ordered point-to-point packet
+transport between the D-Stampede address spaces within the cluster, with
+the illusion of an infinite packet queue.  It exploits shared memory
+within an SMP, and any available network between the nodes of the
+cluster ... and if none of these are available, UDP over a LAN" (§3.2.2).
+
+:class:`ClfEndpoint` is the UDP path: a bound socket plus the
+:mod:`~repro.transport.reliability` engine, a receiver thread, and a
+retransmission thread.  Messages larger than the datagram MTU are
+fragmented and reassembled transparently (our extension — the original
+inherited UDP's 64 KB ceiling, which is why the paper's micro-benchmarks
+stop at 60 000 bytes; pass ``fragment=False`` to reproduce that ceiling).
+
+The shared-memory path within an SMP is
+:class:`~repro.transport.inproc.InProcHub`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import random
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.errors import (
+    DeliveryTimeoutError,
+    MessageTooLargeError,
+    TransportClosedError,
+)
+from repro.transport.base import DatagramTransport
+from repro.transport.message import (
+    CLF_HEADER_SIZE,
+    PT_ACK,
+    PT_DATA,
+    ClfPacket,
+)
+from repro.transport.reliability import PeerState, Reassembler, make_ack
+from repro.transport.udp import MAX_DATAGRAM, UdpTransport
+from repro.util.logging import get_logger
+
+_log = get_logger("transport.clf")
+
+Address = Tuple[str, int]
+
+#: Default fragment payload size: the paper's 60 000-byte experimental
+#: ceiling, comfortably under the UDP maximum with our header.
+DEFAULT_MTU = 60_000
+
+
+class ClfEndpoint(DatagramTransport):
+    """Reliable ordered datagram endpoint over UDP.
+
+    Parameters
+    ----------
+    host, port:
+        UDP bind address (``port=0`` = ephemeral).
+    window:
+        Send window per peer (packets in flight before ``send`` blocks).
+    rto:
+        Retransmission timeout in seconds.
+    max_retries:
+        Retransmissions before a peer is declared dead.
+    mtu:
+        Fragment payload size.
+    fragment:
+        When false, over-MTU sends raise
+        :class:`~repro.errors.MessageTooLargeError` — the original CLF's
+        behaviour.
+    loss_rate / loss_seed:
+        Test hook: probability of *dropping* an outgoing data packet
+        before it reaches the socket, with a seeded RNG so loss patterns
+        are reproducible.  Reliability must hide the losses.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 window: int = 64, rto: float = 0.05,
+                 max_retries: int = 20, mtu: int = DEFAULT_MTU,
+                 fragment: bool = True, loss_rate: float = 0.0,
+                 loss_seed: Optional[int] = None) -> None:
+        if not 0 < mtu <= MAX_DATAGRAM - CLF_HEADER_SIZE:
+            raise ValueError(f"mtu {mtu} out of range")
+        self._udp = UdpTransport(host, port)
+        self._window = window
+        self._rto = rto
+        self._max_retries = max_retries
+        self._mtu = mtu
+        self._fragment = fragment
+        self._loss_rate = loss_rate
+        self._loss_rng = random.Random(loss_seed)
+        self._peers: Dict[Address, PeerState] = {}
+        self._reassemblers: Dict[Address, Reassembler] = {}
+        self._peers_lock = threading.Lock()
+        self._msg_ids = itertools.count(1)
+        self._inbox: "queue.Queue[Tuple[Address, bytes]]" = queue.Queue()
+        self._closed = threading.Event()
+        self._receiver = threading.Thread(
+            target=self._receive_loop, name="clf-recv", daemon=True
+        )
+        self._retransmitter = threading.Thread(
+            target=self._retransmit_loop, name="clf-rto", daemon=True
+        )
+        self._receiver.start()
+        self._retransmitter.start()
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def address(self) -> Address:
+        """The bound UDP (host, port) peers send to."""
+        return self._udp.address
+
+    def send(self, destination: Address, payload: bytes,
+             timeout: Optional[float] = None) -> None:
+        """Send one message reliably; blocks while the window is full.
+
+        :raises MessageTooLargeError: over MTU with fragmentation off.
+        :raises DeliveryTimeoutError: peer dead or window never opened.
+        """
+        if self._closed.is_set():
+            raise TransportClosedError("CLF endpoint is closed")
+        if len(payload) > self._mtu and not self._fragment:
+            raise MessageTooLargeError(
+                f"{len(payload)} bytes exceeds CLF MTU {self._mtu} and "
+                f"fragmentation is disabled"
+            )
+        peer = self._peer(destination)
+        fragments = [
+            payload[offset : offset + self._mtu]
+            for offset in range(0, len(payload), self._mtu)
+        ] or [b""]
+        msg_id = next(self._msg_ids) if len(fragments) > 1 else 0
+        for index, fragment in enumerate(fragments):
+            packet = peer.reserve_send(
+                PT_DATA, msg_id, index, len(fragments), fragment,
+                timeout=timeout,
+            )
+            self._transmit(destination, packet)
+
+    def recv(self, timeout: Optional[float] = None) -> Tuple[Address, bytes]:
+        """Receive the next complete in-order message."""
+        if self._closed.is_set():
+            raise TransportClosedError("CLF endpoint is closed")
+        try:
+            source, payload = self._inbox.get(timeout=timeout)
+        except queue.Empty:
+            raise DeliveryTimeoutError(
+                f"no CLF message within {timeout}s"
+            ) from None
+        if source == ("", 0):
+            raise TransportClosedError("CLF endpoint is closed")
+        return source, payload
+
+    def close(self) -> None:
+        """Stop the worker threads and close the socket."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._udp.close()
+        self._inbox.put((("", 0), b""))
+
+    def in_flight(self, destination: Address) -> int:
+        """Unacknowledged packets to *destination* (diagnostics/tests)."""
+        with self._peers_lock:
+            peer = self._peers.get(destination)
+        return peer.in_flight if peer else 0
+
+    # -- internals ----------------------------------------------------------------
+
+    def _peer(self, address: Address) -> PeerState:
+        with self._peers_lock:
+            peer = self._peers.get(address)
+            if peer is None:
+                peer = PeerState(self._window, self._max_retries)
+                self._peers[address] = peer
+                self._reassemblers[address] = Reassembler()
+            return peer
+
+    def _transmit(self, destination: Address, packet: ClfPacket) -> None:
+        if (
+            packet.packet_type == PT_DATA
+            and self._loss_rate > 0.0
+            and self._loss_rng.random() < self._loss_rate
+        ):
+            return  # simulated network loss; retransmission recovers it
+        try:
+            self._udp.send(destination, packet.encode())
+        except TransportClosedError:
+            pass  # shutting down
+
+    def _receive_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                source, datagram = self._udp.recv(timeout=0.2)
+            except DeliveryTimeoutError:
+                continue
+            except TransportClosedError:
+                break
+            try:
+                packet = ClfPacket.decode(datagram)
+            except Exception as exc:  # noqa: BLE001 - hostile input
+                _log.warning("dropping malformed datagram from %s: %r",
+                             source, exc)
+                continue
+            peer = self._peer(source)
+            if packet.packet_type == PT_ACK:
+                peer.on_ack(packet.seq)
+                continue
+            deliverable, ack_seq = peer.on_data(packet)
+            self._transmit(source, make_ack(ack_seq))
+            reassembler = self._reassemblers[source]
+            for ready in deliverable:
+                message = reassembler.add(ready)
+                if message is not None:
+                    self._inbox.put((source, message))
+
+    def _retransmit_loop(self) -> None:
+        while not self._closed.is_set():
+            self._closed.wait(timeout=self._rto / 2)
+            if self._closed.is_set():
+                break
+            with self._peers_lock:
+                peers = list(self._peers.items())
+            for address, peer in peers:
+                for packet in peer.packets_to_retransmit(self._rto):
+                    self._transmit(address, packet)

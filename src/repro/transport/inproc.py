@@ -1,0 +1,125 @@
+"""In-process transport: CLF's shared-memory path within an SMP.
+
+"[CLF] exploits shared memory within an SMP" (§3.2.2).  When two address
+spaces of a D-Stampede computation are co-located in one OS process — the
+default for simulated cluster nodes — packets are handed over through an
+in-memory queue instead of the network stack.  Delivery is reliable and
+ordered by construction, giving the same contract as CLF-over-UDP.
+
+A :class:`InProcHub` is one "SMP": endpoints register by name and can send
+to any sibling endpoint.  Hubs are independent; endpoints on different
+hubs cannot reach each other (that is what CLF-over-UDP is for).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.errors import TransportClosedError, TransportError
+from repro.transport.base import DatagramTransport
+
+
+class InProcEndpoint(DatagramTransport):
+    """One named endpoint on a hub.  Created via :meth:`InProcHub.endpoint`."""
+
+    def __init__(self, hub: "InProcHub", name: str) -> None:
+        self._hub = hub
+        self._name = name
+        self._inbox: "queue.Queue[Tuple[str, bytes]]" = queue.Queue()
+        self._closed = False
+
+    @property
+    def address(self) -> str:
+        """This endpoint's name on the hub."""
+        return self._name
+
+    def send(self, destination: str, payload: bytes) -> None:
+        """Deliver *payload* to the named sibling endpoint."""
+        if self._closed:
+            raise TransportClosedError(f"endpoint {self._name!r} is closed")
+        # bytes() defensive copy: shared-memory transport must not alias
+        # a bytearray the sender keeps mutating.
+        self._hub._deliver(self._name, destination, bytes(payload))
+
+    def recv(self, timeout: Optional[float] = None) -> Tuple[str, bytes]:
+        """Receive (source, payload), waiting up to *timeout*."""
+        if self._closed:
+            raise TransportClosedError(f"endpoint {self._name!r} is closed")
+        try:
+            source, payload = self._inbox.get(timeout=timeout)
+        except queue.Empty:
+            from repro.errors import DeliveryTimeoutError
+
+            raise DeliveryTimeoutError(
+                f"nothing received on {self._name!r} within {timeout}s"
+            ) from None
+        if source == "" and payload == b"":
+            # close sentinel
+            raise TransportClosedError(f"endpoint {self._name!r} is closed")
+        return source, payload
+
+    def close(self) -> None:
+        """Unregister from the hub and wake blocked receivers."""
+        if not self._closed:
+            self._closed = True
+            self._hub._unregister(self._name)
+            self._inbox.put(("", b""))  # wake a blocked recv
+
+    def _push(self, source: str, payload: bytes) -> None:
+        self._inbox.put((source, payload))
+
+    @property
+    def pending(self) -> int:
+        """Packets waiting in the inbox (diagnostics)."""
+        return self._inbox.qsize()
+
+
+class InProcHub:
+    """A registry of in-process endpoints — one simulated SMP node."""
+
+    def __init__(self, name: str = "smp") -> None:
+        self.name = name
+        self._endpoints: Dict[str, InProcEndpoint] = {}
+        self._lock = threading.Lock()
+
+    def endpoint(self, name: str) -> InProcEndpoint:
+        """Create and register an endpoint called *name*.
+
+        :raises TransportError: the name is taken.
+        """
+        with self._lock:
+            if name in self._endpoints:
+                raise TransportError(
+                    f"endpoint {name!r} already exists on hub {self.name!r}"
+                )
+            ep = InProcEndpoint(self, name)
+            self._endpoints[name] = ep
+            return ep
+
+    def _deliver(self, source: str, destination: str,
+                 payload: bytes) -> None:
+        with self._lock:
+            target = self._endpoints.get(destination)
+        if target is None:
+            raise TransportError(
+                f"no endpoint {destination!r} on hub {self.name!r}"
+            )
+        target._push(source, payload)
+
+    def _unregister(self, name: str) -> None:
+        with self._lock:
+            self._endpoints.pop(name, None)
+
+    def endpoints(self) -> "list[str]":
+        """Sorted names of the registered endpoints."""
+        with self._lock:
+            return sorted(self._endpoints)
+
+    def close(self) -> None:
+        """Unregister from the hub and wake blocked receivers."""
+        with self._lock:
+            endpoints = list(self._endpoints.values())
+        for ep in endpoints:
+            ep.close()

@@ -1,0 +1,142 @@
+"""Packet and frame headers shared by the transports.
+
+Two encodings live here:
+
+* the **CLF packet header** — 16 bytes carrying type, flags, sequence
+  number and fragmentation fields, prepended to every UDP datagram the
+  CLF endpoint emits; and
+* **stream framing** — a 4-byte big-endian length prefix used on TCP,
+  with a size ceiling so a corrupt prefix cannot make the reader allocate
+  gigabytes.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import FramingError, MessageTooLargeError, TransportClosedError
+
+# ---------------------------------------------------------------------------
+# CLF packet header
+# ---------------------------------------------------------------------------
+
+CLF_MAGIC = 0xC1F0
+
+#: Packet types.
+PT_DATA = 1
+PT_ACK = 2
+
+#: struct layout: magic u16, type u8, flags u8, seq u32,
+#:                msg_id u32, frag_index u16, frag_count u16
+_CLF_HEADER = struct.Struct(">HBBIIHH")
+CLF_HEADER_SIZE = _CLF_HEADER.size
+
+
+@dataclass(frozen=True)
+class ClfPacket:
+    """One CLF packet: header fields plus payload."""
+
+    packet_type: int
+    seq: int
+    msg_id: int = 0
+    frag_index: int = 0
+    frag_count: int = 1
+    payload: bytes = b""
+
+    def encode(self) -> bytes:
+        """Serialize header + payload into one datagram."""
+        header = _CLF_HEADER.pack(
+            CLF_MAGIC,
+            self.packet_type,
+            0,
+            self.seq,
+            self.msg_id,
+            self.frag_index,
+            self.frag_count,
+        )
+        return header + self.payload
+
+    @staticmethod
+    def decode(data: bytes) -> "ClfPacket":
+        """Parse a datagram; raises FramingError when malformed."""
+        if len(data) < CLF_HEADER_SIZE:
+            raise FramingError(
+                f"short CLF packet: {len(data)} < {CLF_HEADER_SIZE} bytes"
+            )
+        magic, ptype, _flags, seq, msg_id, frag_index, frag_count = (
+            _CLF_HEADER.unpack_from(data)
+        )
+        if magic != CLF_MAGIC:
+            raise FramingError(f"bad CLF magic 0x{magic:04x}")
+        if ptype not in (PT_DATA, PT_ACK):
+            raise FramingError(f"unknown CLF packet type {ptype}")
+        if frag_count == 0 or frag_index >= frag_count:
+            raise FramingError(
+                f"bad fragmentation fields {frag_index}/{frag_count}"
+            )
+        return ClfPacket(
+            packet_type=ptype,
+            seq=seq,
+            msg_id=msg_id,
+            frag_index=frag_index,
+            frag_count=frag_count,
+            payload=data[CLF_HEADER_SIZE:],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Stream framing (TCP)
+# ---------------------------------------------------------------------------
+
+_LENGTH = struct.Struct(">I")
+
+#: Frames above this are refused on both send and receive.  Generous: the
+#: largest application payload in the paper is a 7-client composite of
+#: 190 KB images (~1.3 MB).
+MAX_FRAME_SIZE = 64 * 1024 * 1024
+
+
+def write_frame(sock: socket.socket, payload: bytes) -> None:
+    """Write one length-prefixed frame to a connected socket."""
+    if len(payload) > MAX_FRAME_SIZE:
+        raise MessageTooLargeError(
+            f"frame of {len(payload)} bytes exceeds {MAX_FRAME_SIZE}"
+        )
+    try:
+        sock.sendall(_LENGTH.pack(len(payload)) + payload)
+    except OSError as exc:
+        raise TransportClosedError(f"send failed: {exc}") from exc
+
+
+def read_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly *count* bytes or raise on EOF/reset."""
+    chunks = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except socket.timeout:
+            raise
+        except OSError as exc:
+            raise TransportClosedError(f"recv failed: {exc}") from exc
+        if not chunk:
+            raise TransportClosedError("peer closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket,
+               max_size: Optional[int] = None) -> bytes:
+    """Read one length-prefixed frame."""
+    limit = MAX_FRAME_SIZE if max_size is None else max_size
+    (length,) = _LENGTH.unpack(read_exact(sock, _LENGTH.size))
+    if length > limit:
+        raise FramingError(
+            f"frame length {length} exceeds limit {limit} "
+            f"(corrupt prefix or protocol skew)"
+        )
+    return read_exact(sock, length)

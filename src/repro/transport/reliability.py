@@ -1,0 +1,202 @@
+"""Sliding-window ARQ engine used by CLF.
+
+CLF promises "reliable, ordered point-to-point packet transport ... with
+the illusion of an infinite packet queue" (§3.2.2) on top of UDP.  The
+classic machinery delivers that promise:
+
+* per-peer **sequence numbers** on data packets;
+* **cumulative acknowledgements** (an ACK carries the next sequence number
+  the receiver expects);
+* a bounded **send window** — senders block once ``window`` packets are in
+  flight, which is the flow control behind the "infinite queue" illusion;
+* **retransmission** on timeout with bounded retries;
+* an **out-of-order buffer** on the receive side so reordered datagrams
+  are delivered in sequence exactly once.
+
+The engine is transport-agnostic: it produces and consumes
+:class:`~repro.transport.message.ClfPacket` values and is driven by the
+owning endpoint's threads, so it can be unit-tested without sockets.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import DeliveryTimeoutError
+from repro.transport.message import PT_ACK, PT_DATA, ClfPacket
+
+
+class PeerState:
+    """Reliability state for one remote endpoint (both directions)."""
+
+    def __init__(self, window: int, max_retries: int) -> None:
+        self.window = window
+        self.max_retries = max_retries
+        self.lock = threading.Lock()
+        self.window_free = threading.Condition(self.lock)
+        # --- send side ---
+        self.next_seq = 0
+        #: seq -> [packet, last_tx_monotonic, retries]
+        self.unacked: Dict[int, List] = {}
+        self.failed = False
+        # --- receive side ---
+        self.expected_seq = 0
+        self.out_of_order: Dict[int, ClfPacket] = {}
+
+    # -- send side -------------------------------------------------------------
+
+    def reserve_send(self, packet_type: int, msg_id: int, frag_index: int,
+                     frag_count: int, payload: bytes,
+                     timeout: Optional[float] = None) -> ClfPacket:
+        """Assign the next sequence number, blocking while the window is
+        full.  Returns the packet ready for transmission (already recorded
+        as unacked).
+
+        :raises DeliveryTimeoutError: the peer has been declared dead, or
+            no window slot opened within *timeout*.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self.lock:
+            while True:
+                if self.failed:
+                    raise DeliveryTimeoutError(
+                        "peer declared dead after retransmission limit"
+                    )
+                if len(self.unacked) < self.window:
+                    break
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise DeliveryTimeoutError(
+                            "send window full; peer not acknowledging"
+                        )
+                self.window_free.wait(timeout=remaining)
+            packet = ClfPacket(
+                packet_type=packet_type,
+                seq=self.next_seq,
+                msg_id=msg_id,
+                frag_index=frag_index,
+                frag_count=frag_count,
+                payload=payload,
+            )
+            self.unacked[packet.seq] = [packet, time.monotonic(), 0]
+            self.next_seq += 1
+            return packet
+
+    def on_ack(self, ack_seq: int) -> None:
+        """Cumulative ACK: everything below *ack_seq* is delivered."""
+        with self.lock:
+            acked = [seq for seq in self.unacked if seq < ack_seq]
+            for seq in acked:
+                del self.unacked[seq]
+            if acked:
+                self.window_free.notify_all()
+
+    def packets_to_retransmit(self, rto: float) -> List[ClfPacket]:
+        """Packets whose retransmission timer expired; bumps retry counts.
+
+        Declares the peer dead (``failed``) once any packet exhausts
+        ``max_retries``; blocked senders are woken to observe the failure.
+        """
+        now = time.monotonic()
+        due: List[ClfPacket] = []
+        with self.lock:
+            for entry in self.unacked.values():
+                packet, last_tx, retries = entry
+                if now - last_tx < rto:
+                    continue
+                if retries >= self.max_retries:
+                    self.failed = True
+                    self.window_free.notify_all()
+                    return []
+                entry[1] = now
+                entry[2] = retries + 1
+                due.append(packet)
+        return due
+
+    @property
+    def in_flight(self) -> int:
+        """Unacknowledged packets currently outstanding."""
+        with self.lock:
+            return len(self.unacked)
+
+    # -- receive side -----------------------------------------------------------
+
+    def on_data(self, packet: ClfPacket) -> Tuple[List[ClfPacket], int]:
+        """Process an arriving data packet.
+
+        Returns ``(deliverable, ack_seq)``: the packets now deliverable in
+        order (possibly none for duplicates/gaps), and the cumulative ACK
+        to send back.
+        """
+        deliverable: List[ClfPacket] = []
+        with self.lock:
+            if packet.seq < self.expected_seq:
+                pass  # duplicate of something already delivered: just re-ACK
+            elif packet.seq == self.expected_seq:
+                deliverable.append(packet)
+                self.expected_seq += 1
+                while self.expected_seq in self.out_of_order:
+                    deliverable.append(
+                        self.out_of_order.pop(self.expected_seq)
+                    )
+                    self.expected_seq += 1
+            else:
+                self.out_of_order[packet.seq] = packet
+            return deliverable, self.expected_seq
+
+
+def make_ack(ack_seq: int) -> ClfPacket:
+    """Build the cumulative acknowledgement packet for *ack_seq*."""
+    return ClfPacket(packet_type=PT_ACK, seq=ack_seq)
+
+
+def make_data(seq: int, msg_id: int, frag_index: int, frag_count: int,
+              payload: bytes) -> ClfPacket:
+    """Build a data packet (test helper; endpoints use ``reserve_send``)."""
+    return ClfPacket(
+        packet_type=PT_DATA,
+        seq=seq,
+        msg_id=msg_id,
+        frag_index=frag_index,
+        frag_count=frag_count,
+        payload=payload,
+    )
+
+
+class Reassembler:
+    """Rebuild messages from in-order fragment streams.
+
+    CLF delivers fragments in order, so reassembly is per-message
+    accumulation; the msg_id ties fragments together and guards against a
+    lost-state restart mid-message.
+    """
+
+    def __init__(self) -> None:
+        self._partial: Dict[int, List[bytes]] = {}
+
+    def add(self, packet: ClfPacket) -> Optional[bytes]:
+        """Feed one in-order fragment; returns the full message when the
+        last fragment arrives, else ``None``."""
+        if packet.frag_count == 1:
+            return packet.payload
+        parts = self._partial.setdefault(packet.msg_id, [])
+        if packet.frag_index != len(parts):
+            # In-order delivery makes this unreachable unless the peer
+            # restarted mid-message; drop the stale partial and resync.
+            self._partial[packet.msg_id] = parts = []
+            if packet.frag_index != 0:
+                return None
+        parts.append(packet.payload)
+        if len(parts) == packet.frag_count:
+            del self._partial[packet.msg_id]
+            return b"".join(parts)
+        return None
+
+    @property
+    def partial_messages(self) -> int:
+        """Messages with fragments still outstanding."""
+        return len(self._partial)

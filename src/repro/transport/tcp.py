@@ -1,0 +1,138 @@
+"""TCP stream transport.
+
+"A TCP/IP socket is used as the transport for communication between the
+client and the server libraries" (§3.2.1).  Frames are length-prefixed
+(see :mod:`~repro.transport.message`), which is all the RPC layer needs.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional, Tuple
+
+from repro.errors import DeliveryTimeoutError, TransportClosedError
+from repro.transport.base import StreamTransport
+from repro.transport.message import read_frame, write_frame
+
+Address = Tuple[str, int]
+
+
+class TcpConnection(StreamTransport):
+    """One connected TCP socket exchanging length-prefixed frames.
+
+    Sends are serialised by a lock so multiple threads may share the
+    connection (the client library funnels every API call of an end device
+    through one connection to its surrogate).
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def peer_address(self) -> Address:
+        """The remote endpoint's (host, port)."""
+        return self._sock.getpeername()
+
+    @property
+    def local_address(self) -> Address:
+        """This endpoint's (host, port)."""
+        return self._sock.getsockname()
+
+    def send_frame(self, payload: bytes) -> None:
+        """Send one length-prefixed frame (thread-safe)."""
+        if self._closed:
+            raise TransportClosedError("TCP connection is closed")
+        with self._send_lock:
+            write_frame(self._sock, payload)
+
+    def recv_frame(self, timeout: Optional[float] = None) -> bytes:
+        """Receive one frame, waiting up to *timeout* seconds."""
+        if self._closed:
+            raise TransportClosedError("TCP connection is closed")
+        with self._recv_lock:
+            self._sock.settimeout(timeout)
+            try:
+                return read_frame(self._sock)
+            except socket.timeout:
+                raise DeliveryTimeoutError(
+                    f"no TCP frame within {timeout}s"
+                ) from None
+
+    def close(self) -> None:
+        """Shut down and close the socket (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+
+class TcpListener:
+    """A listening socket handing out :class:`TcpConnection` objects.
+
+    This is the substrate of the server library's "listener thread on the
+    cluster ... that listens to new end devices joining" (§3.2.2).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 backlog: int = 64) -> None:
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            self._sock.bind((host, port))
+            self._sock.listen(backlog)
+        except OSError:
+            self._sock.close()
+            raise
+        self._closed = False
+
+    @property
+    def address(self) -> Address:
+        """The listening (host, port)."""
+        return self._sock.getsockname()
+
+    def accept(self, timeout: Optional[float] = None) -> TcpConnection:
+        """Block for the next inbound connection.
+
+        :raises DeliveryTimeoutError: nothing connected within *timeout*.
+        :raises TransportClosedError: listener closed (possibly while
+            blocked in accept).
+        """
+        if self._closed:
+            raise TransportClosedError("listener is closed")
+        self._sock.settimeout(timeout)
+        try:
+            sock, _addr = self._sock.accept()
+        except socket.timeout:
+            raise DeliveryTimeoutError(
+                f"no connection within {timeout}s"
+            ) from None
+        except OSError as exc:
+            raise TransportClosedError(f"accept failed: {exc}") from exc
+        return TcpConnection(sock)
+
+    def close(self) -> None:
+        """Shut down and close the socket (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._sock.close()
+
+    def __enter__(self) -> "TcpListener":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def connect_tcp(address: Address, timeout: float = 10.0) -> TcpConnection:
+    """Connect to *address* and return the framed connection."""
+    sock = socket.create_connection(address, timeout=timeout)
+    sock.settimeout(None)
+    return TcpConnection(sock)

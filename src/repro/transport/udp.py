@@ -1,0 +1,93 @@
+"""Raw UDP transport.
+
+This is both the substrate CLF builds its reliability on and, by itself,
+the unreliable baseline of Experiment 1 ("One alternative uses UDP for
+communication").  The 64 KB datagram ceiling the paper works around ("we
+restricted our readings to 60000 bytes because UDP does not allow messages
+greater than 64 KB") is surfaced as :class:`MessageTooLargeError`.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional, Tuple
+
+from repro.errors import (
+    DeliveryTimeoutError,
+    MessageTooLargeError,
+    TransportClosedError,
+)
+from repro.transport.base import DatagramTransport
+
+Address = Tuple[str, int]
+
+#: Maximum UDP payload we attempt: 64 KiB minus IP/UDP headers.
+MAX_DATAGRAM = 65_507
+
+
+class UdpTransport(DatagramTransport):
+    """A bound UDP socket with the :class:`DatagramTransport` interface.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (the default for
+        tests and benchmarks, which discover it via :attr:`address`).
+    recv_buffer:
+        ``SO_RCVBUF`` hint; large enough by default that benchmark bursts
+        of near-64KB datagrams are not dropped at the socket.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 recv_buffer: int = 1 << 22) -> None:
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            self._sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_RCVBUF, recv_buffer
+            )
+            self._sock.bind((host, port))
+        except OSError:
+            self._sock.close()
+            raise
+        self._closed = False
+
+    @property
+    def address(self) -> Address:
+        """The bound (host, port)."""
+        return self._sock.getsockname()
+
+    def send(self, destination: Address, payload: bytes) -> None:
+        """Send one datagram to *destination*."""
+        if self._closed:
+            raise TransportClosedError("UDP transport is closed")
+        if len(payload) > MAX_DATAGRAM:
+            raise MessageTooLargeError(
+                f"UDP datagram of {len(payload)} bytes exceeds "
+                f"{MAX_DATAGRAM} (the 64 KB limit the paper cites)"
+            )
+        try:
+            self._sock.sendto(payload, destination)
+        except OSError as exc:
+            # A concurrent close() invalidates the descriptor mid-send.
+            raise TransportClosedError(f"send failed: {exc}") from exc
+
+    def recv(self, timeout: Optional[float] = None) -> Tuple[Address, bytes]:
+        """Receive (source, payload), waiting up to *timeout*."""
+        if self._closed:
+            raise TransportClosedError("UDP transport is closed")
+        self._sock.settimeout(timeout)
+        try:
+            payload, source = self._sock.recvfrom(MAX_DATAGRAM + 1)
+        except socket.timeout:
+            raise DeliveryTimeoutError(
+                f"no datagram within {timeout}s"
+            ) from None
+        except OSError as exc:
+            raise TransportClosedError(f"recv failed: {exc}") from exc
+        return source, payload
+
+    def close(self) -> None:
+        """Close the socket (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._sock.close()

@@ -1,0 +1,13 @@
+"""Shared utilities: logging, statistics, byte buffers, validation."""
+
+from repro.util.stats import RateMeter, RunningStats, Summary, percentile
+from repro.util.bytesbuf import ByteReader, ByteWriter
+
+__all__ = [
+    "ByteReader",
+    "ByteWriter",
+    "RateMeter",
+    "RunningStats",
+    "Summary",
+    "percentile",
+]

@@ -1,0 +1,157 @@
+"""Low-level byte buffer reader/writer used by the wire formats.
+
+Both the XDR codec (C client) and the JDR codec (Java client) are built on
+these primitives.  ``ByteWriter`` accumulates into a ``bytearray``;
+``ByteReader`` walks a ``bytes``/``memoryview`` with bounds checking and
+raises :class:`~repro.errors.DecodeError` on underrun so malformed network
+input can never surface as an ``IndexError`` deep in a codec.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import DecodeError
+
+_U8 = struct.Struct(">B")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+_I32 = struct.Struct(">i")
+_I64 = struct.Struct(">q")
+_F32 = struct.Struct(">f")
+_F64 = struct.Struct(">d")
+
+
+class ByteWriter:
+    """Append-only big-endian binary writer."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def getvalue(self) -> bytes:
+        """The bytes written so far."""
+        return bytes(self._buf)
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append raw bytes."""
+        self._buf += data
+
+    def write_u8(self, value: int) -> None:
+        """Append a big-endian 8-bit unsigned value."""
+        self._buf += _U8.pack(value)
+
+    def write_u16(self, value: int) -> None:
+        """Append a big-endian 16-bit unsigned value."""
+        self._buf += _U16.pack(value)
+
+    def write_u32(self, value: int) -> None:
+        """Append a big-endian 32-bit unsigned value."""
+        self._buf += _U32.pack(value)
+
+    def write_u64(self, value: int) -> None:
+        """Append a big-endian 64-bit unsigned value."""
+        self._buf += _U64.pack(value)
+
+    def write_i32(self, value: int) -> None:
+        """Append a big-endian 32-bit signed value."""
+        self._buf += _I32.pack(value)
+
+    def write_i64(self, value: int) -> None:
+        """Append a big-endian 64-bit signed value."""
+        self._buf += _I64.pack(value)
+
+    def write_f32(self, value: float) -> None:
+        """Append a big-endian 32-bit float value."""
+        self._buf += _F32.pack(value)
+
+    def write_f64(self, value: float) -> None:
+        """Append a big-endian 64-bit float value."""
+        self._buf += _F64.pack(value)
+
+    def pad_to_multiple(self, alignment: int, fill: bytes = b"\x00") -> None:
+        """Pad with *fill* bytes until the length is a multiple of *alignment*.
+
+        XDR requires all items to occupy a multiple of four bytes.
+        """
+        remainder = len(self._buf) % alignment
+        if remainder:
+            self._buf += fill * (alignment - remainder)
+
+
+class ByteReader:
+    """Bounds-checked big-endian binary reader."""
+
+    def __init__(self, data: bytes) -> None:
+        self._view = memoryview(data)
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        """Current read offset."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Unread bytes left."""
+        return len(self._view) - self._pos
+
+    def _take(self, count: int) -> memoryview:
+        if count < 0:
+            raise DecodeError(f"negative read of {count} bytes")
+        if self._pos + count > len(self._view):
+            raise DecodeError(
+                f"buffer underrun: need {count} bytes at offset {self._pos}, "
+                f"only {self.remaining} remain"
+            )
+        chunk = self._view[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def read_bytes(self, count: int) -> bytes:
+        """Read exactly *count* bytes."""
+        return bytes(self._take(count))
+
+    def read_u8(self) -> int:
+        """Read a big-endian 8-bit unsigned value."""
+        return _U8.unpack(self._take(1))[0]
+
+    def read_u16(self) -> int:
+        """Read a big-endian 16-bit unsigned value."""
+        return _U16.unpack(self._take(2))[0]
+
+    def read_u32(self) -> int:
+        """Read a big-endian 32-bit unsigned value."""
+        return _U32.unpack(self._take(4))[0]
+
+    def read_u64(self) -> int:
+        """Read a big-endian 64-bit unsigned value."""
+        return _U64.unpack(self._take(8))[0]
+
+    def read_i32(self) -> int:
+        """Read a big-endian 32-bit signed value."""
+        return _I32.unpack(self._take(4))[0]
+
+    def read_i64(self) -> int:
+        """Read a big-endian 64-bit signed value."""
+        return _I64.unpack(self._take(8))[0]
+
+    def read_f32(self) -> float:
+        """Read a big-endian 32-bit float value."""
+        return _F32.unpack(self._take(4))[0]
+
+    def read_f64(self) -> float:
+        """Read a big-endian 64-bit float value."""
+        return _F64.unpack(self._take(8))[0]
+
+    def skip(self, count: int) -> None:
+        """Discard *count* bytes."""
+        self._take(count)
+
+    def expect_exhausted(self) -> None:
+        """Raise :class:`DecodeError` if unread bytes remain."""
+        if self.remaining:
+            raise DecodeError(f"{self.remaining} trailing bytes after decode")

@@ -1,0 +1,41 @@
+"""Logging helpers.
+
+The runtime spans many threads (application threads, surrogates, listener,
+garbage collector), so log records carry the subsystem name and are routed
+through the standard :mod:`logging` package.  Nothing here configures global
+handlers; applications own that decision.  ``get_logger`` only ensures a
+namespaced logger exists and ``configure_debug_logging`` is an opt-in that
+the examples use.
+"""
+
+from __future__ import annotations
+
+import logging
+
+ROOT_LOGGER_NAME = "dstampede"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(subsystem: str) -> logging.Logger:
+    """Return the logger for *subsystem*, namespaced under ``dstampede``.
+
+    >>> get_logger("core.channel").name
+    'dstampede.core.channel'
+    """
+    if not subsystem:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{subsystem}")
+
+
+def configure_debug_logging(level: int = logging.DEBUG) -> None:
+    """Attach a stderr handler to the ``dstampede`` logger tree.
+
+    Idempotent: calling it twice does not duplicate handlers.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+    root.setLevel(level)

@@ -1,0 +1,181 @@
+"""Measurement statistics used by the benchmark harness and the simulator.
+
+The paper reports latencies (microseconds), sustained frame rates
+(frames/second), and delivered bandwidth (MB/s).  These helpers compute the
+same summary quantities without pulling in numpy for the core library
+(numpy is only an optional test dependency).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Return the *q*-th percentile (0 <= q <= 100) by linear interpolation.
+
+    Mirrors numpy's default ("linear") method so benchmark tables agree with
+    any external analysis.
+
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 50)
+    2.5
+    """
+    if not samples:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q={q} out of range [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return ordered[lower]
+    frac = rank - lower
+    return ordered[lower] * (1.0 - frac) + ordered[upper] * frac
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Immutable summary of a sample set."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    @staticmethod
+    def of(samples: Sequence[float]) -> "Summary":
+        """Compute a Summary over *samples*."""
+        if not samples:
+            raise ValueError("summary of empty sequence")
+        n = len(samples)
+        mean = sum(samples) / n
+        if n > 1:
+            var = sum((x - mean) ** 2 for x in samples) / (n - 1)
+        else:
+            var = 0.0
+        return Summary(
+            count=n,
+            mean=mean,
+            stdev=math.sqrt(var),
+            minimum=min(samples),
+            maximum=max(samples),
+            p50=percentile(samples, 50),
+            p95=percentile(samples, 95),
+            p99=percentile(samples, 99),
+        )
+
+
+class RunningStats:
+    """Welford online mean/variance, usable from a single thread.
+
+    Keeps O(1) state; used by long simulator runs where storing every sample
+    would be wasteful.
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the running statistics."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold every sample of *values* in."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def count(self) -> int:
+        """Number of samples folded in."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples."""
+        if self._count == 0:
+            raise ValueError("mean of empty RunningStats")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator)."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest sample seen."""
+        if self._count == 0:
+            raise ValueError("minimum of empty RunningStats")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        """Largest sample seen."""
+        if self._count == 0:
+            raise ValueError("maximum of empty RunningStats")
+        return self._max
+
+
+class RateMeter:
+    """Sustained-rate meter: events per second over an explicit time window.
+
+    The application-level experiments (Figures 14/15) report *sustained*
+    frame rate; the meter therefore supports discarding a warm-up prefix
+    before computing the rate.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[float] = []
+
+    def record(self, at_time: float) -> None:
+        """Record one event at *at_time* (seconds, any monotonic origin)."""
+        if self._events and at_time < self._events[-1]:
+            raise ValueError("events must be recorded in time order")
+        self._events.append(at_time)
+
+    @property
+    def count(self) -> int:
+        """Number of samples folded in."""
+        return len(self._events)
+
+    def rate(self, skip_warmup: int = 0) -> float:
+        """Events/second after dropping the first *skip_warmup* events."""
+        usable = self._events[skip_warmup:]
+        if len(usable) < 2:
+            raise ValueError("need at least two events to compute a rate")
+        span = usable[-1] - usable[0]
+        if span <= 0.0:
+            raise ValueError("zero time span")
+        return (len(usable) - 1) / span
+
+
+def mbps(total_bytes: float, seconds: float) -> float:
+    """Delivered bandwidth in megabytes/second (paper's MBps, 10^6 B)."""
+    if seconds <= 0.0:
+        raise ValueError("seconds must be positive")
+    return total_bytes / 1e6 / seconds

@@ -1,0 +1,178 @@
+"""Event tracing for distributed debugging.
+
+Interactive stream applications fail in time-dependent ways (a mixer
+starving on one input, GC racing a slow display).  The tracer records
+runtime events in a fixed-size ring buffer with negligible overhead when
+disabled, so "what happened in the last second before the stall" is
+always answerable.
+
+Design:
+
+* one process-global :class:`Tracer` (plus injectable instances for
+  tests);
+* events carry a monotonic timestamp, a category, and a small payload;
+* recording is lock-free-ish (a single lock around a deque append — the
+  contention of interest is avoided by checking ``enabled`` first,
+  outside the lock);
+* :meth:`Tracer.dump` renders chronologically for humans;
+  :meth:`Tracer.events` filters programmatically for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional
+
+#: Conventional categories used by the runtime's own trace points.
+PUT = "put"
+GET = "get"
+CONSUME = "consume"
+RECLAIM = "reclaim"
+ATTACH = "attach"
+DETACH = "detach"
+RPC = "rpc"
+JOIN = "join"
+LEAVE = "leave"
+SLIP = "slip"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    at: float
+    category: str
+    subject: str
+    details: Dict[str, Any]
+
+    def render(self, origin: float) -> str:
+        """One-line human rendering, offset from *origin* seconds."""
+        offset_ms = (self.at - origin) * 1e3
+        details = " ".join(f"{k}={v!r}" for k, v in self.details.items())
+        return (f"[{offset_ms:10.3f}ms] {self.category:<8} "
+                f"{self.subject:<24} {details}")
+
+
+class Tracer:
+    """A bounded ring of :class:`TraceEvent`.
+
+    Parameters
+    ----------
+    capacity:
+        Events retained; older ones fall off the ring.
+    enabled:
+        Start recording immediately.  Disabled tracers cost one attribute
+        read per trace point.
+    """
+
+    def __init__(self, capacity: int = 4096, enabled: bool = False) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.enabled = enabled
+        self._ring: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._dropped = 0
+        self._recorded = 0
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, category: str, subject: str, **details: Any) -> None:
+        """Record one event (no-op while disabled)."""
+        if not self.enabled:
+            return
+        event = TraceEvent(time.monotonic(), category, subject, details)
+        with self._lock:
+            if len(self._ring) == self.capacity:
+                self._dropped += 1
+            self._ring.append(event)
+            self._recorded += 1
+
+    def enable(self) -> None:
+        """Start recording events."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording events (reads still work)."""
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop all retained events and reset counters."""
+        with self._lock:
+            self._ring.clear()
+            self._dropped = 0
+            self._recorded = 0
+
+    # -- reading ----------------------------------------------------------------
+
+    def events(self, category: Optional[str] = None,
+               subject: Optional[str] = None) -> List[TraceEvent]:
+        """Snapshot of retained events, optionally filtered."""
+        with self._lock:
+            snapshot = list(self._ring)
+        if category is not None:
+            snapshot = [e for e in snapshot if e.category == category]
+        if subject is not None:
+            snapshot = [e for e in snapshot if e.subject == subject]
+        return snapshot
+
+    @property
+    def recorded(self) -> int:
+        """Total events accepted since the last clear."""
+        with self._lock:
+            return self._recorded
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the full ring."""
+        with self._lock:
+            return self._dropped
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Human-readable chronological rendering of the ring."""
+        events = self.events()
+        if limit is not None:
+            events = events[-limit:]
+        if not events:
+            return "(no events)"
+        origin = events[0].at
+        lines = [event.render(origin) for event in events]
+        footer = ""
+        if self.dropped:
+            footer = f"\n({self.dropped} older events dropped)"
+        return "\n".join(lines) + footer
+
+    def __enter__(self) -> "Tracer":
+        self.enable()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.disable()
+
+
+#: The process-global tracer the runtime's trace points use.
+GLOBAL_TRACER = Tracer(enabled=False)
+
+
+def trace(category: str, subject: str, **details: Any) -> None:
+    """Record into the global tracer (the runtime's trace-point entry)."""
+    GLOBAL_TRACER.record(category, subject, **details)
+
+
+def enable_tracing(capacity: Optional[int] = None) -> Tracer:
+    """Turn on global tracing (optionally resizing the ring) and return
+    the tracer for inspection."""
+    global GLOBAL_TRACER
+    if capacity is not None and capacity != GLOBAL_TRACER.capacity:
+        GLOBAL_TRACER = Tracer(capacity=capacity, enabled=True)
+    else:
+        GLOBAL_TRACER.enable()
+    return GLOBAL_TRACER
+
+
+def disable_tracing() -> None:
+    """Turn off the process-global tracer."""
+    GLOBAL_TRACER.disable()

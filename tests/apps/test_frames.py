@@ -1,0 +1,126 @@
+"""Unit tests for frames, cameras, and compositing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.frames import (
+    Frame,
+    VirtualCamera,
+    compose,
+    decompose,
+    verify_frame,
+)
+from repro.errors import DecodeError
+
+
+class TestFrameEncoding:
+    def test_round_trip(self):
+        frame = Frame(source=3, timestamp=99, pixels=b"\x01\x02\x03")
+        decoded = Frame.decode(frame.encode())
+        assert decoded == frame
+
+    @given(
+        source=st.integers(min_value=0, max_value=2**32 - 1),
+        timestamp=st.integers(min_value=0, max_value=2**63 - 1),
+        pixels=st.binary(max_size=200),
+    )
+    @settings(max_examples=50)
+    def test_round_trip_property(self, source, timestamp, pixels):
+        frame = Frame(source, timestamp, pixels)
+        assert Frame.decode(frame.encode()) == frame
+
+    def test_short_data_rejected(self):
+        with pytest.raises(DecodeError):
+            Frame.decode(b"xx")
+
+    def test_bad_magic_rejected(self):
+        data = bytearray(Frame(0, 0, b"p").encode())
+        data[0] ^= 0xFF
+        with pytest.raises(DecodeError):
+            Frame.decode(bytes(data))
+
+    def test_corrupt_pixels_detected_by_checksum(self):
+        data = bytearray(Frame(0, 0, b"pixels!").encode())
+        data[-1] ^= 0xFF
+        with pytest.raises(DecodeError):
+            Frame.decode(bytes(data))
+
+    def test_truncated_payload_detected(self):
+        data = Frame(0, 0, b"pixels!").encode()
+        with pytest.raises(DecodeError):
+            Frame.decode(data[:-2])
+
+
+class TestVirtualCamera:
+    def test_deterministic_capture(self):
+        cam = VirtualCamera(source=1, image_size=100)
+        assert cam.capture(5) == cam.capture(5)
+
+    def test_different_sources_and_times_differ(self):
+        a = VirtualCamera(1, 64).capture(0)
+        b = VirtualCamera(2, 64).capture(0)
+        c = VirtualCamera(1, 64).capture(1)
+        assert a.pixels != b.pixels
+        assert a.pixels != c.pixels
+
+    def test_exact_size(self):
+        for size in (1, 3, 4, 100, 74_000):
+            assert VirtualCamera(0, size).capture(0).size == size
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualCamera(0, 0)
+
+    def test_verify_frame_accepts_genuine_and_rejects_forged(self):
+        genuine = VirtualCamera(7, 50).capture(3)
+        assert verify_frame(genuine)
+        forged = Frame(7, 3, b"\x00" * 50)
+        assert not verify_frame(forged)
+
+
+class TestComposite:
+    def test_compose_decompose_round_trip(self):
+        frames = [VirtualCamera(source, 40).capture(9)
+                  for source in range(4)]
+        composite = compose(frames)
+        tiles = decompose(composite, 9)
+        assert tiles == sorted(frames, key=lambda f: f.source)
+        assert all(verify_frame(tile) for tile in tiles)
+
+    def test_compose_orders_by_source(self):
+        frames = [VirtualCamera(source, 16).capture(0)
+                  for source in (2, 0, 1)]
+        tiles = decompose(compose(frames), 0)
+        assert [tile.source for tile in tiles] == [0, 1, 2]
+
+    def test_mixed_timestamps_rejected(self):
+        a = VirtualCamera(0, 16).capture(1)
+        b = VirtualCamera(1, 16).capture(2)
+        with pytest.raises(ValueError):
+            compose([a, b])
+
+    def test_empty_compose_rejected(self):
+        with pytest.raises(ValueError):
+            compose([])
+
+    def test_variable_tile_sizes(self):
+        frames = [
+            Frame(0, 5, b"aa"),
+            Frame(1, 5, b"bbbb"),
+            Frame(2, 5, b""),
+        ]
+        tiles = decompose(compose(frames), 5)
+        assert [t.pixels for t in tiles] == [b"aa", b"bbbb", b""]
+
+    def test_truncated_composite_rejected(self):
+        composite = compose([VirtualCamera(0, 32).capture(0)])
+        with pytest.raises(DecodeError):
+            decompose(composite[:-1], 0)
+        with pytest.raises(DecodeError):
+            decompose(composite[:3], 0)
+
+    def test_trailing_garbage_rejected(self):
+        composite = compose([VirtualCamera(0, 32).capture(0)])
+        with pytest.raises(DecodeError):
+            decompose(composite + b"!", 0)

@@ -1,0 +1,97 @@
+"""Unit tests for the Figure 3 tracker-farm pattern."""
+
+import pytest
+
+from repro.apps.trackers import TrackerFarm, default_analyzer, split_frame
+
+
+class TestSplitFrame:
+    def test_equal_split(self):
+        parts = split_frame(b"abcdefgh", 4)
+        assert parts == [b"ab", b"cd", b"ef", b"gh"]
+
+    def test_remainder_goes_to_last_fragment(self):
+        parts = split_frame(b"abcdefghij", 3)
+        assert parts == [b"abc", b"def", b"ghij"]
+        assert b"".join(parts) == b"abcdefghij"
+
+    def test_single_fragment(self):
+        assert split_frame(b"xyz", 1) == [b"xyz"]
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            split_frame(b"ab", 0)
+        with pytest.raises(ValueError):
+            split_frame(b"ab", 3)
+
+
+class TestTrackerFarm:
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            TrackerFarm(workers=0)
+        with pytest.raises(ValueError):
+            TrackerFarm(workers=2, fragments=0)
+
+    def test_processes_all_frames(self):
+        farm = TrackerFarm(workers=4)
+        frames = {ts: bytes([ts] * 64) for ts in range(6)}
+        try:
+            joined = farm.process(frames)
+            assert sorted(joined) == list(range(6))
+            for ts, tracked in joined.items():
+                assert len(tracked.results) == 4
+        finally:
+            farm.destroy()
+
+    def test_results_match_direct_analysis(self):
+        farm = TrackerFarm(workers=3, fragments=3)
+        pixels = bytes(range(90))
+        try:
+            joined = farm.process({0: pixels})
+            expected = tuple(
+                default_analyzer(i, frag)
+                for i, frag in enumerate(split_frame(pixels, 3))
+            )
+            assert joined[0].results == expected
+        finally:
+            farm.destroy()
+
+    def test_custom_analyzer(self):
+        farm = TrackerFarm(
+            workers=2, fragments=2,
+            analyzer=lambda index, frag: (index, len(frag)),
+        )
+        try:
+            joined = farm.process({7: b"x" * 10})
+            assert joined[7].results == ((0, 5), (1, 5))
+        finally:
+            farm.destroy()
+
+    def test_more_fragments_than_workers(self):
+        farm = TrackerFarm(workers=2, fragments=8)
+        try:
+            joined = farm.process({ts: bytes(64) for ts in range(3)})
+            assert all(len(t.results) == 8 for t in joined.values())
+        finally:
+            farm.destroy()
+
+    def test_single_worker_degenerate_case(self):
+        farm = TrackerFarm(workers=1, fragments=4)
+        try:
+            joined = farm.process({0: bytes(32)})
+            assert len(joined[0].results) == 4
+        finally:
+            farm.destroy()
+
+    def test_output_channel_carries_joined_frames(self):
+        from repro.core.connection import ConnectionMode
+
+        farm = TrackerFarm(workers=2)
+        try:
+            reader = farm.output.attach(ConnectionMode.IN)
+            farm.process({3: bytes(16)})
+            ts, tracked = reader.get(3, timeout=5.0)
+            assert ts == 3
+            assert tracked.timestamp == 3
+        finally:
+            farm.destroy()

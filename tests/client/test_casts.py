@@ -1,0 +1,151 @@
+"""Tests for fire-and-forget operations and per-connection ordering."""
+
+import time
+
+import pytest
+
+from repro import ConnectionMode, Runtime, StampedeClient, StampedeServer
+from repro.core.timestamps import OLDEST
+
+
+@pytest.fixture()
+def cluster():
+    runtime = Runtime(gc_interval=0.01)
+    server = StampedeServer(runtime).start()
+    yield runtime, server
+    server.close()
+    runtime.shutdown()
+
+
+@pytest.fixture()
+def client(cluster):
+    _, server = cluster
+    host, port = server.address
+    client = StampedeClient(host, port, client_name="caster")
+    yield client
+    client.close()
+
+
+class TestAsyncPut:
+    def test_async_puts_arrive(self, client):
+        client.create_channel("stream")
+        out = client.attach("stream", ConnectionMode.OUT)
+        inp = client.attach("stream", ConnectionMode.IN)
+        for ts in range(20):
+            out.put(ts, f"frame-{ts}", sync=False)
+        # A synchronous get on another connection observes them (the
+        # puts were pipelined but executed in order on the cluster).
+        for ts in range(20):
+            assert inp.get(ts, timeout=10.0) == (ts, f"frame-{ts}")
+
+    def test_issue_order_preserved_on_one_connection(self, client):
+        """Casts and calls interleaved on one connection execute in
+        issue order: a sync call after a burst of casts sees them all."""
+        client.create_queue("ordered")
+        out = client.attach("ordered", ConnectionMode.OUT)
+        inp = client.attach("ordered", ConnectionMode.IN)
+        for i in range(50):
+            out.put(0, i, sync=False)
+        out.put(0, 50)  # synchronous: barrier for the connection
+        received = [inp.get(OLDEST, timeout=10.0)[1] for _ in range(51)]
+        assert received == list(range(51))
+
+    def test_async_puts_through_bounded_channel_do_not_deadlock(
+            self, client):
+        """The regression that motivated per-connection serial
+        executors: a fast async producer against a small bounded channel
+        with an in-order consumer must flow, not deadlock on
+        out-of-order blocked puts."""
+        client.create_channel("bounded", capacity=4)
+        out = client.attach("bounded", ConnectionMode.OUT)
+        inp = client.attach("bounded", ConnectionMode.IN)
+        total = 40
+
+        import threading
+
+        def producer():
+            for ts in range(total):
+                out.put(ts, ts, sync=False)
+
+        t = threading.Thread(target=producer)
+        t.start()
+        for ts in range(total):  # strictly in order
+            assert inp.get(ts, timeout=15.0) == (ts, ts)
+            inp.consume(ts, sync=False)
+        t.join(timeout=10.0)
+
+    def test_failed_cast_is_silent_but_logged_cluster_side(self, client):
+        client.create_channel("dup")
+        out = client.attach("dup", ConnectionMode.OUT)
+        out.put(0, "first")
+        out.put(0, "duplicate", sync=False)  # fails on the cluster
+        # The client is unaffected; the next sync op still works.
+        assert client.ping(b"alive") == b"alive"
+        inp = client.attach("dup", ConnectionMode.IN)
+        assert inp.get(0, timeout=5.0) == (0, "first")
+
+    def test_async_consume_drives_gc(self, cluster, client):
+        runtime, _ = cluster
+        client.create_channel("gc-cast")
+        out = client.attach("gc-cast", ConnectionMode.OUT)
+        inp = client.attach("gc-cast", ConnectionMode.IN)
+        out.put(0, "x")
+        inp.get(0)
+        inp.consume(0, sync=False)
+        channel = runtime.lookup_container("gc-cast")
+        deadline = time.monotonic() + 5.0
+        while channel.live_timestamps() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert channel.live_timestamps() == []
+
+
+class TestParallelismAcrossConnections:
+    def test_blocked_get_does_not_stall_producer_connection(self, client):
+        """Per-connection serialization must not cost cross-connection
+        parallelism: a blocking get on one connection proceeds only
+        because puts on another connection keep flowing."""
+        import threading
+
+        client.create_channel("duplex")
+        out = client.attach("duplex", ConnectionMode.OUT)
+        inp = client.attach("duplex", ConnectionMode.IN)
+        results = []
+
+        def display():
+            for ts in range(10):
+                results.append(inp.get(ts, timeout=10.0))
+
+        t = threading.Thread(target=display)
+        t.start()
+        time.sleep(0.05)  # display is now blocked on ts=0
+        for ts in range(10):
+            out.put(ts, ts)
+        t.join(timeout=10.0)
+        assert results == [(ts, ts) for ts in range(10)]
+
+    def test_two_blocking_gets_on_distinct_connections(self, client):
+        import threading
+
+        client.create_channel("a")
+        client.create_channel("b")
+        in_a = client.attach("a", ConnectionMode.IN)
+        in_b = client.attach("b", ConnectionMode.IN)
+        out_a = client.attach("a", ConnectionMode.OUT)
+        out_b = client.attach("b", ConnectionMode.OUT)
+        got = {}
+
+        def getter(name, conn):
+            got[name] = conn.get(0, timeout=10.0)
+
+        threads = [
+            threading.Thread(target=getter, args=("a", in_a)),
+            threading.Thread(target=getter, args=("b", in_b)),
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        out_b.put(0, "bee")  # satisfy the SECOND get first
+        out_a.put(0, "ay")
+        for t in threads:
+            t.join(timeout=10.0)
+        assert got == {"a": (0, "ay"), "b": (0, "bee")}

@@ -1,0 +1,315 @@
+"""Integration tests: end devices joining a cluster over real TCP."""
+
+import threading
+import time
+
+import pytest
+
+from repro import (
+    ConnectionMode,
+    NEWEST,
+    OLDEST,
+    Runtime,
+    StampedeClient,
+    StampedeServer,
+)
+from repro.errors import (
+    BadTimestampError,
+    ConnectionClosedError,
+    ConnectionModeError,
+    DuplicateTimestampError,
+    ItemGarbageCollectedError,
+    ItemNotFoundError,
+    NameNotBoundError,
+    RemoteExecutionError,
+    StampedeError,
+)
+
+
+@pytest.fixture()
+def cluster():
+    runtime = Runtime(gc_interval=0.01)
+    server = StampedeServer(runtime, device_spaces=["N1", "N2"]).start()
+    yield runtime, server
+    server.close()
+    runtime.shutdown()
+
+
+@pytest.fixture()
+def client(cluster):
+    _, server = cluster
+    host, port = server.address
+    client = StampedeClient(host, port, client_name="test-device")
+    yield client
+    client.close()
+
+
+class TestJoining:
+    def test_hello_assigns_session_and_space(self, client):
+        assert client.session_id.startswith("session-")
+        assert client.space in ("N1", "N2")
+
+    def test_devices_assigned_round_robin(self, cluster):
+        _, server = cluster
+        host, port = server.address
+        clients = [StampedeClient(host, port, client_name=f"d{i}")
+                   for i in range(4)]
+        try:
+            spaces = [c.space for c in clients]
+            assert spaces == ["N1", "N2", "N1", "N2"]
+            assert server.device_count == 4
+        finally:
+            for c in clients:
+                c.close()
+
+    def test_clean_departure_removes_surrogate(self, cluster):
+        _, server = cluster
+        host, port = server.address
+        client = StampedeClient(host, port)
+        assert server.device_count == 1
+        client.close()
+        deadline = time.monotonic() + 2.0
+        while server.device_count and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert server.device_count == 0
+
+    def test_abrupt_disconnect_also_cleans_up(self, cluster):
+        _, server = cluster
+        host, port = server.address
+        client = StampedeClient(host, port)
+        client._rpc._connection.close()  # simulate a crash: no BYE
+        deadline = time.monotonic() + 2.0
+        while server.device_count and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert server.device_count == 0
+
+
+class TestChannelIo:
+    def test_put_get_consume_cycle(self, client):
+        client.create_channel("video")
+        out = client.attach("video", ConnectionMode.OUT)
+        inp = client.attach("video", ConnectionMode.IN)
+        out.put(0, b"frame-0")
+        assert inp.get(0) == (0, b"frame-0")
+        inp.consume(0)
+        with pytest.raises(ItemGarbageCollectedError):
+            inp.get(0, block=False)
+
+    def test_markers_work_remotely(self, client):
+        client.create_channel("c")
+        out = client.attach("c", ConnectionMode.OUT)
+        inp = client.attach("c", ConnectionMode.IN)
+        out.put(5, "old")
+        out.put(9, "new")
+        assert inp.get(NEWEST) == (9, "new")
+        assert inp.get(OLDEST) == (5, "old")
+
+    def test_structured_values_cross_the_wire(self, client):
+        client.create_channel("c")
+        out = client.attach("c", ConnectionMode.OUT)
+        inp = client.attach("c", ConnectionMode.IN)
+        value = {"pixels": b"\x00" * 100, "meta": [1, 2.5, None, True]}
+        out.put(0, value)
+        assert inp.get(0)[1] == value
+
+    def test_remote_errors_rehydrate_to_local_types(self, client):
+        client.create_channel("c")
+        out = client.attach("c", ConnectionMode.OUT)
+        inp = client.attach("c", ConnectionMode.IN)
+        out.put(0, "x")
+        with pytest.raises(DuplicateTimestampError):
+            out.put(0, "y")
+        with pytest.raises(ItemNotFoundError):
+            inp.get(42, block=False)
+        with pytest.raises(BadTimestampError):
+            inp.consume_until(7) or inp.get(2)
+
+    def test_mode_violations_raise_locally_without_rpc(self, client):
+        client.create_channel("c")
+        out = client.attach("c", ConnectionMode.OUT)
+        with pytest.raises(ConnectionModeError):
+            out.get(0)
+        inp = client.attach("c", ConnectionMode.IN)
+        with pytest.raises(ConnectionModeError):
+            inp.put(0, "v")
+
+    def test_blocking_get_with_timeout(self, client):
+        client.create_channel("c")
+        inp = client.attach("c", ConnectionMode.IN)
+        start = time.monotonic()
+        with pytest.raises(ItemNotFoundError):
+            inp.get(9, timeout=0.1)
+        assert time.monotonic() - start < 5.0
+
+    def test_blocking_get_wakes_on_remote_put(self, client):
+        client.create_channel("c")
+        out = client.attach("c", ConnectionMode.OUT)
+        inp = client.attach("c", ConnectionMode.IN)
+        result = []
+        t = threading.Thread(target=lambda: result.append(inp.get(3)))
+        t.start()
+        time.sleep(0.1)
+        out.put(3, "late")  # concurrent RPC on the same TCP connection
+        t.join(timeout=5.0)
+        assert result == [(3, "late")]
+
+    def test_detach_and_further_use_rejected(self, client):
+        client.create_channel("c")
+        out = client.attach("c", ConnectionMode.OUT)
+        out.detach()
+        with pytest.raises(ConnectionClosedError):
+            out.put(0, "v")
+
+    def test_queue_io(self, client):
+        client.create_queue("work")
+        out = client.attach("work", ConnectionMode.OUT)
+        inp = client.attach("work", ConnectionMode.IN)
+        out.put(7, "frag-a")
+        out.put(7, "frag-b")
+        assert inp.get(OLDEST) == (7, "frag-a")
+        assert inp.get(OLDEST) == (7, "frag-b")
+        inp.consume(7)
+
+
+class TestCodecPersonalities:
+    @pytest.mark.parametrize("codec", ["xdr", "jdr"])
+    def test_both_personalities_round_trip(self, cluster, codec):
+        _, server = cluster
+        host, port = server.address
+        with StampedeClient(host, port, codec=codec) as c:
+            c.create_channel(f"chan-{codec}")
+            out = c.attach(f"chan-{codec}", ConnectionMode.OUT)
+            inp = c.attach(f"chan-{codec}", ConnectionMode.IN)
+            out.put(0, {"codec": codec, "data": b"\x01\x02"})
+            assert inp.get(0)[1] == {"codec": codec, "data": b"\x01\x02"}
+
+    def test_c_and_java_clients_share_one_channel(self, cluster):
+        """Language heterogeneity (§3.2.3): parts written for different
+        personalities share the same abstractions in one application."""
+        _, server = cluster
+        host, port = server.address
+        with StampedeClient(host, port, codec="xdr") as c_client, \
+                StampedeClient(host, port, codec="jdr") as java_client:
+            c_client.create_channel("shared")
+            out = c_client.attach("shared", ConnectionMode.OUT)
+            inp = java_client.attach("shared", ConnectionMode.IN)
+            out.put(0, {"from": "c-client", "samples": [1, 2, 3]})
+            ts, value = inp.get(0)
+            assert ts == 0
+            assert value == {"from": "c-client", "samples": [1, 2, 3]}
+
+
+class TestNameServerOverWire:
+    def test_register_lookup_list_unregister(self, client):
+        client.ns_register("my-thread", "thread",
+                           metadata={"role": "camera"})
+        kind, space, metadata = client.ns_lookup("my-thread")
+        assert kind == "thread"
+        assert space == client.space
+        assert metadata == {"role": "camera"}
+        assert "my-thread" in client.ns_list()
+        assert "my-thread" in client.ns_list(kind="thread")
+        client.ns_unregister("my-thread")
+        with pytest.raises((NameNotBoundError, RemoteExecutionError)):
+            client.ns_lookup("my-thread")
+
+    def test_channels_visible_in_listing(self, client):
+        client.create_channel("listed")
+        assert "listed" in client.ns_list(kind="channel")
+
+    def test_attach_waits_for_late_channel(self, cluster):
+        runtime, server = cluster
+        host, port = server.address
+        with StampedeClient(host, port) as c:
+            result = []
+
+            def attacher():
+                result.append(c.attach("late-chan", ConnectionMode.IN,
+                                       wait=5.0))
+
+            t = threading.Thread(target=attacher)
+            t.start()
+            time.sleep(0.1)
+            runtime.create_channel("late-chan", space="N1")
+            t.join(timeout=5.0)
+            assert len(result) == 1
+
+
+class TestReclaimNotifications:
+    def test_piggybacked_reclaims_reach_the_device(self, client):
+        client.create_channel("c")
+        out = client.attach("c", ConnectionMode.OUT)
+        inp = client.attach("c", ConnectionMode.IN)
+        out.put(0, b"buffer")
+        inp.get(0)
+        inp.consume(0)
+        # The notification piggybacks on a subsequent call (§3.2.4).
+        deadline = time.monotonic() + 2.0
+        reclaims = []
+        while not reclaims and time.monotonic() < deadline:
+            client.ping()
+            reclaims.extend(client.take_reclaims())
+        assert ("c", 0) in reclaims
+
+    def test_reclaim_callback_invoked(self, cluster):
+        _, server = cluster
+        host, port = server.address
+        seen = []
+        with StampedeClient(
+            host, port, on_reclaim=lambda name, ts: seen.append((name, ts))
+        ) as c:
+            c.create_channel("cb")
+            out = c.attach("cb", ConnectionMode.OUT)
+            inp = c.attach("cb", ConnectionMode.IN)
+            out.put(4, "x")
+            inp.consume(4)
+            deadline = time.monotonic() + 2.0
+            while not seen and time.monotonic() < deadline:
+                c.ping()
+        assert ("cb", 4) in seen
+
+
+class TestMisc:
+    def test_ping_echoes_payload(self, client):
+        assert client.ping(b"latency-probe") == b"latency-probe"
+
+    def test_gc_report(self, client):
+        client.create_channel("g")
+        out = client.attach("g", ConnectionMode.OUT)
+        inp = client.attach("g", ConnectionMode.IN)
+        out.put(0, "x")
+        inp.consume(0)
+        _sweeps, items, _bytes = client.gc_report()
+        assert items >= 1
+
+    def test_heartbeat_keeps_lease_alive(self):
+        runtime = Runtime()
+        server = StampedeServer(
+            runtime, lease_timeout=0.4
+        ).start()
+        try:
+            host, port = server.address
+            with StampedeClient(host, port, heartbeat=0.1) as c:
+                time.sleep(1.0)  # well past the lease without heartbeats
+                assert c.ping(b"alive") == b"alive"
+                assert server.device_count == 1
+        finally:
+            server.close()
+            runtime.shutdown()
+
+    def test_silent_device_is_reaped(self):
+        runtime = Runtime()
+        server = StampedeServer(runtime, lease_timeout=0.3).start()
+        try:
+            host, port = server.address
+            client = StampedeClient(host, port)  # no heartbeat
+            assert server.device_count == 1
+            deadline = time.monotonic() + 3.0
+            while server.device_count and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert server.device_count == 0
+            with pytest.raises(StampedeError):
+                client.ping()
+        finally:
+            server.close()
+            runtime.shutdown()

@@ -1,0 +1,220 @@
+"""Unit tests for the client RPC channel (correlation, errors, close)."""
+
+import threading
+
+import pytest
+
+from repro.client.rpc import RpcChannel, _rehydrate_error
+from repro.errors import (
+    BadTimestampError,
+    ItemNotFoundError,
+    RemoteExecutionError,
+    RpcError,
+    SlipError,
+    StampedeError,
+    TransportClosedError,
+)
+from repro.runtime import ops
+from repro.transport.tcp import TcpListener, connect_tcp
+
+
+@pytest.fixture()
+def pipe():
+    """An RpcChannel wired to a raw server-side framed connection."""
+    listener = TcpListener()
+    holder = {}
+    t = threading.Thread(
+        target=lambda: holder.update(conn=connect_tcp(listener.address))
+    )
+    t.start()
+    server_side = listener.accept(timeout=5.0)
+    t.join()
+    channel = RpcChannel(holder["conn"])
+    yield channel, server_side
+    channel.close()
+    server_side.close()
+    listener.close()
+
+
+def serve_one(server_side, handler):
+    """Answer exactly one request on a thread."""
+
+    def run():
+        frame = server_side.recv_frame(timeout=5.0)
+        request_id, opcode, args = ops.decode_request(frame)
+        server_side.send_frame(handler(request_id, opcode, args))
+
+    t = threading.Thread(target=run)
+    t.start()
+    return t
+
+
+class TestCalls:
+    def test_successful_call(self, pipe):
+        channel, server_side = pipe
+        t = serve_one(
+            server_side,
+            lambda rid, op, args: ops.encode_ok_response(
+                rid, op, {"payload": args["payload"]}
+            ),
+        )
+        results = channel.call(ops.OP_PING, {"payload": b"ping"},
+                               timeout=5.0)
+        t.join()
+        assert results == {"payload": b"ping"}
+
+    def test_out_of_order_responses_route_correctly(self, pipe):
+        channel, server_side = pipe
+        frames = []
+        collected = threading.Event()
+
+        def collector():
+            for _ in range(2):
+                frames.append(server_side.recv_frame(timeout=5.0))
+            collected.set()
+            # Answer in REVERSE arrival order.
+            for frame in reversed(frames):
+                rid, op, args = ops.decode_request(frame)
+                server_side.send_frame(ops.encode_ok_response(
+                    rid, op, {"payload": args["payload"]}
+                ))
+
+        t = threading.Thread(target=collector)
+        t.start()
+        results = {}
+
+        def caller(tag):
+            results[tag] = channel.call(
+                ops.OP_PING, {"payload": tag}, timeout=5.0
+            )["payload"]
+
+        callers = [threading.Thread(target=caller, args=(tag,))
+                   for tag in (b"first", b"second")]
+        for c in callers:
+            c.start()
+        for c in callers:
+            c.join(timeout=5.0)
+        t.join()
+        assert results == {b"first": b"first", b"second": b"second"}
+
+    def test_timeout_without_response(self, pipe):
+        channel, _ = pipe
+        with pytest.raises(RpcError):
+            channel.call(ops.OP_PING, {"payload": b""}, timeout=0.1)
+
+    def test_unknown_response_id_is_dropped(self, pipe):
+        channel, server_side = pipe
+        server_side.send_frame(
+            ops.encode_ok_response(424242, ops.OP_PING, {"payload": b""})
+        )
+        t = serve_one(
+            server_side,
+            lambda rid, op, args: ops.encode_ok_response(
+                rid, op, {"payload": b"real"}
+            ),
+        )
+        assert channel.call(ops.OP_PING, {"payload": b""},
+                            timeout=5.0)["payload"] == b"real"
+        t.join()
+
+    def test_remote_error_raises_locally(self, pipe):
+        channel, server_side = pipe
+        t = serve_one(
+            server_side,
+            lambda rid, op, args: ops.encode_error_response(
+                rid, "ItemNotFoundError", "nothing there"
+            ),
+        )
+        with pytest.raises(ItemNotFoundError):
+            channel.call(ops.OP_PING, {"payload": b""}, timeout=5.0)
+        t.join()
+
+    def test_reclaims_delivered_to_listener(self):
+        listener = TcpListener()
+        holder = {}
+        t = threading.Thread(
+            target=lambda: holder.update(
+                conn=connect_tcp(listener.address))
+        )
+        t.start()
+        server_side = listener.accept(timeout=5.0)
+        t.join()
+        seen = []
+        channel = RpcChannel(
+            holder["conn"],
+            reclaim_listener=lambda name, ts: seen.append((name, ts)),
+        )
+        try:
+            worker = serve_one(
+                server_side,
+                lambda rid, op, args: ops.encode_ok_response(
+                    rid, op, {"payload": b""},
+                    reclaims=[("video", 4), ("audio", 9)],
+                ),
+            )
+            channel.call(ops.OP_PING, {"payload": b""}, timeout=5.0)
+            worker.join()
+            assert seen == [("video", 4), ("audio", 9)]
+        finally:
+            channel.close()
+            server_side.close()
+            listener.close()
+
+
+class TestClose:
+    def test_peer_close_fails_pending_calls_fast(self, pipe):
+        channel, server_side = pipe
+        failures = []
+
+        def caller():
+            try:
+                channel.call(ops.OP_PING, {"payload": b""}, timeout=30.0)
+            except StampedeError as exc:
+                failures.append(type(exc))
+
+        t = threading.Thread(target=caller)
+        t.start()
+        import time
+
+        time.sleep(0.1)
+        server_side.close()
+        t.join(timeout=5.0)
+        assert not t.is_alive(), "call must not wait out its timeout"
+        assert failures == [TransportClosedError]
+
+    def test_calls_after_close_rejected(self, pipe):
+        channel, _ = pipe
+        channel.close()
+        with pytest.raises(TransportClosedError):
+            channel.call(ops.OP_PING, {"payload": b""}, timeout=1.0)
+
+    def test_close_is_idempotent(self, pipe):
+        channel, _ = pipe
+        channel.close()
+        channel.close()
+        assert channel.closed
+
+
+class TestErrorRehydration:
+    def test_known_types_rehydrate(self):
+        error = _rehydrate_error("BadTimestampError", "bad ts")
+        assert isinstance(error, BadTimestampError)
+        assert "bad ts" in str(error)
+
+    def test_unknown_types_wrap(self):
+        error = _rehydrate_error("ValueError", "user code exploded")
+        assert isinstance(error, RemoteExecutionError)
+        assert error.remote_type == "ValueError"
+        assert "user code exploded" in str(error)
+
+    def test_custom_signature_types_fall_back(self):
+        # SlipError takes (tick, lateness, tolerance): cannot rebuild
+        # from a message string, so it wraps instead of crashing.
+        error = _rehydrate_error("SlipError", "tick 3 missed")
+        assert isinstance(error, (RemoteExecutionError, SlipError))
+
+    def test_non_exception_attribute_names_wrap(self):
+        # Names that exist in repro.errors but are not exception classes
+        # must not be instantiated.
+        error = _rehydrate_error("annotations", "weird")
+        assert isinstance(error, RemoteExecutionError)

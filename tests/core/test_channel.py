@@ -1,0 +1,384 @@
+"""Unit tests for channel semantics: put/get, markers, GC, back-pressure."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import Channel, ConnectionMode, NEWEST, OLDEST
+from repro.errors import (
+    BadTimestampError,
+    ChannelFullError,
+    ConnectionClosedError,
+    ConnectionModeError,
+    ContainerDestroyedError,
+    DuplicateTimestampError,
+    ItemGarbageCollectedError,
+    ItemNotFoundError,
+)
+
+
+@pytest.fixture()
+def channel():
+    return Channel("test-channel")
+
+
+@pytest.fixture()
+def io(channel):
+    out = channel.attach(ConnectionMode.OUT, owner="producer")
+    inp = channel.attach(ConnectionMode.IN, owner="consumer")
+    return out, inp
+
+
+class TestPutGet:
+    def test_put_then_get_round_trips(self, io):
+        out, inp = io
+        out.put(0, b"frame-0")
+        ts, value = inp.get(0)
+        assert (ts, value) == (0, b"frame-0")
+
+    def test_get_returns_actual_timestamp_for_markers(self, io):
+        out, inp = io
+        out.put(10, "a")
+        out.put(20, "b")
+        assert inp.get(NEWEST) == (20, "b")
+        assert inp.get(OLDEST) == (10, "a")
+
+    def test_random_access_out_of_put_order(self, io):
+        out, inp = io
+        out.put(5, "five")
+        out.put(2, "two")
+        out.put(9, "nine")
+        assert inp.get(9) == (9, "nine")
+        assert inp.get(2) == (2, "two")
+        assert inp.get(5) == (5, "five")
+
+    def test_get_same_timestamp_twice_is_allowed(self, io):
+        # Channels allow re-reading until consumed (random access).
+        out, inp = io
+        out.put(1, "v")
+        assert inp.get(1) == (1, "v")
+        assert inp.get(1) == (1, "v")
+
+    def test_duplicate_put_rejected(self, io):
+        out, _ = io
+        out.put(3, "first")
+        with pytest.raises(DuplicateTimestampError):
+            out.put(3, "second")
+
+    def test_put_to_reclaimed_timestamp_rejected(self, io):
+        out, inp = io
+        out.put(3, "v")
+        inp.consume(3)
+        with pytest.raises(BadTimestampError):
+            out.put(3, "again")
+
+    def test_nonblocking_get_missing_raises(self, io):
+        _, inp = io
+        with pytest.raises(ItemNotFoundError):
+            inp.get(99, block=False)
+
+    def test_get_timeout_raises(self, io):
+        _, inp = io
+        start = time.monotonic()
+        with pytest.raises(ItemNotFoundError):
+            inp.get(99, timeout=0.05)
+        assert time.monotonic() - start < 1.0
+
+    def test_blocking_get_wakes_on_put(self, io):
+        out, inp = io
+        result = []
+
+        def consumer():
+            result.append(inp.get(7))
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        time.sleep(0.05)
+        out.put(7, "late")
+        t.join(timeout=2.0)
+        assert not t.is_alive()
+        assert result == [(7, "late")]
+
+    def test_marker_get_blocks_until_any_item(self, io):
+        out, inp = io
+        result = []
+
+        def consumer():
+            result.append(inp.get(NEWEST))
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        time.sleep(0.05)
+        out.put(0, "x")
+        t.join(timeout=2.0)
+        assert result == [(0, "x")]
+
+    def test_invalid_timestamp_rejected(self, io):
+        out, inp = io
+        with pytest.raises(BadTimestampError):
+            out.put(-1, "v")
+        with pytest.raises(BadTimestampError):
+            inp.get(-1)
+
+
+class TestModes:
+    def test_input_connection_cannot_put(self, channel):
+        inp = channel.attach(ConnectionMode.IN)
+        with pytest.raises(ConnectionModeError):
+            inp.put(0, "v")
+
+    def test_output_connection_cannot_get(self, channel):
+        out = channel.attach(ConnectionMode.OUT)
+        with pytest.raises(ConnectionModeError):
+            out.get(0)
+        with pytest.raises(ConnectionModeError):
+            out.consume(0)
+
+    def test_inout_can_do_both(self, channel):
+        conn = channel.attach(ConnectionMode.INOUT)
+        conn.put(0, "v")
+        assert conn.get(0) == (0, "v")
+        conn.consume(0)
+
+
+class TestConsumeAndGc:
+    def test_consume_by_sole_consumer_reclaims(self, io):
+        out, inp = io
+        out.put(0, "v")
+        inp.consume(0)
+        assert channel_is_empty(out.container)
+        with pytest.raises(ItemGarbageCollectedError):
+            inp.get(0, block=False)
+
+    def test_item_survives_until_all_consumers_consume(self, channel):
+        out = channel.attach(ConnectionMode.OUT)
+        in1 = channel.attach(ConnectionMode.IN)
+        in2 = channel.attach(ConnectionMode.IN)
+        out.put(0, "v")
+        in1.consume(0)
+        assert channel.live_timestamps() == [0]
+        assert in2.get(0) == (0, "v")
+        in2.consume(0)
+        assert channel.live_timestamps() == []
+
+    def test_consume_until_reclaims_skipped_items(self, io):
+        out, inp = io
+        for ts in range(5):
+            out.put(ts, f"v{ts}")
+        inp.consume_until(3)  # strictly below 3
+        assert inp.container.live_timestamps() == [3, 4]
+
+    def test_get_below_own_floor_is_an_error(self, io):
+        out, inp = io
+        out.put(10, "v")
+        inp.consume_until(5)
+        with pytest.raises(BadTimestampError):
+            inp.get(2)
+
+    def test_marker_get_skips_items_consumed_by_this_connection(self, channel):
+        out = channel.attach(ConnectionMode.OUT)
+        in1 = channel.attach(ConnectionMode.IN)
+        in2 = channel.attach(ConnectionMode.IN)
+        out.put(1, "a")
+        out.put(2, "b")
+        in1.consume(2)
+        # in1 already consumed ts=2, so NEWEST for in1 is ts=1...
+        assert in1.get(NEWEST) == (1, "a")
+        # ...but in2 still sees ts=2.
+        assert in2.get(NEWEST) == (2, "b")
+
+    def test_no_reclamation_without_input_connections(self, channel):
+        out = channel.attach(ConnectionMode.OUT)
+        out.put(0, "v")
+        items, _ = channel.collect_garbage()
+        assert items == 0
+        assert channel.live_timestamps() == [0]
+
+    def test_detached_consumer_stops_constraining_gc(self, channel):
+        out = channel.attach(ConnectionMode.OUT)
+        in1 = channel.attach(ConnectionMode.IN)
+        in2 = channel.attach(ConnectionMode.IN)
+        out.put(0, "v")
+        in1.consume(0)
+        in2.detach()
+        items, _ = channel.collect_garbage()
+        assert items == 1
+
+    def test_consume_nonexistent_timestamp_is_harmless(self, io):
+        _, inp = io
+        inp.consume(12345)
+
+    def test_reclaim_handler_runs_with_timestamp_and_value(self, io):
+        out, inp = io
+        reclaimed = []
+        out.container.add_reclaim_handler(
+            lambda ts, value: reclaimed.append((ts, value))
+        )
+        out.put(4, "buffer")
+        inp.consume(4)
+        assert reclaimed == [(4, "buffer")]
+
+    def test_raising_reclaim_handler_does_not_break_collection(self, io):
+        out, inp = io
+
+        def bad_handler(ts, value):
+            raise RuntimeError("user bug")
+
+        good = []
+        out.container.add_reclaim_handler(bad_handler)
+        out.container.add_reclaim_handler(lambda ts, v: good.append(ts))
+        out.put(0, "v")
+        inp.consume(0)
+        assert good == [0]
+        assert out.container.live_timestamps() == []
+
+    def test_watermark_absorbs_contiguous_holes(self, io):
+        out, inp = io
+        for ts in range(4):
+            out.put(ts, ts)
+        inp.consume(2)           # hole at 2
+        inp.consume(0)           # watermark -> 0
+        inp.consume(1)           # watermark -> 2 (absorbs hole)
+        ch = out.container
+        assert ch._watermark == 2
+        assert ch._holes == set()
+
+
+class TestSelectiveAttention:
+    def test_filter_hides_items_from_marker_get(self, channel):
+        out = channel.attach(ConnectionMode.OUT)
+        evens = channel.attach(
+            ConnectionMode.IN,
+            attention_filter=lambda ts, v: ts % 2 == 0,
+        )
+        out.put(1, "odd")
+        out.put(2, "even")
+        assert evens.get(NEWEST) == (2, "even")
+        evens.consume(2)
+        with pytest.raises(ItemNotFoundError):
+            evens.get(NEWEST, block=False)
+
+    def test_filtered_out_items_do_not_block_gc(self, channel):
+        out = channel.attach(ConnectionMode.OUT)
+        evens = channel.attach(
+            ConnectionMode.IN,
+            attention_filter=lambda ts, v: ts % 2 == 0,
+        )
+        out.put(1, "odd")
+        items, _ = channel.collect_garbage()
+        assert items == 1
+        assert evens.detached is False
+
+    def test_raising_filter_keeps_item_conservatively(self, channel):
+        out = channel.attach(ConnectionMode.OUT)
+
+        def bad_filter(ts, v):
+            raise ValueError("boom")
+
+        channel.attach(ConnectionMode.IN, attention_filter=bad_filter)
+        out.put(0, "v")
+        items, _ = channel.collect_garbage()
+        assert items == 0
+
+
+class TestBackPressure:
+    def test_nonblocking_put_on_full_channel_raises(self):
+        ch = Channel("bounded", capacity=2)
+        out = ch.attach(ConnectionMode.OUT)
+        ch.attach(ConnectionMode.IN)
+        out.put(0, "a")
+        out.put(1, "b")
+        with pytest.raises(ChannelFullError):
+            out.put(2, "c", block=False)
+
+    def test_put_timeout_on_full_channel(self):
+        ch = Channel("bounded", capacity=1)
+        out = ch.attach(ConnectionMode.OUT)
+        ch.attach(ConnectionMode.IN)
+        out.put(0, "a")
+        with pytest.raises(ChannelFullError):
+            out.put(1, "b", timeout=0.05)
+
+    def test_consume_unblocks_waiting_producer(self):
+        ch = Channel("bounded", capacity=1)
+        out = ch.attach(ConnectionMode.OUT)
+        inp = ch.attach(ConnectionMode.IN)
+        out.put(0, "a")
+        done = threading.Event()
+
+        def producer():
+            out.put(1, "b")  # blocks until slot frees
+            done.set()
+
+        t = threading.Thread(target=producer)
+        t.start()
+        time.sleep(0.05)
+        assert not done.is_set()
+        inp.consume(0)
+        assert done.wait(timeout=2.0)
+        t.join()
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Channel("bad", capacity=0)
+
+
+class TestLifecycle:
+    def test_operations_after_destroy_raise(self, io):
+        out, inp = io
+        out.container.destroy()
+        with pytest.raises((ContainerDestroyedError, ConnectionClosedError)):
+            out.put(0, "v")
+        with pytest.raises((ContainerDestroyedError, ConnectionClosedError)):
+            inp.get(0, block=False)
+
+    def test_destroy_is_idempotent(self, channel):
+        channel.destroy()
+        channel.destroy()
+
+    def test_detached_connection_raises(self, io):
+        out, _ = io
+        out.detach()
+        with pytest.raises(ConnectionClosedError):
+            out.put(0, "v")
+
+    def test_connection_context_manager_detaches(self, channel):
+        with channel.attach(ConnectionMode.OUT) as out:
+            out.put(0, "v")
+        assert out.detached
+
+    def test_stats_track_activity(self, io):
+        out, inp = io
+        out.put(0, b"xxxx")
+        out.put(1, b"yyyy")
+        inp.get(0)
+        inp.consume(0)
+        stats = out.container.stats()
+        assert stats.puts == 2
+        assert stats.gets == 1
+        assert stats.consumes == 1
+        assert stats.reclaimed == 1
+        assert stats.live_items == 1
+        assert stats.bytes_in == 8
+        assert stats.peak_items == 2
+        assert stats.input_connections == 1
+        assert stats.output_connections == 1
+
+    def test_anonymous_channel_gets_generated_name(self):
+        ch = Channel()
+        assert ch.name.startswith("channel-")
+
+    def test_oldest_newest_live_properties(self, io):
+        out, _ = io
+        ch = out.container
+        assert ch.oldest_live is None
+        assert ch.newest_live is None
+        out.put(3, "x")
+        out.put(8, "y")
+        assert ch.oldest_live == 3
+        assert ch.newest_live == 8
+
+
+def channel_is_empty(channel):
+    return channel.live_timestamps() == []

@@ -1,0 +1,111 @@
+"""Tests for dynamically re-targeting selective attention."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import Channel, ConnectionMode, NEWEST, SQueue
+from repro.core.filters import TsModulo, TsRange
+from repro.core.timestamps import OLDEST
+from repro.errors import ConnectionModeError, ItemNotFoundError
+
+
+class TestChannelRefocus:
+    def test_new_filter_changes_visibility(self):
+        channel = Channel("refocus")
+        out = channel.attach(ConnectionMode.OUT)
+        inp = channel.attach(
+            ConnectionMode.IN,
+            attention_filter=TsModulo(divisor=2).predicate(),
+        )
+        out.put(1, "odd")
+        out.put(2, "even")
+        assert inp.get(NEWEST) == (2, "even")
+        inp.set_attention_filter(
+            TsModulo(divisor=2, remainder=1).predicate()
+        )
+        assert inp.get(NEWEST) == (1, "odd")
+        channel.destroy()
+
+    def test_narrowing_attention_releases_items_to_gc(self):
+        channel = Channel("release")
+        out = channel.attach(ConnectionMode.OUT)
+        inp = channel.attach(ConnectionMode.IN)  # wants everything
+        for ts in range(4):
+            out.put(ts, ts)
+        # Narrow to only ts >= 10: everything current becomes garbage,
+        # swept inside the update itself.
+        inp.set_attention_filter(TsRange(low=10).predicate())
+        assert channel.live_timestamps() == []
+        channel.destroy()
+
+    def test_clearing_filter_restores_full_attention(self):
+        channel = Channel("widen")
+        out = channel.attach(ConnectionMode.OUT)
+        inp = channel.attach(
+            ConnectionMode.IN,
+            attention_filter=lambda ts, v: False,  # sees nothing
+        )
+        out.put(0, "hidden")
+        with pytest.raises(ItemNotFoundError):
+            inp.get(NEWEST, block=False)
+        inp.set_attention_filter(None)
+        assert inp.get(NEWEST) == (0, "hidden")
+        channel.destroy()
+
+    def test_blocked_marker_getter_wakes_on_refocus(self):
+        channel = Channel("wake")
+        out = channel.attach(ConnectionMode.OUT)
+        inp = channel.attach(
+            ConnectionMode.IN,
+            attention_filter=lambda ts, v: False,
+        )
+        out.put(0, "there all along")
+        results = []
+
+        def blocked():
+            results.append(inp.get(NEWEST, timeout=10.0))
+
+        t = threading.Thread(target=blocked)
+        t.start()
+        time.sleep(0.05)
+        assert not results
+        inp.set_attention_filter(None)
+        t.join(timeout=5.0)
+        assert results == [(0, "there all along")]
+        channel.destroy()
+
+    def test_output_only_connection_rejected(self):
+        channel = Channel("c")
+        out = channel.attach(ConnectionMode.OUT)
+        with pytest.raises(ConnectionModeError):
+            out.set_attention_filter(None)
+        channel.destroy()
+
+
+class TestQueueRefocus:
+    def test_refocus_changes_which_fragments_are_taken(self):
+        queue = SQueue("q")
+        out = queue.attach(ConnectionMode.OUT)
+        worker = queue.attach(
+            ConnectionMode.IN,
+            attention_filter=lambda ts, v: ts < 10,
+        )
+        out.put(5, "early")
+        out.put(50, "late")
+        assert worker.get(OLDEST) == (5, "early")
+        worker.set_attention_filter(lambda ts, v: ts >= 10)
+        assert worker.get(OLDEST) == (50, "late")
+        queue.destroy()
+
+    def test_narrowing_releases_queued_items(self):
+        queue = SQueue("q2")
+        out = queue.attach(ConnectionMode.OUT)
+        worker = queue.attach(ConnectionMode.IN)
+        out.put(1, "a")
+        out.put(2, "b")
+        worker.set_attention_filter(lambda ts, v: False)
+        assert len(queue) == 0  # swept: no one will ever take them
+        assert queue.stats().reclaimed == 2
+        queue.destroy()

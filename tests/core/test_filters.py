@@ -1,0 +1,270 @@
+"""Unit and property tests for declarative attention filters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filters import (
+    AllOf,
+    AnyOf,
+    AttentionFilter,
+    FieldEquals,
+    NotF,
+    SizeAtMost,
+    TsModulo,
+    TsRange,
+    filter_from_spec,
+)
+from repro.errors import DecodeError
+
+
+class TestPrimitives:
+    def test_ts_range_semantics(self):
+        window = TsRange(low=10, high=20)
+        assert not window.matches(9, None)
+        assert window.matches(10, None)
+        assert window.matches(19, None)
+        assert not window.matches(20, None)
+
+    def test_ts_range_unbounded(self):
+        tail = TsRange(low=100)
+        assert tail.matches(10**12, None)
+        assert not tail.matches(99, None)
+
+    def test_ts_range_validation(self):
+        with pytest.raises(ValueError):
+            TsRange(low=5, high=4)
+
+    def test_ts_modulo_semantics(self):
+        keyframes = TsModulo(divisor=30)
+        assert keyframes.matches(0, None)
+        assert keyframes.matches(60, None)
+        assert not keyframes.matches(31, None)
+        offset = TsModulo(divisor=4, remainder=3)
+        assert offset.matches(7, None)
+        assert not offset.matches(8, None)
+
+    def test_ts_modulo_validation(self):
+        with pytest.raises(ValueError):
+            TsModulo(divisor=0)
+        with pytest.raises(ValueError):
+            TsModulo(divisor=3, remainder=3)
+
+    def test_size_at_most(self):
+        small = SizeAtMost(4)
+        assert small.matches(0, b"abcd")
+        assert not small.matches(0, b"abcde")
+        assert small.matches(0, {"not": "bytes"})  # unknown size passes
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            SizeAtMost(-1)
+
+    def test_field_equals(self):
+        mine = FieldEquals("sensor", 3)
+        assert mine.matches(0, {"sensor": 3, "v": 1.0})
+        assert not mine.matches(0, {"sensor": 4})
+        assert not mine.matches(0, {"other": 3})
+        assert not mine.matches(0, "not a dict")
+
+
+class TestCombinators:
+    def test_all_any_not(self):
+        composite = AllOf([TsRange(low=0, high=100),
+                           TsModulo(divisor=2)])
+        assert composite.matches(50, None)
+        assert not composite.matches(51, None)
+        either = AnyOf([TsModulo(divisor=2), TsModulo(divisor=3)])
+        assert either.matches(9, None)
+        assert not either.matches(7, None)
+        assert NotF(TsModulo(divisor=2)).matches(3, None)
+
+    def test_operator_sugar(self):
+        f = TsRange(low=10) & ~TsModulo(divisor=5) | FieldEquals("k", 1)
+        assert f.matches(11, None)           # >=10 and not %5
+        assert not f.matches(15, None)       # %5, field missing
+        assert f.matches(0, {"k": 1})        # field branch
+
+    def test_empty_combinator_rejected(self):
+        with pytest.raises(ValueError):
+            AllOf([])
+        with pytest.raises(ValueError):
+            AnyOf([])
+
+    def test_non_filter_members_rejected(self):
+        with pytest.raises(ValueError):
+            AllOf([TsRange(), "not a filter"])
+        with pytest.raises(ValueError):
+            NotF("nope")
+
+
+class TestSpecs:
+    FILTERS = [
+        TsRange(low=3, high=9),
+        TsRange(low=0, high=None),
+        TsModulo(divisor=30, remainder=7),
+        SizeAtMost(1000),
+        FieldEquals("sensor", "camera-1"),
+        FieldEquals("flags", [1, 2]),
+        AllOf([TsRange(low=1), TsModulo(divisor=2)]),
+        AnyOf([NotF(SizeAtMost(5)), FieldEquals("k", None)]),
+        NotF(AllOf([TsRange(), NotF(TsModulo(divisor=3))])),
+    ]
+
+    @pytest.mark.parametrize("original", FILTERS, ids=lambda f: f.kind)
+    def test_spec_round_trip(self, original):
+        rebuilt = filter_from_spec(original.to_spec())
+        assert rebuilt == original
+
+    @pytest.mark.parametrize("original", FILTERS, ids=lambda f: f.kind)
+    @given(ts=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_rebuilt_filter_behaves_identically(self, original, ts):
+        rebuilt = filter_from_spec(original.to_spec())
+        for value in (None, b"xxxx", b"x" * 2000,
+                      {"sensor": "camera-1", "k": None, "flags": [1, 2]}):
+            assert rebuilt.matches(ts, value) == original.matches(ts, value)
+
+    def test_specs_survive_the_codecs(self):
+        from repro.marshal import get_codec
+
+        for codec_name in ("xdr", "jdr"):
+            codec = get_codec(codec_name)
+            original = AllOf([TsModulo(divisor=4), SizeAtMost(100)])
+            shipped = codec.decode(codec.encode(original.to_spec()))
+            assert filter_from_spec(shipped) == original
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DecodeError):
+            filter_from_spec({"kind": "exec_arbitrary_code"})
+
+    def test_non_dict_spec_rejected(self):
+        with pytest.raises(DecodeError):
+            filter_from_spec("ts_range")
+        with pytest.raises(DecodeError):
+            filter_from_spec(None)
+
+    def test_bad_field_types_rejected(self):
+        with pytest.raises(DecodeError):
+            filter_from_spec({"kind": "ts_range", "low": "zero",
+                              "high": None})
+        with pytest.raises(DecodeError):
+            filter_from_spec({"kind": "ts_modulo", "divisor": True,
+                              "remainder": 0})
+        with pytest.raises(DecodeError):
+            filter_from_spec({"kind": "field_equals", "field": 3,
+                              "expected": 1})
+
+    def test_invalid_values_become_decode_errors(self):
+        # A structurally valid spec with illegal values must raise
+        # DecodeError (not leak ValueError) at the trust boundary.
+        with pytest.raises(DecodeError):
+            filter_from_spec({"kind": "ts_modulo", "divisor": 0,
+                              "remainder": 0})
+        with pytest.raises(DecodeError):
+            filter_from_spec({"kind": "size_at_most", "limit": -5})
+
+    def test_hostile_nesting_rejected(self):
+        spec = {"kind": "ts_range", "low": 0, "high": None}
+        for _ in range(40):
+            spec = {"kind": "not", "member": spec}
+        with pytest.raises(DecodeError):
+            filter_from_spec(spec)
+
+    def test_bad_combinator_members_rejected(self):
+        with pytest.raises(DecodeError):
+            filter_from_spec({"kind": "all_of", "members": []})
+        with pytest.raises(DecodeError):
+            filter_from_spec({"kind": "all_of", "members": "x"})
+        with pytest.raises(DecodeError):
+            filter_from_spec({"kind": "not", "member": [1, 2]})
+
+
+class TestOnContainers:
+    def test_filter_on_local_channel(self):
+        from repro.core import Channel, ConnectionMode, NEWEST
+
+        channel = Channel("filtered")
+        out = channel.attach(ConnectionMode.OUT)
+        keyframes = channel.attach(
+            ConnectionMode.IN,
+            attention_filter=TsModulo(divisor=10).predicate(),
+        )
+        for ts in range(25):
+            out.put(ts, ts)
+        seen = []
+        while True:
+            try:
+                ts, _ = keyframes.get(NEWEST, block=False)
+            except Exception:  # noqa: BLE001 - drained
+                break
+            seen.append(ts)
+            keyframes.consume(ts)
+        assert sorted(seen) == [0, 10, 20]
+        channel.destroy()
+
+
+class TestOverTheWire:
+    def test_remote_attach_with_filter(self):
+        """The future-work scenario end-to-end: a device ships a filter
+        spec; the surrogate filters on the cluster."""
+        from repro import (
+            ConnectionMode,
+            NEWEST,
+            Runtime,
+            StampedeClient,
+            StampedeServer,
+        )
+
+        runtime = Runtime(gc_interval=0.02)
+        server = StampedeServer(runtime).start()
+        try:
+            host, port = server.address
+            with StampedeClient(host, port) as client:
+                client.create_channel("telemetry")
+                out = client.attach("telemetry", ConnectionMode.OUT)
+                evens = client.attach(
+                    "telemetry", ConnectionMode.IN,
+                    attention_filter=TsModulo(divisor=2),
+                )
+                for ts in range(6):
+                    out.put(ts, {"reading": ts})
+                seen = []
+                while True:
+                    try:
+                        ts, _ = evens.get(NEWEST, block=False)
+                    except Exception:  # noqa: BLE001 - drained
+                        break
+                    seen.append(ts)
+                    evens.consume(ts)
+                assert sorted(seen) == [0, 2, 4]
+        finally:
+            server.close()
+            runtime.shutdown()
+
+    def test_hostile_filter_spec_rejected_remotely(self):
+        from repro import ConnectionMode, Runtime, StampedeClient, \
+            StampedeServer
+        from repro.errors import StampedeError
+
+        class EvilFilter(AttentionFilter):
+            kind = "evil"
+
+            def matches(self, timestamp, value):
+                return True
+
+            def to_spec(self):
+                return {"kind": "evil", "payload": "os.system(...)"}
+
+        runtime = Runtime()
+        server = StampedeServer(runtime).start()
+        try:
+            host, port = server.address
+            with StampedeClient(host, port) as client:
+                client.create_channel("c")
+                with pytest.raises(StampedeError):
+                    client.attach("c", ConnectionMode.IN,
+                                  attention_filter=EvilFilter())
+        finally:
+            server.close()
+            runtime.shutdown()

@@ -1,0 +1,132 @@
+"""Unit tests for the garbage-collector daemon."""
+
+import time
+
+import pytest
+
+from repro.core import Channel, ConnectionMode, GarbageCollector, SQueue
+from repro.core.timestamps import OLDEST
+
+
+@pytest.fixture()
+def gc():
+    collector = GarbageCollector(interval=0.01)
+    yield collector
+    collector.stop(final_sweep=False)
+
+
+class TestSynchronousSweep:
+    def test_sweep_reclaims_across_containers(self, gc):
+        ch = Channel("a")
+        q = SQueue("b")
+        gc.register(ch)
+        gc.register(q)
+
+        ch_out = ch.attach(ConnectionMode.OUT)
+        ch_in = ch.attach(ConnectionMode.IN)
+        q_out = q.attach(ConnectionMode.OUT)
+        # Declare disinterest *before* the puts: inline sweeps inside
+        # consume_until then have nothing to do, and reclamation of the
+        # later puts is entirely the daemon sweep's job.
+        ch_in.consume_until(10)
+        q.attach(ConnectionMode.IN).consume_until(100)
+
+        for ts in range(3):
+            ch_out.put(ts, ts)
+            q_out.put(ts, ts)
+
+        items, bytes_ = gc.sweep()
+        assert items == 6
+        assert bytes_ > 0
+        assert gc.report.items_reclaimed == 6
+        assert gc.report.per_container == {"a": 3, "b": 3}
+
+    def test_sweep_skips_and_unregisters_destroyed_containers(self, gc):
+        ch = Channel("dead")
+        gc.register(ch)
+        ch.destroy()
+        gc.sweep()
+        assert gc.registered() == []
+
+    def test_unregister_is_idempotent(self, gc):
+        ch = Channel("x")
+        gc.register(ch)
+        gc.unregister(ch)
+        gc.unregister(ch)
+        assert gc.registered() == []
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            GarbageCollector(interval=0.0)
+
+
+class TestDaemon:
+    def test_daemon_reclaims_in_background(self, gc):
+        ch = Channel("bg")
+        gc.register(ch)
+        out = ch.attach(ConnectionMode.OUT)
+        inp = ch.attach(ConnectionMode.IN)
+        gc.start()
+        out.put(0, "v")
+        # Consume on a *different* container path: floor via consume_until
+        # with no inline sweep opportunity left to the caller.
+        inp.consume_until(50)
+        deadline = time.monotonic() + 2.0
+        while ch.live_timestamps() and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert ch.live_timestamps() == []
+
+    def test_start_is_idempotent(self, gc):
+        gc.start()
+        first = gc._thread
+        gc.start()
+        assert gc._thread is first
+
+    def test_stop_runs_final_sweep(self):
+        gc = GarbageCollector(interval=10.0)  # daemon effectively idle
+        ch = Channel("final")
+        gc.register(ch)
+        out = ch.attach(ConnectionMode.OUT)
+        ch.attach(ConnectionMode.IN).consume_until(100)
+        gc.start()
+        out.put(0, "v")
+        gc.stop(final_sweep=True)
+        assert ch.live_timestamps() == []
+        assert not gc.running
+
+    def test_context_manager_starts_and_stops(self):
+        with GarbageCollector(interval=0.01) as gc:
+            assert gc.running
+        assert not gc.running
+
+    def test_trigger_forces_prompt_sweep(self):
+        with GarbageCollector(interval=30.0) as gc:  # would never fire alone
+            ch = Channel("trig")
+            gc.register(ch)
+            out = ch.attach(ConnectionMode.OUT)
+            ch.attach(ConnectionMode.IN).consume_until(100)
+            out.put(0, "v")
+            gc.trigger()
+            deadline = time.monotonic() + 2.0
+            while ch.live_timestamps() and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert ch.live_timestamps() == []
+
+
+class TestMemoryPressureScenario:
+    def test_continuous_stream_stays_bounded(self, gc):
+        """A producer streaming thousands of frames with a consuming reader
+        must not grow the channel: the 'continuous application' requirement
+        (§2 item 7)."""
+        ch = Channel("stream", capacity=None)
+        gc.register(ch)
+        out = ch.attach(ConnectionMode.OUT)
+        inp = ch.attach(ConnectionMode.IN)
+        peak = 0
+        for ts in range(2000):
+            out.put(ts, b"x" * 100)
+            inp.get(ts)
+            inp.consume(ts)
+            peak = max(peak, ch.stats().live_items)
+        assert peak <= 1
+        assert ch.stats().reclaimed == 2000

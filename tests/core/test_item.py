@@ -1,0 +1,53 @@
+"""Unit tests for items and size estimation."""
+
+from repro.core.item import Item, ItemState, _estimate_size
+
+
+class TestItem:
+    def test_new_item_is_live(self):
+        item = Item(3, b"abc")
+        assert item.state is ItemState.LIVE
+        assert item.timestamp == 3
+        assert item.value == b"abc"
+
+    def test_explicit_size_wins_over_estimate(self):
+        item = Item(0, b"abc", size=1000)
+        assert item.size == 1000
+
+    def test_bytes_size_is_exact(self):
+        assert Item(0, b"x" * 123).size == 123
+
+    def test_consumption_marks_accumulate(self):
+        item = Item(0, "v")
+        assert not item.is_consumed_by(7)
+        item.mark_consumed(7)
+        item.mark_consumed(9)
+        assert item.is_consumed_by(7)
+        assert item.is_consumed_by(9)
+        assert not item.is_consumed_by(8)
+
+    def test_repr_mentions_timestamp_and_state(self):
+        text = repr(Item(42, b""))
+        assert "42" in text
+        assert "live" in text
+
+
+class TestSizeEstimation:
+    def test_bytearray_and_memoryview(self):
+        assert _estimate_size(bytearray(10)) == 10
+        assert _estimate_size(memoryview(b"12345")) == 5
+
+    def test_str_counts_utf8_bytes(self):
+        assert _estimate_size("abc") == 3
+        assert _estimate_size("é") == 2
+
+    def test_numbers(self):
+        assert _estimate_size(7) == 8
+        assert _estimate_size(3.14) == 8
+
+    def test_containers_sum_members(self):
+        assert _estimate_size([b"ab", b"cd"]) == 2 + 2 + 16
+        assert _estimate_size({"k": b"vvvv"}) == 1 + 4
+
+    def test_opaque_objects_get_constant(self):
+        assert _estimate_size(object()) == 64

@@ -1,0 +1,130 @@
+"""Tests for channel overflow policies (drop-oldest live-media mode)."""
+
+import pytest
+
+from repro.core import Channel, ConnectionMode, NEWEST, OLDEST
+from repro.errors import ChannelFullError
+
+
+class TestDropOldest:
+    def make(self, capacity=3):
+        channel = Channel("live", capacity=capacity,
+                          overflow=Channel.OVERFLOW_DROP_OLDEST)
+        out = channel.attach(ConnectionMode.OUT)
+        inp = channel.attach(ConnectionMode.IN)
+        return channel, out, inp
+
+    def test_put_never_blocks(self):
+        channel, out, inp = self.make(capacity=3)
+        for ts in range(10):
+            out.put(ts, ts)  # would deadlock under "block" with no GC
+        assert channel.live_timestamps() == [7, 8, 9]
+
+    def test_newest_is_always_fresh(self):
+        channel, out, inp = self.make(capacity=2)
+        for ts in range(50):
+            out.put(ts, f"frame-{ts}")
+        assert inp.get(NEWEST) == (49, "frame-49")
+        assert inp.get(OLDEST)[0] == 48
+
+    def test_evictions_counted_and_reclaimed(self):
+        channel, out, inp = self.make(capacity=2)
+        reclaimed = []
+        channel.add_reclaim_handler(lambda ts, v: reclaimed.append(ts))
+        for ts in range(5):
+            out.put(ts, ts)
+        assert channel.evictions == 3
+        assert reclaimed == [0, 1, 2]
+        assert channel.stats().reclaimed == 3
+
+    def test_evicted_timestamps_cannot_be_reput(self):
+        from repro.errors import BadTimestampError
+
+        channel, out, inp = self.make(capacity=1)
+        out.put(0, "a")
+        out.put(1, "b")  # evicts 0
+        with pytest.raises(BadTimestampError):
+            out.put(0, "again")
+
+    def test_evicted_get_reports_collected(self):
+        from repro.errors import ItemGarbageCollectedError
+
+        channel, out, inp = self.make(capacity=1)
+        out.put(0, "a")
+        out.put(1, "b")
+        with pytest.raises(ItemGarbageCollectedError):
+            inp.get(0, block=False)
+
+    def test_consumption_still_works_alongside_eviction(self):
+        channel, out, inp = self.make(capacity=3)
+        out.put(0, "a")
+        inp.consume(0)  # normal reclamation
+        for ts in range(1, 6):
+            out.put(ts, ts)
+        assert channel.evictions == 2  # only the overflow drops
+        assert channel.live_timestamps() == [3, 4, 5]
+
+    def test_stats_live_items_bounded(self):
+        channel, out, _ = self.make(capacity=4)
+        for ts in range(100):
+            out.put(ts, bytes(10))
+        stats = channel.stats()
+        assert stats.live_items == 4
+        assert stats.peak_items <= 4
+
+
+class TestPolicyValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            Channel("bad", capacity=1, overflow="explode")
+
+    def test_block_remains_the_default(self):
+        channel = Channel("default", capacity=1)
+        out = channel.attach(ConnectionMode.OUT)
+        channel.attach(ConnectionMode.IN)
+        out.put(0, "a")
+        with pytest.raises(ChannelFullError):
+            out.put(1, "b", block=False)
+
+    def test_unbounded_channel_ignores_policy(self):
+        channel = Channel("unbounded",
+                          overflow=Channel.OVERFLOW_DROP_OLDEST)
+        out = channel.attach(ConnectionMode.OUT)
+        for ts in range(100):
+            out.put(ts, ts)
+        assert channel.evictions == 0
+        assert len(channel.live_timestamps()) == 100
+
+
+class TestViaRuntime:
+    def test_runtime_creates_drop_oldest_channel(self):
+        from repro import Runtime
+
+        with Runtime() as rt:
+            rt.create_address_space("A")
+            channel = rt.create_channel(
+                "live-feed", space="A", capacity=2,
+                overflow=Channel.OVERFLOW_DROP_OLDEST,
+            )
+            out = channel.attach(ConnectionMode.OUT)
+            for ts in range(5):
+                out.put(ts, ts)
+            assert channel.live_timestamps() == [3, 4]
+
+    def test_slow_consumer_gets_fresh_frames_not_stale_backlog(self):
+        """The live-video scenario: a slow display skips frames instead
+        of watching an ever-older backlog."""
+        channel = Channel("camera", capacity=3,
+                          overflow=Channel.OVERFLOW_DROP_OLDEST)
+        out = channel.attach(ConnectionMode.OUT)
+        inp = channel.attach(ConnectionMode.IN)
+        displayed = []
+        for burst in range(4):
+            # Camera runs ahead 10 frames while the display is busy.
+            for ts in range(burst * 10, burst * 10 + 10):
+                out.put(ts, ts)
+            ts, _ = inp.get(NEWEST)
+            displayed.append(ts)
+            inp.consume_until(ts + 1)
+        assert displayed == [9, 19, 29, 39]  # always the latest frame
+        channel.destroy()

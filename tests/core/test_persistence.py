@@ -1,0 +1,223 @@
+"""Tests for container checkpoint/restore (towards failure handling)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Channel, ConnectionMode, OLDEST, SQueue
+from repro.core.persistence import checkpoint, restore
+from repro.errors import (
+    BadTimestampError,
+    DecodeError,
+    EncodeError,
+    ItemGarbageCollectedError,
+)
+
+
+class TestChannelCheckpoint:
+    def test_live_items_survive(self):
+        channel = Channel("video", capacity=16)
+        out = channel.attach(ConnectionMode.OUT)
+        for ts in (3, 7, 11):
+            out.put(ts, {"frame": ts})
+        restored = restore(checkpoint(channel))
+        assert restored.name == "video"
+        assert restored.capacity == 16
+        assert restored.live_timestamps() == [3, 7, 11]
+        inp = restored.attach(ConnectionMode.IN)
+        assert inp.get(7, block=False) == (7, {"frame": 7})
+
+    def test_gc_state_survives(self):
+        """The single-use-timestamp invariant must hold across a crash:
+        reclaimed timestamps stay unusable after restore."""
+        channel = Channel("c")
+        out = channel.attach(ConnectionMode.OUT)
+        inp = channel.attach(ConnectionMode.IN)
+        for ts in range(4):
+            out.put(ts, ts)
+        inp.consume(0)
+        inp.consume(1)
+        inp.consume(3)  # hole at 3; watermark at 1
+        restored = restore(checkpoint(channel))
+        r_out = restored.attach(ConnectionMode.OUT)
+        r_in = restored.attach(ConnectionMode.IN)
+        for dead in (0, 1, 3):
+            with pytest.raises(BadTimestampError):
+                r_out.put(dead, "reuse")
+            with pytest.raises(ItemGarbageCollectedError):
+                r_in.get(dead, block=False)
+        assert r_in.get(2, block=False) == (2, 2)
+
+    def test_overflow_policy_survives(self):
+        channel = Channel("live", capacity=2,
+                          overflow=Channel.OVERFLOW_DROP_OLDEST)
+        out = channel.attach(ConnectionMode.OUT)
+        out.put(0, "a")
+        restored = restore(checkpoint(channel))
+        assert restored.overflow == Channel.OVERFLOW_DROP_OLDEST
+        r_out = restored.attach(ConnectionMode.OUT)
+        r_out.put(1, "b")
+        r_out.put(2, "c")  # must evict, not block
+        assert restored.live_timestamps() == [1, 2]
+
+    def test_rename_on_restore(self):
+        channel = Channel("original")
+        restored = restore(checkpoint(channel), name="replica")
+        assert restored.name == "replica"
+
+    def test_custom_serializer_round_trip(self):
+        """User types outside the codec domain checkpoint through the
+        container's serializer handler; restore takes the matching
+        deserializer (handlers are code and cannot ride the blob)."""
+
+        class Blob:
+            def __init__(self, data):
+                self.data = data
+
+            def __eq__(self, other):
+                return isinstance(other, Blob) and other.data == self.data
+
+        channel = Channel("blobs")
+        channel.set_serializer(
+            serializer=lambda blob: blob.data,
+            deserializer=lambda data: Blob(data),
+        )
+        out = channel.attach(ConnectionMode.OUT)
+        out.put(0, Blob(b"opaque-bytes"))
+        restored = restore(
+            checkpoint(channel), name="blobs-2",
+            deserializer=lambda data: Blob(data),
+        )
+        inp = restored.attach(ConnectionMode.IN)
+        assert inp.get(0, block=False) == (0, Blob(b"opaque-bytes"))
+
+    def test_handlerless_exotic_payload_rejected(self):
+        channel = Channel("exotic")
+        out = channel.attach(ConnectionMode.OUT)
+        out.put(0, object())
+        with pytest.raises(EncodeError):
+            checkpoint(channel)
+
+    @given(
+        items=st.dictionaries(
+            st.integers(min_value=0, max_value=10_000),
+            st.binary(max_size=50),
+            min_size=1, max_size=20,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_property(self, items):
+        channel = Channel()
+        out = channel.attach(ConnectionMode.OUT)
+        for ts, value in items.items():
+            out.put(ts, value)
+        restored = restore(checkpoint(channel))
+        assert restored.live_timestamps() == sorted(items)
+        inp = restored.attach(ConnectionMode.IN)
+        for ts, value in items.items():
+            assert inp.get(ts, block=False) == (ts, value)
+
+
+class TestQueueCheckpoint:
+    def test_fifo_order_survives(self):
+        queue = SQueue("work")
+        out = queue.attach(ConnectionMode.OUT)
+        for i, ts in enumerate((5, 2, 9)):
+            out.put(ts, f"item-{i}")
+        restored = restore(checkpoint(queue))
+        inp = restored.attach(ConnectionMode.IN)
+        values = [inp.get(OLDEST, block=False) for _ in range(3)]
+        assert values == [(5, "item-0"), (2, "item-1"), (9, "item-2")]
+
+    def test_pending_items_are_redelivered(self):
+        """Dequeued-but-unconsumed items go back on the queue: their
+        consumer may have died holding them (at-least-once recovery)."""
+        queue = SQueue("work")
+        out = queue.attach(ConnectionMode.OUT)
+        inp = queue.attach(ConnectionMode.IN)
+        out.put(0, "taken-but-unacked")
+        out.put(1, "still-queued")
+        inp.get(OLDEST)  # dequeue without consume
+        assert queue.pending_count == 1
+        restored = restore(checkpoint(queue))
+        assert len(restored) == 2  # redelivered ahead of the queued item
+        r_in = restored.attach(ConnectionMode.IN)
+        assert r_in.get(OLDEST, block=False) == (0, "taken-but-unacked")
+        assert r_in.get(OLDEST, block=False) == (1, "still-queued")
+
+    def test_consumed_items_stay_gone(self):
+        queue = SQueue("work")
+        out = queue.attach(ConnectionMode.OUT)
+        inp = queue.attach(ConnectionMode.IN)
+        out.put(0, "done")
+        out.put(1, "not-done")
+        inp.get(OLDEST)
+        inp.consume(0)
+        restored = restore(checkpoint(queue))
+        assert len(restored) == 1
+
+    def test_auto_consume_flag_survives(self):
+        queue = SQueue("auto", auto_consume=True, capacity=7)
+        restored = restore(checkpoint(queue))
+        assert restored.auto_consume is True
+        assert restored.capacity == 7
+
+
+class TestCheckpointFormat:
+    def test_bad_magic_rejected(self):
+        data = bytearray(checkpoint(Channel("c")))
+        data[0] ^= 0xFF
+        with pytest.raises(DecodeError):
+            restore(bytes(data))
+
+    def test_truncation_rejected(self):
+        channel = Channel("c")
+        out = channel.attach(ConnectionMode.OUT)
+        out.put(0, b"payload")
+        data = checkpoint(channel)
+        for cut in (4, len(data) // 2, len(data) - 1):
+            with pytest.raises(DecodeError):
+                restore(data[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(DecodeError):
+            restore(checkpoint(Channel("c")) + b"x")
+
+    def test_unsupported_object_rejected(self):
+        with pytest.raises(EncodeError):
+            checkpoint("not a container")  # type: ignore[arg-type]
+
+    @given(data=st.binary(max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_restore_is_total(self, data):
+        try:
+            restore(data)
+        except DecodeError:
+            pass
+
+
+class TestFailoverScenario:
+    def test_crash_and_recover_mid_stream(self):
+        """End-to-end recovery: producer fills a channel, the 'node
+        crashes' (container checkpointed then destroyed), a replacement
+        restores and the consumer continues where it left off."""
+        original = Channel("stream")
+        out = original.attach(ConnectionMode.OUT)
+        inp = original.attach(ConnectionMode.IN)
+        for ts in range(10):
+            out.put(ts, f"v{ts}")
+        for ts in range(4):
+            inp.get(ts)
+            inp.consume(ts)
+        saved = checkpoint(original)
+        original.destroy()  # the crash
+
+        replacement = restore(saved)
+        new_in = replacement.attach(ConnectionMode.IN)
+        for ts in range(4, 10):
+            assert new_in.get(ts, block=False) == (ts, f"v{ts}")
+            new_in.consume(ts)
+        assert replacement.live_timestamps() == []
+        # History is preserved: consumed-before-crash items stay dead.
+        with pytest.raises(ItemGarbageCollectedError):
+            new_in.get(0, block=False)

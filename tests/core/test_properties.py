@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) for space-time memory invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Channel, ConnectionMode, SQueue
+from repro.core.timestamps import OLDEST
+
+timestamps = st.integers(min_value=0, max_value=10_000)
+payloads = st.binary(min_size=0, max_size=64)
+
+
+class TestChannelProperties:
+    @given(puts=st.dictionaries(timestamps, payloads, min_size=1,
+                                max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_every_put_is_gettable_at_its_timestamp(self, puts):
+        ch = Channel()
+        out = ch.attach(ConnectionMode.OUT)
+        inp = ch.attach(ConnectionMode.IN)
+        for ts, value in puts.items():
+            out.put(ts, value)
+        for ts, value in puts.items():
+            assert inp.get(ts, block=False) == (ts, value)
+
+    @given(puts=st.dictionaries(timestamps, payloads, min_size=1,
+                                max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_consume_all_empties_channel_and_bytes_balance(self, puts):
+        ch = Channel()
+        out = ch.attach(ConnectionMode.OUT)
+        inp = ch.attach(ConnectionMode.IN)
+        for ts, value in puts.items():
+            out.put(ts, value)
+        for ts in puts:
+            inp.consume(ts)
+        stats = ch.stats()
+        assert stats.live_items == 0
+        assert stats.reclaimed == len(puts)
+        assert ch.live_timestamps() == []
+
+    @given(
+        puts=st.lists(timestamps, unique=True, min_size=1, max_size=50),
+        floor=timestamps,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_consume_until_reclaims_exactly_below_floor(self, puts, floor):
+        ch = Channel()
+        out = ch.attach(ConnectionMode.OUT)
+        inp = ch.attach(ConnectionMode.IN)
+        for ts in puts:
+            out.put(ts, b"")
+        inp.consume_until(floor)
+        assert ch.live_timestamps() == sorted(t for t in puts if t >= floor)
+
+    @given(puts=st.dictionaries(timestamps, payloads, min_size=2,
+                                max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_newest_and_oldest_markers_are_extremal(self, puts):
+        from repro.core import NEWEST, OLDEST as OLD
+
+        ch = Channel()
+        out = ch.attach(ConnectionMode.OUT)
+        inp = ch.attach(ConnectionMode.IN)
+        for ts, value in puts.items():
+            out.put(ts, value)
+        newest_ts, _ = inp.get(NEWEST)
+        oldest_ts, _ = inp.get(OLD)
+        assert newest_ts == max(puts)
+        assert oldest_ts == min(puts)
+
+    @given(
+        puts=st.lists(timestamps, unique=True, min_size=1, max_size=30),
+        consumers=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_item_reclaimed_iff_all_consumers_done(self, puts, consumers):
+        ch = Channel()
+        out = ch.attach(ConnectionMode.OUT)
+        inputs = [ch.attach(ConnectionMode.IN) for _ in range(consumers)]
+        for ts in puts:
+            out.put(ts, b"")
+        # All but the last consumer consume everything: nothing reclaimed.
+        for conn in inputs[:-1]:
+            for ts in puts:
+                conn.consume(ts)
+        if consumers > 1:
+            assert sorted(ch.live_timestamps()) == sorted(puts)
+        for ts in puts:
+            inputs[-1].consume(ts)
+        assert ch.live_timestamps() == []
+
+
+class TestQueueProperties:
+    @given(items=st.lists(st.tuples(timestamps, payloads), min_size=1,
+                          max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_fifo_order_preserved(self, items):
+        q = SQueue()
+        out = q.attach(ConnectionMode.OUT)
+        inp = q.attach(ConnectionMode.IN)
+        for ts, value in items:
+            out.put(ts, value)
+        received = [inp.get(OLDEST) for _ in items]
+        assert received == items
+
+    @given(items=st.lists(st.tuples(timestamps, payloads), min_size=1,
+                          max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_conservation_no_item_lost_or_duplicated(self, items):
+        q = SQueue()
+        out = q.attach(ConnectionMode.OUT)
+        workers = [q.attach(ConnectionMode.IN) for _ in range(3)]
+        for ts, value in items:
+            out.put(ts, value)
+        received = []
+        for i in range(len(items)):
+            received.append(workers[i % 3].get(OLDEST))
+        assert sorted(received) == sorted(items)
+        assert len(q) == 0
+
+    @given(items=st.lists(st.tuples(timestamps, payloads), min_size=1,
+                          max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_consume_balances_pending(self, items):
+        q = SQueue()
+        out = q.attach(ConnectionMode.OUT)
+        inp = q.attach(ConnectionMode.IN)
+        for ts, value in items:
+            out.put(ts, value)
+        for _ in items:
+            ts, _value = inp.get(OLDEST)
+            inp.consume(ts)
+        assert q.pending_count == 0
+        assert q.stats().reclaimed == len(items)

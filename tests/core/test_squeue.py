@@ -1,0 +1,277 @@
+"""Unit tests for queue semantics: FIFO delivery, work sharing, GC."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import ConnectionMode, NEWEST, OLDEST, SQueue
+from repro.errors import (
+    BadTimestampError,
+    ChannelFullError,
+    ItemNotFoundError,
+)
+
+
+@pytest.fixture()
+def queue():
+    return SQueue("test-queue")
+
+
+@pytest.fixture()
+def io(queue):
+    out = queue.attach(ConnectionMode.OUT, owner="splitter")
+    inp = queue.attach(ConnectionMode.IN, owner="worker")
+    return out, inp
+
+
+class TestFifo:
+    def test_items_come_out_in_put_order(self, io):
+        out, inp = io
+        out.put(3, "c")
+        out.put(1, "a")
+        out.put(2, "b")
+        assert inp.get(OLDEST) == (3, "c")
+        assert inp.get(OLDEST) == (1, "a")
+        assert inp.get(OLDEST) == (2, "b")
+
+    def test_duplicate_timestamps_are_allowed(self, io):
+        # Frame-fragments of one frame all carry the frame's timestamp.
+        out, inp = io
+        out.put(7, "frag-0")
+        out.put(7, "frag-1")
+        out.put(7, "frag-2")
+        values = [inp.get(OLDEST)[1] for _ in range(3)]
+        assert values == ["frag-0", "frag-1", "frag-2"]
+
+    def test_get_removes_the_item(self, io):
+        out, inp = io
+        out.put(0, "only")
+        inp.get(OLDEST)
+        with pytest.raises(ItemNotFoundError):
+            inp.get(OLDEST, block=False)
+
+    def test_each_item_delivered_to_exactly_one_getter(self, queue):
+        out = queue.attach(ConnectionMode.OUT)
+        workers = [queue.attach(ConnectionMode.IN) for _ in range(4)]
+        for i in range(20):
+            out.put(0, i)
+        seen = []
+        for i in range(20):
+            worker = workers[i % 4]
+            seen.append(worker.get(OLDEST)[1])
+        assert sorted(seen) == list(range(20))
+
+    def test_concrete_timestamp_get_rejected(self, io):
+        _, inp = io
+        with pytest.raises(BadTimestampError):
+            inp.get(5)
+
+    def test_newest_marker_rejected(self, io):
+        _, inp = io
+        with pytest.raises(BadTimestampError):
+            inp.get(NEWEST)
+
+    def test_blocking_get_wakes_on_put(self, io):
+        out, inp = io
+        result = []
+        t = threading.Thread(target=lambda: result.append(inp.get(OLDEST)))
+        t.start()
+        time.sleep(0.05)
+        out.put(9, "late")
+        t.join(timeout=2.0)
+        assert result == [(9, "late")]
+
+    def test_get_timeout(self, io):
+        _, inp = io
+        with pytest.raises(ItemNotFoundError):
+            inp.get(OLDEST, timeout=0.05)
+
+    def test_len_reports_queued_items(self, io):
+        out, inp = io
+        assert len(out.container) == 0
+        out.put(0, "a")
+        out.put(0, "b")
+        assert len(out.container) == 2
+        inp.get(OLDEST)
+        assert len(out.container) == 1
+
+
+class TestConsumeAndGc:
+    def test_dequeued_items_pend_until_consumed(self, io):
+        out, inp = io
+        q = out.container
+        out.put(5, "frag")
+        inp.get(OLDEST)
+        assert q.pending_count == 1
+        inp.consume(5)
+        assert q.pending_count == 0
+        assert q.stats().reclaimed == 1
+
+    def test_consume_only_reclaims_own_dequeues(self, queue):
+        out = queue.attach(ConnectionMode.OUT)
+        w1 = queue.attach(ConnectionMode.IN)
+        w2 = queue.attach(ConnectionMode.IN)
+        out.put(5, "a")
+        out.put(5, "b")
+        w1.get(OLDEST)
+        w2.get(OLDEST)
+        w1.consume(5)
+        assert queue.pending_count == 1  # w2's fragment still pending
+
+    def test_auto_consume_reclaims_on_get(self):
+        q = SQueue("auto", auto_consume=True)
+        out = q.attach(ConnectionMode.OUT)
+        inp = q.attach(ConnectionMode.IN)
+        reclaimed = []
+        q.add_reclaim_handler(lambda ts, v: reclaimed.append(ts))
+        out.put(1, "x")
+        inp.get(OLDEST)
+        assert q.pending_count == 0
+        assert reclaimed == [1]
+
+    def test_consume_until_reclaims_older_pending(self, io):
+        out, inp = io
+        for ts in (1, 2, 3):
+            out.put(ts, f"v{ts}")
+            inp.get(OLDEST)
+        inp.consume_until(3)
+        assert out.container.pending_count == 1  # ts=3 still pending
+
+    def test_sweep_reclaims_items_nobody_wants(self, queue):
+        out = queue.attach(ConnectionMode.OUT)
+        inp = queue.attach(ConnectionMode.IN)
+        for ts in range(4):
+            out.put(ts, ts)
+        inp.consume_until(2)  # floor: never ask below 2
+        assert queue.queued_timestamps() == [2, 3]
+        assert queue.stats().reclaimed == 2
+
+    def test_no_sweep_without_consumers(self, queue):
+        out = queue.attach(ConnectionMode.OUT)
+        out.put(0, "v")
+        items, _ = queue.collect_garbage()
+        assert items == 0
+
+    def test_reclaim_handler_runs_on_consume(self, io):
+        out, inp = io
+        reclaimed = []
+        out.container.add_reclaim_handler(
+            lambda ts, v: reclaimed.append((ts, v))
+        )
+        out.put(2, "buf")
+        inp.get(OLDEST)
+        inp.consume(2)
+        assert reclaimed == [(2, "buf")]
+
+
+class TestSelectiveAttention:
+    def test_filter_skips_but_preserves_items(self, queue):
+        out = queue.attach(ConnectionMode.OUT)
+        evens = queue.attach(
+            ConnectionMode.IN, attention_filter=lambda ts, v: ts % 2 == 0
+        )
+        anything = queue.attach(ConnectionMode.IN)
+        out.put(1, "odd")
+        out.put(2, "even")
+        # The filtered worker skips the odd item but leaves it queued.
+        assert evens.get(OLDEST) == (2, "even")
+        assert anything.get(OLDEST) == (1, "odd")
+
+    def test_floor_applies_to_queue_get(self, queue):
+        out = queue.attach(ConnectionMode.OUT)
+        inp = queue.attach(ConnectionMode.IN)
+        out.put(1, "old")
+        out.put(10, "new")
+        inp.consume_until(5)
+        assert inp.get(OLDEST) == (10, "new")
+
+
+class TestBackPressure:
+    def test_capacity_counts_pending_items_too(self):
+        q = SQueue("bounded", capacity=2)
+        out = q.attach(ConnectionMode.OUT)
+        inp = q.attach(ConnectionMode.IN)
+        out.put(0, "a")
+        out.put(0, "b")
+        inp.get(OLDEST)  # dequeued but unconsumed: still holds memory
+        with pytest.raises(ChannelFullError):
+            out.put(0, "c", block=False)
+        inp.consume(0)
+        out.put(0, "c", block=False)  # consume freed the slot
+
+    def test_blocked_producer_wakes_on_consume(self):
+        q = SQueue("bounded", capacity=1)
+        out = q.attach(ConnectionMode.OUT)
+        inp = q.attach(ConnectionMode.IN)
+        out.put(0, "a")
+        done = threading.Event()
+
+        def producer():
+            out.put(1, "b")
+            done.set()
+
+        t = threading.Thread(target=producer)
+        t.start()
+        time.sleep(0.05)
+        inp.get(OLDEST)
+        inp.consume(0)
+        assert done.wait(timeout=2.0)
+        t.join()
+
+
+class TestDataParallelPattern:
+    """End-to-end splitter / worker-pool / joiner shape from Figure 3."""
+
+    def test_split_process_join(self):
+        from repro.core import Channel, spawn
+
+        work = SQueue("fragments")
+        results = SQueue("analyzed")
+        out_chan = Channel("joined")
+
+        splitter_out = work.attach(ConnectionMode.OUT)
+        FRAGMENTS = 4
+        FRAMES = 5
+        for frame_ts in range(FRAMES):
+            for frag in range(FRAGMENTS):
+                splitter_out.put(frame_ts, (frag, f"data-{frame_ts}-{frag}"))
+
+        def tracker(worker_id):
+            win = work.attach(ConnectionMode.IN)
+            rout = results.attach(ConnectionMode.OUT)
+            processed = 0
+            while processed < FRAMES:  # each worker handles FRAMES items
+                ts, (frag, data) = win.get(OLDEST)
+                rout.put(ts, (frag, data.upper()))
+                win.consume(ts)
+                processed += 1
+
+        workers = [spawn(tracker, i, name=f"tracker-{i}")
+                   for i in range(FRAGMENTS)]
+
+        def joiner():
+            rin = results.attach(ConnectionMode.IN)
+            jout = out_chan.attach(ConnectionMode.OUT)
+            buffers = {}
+            while len(buffers) < FRAMES or any(
+                len(v) < FRAGMENTS for v in buffers.values()
+            ):
+                ts, (frag, data) = rin.get(OLDEST)
+                buffers.setdefault(ts, {})[frag] = data
+                rin.consume(ts)
+            for ts, frags in buffers.items():
+                joined = "|".join(frags[i] for i in range(FRAGMENTS))
+                jout.put(ts, joined)
+
+        join_thread = spawn(joiner, name="joiner")
+        for w in workers:
+            w.join(timeout=10.0)
+        join_thread.join(timeout=10.0)
+
+        final = out_chan.attach(ConnectionMode.IN)
+        for ts in range(FRAMES):
+            _, joined = final.get(ts, timeout=5.0)
+            assert joined == "|".join(
+                f"DATA-{ts}-{i}" for i in range(FRAGMENTS)
+            )

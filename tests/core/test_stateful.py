@@ -1,0 +1,211 @@
+"""Stateful property tests: random operation sequences vs a model.
+
+Hypothesis drives arbitrary interleavings of put/get/consume/
+consume_until/attach/detach against a channel and checks the space-time
+memory invariants after every step:
+
+* an item is live iff it was put and is not yet dead for every consumer;
+* reclaimed timestamps never resurrect (single-use);
+* the watermark only advances, and no hole lies at or below it;
+* counters balance: puts == live + reclaimed.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core import Channel, ConnectionMode, SQueue
+from repro.core.timestamps import OLDEST
+from repro.errors import (
+    BadTimestampError,
+    DuplicateTimestampError,
+    ItemGarbageCollectedError,
+    ItemNotFoundError,
+)
+
+TS = st.integers(min_value=0, max_value=40)
+
+
+class ChannelMachine(RuleBasedStateMachine):
+    """A channel with up to three consumers vs a reference model."""
+
+    @initialize()
+    def setup(self):
+        self.channel = Channel("model")
+        self.producer = self.channel.attach(ConnectionMode.OUT)
+        self.consumers = [self.channel.attach(ConnectionMode.IN)
+                          for _ in range(3)]
+        # model state
+        self.values = {}          # ts -> value for every successful put
+        self.live = set()
+        self.reclaimed = set()
+        self.consumed = {c.connection_id: set() for c in self.consumers}
+        self.floors = {c.connection_id: 0 for c in self.consumers}
+
+    # -- operations ---------------------------------------------------------
+
+    @rule(ts=TS)
+    def put(self, ts):
+        try:
+            self.producer.put(ts, f"v{ts}")
+        except DuplicateTimestampError:
+            assert ts in self.live
+        except BadTimestampError:
+            assert ts in self.reclaimed
+        else:
+            assert ts not in self.live and ts not in self.reclaimed
+            self.values[ts] = f"v{ts}"
+            self.live.add(ts)
+
+    @rule(ts=TS, consumer=st.integers(min_value=0, max_value=2))
+    def get(self, ts, consumer):
+        connection = self.consumers[consumer]
+        floor = self.floors[connection.connection_id]
+        try:
+            got_ts, value = connection.get(ts, block=False)
+        except BadTimestampError:
+            assert ts < floor
+        except ItemGarbageCollectedError:
+            assert ts in self.reclaimed
+        except ItemNotFoundError:
+            assert ts not in self.live
+        else:
+            assert got_ts == ts
+            assert value == self.values[ts]
+            assert ts in self.live
+
+    @rule(ts=TS, consumer=st.integers(min_value=0, max_value=2))
+    def consume(self, ts, consumer):
+        connection = self.consumers[consumer]
+        connection.consume(ts)
+        if ts in self.live:
+            self.consumed[connection.connection_id].add(ts)
+            self._model_reclaim_check(ts)
+
+    @rule(ts=TS, consumer=st.integers(min_value=0, max_value=2))
+    def consume_until(self, ts, consumer):
+        connection = self.consumers[consumer]
+        connection.consume_until(ts)
+        cid = connection.connection_id
+        self.floors[cid] = max(self.floors[cid], ts)
+        for live_ts in sorted(self.live):
+            self._model_reclaim_check(live_ts)
+
+    def _model_reclaim_check(self, ts):
+        """Reclaim in the model iff every consumer is done with *ts*."""
+        if ts not in self.live:
+            return
+        for connection in self.consumers:
+            cid = connection.connection_id
+            done = (ts in self.consumed[cid]) or (ts < self.floors[cid])
+            if not done:
+                return
+        self.live.discard(ts)
+        self.reclaimed.add(ts)
+
+    # -- invariants -----------------------------------------------------------
+
+    @invariant()
+    def live_timestamps_match_model(self):
+        assert set(self.channel.live_timestamps()) == self.live
+
+    @invariant()
+    def counters_balance(self):
+        stats = self.channel.stats()
+        assert stats.puts == len(self.live) + len(self.reclaimed)
+        assert stats.reclaimed == len(self.reclaimed)
+        assert stats.live_items == len(self.live)
+
+    @invariant()
+    def watermark_consistent(self):
+        watermark = self.channel._watermark
+        holes = self.channel._holes
+        assert all(hole > watermark for hole in holes)
+        # Everything at or below the watermark is dead in the model.
+        for ts in self.live:
+            assert ts > watermark
+            assert ts not in holes
+        # Reclaimed set matches watermark + holes exactly.
+        dead = {ts for ts in range(watermark + 1)} | holes
+        assert self.reclaimed == {ts for ts in dead
+                                  if ts in self.values}
+
+    def teardown(self):
+        self.channel.destroy()
+
+
+ChannelMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+TestChannelStateful = ChannelMachine.TestCase
+
+
+class QueueMachine(RuleBasedStateMachine):
+    """A queue with two workers: exactly-once delivery vs a model."""
+
+    @initialize()
+    def setup(self):
+        self.queue = SQueue("model-q")
+        self.producer = self.queue.attach(ConnectionMode.OUT)
+        self.workers = [self.queue.attach(ConnectionMode.IN)
+                        for _ in range(2)]
+        self.counter = 0
+        self.queued = []           # FIFO of (ts, value)
+        self.pending = {}          # value -> (worker_index, ts)
+        self.done = set()
+
+    @rule(ts=TS)
+    def put(self, ts):
+        value = f"item-{self.counter}"
+        self.counter += 1
+        self.producer.put(ts, value)
+        self.queued.append((ts, value))
+
+    @rule(worker=st.integers(min_value=0, max_value=1))
+    def get(self, worker):
+        connection = self.workers[worker]
+        try:
+            ts, value = connection.get(OLDEST, block=False)
+        except ItemNotFoundError:
+            assert not self.queued
+        else:
+            expected_ts, expected_value = self.queued.pop(0)
+            assert (ts, value) == (expected_ts, expected_value)
+            self.pending[value] = (worker, ts)
+
+    @rule(worker=st.integers(min_value=0, max_value=1), ts=TS)
+    def consume(self, worker, ts):
+        connection = self.workers[worker]
+        connection.consume(ts)
+        for value, (owner, pending_ts) in list(self.pending.items()):
+            if owner == worker and pending_ts == ts:
+                del self.pending[value]
+                self.done.add(value)
+
+    @invariant()
+    def conservation(self):
+        # Every produced item is exactly one of: queued, pending, done.
+        assert len(self.queued) == len(self.queue)
+        assert len(self.pending) == self.queue.pending_count
+        total = len(self.queued) + len(self.pending) + len(self.done)
+        assert total == self.counter
+
+    @invariant()
+    def fifo_order_preserved(self):
+        assert self.queue.queued_timestamps() == \
+            [ts for ts, _ in self.queued]
+
+    def teardown(self):
+        self.queue.destroy()
+
+
+QueueMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+TestQueueStateful = QueueMachine.TestCase

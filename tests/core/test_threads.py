@@ -1,0 +1,82 @@
+"""Unit tests for Stampede threads."""
+
+import time
+
+import pytest
+
+from repro.core.threads import StampedeThread, spawn
+from repro.errors import ThreadError
+
+
+class TestLifecycle:
+    def test_join_returns_target_result(self):
+        t = spawn(lambda a, b: a + b, 2, 3)
+        assert t.join(timeout=2.0) == 5
+
+    def test_kwargs_are_forwarded(self):
+        t = spawn(lambda *, x: x * 2, x=21)
+        assert t.join(timeout=2.0) == 42
+
+    def test_join_reraises_target_exception(self):
+        def boom():
+            raise ValueError("inner")
+
+        t = spawn(boom)
+        with pytest.raises(ThreadError) as excinfo:
+            t.join(timeout=2.0)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        assert t.failed
+        assert isinstance(t.exception, ValueError)
+
+    def test_join_unstarted_thread_raises(self):
+        t = StampedeThread(lambda: None)
+        with pytest.raises(ThreadError):
+            t.join()
+
+    def test_double_start_raises(self):
+        t = StampedeThread(lambda: None)
+        t.start()
+        t.join(timeout=2.0)
+        with pytest.raises(ThreadError):
+            t.start()
+
+    def test_join_timeout_on_running_thread(self):
+        import threading
+        release = threading.Event()
+        t = spawn(release.wait)
+        with pytest.raises(ThreadError):
+            t.join(timeout=0.05)
+        release.set()
+        t.join(timeout=2.0)
+
+    def test_alive_tracks_execution(self):
+        import threading
+        release = threading.Event()
+        t = spawn(release.wait)
+        assert t.alive
+        release.set()
+        t.join(timeout=2.0)
+        assert not t.alive
+
+
+class TestNaming:
+    def test_auto_generated_names_are_unique(self):
+        a = StampedeThread(lambda: None)
+        b = StampedeThread(lambda: None)
+        assert a.name != b.name
+        assert a.thread_id != b.thread_id
+
+    def test_explicit_name_and_space(self):
+        t = StampedeThread(lambda: None, name="mixer",
+                           address_space="N_M")
+        assert t.name == "mixer"
+        assert t.address_space == "N_M"
+        assert "mixer" in repr(t)
+        assert "N_M" in repr(t)
+
+    def test_repr_states(self):
+        t = StampedeThread(lambda: time.sleep(0.0))
+        assert "new" in repr(t)
+        t.start()
+        t.join(timeout=2.0)
+        assert "done" in repr(t)

@@ -1,0 +1,70 @@
+"""Unit tests for timestamps and virtual-time markers."""
+
+import pickle
+
+import pytest
+
+from repro.core.timestamps import (
+    MAX_TIMESTAMP,
+    NEWEST,
+    OLDEST,
+    is_marker,
+    is_valid_timestamp,
+    validate_timestamp,
+    validate_virtual_time,
+)
+from repro.errors import BadTimestampError
+
+
+class TestMarkers:
+    def test_markers_are_distinct(self):
+        assert NEWEST is not OLDEST
+
+    def test_marker_repr_names_the_marker(self):
+        assert "NEWEST" in repr(NEWEST)
+        assert "OLDEST" in repr(OLDEST)
+
+    def test_markers_are_not_timestamps(self):
+        assert not is_valid_timestamp(NEWEST)
+        assert not is_valid_timestamp(OLDEST)
+
+    def test_is_marker(self):
+        assert is_marker(NEWEST)
+        assert is_marker(OLDEST)
+        assert not is_marker(0)
+        assert not is_marker("NEWEST")
+
+    def test_markers_survive_pickling_with_identity(self):
+        # Identity must hold across address spaces: get(NEWEST) shipped over
+        # RPC has to deserialize back to the same singleton.
+        for marker in (NEWEST, OLDEST):
+            clone = pickle.loads(pickle.dumps(marker))
+            assert clone is marker
+
+
+class TestValidation:
+    @pytest.mark.parametrize("value", [0, 1, 30, MAX_TIMESTAMP])
+    def test_valid_timestamps(self, value):
+        assert is_valid_timestamp(value)
+        assert validate_timestamp(value) == value
+
+    @pytest.mark.parametrize(
+        "value",
+        [-1, MAX_TIMESTAMP + 1, 1.0, "3", None, True, False, object()],
+    )
+    def test_invalid_timestamps(self, value):
+        assert not is_valid_timestamp(value)
+        with pytest.raises(BadTimestampError):
+            validate_timestamp(value)
+
+    def test_bool_is_rejected_despite_being_int_subclass(self):
+        assert not is_valid_timestamp(True)
+
+    def test_validate_virtual_time_accepts_markers(self):
+        assert validate_virtual_time(NEWEST) is NEWEST
+        assert validate_virtual_time(OLDEST) is OLDEST
+        assert validate_virtual_time(7) == 7
+
+    def test_validate_virtual_time_rejects_garbage(self):
+        with pytest.raises(BadTimestampError):
+            validate_virtual_time(-3)

@@ -1,0 +1,204 @@
+"""Failure-injection tests: component death must never wedge the rest.
+
+The paper's system left failure handling open (§3.3); these tests pin
+the behaviour of this implementation's failure paths: dead consumers
+unblock garbage collection and back-pressured producers, dead devices
+free their surrogates and connections, destroyed containers wake every
+blocked thread with a typed error, and a dead CLF peer is detected.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import Channel, ConnectionMode, GarbageCollector, spawn
+from repro.errors import (
+    ContainerDestroyedError,
+    ConnectionClosedError,
+    StampedeError,
+)
+
+
+class TestConsumerDeath:
+    def test_dead_consumer_unblocks_gc(self):
+        """A consumer that detaches (its thread died) stops vetoing
+        collection; the remaining consumer's consumption suffices."""
+        channel = Channel("abandoned")
+        out = channel.attach(ConnectionMode.OUT)
+        survivor = channel.attach(ConnectionMode.IN)
+        doomed = channel.attach(ConnectionMode.IN)
+        out.put(0, "item")
+        survivor.consume(0)
+        assert channel.live_timestamps() == [0]  # doomed still vetoes
+        doomed.detach()  # the death
+        items, _ = channel.collect_garbage()
+        assert items == 1
+        channel.destroy()
+
+    def test_dead_consumer_unblocks_backpressured_producer(self):
+        """A producer blocked on a full channel proceeds once the dead
+        consumer's detach lets the collector free slots."""
+        channel = Channel("full", capacity=1)
+        out = channel.attach(ConnectionMode.OUT)
+        survivor = channel.attach(ConnectionMode.IN)
+        doomed = channel.attach(ConnectionMode.IN)
+        out.put(0, "a")
+        survivor.consume(0)
+
+        unblocked = threading.Event()
+
+        def producer():
+            out.put(1, "b")  # blocks: item 0 still vetoed by doomed
+            unblocked.set()
+
+        with GarbageCollector(interval=0.01) as gc:
+            gc.register(channel)
+            t = threading.Thread(target=producer)
+            t.start()
+            time.sleep(0.05)
+            assert not unblocked.is_set()
+            doomed.detach()
+            assert unblocked.wait(timeout=5.0)
+            t.join()
+        channel.destroy()
+
+
+class TestContainerDestruction:
+    def test_destroy_wakes_blocked_getter_with_typed_error(self):
+        channel = Channel("doomed")
+        inp = channel.attach(ConnectionMode.IN)
+        failures = []
+
+        def blocked():
+            try:
+                inp.get(99, timeout=10.0)
+            except StampedeError as exc:
+                failures.append(type(exc))
+
+        t = threading.Thread(target=blocked)
+        t.start()
+        time.sleep(0.05)
+        channel.destroy()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert failures and issubclass(
+            failures[0], (ContainerDestroyedError, ConnectionClosedError)
+        )
+
+    def test_destroy_wakes_blocked_putter(self):
+        channel = Channel("doomed", capacity=1)
+        out = channel.attach(ConnectionMode.OUT)
+        channel.attach(ConnectionMode.IN)
+        out.put(0, "a")
+        failures = []
+
+        def blocked():
+            try:
+                out.put(1, "b", timeout=10.0)
+            except StampedeError as exc:
+                failures.append(type(exc))
+
+        t = threading.Thread(target=blocked)
+        t.start()
+        time.sleep(0.05)
+        channel.destroy()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert failures
+
+
+class TestDeviceDeath:
+    def test_crashed_device_releases_its_connections(self):
+        """The GC must not wait forever on a device that vanished: its
+        surrogate detaches every connection on disconnect."""
+        from repro import Runtime, StampedeClient, StampedeServer
+
+        runtime = Runtime(gc_interval=0.01)
+        server = StampedeServer(runtime).start()
+        try:
+            host, port = server.address
+            victim = StampedeClient(host, port, client_name="victim")
+            victim.create_channel("shared")
+            victim.attach("shared", ConnectionMode.IN)
+
+            survivor = StampedeClient(host, port, client_name="survivor")
+            out = survivor.attach("shared", ConnectionMode.OUT)
+            inp = survivor.attach("shared", ConnectionMode.IN)
+            out.put(0, "item")
+            inp.consume(0)
+            channel = runtime.lookup_container("shared")
+            time.sleep(0.1)
+            assert channel.live_timestamps() == [0]  # victim vetoes
+
+            victim._rpc._connection.close()  # crash, no BYE
+            deadline = time.monotonic() + 5.0
+            while channel.live_timestamps() and \
+                    time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert channel.live_timestamps() == []
+            survivor.close()
+        finally:
+            server.close()
+            runtime.shutdown()
+
+    def test_mid_conference_participant_crash_does_not_wedge_others(self):
+        """A participant dying mid-stream: the mixer stalls only on the
+        dead channel (timeouts surface), other participants' pipelines
+        keep functioning for the frames already mixed."""
+        from repro import Runtime, StampedeClient, StampedeServer
+
+        runtime = Runtime(gc_interval=0.01)
+        server = StampedeServer(runtime).start()
+        try:
+            host, port = server.address
+            healthy = StampedeClient(host, port, client_name="healthy")
+            flaky = StampedeClient(host, port, client_name="flaky")
+            healthy.create_channel("h-chan")
+            flaky.create_channel("f-chan")
+            h_out = healthy.attach("h-chan", ConnectionMode.OUT)
+            f_out = flaky.attach("f-chan", ConnectionMode.OUT)
+            h_out.put(0, "h0")
+            f_out.put(0, "f0")
+            flaky._rpc._connection.close()  # dies before frame 1
+            h_out.put(1, "h1")
+
+            reader = healthy.attach("h-chan", ConnectionMode.IN)
+            assert reader.get(1, timeout=5.0) == (1, "h1")
+            # The dead participant's channel still serves what it sent.
+            f_reader = healthy.attach("f-chan", ConnectionMode.IN)
+            assert f_reader.get(0, timeout=5.0) == (0, "f0")
+            healthy.close()
+        finally:
+            server.close()
+            runtime.shutdown()
+
+
+class TestWorkerThreadDeath:
+    def test_failed_stampede_thread_reports_at_join(self):
+        def dies():
+            raise RuntimeError("worker exploded")
+
+        thread = spawn(dies, name="doomed-worker")
+        from repro.errors import ThreadError
+
+        with pytest.raises(ThreadError) as excinfo:
+            thread.join(timeout=5.0)
+        assert "exploded" in str(excinfo.value.__cause__)
+
+    def test_queue_item_held_by_dead_worker_is_redeliverable_via_checkpoint(self):
+        """A worker that dequeued and died without consuming: the item
+        is recoverable through checkpoint/restore redelivery."""
+        from repro.core import SQueue, checkpoint, restore
+        from repro.core.timestamps import OLDEST
+
+        queue = SQueue("jobs")
+        out = queue.attach(ConnectionMode.OUT)
+        worker = queue.attach(ConnectionMode.IN)
+        out.put(0, "critical-job")
+        worker.get(OLDEST)  # worker dies here, never consumes
+        recovered = restore(checkpoint(queue))
+        new_worker = recovered.attach(ConnectionMode.IN)
+        assert new_worker.get(OLDEST, block=False) == (0, "critical-job")
+        queue.destroy()
+        recovered.destroy()

@@ -1,0 +1,226 @@
+"""Concurrency stress tests: invariants under real thread contention."""
+
+import threading
+
+import pytest
+
+from repro.core import Channel, ConnectionMode, OLDEST, SQueue, spawn
+from repro.errors import ItemNotFoundError, StampedeError
+
+
+class TestChannelContention:
+    def test_many_producers_disjoint_timestamps(self):
+        """8 producers racing on one channel; every item retrievable,
+        none lost or duplicated."""
+        channel = Channel("contended")
+        producers = 8
+        per_producer = 200
+
+        def produce(base):
+            out = channel.attach(ConnectionMode.OUT)
+            for i in range(per_producer):
+                out.put(base + i, base + i)
+
+        threads = [spawn(produce, p * per_producer)
+                   for p in range(producers)]
+        for t in threads:
+            t.join(timeout=30.0)
+
+        inp = channel.attach(ConnectionMode.IN)
+        total = producers * per_producer
+        assert channel.live_timestamps() == list(range(total))
+        for ts in range(total):
+            assert inp.get(ts, block=False) == (ts, ts)
+        channel.destroy()
+
+    def test_concurrent_getters_on_one_item(self):
+        """Many readers of the same timestamp all see the same value
+        (channels are read-shared until consumed)."""
+        channel = Channel("read-shared")
+        out = channel.attach(ConnectionMode.OUT)
+        out.put(0, "shared")
+        results = []
+        lock = threading.Lock()
+
+        def reader():
+            inp = channel.attach(ConnectionMode.IN)
+            value = inp.get(0, timeout=5.0)
+            with lock:
+                results.append(value)
+
+        threads = [spawn(reader) for _ in range(16)]
+        for t in threads:
+            t.join(timeout=10.0)
+        assert results == [(0, "shared")] * 16
+        channel.destroy()
+
+    def test_interleaved_produce_consume_with_gc(self):
+        """Producer and consumer race while the GC daemon sweeps;
+        nothing is lost and memory stays bounded."""
+        from repro.core import GarbageCollector
+
+        channel = Channel("raced", capacity=16)
+        with GarbageCollector(interval=0.002) as gc:
+            gc.register(channel)
+            count = 1_000
+            received = []
+
+            def producer():
+                out = channel.attach(ConnectionMode.OUT)
+                for ts in range(count):
+                    out.put(ts, ts)
+
+            def consumer():
+                inp = channel.attach(ConnectionMode.IN)
+                for ts in range(count):
+                    received.append(inp.get(ts, timeout=10.0)[1])
+                    inp.consume(ts)
+
+            consumer_thread = spawn(consumer)
+            producer_thread = spawn(producer)
+            producer_thread.join(timeout=30.0)
+            consumer_thread.join(timeout=30.0)
+            assert received == list(range(count))
+            assert channel.stats().peak_items <= 16
+        channel.destroy()
+
+
+class TestQueueContention:
+    def test_work_sharing_under_racing_workers(self):
+        """A worker pool racing on one queue: exactly-once delivery."""
+        queue = SQueue("raced-queue", auto_consume=True)
+        out = queue.attach(ConnectionMode.OUT)
+        total = 1_000
+        for i in range(total):
+            out.put(i % 10, i)
+
+        received = []
+        lock = threading.Lock()
+
+        def worker():
+            conn = queue.attach(ConnectionMode.IN)
+            mine = []
+            while True:
+                try:
+                    mine.append(conn.get(OLDEST, timeout=0.2)[1])
+                except ItemNotFoundError:
+                    break
+            with lock:
+                received.extend(mine)
+
+        threads = [spawn(worker) for _ in range(8)]
+        for t in threads:
+            t.join(timeout=30.0)
+        assert sorted(received) == list(range(total))
+        assert len(queue) == 0
+        queue.destroy()
+
+    def test_producers_and_workers_simultaneously(self):
+        queue = SQueue("full-duplex", auto_consume=True, capacity=64)
+        producers = 4
+        per_producer = 250
+        total = producers * per_producer
+        received = []
+        lock = threading.Lock()
+        done_producing = threading.Event()
+
+        def producer(base):
+            out = queue.attach(ConnectionMode.OUT)
+            for i in range(per_producer):
+                out.put(0, base + i)
+
+        def worker():
+            conn = queue.attach(ConnectionMode.IN)
+            while True:
+                try:
+                    value = conn.get(OLDEST, timeout=0.3)[1]
+                except ItemNotFoundError:
+                    if done_producing.is_set() and len(queue) == 0:
+                        return
+                    continue
+                with lock:
+                    received.append(value)
+
+        workers = [spawn(worker) for _ in range(4)]
+        producer_threads = [spawn(producer, p * per_producer)
+                            for p in range(producers)]
+        for t in producer_threads:
+            t.join(timeout=30.0)
+        done_producing.set()
+        for t in workers:
+            t.join(timeout=30.0)
+        assert sorted(received) == list(range(total))
+        queue.destroy()
+
+
+class TestClientServerContention:
+    def test_many_clients_hammering_one_cluster(self):
+        """6 devices, each streaming 50 items through its own channel
+        concurrently, with cross-device readers."""
+        from repro import Runtime, StampedeClient, StampedeServer
+
+        runtime = Runtime(gc_interval=0.01)
+        server = StampedeServer(runtime,
+                                device_spaces=["N1", "N2"]).start()
+        try:
+            host, port = server.address
+            devices = 6
+            items = 50
+
+            def device_session(device_id):
+                client = StampedeClient(
+                    host, port, client_name=f"dev-{device_id}"
+                )
+                try:
+                    channel_name = f"stream-{device_id}"
+                    client.create_channel(channel_name)
+                    out = client.attach(channel_name, ConnectionMode.OUT)
+                    inp = client.attach(channel_name, ConnectionMode.IN)
+                    for ts in range(items):
+                        out.put(ts, {"device": device_id, "n": ts})
+                    for ts in range(items):
+                        got_ts, value = inp.get(ts, timeout=20.0)
+                        assert got_ts == ts
+                        assert value == {"device": device_id, "n": ts}
+                        inp.consume(ts)
+                    return device_id
+                finally:
+                    client.close()
+
+            threads = [spawn(device_session, d) for d in range(devices)]
+            results = [t.join(timeout=60.0) for t in threads]
+            assert sorted(results) == list(range(devices))
+        finally:
+            server.close()
+            runtime.shutdown()
+
+    def test_one_connection_shared_by_many_threads(self):
+        """The §4 pattern at higher width: 5 threads multiplexing one
+        device connection concurrently."""
+        from repro import Runtime, StampedeClient, StampedeServer
+
+        runtime = Runtime(gc_interval=0.01)
+        server = StampedeServer(runtime).start()
+        try:
+            host, port = server.address
+            with StampedeClient(host, port) as client:
+                client.create_channel("mux")
+                per_thread = 40
+
+                def pump(thread_id):
+                    out = client.attach("mux", ConnectionMode.OUT)
+                    inp = client.attach("mux", ConnectionMode.IN)
+                    base = thread_id * per_thread
+                    for i in range(per_thread):
+                        out.put(base + i, base + i)
+                    for i in range(per_thread):
+                        ts, value = inp.get(base + i, timeout=20.0)
+                        assert value == base + i
+                    return thread_id
+
+                threads = [spawn(pump, t) for t in range(5)]
+                assert sorted(t.join(timeout=60.0)
+                              for t in threads) == list(range(5))
+        finally:
+            server.close()
+            runtime.shutdown()

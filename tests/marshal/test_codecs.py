@@ -1,0 +1,185 @@
+"""Unit and property tests shared by both wire formats."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecodeError, EncodeError
+from repro.marshal import (
+    JdrCodec,
+    XdrCodec,
+    available_codecs,
+    get_codec,
+    register_codec,
+)
+from repro.marshal.codec import Codec, check_in_domain
+
+CODECS = [XdrCodec(), JdrCodec()]
+
+
+def domain_values():
+    """Hypothesis strategy over the shared codec domain."""
+    scalars = st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**63), max_value=2**63 - 1),
+        st.floats(allow_nan=False, allow_infinity=True),
+        st.text(max_size=40),
+        st.binary(max_size=60),
+    )
+    return st.recursive(
+        scalars,
+        lambda children: st.one_of(
+            st.lists(children, max_size=6),
+            st.dictionaries(st.text(max_size=10), children, max_size=6),
+        ),
+        max_leaves=25,
+    )
+
+
+@pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**62,
+            -(2**63),
+            3.14159,
+            "",
+            "hello",
+            "uniçode ☃",
+            b"",
+            b"\x00\xff" * 10,
+            [],
+            [1, 2, 3],
+            {"a": 1, "b": [True, None]},
+            {"nested": {"deep": {"deeper": b"bytes"}}},
+            [[[[1]]]],
+        ],
+    )
+    def test_values_round_trip(self, codec, value):
+        assert codec.decode(codec.encode(value)) == value
+
+    def test_tuple_decodes_as_list(self, codec):
+        assert codec.decode(codec.encode((1, 2))) == [1, 2]
+
+    def test_bytearray_decodes_as_bytes(self, codec):
+        assert codec.decode(codec.encode(bytearray(b"xy"))) == b"xy"
+
+    def test_bool_is_not_confused_with_int(self, codec):
+        decoded = codec.decode(codec.encode([True, 1]))
+        assert decoded[0] is True
+        assert decoded[1] == 1
+        assert not isinstance(decoded[1], bool)
+
+    def test_large_payload(self, codec):
+        blob = bytes(range(256)) * 256  # 64 KiB
+        assert codec.decode(codec.encode(blob)) == blob
+
+    @given(value=domain_values())
+    @settings(max_examples=60, deadline=None)
+    def test_random_domain_values(self, codec, value):
+        decoded = codec.decode(codec.encode(value))
+        assert decoded == _normalise(value)
+
+    def test_out_of_domain_rejected(self, codec):
+        with pytest.raises(EncodeError):
+            codec.encode(object())
+        with pytest.raises(EncodeError):
+            codec.encode({1: "non-string key"})
+        with pytest.raises(EncodeError):
+            codec.encode(2**63)  # out of 64-bit range
+
+    def test_truncated_input_raises_decode_error(self, codec):
+        data = codec.encode({"k": [1, 2, 3], "s": "abc"})
+        for cut in (1, len(data) // 2, len(data) - 1):
+            with pytest.raises(DecodeError):
+                codec.decode(data[:cut])
+
+    def test_trailing_garbage_raises(self, codec):
+        data = codec.encode(42)
+        with pytest.raises(DecodeError):
+            codec.decode(data + b"\x00")
+
+    def test_cyclic_value_rejected_cleanly(self, codec):
+        cyclic = []
+        cyclic.append(cyclic)
+        with pytest.raises(EncodeError):
+            codec.encode(cyclic)
+
+
+def _normalise(value):
+    """Expected decode result: tuples -> lists, bytearray -> bytes."""
+    if isinstance(value, (list, tuple)):
+        return [_normalise(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _normalise(v) for k, v in value.items()}
+    if isinstance(value, bytearray):
+        return bytes(value)
+    return value
+
+
+class TestFormatDifferences:
+    def test_jdr_is_more_verbose_than_xdr_for_structures(self):
+        value = {"stream": [1, 2, 3, 4], "name": "camera-1"}
+        xdr_size = len(XdrCodec().encode(value))
+        jdr_size = len(JdrCodec().encode(value))
+        assert jdr_size > xdr_size
+
+    def test_jdr_class_descriptors_are_interned(self):
+        # 100 longs must not carry 100 copies of "java.lang.Long".
+        data = JdrCodec().encode(list(range(100)))
+        assert data.count(b"java.lang.Long") == 1
+
+    def test_formats_are_not_interchangeable(self):
+        xdr_bytes = XdrCodec().encode("hello")
+        with pytest.raises(DecodeError):
+            JdrCodec().decode(xdr_bytes)
+
+
+class TestRegistry:
+    def test_builtin_codecs_registered(self):
+        assert "xdr" in available_codecs()
+        assert "jdr" in available_codecs()
+        assert get_codec("xdr").name == "xdr"
+
+    def test_unknown_codec_raises_keyerror_with_candidates(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_codec("protobuf")
+        assert "xdr" in str(excinfo.value)
+
+    def test_duplicate_registration_rejected(self):
+        class Fake(Codec):
+            name = "xdr"
+
+            def encode(self, value):
+                return b""
+
+            def decode(self, data):
+                return None
+
+        with pytest.raises(ValueError):
+            register_codec(Fake())
+
+    def test_replace_allows_override_and_restore(self):
+        original = get_codec("xdr")
+        register_codec(XdrCodec(), replace=True)
+        assert get_codec("xdr") is not original
+
+
+class TestDomainCheck:
+    def test_depth_limit(self):
+        value = "leaf"
+        for _ in range(70):
+            value = [value]
+        with pytest.raises(EncodeError):
+            check_in_domain(value)
+
+    def test_domain_accepts_all_scalars(self):
+        for v in (None, True, 0, 1.5, "s", b"b", bytearray(b"a")):
+            check_in_domain(v)

@@ -1,0 +1,107 @@
+"""Unit tests for the RFC 1832 primitive layer (used raw by the RPC stubs)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DecodeError, EncodeError
+from repro.marshal.xdr import XdrDecoder, XdrEncoder
+
+
+class TestAlignment:
+    def test_all_items_are_four_byte_aligned(self):
+        enc = XdrEncoder()
+        enc.pack_opaque(b"a")  # 4 len + 1 data + 3 pad
+        assert len(enc.getvalue()) == 8
+
+    def test_fixed_opaque_padding(self):
+        enc = XdrEncoder()
+        enc.pack_opaque_fixed(b"abcde")
+        assert enc.getvalue() == b"abcde\x00\x00\x00"
+
+    def test_nonzero_padding_rejected_on_decode(self):
+        dec = XdrDecoder(b"ab\x00\x01")
+        with pytest.raises(DecodeError):
+            dec.unpack_opaque_fixed(2)
+
+
+class TestScalars:
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_int_round_trip(self, value):
+        enc = XdrEncoder()
+        enc.pack_int(value)
+        assert XdrDecoder(enc.getvalue()).unpack_int() == value
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_uint_round_trip(self, value):
+        enc = XdrEncoder()
+        enc.pack_uint(value)
+        assert XdrDecoder(enc.getvalue()).unpack_uint() == value
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_hyper_round_trip(self, value):
+        enc = XdrEncoder()
+        enc.pack_hyper(value)
+        assert XdrDecoder(enc.getvalue()).unpack_hyper() == value
+
+    def test_range_checks(self):
+        enc = XdrEncoder()
+        with pytest.raises(EncodeError):
+            enc.pack_int(2**31)
+        with pytest.raises(EncodeError):
+            enc.pack_uint(-1)
+        with pytest.raises(EncodeError):
+            enc.pack_hyper(2**63)
+        with pytest.raises(EncodeError):
+            enc.pack_uhyper(-1)
+
+    def test_bool_encoding_is_u32(self):
+        enc = XdrEncoder()
+        enc.pack_bool(True)
+        enc.pack_bool(False)
+        assert enc.getvalue() == b"\x00\x00\x00\x01\x00\x00\x00\x00"
+
+    def test_bad_bool_rejected(self):
+        with pytest.raises(DecodeError):
+            XdrDecoder(b"\x00\x00\x00\x02").unpack_bool()
+
+    @given(st.floats(allow_nan=False, width=32))
+    def test_float_round_trip(self, value):
+        enc = XdrEncoder()
+        enc.pack_float(value)
+        assert XdrDecoder(enc.getvalue()).unpack_float() == value
+
+
+class TestStringsAndArrays:
+    @given(st.text(max_size=100))
+    def test_string_round_trip(self, value):
+        enc = XdrEncoder()
+        enc.pack_string(value)
+        assert XdrDecoder(enc.getvalue()).unpack_string() == value
+
+    def test_invalid_utf8_rejected(self):
+        enc = XdrEncoder()
+        enc.pack_opaque(b"\xff\xfe")
+        with pytest.raises(DecodeError):
+            XdrDecoder(enc.getvalue()).unpack_string()
+
+    def test_array_of_ints(self):
+        enc = XdrEncoder()
+        enc.pack_array([3, 1, 2], enc.pack_int)
+        dec = XdrDecoder(enc.getvalue())
+        assert dec.unpack_array(dec.unpack_int) == [3, 1, 2]
+        dec.done()
+
+    def test_hostile_length_prefix_rejected(self):
+        # Claims 2^31 bytes follow; decoder must reject, not allocate.
+        enc = XdrEncoder()
+        enc.pack_uint(2**31)
+        with pytest.raises(DecodeError):
+            XdrDecoder(enc.getvalue()).unpack_opaque()
+
+    def test_hostile_array_count_rejected(self):
+        enc = XdrEncoder()
+        enc.pack_uint(2**31)
+        dec = XdrDecoder(enc.getvalue())
+        with pytest.raises(DecodeError):
+            dec.unpack_array(dec.unpack_int)

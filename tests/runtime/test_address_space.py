@@ -1,0 +1,123 @@
+"""Unit tests for address spaces."""
+
+import pytest
+
+from repro.core.channel import Channel
+from repro.core.connection import ConnectionMode
+from repro.core.squeue import SQueue
+from repro.errors import (
+    AddressSpaceError,
+    ContainerDestroyedError,
+    NameAlreadyBoundError,
+    ThreadError,
+)
+from repro.runtime.address_space import AddressSpace
+
+
+@pytest.fixture()
+def space():
+    space = AddressSpace("test-space")
+    yield space
+    space.destroy()
+
+
+class TestContainers:
+    def test_create_channel_and_queue(self, space):
+        ch = space.create_channel("video")
+        q = space.create_queue("fragments", auto_consume=True)
+        assert isinstance(ch, Channel)
+        assert isinstance(q, SQueue)
+        assert space.get_container("video") is ch
+        assert space.get_container("fragments") is q
+
+    def test_containers_registered_with_gc(self, space):
+        ch = space.create_channel("c")
+        assert ch in space.gc.registered()
+
+    def test_duplicate_container_name_rejected(self, space):
+        space.create_channel("dup")
+        with pytest.raises(NameAlreadyBoundError):
+            space.create_queue("dup")
+
+    def test_remove_container_destroys_it(self, space):
+        ch = space.create_channel("gone")
+        space.remove_container("gone")
+        assert space.get_container("gone") is None
+        assert ch.destroyed
+        assert ch not in space.gc.registered()
+
+    def test_remove_missing_container_is_noop(self, space):
+        space.remove_container("never-existed")
+
+    def test_capacity_forwarded(self, space):
+        ch = space.create_channel("bounded", capacity=3)
+        assert ch.capacity == 3
+
+
+class TestThreads:
+    def test_spawn_tags_home_space(self, space):
+        t = space.spawn(lambda: 42)
+        assert t.address_space == "test-space"
+        assert t.join(timeout=2.0) == 42
+
+    def test_join_all_propagates_failure(self, space):
+        def boom():
+            raise RuntimeError("worker died")
+
+        space.spawn(boom)
+        with pytest.raises(ThreadError):
+            space.join_all(timeout=2.0)
+
+    def test_threads_listed(self, space):
+        t1 = space.spawn(lambda: None)
+        t2 = space.spawn(lambda: None)
+        assert set(space.threads()) >= {t1, t2}
+        space.join_all(timeout=2.0)
+
+
+class TestLifecycle:
+    def test_destroy_stops_gc_and_containers(self):
+        space = AddressSpace("doomed", start_gc=True)
+        ch = space.create_channel("c")
+        space.destroy()
+        assert space.destroyed
+        assert ch.destroyed
+        assert not space.gc.running
+
+    def test_destroy_is_idempotent(self):
+        space = AddressSpace("d")
+        space.destroy()
+        space.destroy()
+
+    def test_operations_after_destroy_raise(self):
+        space = AddressSpace("d")
+        space.destroy()
+        with pytest.raises(AddressSpaceError):
+            space.create_channel("x")
+        with pytest.raises(AddressSpaceError):
+            space.spawn(lambda: None)
+
+    def test_blocked_thread_wakes_with_error_on_destroy(self):
+        import threading
+
+        space = AddressSpace("d")
+        ch = space.create_channel("c")
+        inp = ch.attach(ConnectionMode.IN)
+        errors = []
+
+        def blocked_get():
+            try:
+                inp.get(99, timeout=5.0)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(type(exc))
+
+        t = threading.Thread(target=blocked_get)
+        t.start()
+        import time
+
+        time.sleep(0.05)
+        space.destroy()
+        t.join(timeout=2.0)
+        assert errors and issubclass(
+            errors[0], (ContainerDestroyedError, Exception)
+        )

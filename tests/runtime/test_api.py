@@ -1,0 +1,98 @@
+"""Tests for the StampedeApp facade."""
+
+import pytest
+
+from repro import ConnectionMode, NEWEST, StampedeApp, StampedeClient
+from repro.errors import NameNotBoundError
+
+
+class TestLocalApp:
+    def test_quickstart_flow(self):
+        with StampedeApp(address_spaces=["A", "B"]) as app:
+            app.create_channel("video", space="A")
+            out = app.attach("video", ConnectionMode.OUT, from_space="A")
+            inp = app.attach("video", ConnectionMode.IN, from_space="B")
+            out.put(0, {"frame": 0})
+            assert inp.get(NEWEST) == (0, {"frame": 0})
+            inp.consume(0)
+
+    def test_queue_creation(self):
+        with StampedeApp(address_spaces=["A"]) as app:
+            queue = app.create_queue("work", space="A",
+                                     auto_consume=True)
+            assert queue.auto_consume
+
+    def test_spawn_delegates_to_space(self):
+        with StampedeApp(address_spaces=["A"]) as app:
+            thread = app.spawn("A", lambda: 7, name="worker")
+            assert thread.join(timeout=5.0) == 7
+            assert thread.address_space == "A"
+
+    def test_create_space_after_construction(self):
+        with StampedeApp() as app:
+            app.create_address_space("late")
+            app.create_channel("c", space="late")
+            assert app.nameserver.contains("c")
+
+    def test_attach_wait(self):
+        import threading
+        import time
+
+        with StampedeApp(address_spaces=["A"]) as app:
+            found = []
+
+            def waiter():
+                found.append(app.attach("slow", ConnectionMode.IN,
+                                        wait=5.0))
+
+            t = threading.Thread(target=waiter)
+            t.start()
+            time.sleep(0.05)
+            app.create_channel("slow", space="A")
+            t.join(timeout=5.0)
+            assert len(found) == 1
+
+    def test_non_serving_app_has_no_address(self):
+        with StampedeApp() as app:
+            with pytest.raises(RuntimeError):
+                _ = app.address
+
+    def test_shutdown_via_context_manager(self):
+        app = StampedeApp(address_spaces=["A"])
+        app.create_channel("c", space="A")
+        with app:
+            pass
+        with pytest.raises(Exception):
+            app.attach("c", ConnectionMode.IN)
+
+
+class TestServingApp:
+    def test_devices_join_a_serving_app(self):
+        with StampedeApp(address_spaces=["NM"], serve=True,
+                         device_spaces=["N1"]) as app:
+            host, port = app.address
+            with StampedeClient(host, port) as client:
+                assert client.space == "N1"
+                client.create_channel("from-device")
+                # Cluster-side threads see device-created channels.
+                conn = app.attach("from-device", ConnectionMode.IN,
+                                  from_space="NM")
+                assert conn is not None
+
+    def test_lease_timeout_forwarded(self):
+        import time
+
+        with StampedeApp(serve=True, lease_timeout=0.3) as app:
+            host, port = app.address
+            client = StampedeClient(host, port)  # no heartbeat
+            assert app.server.device_count == 1
+            deadline = time.monotonic() + 3.0
+            while app.server.device_count and \
+                    time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert app.server.device_count == 0
+
+    def test_unknown_name_raises(self):
+        with StampedeApp(address_spaces=["A"]) as app:
+            with pytest.raises(NameNotBoundError):
+                app.attach("ghost", ConnectionMode.IN)

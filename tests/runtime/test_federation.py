@@ -1,0 +1,254 @@
+"""Tests for multi-cluster federation (the paper's future-work item 1)."""
+
+import pytest
+
+from repro.core.connection import Connection, ConnectionMode
+from repro.core.filters import TsModulo
+from repro.client.client import RemoteConnection
+from repro.errors import NameNotBoundError
+from repro.runtime.federation import FederatedRuntime, split_qualified
+
+
+@pytest.fixture()
+def pair():
+    """Two bridged clusters: east <-> west."""
+    east = FederatedRuntime("east")
+    west = FederatedRuntime("west")
+    east.runtime.create_address_space("e-main")
+    west.runtime.create_address_space("w-main")
+    east.connect_cluster("west", *west.address)
+    west.connect_cluster("east", *east.address)
+    yield east, west
+    east.shutdown()
+    west.shutdown()
+
+
+class TestQualifiedNames:
+    def test_split(self):
+        assert split_qualified("west!video") == ("west", "video")
+        assert split_qualified("video") == (None, "video")
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            split_qualified("!video")
+        with pytest.raises(ValueError):
+            split_qualified("west!")
+
+
+class TestBridging:
+    def test_cannot_bridge_to_self(self):
+        with FederatedRuntime("solo") as solo:
+            with pytest.raises(ValueError):
+                solo.connect_cluster("solo", "127.0.0.1", 1)
+
+    def test_duplicate_bridge_rejected(self, pair):
+        east, west = pair
+        with pytest.raises(ValueError):
+            east.connect_cluster("west", *west.address)
+
+    def test_peers_listed(self, pair):
+        east, west = pair
+        assert east.peers() == ["west"]
+        assert west.peers() == ["east"]
+
+    def test_disconnect(self, pair):
+        east, _ = pair
+        east.disconnect_cluster("west")
+        assert east.peers() == []
+        east.disconnect_cluster("west")  # idempotent
+
+
+class TestResolution:
+    def test_local_name_resolves_locally(self, pair):
+        east, _ = pair
+        east.create_channel("local-chan")
+        assert east.resolve("local-chan") == (None, "local-chan")
+
+    def test_remote_name_resolves_to_peer(self, pair):
+        east, west = pair
+        west.create_channel("west-chan")
+        assert east.resolve("west-chan") == ("west", "west-chan")
+
+    def test_qualified_resolution(self, pair):
+        east, west = pair
+        west.create_channel("chan")
+        assert east.resolve("west!chan") == ("west", "chan")
+        east.create_channel("chan2")
+        assert east.resolve("east!chan2") == (None, "chan2")
+
+    def test_local_wins_over_peer_for_unqualified(self, pair):
+        east, west = pair
+        east.create_channel("shared-name")
+        west.create_channel("shared-name")
+        assert east.resolve("shared-name") == (None, "shared-name")
+        # ...but the peer copy is reachable by qualification.
+        assert east.resolve("west!shared-name") == ("west", "shared-name")
+
+    def test_unbound_everywhere_raises(self, pair):
+        east, _ = pair
+        with pytest.raises(NameNotBoundError):
+            east.resolve("ghost")
+        with pytest.raises(NameNotBoundError):
+            east.resolve("west!ghost")
+
+    def test_unknown_cluster_raises(self, pair):
+        east, _ = pair
+        with pytest.raises(NameNotBoundError):
+            east.resolve("north!anything")
+
+    def test_federation_names_listing(self, pair):
+        east, west = pair
+        east.create_channel("e1")
+        west.create_channel("w1")
+        listing = east.federation_names(kind="channel")
+        assert "e1" in listing["east"]
+        assert "w1" in listing["west"]
+
+
+class TestCrossClusterIo:
+    def test_attach_local_returns_local_connection(self, pair):
+        east, _ = pair
+        east.create_channel("c")
+        conn = east.attach("c", ConnectionMode.OUT)
+        assert isinstance(conn, Connection)
+
+    def test_attach_remote_returns_bridge_connection(self, pair):
+        east, west = pair
+        west.create_channel("w-chan")
+        conn = east.attach("w-chan", ConnectionMode.OUT)
+        assert isinstance(conn, RemoteConnection)
+
+    def test_stream_flows_between_clusters(self, pair):
+        east, west = pair
+        west.create_channel("pipeline")
+        producer = east.attach("pipeline", ConnectionMode.OUT)
+        consumer = west.attach("pipeline", ConnectionMode.IN)
+        for ts in range(10):
+            producer.put(ts, {"n": ts, "from": "east"})
+        for ts in range(10):
+            got_ts, value = consumer.get(ts, timeout=10.0)
+            assert got_ts == ts
+            assert value == {"n": ts, "from": "east"}
+            consumer.consume(ts)
+
+    def test_three_clusters_chain(self):
+        """A -> B -> C pipeline across three clusters."""
+        a = FederatedRuntime("a")
+        b = FederatedRuntime("b")
+        c = FederatedRuntime("c")
+        try:
+            for src, dst in ((a, b), (b, c), (a, c)):
+                src.connect_cluster(dst.cluster_name, *dst.address)
+            b.create_channel("mid")
+            c.create_channel("sink")
+            a_out = a.attach("b!mid", ConnectionMode.OUT)
+            b_relay_in = b.attach("mid", ConnectionMode.IN)
+            b_relay_out = b.attach("c!sink", ConnectionMode.OUT)
+            c_in = c.attach("sink", ConnectionMode.IN)
+            for ts in range(5):
+                a_out.put(ts, ts * 10)
+            for ts in range(5):
+                _, value = b_relay_in.get(ts, timeout=10.0)
+                b_relay_in.consume(ts)
+                b_relay_out.put(ts, value + 1)
+            for ts in range(5):
+                _, value = c_in.get(ts, timeout=10.0)
+                assert value == ts * 10 + 1
+                c_in.consume(ts)
+        finally:
+            a.shutdown()
+            b.shutdown()
+            c.shutdown()
+
+    def test_remote_create_via_qualified_name(self, pair):
+        east, west = pair
+        east.create_channel("west!made-from-east")
+        assert west.runtime.nameserver.contains("made-from-east")
+
+    def test_attach_wait_spans_the_federation(self, pair):
+        import threading
+        import time
+
+        east, west = pair
+        results = []
+
+        def waiter():
+            results.append(east.attach("late-west-chan",
+                                       ConnectionMode.IN, wait=10.0))
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.1)
+        west.create_channel("late-west-chan")
+        t.join(timeout=10.0)
+        assert len(results) == 1
+        assert isinstance(results[0], RemoteConnection)
+
+    def test_attention_filter_crosses_clusters(self, pair):
+        east, west = pair
+        west.create_channel("telemetry")
+        out = west.attach("telemetry", ConnectionMode.OUT)
+        evens = east.attach("telemetry", ConnectionMode.IN,
+                            attention_filter=TsModulo(divisor=2))
+        for ts in range(6):
+            out.put(ts, ts)
+        from repro.core import NEWEST
+
+        seen = []
+        while True:
+            try:
+                ts, _ = evens.get(NEWEST, block=False)
+            except Exception:  # noqa: BLE001 - drained
+                break
+            seen.append(ts)
+            evens.consume(ts)
+        assert sorted(seen) == [0, 2, 4]
+
+    def test_gc_spans_the_federation(self, pair):
+        """An item with consumers on two clusters is reclaimed only when
+        both have consumed it."""
+        import time
+
+        east, west = pair
+        west.create_channel("shared-stream")
+        out = west.attach("shared-stream", ConnectionMode.OUT)
+        local_in = west.attach("shared-stream", ConnectionMode.IN)
+        remote_in = east.attach("shared-stream", ConnectionMode.IN)
+        out.put(0, "item")
+        local_in.consume(0)
+        channel = west.runtime.lookup_container("shared-stream")
+        time.sleep(0.15)  # give the GC daemon time to (wrongly) collect
+        assert channel.live_timestamps() == [0], \
+            "east's bridge connection must keep the item alive"
+        remote_in.consume(0)
+        deadline = time.monotonic() + 5.0
+        while channel.live_timestamps() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert channel.live_timestamps() == []
+
+
+class TestLifecycle:
+    def test_shutdown_closes_bridges_and_server(self, pair):
+        east, west = pair
+        west.create_channel("w")
+        east.attach("w", ConnectionMode.OUT)
+        east.shutdown()
+        assert east.peers() == []
+
+    def test_non_serving_cluster_has_no_address(self):
+        with FederatedRuntime("leaf", serve=False) as leaf:
+            with pytest.raises(RuntimeError):
+                _ = leaf.address
+
+    def test_default_space_used_or_created(self):
+        # A serving cluster already has its device space ("edge");
+        # unqualified creates land there.
+        with FederatedRuntime("fresh") as fresh:
+            fresh.create_channel("auto-spaced")
+            record = fresh.runtime.nameserver.lookup("auto-spaced")
+            assert record.address_space == "edge"
+        # A non-serving cluster has no spaces: one is created on demand.
+        with FederatedRuntime("leaf", serve=False) as leaf:
+            leaf.create_channel("auto2")
+            record = leaf.runtime.nameserver.lookup("auto2")
+            assert record.address_space == "main"

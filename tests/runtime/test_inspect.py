@@ -1,0 +1,127 @@
+"""Tests for cluster introspection (snapshots, leak checks, wire op)."""
+
+import pytest
+
+from repro.core.connection import ConnectionMode
+from repro.runtime.inspect import (
+    render,
+    snapshot,
+    total_live_items,
+)
+from repro.runtime.runtime import Runtime
+
+
+@pytest.fixture()
+def rt():
+    runtime = Runtime(name="inspected")
+    runtime.create_address_space("A")
+    yield runtime
+    runtime.shutdown()
+
+
+class TestSnapshot:
+    def test_structure_and_counts(self, rt):
+        channel = rt.create_channel("video", space="A", capacity=8)
+        out = channel.attach(ConnectionMode.OUT, owner="cam")
+        inp = channel.attach(ConnectionMode.IN, owner="viewer")
+        out.put(0, b"abcd")
+        inp.get(0)
+
+        state = snapshot(rt)
+        assert state["runtime"] == "inspected"
+        names = {n["name"] for n in state["names"]}
+        assert "video" in names
+        assert "space:A" in names
+
+        (space,) = state["spaces"]
+        assert space["name"] == "A"
+        (container,) = space["containers"]
+        assert container["name"] == "video"
+        assert container["kind"] == "channel"
+        assert container["capacity"] == 8
+        assert container["puts"] == 1
+        assert container["gets"] == 1
+        assert container["live_items"] == 1
+        assert container["live_bytes"] == 4
+        assert container["input_connections"] == 1
+        assert container["output_connections"] == 1
+        owners = {c["owner"] for c in container["connections"]}
+        assert owners == {"cam", "viewer"}
+
+    def test_snapshot_is_codec_domain(self, rt):
+        from repro.marshal import get_codec
+
+        rt.create_channel("c", space="A")
+        rt.create_queue("q", space="A")
+        state = snapshot(rt)
+        for codec_name in ("xdr", "jdr"):
+            codec = get_codec(codec_name)
+            assert codec.decode(codec.encode(state)) == state
+
+    def test_total_live_items(self, rt):
+        channel = rt.create_channel("c", space="A")
+        out = channel.attach(ConnectionMode.OUT)
+        inp = channel.attach(ConnectionMode.IN)
+        assert total_live_items(rt) == 0
+        out.put(0, "x")
+        out.put(1, "y")
+        assert total_live_items(rt) == 2
+        inp.consume(0)
+        assert total_live_items(rt) == 1
+
+    def test_render_is_readable(self, rt):
+        channel = rt.create_channel("c", space="A")
+        out = channel.attach(ConnectionMode.OUT)
+        out.put(0, b"abc")
+        text = render(snapshot(rt))
+        assert "inspected" in text
+        assert "'c'" in text
+        assert "1 live" in text
+
+    def test_thread_states_reported(self, rt):
+        import threading
+
+        gate = threading.Event()
+        rt.spawn("A", gate.wait, name="worker")
+        state = snapshot(rt)
+        (space,) = state["spaces"]
+        worker = next(t for t in space["threads"]
+                      if t["name"] == "worker")
+        assert worker["alive"] is True
+        assert worker["failed"] is False
+        gate.set()
+
+
+class TestInspectOverWire:
+    def test_client_inspects_cluster(self):
+        from repro import (
+            ConnectionMode,
+            Runtime,
+            StampedeClient,
+            StampedeServer,
+        )
+
+        runtime = Runtime()
+        server = StampedeServer(runtime).start()
+        try:
+            host, port = server.address
+            with StampedeClient(host, port,
+                                client_name="inspector") as client:
+                client.create_channel("watched")
+                out = client.attach("watched", ConnectionMode.OUT)
+                out.put(7, b"payload")
+                state = client.inspect()
+                container = next(
+                    c
+                    for space in state["spaces"]
+                    for c in space["containers"]
+                    if c["name"] == "watched"
+                )
+                assert container["live_items"] == 1
+                assert container["puts"] == 1
+                # The client's own surrogate connection is visible.
+                assert any("inspector" in c["owner"]
+                           for c in container["connections"])
+        finally:
+            server.close()
+            runtime.shutdown()

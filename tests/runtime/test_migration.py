@@ -1,0 +1,137 @@
+"""Tests for container migration between address spaces."""
+
+import pytest
+
+from repro.core.connection import ConnectionMode
+from repro.errors import (
+    AddressSpaceError,
+    BadTimestampError,
+    NameNotBoundError,
+    StampedeError,
+)
+from repro.runtime.runtime import Runtime
+
+
+@pytest.fixture()
+def rt():
+    runtime = Runtime(gc_interval=0.01)
+    runtime.create_address_space("A")
+    runtime.create_address_space("B")
+    yield runtime
+    runtime.shutdown()
+
+
+class TestMigration:
+    def test_items_and_identity_travel(self, rt):
+        channel = rt.create_channel("video", space="A", capacity=16)
+        out = channel.attach(ConnectionMode.OUT)
+        for ts in range(3):
+            out.put(ts, f"frame-{ts}")
+        moved = rt.migrate_container("video", "B")
+        assert rt.nameserver.lookup("video").address_space == "B"
+        assert rt.lookup_container("video") is moved
+        assert moved.capacity == 16
+        assert moved.live_timestamps() == [0, 1, 2]
+        inp = rt.attach("video", ConnectionMode.IN, from_space="B")
+        assert inp.get(1, block=False) == (1, "frame-1")
+
+    def test_gc_state_travels(self, rt):
+        channel = rt.create_channel("c", space="A")
+        out = channel.attach(ConnectionMode.OUT)
+        inp = channel.attach(ConnectionMode.IN)
+        out.put(0, "x")
+        inp.consume(0)
+        moved = rt.migrate_container("c", "B")
+        new_out = moved.attach(ConnectionMode.OUT)
+        with pytest.raises(BadTimestampError):
+            new_out.put(0, "reuse")
+
+    def test_old_instance_destroyed_and_waiters_woken(self, rt):
+        import threading
+        import time
+
+        channel = rt.create_channel("c", space="A")
+        inp = channel.attach(ConnectionMode.IN)
+        failures = []
+
+        def blocked():
+            try:
+                inp.get(9, timeout=10.0)
+            except StampedeError as exc:
+                failures.append(type(exc).__name__)
+
+        t = threading.Thread(target=blocked)
+        t.start()
+        time.sleep(0.05)
+        rt.migrate_container("c", "B")
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert failures
+        assert channel.destroyed
+
+    def test_new_home_gc_sweeps_the_migrant(self, rt):
+        import time
+
+        rt.create_channel("c", space="A")
+        moved = rt.migrate_container("c", "B")
+        out = moved.attach(ConnectionMode.OUT)
+        inp = moved.attach(ConnectionMode.IN)
+        out.put(0, "x")
+        inp.consume_until(100)
+        deadline = time.monotonic() + 3.0
+        while moved.live_timestamps() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert moved.live_timestamps() == []
+
+    def test_migrate_to_same_space_is_noop(self, rt):
+        channel = rt.create_channel("c", space="A")
+        assert rt.migrate_container("c", "A") is channel
+        assert not channel.destroyed
+
+    def test_unknown_name_or_space_rejected(self, rt):
+        with pytest.raises(NameNotBoundError):
+            rt.migrate_container("ghost", "B")
+        rt.create_channel("c", space="A")
+        with pytest.raises(AddressSpaceError):
+            rt.migrate_container("c", "Z")
+        # A failed migration must leave the original intact.
+        assert rt.nameserver.lookup("c").address_space == "A"
+
+    def test_queue_migrates_with_redelivery(self, rt):
+        from repro.core.timestamps import OLDEST
+
+        queue = rt.create_queue("jobs", space="A")
+        out = queue.attach(ConnectionMode.OUT)
+        worker = queue.attach(ConnectionMode.IN)
+        out.put(0, "pending-job")
+        out.put(1, "queued-job")
+        worker.get(OLDEST)  # dequeued, unconsumed: must redeliver
+        moved = rt.migrate_container("jobs", "B")
+        new_worker = moved.attach(ConnectionMode.IN)
+        assert new_worker.get(OLDEST, block=False) == (0, "pending-job")
+        assert new_worker.get(OLDEST, block=False) == (1, "queued-job")
+
+    def test_remote_client_survives_via_reattach(self, rt):
+        """An end device whose channel migrated re-attaches by name and
+        continues — the dynamic-join discipline doubling as migration
+        recovery."""
+        from repro import StampedeClient, StampedeServer
+        from repro.errors import StampedeError as SErr
+
+        server = StampedeServer(rt, device_spaces=["A"]).start()
+        try:
+            host, port = server.address
+            with StampedeClient(host, port) as client:
+                client.create_channel("mobile")
+                out = client.attach("mobile", ConnectionMode.OUT)
+                out.put(0, b"before")
+                rt.migrate_container("mobile", "B")
+                with pytest.raises(SErr):
+                    out.put(1, b"stale-connection")
+                fresh = client.attach("mobile", ConnectionMode.OUT)
+                fresh.put(1, b"after")
+                reader = client.attach("mobile", ConnectionMode.IN)
+                assert reader.get(0, timeout=5.0) == (0, b"before")
+                assert reader.get(1, timeout=5.0) == (1, b"after")
+        finally:
+            server.close()

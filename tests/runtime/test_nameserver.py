@@ -1,0 +1,110 @@
+"""Unit tests for the name server."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import NameAlreadyBoundError, NameNotBoundError
+from repro.runtime.nameserver import NameRecord, NameServer
+
+
+@pytest.fixture()
+def ns():
+    return NameServer()
+
+
+class TestBindings:
+    def test_register_then_lookup(self, ns):
+        record = NameRecord(name="video-1", kind="channel",
+                            address_space="N1",
+                            metadata={"use": "camera feed"})
+        ns.register(record)
+        assert ns.lookup("video-1") == record
+
+    def test_duplicate_name_rejected(self, ns):
+        ns.register(NameRecord(name="x", kind="channel"))
+        with pytest.raises(NameAlreadyBoundError):
+            ns.register(NameRecord(name="x", kind="queue"))
+
+    def test_unregister_returns_record_and_frees_name(self, ns):
+        record = NameRecord(name="x", kind="channel")
+        ns.register(record)
+        assert ns.unregister("x") == record
+        assert not ns.contains("x")
+        ns.register(NameRecord(name="x", kind="queue"))  # reusable
+
+    def test_lookup_missing_raises(self, ns):
+        with pytest.raises(NameNotBoundError):
+            ns.lookup("ghost")
+
+    def test_unregister_missing_raises(self, ns):
+        with pytest.raises(NameNotBoundError):
+            ns.unregister("ghost")
+
+    def test_len_and_contains(self, ns):
+        assert len(ns) == 0
+        ns.register(NameRecord(name="a", kind="channel"))
+        assert len(ns) == 1
+        assert ns.contains("a")
+        assert not ns.contains("b")
+
+    def test_clear(self, ns):
+        ns.register(NameRecord(name="a", kind="channel"))
+        ns.clear()
+        assert len(ns) == 0
+
+
+class TestListing:
+    def test_list_sorted_by_name(self, ns):
+        for name in ("zeta", "alpha", "mid"):
+            ns.register(NameRecord(name=name, kind="channel"))
+        assert [r.name for r in ns.list()] == ["alpha", "mid", "zeta"]
+
+    def test_list_filtered_by_kind(self, ns):
+        ns.register(NameRecord(name="c1", kind="channel"))
+        ns.register(NameRecord(name="q1", kind="queue"))
+        ns.register(NameRecord(name="c2", kind="channel"))
+        assert [r.name for r in ns.list(kind="channel")] == ["c1", "c2"]
+        assert [r.name for r in ns.list(kind="queue")] == ["q1"]
+        assert ns.list(kind="thread") == []
+
+
+class TestWaitFor:
+    def test_wait_for_already_bound_returns_immediately(self, ns):
+        ns.register(NameRecord(name="x", kind="channel"))
+        assert ns.wait_for("x", timeout=0.01).name == "x"
+
+    def test_wait_for_blocks_until_registration(self, ns):
+        results = []
+
+        def waiter():
+            results.append(ns.wait_for("late", timeout=5.0))
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)
+        assert results == []
+        ns.register(NameRecord(name="late", kind="channel"))
+        t.join(timeout=2.0)
+        assert results[0].name == "late"
+
+    def test_wait_for_timeout_raises(self, ns):
+        with pytest.raises(NameNotBoundError):
+            ns.wait_for("never", timeout=0.05)
+
+    def test_many_waiters_all_wake(self, ns):
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(ns.wait_for("x", timeout=5.0))
+            )
+            for _ in range(5)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        ns.register(NameRecord(name="x", kind="channel"))
+        for t in threads:
+            t.join(timeout=2.0)
+        assert len(results) == 5

@@ -1,0 +1,139 @@
+"""Unit tests for the operation wire protocol."""
+
+import pytest
+
+from repro.errors import DecodeError, RpcError
+from repro.runtime import ops
+
+
+class TestRequests:
+    def test_round_trip_every_operation(self):
+        samples = {
+            ops.OP_HELLO: {"client_name": "cam-1", "codec": "jdr"},
+            ops.OP_CREATE_CHANNEL: {
+                "name": "c", "space": "N1", "bounded": True,
+                "capacity": 32,
+            },
+            ops.OP_CREATE_QUEUE: {
+                "name": "q", "space": "", "bounded": False, "capacity": 0,
+                "auto_consume": True,
+            },
+            ops.OP_ATTACH: {
+                "container": "c", "mode": "inout", "wait": True,
+                "wait_timeout": 2.5, "filter": b"\x07spec",
+            },
+            ops.OP_DETACH: {"connection_id": 7},
+            ops.OP_PUT: {
+                "connection_id": 7, "timestamp": 2**40,
+                "payload": b"\x00\x01frame", "block": True,
+                "has_timeout": True, "timeout": 0.25,
+            },
+            ops.OP_GET: {
+                "connection_id": 7, "vt_kind": ops.VT_NEWEST,
+                "timestamp": 0, "block": False, "has_timeout": False,
+                "timeout": 0.0,
+            },
+            ops.OP_CONSUME: {"connection_id": 1, "timestamp": 5},
+            ops.OP_CONSUME_UNTIL: {"connection_id": 1, "timestamp": 9},
+            ops.OP_NS_REGISTER: {
+                "name": "n", "kind": "thread", "metadata": b"meta",
+            },
+            ops.OP_NS_UNREGISTER: {"name": "n"},
+            ops.OP_NS_LOOKUP: {"name": "n"},
+            ops.OP_NS_LIST: {"kind": "channel"},
+            ops.OP_PING: {"payload": b"x" * 100},
+            ops.OP_BYE: {},
+            ops.OP_SET_REALTIME: {"tick_period": 1 / 30,
+                                  "tolerance": 0.005},
+            ops.OP_GC_REPORT: {},
+            ops.OP_INSPECT: {},
+        }
+        assert set(samples) == set(ops.OP_SCHEMAS)
+        for opcode, args in samples.items():
+            frame = ops.encode_request(17, opcode, args)
+            request_id, decoded_op, decoded_args = ops.decode_request(frame)
+            assert request_id == 17
+            assert decoded_op == opcode
+            assert decoded_args == args
+
+    def test_unknown_opcode_on_encode(self):
+        with pytest.raises(RpcError):
+            ops.encode_request(1, 999, {})
+
+    def test_unknown_opcode_on_decode(self):
+        from repro.marshal.xdr import XdrEncoder
+
+        enc = XdrEncoder()
+        enc.pack_uint(1)
+        enc.pack_uint(999)
+        with pytest.raises(DecodeError):
+            ops.decode_request(enc.getvalue())
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(RpcError):
+            ops.encode_request(1, ops.OP_PING, {})
+
+    def test_truncated_request_rejected(self):
+        frame = ops.encode_request(1, ops.OP_PING, {"payload": b"abcd"})
+        with pytest.raises(DecodeError):
+            ops.decode_request(frame[:-2])
+
+    def test_opcode_for_name(self):
+        assert ops.opcode_for("get") == ops.OP_GET
+        assert ops.opcode_for("hello") == ops.OP_HELLO
+
+
+class TestResponses:
+    def test_ok_response_round_trip(self):
+        frame = ops.encode_ok_response(
+            42, ops.OP_GET,
+            {"timestamp": 99, "payload": b"frame-bytes"},
+            reclaims=[("video", 3), ("audio", 7)],
+        )
+        response = ops.decode_response(frame, ops.OP_GET)
+        assert response.request_id == 42
+        assert response.ok
+        assert response.results == {
+            "timestamp": 99, "payload": b"frame-bytes",
+        }
+        assert response.reclaims == [("video", 3), ("audio", 7)]
+
+    def test_error_response_round_trip(self):
+        frame = ops.encode_error_response(
+            7, "ItemNotFoundError", "no item at timestamp 5"
+        )
+        response = ops.decode_response(frame, ops.OP_GET)
+        assert not response.ok
+        assert response.error_type == "ItemNotFoundError"
+        assert "timestamp 5" in response.error_message
+        assert response.reclaims == []
+
+    def test_empty_results_response(self):
+        frame = ops.encode_ok_response(1, ops.OP_BYE, {})
+        response = ops.decode_response(frame, ops.OP_BYE)
+        assert response.ok
+        assert response.results == {}
+
+    def test_hostile_reclaim_count_rejected(self):
+        from repro.marshal.xdr import XdrEncoder
+
+        enc = XdrEncoder()
+        enc.pack_uint(1)
+        enc.pack_uint(ops.STATUS_OK)
+        enc.pack_uint(2**31)  # claims two billion reclaim entries
+        with pytest.raises(DecodeError):
+            ops.decode_response(enc.getvalue(), ops.OP_BYE)
+
+    def test_unknown_status_rejected(self):
+        from repro.marshal.xdr import XdrEncoder
+
+        enc = XdrEncoder()
+        enc.pack_uint(1)
+        enc.pack_uint(77)
+        enc.pack_uint(0)
+        with pytest.raises(DecodeError):
+            ops.decode_response(enc.getvalue(), ops.OP_BYE)
+
+    def test_peek_request_id(self):
+        frame = ops.encode_ok_response(123456, ops.OP_BYE, {})
+        assert ops.peek_request_id(frame) == 123456

@@ -1,0 +1,214 @@
+"""Unit tests for the in-process cluster runtime and space isolation."""
+
+import pytest
+
+from repro.core.connection import Connection, ConnectionMode
+from repro.errors import (
+    AddressSpaceError,
+    NameNotBoundError,
+    RuntimeStateError,
+)
+from repro.runtime.runtime import IsolatedConnection, Runtime
+
+
+@pytest.fixture()
+def rt():
+    runtime = Runtime(gc_interval=0.01)
+    runtime.create_address_space("A")
+    runtime.create_address_space("B")
+    yield runtime
+    runtime.shutdown()
+
+
+class TestAddressSpaces:
+    def test_create_and_fetch(self, rt):
+        assert rt.address_space("A").name == "A"
+        assert len(rt.address_spaces()) == 2
+
+    def test_spaces_registered_in_nameserver(self, rt):
+        assert rt.nameserver.contains("space:A")
+        assert rt.nameserver.contains("space:B")
+
+    def test_duplicate_space_rejected(self, rt):
+        with pytest.raises(AddressSpaceError):
+            rt.create_address_space("A")
+
+    def test_unknown_space_raises(self, rt):
+        with pytest.raises(AddressSpaceError):
+            rt.address_space("Z")
+
+    def test_destroy_space_unbinds_everything(self, rt):
+        rt.create_channel("c", space="A")
+        rt.destroy_address_space("A")
+        assert not rt.nameserver.contains("space:A")
+        assert not rt.nameserver.contains("c")
+        with pytest.raises(AddressSpaceError):
+            rt.address_space("A")
+
+    def test_destroy_missing_space_is_noop(self, rt):
+        rt.destroy_address_space("nope")
+
+
+class TestContainers:
+    def test_create_channel_registers_name(self, rt):
+        rt.create_channel("video", space="A", metadata={"fps": 30})
+        record = rt.nameserver.lookup("video")
+        assert record.kind == "channel"
+        assert record.address_space == "A"
+        assert record.metadata == {"fps": 30}
+
+    def test_create_queue_registers_name(self, rt):
+        rt.create_queue("work", space="B", auto_consume=True)
+        assert rt.nameserver.lookup("work").kind == "queue"
+
+    def test_lookup_container_resolves(self, rt):
+        ch = rt.create_channel("c", space="A")
+        assert rt.lookup_container("c") is ch
+
+    def test_lookup_unknown_raises(self, rt):
+        with pytest.raises(NameNotBoundError):
+            rt.lookup_container("ghost")
+
+    def test_destroy_container(self, rt):
+        ch = rt.create_channel("c", space="A")
+        rt.destroy_container("c")
+        assert ch.destroyed
+        assert not rt.nameserver.contains("c")
+
+
+class TestAttachAndIsolation:
+    def test_same_space_attach_is_direct(self, rt):
+        rt.create_channel("c", space="A")
+        conn = rt.attach("c", ConnectionMode.OUT, from_space="A")
+        assert isinstance(conn, Connection)
+
+    def test_unspecified_space_is_direct(self, rt):
+        rt.create_channel("c", space="A")
+        conn = rt.attach("c", ConnectionMode.OUT)
+        assert isinstance(conn, Connection)
+
+    def test_cross_space_attach_is_isolated(self, rt):
+        rt.create_channel("c", space="A")
+        conn = rt.attach("c", ConnectionMode.OUT, from_space="B")
+        assert isinstance(conn, IsolatedConnection)
+
+    def test_isolation_prevents_reference_sharing(self, rt):
+        rt.create_channel("c", space="A")
+        remote_out = rt.attach("c", ConnectionMode.OUT, from_space="B")
+        local_in = rt.attach("c", ConnectionMode.IN, from_space="A")
+        original = {"pixels": [1, 2, 3]}
+        remote_out.put(0, original)
+        _, stored = local_in.get(0)
+        assert stored == original
+        assert stored is not original
+        original["pixels"].append(4)  # mutation must not leak across
+        assert stored["pixels"] == [1, 2, 3]
+
+    def test_isolated_get_also_copies(self, rt):
+        rt.create_channel("c", space="A")
+        local_out = rt.attach("c", ConnectionMode.OUT, from_space="A")
+        remote_in = rt.attach("c", ConnectionMode.IN, from_space="B")
+        local_out.put(0, [1, 2])
+        _, first = remote_in.get(0)
+        _, second = remote_in.get(0)
+        assert first == second
+        assert first is not second
+
+    def test_custom_serializer_handler_is_used(self, rt):
+        # A user type outside the codec domain crosses spaces through the
+        # container's serializer handlers (§3.1 "Handler Functions").
+        class Frame:
+            def __init__(self, pixels):
+                self.pixels = pixels
+
+        ch = rt.create_channel("frames", space="A")
+        ch.set_serializer(
+            serializer=lambda frame: bytes(frame.pixels),
+            deserializer=lambda data: Frame(list(data)),
+        )
+        out = rt.attach("frames", ConnectionMode.OUT, from_space="B")
+        inp = rt.attach("frames", ConnectionMode.IN, from_space="A")
+        out.put(0, Frame([1, 2, 3]))
+        _, frame = inp.get(0)
+        assert isinstance(frame, Frame)
+        assert frame.pixels == [1, 2, 3]
+
+    def test_isolated_connection_full_api(self, rt):
+        rt.create_channel("c", space="A", capacity=10)
+        conn = rt.attach("c", ConnectionMode.INOUT, from_space="B")
+        conn.put(0, "v")
+        assert conn.get(0) == (0, "v")
+        conn.consume(0)
+        conn.consume_until(5)
+        assert conn.interest_floor == 5
+        assert conn.mode is ConnectionMode.INOUT
+        assert not conn.detached
+        conn.detach()
+        assert conn.detached
+
+    def test_attach_wait_for_late_name(self, rt):
+        import threading
+        import time
+
+        results = []
+
+        def late_attacher():
+            conn = rt.attach("late", ConnectionMode.IN, wait=5.0)
+            results.append(conn)
+
+        t = threading.Thread(target=late_attacher)
+        t.start()
+        time.sleep(0.05)
+        rt.create_channel("late", space="A")
+        t.join(timeout=2.0)
+        assert len(results) == 1
+
+    def test_attach_wait_timeout(self, rt):
+        with pytest.raises(NameNotBoundError):
+            rt.attach("never", ConnectionMode.IN, wait=0.05)
+
+
+class TestCrossSpacePipeline:
+    def test_producer_consumer_across_spaces(self, rt):
+        rt.create_channel("pipe", space="A")
+
+        def producer():
+            out = rt.attach("pipe", ConnectionMode.OUT, from_space="B")
+            for ts in range(20):
+                out.put(ts, {"n": ts})
+
+        def consumer():
+            inp = rt.attach("pipe", ConnectionMode.IN, from_space="A")
+            values = []
+            for ts in range(20):
+                _, value = inp.get(ts, timeout=5.0)
+                values.append(value["n"])
+                inp.consume(ts)
+            return values
+
+        rt.spawn("B", producer)
+        consumer_thread = rt.spawn("A", consumer)
+        assert consumer_thread.join(timeout=10.0) == list(range(20))
+
+
+class TestShutdown:
+    def test_shutdown_destroys_everything(self):
+        rt = Runtime()
+        rt.create_address_space("A")
+        ch = rt.create_channel("c", space="A")
+        rt.shutdown()
+        assert ch.destroyed
+        assert len(rt.nameserver) == 0
+        with pytest.raises(RuntimeStateError):
+            rt.create_address_space("B")
+
+    def test_shutdown_is_idempotent(self):
+        rt = Runtime()
+        rt.shutdown()
+        rt.shutdown()
+
+    def test_context_manager(self):
+        with Runtime() as rt:
+            rt.create_address_space("A")
+        with pytest.raises(RuntimeStateError):
+            rt.attach("x", ConnectionMode.IN)

@@ -1,0 +1,248 @@
+"""Unit tests for the per-session operation executor (no sockets)."""
+
+import pytest
+
+from repro.core.connection import ConnectionMode
+from repro.errors import (
+    NameAlreadyBoundError,
+    NameNotBoundError,
+    RpcError,
+)
+from repro.marshal import get_codec
+from repro.runtime import ops
+from repro.runtime.runtime import Runtime
+from repro.runtime.service import SessionService
+
+
+@pytest.fixture()
+def rt():
+    runtime = Runtime(gc_interval=10.0)
+    runtime.create_address_space("N1")
+    yield runtime
+    runtime.shutdown()
+
+
+@pytest.fixture()
+def service(rt):
+    return SessionService(rt, space="N1", client_name="unit")
+
+
+def attach(service, container, mode="inout", filter_bytes=b""):
+    return service.execute(ops.OP_ATTACH, {
+        "container": container, "mode": mode, "wait": False,
+        "wait_timeout": 0.0, "filter": filter_bytes,
+    })["connection_id"]
+
+
+class TestHello:
+    def test_hello_sets_codec_and_returns_identity(self, service):
+        results = service.execute(ops.OP_HELLO, {
+            "client_name": "camera-7", "codec": "jdr",
+        })
+        assert results["space"] == "N1"
+        assert results["session_id"] == service.session_id
+        assert service.client_name == "camera-7"
+        assert service.codec.name == "jdr"
+
+    def test_unknown_codec_rejected(self, service):
+        with pytest.raises(KeyError):
+            service.execute(ops.OP_HELLO, {
+                "client_name": "x", "codec": "protobuf",
+            })
+
+
+class TestContainerOps:
+    def test_create_channel_in_assigned_space(self, rt, service):
+        service.execute(ops.OP_CREATE_CHANNEL, {
+            "name": "c", "space": "", "bounded": True, "capacity": 4,
+        })
+        record = rt.nameserver.lookup("c")
+        assert record.address_space == "N1"
+        assert rt.lookup_container("c").capacity == 4
+
+    def test_create_queue_explicit_space(self, rt, service):
+        rt.create_address_space("N2")
+        service.execute(ops.OP_CREATE_QUEUE, {
+            "name": "q", "space": "N2", "bounded": False, "capacity": 0,
+            "auto_consume": True,
+        })
+        assert rt.nameserver.lookup("q").address_space == "N2"
+        assert rt.lookup_container("q").auto_consume
+
+    def test_duplicate_create_raises(self, service):
+        args = {"name": "dup", "space": "", "bounded": False,
+                "capacity": 0}
+        service.execute(ops.OP_CREATE_CHANNEL, args)
+        with pytest.raises(NameAlreadyBoundError):
+            service.execute(ops.OP_CREATE_CHANNEL, args)
+
+
+class TestIoOps:
+    def test_put_get_consume_through_the_service(self, rt, service):
+        service.execute(ops.OP_CREATE_CHANNEL, {
+            "name": "c", "space": "", "bounded": False, "capacity": 0,
+        })
+        conn = attach(service, "c")
+        payload = service.codec.encode({"k": 1})
+        service.execute(ops.OP_PUT, {
+            "connection_id": conn, "timestamp": 5, "payload": payload,
+            "block": True, "has_timeout": False, "timeout": 0.0,
+        })
+        results = service.execute(ops.OP_GET, {
+            "connection_id": conn, "vt_kind": ops.VT_CONCRETE,
+            "timestamp": 5, "block": False, "has_timeout": False,
+            "timeout": 0.0,
+        })
+        assert results["timestamp"] == 5
+        assert service.codec.decode(results["payload"]) == {"k": 1}
+        service.execute(ops.OP_CONSUME, {
+            "connection_id": conn, "timestamp": 5,
+        })
+        assert rt.lookup_container("c").live_timestamps() == []
+
+    def test_marker_kinds(self, rt, service):
+        service.execute(ops.OP_CREATE_CHANNEL, {
+            "name": "c", "space": "", "bounded": False, "capacity": 0,
+        })
+        conn = attach(service, "c")
+        for ts in (3, 9):
+            service.execute(ops.OP_PUT, {
+                "connection_id": conn, "timestamp": ts,
+                "payload": service.codec.encode(ts),
+                "block": True, "has_timeout": False, "timeout": 0.0,
+            })
+        newest = service.execute(ops.OP_GET, {
+            "connection_id": conn, "vt_kind": ops.VT_NEWEST,
+            "timestamp": 0, "block": False, "has_timeout": False,
+            "timeout": 0.0,
+        })
+        oldest = service.execute(ops.OP_GET, {
+            "connection_id": conn, "vt_kind": ops.VT_OLDEST,
+            "timestamp": 0, "block": False, "has_timeout": False,
+            "timeout": 0.0,
+        })
+        assert newest["timestamp"] == 9
+        assert oldest["timestamp"] == 3
+
+    def test_bad_vt_kind_rejected(self, service):
+        service.execute(ops.OP_CREATE_CHANNEL, {
+            "name": "c", "space": "", "bounded": False, "capacity": 0,
+        })
+        conn = attach(service, "c")
+        with pytest.raises(RpcError):
+            service.execute(ops.OP_GET, {
+                "connection_id": conn, "vt_kind": 99, "timestamp": 0,
+                "block": False, "has_timeout": False, "timeout": 0.0,
+            })
+
+    def test_unknown_connection_rejected(self, service):
+        with pytest.raises(RpcError):
+            service.execute(ops.OP_PUT, {
+                "connection_id": 777, "timestamp": 0, "payload": b"",
+                "block": True, "has_timeout": False, "timeout": 0.0,
+            })
+
+    def test_unknown_mode_rejected(self, service):
+        service.execute(ops.OP_CREATE_CHANNEL, {
+            "name": "c", "space": "", "bounded": False, "capacity": 0,
+        })
+        with pytest.raises(RpcError):
+            attach(service, "c", mode="sideways")
+
+    def test_detach_removes_connection(self, service):
+        service.execute(ops.OP_CREATE_CHANNEL, {
+            "name": "c", "space": "", "bounded": False, "capacity": 0,
+        })
+        conn = attach(service, "c")
+        service.execute(ops.OP_DETACH, {"connection_id": conn})
+        with pytest.raises(RpcError):
+            service.execute(ops.OP_DETACH, {"connection_id": conn})
+
+    def test_unhandled_opcode(self, service):
+        with pytest.raises(RpcError):
+            service.execute(999, {})
+
+
+class TestReclaimForwarding:
+    def test_reclaims_collected_for_input_attachments(self, rt, service):
+        service.execute(ops.OP_CREATE_CHANNEL, {
+            "name": "c", "space": "", "bounded": False, "capacity": 0,
+        })
+        conn = attach(service, "c")
+        service.execute(ops.OP_PUT, {
+            "connection_id": conn, "timestamp": 1,
+            "payload": service.codec.encode("x"),
+            "block": True, "has_timeout": False, "timeout": 0.0,
+        })
+        service.execute(ops.OP_CONSUME, {
+            "connection_id": conn, "timestamp": 1,
+        })
+        assert service.drain_reclaims() == [("c", 1)]
+        assert service.drain_reclaims() == []  # drained exactly once
+
+    def test_output_only_attachment_installs_no_forwarder(self, rt,
+                                                          service):
+        service.execute(ops.OP_CREATE_CHANNEL, {
+            "name": "c", "space": "", "bounded": False, "capacity": 0,
+        })
+        attach(service, "c", mode="out")
+        channel = rt.lookup_container("c")
+        # Only consume-capable sessions need reclamation notices.
+        assert channel.handlers.reclaim_handlers == []
+
+    def test_forwarder_installed_once_per_container(self, rt, service):
+        service.execute(ops.OP_CREATE_CHANNEL, {
+            "name": "c", "space": "", "bounded": False, "capacity": 0,
+        })
+        attach(service, "c", mode="in")
+        attach(service, "c", mode="in")
+        channel = rt.lookup_container("c")
+        assert len(channel.handlers.reclaim_handlers) == 1
+
+
+class TestClose:
+    def test_close_detaches_and_removes_forwarders(self, rt, service):
+        service.execute(ops.OP_CREATE_CHANNEL, {
+            "name": "c", "space": "", "bounded": False, "capacity": 0,
+        })
+        attach(service, "c", mode="in")
+        channel = rt.lookup_container("c")
+        assert len(channel.input_connections()) == 1
+        service.close()
+        assert service.closed
+        assert channel.input_connections() == []
+        assert channel.handlers.reclaim_handlers == []
+
+    def test_close_is_idempotent(self, service):
+        service.close()
+        service.close()
+
+    def test_bye_closes(self, service):
+        service.execute(ops.OP_BYE, {})
+        assert service.closed
+
+
+class TestNameServerOps:
+    def test_register_lookup_unregister(self, service):
+        metadata = service.codec.encode({"role": "sensor"})
+        service.execute(ops.OP_NS_REGISTER, {
+            "name": "thing", "kind": "thread", "metadata": metadata,
+        })
+        results = service.execute(ops.OP_NS_LOOKUP, {"name": "thing"})
+        assert results["kind"] == "thread"
+        assert service.codec.decode(results["metadata"]) == \
+            {"role": "sensor"}
+        service.execute(ops.OP_NS_UNREGISTER, {"name": "thing"})
+        with pytest.raises(NameNotBoundError):
+            service.execute(ops.OP_NS_LOOKUP, {"name": "thing"})
+
+    def test_ns_list_filters(self, service):
+        service.execute(ops.OP_NS_REGISTER, {
+            "name": "t1", "kind": "thread", "metadata": b"",
+        })
+        names = service.execute(ops.OP_NS_LIST,
+                                {"kind": "thread"})["names"]
+        assert names == ["t1"]
+        everything = service.execute(ops.OP_NS_LIST, {"kind": ""})["names"]
+        assert "t1" in everything
+        assert "space:N1" in everything

@@ -1,0 +1,200 @@
+"""Unit tests for surrogates over a real socket pair (no full server)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import ops
+from repro.runtime.runtime import Runtime
+from repro.runtime.service import SessionService
+from repro.runtime.surrogate import LeaseReaper, Surrogate
+from repro.transport.tcp import TcpListener, connect_tcp
+
+
+@pytest.fixture()
+def rt():
+    runtime = Runtime(gc_interval=10.0)
+    runtime.create_address_space("N1")
+    yield runtime
+    runtime.shutdown()
+
+
+@pytest.fixture()
+def wired(rt):
+    """A started surrogate and the device-side raw framed connection."""
+    listener = TcpListener()
+    holder = {}
+    t = threading.Thread(
+        target=lambda: holder.update(conn=connect_tcp(listener.address))
+    )
+    t.start()
+    server_side = listener.accept(timeout=5.0)
+    t.join()
+    device = holder["conn"]
+    service = SessionService(rt, space="N1")
+    surrogate = Surrogate(server_side, service).start()
+    yield surrogate, device
+    device.close()
+    surrogate.close()
+    listener.close()
+
+
+def roundtrip(device, request_id, opcode, args):
+    device.send_frame(ops.encode_request(request_id, opcode, args))
+    return ops.decode_response(device.recv_frame(timeout=5.0), opcode)
+
+
+class TestRequestHandling:
+    def test_ping_round_trip(self, wired):
+        surrogate, device = wired
+        response = roundtrip(device, 1, ops.OP_PING,
+                             {"payload": b"echo"})
+        assert response.ok
+        assert response.results["payload"] == b"echo"
+        assert surrogate.requests_served == 1
+
+    def test_malformed_frame_yields_error_response(self, wired):
+        _, device = wired
+        device.send_frame(b"\x00\x00\x00\x01\x00\x00\x03\xe7")  # op 999
+        frame = device.recv_frame(timeout=5.0)
+        response = ops.decode_response(frame, ops.OP_PING)
+        assert not response.ok
+        assert response.error_type in ("DecodeError", "RpcError")
+
+    def test_application_error_becomes_typed_response(self, wired):
+        _, device = wired
+        response = roundtrip(device, 3, ops.OP_NS_LOOKUP,
+                             {"name": "missing"})
+        assert not response.ok
+        assert response.error_type == "NameNotBoundError"
+
+    def test_activity_refreshes_lease(self, wired):
+        surrogate, device = wired
+        time.sleep(0.1)
+        before = surrogate.idle_seconds
+        roundtrip(device, 4, ops.OP_PING, {"payload": b""})
+        assert surrogate.idle_seconds < before
+
+    def test_bye_closes_surrogate_after_responding(self, wired):
+        surrogate, device = wired
+        response = roundtrip(device, 5, ops.OP_BYE, {})
+        assert response.ok
+        deadline = time.monotonic() + 2.0
+        while surrogate.alive and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not surrogate.alive
+        assert surrogate.service.closed
+
+    def test_device_disconnect_closes_surrogate(self, wired):
+        surrogate, device = wired
+        device.close()
+        deadline = time.monotonic() + 2.0
+        while surrogate.alive and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not surrogate.alive
+
+    def test_on_close_callback_fires_once(self, rt):
+        listener = TcpListener()
+        holder = {}
+        t = threading.Thread(
+            target=lambda: holder.update(
+                conn=connect_tcp(listener.address))
+        )
+        t.start()
+        server_side = listener.accept(timeout=5.0)
+        t.join()
+        closed = []
+        surrogate = Surrogate(
+            server_side, SessionService(rt, space="N1"),
+            on_close=closed.append,
+        ).start()
+        surrogate.close()
+        surrogate.close()
+        assert closed == [surrogate]
+        holder["conn"].close()
+        listener.close()
+
+
+class TestExecutorHygiene:
+    def test_bogus_connection_ids_do_not_mint_executors(self, wired):
+        """Hostile connection ids must be answered inline, not grow one
+        executor thread each."""
+        surrogate, device = wired
+        for bogus in (1_000, 2_000, 3_000, 4_000):
+            response = roundtrip(device, bogus, ops.OP_CONSUME, {
+                "connection_id": bogus, "timestamp": 0,
+            })
+            assert not response.ok
+            assert response.error_type == "RpcError"
+        assert surrogate._executors == {}
+
+    def test_real_connection_gets_exactly_one_executor(self, rt, wired):
+        surrogate, device = wired
+        rt.create_channel("exec-chan", space="N1")
+        response = roundtrip(device, 1, ops.OP_ATTACH, {
+            "container": "exec-chan", "mode": "inout", "wait": False,
+            "wait_timeout": 0.0, "filter": b"",
+        })
+        conn_id = response.results["connection_id"]
+        from repro.marshal import XdrCodec
+
+        codec = XdrCodec()
+        for i in range(5):
+            reply = roundtrip(device, 10 + i, ops.OP_PUT, {
+                "connection_id": conn_id, "timestamp": i,
+                "payload": codec.encode(i),
+                "block": False, "has_timeout": False, "timeout": 0.0,
+            })
+            assert reply.ok
+        assert list(surrogate._executors) == [conn_id]
+
+
+class TestLeaseReaper:
+    def test_invalid_lease_rejected(self):
+        with pytest.raises(ValueError):
+            LeaseReaper({}, threading.Lock(), lease_timeout=0.0)
+
+    def test_reaper_closes_only_idle_surrogates(self, rt):
+        listener = TcpListener()
+
+        def make():
+            holder = {}
+            t = threading.Thread(
+                target=lambda: holder.update(
+                    conn=connect_tcp(listener.address))
+            )
+            t.start()
+            server_side = listener.accept(timeout=5.0)
+            t.join()
+            surrogate = Surrogate(
+                server_side, SessionService(rt, space="N1")
+            ).start()
+            return surrogate, holder["conn"]
+
+        idle_surrogate, idle_device = make()
+        busy_surrogate, busy_device = make()
+        surrogates = {
+            idle_surrogate.service.session_id: idle_surrogate,
+            busy_surrogate.service.session_id: busy_surrogate,
+        }
+        reaper = LeaseReaper(surrogates, threading.Lock(),
+                             lease_timeout=0.3, check_interval=0.05)
+        reaper.start()
+        try:
+            deadline = time.monotonic() + 3.0
+            request_id = 0
+            while idle_surrogate.alive and time.monotonic() < deadline:
+                request_id += 1
+                roundtrip(busy_device, request_id, ops.OP_PING,
+                          {"payload": b""})
+                time.sleep(0.05)
+            assert not idle_surrogate.alive
+            assert busy_surrogate.alive
+        finally:
+            reaper.stop()
+            idle_device.close()
+            busy_device.close()
+            idle_surrogate.close()
+            busy_surrogate.close()
+            listener.close()

@@ -1,0 +1,81 @@
+"""Cross-validation: the event engine reproduces the analytic models.
+
+The micro figures use closed-form latency models; the app figures use
+event simulation.  This module executes the *same* exchange both ways
+and checks they agree, so the two halves of the harness cannot drift
+apart silently.
+"""
+
+import pytest
+
+from repro.simnet.engine import Pipe, Resource, Simulator
+from repro.simnet.params import DEFAULT_PARAMS
+from repro.simnet.stampede_model import MicroModel
+
+
+class TestEngineMatchesAnalyticModels:
+    @pytest.mark.parametrize("size", [1_000, 10_000, 35_000, 60_000])
+    def test_udp_exchange(self, size):
+        """Event-simulate the Exp. 1 UDP exchange: one transfer over a
+        pipe whose bandwidth/latency mirror the analytic constants."""
+        p = DEFAULT_PARAMS.micro
+        sim = Simulator()
+        wire = Pipe(sim, bandwidth=p.udp_bandwidth,
+                    latency=p.udp_fixed_us / 1e6)
+        done = wire.transfer(size)
+        sim.run()
+        simulated_us = sim.now * 1e6
+        analytic_us = MicroModel().exp1_udp(size)
+        assert simulated_us == pytest.approx(analytic_us, rel=1e-9)
+
+    @pytest.mark.parametrize("size", [5_000, 25_000, 55_000])
+    def test_dstampede_exchange(self, size):
+        """The D-Stampede exchange = wire transfer + runtime processing
+        (modelled as a CPU service)."""
+        p = DEFAULT_PARAMS.micro
+        sim = Simulator()
+        wire = Pipe(sim, bandwidth=p.udp_bandwidth,
+                    latency=p.udp_fixed_us / 1e6)
+        cpu = Resource(sim, 1)
+        runtime_cost = (p.ds_fixed_us + size * p.ds_per_byte_us) / 1e6
+
+        def exchange():
+            yield wire.transfer(size)
+            yield cpu.use(runtime_cost)
+
+        process = sim.process(exchange())
+        sim.run()
+        simulated_us = sim.now * 1e6
+        analytic_us = MicroModel().exp1_dstampede(size)
+        assert simulated_us == pytest.approx(analytic_us, rel=1e-9)
+
+    def test_serialized_pipe_matches_sum_of_transfers(self):
+        """Back-to-back transfers on one pipe serialise exactly —
+        the mechanism behind the egress saturation of Table 1."""
+        sim = Simulator()
+        pipe = Pipe(sim, bandwidth=1_000.0)
+        transfers = [pipe.transfer(500) for _ in range(4)]
+        sim.run()
+        assert sim.now == pytest.approx(4 * 0.5)
+        assert pipe.delivered_bandwidth(sim.now) == pytest.approx(1000.0)
+
+    def test_multithreaded_fps_formula(self):
+        """The simulated multi-threaded mixer rate matches the
+        bottleneck formula min(stream path, egress path) it was
+        calibrated by (within discretisation)."""
+        from repro.simnet.workload import simulate_videoconf
+
+        app = DEFAULT_PARAMS.app
+        for clients, size in ((2, 74_000), (4, 125_000), (6, 89_000)):
+            composite = clients * size
+            stream_period = (composite / app.stream_bandwidth
+                             + app.stream_overhead_s)
+            egress_period = clients * (
+                composite / app.egress_bandwidth
+                + app.egress_send_overhead_s
+            )
+            predicted = 1.0 / max(stream_period, egress_period)
+            measured = simulate_videoconf(
+                "multi", clients, size, frames=60
+            ).fps
+            assert measured == pytest.approx(predicted, rel=0.05)

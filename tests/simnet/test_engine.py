@@ -1,0 +1,278 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimTimeError, SimulationError
+from repro.simnet.engine import Pipe, Resource, Simulator, Store
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestScheduling:
+    def test_timeouts_fire_in_order(self, sim):
+        fired = []
+        sim.timeout(2.0).add_callback(lambda ev: fired.append("b"))
+        sim.timeout(1.0).add_callback(lambda ev: fired.append("a"))
+        sim.timeout(3.0).add_callback(lambda ev: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_break_by_schedule_order(self, sim):
+        fired = []
+        for tag in "xyz":
+            sim.timeout(1.0, tag).add_callback(
+                lambda ev: fired.append(ev.value)
+            )
+        sim.run()
+        assert fired == ["x", "y", "z"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimTimeError):
+            sim.timeout(-1.0)
+
+    def test_at_absolute_time(self, sim):
+        sim.timeout(5.0)
+        sim.run()
+        event = sim.at(7.5)
+        sim.run()
+        assert event.fired
+        assert sim.now == 7.5
+
+    def test_at_in_the_past_rejected(self, sim):
+        sim.timeout(5.0)
+        sim.run()
+        with pytest.raises(SimTimeError):
+            sim.at(1.0)
+
+    def test_run_until_pauses(self, sim):
+        fired = []
+        sim.timeout(1.0).add_callback(lambda ev: fired.append(1))
+        sim.timeout(10.0).add_callback(lambda ev: fired.append(10))
+        assert sim.run(until=5.0) == 5.0
+        assert fired == [1]
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_event_fires_once(self, sim):
+        event = sim.timeout(1.0)
+        sim.run()
+        with pytest.raises(SimulationError):
+            event.fire()
+
+    def test_callback_on_fired_event_runs_next_turn(self, sim):
+        event = sim.timeout(0.0, "v")
+        sim.run()
+        assert event.fired
+        seen = []
+        event.add_callback(lambda ev: seen.append(ev.value))
+        sim.run()
+        assert seen == ["v"]
+
+
+class TestProcesses:
+    def test_process_advances_through_yields(self, sim):
+        log = []
+
+        def proc():
+            log.append(("start", sim.now))
+            yield sim.timeout(1.5)
+            log.append(("mid", sim.now))
+            yield sim.timeout(2.5)
+            log.append(("end", sim.now))
+            return "done"
+
+        process = sim.process(proc())
+        sim.run()
+        assert log == [("start", 0.0), ("mid", 1.5), ("end", 4.0)]
+        assert process.completed.fired
+        assert process.completed.value == "done"
+
+    def test_yield_value_is_event_value(self, sim):
+        got = []
+
+        def proc():
+            value = yield sim.timeout(1.0, "payload")
+            got.append(value)
+
+        sim.process(proc())
+        sim.run()
+        assert got == ["payload"]
+
+    def test_yielding_non_event_raises(self, sim):
+        def bad():
+            yield 42
+
+        with pytest.raises(SimulationError):
+            sim.process(bad())
+
+    def test_any_of_and_all_of(self, sim):
+        def proc():
+            first = yield sim.any_of([sim.timeout(2.0, "slow"),
+                                      sim.timeout(1.0, "fast")])
+            assert first == "fast"
+            both = yield sim.all_of([sim.timeout(1.0, "a"),
+                                     sim.timeout(0.5, "b")])
+            assert both == ["a", "b"]
+            return sim.now
+
+        process = sim.process(proc())
+        sim.run()
+        assert process.completed.value == 2.0  # 1.0 + max(1.0, 0.5)
+
+    def test_run_until_fired(self, sim):
+        def proc():
+            yield sim.timeout(3.0)
+            return "answer"
+
+        process = sim.process(proc())
+        assert sim.run_until_fired(process.completed) == "answer"
+
+    def test_run_until_fired_detects_deadlock(self, sim):
+        from repro.simnet.engine import Event
+
+        never = Event(sim)
+        with pytest.raises(SimulationError):
+            sim.run_until_fired(never)
+
+
+class TestResource:
+    def test_serial_use_on_single_server(self, sim):
+        cpu = Resource(sim, 1)
+        done = []
+        cpu.use(2.0).add_callback(lambda ev: done.append(sim.now))
+        cpu.use(3.0).add_callback(lambda ev: done.append(sim.now))
+        sim.run()
+        assert done == [2.0, 5.0]
+
+    def test_parallel_servers(self, sim):
+        cpus = Resource(sim, 2)
+        done = []
+        for _ in range(4):
+            cpus.use(1.0).add_callback(lambda ev: done.append(sim.now))
+        sim.run()
+        assert done == [1.0, 1.0, 2.0, 2.0]
+
+    def test_utilisation(self, sim):
+        cpu = Resource(sim, 1)
+        cpu.use(2.0)
+        sim.run()
+        assert cpu.utilisation(4.0) == pytest.approx(0.5)
+        assert cpu.jobs_served == 1
+
+    def test_invalid_arguments(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, 0)
+        cpu = Resource(sim, 1)
+        with pytest.raises(ValueError):
+            cpu.use(-1.0)
+
+
+class TestPipe:
+    def test_transfer_time_is_latency_plus_serialization(self, sim):
+        pipe = Pipe(sim, bandwidth=100.0, latency=0.5)
+        done = []
+        pipe.transfer(200).add_callback(lambda ev: done.append(sim.now))
+        sim.run()
+        assert done == [2.5]  # 200/100 + 0.5
+
+    def test_transfers_queue_behind_each_other(self, sim):
+        pipe = Pipe(sim, bandwidth=100.0)
+        done = []
+        pipe.transfer(100).add_callback(lambda ev: done.append(sim.now))
+        pipe.transfer(100).add_callback(lambda ev: done.append(sim.now))
+        sim.run()
+        assert done == [1.0, 2.0]
+
+    def test_backlog_and_delivered_bandwidth(self, sim):
+        pipe = Pipe(sim, bandwidth=100.0)
+        pipe.transfer(300)
+        assert pipe.backlog_seconds == pytest.approx(3.0)
+        sim.run()
+        assert pipe.delivered_bandwidth(6.0) == pytest.approx(50.0)
+        assert pipe.bytes_sent == 300
+
+    def test_invalid_arguments(self, sim):
+        with pytest.raises(ValueError):
+            Pipe(sim, bandwidth=0.0)
+        with pytest.raises(ValueError):
+            Pipe(sim, bandwidth=1.0, latency=-1.0)
+        pipe = Pipe(sim, bandwidth=1.0)
+        with pytest.raises(ValueError):
+            pipe.transfer(-5)
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append(item)
+
+        sim.process(consumer())
+        store.put("item")
+        sim.run()
+        assert got == ["item"]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((item, sim.now))
+
+        def producer():
+            yield sim.timeout(2.0)
+            yield store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [("late", 2.0)]
+
+    def test_bounded_put_blocks_until_drained(self, sim):
+        store = Store(sim, capacity=1)
+        log = []
+
+        def producer():
+            yield store.put("a")
+            log.append(("put-a", sim.now))
+            yield store.put("b")  # blocks: capacity 1
+            log.append(("put-b", sim.now))
+
+        def consumer():
+            yield sim.timeout(5.0)
+            item = yield store.get()
+            log.append((f"got-{item}", sim.now))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert ("put-a", 0.0) in log
+        put_b = [t for tag, t in log if tag == "put-b"][0]
+        assert put_b == 5.0  # unblocked by the get
+
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+        for i in range(5):
+            store.put(i)
+        got = []
+
+        def consumer():
+            for _ in range(5):
+                item = yield store.get()
+                got.append(item)
+
+        sim.process(consumer())
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)

@@ -1,0 +1,164 @@
+"""Tests for the micro latency models: the paper's Exp. 1-3 claims."""
+
+import pytest
+
+from repro.simnet.params import DEFAULT_PARAMS
+from repro.simnet.stampede_model import MicroModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MicroModel(DEFAULT_PARAMS)
+
+
+SIZES = DEFAULT_PARAMS.sweep_sizes(step=5000)
+
+
+class TestExperiment1Claims:
+    """Figure 11: intra-cluster D-Stampede vs raw UDP and TCP."""
+
+    def test_all_curves_monotonically_increase(self, model):
+        for fn in (model.exp1_udp, model.exp1_dstampede):
+            values = [fn(s) for s in SIZES]
+            assert values == sorted(values)
+
+    def test_dstampede_overhead_over_udp_in_paper_band(self, model):
+        # ~700 µs at 10 KB, ~1200 µs at 60 KB.
+        gap_10k = model.exp1_dstampede(10_000) - model.exp1_udp(10_000)
+        gap_60k = model.exp1_dstampede(60_000) - model.exp1_udp(60_000)
+        assert 600 <= gap_10k <= 800
+        assert 1100 <= gap_60k <= 1300
+        assert gap_60k > gap_10k  # overhead grows with payload
+
+    def test_dstampede_less_than_2x_udp_at_high_payloads(self, model):
+        for size in range(30_000, 60_001, 5_000):
+            assert model.exp1_dstampede(size) < 2 * model.exp1_udp(size)
+
+    def test_dstampede_gap_to_tcp_shrinks_with_size(self, model):
+        # "starts from around 700 µs at 10 KB and ... falls to 400 µs".
+        def gap(size):
+            base = (DEFAULT_PARAMS.micro.tcp_fixed_us
+                    + size / DEFAULT_PARAMS.micro.tcp_bandwidth * 1e6)
+            return model.exp1_dstampede(size) - base
+
+        assert 600 <= gap(10_000) <= 800
+        assert 300 <= gap(60_000) <= 500
+        assert gap(60_000) < gap(10_000)
+
+    def test_dstampede_within_1_5x_of_tcp(self, model):
+        # "at worst within 1.5X compared to TCP/IP" — like the <2X-of-UDP
+        # claim, this is a high-payload statement: at small payloads the
+        # runtime's fixed cost dominates any transport.
+        for size in range(30_000, 60_001, 5_000):
+            assert model.exp1_dstampede(size) <= 1.5 * model.exp1_tcp(size)
+
+    def test_tcp_has_congestion_spikes(self, model):
+        values = [model.exp1_tcp(s) for s in DEFAULT_PARAMS.sweep_sizes()]
+        increases = [b - a for a, b in zip(values, values[1:])]
+        assert any(delta < 0 for delta in increases), \
+            "spikes should make the TCP curve non-monotonic"
+
+    def test_spiked_tcp_can_exceed_dstampede(self, model):
+        # "at best almost the same or better than TCP": at spike sizes
+        # and large payloads TCP lands above the D-Stampede curve.
+        assert any(
+            model.exp1_tcp(s) > model.exp1_dstampede(s)
+            for s in range(40_000, 60_001, 1_000)
+        )
+
+
+class TestExperiment2Claims:
+    """Figure 12: C client configurations vs client TCP."""
+
+    def test_anchor_points_at_55kb(self, model):
+        assert model.exp2_tcp_baseline(55_000) == pytest.approx(2500, rel=0.05)
+        assert model.exp2_config1(55_000) == pytest.approx(3300, rel=0.05)
+        assert model.exp2_config2(55_000) == pytest.approx(5000, rel=0.05)
+        assert model.exp2_config3(55_000) == pytest.approx(6100, rel=0.05)
+
+    def test_configuration_ordering_everywhere(self, model):
+        for size in SIZES:
+            assert (model.exp2_tcp_baseline(size)
+                    < model.exp2_config1(size)
+                    < model.exp2_config2(size)
+                    < model.exp2_config3(size))
+
+    def test_curves_track_tcp_shape(self, model):
+        # "the shape of the D-Stampede curves track the TCP curve":
+        # the config-to-baseline gap grows much slower than the baseline.
+        gap_small = model.exp2_config1(5_000) - model.exp2_tcp_baseline(5_000)
+        gap_large = model.exp2_config1(60_000) - model.exp2_tcp_baseline(60_000)
+        baseline_growth = (model.exp2_tcp_baseline(60_000)
+                           - model.exp2_tcp_baseline(5_000))
+        assert abs(gap_large - gap_small) < 0.4 * baseline_growth
+
+
+class TestExperiment3Claims:
+    """Figure 13: Java client configurations."""
+
+    def test_anchor_points_at_55kb(self, model):
+        assert model.exp3_config1(55_000) == pytest.approx(11_000, rel=0.05)
+        assert model.exp3_config2(55_000) == pytest.approx(12_600, rel=0.05)
+        assert model.exp3_config3(55_000) == pytest.approx(21_700, rel=0.05)
+
+    def test_java_tcp_baseline_similar_to_c(self, model):
+        # Result 2: the raw TCP programs perform similarly in C and Java.
+        for size in SIZES:
+            ratio = model.exp3_tcp_baseline(size) / \
+                model.exp2_tcp_baseline(size)
+            assert 0.9 <= ratio <= 1.3
+
+    def test_java_dstampede_much_slower_than_c(self, model):
+        # Result 2: "the D-Stampede data exchange is much better in C".
+        for size in range(20_000, 60_001, 10_000):
+            assert model.exp3_config1(size) > 2.0 * model.exp2_config1(size)
+
+    def test_configuration_ordering(self, model):
+        for size in SIZES:
+            assert (model.exp3_config1(size)
+                    < model.exp3_config2(size)
+                    < model.exp3_config3(size))
+
+
+class TestResult1Ordering:
+    """Result 1: intra-cluster < C client < Java client at equal size."""
+
+    def test_ordering_at_35kb(self, model):
+        intra = model.exp1_dstampede(35_000)
+        c_client = model.exp2_config1(35_000)
+        java_client = model.exp3_config1(35_000)
+        assert intra < c_client < java_client
+        # Paper ratios: 3200/2580 ~ 1.24, 10700/3200 ~ 3.3.
+        assert 1.05 <= c_client / intra <= 1.6
+        assert 2.5 <= java_client / c_client <= 4.5
+
+    def test_ordering_holds_across_the_sweep(self, model):
+        # Below ~10 KB the intra-cluster runtime's fixed entry cost and
+        # the client path's fixed TCP cost are within noise of each
+        # other; the ordering claim is made (and holds) above that.
+        for size in SIZES:
+            if size >= 10_000:
+                assert (model.exp1_dstampede(size)
+                        < model.exp2_config1(size)
+                        < model.exp3_config1(size))
+
+
+class TestCurveBuilders:
+    def test_figure11_full_sweep_has_60_points(self, model):
+        curves = model.figure11()
+        assert set(curves) == {"dstampede", "udp", "tcp"}
+        for curve in curves.values():
+            assert len(curve) == 60
+            assert curve[0].size == 1000
+            assert curve[-1].size == 60000
+
+    def test_figure12_and_13_structures(self, model):
+        for builder in (model.figure12, model.figure13):
+            curves = builder(step=10_000)
+            assert set(curves) == {"tcp", "config1", "config2", "config3"}
+            for curve in curves.values():
+                assert len(curve) == 6
+
+    def test_negative_size_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.exp1_udp(-1)

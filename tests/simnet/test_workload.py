@@ -1,0 +1,171 @@
+"""Tests for the simulated video-conferencing workload (§5.2 claims)."""
+
+import pytest
+
+from repro.simnet.octopus import OctopusTestbed
+from repro.simnet.workload import (
+    PAPER_IMAGE_SIZES,
+    figure15_sweep,
+    simulate_videoconf,
+    table1,
+)
+
+
+class TestOctopusTestbed:
+    def test_build_shapes(self):
+        testbed = OctopusTestbed.build(3)
+        assert len(testbed.nodes) == 17
+        assert len(testbed.devices) == 3
+        assert testbed.mixer_node.cpus.capacity == 8
+        assert testbed.device(0).uplink is not testbed.device(1).uplink
+
+    def test_negative_devices_rejected(self):
+        with pytest.raises(ValueError):
+            OctopusTestbed.build(-1)
+
+    def test_overhead_byte_helpers(self):
+        testbed = OctopusTestbed.build(1)
+        assert testbed.egress_send_bytes(1000) > 1000
+        assert testbed.stream_recv_bytes(1000) > 1000
+
+
+class TestSimulateVideoconf:
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            simulate_videoconf("bogus", 2, 74_000)
+        with pytest.raises(ValueError):
+            simulate_videoconf("multi", 0, 74_000)
+        with pytest.raises(ValueError):
+            simulate_videoconf("multi", 2, 0)
+        with pytest.raises(ValueError):
+            simulate_videoconf("multi", 2, 74_000, frames=5, warmup=10)
+
+    def test_result_bookkeeping(self):
+        result = simulate_videoconf("multi", 2, 74_000, frames=40)
+        assert result.version == "multi"
+        assert result.clients == 2
+        assert result.frames == 40
+        assert result.duration > 0
+        assert result.delivered_bandwidth == pytest.approx(
+            4 * 74_000 * result.fps
+        )
+
+    def test_runs_are_deterministic(self):
+        a = simulate_videoconf("multi", 3, 89_000, frames=40)
+        b = simulate_videoconf("multi", 3, 89_000, frames=40)
+        assert a.fps == b.fps
+
+
+class TestFigure14Claims:
+    """Single-threaded socket vs channel versions, 2 clients."""
+
+    def test_both_versions_comparable(self):
+        for size in (74_000, 110_000, 190_000):
+            socket = simulate_videoconf("socket", 2, size, frames=50)
+            channel = simulate_videoconf("single", 2, size, frames=50)
+            assert socket.fps == pytest.approx(channel.fps, rel=0.1), \
+                "socket and D-Stampede versions should be comparable"
+
+    def test_18fps_at_110kb_anchor(self):
+        # "for a data size of 110 kb, they both deliver 18 frames/second".
+        for version in ("socket", "single"):
+            result = simulate_videoconf(version, 2, 110_000, frames=50)
+            assert result.fps == pytest.approx(18.0, rel=0.1)
+
+    def test_rate_declines_with_image_size(self):
+        rates = [
+            simulate_videoconf("single", 2, size, frames=50).fps
+            for size in PAPER_IMAGE_SIZES
+        ]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_all_fig14_points_meet_10fps_floor(self):
+        # The figure only plots >= 10 f/s; 2-client single-threaded runs
+        # up to 190 KB all qualify.
+        for size in (74_000, 190_000):
+            assert simulate_videoconf("single", 2, size,
+                                      frames=50).meets_threshold
+
+
+class TestFigure15Claims:
+    """Multi-threaded mixer."""
+
+    def test_multithreading_boosts_rate_2x_at_74kb(self):
+        single = simulate_videoconf("single", 2, 74_000, frames=50)
+        multi = simulate_videoconf("multi", 2, 74_000, frames=50)
+        # "the single threaded version delivers approximately 20
+        # frames/sec ... the multi-threaded version approximately 40".
+        assert single.fps == pytest.approx(20.0, rel=0.15)
+        assert multi.fps == pytest.approx(40.0, rel=0.15)
+        assert multi.fps > 1.7 * single.fps
+
+    def test_paper_anchor_rates(self):
+        # 2 clients, 89 KB -> ~34 f/s; 125 KB -> ~27 f/s; 3 clients,
+        # 74 KB -> ~30 f/s.
+        assert simulate_videoconf("multi", 2, 89_000, frames=50).fps == \
+            pytest.approx(34.0, rel=0.15)
+        assert simulate_videoconf("multi", 2, 125_000, frames=50).fps == \
+            pytest.approx(27.0, rel=0.15)
+        assert simulate_videoconf("multi", 3, 74_000, frames=50).fps == \
+            pytest.approx(30.0, rel=0.15)
+
+    def test_rate_declines_with_clients_and_size(self):
+        for size in (74_000, 190_000):
+            rates = [
+                simulate_videoconf("multi", k, size, frames=40).fps
+                for k in range(2, 6)
+            ]
+            assert rates == sorted(rates, reverse=True)
+        for k in (2, 4):
+            rates = [
+                simulate_videoconf("multi", k, size, frames=40).fps
+                for size in PAPER_IMAGE_SIZES
+            ]
+            assert rates == sorted(rates, reverse=True)
+
+    def test_threshold_cutoffs_match_paper(self):
+        # "below the 10 frames/sec threshold ... with 5 clients when the
+        # image size is 190KB, and 7 clients for the other lesser image
+        # sizes" (we land at 6 for the two mid sizes; see EXPERIMENTS.md).
+        def cutoff(size):
+            for k in range(2, 9):
+                if not simulate_videoconf("multi", k, size,
+                                          frames=40).meets_threshold:
+                    return k
+            return None
+
+        assert cutoff(190_000) == 5
+        assert cutoff(74_000) == 7
+        assert cutoff(89_000) == 7
+        assert cutoff(125_000) in (6, 7)
+        assert cutoff(145_000) in (6, 7)
+
+
+class TestTable1Claims:
+    def test_delivered_bandwidth_below_node_limit(self):
+        results = figure15_sweep(max_clients=7, frames=40)
+        bandwidth = table1(results)
+        for size, row in bandwidth.items():
+            for mbps in row:
+                assert mbps < 55.0, \
+                    "delivered bandwidth must respect the ~50 MB/s cap"
+
+    def test_bandwidth_grows_with_clients_then_saturates(self):
+        results = figure15_sweep(max_clients=7, frames=40)
+        bandwidth = table1(results)
+        for size, row in bandwidth.items():
+            assert row == sorted(row), \
+                "delivered bandwidth should be non-decreasing in K"
+            # Saturation: the step from K=6 to K=7 is much smaller than
+            # the step from K=2 to K=3.
+            assert (row[-1] - row[-2]) < (row[1] - row[0])
+
+    def test_2_client_band_matches_paper_row(self):
+        # Table 1's K=2 column: 11, 11, 13, 14, 13 MB/s for
+        # 74/89/125/145/190 KB — i.e. all in the 10-17 MB/s band.
+        results = {
+            size: [simulate_videoconf("multi", 2, size, frames=40)]
+            for size in PAPER_IMAGE_SIZES
+        }
+        for size, (result,) in results.items():
+            assert 10.0 <= result.delivered_bandwidth / 1e6 <= 17.0

@@ -1,0 +1,68 @@
+"""Unit tests for clocks."""
+
+import threading
+import time
+
+import pytest
+
+from repro.sync.clock import RealClock, VirtualClock
+
+
+class TestRealClock:
+    def test_now_is_monotonic(self):
+        clock = RealClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_sleep_until_past_deadline_returns_immediately(self):
+        clock = RealClock()
+        start = time.monotonic()
+        clock.sleep_until(clock.now() - 1.0)
+        assert time.monotonic() - start < 0.1
+
+    def test_sleep_until_waits(self):
+        clock = RealClock()
+        start = clock.now()
+        clock.sleep_until(start + 0.05)
+        assert clock.now() - start >= 0.05
+
+
+class TestVirtualClock:
+    def test_starts_at_configured_time(self):
+        assert VirtualClock(start=100.0).now() == 100.0
+
+    def test_advance_moves_time(self):
+        clock = VirtualClock()
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+
+    def test_backwards_time_rejected(self):
+        clock = VirtualClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            clock.set_time(5.0)
+
+    def test_sleep_until_wakes_on_advance(self):
+        clock = VirtualClock()
+        woke = threading.Event()
+
+        def sleeper():
+            clock.sleep_until(5.0)
+            woke.set()
+
+        t = threading.Thread(target=sleeper)
+        t.start()
+        time.sleep(0.05)
+        assert not woke.is_set()
+        clock.advance(4.0)
+        time.sleep(0.05)
+        assert not woke.is_set()  # only at t=4 < 5
+        clock.advance(1.0)
+        assert woke.wait(timeout=2.0)
+        t.join()
+
+    def test_sleep_until_past_returns_immediately(self):
+        clock = VirtualClock(start=10.0)
+        clock.sleep_until(5.0)  # must not block

@@ -1,0 +1,156 @@
+"""Unit tests for Beehive-style real-time synchrony."""
+
+import pytest
+
+from repro.errors import SlipError
+from repro.sync.clock import VirtualClock
+from repro.sync.realtime import RealtimeSynchronizer
+
+
+@pytest.fixture()
+def clock():
+    return VirtualClock()
+
+
+class TestConstruction:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RealtimeSynchronizer(tick_period=0.0)
+        with pytest.raises(ValueError):
+            RealtimeSynchronizer(tick_period=1.0, tolerance=-0.1)
+
+    def test_not_started_errors(self, clock):
+        sync = RealtimeSynchronizer(1.0, clock=clock)
+        assert not sync.started
+        with pytest.raises(RuntimeError):
+            sync.deadline_for(0)
+        with pytest.raises(RuntimeError):
+            sync.skip_to_current_tick()
+
+
+class TestSynchronize:
+    def test_on_time_tick_returns_zero_lateness(self, clock):
+        sync = RealtimeSynchronizer(1.0, tolerance=0.1, clock=clock)
+        sync.start()
+        assert sync.synchronize(0) == 0.0
+
+    def test_early_thread_waits_for_deadline(self, clock):
+        import threading
+
+        sync = RealtimeSynchronizer(1.0, clock=clock)
+        sync.start()
+        done = threading.Event()
+        lateness = []
+
+        def worker():
+            lateness.append(sync.synchronize(3))  # due at t=3
+            done.set()
+
+        t = threading.Thread(target=worker)
+        t.start()
+        clock.advance(2.9)
+        assert not done.wait(timeout=0.05)
+        clock.advance(0.2)
+        assert done.wait(timeout=2.0)
+        t.join()
+        assert lateness[0] == pytest.approx(-3.0)
+        assert sync.waits == 1
+
+    def test_late_within_tolerance_is_accepted(self, clock):
+        sync = RealtimeSynchronizer(1.0, tolerance=0.5, clock=clock)
+        sync.start()
+        clock.advance(1.3)  # tick 1 due at 1.0: 0.3 late, tolerated
+        assert sync.synchronize(1) == pytest.approx(0.3)
+        assert sync.slips == 0
+
+    def test_late_beyond_tolerance_raises_without_handler(self, clock):
+        sync = RealtimeSynchronizer(1.0, tolerance=0.1, clock=clock)
+        sync.start()
+        clock.advance(2.0)  # tick 1 due at 1.0: 1.0 late
+        with pytest.raises(SlipError) as excinfo:
+            sync.synchronize(1)
+        assert excinfo.value.tick == 1
+        assert excinfo.value.lateness == pytest.approx(1.0)
+        assert sync.slips == 1
+
+    def test_slip_handler_absorbs_the_miss(self, clock):
+        slips = []
+        sync = RealtimeSynchronizer(
+            1.0, tolerance=0.1,
+            on_slip=lambda tick, late: slips.append((tick, late)),
+            clock=clock,
+        )
+        sync.start()
+        clock.advance(5.0)
+        lateness = sync.synchronize(1)
+        assert lateness == pytest.approx(4.0)
+        assert slips == [(1, pytest.approx(4.0))]
+
+    def test_implicit_tick_counter_advances(self, clock):
+        sync = RealtimeSynchronizer(1.0, tolerance=10.0, clock=clock)
+        sync.start()
+        clock.advance(3.0)
+        sync.synchronize()  # tick 0
+        sync.synchronize()  # tick 1
+        assert sync.next_tick == 2
+
+    def test_absolute_grid_no_drift(self, clock):
+        # One late tick must not delay later deadlines: the grid is
+        # anchored at the epoch, not at the previous tick.
+        sync = RealtimeSynchronizer(1.0, tolerance=10.0, clock=clock)
+        sync.start()
+        clock.advance(1.5)
+        assert sync.synchronize(1) == pytest.approx(0.5)
+        assert sync.deadline_for(2) == 2.0  # unaffected by the late tick
+
+
+class TestSkipRecovery:
+    def test_skip_to_current_tick_drops_missed_frames(self, clock):
+        sync = RealtimeSynchronizer(
+            1.0, tolerance=0.1, on_slip=lambda t, l: None, clock=clock
+        )
+        sync.start()
+        sync.synchronize(0)
+        clock.advance(5.4)  # now at t=5.4: ticks 1-5 missed
+        skipped = sync.skip_to_current_tick()
+        assert skipped == 5
+        assert sync.next_tick == 6
+
+    def test_skip_when_on_schedule_is_zero(self, clock):
+        sync = RealtimeSynchronizer(1.0, clock=clock)
+        sync.start()
+        assert sync.skip_to_current_tick() >= 0
+        assert sync.next_tick >= 1
+
+
+class TestCameraScenario:
+    def test_30fps_camera_pacing(self, clock):
+        """The paper's example: a camera pacing puts at 30 frames/second
+        with absolute frame numbers as timestamps."""
+        from repro.core import Channel, ConnectionMode
+
+        channel = Channel("camera")
+        out = channel.attach(ConnectionMode.OUT)
+        sync = RealtimeSynchronizer(1 / 30, tolerance=0.005, clock=clock)
+        sync.start()
+
+        import threading
+
+        frames_done = threading.Event()
+
+        def camera():
+            for frame_number in range(10):
+                sync.synchronize(frame_number)
+                out.put(frame_number, f"frame-{frame_number}")
+            frames_done.set()
+
+        t = threading.Thread(target=camera)
+        t.start()
+        for _ in range(12):
+            clock.advance(1 / 30)
+            import time
+
+            time.sleep(0.01)
+        assert frames_done.wait(timeout=2.0)
+        t.join()
+        assert channel.live_timestamps() == list(range(10))

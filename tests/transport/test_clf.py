@@ -1,0 +1,212 @@
+"""Integration tests for CLF over real UDP sockets (loopback)."""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    DeliveryTimeoutError,
+    MessageTooLargeError,
+    TransportClosedError,
+)
+from repro.transport.clf import ClfEndpoint
+
+
+@pytest.fixture()
+def pair():
+    a = ClfEndpoint()
+    b = ClfEndpoint()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestBasicDelivery:
+    def test_round_trip(self, pair):
+        a, b = pair
+        a.send(b.address, b"hello clf")
+        source, payload = b.recv(timeout=5.0)
+        assert source == a.address
+        assert payload == b"hello clf"
+
+    def test_bidirectional(self, pair):
+        a, b = pair
+        a.send(b.address, b"ping")
+        assert b.recv(timeout=5.0)[1] == b"ping"
+        b.send(a.address, b"pong")
+        assert a.recv(timeout=5.0)[1] == b"pong"
+
+    def test_ordering_over_many_messages(self, pair):
+        a, b = pair
+        count = 200
+        for i in range(count):
+            a.send(b.address, i.to_bytes(4, "big"))
+        received = [
+            int.from_bytes(b.recv(timeout=5.0)[1], "big")
+            for _ in range(count)
+        ]
+        assert received == list(range(count))
+
+    def test_empty_message(self, pair):
+        a, b = pair
+        a.send(b.address, b"")
+        assert b.recv(timeout=5.0)[1] == b""
+
+    def test_recv_timeout(self, pair):
+        a, _ = pair
+        with pytest.raises(DeliveryTimeoutError):
+            a.recv(timeout=0.05)
+
+    def test_payload_at_paper_ceiling(self, pair):
+        a, b = pair
+        payload = bytes(range(256)) * 234  # 59 904 bytes < 60 000 MTU
+        a.send(b.address, payload)
+        assert b.recv(timeout=5.0)[1] == payload
+
+
+class TestFragmentation:
+    def test_large_message_fragments_and_reassembles(self, pair):
+        a, b = pair
+        payload = bytes(range(256)) * 1024  # 256 KiB: 5 fragments
+        a.send(b.address, payload)
+        assert b.recv(timeout=10.0)[1] == payload
+
+    def test_fragmentation_disabled_reproduces_udp_ceiling(self):
+        a = ClfEndpoint(fragment=False)
+        b = ClfEndpoint()
+        try:
+            with pytest.raises(MessageTooLargeError):
+                a.send(b.address, b"x" * 60_001)
+        finally:
+            a.close()
+            b.close()
+
+    def test_small_mtu_many_fragments(self):
+        a = ClfEndpoint(mtu=100)
+        b = ClfEndpoint()
+        try:
+            payload = bytes(i % 251 for i in range(10_000))  # 100 frags
+            a.send(b.address, payload)
+            assert b.recv(timeout=10.0)[1] == payload
+        finally:
+            a.close()
+            b.close()
+
+
+class TestReliabilityUnderLoss:
+    def test_delivery_despite_heavy_loss(self):
+        # Drop 30% of outgoing data packets; ARQ must hide every loss.
+        a = ClfEndpoint(loss_rate=0.3, loss_seed=42, rto=0.02)
+        b = ClfEndpoint()
+        try:
+            count = 50
+            for i in range(count):
+                a.send(b.address, f"msg-{i}".encode())
+            received = [b.recv(timeout=10.0)[1] for _ in range(count)]
+            assert received == [f"msg-{i}".encode() for i in range(count)]
+        finally:
+            a.close()
+            b.close()
+
+    def test_acks_eventually_clear_in_flight(self):
+        a = ClfEndpoint(loss_rate=0.2, loss_seed=7, rto=0.02)
+        b = ClfEndpoint()
+        try:
+            for i in range(20):
+                a.send(b.address, bytes([i]))
+            for _ in range(20):
+                b.recv(timeout=10.0)
+            import time
+
+            deadline = time.monotonic() + 5.0
+            while a.in_flight(b.address) and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert a.in_flight(b.address) == 0
+        finally:
+            a.close()
+            b.close()
+
+    def test_dead_peer_detected(self):
+        a = ClfEndpoint(rto=0.01, max_retries=3, window=4)
+        dead_address = ("127.0.0.1", 1)  # nothing listens there
+        try:
+            with pytest.raises(DeliveryTimeoutError):
+                # Window is 4: the 5th send must observe the failure.
+                for i in range(10):
+                    a.send(dead_address, b"x", timeout=2.0)
+        finally:
+            a.close()
+
+
+class TestConcurrency:
+    def test_concurrent_senders_to_one_receiver(self):
+        receiver = ClfEndpoint()
+        senders = [ClfEndpoint() for _ in range(4)]
+        try:
+            per_sender = 25
+
+            def blast(endpoint, tag):
+                for i in range(per_sender):
+                    endpoint.send(receiver.address,
+                                  f"{tag}:{i}".encode())
+
+            threads = [
+                threading.Thread(target=blast, args=(ep, n))
+                for n, ep in enumerate(senders)
+            ]
+            for t in threads:
+                t.start()
+            received = [
+                receiver.recv(timeout=10.0)[1]
+                for _ in range(per_sender * len(senders))
+            ]
+            for t in threads:
+                t.join()
+            # Per-sender FIFO must hold even though streams interleave.
+            for n in range(len(senders)):
+                mine = [m for m in received
+                        if m.startswith(f"{n}:".encode())]
+                assert mine == [f"{n}:{i}".encode()
+                                for i in range(per_sender)]
+        finally:
+            receiver.close()
+            for ep in senders:
+                ep.close()
+
+
+class TestLifecycle:
+    def test_closed_endpoint_rejects_io(self):
+        a = ClfEndpoint()
+        a.close()
+        with pytest.raises(TransportClosedError):
+            a.send(("127.0.0.1", 9), b"x")
+        with pytest.raises(TransportClosedError):
+            a.recv(timeout=0.1)
+
+    def test_double_close_is_safe(self):
+        a = ClfEndpoint()
+        a.close()
+        a.close()
+
+    def test_invalid_mtu_rejected(self):
+        with pytest.raises(ValueError):
+            ClfEndpoint(mtu=0)
+        with pytest.raises(ValueError):
+            ClfEndpoint(mtu=1 << 20)
+
+    def test_malformed_datagrams_are_ignored(self):
+        from repro.transport.udp import UdpTransport
+
+        b = ClfEndpoint()
+        attacker = UdpTransport()
+        try:
+            attacker.send(b.address, b"not a clf packet")
+            a = ClfEndpoint()
+            try:
+                a.send(b.address, b"real")
+                assert b.recv(timeout=5.0)[1] == b"real"
+            finally:
+                a.close()
+        finally:
+            b.close()
+            attacker.close()

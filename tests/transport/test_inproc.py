@@ -1,0 +1,124 @@
+"""Unit tests for the in-process (shared-memory) transport."""
+
+import threading
+
+import pytest
+
+from repro.errors import DeliveryTimeoutError, TransportClosedError, TransportError
+from repro.transport.inproc import InProcHub
+
+
+@pytest.fixture()
+def hub():
+    hub = InProcHub("test-smp")
+    yield hub
+    hub.close()
+
+
+class TestDelivery:
+    def test_send_recv_round_trip(self, hub):
+        a = hub.endpoint("a")
+        b = hub.endpoint("b")
+        a.send("b", b"hello")
+        source, payload = b.recv(timeout=1.0)
+        assert source == "a"
+        assert payload == b"hello"
+
+    def test_ordering_is_fifo(self, hub):
+        a = hub.endpoint("a")
+        b = hub.endpoint("b")
+        for i in range(100):
+            a.send("b", bytes([i]))
+        received = [b.recv(timeout=1.0)[1][0] for i in range(100)]
+        assert received == list(range(100))
+
+    def test_payload_is_defensively_copied(self, hub):
+        a = hub.endpoint("a")
+        b = hub.endpoint("b")
+        buffer = bytearray(b"original")
+        a.send("b", buffer)
+        buffer[:] = b"mutated!"
+        assert b.recv(timeout=1.0)[1] == b"original"
+
+    def test_self_send_works(self, hub):
+        a = hub.endpoint("a")
+        a.send("a", b"loopback")
+        assert a.recv(timeout=1.0) == ("a", b"loopback")
+
+    def test_unknown_destination_raises(self, hub):
+        a = hub.endpoint("a")
+        with pytest.raises(TransportError):
+            a.send("nobody", b"x")
+
+    def test_recv_timeout(self, hub):
+        a = hub.endpoint("a")
+        with pytest.raises(DeliveryTimeoutError):
+            a.recv(timeout=0.02)
+
+    def test_blocking_recv_wakes_on_send(self, hub):
+        a = hub.endpoint("a")
+        b = hub.endpoint("b")
+        result = []
+        t = threading.Thread(target=lambda: result.append(b.recv(timeout=5)))
+        t.start()
+        a.send("b", b"wake")
+        t.join(timeout=2.0)
+        assert result == [("a", b"wake")]
+
+
+class TestLifecycle:
+    def test_duplicate_name_rejected(self, hub):
+        hub.endpoint("a")
+        with pytest.raises(TransportError):
+            hub.endpoint("a")
+
+    def test_closed_endpoint_rejects_io(self, hub):
+        a = hub.endpoint("a")
+        a.close()
+        with pytest.raises(TransportClosedError):
+            a.send("a", b"x")
+        with pytest.raises(TransportClosedError):
+            a.recv(timeout=0.1)
+
+    def test_close_frees_the_name(self, hub):
+        a = hub.endpoint("a")
+        a.close()
+        hub.endpoint("a")  # reusable after close
+
+    def test_close_wakes_blocked_recv(self, hub):
+        a = hub.endpoint("a")
+        errors = []
+
+        def blocked():
+            try:
+                a.recv(timeout=5.0)
+            except TransportClosedError:
+                errors.append("closed")
+
+        t = threading.Thread(target=blocked)
+        t.start()
+        import time
+
+        time.sleep(0.05)
+        a.close()
+        t.join(timeout=2.0)
+        assert errors == ["closed"]
+
+    def test_hub_close_closes_all(self, hub):
+        a = hub.endpoint("a")
+        b = hub.endpoint("b")
+        hub.close()
+        with pytest.raises(TransportClosedError):
+            a.send("b", b"x")
+        with pytest.raises(TransportClosedError):
+            b.send("a", b"x")
+
+    def test_endpoint_listing(self, hub):
+        hub.endpoint("x")
+        hub.endpoint("y")
+        assert hub.endpoints() == ["x", "y"]
+
+    def test_context_manager(self, hub):
+        with hub.endpoint("ctx") as ep:
+            assert ep.address == "ctx"
+        assert "ctx" not in hub.endpoints()

@@ -1,0 +1,120 @@
+"""Unit tests for packet headers and stream framing."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import FramingError, MessageTooLargeError, TransportClosedError
+from repro.transport.message import (
+    CLF_HEADER_SIZE,
+    PT_ACK,
+    PT_DATA,
+    ClfPacket,
+    read_frame,
+    write_frame,
+)
+
+
+class TestClfPacket:
+    def test_round_trip_all_fields(self):
+        packet = ClfPacket(
+            packet_type=PT_DATA, seq=12345, msg_id=7,
+            frag_index=2, frag_count=5, payload=b"payload",
+        )
+        decoded = ClfPacket.decode(packet.encode())
+        assert decoded == packet
+
+    def test_ack_round_trip(self):
+        packet = ClfPacket(packet_type=PT_ACK, seq=99)
+        decoded = ClfPacket.decode(packet.encode())
+        assert decoded.packet_type == PT_ACK
+        assert decoded.seq == 99
+        assert decoded.payload == b""
+
+    def test_header_size_constant_matches_encoding(self):
+        assert len(ClfPacket(packet_type=PT_ACK, seq=0).encode()) == \
+            CLF_HEADER_SIZE
+
+    def test_short_packet_rejected(self):
+        with pytest.raises(FramingError):
+            ClfPacket.decode(b"\x00" * (CLF_HEADER_SIZE - 1))
+
+    def test_bad_magic_rejected(self):
+        data = bytearray(ClfPacket(packet_type=PT_DATA, seq=0).encode())
+        data[0] ^= 0xFF
+        with pytest.raises(FramingError):
+            ClfPacket.decode(bytes(data))
+
+    def test_unknown_type_rejected(self):
+        data = bytearray(ClfPacket(packet_type=PT_DATA, seq=0).encode())
+        data[2] = 200
+        with pytest.raises(FramingError):
+            ClfPacket.decode(bytes(data))
+
+    def test_bad_fragment_fields_rejected(self):
+        packet = ClfPacket(packet_type=PT_DATA, seq=0, frag_index=3,
+                           frag_count=2)
+        with pytest.raises(FramingError):
+            ClfPacket.decode(packet.encode())
+
+
+@pytest.fixture()
+def socket_pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_frame_round_trip(self, socket_pair):
+        a, b = socket_pair
+        write_frame(a, b"hello frame")
+        assert read_frame(b) == b"hello frame"
+
+    def test_empty_frame(self, socket_pair):
+        a, b = socket_pair
+        write_frame(a, b"")
+        assert read_frame(b) == b""
+
+    def test_multiple_frames_keep_boundaries(self, socket_pair):
+        a, b = socket_pair
+        frames = [b"one", b"two" * 1000, b"", b"four"]
+        writer = threading.Thread(
+            target=lambda: [write_frame(a, f) for f in frames]
+        )
+        writer.start()
+        received = [read_frame(b) for _ in frames]
+        writer.join()
+        assert received == frames
+
+    def test_oversized_frame_rejected_on_send(self, socket_pair):
+        a, _ = socket_pair
+        from repro.transport import message
+
+        original = message.MAX_FRAME_SIZE
+        message.MAX_FRAME_SIZE = 10
+        try:
+            with pytest.raises(MessageTooLargeError):
+                write_frame(a, b"x" * 11)
+        finally:
+            message.MAX_FRAME_SIZE = original
+
+    def test_corrupt_length_prefix_rejected(self, socket_pair):
+        a, b = socket_pair
+        a.sendall(b"\xff\xff\xff\xff")
+        with pytest.raises(FramingError):
+            read_frame(b)
+
+    def test_peer_close_raises_transport_closed(self, socket_pair):
+        a, b = socket_pair
+        a.close()
+        with pytest.raises(TransportClosedError):
+            read_frame(b)
+
+    def test_max_size_override(self, socket_pair):
+        a, b = socket_pair
+        write_frame(a, b"x" * 100)
+        with pytest.raises(FramingError):
+            read_frame(b, max_size=50)

@@ -1,0 +1,160 @@
+"""Unit tests for the ARQ engine (no sockets)."""
+
+import pytest
+
+from repro.errors import DeliveryTimeoutError
+from repro.transport.message import PT_DATA
+from repro.transport.reliability import (
+    PeerState,
+    Reassembler,
+    make_ack,
+    make_data,
+)
+
+
+def data(seq, payload=b"", msg_id=0, frag_index=0, frag_count=1):
+    return make_data(seq, msg_id, frag_index, frag_count, payload)
+
+
+class TestSendWindow:
+    def test_sequence_numbers_increase(self):
+        peer = PeerState(window=4, max_retries=3)
+        packets = [
+            peer.reserve_send(PT_DATA, 0, 0, 1, b"") for _ in range(3)
+        ]
+        assert [p.seq for p in packets] == [0, 1, 2]
+        assert peer.in_flight == 3
+
+    def test_window_blocks_and_times_out(self):
+        peer = PeerState(window=2, max_retries=3)
+        peer.reserve_send(PT_DATA, 0, 0, 1, b"")
+        peer.reserve_send(PT_DATA, 0, 0, 1, b"")
+        with pytest.raises(DeliveryTimeoutError):
+            peer.reserve_send(PT_DATA, 0, 0, 1, b"", timeout=0.02)
+
+    def test_ack_opens_the_window(self):
+        peer = PeerState(window=1, max_retries=3)
+        packet = peer.reserve_send(PT_DATA, 0, 0, 1, b"")
+        peer.on_ack(packet.seq + 1)
+        assert peer.in_flight == 0
+        peer.reserve_send(PT_DATA, 0, 0, 1, b"", timeout=0.1)
+
+    def test_cumulative_ack_clears_everything_below(self):
+        peer = PeerState(window=8, max_retries=3)
+        for _ in range(5):
+            peer.reserve_send(PT_DATA, 0, 0, 1, b"")
+        peer.on_ack(3)  # acks 0,1,2
+        assert peer.in_flight == 2
+
+    def test_stale_ack_is_harmless(self):
+        peer = PeerState(window=8, max_retries=3)
+        peer.reserve_send(PT_DATA, 0, 0, 1, b"")
+        peer.on_ack(0)  # acks nothing
+        assert peer.in_flight == 1
+
+
+class TestRetransmission:
+    def test_due_packets_returned_after_rto(self):
+        peer = PeerState(window=8, max_retries=3)
+        packet = peer.reserve_send(PT_DATA, 0, 0, 1, b"x")
+        assert peer.packets_to_retransmit(rto=100.0) == []
+        due = peer.packets_to_retransmit(rto=0.0)
+        assert due == [packet]
+
+    def test_retry_limit_marks_peer_failed(self):
+        peer = PeerState(window=8, max_retries=2)
+        peer.reserve_send(PT_DATA, 0, 0, 1, b"x")
+        for _ in range(2):
+            assert peer.packets_to_retransmit(rto=0.0)
+        assert peer.packets_to_retransmit(rto=0.0) == []
+        assert peer.failed
+        with pytest.raises(DeliveryTimeoutError):
+            peer.reserve_send(PT_DATA, 0, 0, 1, b"y")
+
+    def test_acked_packets_are_not_retransmitted(self):
+        peer = PeerState(window=8, max_retries=3)
+        p = peer.reserve_send(PT_DATA, 0, 0, 1, b"x")
+        peer.on_ack(p.seq + 1)
+        assert peer.packets_to_retransmit(rto=0.0) == []
+
+
+class TestReceiveOrdering:
+    def test_in_order_delivery(self):
+        peer = PeerState(window=8, max_retries=3)
+        delivered, ack = peer.on_data(data(0, b"a"))
+        assert [p.payload for p in delivered] == [b"a"]
+        assert ack == 1
+
+    def test_out_of_order_buffered_then_drained(self):
+        peer = PeerState(window=8, max_retries=3)
+        delivered, ack = peer.on_data(data(2, b"c"))
+        assert delivered == []
+        assert ack == 0
+        delivered, ack = peer.on_data(data(1, b"b"))
+        assert delivered == []
+        delivered, ack = peer.on_data(data(0, b"a"))
+        assert [p.payload for p in delivered] == [b"a", b"b", b"c"]
+        assert ack == 3
+
+    def test_duplicates_not_delivered_twice(self):
+        peer = PeerState(window=8, max_retries=3)
+        peer.on_data(data(0, b"a"))
+        delivered, ack = peer.on_data(data(0, b"a"))
+        assert delivered == []
+        assert ack == 1  # re-ACK so the sender stops retransmitting
+
+    def test_duplicate_future_packet_overwrites_harmlessly(self):
+        peer = PeerState(window=8, max_retries=3)
+        peer.on_data(data(5, b"x"))
+        peer.on_data(data(5, b"x"))
+        delivered = []
+        for seq in range(5):
+            d, _ = peer.on_data(data(seq, bytes([seq])))
+            delivered.extend(d)
+        # The buffered seq-5 packet drains exactly once when 4 arrives.
+        assert [p.seq for p in delivered] == [0, 1, 2, 3, 4, 5]
+        assert peer.expected_seq == 6
+        d, _ = peer.on_data(data(6, b"y"))
+        assert [p.seq for p in d] == [6]
+
+
+class TestAckPacket:
+    def test_make_ack_shape(self):
+        ack = make_ack(17)
+        assert ack.seq == 17
+        assert ack.payload == b""
+
+
+class TestReassembler:
+    def test_single_fragment_passthrough(self):
+        r = Reassembler()
+        assert r.add(data(0, b"whole")) == b"whole"
+        assert r.partial_messages == 0
+
+    def test_multi_fragment_assembly(self):
+        r = Reassembler()
+        assert r.add(data(0, b"aa", msg_id=9, frag_index=0,
+                          frag_count=3)) is None
+        assert r.add(data(1, b"bb", msg_id=9, frag_index=1,
+                          frag_count=3)) is None
+        assert r.add(data(2, b"cc", msg_id=9, frag_index=2,
+                          frag_count=3)) == b"aabbcc"
+        assert r.partial_messages == 0
+
+    def test_interleaved_messages_not_supported_by_design(self):
+        # CLF sends fragments of one message back-to-back in sequence, so
+        # the reassembler only tracks per-msg_id state.
+        r = Reassembler()
+        r.add(data(0, b"x", msg_id=1, frag_index=0, frag_count=2))
+        r.add(data(1, b"y", msg_id=2, frag_index=0, frag_count=2))
+        assert r.add(data(2, b"z", msg_id=2, frag_index=1,
+                          frag_count=2)) == b"yz"
+
+    def test_restart_mid_message_resyncs(self):
+        r = Reassembler()
+        r.add(data(0, b"a", msg_id=3, frag_index=0, frag_count=3))
+        # Peer restarted: fragment index jumps; stale partial is dropped.
+        assert r.add(data(1, b"q", msg_id=3, frag_index=2,
+                          frag_count=3)) is None
+        assert r.add(data(2, b"a", msg_id=3, frag_index=0,
+                          frag_count=3)) is None

@@ -1,0 +1,86 @@
+"""Unit tests for byte buffer primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DecodeError
+from repro.util.bytesbuf import ByteReader, ByteWriter
+
+
+class TestRoundTrips:
+    def test_all_scalar_types(self):
+        w = ByteWriter()
+        w.write_u8(200)
+        w.write_u16(60_000)
+        w.write_u32(4_000_000_000)
+        w.write_u64(2**63)
+        w.write_i32(-5)
+        w.write_i64(-(2**62))
+        w.write_f32(1.5)
+        w.write_f64(-2.25)
+        w.write_bytes(b"tail")
+
+        r = ByteReader(w.getvalue())
+        assert r.read_u8() == 200
+        assert r.read_u16() == 60_000
+        assert r.read_u32() == 4_000_000_000
+        assert r.read_u64() == 2**63
+        assert r.read_i32() == -5
+        assert r.read_i64() == -(2**62)
+        assert r.read_f32() == 1.5
+        assert r.read_f64() == -2.25
+        assert r.read_bytes(4) == b"tail"
+        r.expect_exhausted()
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_u64_round_trip(self, value):
+        w = ByteWriter()
+        w.write_u64(value)
+        assert ByteReader(w.getvalue()).read_u64() == value
+
+    @given(st.binary(max_size=128))
+    def test_bytes_round_trip(self, data):
+        w = ByteWriter()
+        w.write_bytes(data)
+        assert ByteReader(w.getvalue()).read_bytes(len(data)) == data
+
+
+class TestBoundsChecking:
+    def test_underrun_raises_decode_error(self):
+        r = ByteReader(b"\x00\x01")
+        with pytest.raises(DecodeError):
+            r.read_u32()
+
+    def test_negative_read_rejected(self):
+        with pytest.raises(DecodeError):
+            ByteReader(b"abc").read_bytes(-1)
+
+    def test_trailing_bytes_detected(self):
+        r = ByteReader(b"\x00\x01")
+        r.read_u8()
+        with pytest.raises(DecodeError):
+            r.expect_exhausted()
+
+    def test_skip_moves_position(self):
+        r = ByteReader(b"abcdef")
+        r.skip(4)
+        assert r.position == 4
+        assert r.remaining == 2
+        assert r.read_bytes(2) == b"ef"
+
+
+class TestPadding:
+    def test_pad_to_xdr_alignment(self):
+        w = ByteWriter()
+        w.write_bytes(b"abc")
+        w.pad_to_multiple(4)
+        assert w.getvalue() == b"abc\x00"
+        w.pad_to_multiple(4)  # already aligned: no-op
+        assert len(w) == 4
+
+    def test_len_tracks_written(self):
+        w = ByteWriter()
+        assert len(w) == 0
+        w.write_u32(1)
+        assert len(w) == 4

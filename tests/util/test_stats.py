@@ -1,0 +1,129 @@
+"""Unit tests for statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.util.stats import (
+    RateMeter,
+    RunningStats,
+    Summary,
+    mbps,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 3.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 5.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_matches_numpy_linear(self):
+        numpy = pytest.importorskip("numpy")
+        data = [0.3, 9.1, 4.4, 2.2, 8.8, 1.1, 6.6]
+        for q in (10, 25, 50, 75, 90, 95):
+            assert percentile(data, q) == pytest.approx(
+                float(numpy.percentile(data, q))
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestSummary:
+    def test_of_computes_all_fields(self):
+        s = Summary.of([2.0, 4.0, 6.0, 8.0])
+        assert s.count == 4
+        assert s.mean == 5.0
+        assert s.minimum == 2.0
+        assert s.maximum == 8.0
+        assert s.p50 == 5.0
+        assert s.stdev == pytest.approx(math.sqrt(20 / 3))
+
+    def test_single_sample_has_zero_stdev(self):
+        s = Summary.of([3.0])
+        assert s.stdev == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Summary.of([])
+
+
+class TestRunningStats:
+    def test_matches_batch_computation(self):
+        data = [1.5, 2.5, 0.5, 9.0, -3.0, 4.0]
+        rs = RunningStats()
+        rs.extend(data)
+        mean = sum(data) / len(data)
+        var = sum((x - mean) ** 2 for x in data) / (len(data) - 1)
+        assert rs.count == len(data)
+        assert rs.mean == pytest.approx(mean)
+        assert rs.variance == pytest.approx(var)
+        assert rs.stdev == pytest.approx(math.sqrt(var))
+        assert rs.minimum == -3.0
+        assert rs.maximum == 9.0
+
+    def test_empty_stats_raise(self):
+        rs = RunningStats()
+        with pytest.raises(ValueError):
+            _ = rs.mean
+        with pytest.raises(ValueError):
+            _ = rs.minimum
+        with pytest.raises(ValueError):
+            _ = rs.maximum
+
+    def test_single_value_variance_zero(self):
+        rs = RunningStats()
+        rs.add(5.0)
+        assert rs.variance == 0.0
+
+
+class TestRateMeter:
+    def test_steady_rate(self):
+        meter = RateMeter()
+        for i in range(31):
+            meter.record(i / 30.0)  # 30 events/second
+        assert meter.rate() == pytest.approx(30.0)
+
+    def test_warmup_skipping(self):
+        meter = RateMeter()
+        # Slow warm-up, then steady 10/s.
+        meter.record(0.0)
+        meter.record(5.0)
+        for i in range(1, 11):
+            meter.record(5.0 + i / 10.0)
+        assert meter.rate(skip_warmup=2) == pytest.approx(10.0)
+
+    def test_out_of_order_rejected(self):
+        meter = RateMeter()
+        meter.record(1.0)
+        with pytest.raises(ValueError):
+            meter.record(0.5)
+
+    def test_too_few_events_rejected(self):
+        meter = RateMeter()
+        meter.record(0.0)
+        with pytest.raises(ValueError):
+            meter.rate()
+
+
+class TestMbps:
+    def test_conversion(self):
+        assert mbps(50_000_000, 1.0) == pytest.approx(50.0)
+        assert mbps(1_000_000, 2.0) == pytest.approx(0.5)
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ValueError):
+            mbps(1.0, 0.0)

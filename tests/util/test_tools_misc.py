@@ -1,0 +1,80 @@
+"""Tests for the remaining tool/utility surfaces."""
+
+import logging
+
+import pytest
+
+
+class TestInspectCli:
+    def test_inspect_against_live_server(self, capsys):
+        from repro import ConnectionMode, Runtime, StampedeServer, \
+            StampedeClient
+        from repro.tools.inspect import main
+
+        runtime = Runtime()
+        server = StampedeServer(runtime).start()
+        try:
+            host, port = server.address
+            with StampedeClient(host, port) as client:
+                client.create_channel("observed")
+                out = client.attach("observed", ConnectionMode.OUT)
+                out.put(0, b"payload")
+                code = main(["--host", host, "--port", str(port)])
+                assert code == 0
+                output = capsys.readouterr().out
+                assert "'observed'" in output
+                assert "1 live" in output
+        finally:
+            server.close()
+            runtime.shutdown()
+
+    def test_parser_defaults(self):
+        from repro.tools.inspect import build_parser
+
+        args = build_parser().parse_args([])
+        assert args.host == "127.0.0.1"
+        assert args.port == 7070
+        assert args.watch is None
+
+
+class TestLoggingHelpers:
+    def test_get_logger_namespacing(self):
+        from repro.util.logging import get_logger
+
+        assert get_logger("core.channel").name == \
+            "dstampede.core.channel"
+        assert get_logger("").name == "dstampede"
+
+    def test_configure_debug_logging_is_idempotent(self):
+        from repro.util.logging import ROOT_LOGGER_NAME, \
+            configure_debug_logging
+
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        before = list(root.handlers)
+        try:
+            configure_debug_logging()
+            configure_debug_logging()
+            added = [h for h in root.handlers if h not in before]
+            assert len(added) <= 1
+        finally:
+            for handler in root.handlers[:]:
+                if handler not in before:
+                    root.removeHandler(handler)
+            root.setLevel(logging.NOTSET)
+
+
+class TestIsolatedConnectionSurface:
+    def test_properties_delegate(self):
+        from repro.core import Channel, ConnectionMode
+        from repro.runtime.runtime import IsolatedConnection
+
+        channel = Channel("iso")
+        inner = channel.attach(ConnectionMode.INOUT)
+        isolated = IsolatedConnection(inner, "xdr")
+        assert isolated.connection_id == inner.connection_id
+        assert isolated.container is channel
+        assert "IsolatedConnection" in repr(isolated)
+        with isolated:
+            pass
+        assert isolated.detached
+        channel.destroy()

@@ -1,0 +1,171 @@
+"""Unit tests for the event tracer and the runtime's trace points."""
+
+import pytest
+
+from repro.util import trace as trace_mod
+from repro.util.trace import Tracer, disable_tracing, enable_tracing
+
+
+@pytest.fixture()
+def tracer():
+    return Tracer(capacity=8, enabled=True)
+
+
+@pytest.fixture()
+def global_tracing():
+    tracer = enable_tracing()
+    tracer.clear()
+    yield tracer
+    disable_tracing()
+    tracer.clear()
+
+
+class TestTracer:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record("put", "chan", ts=1)
+        assert tracer.events() == []
+        assert tracer.recorded == 0
+
+    def test_record_and_read(self, tracer):
+        tracer.record("put", "video", ts=3, size=100)
+        events = tracer.events()
+        assert len(events) == 1
+        assert events[0].category == "put"
+        assert events[0].subject == "video"
+        assert events[0].details == {"ts": 3, "size": 100}
+
+    def test_ring_drops_oldest(self, tracer):
+        for i in range(12):
+            tracer.record("put", "c", n=i)
+        events = tracer.events()
+        assert len(events) == 8
+        assert events[0].details["n"] == 4
+        assert tracer.dropped == 4
+        assert tracer.recorded == 12
+
+    def test_filters(self, tracer):
+        tracer.record("put", "a", n=1)
+        tracer.record("get", "a", n=2)
+        tracer.record("put", "b", n=3)
+        assert len(tracer.events(category="put")) == 2
+        assert len(tracer.events(subject="a")) == 2
+        assert len(tracer.events(category="put", subject="b")) == 1
+
+    def test_clear(self, tracer):
+        tracer.record("put", "c")
+        tracer.clear()
+        assert tracer.events() == []
+        assert tracer.recorded == 0
+
+    def test_dump_renders_chronologically(self, tracer):
+        tracer.record("put", "chan", ts=0)
+        tracer.record("reclaim", "chan", ts=0)
+        text = tracer.dump()
+        assert "put" in text
+        assert "reclaim" in text
+        assert text.index("put") < text.index("reclaim")
+
+    def test_dump_empty(self):
+        assert Tracer(enabled=True).dump() == "(no events)"
+
+    def test_dump_limit(self, tracer):
+        for i in range(5):
+            tracer.record("put", "c", n=i)
+        text = tracer.dump(limit=2)
+        assert "n=3" in text
+        assert "n=0" not in text
+
+    def test_context_manager_toggles(self):
+        tracer = Tracer()
+        with tracer:
+            assert tracer.enabled
+        assert not tracer.enabled
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_enable_tracing_resize(self):
+        tracer = enable_tracing(capacity=16)
+        try:
+            assert tracer.capacity == 16
+            assert trace_mod.GLOBAL_TRACER is tracer
+        finally:
+            disable_tracing()
+
+
+class TestRuntimeTracePoints:
+    def test_channel_lifecycle_traced(self, global_tracing):
+        from repro.core import Channel, ConnectionMode
+
+        channel = Channel("traced-chan")
+        out = channel.attach(ConnectionMode.OUT)
+        inp = channel.attach(ConnectionMode.IN)
+        out.put(5, b"xyz")
+        inp.consume(5)
+        puts = global_tracing.events(category="put",
+                                     subject="traced-chan")
+        reclaims = global_tracing.events(category="reclaim",
+                                         subject="traced-chan")
+        assert len(puts) == 1
+        assert puts[0].details == {"ts": 5, "size": 3}
+        assert len(reclaims) == 1
+        channel.destroy()
+
+    def test_queue_traced(self, global_tracing):
+        from repro.core import ConnectionMode, OLDEST, SQueue
+
+        queue = SQueue("traced-q")
+        out = queue.attach(ConnectionMode.OUT)
+        inp = queue.attach(ConnectionMode.IN)
+        out.put(1, "frag")
+        inp.get(OLDEST)
+        inp.consume(1)
+        assert global_tracing.events(category="put", subject="traced-q")
+        assert global_tracing.events(category="reclaim",
+                                     subject="traced-q")
+        queue.destroy()
+
+    def test_slip_traced(self, global_tracing):
+        from repro.sync.clock import VirtualClock
+        from repro.sync.realtime import RealtimeSynchronizer
+
+        clock = VirtualClock()
+        sync = RealtimeSynchronizer(1.0, tolerance=0.1,
+                                    on_slip=lambda t, l: None,
+                                    clock=clock)
+        sync.start()
+        clock.advance(5.0)
+        sync.synchronize(1)
+        slips = global_tracing.events(category="slip")
+        assert len(slips) == 1
+        assert slips[0].details["tick"] == 1
+
+    def test_join_leave_traced(self, global_tracing):
+        from repro import Runtime, StampedeClient, StampedeServer
+
+        runtime = Runtime()
+        server = StampedeServer(runtime).start()
+        try:
+            host, port = server.address
+            client = StampedeClient(host, port, client_name="tracee")
+            session = client.session_id
+            client.close()
+            import time
+
+            deadline = time.monotonic() + 2.0
+            while (not global_tracing.events(category="leave",
+                                             subject=session)
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+            joins = global_tracing.events(category="join",
+                                          subject=session)
+            leaves = global_tracing.events(category="leave",
+                                           subject=session)
+            assert len(joins) == 1
+            assert joins[0].details["client"] == ""  # pre-HELLO name
+            assert len(leaves) == 1
+        finally:
+            server.close()
+            runtime.shutdown()
