@@ -1,0 +1,177 @@
+"""Core hot-path microbenchmarks: indexed channel vs seed-style scans.
+
+The space-time memory's per-item operations sit on every application's
+critical path (§3.1's get/put/consume API).  The indexed implementation
+keeps a sorted timestamp index and per-connection scan hints, so marker
+gets and garbage sweeps stop being linear in the number of live items:
+
+* ``get(NEWEST)`` / ``get(OLDEST)`` — O(1) extremal reads off the index
+  instead of a full dictionary scan;
+* steady-state GC — a clean container is skipped outright, instead of
+  every sweep re-checking every live item against every consumer.
+
+Each metric is measured side by side with a *reference* implementation
+that does what the pre-index code did (scan ``_items`` item by item,
+querying consumers per item), on the same container state.  The digest
+is written to ``benchmarks/results/core_hotpath.csv`` and the summary to
+``BENCH_core.json`` at the repo root, which doubles as the committed
+regression baseline: when the file is already present, the run fails if
+any indexed metric regressed more than 2x against it (set
+``BENCH_UPDATE=1`` to re-baseline deliberately).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from benchmarks.conftest import print_series, write_csv
+from repro.core import Channel, ConnectionMode, NEWEST, OLDEST
+from repro.core.gc import GarbageCollector
+from repro.util.stats import time_per_op
+
+BASELINE_PATH = Path(__file__).parent.parent / "BENCH_core.json"
+
+SIZES = [100, 1_000, 10_000]
+CONSUMERS = 4
+#: Generous noise allowance for the committed-baseline regression gate.
+REGRESSION_FACTOR = 2.0
+#: Acceptance floor: indexed hot paths at 10k live items vs seed scans.
+REQUIRED_SPEEDUP = 5.0
+
+
+def _build_channel(n: int):
+    """A channel holding *n* live items with CONSUMERS input connections."""
+    channel = Channel(f"hotpath-{n}")
+    out = channel.attach(ConnectionMode.OUT)
+    inputs = [channel.attach(ConnectionMode.IN) for _ in range(CONSUMERS)]
+    for ts in range(n):
+        out.put(ts, b"x" * 16)
+    return channel, inputs
+
+
+def _reference_get_marker(channel: Channel, connection, newest: bool):
+    """Seed-style marker get: scan every live item, pick the extremum."""
+    best = None
+    for ts, item in channel._items.items():
+        if item.is_consumed_by(connection.connection_id):
+            continue
+        if not connection.wants(ts, item.value):
+            continue
+        if best is None or (ts > best if newest else ts < best):
+            best = ts
+    return best
+
+
+def _reference_sweep(channel: Channel) -> int:
+    """Seed-style sweep: every live item checked against every consumer."""
+    dead = 0
+    for ts, item in channel._items.items():
+        inputs = channel.input_connections()
+        if not inputs:
+            break
+        for connection in inputs:
+            if item.is_consumed_by(connection.connection_id):
+                continue
+            if connection.wants(ts, item.value):
+                break
+        else:
+            dead += 1
+    return dead
+
+
+def _repeat_for(n: int) -> int:
+    # Keep wall time flat-ish across sizes: the reference paths are O(n).
+    return max(20, 20_000 // n)
+
+
+def test_bench_core_hotpath(results_dir):
+    rows = []
+    summary = {}
+    for n in SIZES:
+        channel, inputs = _build_channel(n)
+        reader = inputs[0]
+        try:
+            # Warm the scan hints once, as a steady-state reader would.
+            reader.get(NEWEST)
+            reader.get(OLDEST)
+            repeat = _repeat_for(n)
+            get_newest = time_per_op(lambda: reader.get(NEWEST), repeat)
+            get_oldest = time_per_op(lambda: reader.get(OLDEST), repeat)
+            ref_newest = time_per_op(
+                lambda: _reference_get_marker(channel, reader, True), repeat
+            )
+
+            # Steady-state sweep: nothing changed since the last one, so
+            # the daemon's visit must not rescan the n live items.
+            collector = GarbageCollector(interval=60.0)
+            collector.register(channel)
+            collector.sweep()  # absorbs the registration dirty mark
+            idle_sweep = time_per_op(collector.sweep, repeat)
+            ref_sweep = time_per_op(lambda: _reference_sweep(channel),
+                                    repeat)
+            collector.unregister(channel)
+
+            metrics = {
+                "get_newest_us": get_newest * 1e6,
+                "get_oldest_us": get_oldest * 1e6,
+                "ref_get_newest_us": ref_newest * 1e6,
+                "idle_sweep_us": idle_sweep * 1e6,
+                "ref_sweep_us": ref_sweep * 1e6,
+                "speedup_get_newest": ref_newest / get_newest,
+                "speedup_idle_sweep": ref_sweep / idle_sweep,
+            }
+            summary[str(n)] = metrics
+            rows.append([n] + [round(metrics[k], 3) for k in (
+                "get_newest_us", "ref_get_newest_us", "speedup_get_newest",
+                "idle_sweep_us", "ref_sweep_us", "speedup_idle_sweep",
+            )])
+        finally:
+            channel.destroy()
+
+    header = ["live_items", "get_newest_us", "ref_get_newest_us",
+              "speedup_get", "idle_sweep_us", "ref_sweep_us",
+              "speedup_sweep"]
+    write_csv(results_dir / "core_hotpath.csv", header, rows)
+    print_series("core hot paths: indexed vs seed-style scan",
+                 header, rows)
+
+    at_10k = summary["10000"]
+    assert at_10k["speedup_get_newest"] >= REQUIRED_SPEEDUP, (
+        f"get(NEWEST) at 10k items only "
+        f"{at_10k['speedup_get_newest']:.1f}x faster than a full scan"
+    )
+    assert at_10k["speedup_idle_sweep"] >= REQUIRED_SPEEDUP, (
+        f"idle sweep at 10k items only "
+        f"{at_10k['speedup_idle_sweep']:.1f}x faster than a full scan"
+    )
+
+    _check_or_write_baseline(summary)
+
+
+def _check_or_write_baseline(summary: dict) -> None:
+    if BASELINE_PATH.exists() and not os.environ.get("BENCH_UPDATE"):
+        baseline = json.loads(BASELINE_PATH.read_text())
+        regressions = []
+        for size, metrics in baseline.get("sizes", {}).items():
+            current = summary.get(size)
+            if current is None:
+                continue
+            for key in ("get_newest_us", "get_oldest_us", "idle_sweep_us"):
+                if key not in metrics:
+                    continue
+                if current[key] > metrics[key] * REGRESSION_FACTOR:
+                    regressions.append(
+                        f"{key}@{size}: {current[key]:.2f}us vs baseline "
+                        f"{metrics[key]:.2f}us"
+                    )
+        assert not regressions, (
+            "hot-path regression beyond "
+            f"{REGRESSION_FACTOR}x: {'; '.join(regressions)}"
+        )
+    else:
+        BASELINE_PATH.write_text(
+            json.dumps({"consumers": CONSUMERS, "sizes": summary},
+                       indent=2, sort_keys=True) + "\n"
+        )

@@ -19,12 +19,28 @@ indexed by timestamp:
 Bounded channels exert back-pressure: ``put`` blocks until collection
 frees a slot, which is the "efficient management and recycling of memory
 buffers" requirement (§2, item 7).
+
+Performance structure (see docs/API.md "Performance notes"):
+
+* ``_live_index`` — a bisect-maintained sorted list of live timestamps.
+  Extremal reads (``oldest_live``/``newest_live``, drop-oldest eviction)
+  are O(1); inserts and removals are an O(log n) search plus a C-level
+  ``memmove``.
+* Marker gets scan the index directionally and remember, per connection,
+  how far they got (``_hint_low``/``_hint_high``), so repeated
+  ``get(NEWEST)``/``get(OLDEST)`` calls never rescan items the connection
+  already consumed, floored past, or filtered out.
+* Reclamation is incremental: garbage-creating events record *candidate*
+  timestamps (bounded set) and mark the channel dirty; a sweep visits only
+  the candidates against one flat snapshot of the input connections,
+  instead of re-checking every item against every connection.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Optional, Set, Tuple
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.connection import Connection
 from repro.core.container import Container
@@ -46,6 +62,10 @@ from repro.errors import (
     ItemGarbageCollectedError,
     ItemNotFoundError,
 )
+
+#: Above this many pending dead-candidates a sweep costs as much as a full
+#: scan anyway, so the set stays bounded by collapsing to one.
+_MAX_DEAD_CANDIDATES = 1024
 
 
 class Channel(Container):
@@ -84,12 +104,38 @@ class Channel(Container):
         self.overflow = overflow
         self.evictions = 0
         self._items: Dict[Timestamp, Item] = {}
+        #: Sorted timestamps of the live items (``_items`` holds exactly
+        #: the live ones, so this mirrors its key set in order).
+        self._live_index: List[Timestamp] = []
+        #: Live bytes, maintained incrementally (puts add, reclaims
+        #: subtract) so footprint/peak accounting never rescans.
+        self._live_bytes = 0
         #: Highest timestamp W such that every ts <= W is reclaimed (or can
         #: never be put again).  Only reclamation advances it.
         self._watermark: Timestamp = -1  # type: ignore[assignment]
         #: Reclaimed timestamps above the watermark (holes from out-of-order
         #: consumption); folded into the watermark as they become contiguous.
         self._holes: Set[Timestamp] = set()
+        # -- incremental-GC state ------------------------------------------
+        #: Timestamps whose consumed-set / interest status changed; the
+        #: only items an incremental sweep needs to examine.
+        self._dead_candidates: Set[Timestamp] = set()
+        #: Set when an event invalidates *every* item at once (filter
+        #: change, detach, candidate overflow): next sweep scans all.
+        self._needs_full_sweep = False
+        #: Highest interest floor over current input connections: a put at
+        #: or below it may be garbage on arrival and must be a candidate.
+        self._max_floor: Timestamp = 0
+        #: Whether any input connection carries an attention filter (puts
+        #: can then be garbage on arrival for everyone).
+        self._filtered_inputs = False
+        # -- marker-scan hints ---------------------------------------------
+        #: Per-connection: every live ts strictly below the hint is of no
+        #: interest to that connection (consumed / floored / filtered).
+        self._hint_low: Dict[int, Timestamp] = {}
+        #: Per-connection: every live ts strictly above the hint is of no
+        #: interest to that connection.
+        self._hint_high: Dict[int, Timestamp] = {}
 
     # -- put ------------------------------------------------------------------
 
@@ -125,11 +171,45 @@ class Channel(Container):
                 self._check_put_timestamp(timestamp)
             item = Item(timestamp, value, size=size,
                         put_time=time.monotonic())
-            self._items[timestamp] = item
+            self._insert_item(item)
             self._record_put(item.size)
             trace(tracepoints.PUT, self.name, ts=timestamp,
                   size=item.size)
+            # A put below somebody's floor (or into a filtered channel) can
+            # be garbage on arrival; flag it for the incremental sweep.
+            if timestamp < self._max_floor or self._filtered_inputs:
+                self._add_dead_candidate(timestamp)
             self._not_empty.notify_all()
+
+    def _insert_item(self, item: Item) -> None:
+        """Add a live item to primary storage and the sorted index.
+
+        Caller holds the lock.  Also repairs marker-scan hints: the new
+        item is unseen, so any hint claiming its region was exhausted must
+        retreat to cover it.
+        """
+        timestamp = item.timestamp
+        self._items[timestamp] = item
+        insort(self._live_index, timestamp)
+        self._live_bytes += item.size
+        if self._hint_low:
+            for cid, hint in self._hint_low.items():
+                if timestamp < hint:
+                    self._hint_low[cid] = timestamp
+        if self._hint_high:
+            for cid, hint in self._hint_high.items():
+                if timestamp > hint:
+                    self._hint_high[cid] = timestamp
+
+    def _add_dead_candidate(self, timestamp: Timestamp) -> None:
+        """Remember *timestamp* for the next incremental sweep."""
+        candidates = self._dead_candidates
+        if len(candidates) >= _MAX_DEAD_CANDIDATES:
+            self._needs_full_sweep = True
+            candidates.clear()
+        if not self._needs_full_sweep:
+            candidates.add(timestamp)
+        self._mark_gc_dirty()
 
     def _evict_oldest(self) -> None:
         """Drop-oldest overflow: reclaim the lowest live timestamp.
@@ -137,13 +217,8 @@ class Channel(Container):
         Caller holds the lock and has verified the channel is full (so
         at least one live item exists).
         """
-        oldest = min(
-            (item for item in self._items.values()
-             if item.state is ItemState.LIVE),
-            key=lambda item: item.timestamp,
-        )
         self.evictions += 1
-        self._reclaim(oldest)
+        self._reclaim(self._items[self._live_index[0]])
 
     def _check_put_timestamp(self, timestamp: Timestamp) -> None:
         if timestamp in self._items:
@@ -192,7 +267,7 @@ class Channel(Container):
                         f"was garbage-collected"
                     )
                 item = self._items.get(timestamp)
-                if item is not None and item.state is ItemState.LIVE:
+                if item is not None:
                     self._gets += 1
                     return item.timestamp, item.value
                 if not block:
@@ -212,23 +287,11 @@ class Channel(Container):
                     ) -> Tuple[Timestamp, Any]:
         pick_newest = marker is NEWEST
         while True:
-            best: Optional[Item] = None
-            for item in self._items.values():
-                if item.state is not ItemState.LIVE:
-                    continue
-                if item.is_consumed_by(connection.connection_id):
-                    continue
-                if not connection.wants(item.timestamp, item.value):
-                    continue
-                if best is None:
-                    best = item
-                elif pick_newest and item.timestamp > best.timestamp:
-                    best = item
-                elif not pick_newest and item.timestamp < best.timestamp:
-                    best = item
-            if best is not None:
+            item = (self._scan_newest(connection) if pick_newest
+                    else self._scan_oldest(connection))
+            if item is not None:
                 self._gets += 1
-                return best.timestamp, best.value
+                return item.timestamp, item.value
             if not block:
                 raise ItemNotFoundError(
                     f"no live item for {marker!r} in channel {self.name!r}"
@@ -239,6 +302,51 @@ class Channel(Container):
                     f"{self.name!r}"
                 )
             self._check_connection(connection)
+
+    def _scan_newest(self, connection: Connection) -> Optional[Item]:
+        """Largest live timestamp this connection still wants, or None.
+
+        Walks the sorted index downward starting at the connection's high
+        hint — everything above it was already found uninteresting on a
+        previous scan and can never become interesting again (consume
+        marks and floors are monotone; filter changes reset the hint, and
+        new puts push it outward).
+        """
+        index = self._live_index
+        cid = connection.connection_id
+        hint = self._hint_high.get(cid)
+        if hint is None:
+            pos = len(index) - 1
+        else:
+            pos = bisect_right(index, hint) - 1
+        items = self._items
+        while pos >= 0:
+            item = items[index[pos]]
+            if (cid not in item.consumed_by
+                    and connection.wants(item.timestamp, item.value)):
+                self._hint_high[cid] = item.timestamp
+                return item
+            pos -= 1
+        self._hint_high[cid] = index[0] - 1 if index else -1
+        return None
+
+    def _scan_oldest(self, connection: Connection) -> Optional[Item]:
+        """Smallest live timestamp this connection still wants, or None."""
+        index = self._live_index
+        cid = connection.connection_id
+        hint = self._hint_low.get(cid)
+        pos = 0 if hint is None else bisect_left(index, hint)
+        items = self._items
+        end = len(index)
+        while pos < end:
+            item = items[index[pos]]
+            if (cid not in item.consumed_by
+                    and connection.wants(item.timestamp, item.value)):
+                self._hint_low[cid] = item.timestamp
+                return item
+            pos += 1
+        self._hint_low[cid] = index[-1] + 1 if index else 0
+        return None
 
     # -- consume / GC interface -------------------------------------------------
 
@@ -261,60 +369,114 @@ class Channel(Container):
 
     def consume_until(self, connection: Connection,
                       timestamp: Timestamp) -> None:
-        """Raise this connection's interest floor to *timestamp* and sweep."""
+        """Raise this connection's interest floor to *timestamp* and sweep.
+
+        Only live items *below the new floor* can have become garbage, so
+        exactly those join the candidate set (an index slice, not a scan
+        of everything) before the inline sweep.
+        """
         validate_timestamp(timestamp)
         with self._lock:
             self._check_connection(connection)
             self._consumes += 1
             connection._advance_floor(timestamp)
-            self._sweep()
+            if timestamp > self._max_floor:
+                self._max_floor = timestamp
+            split = bisect_left(self._live_index, timestamp)
+            if split:
+                self._dead_candidates.update(self._live_index[:split])
+                self._mark_gc_dirty()
+            if self._gc_dirty:
+                # Inline sweep covers candidates parked by earlier events
+                # too (e.g. puts below an already-advanced floor).
+                self._sweep()
 
     def collect_garbage(self) -> Tuple[int, int]:
-        """Sweep: reclaim every fully-dead item."""
+        """Sweep: reclaim every item flagged dead since the last sweep."""
         with self._lock:
             return self._sweep()
 
     def _sweep(self) -> Tuple[int, int]:
-        """Reclaim every fully-dead item.  Caller holds the lock."""
+        """Incremental sweep: visit only dead-candidates (or everything
+        after an invalidate-all event).  Caller holds the lock."""
+        self._gc_runs += 1
+        if self._needs_full_sweep:
+            candidates: "list[Timestamp] | Set[Timestamp]" = \
+                list(self._live_index)
+        elif self._dead_candidates:
+            candidates = self._dead_candidates
+        else:
+            self._gc_dirty = False
+            return 0, 0
+        views = [c.gc_view() for c in self.input_connections()]
+        if not views:
+            # Nothing can die without a consumer; keep the candidates (and
+            # go clean) until an input connection attaches and re-arms us.
+            self._gc_dirty = False
+            return 0, 0
         items = 0
         bytes_ = 0
-        for item in list(self._items.values()):
-            if item.state is ItemState.LIVE and self._is_dead(item):
+        lookup = self._items
+        for ts in list(candidates):
+            item = lookup.get(ts)
+            if item is not None and self._is_dead(item, views):
                 self._reclaim(item)
                 items += 1
                 bytes_ += item.size
+        self._needs_full_sweep = False
+        self._dead_candidates.clear()
+        self._gc_dirty = False
         if items:
             self._not_full.notify_all()
         return items, bytes_
 
     def _maybe_reclaim(self, item: Item) -> None:
-        if item.state is ItemState.LIVE and self._is_dead(item):
+        views = [c.gc_view() for c in self.input_connections()]
+        if views and self._is_dead(item, views):
             self._reclaim(item)
             self._not_full.notify_all()
 
-    def _is_dead(self, item: Item) -> bool:
+    @staticmethod
+    def _is_dead(
+        item: Item,
+        views: "list[tuple[int, Timestamp, Optional[Callable]]]",
+    ) -> bool:
         """An item is dead once every attached input connection is done with
         it — consumed it, floored past it, or filtered it out — and at least
-        one input connection exists to have expressed that disinterest."""
-        inputs = self.input_connections()
-        if not inputs:
-            return False
-        for conn in inputs:
-            if item.is_consumed_by(conn.connection_id):
+        one input connection exists to have expressed that disinterest.
+
+        *views* is the per-sweep flat snapshot of the input connections
+        (``Connection.gc_view``); the caller guarantees it is non-empty.
+        """
+        timestamp = item.timestamp
+        consumed = item.consumed_by
+        for cid, floor, attention in views:
+            if cid in consumed:
                 continue
-            if not conn.wants(item.timestamp, item.value):
+            if timestamp < floor:
                 continue
+            if attention is not None:
+                try:
+                    if not attention(timestamp, item.value):
+                        continue
+                except Exception:  # noqa: BLE001 - bad predicate: keep item
+                    pass
             return False  # this consumer may still want the item
         return True
 
     def _reclaim(self, item: Item) -> None:
         item.state = ItemState.GARBAGE
-        del self._items[item.timestamp]
-        self._record_hole(item.timestamp)
+        timestamp = item.timestamp
+        del self._items[timestamp]
+        index_pos = bisect_left(self._live_index, timestamp)
+        del self._live_index[index_pos]
+        self._live_bytes -= item.size
+        self._dead_candidates.discard(timestamp)
+        self._record_hole(timestamp)
         self._reclaimed += 1
-        trace(tracepoints.RECLAIM, self.name, ts=item.timestamp,
+        trace(tracepoints.RECLAIM, self.name, ts=timestamp,
               size=item.size)
-        errors = self.handlers.run_reclaim(item.timestamp, item.value)
+        errors = self.handlers.run_reclaim(timestamp, item.value)
         item.state = ItemState.RECLAIMED
         if errors:
             from repro.util.logging import get_logger
@@ -323,7 +485,7 @@ class Channel(Container):
             for exc in errors:
                 log.warning(
                     "reclaim handler for %s ts=%d raised: %r",
-                    self.name, item.timestamp, exc,
+                    self.name, timestamp, exc,
                 )
 
     def _record_hole(self, timestamp: Timestamp) -> None:
@@ -332,36 +494,74 @@ class Channel(Container):
             self._watermark += 1
             self._holes.discard(self._watermark)
 
+    # -- connection events ---------------------------------------------------------
+
+    def _on_attach(self, connection: Connection) -> None:
+        if not connection.mode.can_get:
+            return
+        if connection.attention_filter is not None:
+            # A filtered newcomer can make old items dead *immediately*
+            # (deadness needs >= 1 input, and this input wants nothing the
+            # filter rejects).
+            self._filtered_inputs = True
+            self._needs_full_sweep = True
+            self._mark_gc_dirty()
+        elif self._dead_candidates or self._needs_full_sweep:
+            # Work parked while the channel had no consumer (nothing can
+            # die without one) becomes actionable with this attach.
+            self._mark_gc_dirty()
+
+    def _on_detach(self, connection: Connection) -> None:
+        if not connection.mode.can_get:
+            return
+        cid = connection.connection_id
+        self._hint_low.pop(cid, None)
+        self._hint_high.pop(cid, None)
+        self._refresh_input_summary()
+        # The departed veto may have been the last one on any item.
+        self._needs_full_sweep = True
+        self._mark_gc_dirty()
+
+    def _on_attention_changed(self, connection: Connection) -> None:
+        cid = connection.connection_id
+        self._hint_low.pop(cid, None)
+        self._hint_high.pop(cid, None)
+        self._refresh_input_summary()
+        self._needs_full_sweep = True
+        self._mark_gc_dirty()
+
+    def _refresh_input_summary(self) -> None:
+        """Recompute the put-fast-path summary of the input connections."""
+        floors = [0]
+        filtered = False
+        for conn in self.input_connections():
+            floors.append(conn.interest_floor)
+            if conn.attention_filter is not None:
+                filtered = True
+        self._max_floor = max(floors)
+        self._filtered_inputs = filtered
+
     # -- introspection ------------------------------------------------------------
 
     def live_timestamps(self) -> "list[Timestamp]":
         """Sorted timestamps of live items (diagnostics and tests)."""
         with self._lock:
-            return sorted(
-                ts for ts, item in self._items.items()
-                if item.state is ItemState.LIVE
-            )
+            return list(self._live_index)
 
     @property
     def oldest_live(self) -> Optional[Timestamp]:
         """Smallest live timestamp, or None when empty."""
         with self._lock:
-            live = [ts for ts, i in self._items.items()
-                    if i.state is ItemState.LIVE]
-            return min(live) if live else None
+            return self._live_index[0] if self._live_index else None
 
     @property
     def newest_live(self) -> Optional[Timestamp]:
         """Largest live timestamp, or None when empty."""
         with self._lock:
-            live = [ts for ts, i in self._items.items()
-                    if i.state is ItemState.LIVE]
-            return max(live) if live else None
+            return self._live_index[-1] if self._live_index else None
 
     def _live_footprint(self) -> Tuple[int, int]:
-        live = [i for i in self._items.values()
-                if i.state is ItemState.LIVE]
-        return len(live), sum(i.size for i in live)
+        return len(self._live_index), self._live_bytes
 
     # -- internals -------------------------------------------------------------------
 

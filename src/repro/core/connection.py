@@ -137,6 +137,21 @@ class Connection:
                 return True  # conservatively keep the item
         return True
 
+    def gc_view(self) -> Tuple[int, Timestamp, Optional[Callable]]:
+        """Flat ``(connection_id, interest_floor, attention_filter)`` snapshot.
+
+        Sweeps iterate many items against few connections; taking one view
+        per connection per sweep (instead of calling :meth:`wants` per
+        item) keeps the inner loop to set lookups and integer compares.
+        The snapshot is consistent because both the sweep and every floor /
+        filter mutation run under the container lock.
+        """
+        return (
+            self.connection_id,
+            self._interest_floor,
+            self.attention_filter,
+        )
+
     # -- I/O delegation ---------------------------------------------------------
 
     def put(self, timestamp: Timestamp, value: Any,

@@ -92,6 +92,16 @@ class Container:
         self._not_full = threading.Condition(self._lock)
         self._destroyed = False
         self._connections: Dict[int, "Connection"] = {}
+        # Incremental-GC state: a container is *dirty* when an event that
+        # can create garbage has happened since its last sweep (consume
+        # that left work behind, interest-floor advance, filter change,
+        # connection detach, a put no attached consumer can want).  The
+        # collector daemon only visits dirty containers; a clean container
+        # costs it nothing.  Subclasses call ``_mark_gc_dirty`` from every
+        # such event — that is the dirty-marking contract.
+        self._gc_dirty = False
+        self._gc_notifier: Optional[Callable[["Container"], None]] = None
+        self._gc_runs = 0
         # statistics
         self._puts = 0
         self._gets = 0
@@ -121,6 +131,7 @@ class Container:
                 attention_filter=attention_filter,
             )
             self._connections[conn.connection_id] = conn
+            self._on_attach(conn)
             return conn
 
     def update_attention_filter(self, connection: "Connection",
@@ -137,6 +148,7 @@ class Container:
         with self._lock:
             self._check_connection(connection)
             connection.attention_filter = attention_filter
+            self._on_attention_changed(connection)
             self.collect_garbage()
             self._not_empty.notify_all()
             self._not_full.notify_all()
@@ -147,6 +159,7 @@ class Container:
             removed = self._connections.pop(connection.connection_id, None)
             if removed is not None:
                 connection._mark_detached()
+                self._on_detach(connection)
                 # A departing consumer may unblock reclamation.
                 self._not_full.notify_all()
                 self._not_empty.notify_all()
@@ -213,6 +226,8 @@ class Container:
             for conn in list(self._connections.values()):
                 conn._mark_detached()
             self._connections.clear()
+            # Wake the collector so it notices the corpse and unregisters.
+            self._mark_gc_dirty()
             self._not_empty.notify_all()
             self._not_full.notify_all()
 
@@ -262,6 +277,61 @@ class Container:
             )
 
     # -- GC hook -----------------------------------------------------------------
+
+    @property
+    def gc_dirty(self) -> bool:
+        """Whether a garbage-creating event happened since the last sweep.
+
+        The :class:`~repro.core.gc.GarbageCollector` daemon skips clean
+        containers entirely, so a quiescent container costs zero sweep
+        work per collection cycle.
+        """
+        return self._gc_dirty
+
+    @property
+    def gc_runs(self) -> int:
+        """Number of times a sweep actually examined this container."""
+        return self._gc_runs
+
+    def _mark_gc_dirty(self) -> None:
+        """Flag this container for the next incremental collection.
+
+        Called (under the container lock) by every event that can create
+        garbage which is not reclaimed inline.  Notifies the registered
+        collector so the daemon wakes promptly instead of waiting out its
+        polling interval — this is what makes collection event-driven.
+        """
+        if self._gc_dirty:
+            return
+        self._gc_dirty = True
+        notifier = self._gc_notifier
+        if notifier is not None:
+            notifier(self)
+
+    def _set_gc_notifier(
+        self, notifier: Optional[Callable[["Container"], None]]
+    ) -> None:
+        """Install (or clear) the collector's dirty-notification callback."""
+        with self._lock:
+            self._gc_notifier = notifier
+            if notifier is not None and self._gc_dirty:
+                notifier(self)
+
+    # Subclass event hooks, all invoked under the container lock.  The
+    # base implementations conservatively mark the container dirty; the
+    # concrete containers refine them (e.g. to invalidate marker-scan
+    # hints or request a full sweep).
+
+    def _on_attach(self, connection: "Connection") -> None:
+        """A connection attached (new input vetoes arrive *via* events)."""
+
+    def _on_detach(self, connection: "Connection") -> None:
+        """A connection detached: its vetoes vanish, anything may be dead."""
+        self._mark_gc_dirty()
+
+    def _on_attention_changed(self, connection: "Connection") -> None:
+        """A filter changed: previously wanted items may now be garbage."""
+        self._mark_gc_dirty()
 
     def collect_garbage(self) -> "tuple[int, int]":
         """Reclaim every item no attached input connection still needs.

@@ -13,6 +13,12 @@ connection on that channel.  The local sweep therefore sees the complete
 set of interests, and reclamation notifications to end devices travel
 through the reclaim-handler mechanism their surrogates installed
 (§3.2.4).
+
+Collection is *dirty-driven*: containers mark themselves dirty on the
+events that can create garbage (see ``Container._mark_gc_dirty``), and a
+sweep visits only the dirty ones.  A quiescent application costs the
+daemon nothing per cycle — it wakes, finds the dirty set empty, and goes
+back to sleep without touching a single container.
 """
 
 from __future__ import annotations
@@ -34,6 +40,10 @@ class GcReport:
     sweeps: int = 0
     items_reclaimed: int = 0
     bytes_reclaimed: int = 0
+    #: Containers actually examined (dirty at sweep time) across all sweeps.
+    containers_swept: int = 0
+    #: Containers skipped because they were clean, across all sweeps.
+    containers_skipped: int = 0
     per_container: Dict[str, int] = field(default_factory=dict)
 
     def record(self, container_name: str, items: int, bytes_: int) -> None:
@@ -53,7 +63,9 @@ class GarbageCollector:
     daemon exists to catch reclamation enabled by *other* events — interest
     floors advanced on different containers, detached connections, filter
     state — and to amortise sweep cost off the application's critical path,
-    as in the original system.
+    as in the original system.  Registered containers notify the collector
+    when a garbage-creating event dirties them; each sweep visits exactly
+    the dirty set, so clean containers are never rescanned.
 
     Parameters
     ----------
@@ -69,6 +81,7 @@ class GarbageCollector:
         self.interval = interval
         self.report = GcReport()
         self._containers: Dict[int, Container] = {}
+        self._dirty: Dict[int, Container] = {}
         self._lock = threading.Lock()
         self._wakeup = threading.Event()
         self._stop = threading.Event()
@@ -79,37 +92,63 @@ class GarbageCollector:
     # -- registration ------------------------------------------------------------
 
     def register(self, container: Container) -> None:
-        """Begin sweeping *container*."""
+        """Begin sweeping *container*.
+
+        The container is considered dirty at registration (events before
+        registration were invisible to this collector), and its dirty
+        notifications are wired up so subsequent events enqueue it.
+        """
         with self._lock:
             self._containers[container.container_id] = container
+            self._dirty[container.container_id] = container
+        container._set_gc_notifier(self._container_dirtied)
 
     def unregister(self, container: Container) -> None:
         """Stop sweeping *container*."""
+        container._set_gc_notifier(None)
         with self._lock:
             self._containers.pop(container.container_id, None)
+            self._dirty.pop(container.container_id, None)
 
     def registered(self) -> List[Container]:
         """Snapshot of the registered containers."""
         with self._lock:
             return list(self._containers.values())
 
+    def _container_dirtied(self, container: Container) -> None:
+        """Dirty-event callback installed on registered containers.
+
+        Runs under the *container's* lock; only enqueues (never calls back
+        into the container) so lock order stays container → collector.
+        """
+        with self._lock:
+            if container.container_id in self._containers:
+                self._dirty[container.container_id] = container
+
     # -- collection ---------------------------------------------------------------
 
     def sweep(self) -> "tuple[int, int]":
-        """Run one synchronous sweep over all registered containers.
+        """Run one synchronous sweep over the *dirty* containers.
 
-        Returns ``(items, bytes)`` reclaimed by this sweep.
+        Clean containers are skipped without being touched.  Returns
+        ``(items, bytes)`` reclaimed by this sweep.
         """
+        with self._lock:
+            dirty = list(self._dirty.values())
+            self._dirty.clear()
+            clean_count = len(self._containers) - len(dirty)
         total_items = 0
         total_bytes = 0
-        for container in self.registered():
+        for container in dirty:
             if container.destroyed:
                 self.unregister(container)
                 continue
             items, bytes_ = container.collect_garbage()
             self.report.record(container.name, items, bytes_)
+            self.report.containers_swept += 1
             total_items += items
             total_bytes += bytes_
+        self.report.containers_skipped += clean_count
         self.report.sweeps += 1
         return total_items, total_bytes
 

@@ -161,8 +161,7 @@ def _restore_channel(dec: XdrDecoder, name: Optional[str],
         timestamp = dec.unpack_hyper()
         payload = dec.unpack_opaque()
         value = _decode_payload(codec_name, deserializer, payload)
-        channel._items[timestamp] = Item(timestamp, value,
-                                         size=len(payload))
+        channel._insert_item(Item(timestamp, value, size=len(payload)))
     dec.done()
     return channel
 
@@ -178,7 +177,7 @@ def _checkpoint_queue(queue: SQueue, codec_name: str) -> bytes:
         enc.pack_bool(queue.auto_consume)
         # Redelivery: pending (dequeued, unconsumed) items are written
         # *ahead of* the queued ones — they were earlier in FIFO order.
-        pending = [item for _, item in queue._pending.values()]
+        pending = queue._pending_items()
         queued = list(queue._fifo)
         enc.pack_uint(len(pending) + len(queued))
         for item in pending + queued:
@@ -205,7 +204,6 @@ def _restore_queue(dec: XdrDecoder, name: Optional[str],
         timestamp = dec.unpack_hyper()
         payload = dec.unpack_opaque()
         value = _decode_payload(codec_name, deserializer, payload)
-        item = Item(timestamp, value, size=len(payload))
-        queue._fifo.append(item)
+        queue._restore_item(Item(timestamp, value, size=len(payload)))
     dec.done()
     return queue

@@ -18,12 +18,21 @@ Semantics that differ from channels:
 
 The class is named ``SQueue`` ("Stampede queue") to avoid clashing with
 :mod:`queue` in the standard library.
+
+Performance structure (see docs/API.md "Performance notes"): dequeued-but-
+unconsumed items are indexed per connection and per timestamp, so
+``consume``/``consume_until`` touch exactly the items they release instead
+of scanning every pending item; queued-item reclamation is incremental
+(new puts are the only sweep candidates until a floor/filter/detach event
+forces one full pass), and the queue participates in the collector's
+dirty-marking protocol so idle queues cost the daemon nothing.
 """
 
 from __future__ import annotations
 
 import itertools
 import time
+from bisect import bisect_left, insort
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
@@ -68,10 +77,25 @@ class SQueue(Container):
         super().__init__(name=name, capacity=capacity)
         self.auto_consume = auto_consume
         self._fifo: Deque[Item] = deque()
-        #: Dequeued, not-yet-consumed items: seq -> (connection_id, item).
-        self._pending: Dict[int, Tuple[int, Item]] = {}
+        #: Dequeued, not-yet-consumed items in dequeue order: seq -> item
+        #: (insertion-ordered dict; the order matters for checkpointing).
+        self._pending: Dict[int, Item] = {}
         self._seq = itertools.count(1)
-        self._pending_seq_by_item: Dict[int, int] = {}
+        #: Per-connection pending index: cid -> ts -> [seq, ...] so that
+        #: ``consume(ts)`` pops exactly its bucket instead of scanning all
+        #: pending items.
+        self._pending_index: Dict[int, Dict[Timestamp, List[int]]] = {}
+        #: Per-connection sorted list of pending timestamps (bisect-kept)
+        #: so ``consume_until`` releases a prefix in O(released).
+        self._pending_ts: Dict[int, List[Timestamp]] = {}
+        #: Bytes held by queued + pending items, kept incrementally.
+        self._held_bytes = 0
+        #: Queued items that arrived since the last sweep: the only items
+        #: an incremental sweep must test for dead-on-arrival status.
+        self._sweep_candidates: List[Item] = []
+        #: Set by floor/filter/detach events, which can kill *any* queued
+        #: item: the next sweep walks the whole FIFO once.
+        self._needs_full_sweep = False
 
     # -- put ---------------------------------------------------------------------
 
@@ -96,9 +120,14 @@ class SQueue(Container):
             item = Item(timestamp, value, size=size,
                         put_time=time.monotonic())
             self._fifo.append(item)
+            self._held_bytes += item.size
             self._record_put(item.size)
             trace(tracepoints.PUT, self.name, ts=timestamp,
                   size=item.size)
+            # The newcomer may be acceptable to nobody (floored or filtered
+            # out by every worker): flag it for the incremental sweep.
+            self._sweep_candidates.append(item)
+            self._mark_gc_dirty()
             self._not_empty.notify_all()
 
     def _held(self) -> int:
@@ -128,18 +157,15 @@ class SQueue(Container):
         with self._lock:
             self._check_connection(connection)
             while True:
-                item = self._first_acceptable(connection)
+                item = self._dequeue_acceptable(connection)
                 if item is not None:
-                    self._fifo.remove(item)
                     self._gets += 1
                     if self.auto_consume:
                         self._reclaim(item)
+                        self._held_bytes -= item.size
                         self._not_full.notify_all()
                     else:
-                        item.dequeued_by = connection.connection_id
-                        seq = next(self._seq)
-                        self._pending[seq] = (connection.connection_id, item)
-                        self._pending_seq_by_item[id(item)] = seq
+                        self._add_pending(connection.connection_id, item)
                     return item.timestamp, item.value
                 if not block:
                     raise ItemNotFoundError(
@@ -151,16 +177,36 @@ class SQueue(Container):
                     )
                 self._check_connection(connection)
 
-    def _first_acceptable(self, connection: Connection) -> Optional[Item]:
-        """First queued item passing the connection's selective attention.
+    def _dequeue_acceptable(self, connection: Connection) -> Optional[Item]:
+        """Remove and return the first queued item passing the connection's
+        selective attention, or None.
 
         Items the connection filters out are *skipped, not removed* — they
-        remain available to sibling workers with different filters.
+        remain available to sibling workers with different filters.  The
+        overwhelmingly common unfiltered case pays one O(1) ``popleft``.
         """
-        for item in self._fifo:
+        fifo = self._fifo
+        for index, item in enumerate(fifo):
             if connection.wants(item.timestamp, item.value):
+                if index == 0:
+                    fifo.popleft()
+                else:
+                    del fifo[index]
                 return item
         return None
+
+    def _add_pending(self, connection_id: int, item: Item) -> None:
+        item.dequeued_by = connection_id
+        seq = next(self._seq)
+        self._pending[seq] = item
+        buckets = self._pending_index.setdefault(connection_id, {})
+        bucket = buckets.get(item.timestamp)
+        if bucket is None:
+            buckets[item.timestamp] = [seq]
+            insort(self._pending_ts.setdefault(connection_id, []),
+                   item.timestamp)
+        else:
+            bucket.append(seq)
 
     # -- consume / GC ------------------------------------------------------------
 
@@ -170,10 +216,16 @@ class SQueue(Container):
         with self._lock:
             self._check_connection(connection)
             self._consumes += 1
-            self._consume_pending(
-                lambda cid, item: cid == connection.connection_id
-                and item.timestamp == timestamp
-            )
+            cid = connection.connection_id
+            buckets = self._pending_index.get(cid)
+            if not buckets:
+                return
+            seqs = buckets.pop(timestamp, None)
+            if seqs is None:
+                return
+            ts_list = self._pending_ts[cid]
+            del ts_list[bisect_left(ts_list, timestamp)]
+            self._release_pending(seqs)
 
     def consume_until(self, connection: Connection,
                       timestamp: Timestamp) -> None:
@@ -186,21 +238,29 @@ class SQueue(Container):
             self._check_connection(connection)
             self._consumes += 1
             connection._advance_floor(timestamp)
-            self._consume_pending(
-                lambda cid, item: cid == connection.connection_id
-                and item.timestamp < timestamp
-            )
+            cid = connection.connection_id
+            ts_list = self._pending_ts.get(cid)
+            if ts_list:
+                split = bisect_left(ts_list, timestamp)
+                if split:
+                    buckets = self._pending_index[cid]
+                    seqs: List[int] = []
+                    for ts in ts_list[:split]:
+                        seqs.extend(buckets.pop(ts))
+                    del ts_list[:split]
+                    self._release_pending(seqs)
+            # The raised floor may strand already-queued items below it.
+            self._needs_full_sweep = True
             self._sweep_queued()
 
-    def _consume_pending(self, predicate: Any) -> None:
-        reclaimed = False
-        for seq, (cid, item) in list(self._pending.items()):
-            if predicate(cid, item):
-                del self._pending[seq]
-                self._pending_seq_by_item.pop(id(item), None)
-                self._reclaim(item)
-                reclaimed = True
-        if reclaimed:
+    def _release_pending(self, seqs: List[int]) -> None:
+        """Reclaim the pending items behind *seqs*.  Caller holds the lock
+        and has already unlinked them from the per-connection index."""
+        for seq in seqs:
+            item = self._pending.pop(seq)
+            self._held_bytes -= item.size
+            self._reclaim(item)
+        if seqs:
             self._not_full.notify_all()
 
     def collect_garbage(self) -> Tuple[int, int]:
@@ -209,21 +269,55 @@ class SQueue(Container):
             return self._sweep_queued()
 
     def _sweep_queued(self) -> Tuple[int, int]:
-        inputs = self.input_connections()
-        if not inputs:
+        self._gc_runs += 1
+        if self._needs_full_sweep:
+            candidates: "list[Item] | Deque[Item]" = self._fifo
+        elif self._sweep_candidates:
+            candidates = self._sweep_candidates
+        else:
+            self._gc_dirty = False
             return 0, 0
-        dead: List[Item] = [
-            item for item in self._fifo
-            if not any(c.wants(item.timestamp, item.value) for c in inputs)
-        ]
+        views = [c.gc_view() for c in self.input_connections()]
+        if not views:
+            # No consumer: queued items are immortal for now; keep the
+            # candidates until an input connection attaches.
+            self._gc_dirty = False
+            return 0, 0
+        dead: List[Item] = []
+        for item in candidates:
+            if item.state is not ItemState.LIVE or \
+                    item.dequeued_by is not None:
+                # Stale candidate: reclaimed already, or dequeued and now
+                # awaiting its worker's consume — either way not queued.
+                continue
+            timestamp = item.timestamp
+            for cid, floor, attention in views:
+                if timestamp < floor:
+                    continue
+                if attention is not None:
+                    try:
+                        if not attention(timestamp, item.value):
+                            continue
+                    except Exception:  # noqa: BLE001 - keep item
+                        pass
+                break  # someone may still accept it
+            else:
+                dead.append(item)
+        self._needs_full_sweep = False
+        self._sweep_candidates = []
+        self._gc_dirty = False
         items = 0
         bytes_ = 0
-        for item in dead:
-            self._fifo.remove(item)
-            self._reclaim(item)
-            items += 1
-            bytes_ += item.size
-        if items:
+        if dead:
+            dead_ids = {id(item) for item in dead}
+            self._fifo = deque(
+                item for item in self._fifo if id(item) not in dead_ids
+            )
+            for item in dead:
+                self._held_bytes -= item.size
+                self._reclaim(item)
+                items += 1
+                bytes_ += item.size
             self._not_full.notify_all()
         return items, bytes_
 
@@ -244,6 +338,28 @@ class SQueue(Container):
                     self.name, item.timestamp, exc,
                 )
 
+    # -- connection events ---------------------------------------------------------
+
+    def _on_attach(self, connection: Connection) -> None:
+        if not connection.mode.can_get:
+            return
+        if connection.attention_filter is not None:
+            self._needs_full_sweep = True
+            self._mark_gc_dirty()
+        elif self._sweep_candidates or self._needs_full_sweep:
+            self._mark_gc_dirty()
+
+    def _on_detach(self, connection: Connection) -> None:
+        if not connection.mode.can_get:
+            return
+        # A sibling worker's veto is gone; any queued item may be dead now.
+        self._needs_full_sweep = True
+        self._mark_gc_dirty()
+
+    def _on_attention_changed(self, connection: Connection) -> None:
+        self._needs_full_sweep = True
+        self._mark_gc_dirty()
+
     # -- introspection -------------------------------------------------------------
 
     def __len__(self) -> int:
@@ -262,11 +378,20 @@ class SQueue(Container):
         with self._lock:
             return [item.timestamp for item in self._fifo]
 
+    def _pending_items(self) -> List[Item]:
+        """Dequeued-but-unconsumed items in dequeue order (checkpointing)."""
+        return list(self._pending.values())
+
     def _live_footprint(self) -> Tuple[int, int]:
-        queued = list(self._fifo) + [i for _, i in self._pending.values()]
-        return len(queued), sum(i.size for i in queued)
+        return len(self._fifo) + len(self._pending), self._held_bytes
 
     # -- internals -------------------------------------------------------------------
+
+    def _restore_item(self, item: Item) -> None:
+        """Re-queue a checkpointed item (see :mod:`repro.core.persistence`)."""
+        self._fifo.append(item)
+        self._held_bytes += item.size
+        self._sweep_candidates.append(item)
 
     def _wait(self, condition: Any, deadline: Optional[float]) -> bool:
         if deadline is None:

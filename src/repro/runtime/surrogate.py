@@ -149,6 +149,15 @@ class Surrogate:
     def _handle(self, request_id: int, opcode: int, args) -> None:
         is_cast = request_id == ops.CAST_REQUEST_ID
         try:
+            if opcode == ops.OP_BYE:
+                # A clean goodbye races queued casts: the device fires
+                # consume casts and BYE back to back, TCP delivers them in
+                # order, but the casts execute on per-connection worker
+                # threads while BYE runs inline here.  Executing BYE
+                # first would detach the connections out from under the
+                # queued consumes and lose them (leaving items live
+                # forever), so drain the workers before saying goodbye.
+                self._drain_executors()
             results = self.service.execute(opcode, args)
             self.requests_served += 1
             if opcode == ops.OP_BYE:
@@ -188,6 +197,15 @@ class Surrogate:
 
     # -- teardown --------------------------------------------------------------------
 
+    def _drain_executors(self) -> None:
+        """Run every queued request to completion and park the workers."""
+        with self._executors_lock:
+            executors = list(self._executors.values())
+        for executor in executors:
+            executor.stop()
+        for executor in executors:
+            executor.join(timeout=2.0)
+
     def close(self) -> None:
         """Annihilate the surrogate: release session state, drop the pipe.
 
@@ -197,11 +215,11 @@ class Surrogate:
         if self._closed.is_set():
             return
         self._closed.set()
+        # Same ordering as the BYE path: queued casts must finish before
+        # the session's connections detach underneath them.
+        self._drain_executors()
         with self._executors_lock:
-            executors = list(self._executors.values())
             self._executors.clear()
-        for executor in executors:
-            executor.stop()
         self.service.close()
         self.connection.close()
         if self._on_close is not None:
@@ -252,6 +270,14 @@ class _SerialExecutor:
     def stop(self) -> None:
         """Stop the executor after the queued requests drain."""
         self._queue.put(self._STOP)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for the drain to finish (no-op from the executor's own
+        thread — a BYE executes *on* this executor and must not
+        self-join)."""
+        if threading.current_thread() is self._thread:
+            return
+        self._thread.join(timeout=timeout)
 
     def _run(self) -> None:
         while True:

@@ -29,19 +29,24 @@ class TcpConnection(StreamTransport):
     def __init__(self, sock: socket.socket) -> None:
         self._sock = sock
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # Addresses are immutable for a connected socket; caching them
+        # keeps the properties usable (and syscall-free) after close.
+        self._peer: Address = sock.getpeername()
+        self._local: Address = sock.getsockname()
         self._send_lock = threading.Lock()
         self._recv_lock = threading.Lock()
+        self._timeout: Optional[float] = sock.gettimeout()
         self._closed = False
 
     @property
     def peer_address(self) -> Address:
         """The remote endpoint's (host, port)."""
-        return self._sock.getpeername()
+        return self._peer
 
     @property
     def local_address(self) -> Address:
         """This endpoint's (host, port)."""
-        return self._sock.getsockname()
+        return self._local
 
     def send_frame(self, payload: bytes) -> None:
         """Send one length-prefixed frame (thread-safe)."""
@@ -55,7 +60,17 @@ class TcpConnection(StreamTransport):
         if self._closed:
             raise TransportClosedError("TCP connection is closed")
         with self._recv_lock:
-            self._sock.settimeout(timeout)
+            # Receive loops poll with a constant timeout; skip the
+            # setsockopt syscall when it hasn't changed.
+            if timeout != self._timeout:
+                try:
+                    self._sock.settimeout(timeout)
+                except OSError as exc:
+                    # Racing close(): the fd is gone.
+                    raise TransportClosedError(
+                        f"TCP connection is closed: {exc}"
+                    ) from None
+                self._timeout = timeout
             try:
                 return read_frame(self._sock)
             except socket.timeout:

@@ -49,6 +49,7 @@ class UdpTransport(DatagramTransport):
         except OSError:
             self._sock.close()
             raise
+        self._timeout: Optional[float] = self._sock.gettimeout()
         self._closed = False
 
     @property
@@ -75,7 +76,17 @@ class UdpTransport(DatagramTransport):
         """Receive (source, payload), waiting up to *timeout*."""
         if self._closed:
             raise TransportClosedError("UDP transport is closed")
-        self._sock.settimeout(timeout)
+        # Receive loops poll with a constant timeout; skip the syscall
+        # when it hasn't changed, and translate the racing-close() EBADF
+        # the same way a failed recv would be.
+        if timeout != self._timeout:
+            try:
+                self._sock.settimeout(timeout)
+            except OSError as exc:
+                raise TransportClosedError(
+                    f"UDP transport is closed: {exc}"
+                ) from None
+            self._timeout = timeout
         try:
             payload, source = self._sock.recvfrom(MAX_DATAGRAM + 1)
         except socket.timeout:

@@ -9,8 +9,9 @@ same summary quantities without pulling in numpy for the core library
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Callable, Iterable, List, Sequence
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
@@ -179,3 +180,26 @@ def mbps(total_bytes: float, seconds: float) -> float:
     if seconds <= 0.0:
         raise ValueError("seconds must be positive")
     return total_bytes / 1e6 / seconds
+
+
+def time_per_op(fn: Callable[[], object], repeat: int,
+                best_of: int = 3) -> float:
+    """Seconds per call of *fn*, measured timeit-style.
+
+    Runs *best_of* batches of *repeat* calls against a monotonic clock
+    and returns the fastest batch's per-call time — the minimum is the
+    standard estimator for hot-path microbenchmarks because scheduler
+    noise only ever adds time.
+    """
+    if repeat <= 0:
+        raise ValueError("repeat must be positive")
+    if best_of <= 0:
+        raise ValueError("best_of must be positive")
+    best = math.inf
+    for _ in range(best_of):
+        start = time.perf_counter()
+        for _ in range(repeat):
+            fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best / repeat

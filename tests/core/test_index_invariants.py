@@ -1,0 +1,254 @@
+"""Invariants of the channel's sorted timestamp index and scan hints.
+
+The indexed hot paths (sorted ``_live_index``, per-connection marker-scan
+hints, dead-candidate sets) must be observationally identical to a brute
+force over the live item dictionary.  These tests cross-check them under
+randomized operation sequences and pin down the index-adjacent behaviors:
+drop-oldest eviction order, watermark/holes folding, and the collector
+skipping clean containers.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Channel, ConnectionMode, NEWEST, OLDEST, SQueue
+from repro.core.gc import GarbageCollector
+from repro.errors import ItemNotFoundError
+
+
+def _brute_force_marker(channel, connection, newest):
+    """What get(NEWEST/OLDEST) must return, computed without the index."""
+    best = None
+    for ts, item in channel._items.items():
+        if item.is_consumed_by(connection.connection_id):
+            continue
+        if not connection.wants(ts, item.value):
+            continue
+        if best is None or (ts > best if newest else ts < best):
+            best = ts
+    return best
+
+
+def _marker_get(connection, marker):
+    try:
+        ts, _ = connection.get(marker, block=False)
+        return ts
+    except ItemNotFoundError:
+        return None
+
+
+def _check_index(channel):
+    live = sorted(channel._items)
+    assert channel._live_index == live
+    assert channel.oldest_live == (live[0] if live else None)
+    assert channel.newest_live == (live[-1] if live else None)
+    assert channel._live_bytes == sum(
+        item.size for item in channel._items.values()
+    )
+
+
+class TestMarkerGetsMatchBruteForce:
+    """Property-style cross-check of hinted marker scans."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_random_operation_sequences(self, seed):
+        rng = random.Random(seed)
+        channel = Channel(f"xcheck-{seed}")
+        out = channel.attach(ConnectionMode.OUT)
+        filters = [None, lambda ts, v: ts % 2 == 0,
+                   lambda ts, v: ts % 3 != 0]
+        inputs = [
+            channel.attach(ConnectionMode.IN,
+                           attention_filter=rng.choice(filters))
+            for _ in range(3)
+        ]
+        next_ts = 0
+        try:
+            for _ in range(400):
+                op = rng.random()
+                live = channel.live_timestamps()
+                if op < 0.45 or not live:
+                    # Put, occasionally leaving timestamp gaps.
+                    next_ts += rng.choice([1, 1, 1, 2, 5])
+                    out.put(next_ts, f"v{next_ts}")
+                elif op < 0.65:
+                    conn = rng.choice(inputs)
+                    ts = rng.choice(live)
+                    if not conn.container._items[ts].is_consumed_by(
+                            conn.connection_id):
+                        conn.consume(ts)
+                elif op < 0.80:
+                    rng.choice(inputs).consume_until(rng.choice(live) + 1)
+                elif op < 0.90:
+                    rng.choice(inputs).set_attention_filter(
+                        rng.choice(filters))
+                else:
+                    channel.collect_garbage()
+                # Every connection's marker gets must agree with a brute
+                # force at every step — this is what the hints must not
+                # break.
+                for conn in inputs:
+                    expected_new = _brute_force_marker(channel, conn, True)
+                    expected_old = _brute_force_marker(channel, conn, False)
+                    assert _marker_get(conn, NEWEST) == expected_new
+                    assert _marker_get(conn, OLDEST) == expected_old
+                _check_index(channel)
+        finally:
+            channel.destroy()
+
+    def test_detach_invalidates_hints_and_frees_items(self):
+        channel = Channel("detach-hints")
+        out = channel.attach(ConnectionMode.OUT)
+        a = channel.attach(ConnectionMode.IN)
+        b = channel.attach(ConnectionMode.IN)
+        for ts in range(10):
+            out.put(ts, ts)
+        for ts in range(10):
+            a.consume(ts)
+        assert _marker_get(a, NEWEST) is None  # hint now parked past the top
+        a.detach()
+        # b's view is unaffected and the items a consumed are still live
+        # for b; once b consumes, they actually die.
+        assert _marker_get(b, NEWEST) == 9
+        b.consume_until(10)
+        assert channel.live_timestamps() == []
+        channel.destroy()
+
+    def test_put_below_hint_is_still_found(self):
+        channel = Channel("hint-retreat")
+        out = channel.attach(ConnectionMode.OUT)
+        inp = channel.attach(ConnectionMode.IN)
+        out.put(5, "five")
+        assert _marker_get(inp, OLDEST) == 5
+        inp.consume(5)
+        assert _marker_get(inp, OLDEST) is None
+        # A later put *below* the failed-scan hint must retreat it.
+        out.put(3, "three")
+        assert _marker_get(inp, OLDEST) == 3
+        assert _marker_get(inp, NEWEST) == 3
+        channel.destroy()
+
+
+class TestDropOldestEviction:
+    def test_eviction_follows_timestamp_order(self):
+        channel = Channel("dropper", capacity=3,
+                          overflow=Channel.OVERFLOW_DROP_OLDEST)
+        out = channel.attach(ConnectionMode.OUT)
+        channel.attach(ConnectionMode.IN)
+        reclaimed = []
+        channel.add_reclaim_handler(
+            lambda ts, value: reclaimed.append(ts))
+        # Out-of-order puts: eviction must follow timestamp order, not
+        # arrival order — 3 is the oldest live item even though it
+        # arrived second.
+        for ts in (7, 3, 9):
+            out.put(ts, ts)
+        out.put(1, 1)
+        assert reclaimed == [3]
+        assert channel.live_timestamps() == [1, 7, 9]
+        channel.destroy()
+
+    def test_eviction_reclaims_lowest_live_timestamp(self):
+        channel = Channel("dropper2", capacity=3,
+                          overflow=Channel.OVERFLOW_DROP_OLDEST)
+        out = channel.attach(ConnectionMode.OUT)
+        channel.attach(ConnectionMode.IN)
+        reclaimed = []
+        channel.add_reclaim_handler(
+            lambda ts, value: reclaimed.append(ts))
+        for ts in (10, 30, 20):
+            out.put(ts, ts)
+        out.put(40, 40)
+        out.put(50, 50)
+        assert reclaimed == [10, 20]
+        assert channel.live_timestamps() == [30, 40, 50]
+        channel.destroy()
+
+
+class TestWatermarkFolding:
+    def test_out_of_order_reclaim_folds_holes_into_watermark(self):
+        channel = Channel("folding")
+        out = channel.attach(ConnectionMode.OUT)
+        inp = channel.attach(ConnectionMode.IN)
+        for ts in range(5):
+            out.put(ts, ts)
+        # Reclaim 2, 4, 1 — none adjacent to the watermark (-1), so all
+        # stay holes until 0 goes, then the run 0..2 folds, then 3 and 4.
+        for ts in (2, 4, 1):
+            inp.consume(ts)
+        assert channel._watermark == -1
+        assert channel._holes == {1, 2, 4}
+        inp.consume(0)
+        assert channel._watermark == 2
+        assert channel._holes == {4}
+        inp.consume(3)
+        assert channel._watermark == 4
+        assert channel._holes == set()
+        channel.destroy()
+
+    def test_single_use_timestamps_survive_indexing(self):
+        channel = Channel("single-use")
+        out = channel.attach(ConnectionMode.OUT)
+        inp = channel.attach(ConnectionMode.IN)
+        out.put(0, "a")
+        inp.consume(0)
+        from repro.errors import BadTimestampError
+        with pytest.raises(BadTimestampError):
+            out.put(0, "again")
+        channel.destroy()
+
+
+class TestIdleContainersCostNothing:
+    """Acceptance criterion: the daemon does zero per-container sweep work
+    on idle containers."""
+
+    def test_clean_containers_are_skipped(self):
+        collector = GarbageCollector(interval=60.0)
+        idle = Channel("idle")
+        busy = Channel("busy")
+        out = busy.attach(ConnectionMode.OUT)
+        inp = busy.attach(ConnectionMode.IN)
+        collector.register(idle)
+        collector.register(busy)
+        collector.sweep()  # absorb the registration dirty marks
+        idle_runs = idle.gc_runs
+        out.put(0, "x")
+        inp.consume_until(5)   # floor advance: busy re-dirties itself
+        out.put(1, "y")        # below the floor: put fast-path candidate
+        for _ in range(25):
+            collector.sweep()
+        # The busy container was examined; the idle one never again.
+        assert idle.gc_runs == idle_runs
+        assert busy.gc_runs > 0
+        assert collector.report.containers_skipped >= 25
+        assert idle.gc_dirty is False
+        idle.destroy()
+        busy.destroy()
+
+    def test_put_below_floor_is_reclaimed_by_daemon_path(self):
+        collector = GarbageCollector(interval=60.0)
+        channel = Channel("late-put")
+        out = channel.attach(ConnectionMode.OUT)
+        inp = channel.attach(ConnectionMode.IN)
+        collector.register(channel)
+        collector.sweep()
+        inp.consume_until(100)
+        collector.sweep()
+        out.put(5, "late")     # instantly garbage: below the floor
+        assert channel.gc_dirty is True
+        items, _ = collector.sweep()
+        assert items == 1
+        assert channel.live_timestamps() == []
+        channel.destroy()
+
+    def test_queue_sweep_skips_clean_queue(self):
+        collector = GarbageCollector(interval=60.0)
+        queue = SQueue("idle-q")
+        collector.register(queue)
+        collector.sweep()
+        runs = queue.gc_runs
+        for _ in range(10):
+            collector.sweep()
+        assert queue.gc_runs == runs
+        queue.destroy()

@@ -109,6 +109,36 @@ class TestTcp:
         client, server = tcp_pair
         assert client.peer_address == server.local_address
 
+    def test_addresses_survive_close(self, tcp_pair):
+        client, server = tcp_pair
+        peer = client.peer_address
+        local = client.local_address
+        client.close()
+        # Cached at construction: still answerable without a live fd.
+        assert client.peer_address == peer
+        assert client.local_address == local
+
+    def test_repeated_timeout_skips_settimeout_syscall(self, tcp_pair):
+        client, server = tcp_pair
+        calls = []
+        real_sock = server._sock
+
+        class CountingSocket:
+            def settimeout(self, value):
+                calls.append(value)
+                real_sock.settimeout(value)
+
+            def __getattr__(self, name):
+                return getattr(real_sock, name)
+
+        server._sock = CountingSocket()
+        for _ in range(5):
+            client.send_frame(b"ping")
+            server.recv_frame(timeout=5.0)
+        # A polling receive loop reuses one timeout; only the first
+        # recv_frame should have touched the socket option.
+        assert calls == [5.0]
+
     def test_accept_timeout(self):
         with TcpListener() as listener:
             with pytest.raises(DeliveryTimeoutError):
