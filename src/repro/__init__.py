@@ -47,7 +47,9 @@ from repro.core.filters import (
     TsRange,
 )
 from repro.client.client import RemoteConnection, StampedeClient
+from repro.client.retry import NO_RETRY, RetryPolicy
 from repro.errors import StampedeError
+from repro.transport.faults import FaultPlan
 from repro.runtime.api import StampedeApp
 from repro.runtime.federation import FederatedRuntime
 from repro.runtime.nameserver import NameRecord, NameServer
@@ -64,10 +66,13 @@ __all__ = [
     "Channel",
     "Connection",
     "ConnectionMode",
+    "FaultPlan",
     "FederatedRuntime",
     "FieldEquals",
     "GarbageCollector",
+    "NO_RETRY",
     "NotF",
+    "RetryPolicy",
     "SizeAtMost",
     "TsModulo",
     "TsRange",

@@ -9,7 +9,9 @@ reclaim-notification piggybacking — is shared, exactly as the original's
 two client libraries spoke one wire protocol.
 """
 
+from repro.client.retry import NO_RETRY, RetryPolicy
 from repro.client.rpc import RpcChannel
 from repro.client.client import RemoteConnection, StampedeClient
 
-__all__ = ["RemoteConnection", "RpcChannel", "StampedeClient"]
+__all__ = ["NO_RETRY", "RemoteConnection", "RetryPolicy", "RpcChannel",
+           "StampedeClient"]

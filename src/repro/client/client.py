@@ -10,14 +10,27 @@ Choose the personality with ``codec``:
 
 * ``"xdr"`` — the C client library (§3.2.1, XDR marshalling);
 * ``"jdr"`` — the Java client library (object-graph marshalling).
+
+Tentacles are flaky (the whole premise of the Octopus model), so the
+client is fault tolerant by default: transport failures put it in a
+**degraded** state, a capped-exponential-backoff reconnect re-dials the
+cluster and RESUMEs the session (the surrogate parks it for a grace
+period — see ``session_grace`` on :class:`~repro.runtime.server
+.StampedeServer`), and retry-safe operations are transparently
+re-issued under a :class:`~repro.client.retry.RetryPolicy`.  The
+``on_degraded`` / ``on_recovered`` callbacks let an application degrade
+gracefully (a videoconference can drop to keyframes-only while the link
+is out).  ``docs/FAULTS.md`` is the authoritative failure model.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.client.retry import RetryPolicy
 from repro.core.connection import ConnectionMode
 from repro.core.filters import AttentionFilter
 from repro.core.timestamps import (
@@ -28,13 +41,30 @@ from repro.core.timestamps import (
     is_marker,
     validate_timestamp,
 )
-from repro.errors import ConnectionClosedError, ConnectionModeError
+from repro.errors import (
+    ConnectionClosedError,
+    ConnectionModeError,
+    DuplicateTimestampError,
+    NameAlreadyBoundError,
+    NameNotBoundError,
+    RetryExhaustedError,
+    RpcTimeoutError,
+    SessionResumeError,
+    StampedeError,
+    TransportClosedError,
+    TransportError,
+)
 from repro.marshal import get_codec
 from repro.runtime import ops
+from repro.transport.base import StreamTransport
 from repro.transport.tcp import connect_tcp
 from repro.util.logging import get_logger
 
 _log = get_logger("client")
+
+#: Hook applied to every freshly dialled transport (fault injection,
+#: instrumentation): ``wrapper(connection) -> connection``.
+TransportWrapper = Callable[[StreamTransport], StreamTransport]
 
 
 class RemoteConnection:
@@ -64,6 +94,14 @@ class RemoteConnection:
         Errors from an async put are logged on the cluster and surface
         indirectly (the consumer never sees the timestamp); use the
         default for anything that must be confirmed.
+
+        Fault tolerance: synchronous puts to a **channel** are retried
+        under the client's retry policy — the timestamp key makes a
+        replay detectable, so a ``DuplicateTimestampError`` on a retry
+        is absorbed as confirmation that the first attempt landed
+        (effectively exactly-once).  Puts to a **queue** have no dedup
+        key and are never retried automatically (at-most-once; see
+        docs/FAULTS.md).
         """
         self._require_open()
         if not self.mode.can_put:
@@ -81,13 +119,23 @@ class RemoteConnection:
             "timeout": timeout if timeout is not None else 0.0,
         }
         if sync:
-            self._client._call(ops.OP_PUT, args, io_timeout=timeout)
+            is_channel = self.kind == "channel"
+            self._client._call(
+                ops.OP_PUT, args, io_timeout=timeout,
+                retryable=is_channel,
+                absorb=(DuplicateTimestampError,) if is_channel else (),
+            )
         else:
             self._client._cast(ops.OP_PUT, args)
 
     def get(self, timestamp: VirtualTime = OLDEST, block: bool = True,
             timeout: Optional[float] = None) -> Tuple[Timestamp, Any]:
-        """Fetch ``(timestamp, value)``; markers work exactly as locally."""
+        """Fetch ``(timestamp, value)``; markers work exactly as locally.
+
+        Channel gets are pure reads and retried under the retry policy;
+        queue gets dequeue (destructive) and are never retried — a lost
+        response frame may cost the in-flight item (at-most-once).
+        """
         self._require_open()
         if not self.mode.can_get:
             raise ConnectionModeError(
@@ -106,7 +154,7 @@ class RemoteConnection:
             "block": block,
             "has_timeout": timeout is not None,
             "timeout": timeout if timeout is not None else 0.0,
-        }, io_timeout=timeout)
+        }, io_timeout=timeout, retryable=self.kind == "channel")
         value = self._client.codec.decode(results["payload"])
         return results["timestamp"], value
 
@@ -180,34 +228,73 @@ class StampedeClient:
         ``"xdr"`` (C personality) or ``"jdr"`` (Java personality).
     heartbeat:
         If set, a daemon thread PINGs the surrogate every *heartbeat*
-        seconds to keep the failure-detection lease alive.
+        seconds to keep the failure-detection lease alive (and to
+        refresh the lease of every name this device registered with a
+        TTL).  With reconnection enabled, the heartbeat doubles as the
+        recovery driver while the application is idle.
     on_reclaim:
         Optional callback ``(container_name, timestamp)`` invoked when the
         cluster notifies this device that an item it saw was garbage
         collected (§3.2.4); notifications are also queued for
         :meth:`take_reclaims`.
+    retry:
+        The :class:`~repro.client.retry.RetryPolicy` for transport
+        failures.  Defaults to a modest policy (4 attempts, capped
+        exponential backoff with jitter).  Pass
+        :data:`~repro.client.retry.NO_RETRY` for the fail-fast seed
+        behaviour.
+    reconnect:
+        Whether a dead connection is transparently re-dialled and the
+        session RESUMEd (requires ``session_grace`` on the server for
+        attach state to survive).  Default True.
+    on_degraded:
+        ``callback(exc)`` fired once per outage, when the connection is
+        first detected dead and recovery begins.
+    on_recovered:
+        ``callback(resumed_connections: int)`` fired when the session is
+        successfully resumed.
+    transport_wrapper:
+        Hook applied to every freshly dialled TCP connection; used to
+        inject faults (:class:`repro.transport.faults.FaultPlan.wrap`)
+        or instrumentation.
     """
 
     def __init__(self, host: str, port: int, client_name: str = "device",
                  codec: str = "xdr", heartbeat: Optional[float] = None,
                  on_reclaim: Optional[Callable[[str, int], None]] = None,
-                 rpc_timeout: float = 30.0) -> None:
-        from repro.client.rpc import RpcChannel
-
+                 rpc_timeout: float = 30.0,
+                 retry: Optional[RetryPolicy] = None,
+                 reconnect: bool = True,
+                 on_degraded: Optional[Callable[[BaseException],
+                                               None]] = None,
+                 on_recovered: Optional[Callable[[int], None]] = None,
+                 transport_wrapper: Optional[TransportWrapper] = None
+                 ) -> None:
         self.codec = get_codec(codec)
         self.client_name = client_name
         self.rpc_timeout = rpc_timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._address = (host, port)
+        self._reconnect_enabled = reconnect
+        self._transport_wrapper = transport_wrapper
+        self._on_degraded = on_degraded
+        self._on_recovered = on_recovered
         self._user_reclaim_cb = on_reclaim
         self._reclaims: "queue.Queue[Tuple[str, int]]" = queue.Queue()
-        self._rpc = RpcChannel(
-            connect_tcp((host, port)), reclaim_listener=self._on_reclaim
-        )
         self._closed = False
-        hello = self._call(ops.OP_HELLO, {
+        self._state = "connected"
+        self._state_lock = threading.Lock()
+        self._session_lock = threading.Lock()  # single-flight reconnect
+        self._rpc = self._dial()
+        # The join handshake itself is not retried: a cluster that cannot
+        # be reached at construction time is an application error, not
+        # weather.
+        hello = self._rpc.call(ops.OP_HELLO, {
             "client_name": client_name, "codec": codec,
-        })
+        }, timeout=rpc_timeout)
         self.session_id = hello["session_id"]
         self.space = hello["space"]
+        self._resume_token = hello["token"]
         self._heartbeat_stop = threading.Event()
         self._heartbeat_thread: Optional[threading.Thread] = None
         if heartbeat is not None:
@@ -217,28 +304,41 @@ class StampedeClient:
             )
             self._heartbeat_thread.start()
 
+    @property
+    def state(self) -> str:
+        """``"connected"``, ``"degraded"`` (reconnecting), or
+        ``"closed"``."""
+        return self._state
+
     # -- container API -----------------------------------------------------------
 
     def create_channel(self, name: str, space: str = "",
                        capacity: Optional[int] = None) -> None:
         """Create a channel on the cluster (in this device's assigned
-        address space unless *space* says otherwise) and register it."""
+        address space unless *space* says otherwise) and register it.
+
+        Retried under the retry policy: the system-wide-unique name is a
+        natural dedup key, so a retry answered with
+        ``NameAlreadyBoundError`` proves the first attempt landed and is
+        absorbed (exactly-once; see docs/FAULTS.md).
+        """
         self._call(ops.OP_CREATE_CHANNEL, {
             "name": name, "space": space,
             "bounded": capacity is not None,
             "capacity": capacity if capacity is not None else 0,
-        })
+        }, retryable=True, absorb=(NameAlreadyBoundError,))
 
     def create_queue(self, name: str, space: str = "",
                      capacity: Optional[int] = None,
                      auto_consume: bool = False) -> None:
-        """Create a queue on the cluster and register it."""
+        """Create a queue on the cluster and register it (retried with
+        duplicate-name absorption, like :meth:`create_channel`)."""
         self._call(ops.OP_CREATE_QUEUE, {
             "name": name, "space": space,
             "bounded": capacity is not None,
             "capacity": capacity if capacity is not None else 0,
             "auto_consume": auto_consume,
-        })
+        }, retryable=True, absorb=(NameAlreadyBoundError,))
 
     def attach(self, container: str, mode: ConnectionMode,
                wait: Optional[float] = None,
@@ -269,16 +369,28 @@ class StampedeClient:
     # -- name server API ------------------------------------------------------------
 
     def ns_register(self, name: str, kind: str,
-                    metadata: Optional[dict] = None) -> None:
-        """Bind *name* in the cluster's name server."""
+                    metadata: Optional[dict] = None,
+                    ttl: Optional[float] = None) -> None:
+        """Bind *name* in the cluster's name server.
+
+        With *ttl* (seconds) the binding is a **lease**: it must be
+        refreshed or the name server purges it.  This device's heartbeat
+        PINGs refresh every lease it registered, so a silently vanished
+        device stops advertising within one TTL.
+        """
         self._call(ops.OP_NS_REGISTER, {
             "name": name, "kind": kind,
             "metadata": self.codec.encode(metadata or {}),
-        })
+            "has_ttl": ttl is not None,
+            "ttl": ttl if ttl is not None else 0.0,
+        }, retryable=True, absorb=(NameAlreadyBoundError,))
 
     def ns_unregister(self, name: str) -> None:
-        """Remove a binding from the name server."""
-        self._call(ops.OP_NS_UNREGISTER, {"name": name})
+        """Remove a binding from the name server (retried; a replay
+        answered ``NameNotBoundError`` proves the first attempt landed
+        and is absorbed)."""
+        self._call(ops.OP_NS_UNREGISTER, {"name": name},
+                   retryable=True, absorb=(NameNotBoundError,))
 
     def ns_lookup(self, name: str) -> Tuple[str, str, dict]:
         """Returns ``(kind, address_space, metadata)``."""
@@ -324,41 +436,224 @@ class StampedeClient:
 
     # -- plumbing ---------------------------------------------------------------------
 
+    def _dial(self) -> "RpcChannel":
+        from repro.client.rpc import RpcChannel
+
+        connection: StreamTransport = connect_tcp(self._address)
+        if self._transport_wrapper is not None:
+            connection = self._transport_wrapper(connection)
+        return RpcChannel(connection, reclaim_listener=self._on_reclaim)
+
     def _cast(self, opcode: int, args: dict) -> None:
-        """Fire-and-forget RPC (see :meth:`RpcChannel.cast`)."""
-        self._rpc.cast(opcode, args)
+        """Fire-and-forget RPC (see :meth:`RpcChannel.cast`).
+
+        A cast that dies with the connection is replayed once on the
+        recovered session — put/consume casts are the only casts the
+        client issues, and both tolerate replay (channel puts dedup by
+        timestamp on the cluster; consume is idempotent).
+        """
+        rpc = self._rpc
+        try:
+            rpc.cast(opcode, args)
+        except TransportClosedError as exc:
+            if self._closed:
+                raise
+            self._note_degraded(exc)
+            self._recover(rpc)
+            self._rpc.cast(opcode, args)
 
     def _call(self, opcode: int, args: dict,
-              io_timeout: Optional[float] = None) -> dict:
-        """One RPC with a sensible deadline: the base RPC timeout plus any
-        application-level blocking time the operation may legally spend."""
+              io_timeout: Optional[float] = None,
+              retryable: Optional[bool] = None,
+              absorb: Tuple[type, ...] = ()) -> dict:
+        """One RPC under the retry policy.
+
+        *retryable* defaults to the opcode's entry in
+        :data:`~repro.runtime.ops.IDEMPOTENT_OPS`; container I/O passes
+        it explicitly (channel ops retry, queue ops do not).  *absorb*
+        lists remote errors that, **on a retry only**, prove the
+        original attempt landed (channel put replays raising
+        ``DuplicateTimestampError``) and are swallowed as success.
+
+        A dead connection triggers session recovery (reconnect + RESUME)
+        whether or not this operation can retry — other threads' state
+        lives in the same session.
+        """
+        if retryable is None:
+            retryable = opcode in ops.IDEMPOTENT_OPS
+        deadline = self._deadline(opcode, io_timeout)
+        delays = self.retry.delays()
+        attempt = 0
+        while True:
+            rpc = self._rpc
+            try:
+                return rpc.call(opcode, args, timeout=deadline)
+            except TransportClosedError as exc:
+                if self._closed:
+                    raise
+                self._note_degraded(exc)
+                self._recover(rpc)  # raises if the session is gone
+                if not retryable:
+                    raise
+                last: StampedeError = exc
+            except RpcTimeoutError as exc:
+                # The connection may be fine (response lost or late);
+                # retry on the same channel, never reconnect here.
+                if not retryable:
+                    raise
+                last = exc
+            except StampedeError as exc:
+                if attempt > 0 and absorb and isinstance(exc, absorb):
+                    _log.debug(
+                        "absorbed %s on retry of %s (original attempt "
+                        "landed)", type(exc).__name__,
+                        ops.OP_SCHEMAS[opcode].name,
+                    )
+                    return {}
+                raise
+            attempt += 1
+            pause = next(delays, None)
+            if pause is None:
+                raise RetryExhaustedError(
+                    f"{ops.OP_SCHEMAS[opcode].name!r} failed after "
+                    f"{attempt} attempts"
+                ) from last
+            time.sleep(pause)
+
+    def _deadline(self, opcode: int,
+                  io_timeout: Optional[float]) -> Optional[float]:
+        """Per-attempt deadline: the base RPC timeout plus any
+        application-level blocking time the operation may legally spend.
+        Blocking ops without an explicit timeout use the retry policy's
+        ``op_timeout`` (None = block indefinitely, the paper's
+        semantics)."""
         deadline = self.rpc_timeout
         if io_timeout is not None:
             deadline += io_timeout
         elif opcode in (ops.OP_GET, ops.OP_PUT, ops.OP_ATTACH):
-            deadline = None  # may block indefinitely by design
-        return self._rpc.call(opcode, args, timeout=deadline)
+            return self.retry.op_timeout
+        return deadline
+
+    # -- fault recovery -----------------------------------------------------------------
+
+    def _recover(self, dead_rpc: "RpcChannel") -> None:
+        """Re-dial and RESUME the session (single-flight).
+
+        Threads that hit the dead connection concurrently all land here;
+        the first one reconnects under the lock, the rest observe the
+        fresh channel and return immediately.
+
+        :raises SessionResumeError: the cluster no longer holds the
+            session (grace expired / no grace configured).
+        :raises RetryExhaustedError: the cluster stayed unreachable for
+            the whole backoff ladder.
+        """
+        with self._session_lock:
+            if self._closed:
+                raise TransportClosedError("client is closed")
+            if self._rpc is not dead_rpc and not self._rpc.closed:
+                return  # another thread already recovered the session
+            if not self._reconnect_enabled:
+                raise TransportClosedError(
+                    "connection to the cluster lost (reconnect disabled)"
+                )
+            delays = self.retry.delays()
+            while True:
+                rpc = None
+                try:
+                    rpc = self._dial()
+                    results = rpc.call(ops.OP_RESUME, {
+                        "session_id": self.session_id,
+                        "token": self._resume_token,
+                    }, timeout=self.rpc_timeout)
+                    break
+                except SessionResumeError:
+                    if rpc is not None:
+                        rpc.close()
+                    self._state = "closed"
+                    raise
+                except (TransportError, OSError) as exc:
+                    if rpc is not None:
+                        rpc.close()
+                    pause = next(delays, None)
+                    if pause is None:
+                        raise RetryExhaustedError(
+                            f"could not reconnect to {self._address} "
+                            f"after {self.retry.max_attempts} attempts"
+                        ) from exc
+                    _log.info(
+                        "reconnect to %s failed (%r); retrying in %.2fs",
+                        self._address, exc, pause,
+                    )
+                    time.sleep(pause)
+            old = self._rpc
+            self._rpc = rpc
+            old.close()
+            self.space = results["space"]
+        self._note_recovered(results["connections"])
+
+    def _note_degraded(self, exc: BaseException) -> None:
+        with self._state_lock:
+            if self._state != "connected":
+                return
+            self._state = "degraded"
+        _log.warning("connection to %s degraded: %r", self._address, exc)
+        if self._on_degraded is not None:
+            try:
+                self._on_degraded(exc)
+            except Exception:  # noqa: BLE001 - user callback isolation
+                _log.exception("on_degraded callback raised")
+
+    def _note_recovered(self, connections: int) -> None:
+        with self._state_lock:
+            self._state = "connected"
+        _log.info("session %s resumed with %d connections",
+                  self.session_id, connections)
+        if self._on_recovered is not None:
+            try:
+                self._on_recovered(connections)
+            except Exception:  # noqa: BLE001 - user callback isolation
+                _log.exception("on_recovered callback raised")
 
     def _heartbeat_loop(self, interval: float) -> None:
         while not self._heartbeat_stop.wait(timeout=interval):
+            if self._closed:
+                break
             try:
                 self.ping()
-            except Exception:  # noqa: BLE001 - connection died
+            except StampedeError:
+                # ping() already drove reconnection + backoff; while the
+                # device stays up, keep heartbeating so the session is
+                # recovered as soon as the cluster returns.
+                if self._closed or not self._reconnect_enabled:
+                    break
+            except Exception:  # noqa: BLE001 - unexpected: stop quietly
                 break
 
     # -- lifecycle ----------------------------------------------------------------------
 
     def close(self) -> None:
-        """Leave the computation cleanly (BYE) and drop the connection."""
+        """Leave the computation cleanly (BYE) and drop the connection.
+
+        The heartbeat thread is stopped *and joined* before the socket
+        goes away, so a shutdown never races a ping into a closing
+        connection (which used to log spurious ping failures).
+        """
         if self._closed:
             return
         self._closed = True
         self._heartbeat_stop.set()
+        if self._heartbeat_thread is not None:
+            # Idle heartbeats wake from the stop event immediately; one
+            # stuck mid-ping on a dead link is abandoned after the grace
+            # join (it is a daemon thread and checks _closed on wake).
+            self._heartbeat_thread.join(timeout=1.0)
         try:
             self._rpc.call(ops.OP_BYE, {}, timeout=2.0)
         except Exception:  # noqa: BLE001 - best-effort goodbye
             pass
         self._rpc.close()
+        self._state = "closed"
 
     def __enter__(self) -> "StampedeClient":
         return self

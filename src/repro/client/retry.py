@@ -1,0 +1,79 @@
+"""Retry policy for end-device RPCs: capped exponential backoff + jitter.
+
+Tentacles live on flaky links, so the client library treats transport
+failures as weather, not as fatal: an RPC that dies with a closed
+connection or a timeout is retried under a :class:`RetryPolicy`, with
+the connection transparently re-established (and the session RESUMEd)
+in between.  Only operations classified retry-safe are re-issued — see
+:data:`repro.runtime.ops.IDEMPOTENT_OPS` and ``docs/FAULTS.md`` for the
+per-opcode delivery guarantees.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard an end device tries before surfacing a failure.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per operation, first attempt included.  ``1``
+        disables retries entirely.
+    base_delay, multiplier, max_delay:
+        Attempt *n* (0-based) backs off ``base_delay * multiplier**n``
+        seconds, capped at ``max_delay``.
+    jitter:
+        Fraction of each delay randomised away (0 = deterministic
+        ladder, 0.5 = each delay uniform in [0.5d, d]).  Jitter prevents
+        reconnect stampedes when many devices lose the same link.
+    op_timeout:
+        Per-attempt deadline for operations that may otherwise block
+        forever (blocking ``get``/``put``/``attach`` without an explicit
+        timeout).  ``None`` keeps the paper's block-indefinitely
+        semantics — then a lost response frame is only detected when the
+        connection itself dies.
+    seed:
+        Seeds the jitter RNG for reproducible schedules in tests and
+        fault experiments (see ``EXPERIMENTS.md``).
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    op_timeout: Optional[float] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delays(self) -> Iterator[float]:
+        """The backoff ladder: one delay per retry (``max_attempts - 1``
+        values).  A fresh iterator has fresh jitter unless seeded."""
+        rng = random.Random(self.seed)
+        delay = self.base_delay
+        for _ in range(self.max_attempts - 1):
+            capped = min(delay, self.max_delay)
+            yield capped * (1.0 - self.jitter * rng.random())
+            delay *= self.multiplier
+
+
+#: Retries disabled: surface the first transport failure (the seed
+#: behaviour of the client library).
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+__all__ = ["NO_RETRY", "RetryPolicy"]

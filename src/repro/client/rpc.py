@@ -18,6 +18,7 @@ import repro.errors as errors_module
 from repro.errors import (
     RemoteExecutionError,
     RpcError,
+    RpcTimeoutError,
     StampedeError,
     TransportClosedError,
 )
@@ -82,7 +83,8 @@ class RpcChannel:
         """Execute one remote operation and return its result fields.
 
         :raises StampedeError: the remote raised (rehydrated locally).
-        :raises RpcError: no response within *timeout*.
+        :raises RpcTimeoutError: no response within *timeout* (the
+            connection may still be healthy; the call may be retried).
         :raises TransportClosedError: the connection died.
         """
         if self._closed.is_set():
@@ -95,7 +97,7 @@ class RpcChannel:
             frame = ops.encode_request(request_id, opcode, args)
             self._connection.send_frame(frame)
             if not pending.event.wait(timeout=timeout):
-                raise RpcError(
+                raise RpcTimeoutError(
                     f"no response to {ops.OP_SCHEMAS[opcode].name!r} "
                     f"within {timeout}s"
                 )

@@ -116,6 +116,37 @@ class RpcError(TransportError):
     """An RPC-level failure (bad method, remote exception, protocol skew)."""
 
 
+class RpcTimeoutError(RpcError):
+    """No response arrived within the call's deadline.
+
+    Distinct from :class:`TransportClosedError`: the connection may still
+    be healthy (the response frame was lost or is merely late), so the
+    retry layer may re-issue the call on the same connection.
+    """
+
+
+class SessionResumeError(RpcError):
+    """A RESUME handshake was rejected: the session is unknown, its grace
+    period expired, or the resume token did not match."""
+
+
+class RetryExhaustedError(TransportError):
+    """The retry policy's attempt budget ran out without a success.
+
+    The final attempt's failure is preserved as ``__cause__``.
+    """
+
+
+class FaultInjectedError(TransportError):
+    """An error deliberately injected by :mod:`repro.transport.faults`.
+
+    Only raised for synthetic faults that do not imitate a specific real
+    exception (injected faults that model EBADF or timeouts raise the
+    genuine ``OSError`` / :class:`DeliveryTimeoutError` instead, so code
+    under test cannot tell injection from reality).
+    """
+
+
 class RemoteExecutionError(RpcError):
     """The remote side raised while executing an RPC on our behalf.
 

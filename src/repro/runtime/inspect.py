@@ -75,6 +75,11 @@ def snapshot(runtime: Runtime) -> Dict[str, Any]:
                 "name": record.name,
                 "kind": record.kind,
                 "space": record.address_space,
+                # Leased bindings expose their remaining time so "who is
+                # about to vanish?" is answerable; None = no lease.
+                "lease_remaining": runtime.nameserver.lease_remaining(
+                    record.name
+                ),
             }
             for record in runtime.nameserver.list()
         ],

@@ -10,13 +10,22 @@ Bindings map a system-wide unique name to a :class:`NameRecord`.  A
 blocking :meth:`NameServer.wait_for` supports the common dynamic-join
 pattern: a late-starting component waits until the resource it needs is
 registered, instead of polling.
+
+Bindings may carry a **lease**: registrations with a TTL must be
+refreshed (the registering device's heartbeat PING does it) or they are
+purged — so a tentacle that silently falls off the network stops
+advertising resources it can no longer serve.  Expiry is enforced lazily
+on every read *and* eagerly by :meth:`NameServer.purge_expired` (the
+server's housekeeping calls it), so a binding never outlives its lease
+observably.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import NameAlreadyBoundError, NameNotBoundError
 
@@ -43,23 +52,77 @@ class NameServer:
 
     def __init__(self) -> None:
         self._bindings: Dict[str, NameRecord] = {}
+        #: name -> (ttl, absolute monotonic expiry) for leased bindings.
+        self._leases: Dict[str, Tuple[float, float]] = {}
         self._lock = threading.Lock()
         self._bound = threading.Condition(self._lock)
 
-    def register(self, record: NameRecord) -> None:
-        """Bind ``record.name``.
+    # -- lease plumbing (callers hold no lock) -------------------------------
+
+    def _purge_locked(self) -> List[str]:
+        """Drop expired leases; caller holds the lock.  Returns names."""
+        if not self._leases:
+            return []
+        now = time.monotonic()
+        expired = [name for name, (_ttl, expiry) in self._leases.items()
+                   if expiry <= now]
+        for name in expired:
+            del self._leases[name]
+            self._bindings.pop(name, None)
+        return expired
+
+    def register(self, record: NameRecord,
+                 ttl: Optional[float] = None) -> None:
+        """Bind ``record.name``, optionally under a lease of *ttl* seconds.
+
+        A leased binding is purged once *ttl* elapses without a
+        :meth:`refresh`; an unleased binding lives until unregistered.
 
         :raises NameAlreadyBoundError: the name is taken (names are
             system-wide unique, §3.1).
         """
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"lease ttl must be positive, got {ttl}")
         with self._lock:
+            self._purge_locked()
             if record.name in self._bindings:
                 raise NameAlreadyBoundError(
                     f"name {record.name!r} is already bound to a "
                     f"{self._bindings[record.name].kind}"
                 )
             self._bindings[record.name] = record
+            if ttl is not None:
+                self._leases[record.name] = (ttl, time.monotonic() + ttl)
             self._bound.notify_all()
+
+    def refresh(self, name: str) -> bool:
+        """Extend *name*'s lease by its original TTL.
+
+        Returns False (instead of raising) when the name is unleased,
+        unbound, or already expired — heartbeats race expiry by design
+        and must not blow up the caller.
+        """
+        with self._lock:
+            self._purge_locked()
+            lease = self._leases.get(name)
+            if lease is None:
+                return False
+            ttl = lease[0]
+            self._leases[name] = (ttl, time.monotonic() + ttl)
+            return True
+
+    def lease_remaining(self, name: str) -> Optional[float]:
+        """Seconds until *name*'s lease expires; None if unleased."""
+        with self._lock:
+            lease = self._leases.get(name)
+            if lease is None:
+                return None
+            return max(0.0, lease[1] - time.monotonic())
+
+    def purge_expired(self) -> List[str]:
+        """Eagerly drop every expired lease; returns the purged names."""
+        with self._lock:
+            return self._purge_locked()
 
     def unregister(self, name: str) -> NameRecord:
         """Remove and return the binding for *name*.
@@ -67,6 +130,8 @@ class NameServer:
         :raises NameNotBoundError: nothing bound.
         """
         with self._lock:
+            self._purge_locked()
+            self._leases.pop(name, None)
             try:
                 return self._bindings.pop(name)
             except KeyError:
@@ -79,6 +144,7 @@ class NameServer:
         :raises NameNotBoundError: nothing bound.
         """
         with self._lock:
+            self._purge_locked()
             try:
                 return self._bindings[name]
             except KeyError:
@@ -91,10 +157,9 @@ class NameServer:
 
         :raises NameNotBoundError: *timeout* expired first.
         """
-        import time
-
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
+            self._purge_locked()
             while name not in self._bindings:
                 remaining = None
                 if deadline is not None:
@@ -104,16 +169,19 @@ class NameServer:
                             f"name {name!r} not bound within {timeout}s"
                         )
                 self._bound.wait(timeout=remaining)
+                self._purge_locked()
             return self._bindings[name]
 
     def contains(self, name: str) -> bool:
         """Whether *name* is currently bound."""
         with self._lock:
+            self._purge_locked()
             return name in self._bindings
 
     def list(self, kind: Optional[str] = None) -> List[NameRecord]:
         """All bindings, optionally filtered by kind, sorted by name."""
         with self._lock:
+            self._purge_locked()
             records = list(self._bindings.values())
         if kind is not None:
             records = [r for r in records if r.kind == kind]
@@ -123,7 +191,9 @@ class NameServer:
         """Drop every binding (runtime shutdown)."""
         with self._lock:
             self._bindings.clear()
+            self._leases.clear()
 
     def __len__(self) -> int:
         with self._lock:
+            self._purge_locked()
             return len(self._bindings)

@@ -60,6 +60,7 @@ OP_BYE = 15
 OP_SET_REALTIME = 16
 OP_GC_REPORT = 17
 OP_INSPECT = 18
+OP_RESUME = 19
 
 STATUS_OK = 0
 STATUS_ERROR = 1
@@ -89,8 +90,11 @@ class OpSchema:
 OP_SCHEMAS: Dict[int, OpSchema] = {
     OP_HELLO: OpSchema(
         "hello",
+        # ``token`` is the resume credential: presented in a later RESUME
+        # to reclaim this session after a dropped connection.
         args=[("client_name", "str"), ("codec", "str")],
-        results=[("session_id", "str"), ("space", "str")],
+        results=[("session_id", "str"), ("space", "str"),
+                 ("token", "str")],
     ),
     OP_CREATE_CHANNEL: OpSchema(
         "create_channel",
@@ -144,7 +148,11 @@ OP_SCHEMAS: Dict[int, OpSchema] = {
     ),
     OP_NS_REGISTER: OpSchema(
         "ns_register",
-        args=[("name", "str"), ("kind", "str"), ("metadata", "bytes")],
+        # ``ttl`` (seconds, when ``has_ttl``) turns the binding into a
+        # lease: it must be refreshed (any PING from the registering
+        # session refreshes it) or the name server purges it.
+        args=[("name", "str"), ("kind", "str"), ("metadata", "bytes"),
+              ("has_ttl", "bool"), ("ttl", "double")],
         results=[],
     ),
     OP_NS_UNREGISTER: OpSchema(
@@ -189,7 +197,37 @@ OP_SCHEMAS: Dict[int, OpSchema] = {
         # codec-encoded value rather than fixed XDR fields.
         results=[("snapshot", "bytes")],
     ),
+    OP_RESUME: OpSchema(
+        "resume",
+        # First (and only) operation on a reconnected transport: reclaim
+        # the parked session named by HELLO's (session_id, token).  The
+        # server answers with the session's address space and how many
+        # container connections survived the outage.
+        args=[("session_id", "str"), ("token", "str")],
+        results=[("space", "str"), ("connections", "u32")],
+    ),
 }
+
+#: Operations safe to re-issue after a transport failure: executing them
+#: twice is indistinguishable from once (consume of a missing/reclaimed
+#: timestamp is legal, detach is idempotent, reads read).  PUT and GET
+#: are *not* here because their safety depends on the container kind:
+#: the client retries channel gets (pure reads) and channel puts
+#: (absorbing ``DuplicateTimestampError`` on the retry — the timestamp
+#: key makes the replay detectable), but never queue gets/puts (a queue
+#: get dequeues; a queue put has no dedup key).  See docs/FAULTS.md for
+#: the per-opcode delivery guarantees.
+IDEMPOTENT_OPS = frozenset({
+    OP_CONSUME,
+    OP_CONSUME_UNTIL,
+    OP_DETACH,
+    OP_NS_LOOKUP,
+    OP_NS_LIST,
+    OP_PING,
+    OP_SET_REALTIME,
+    OP_GC_REPORT,
+    OP_INSPECT,
+})
 
 _OPCODE_BY_NAME = {schema.name: code for code, schema in OP_SCHEMAS.items()}
 

@@ -12,9 +12,15 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import DeliveryTimeoutError, TransportClosedError
+from repro.errors import (
+    DeliveryTimeoutError,
+    SessionResumeError,
+    TransportClosedError,
+)
 from repro.runtime.runtime import Runtime
 from repro.runtime.service import SessionService
 from repro.runtime.surrogate import LeaseReaper, Surrogate
@@ -22,6 +28,14 @@ from repro.transport.tcp import TcpListener
 from repro.util.logging import get_logger
 
 _log = get_logger("runtime.server")
+
+
+@dataclass
+class _ParkedSession:
+    """One disconnected-but-not-forgotten session awaiting RESUME."""
+
+    service: SessionService
+    deadline: float  # monotonic instant the grace period ends
 
 
 class StampedeServer:
@@ -40,13 +54,24 @@ class StampedeServer:
     lease_timeout:
         If set, surrogates idle longer than this many seconds are reaped
         (failure-detection extension; the paper's system had none).
+    session_grace:
+        If set, a session whose transport dies *without* a clean BYE is
+        parked for this many seconds instead of torn down: its container
+        connections stay attached (still vetoing GC) so the device can
+        reconnect and RESUME with no lost attach state.  Grace expiry
+        closes the session exactly as a disconnect does today.
     """
 
     def __init__(self, runtime: Runtime, host: str = "127.0.0.1",
                  port: int = 0,
                  device_spaces: Optional[List[str]] = None,
-                 lease_timeout: Optional[float] = None) -> None:
+                 lease_timeout: Optional[float] = None,
+                 session_grace: Optional[float] = None) -> None:
+        if session_grace is not None and session_grace <= 0:
+            raise ValueError("session_grace must be positive")
         self.runtime = runtime
+        self._session_grace = session_grace
+        self._parked: Dict[str, _ParkedSession] = {}
         self._spaces = device_spaces or ["edge"]
         for space in self._spaces:
             try:
@@ -67,6 +92,12 @@ class StampedeServer:
             self._reaper = LeaseReaper(
                 self._surrogates, self._surrogates_lock, lease_timeout
             )
+        self._janitor: Optional[threading.Thread] = None
+        if session_grace is not None:
+            self._janitor = threading.Thread(
+                target=self._sweep_parked, name="session-janitor",
+                daemon=True,
+            )
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -75,6 +106,8 @@ class StampedeServer:
         self._accept_thread.start()
         if self._reaper is not None:
             self._reaper.start()
+        if self._janitor is not None:
+            self._janitor.start()
         _log.info("server listening on %s", self.address)
         return self
 
@@ -94,8 +127,12 @@ class StampedeServer:
             self._reaper.stop()
         with self._surrogates_lock:
             surrogates = list(self._surrogates.values())
+            parked = list(self._parked.values())
+            self._parked.clear()
         for surrogate in surrogates:
             surrogate.close()
+        for entry in parked:
+            entry.service.close()
         _log.info("server on %s closed", self.address)
 
     def __enter__(self) -> "StampedeServer":
@@ -127,7 +164,9 @@ class StampedeServer:
                 break
             service = SessionService(self.runtime, next(self._space_cycle))
             surrogate = Surrogate(
-                connection, service, on_close=self._forget
+                connection, service, on_close=self._forget,
+                park=self._park_session,
+                resume_lookup=self._resume_session,
             )
             with self._surrogates_lock:
                 self._surrogates[service.session_id] = surrogate
@@ -138,3 +177,93 @@ class StampedeServer:
     def _forget(self, surrogate: Surrogate) -> None:
         with self._surrogates_lock:
             self._surrogates.pop(surrogate.service.session_id, None)
+
+    # -- session parking / resume -----------------------------------------------------
+
+    @property
+    def parked_count(self) -> int:
+        """Sessions currently awaiting a RESUME."""
+        with self._surrogates_lock:
+            return len(self._parked)
+
+    def _park_session(self, service: SessionService) -> bool:
+        """Hold a disconnected session for the grace period (or refuse)."""
+        if self._session_grace is None or self._closed.is_set():
+            return False
+        if not service.hello_done:
+            return False  # never completed the handshake: nothing to keep
+        with self._surrogates_lock:
+            self._parked[service.session_id] = _ParkedSession(
+                service, time.monotonic() + self._session_grace
+            )
+        _log.info("session %s parked for %.1fs awaiting resume",
+                  service.session_id, self._session_grace)
+        return True
+
+    def _resume_session(self, surrogate: Surrogate, session_id: str,
+                        token: str) -> SessionService:
+        """RESUME handshake: hand the parked session to *surrogate*.
+
+        Single-flight by construction: the entry is popped under the
+        lock, so a second concurrent RESUME for the same session fails.
+
+        A device can re-dial faster than the cluster notices its old
+        connection died (the old surrogate's receive loop polls, then
+        drains its executors, *then* parks).  A RESUME that arrives in
+        that window waits for the park instead of failing — it runs
+        inline on the new surrogate's receive loop, so briefly blocking
+        it stalls nothing else.
+        """
+        wait_deadline = time.monotonic() + 5.0
+        while True:
+            with self._surrogates_lock:
+                entry = self._parked.get(session_id)
+                if entry is not None:
+                    break
+                teardown = self._surrogates.get(session_id)
+            if (teardown is None or teardown is surrogate
+                    or time.monotonic() >= wait_deadline):
+                raise SessionResumeError(
+                    f"session {session_id!r} is not resumable (unknown, "
+                    "expired, or never disconnected)"
+                )
+            time.sleep(0.01)  # old surrogate still tearing down
+        with self._surrogates_lock:
+            entry = self._parked.get(session_id)
+            if entry is None:
+                raise SessionResumeError(
+                    f"session {session_id!r} was resumed concurrently"
+                )
+            if entry.service.resume_token != token:
+                raise SessionResumeError(
+                    f"bad resume token for session {session_id!r}"
+                )
+            if entry.deadline <= time.monotonic():
+                # Janitor hasn't swept yet, but the grace period is over:
+                # honour the documented deadline.
+                del self._parked[session_id]
+                entry.service.close()
+                raise SessionResumeError(
+                    f"grace period expired for session {session_id!r}"
+                )
+            del self._parked[session_id]
+            # Re-key the surrogate under the identity it now serves.
+            self._surrogates.pop(surrogate.service.session_id, None)
+            self._surrogates[session_id] = surrogate
+        return entry.service
+
+    def _sweep_parked(self) -> None:
+        interval = min(0.25, self._session_grace / 4) \
+            if self._session_grace else 0.25
+        while not self._closed.wait(timeout=interval):
+            now = time.monotonic()
+            with self._surrogates_lock:
+                expired = [sid for sid, entry in self._parked.items()
+                           if entry.deadline <= now]
+                entries = [self._parked.pop(sid) for sid in expired]
+            for sid, entry in zip(expired, entries):
+                _log.warning(
+                    "grace period expired for parked session %s — "
+                    "releasing its connections", sid,
+                )
+                entry.service.close()

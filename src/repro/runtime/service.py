@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import uuid
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.connection import Connection, ConnectionMode
@@ -56,6 +57,10 @@ class SessionService:
         self.space = space
         self.client_name = client_name
         self.session_id = f"session-{next(_session_ids)}"
+        #: Credential a reconnecting device presents in RESUME to reclaim
+        #: this session after its transport died (handed out in HELLO).
+        self.resume_token = uuid.uuid4().hex
+        self.hello_done = False
         self.codec = get_codec("xdr")
         self._connections: Dict[int, Connection] = {}
         self._conn_ids = itertools.count(1)
@@ -106,7 +111,9 @@ class SessionService:
     def _op_hello(self, args: Dict[str, Any]) -> Dict[str, Any]:
         self.client_name = args["client_name"]
         self.codec = get_codec(args["codec"])
-        return {"session_id": self.session_id, "space": self.space}
+        self.hello_done = True
+        return {"session_id": self.session_id, "space": self.space,
+                "token": self.resume_token}
 
     def _op_create_channel(self, args: Dict[str, Any]) -> Dict[str, Any]:
         space = args["space"] or self.space
@@ -198,9 +205,11 @@ class SessionService:
     def _op_ns_register(self, args: Dict[str, Any]) -> Dict[str, Any]:
         metadata = self.codec.decode(args["metadata"]) \
             if args["metadata"] else {}
+        ttl = args["ttl"] if args.get("has_ttl") else None
         self.runtime.nameserver.register(
             NameRecord(name=args["name"], kind=args["kind"],
-                       address_space=self.space, metadata=metadata)
+                       address_space=self.space, metadata=metadata),
+            ttl=ttl,
         )
         with self._lock:
             self._registered_names.append(args["name"])
@@ -227,11 +236,25 @@ class SessionService:
         return {"names": [r.name for r in records]}
 
     def _op_ping(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        # The device's heartbeat doubles as the lease refresh for every
+        # name it registered with a TTL: a silent device's names expire,
+        # a merely idle one's do not.
+        with self._lock:
+            names = list(self._registered_names)
+        for name in names:
+            self.runtime.nameserver.refresh(name)
         return {"payload": args["payload"]}
 
     def _op_bye(self, args: Dict[str, Any]) -> Dict[str, Any]:
         self.close()
         return {}
+
+    def _op_resume(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        # RESUME is a server-level handshake (it swaps which session a
+        # surrogate serves); the surrogate intercepts it before dispatch.
+        # Reaching this handler means the server has no session table.
+        raise RpcError("this server does not support session resume "
+                       "(no session_grace configured)")
 
     def _op_set_realtime(self, args: Dict[str, Any]) -> Dict[str, Any]:
         # Real-time pacing runs on the end device (the client library owns
@@ -278,6 +301,7 @@ class SessionService:
         ops.OP_SET_REALTIME: _op_set_realtime,
         ops.OP_GC_REPORT: _op_gc_report,
         ops.OP_INSPECT: _op_inspect,
+        ops.OP_RESUME: _op_resume,
     }
 
     # -- connection table -------------------------------------------------------------
@@ -286,6 +310,11 @@ class SessionService:
         """Whether *wire_id* names a live connection of this session."""
         with self._lock:
             return wire_id in self._connections
+
+    def connection_count(self) -> int:
+        """Number of live wire connections (RESUME reports it back)."""
+        with self._lock:
+            return len(self._connections)
 
     def _connection(self, wire_id: int) -> Connection:
         with self._lock:

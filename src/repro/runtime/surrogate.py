@@ -35,14 +35,36 @@ _log = get_logger("runtime.surrogate")
 
 
 class Surrogate:
-    """The cluster-side agent of one end device."""
+    """The cluster-side agent of one end device.
+
+    Parameters
+    ----------
+    connection, service, on_close:
+        As before: the device's transport, its session state, and the
+        server's bookkeeping callback.
+    park:
+        Optional ``park(service) -> bool``.  When the transport dies
+        *without* a clean BYE, the surrogate offers its session here
+        instead of closing it; True means the server parked it for a
+        grace period so a reconnecting device can RESUME it.
+    resume_lookup:
+        Optional ``resume_lookup(surrogate, session_id, token) ->
+        SessionService``.  Serves the RESUME wire op: returns the parked
+        session to adopt or raises
+        :class:`~repro.errors.SessionResumeError`.
+    """
 
     def __init__(self, connection: TcpConnection, service: SessionService,
-                 on_close: Optional[Callable[["Surrogate"], None]] = None
-                 ) -> None:
+                 on_close: Optional[Callable[["Surrogate"], None]] = None,
+                 park: Optional[Callable[[SessionService], bool]] = None,
+                 resume_lookup: Optional[
+                     Callable[["Surrogate", str, str], SessionService]
+                 ] = None) -> None:
         self.connection = connection
         self.service = service
         self._on_close = on_close
+        self._park = park
+        self._resume_lookup = resume_lookup
         self._closed = threading.Event()
         self._send_lock = threading.Lock()
         self._executors: Dict[int, "_SerialExecutor"] = {}
@@ -85,7 +107,9 @@ class Surrogate:
                 self.last_activity = time.monotonic()
                 self._dispatch(frame)
         finally:
-            self.close()
+            # The transport died (or close() was called): a session that
+            # never said BYE may be parked for resume.
+            self.close(park=True)
 
     def _dispatch(self, frame: bytes) -> None:
         """Route one request to the right execution context.
@@ -149,6 +173,15 @@ class Surrogate:
     def _handle(self, request_id: int, opcode: int, args) -> None:
         is_cast = request_id == ops.CAST_REQUEST_ID
         try:
+            if opcode == ops.OP_RESUME and \
+                    self._resume_lookup is not None:
+                results = self._resume(args)
+                if not is_cast:
+                    self._send(ops.encode_ok_response(
+                        request_id, opcode, results,
+                        reclaims=self.service.drain_reclaims(),
+                    ))
+                return
             if opcode == ops.OP_BYE:
                 # A clean goodbye races queued casts: the device fires
                 # consume casts and BYE back to back, TCP delivers them in
@@ -189,11 +222,36 @@ class Surrogate:
             )
         self._send(response)
 
+    def _resume(self, args) -> dict:
+        """Adopt a parked session: swap this surrogate's (empty, fresh)
+        service for the one the reconnecting device left behind.
+
+        Runs inline on the receive loop before any other request of the
+        new connection, so the swap cannot race the session's own
+        operations.  The discarded fresh service held no resources — it
+        existed only to field this handshake.
+        """
+        assert self._resume_lookup is not None
+        resumed = self._resume_lookup(
+            self, args["session_id"], args["token"]
+        )
+        old_id = self.service.session_id
+        self.service = resumed
+        trace(tracepoints.JOIN, resumed.session_id,
+              client=resumed.client_name, space=resumed.space,
+              resumed=True)
+        _log.info(
+            "session %s resumed (%d connections) on surrogate %s",
+            resumed.session_id, resumed.connection_count(), old_id,
+        )
+        return {"space": resumed.space,
+                "connections": resumed.connection_count()}
+
     def _send(self, frame: bytes) -> None:
         try:
             self.connection.send_frame(frame)
         except TransportClosedError:
-            self.close()
+            self.close(park=True)
 
     # -- teardown --------------------------------------------------------------------
 
@@ -206,11 +264,16 @@ class Surrogate:
         for executor in executors:
             executor.join(timeout=2.0)
 
-    def close(self) -> None:
+    def close(self, park: bool = False) -> None:
         """Annihilate the surrogate: release session state, drop the pipe.
 
-        Idempotent; called on clean BYE, device disconnect, or lease
-        expiry.
+        Idempotent; called on clean BYE, device disconnect, lease expiry,
+        and server shutdown.  With ``park=True`` (the disconnect path) a
+        session that never said BYE is offered to the server's
+        grace-period table instead of being closed, so a reconnecting
+        device can RESUME it; everything else about the surrogate still
+        dies.  Lease expiry and shutdown pass ``park=False``: those are
+        verdicts, not outages.
         """
         if self._closed.is_set():
             return
@@ -220,15 +283,20 @@ class Surrogate:
         self._drain_executors()
         with self._executors_lock:
             self._executors.clear()
-        self.service.close()
+        parked = False
+        if park and self._park is not None and not self.service.closed:
+            parked = self._park(self.service)
+        if not parked:
+            self.service.close()
         self.connection.close()
         if self._on_close is not None:
             self._on_close(self)
         trace(tracepoints.LEAVE, self.service.session_id,
-              requests=self.requests_served)
+              requests=self.requests_served, parked=parked)
         _log.info(
-            "surrogate %s closed after %d requests",
-            self.service.session_id, self.requests_served,
+            "surrogate %s %s after %d requests",
+            self.service.session_id,
+            "parked" if parked else "closed", self.requests_served,
         )
 
     def __repr__(self) -> str:

@@ -89,3 +89,56 @@ def java_unmarshal_us(size: int, p: MicroParams) -> float:
     """Object reconstruction on the receiving Java device."""
     _check_size(size)
     return p.j_get_fixed_us + size * p.j_get_per_byte_us
+
+
+# -- fault-schedule replay ----------------------------------------------------
+#
+# The same deterministic FaultPlan that perturbs real sockets
+# (repro.transport.faults) can be replayed against the latency models:
+# each delivery consults the plan's decision stream and pays the
+# timing consequence a real endpoint would observe.  A fault experiment
+# run against live transports is therefore reproducible in simulation
+# (same seed, same schedule — see EXPERIMENTS.md).
+
+
+def faulty_exchange_us(base_us: float, schedule,
+                       retransmit_timeout_us: float = 50_000.0,
+                       max_retries: int = 20) -> float:
+    """Latency of one exchange under a fault schedule.
+
+    *schedule* is a :class:`repro.transport.faults.FaultSchedule`.  A
+    dropped or corrupted delivery costs one retransmission timeout and a
+    fresh exchange (CLF's ARQ recovers both the same way: corrupt
+    packets fail reassembly and are retransmitted on timeout); a delayed
+    delivery adds the plan's ``delay_s``; duplicates are absorbed by the
+    receive window at no cost.  Raises
+    :class:`~repro.errors.DeliveryTimeoutError` when *max_retries*
+    consecutive losses would have declared the peer dead — the same
+    verdict the live ARQ engine reaches.
+    """
+    from repro.errors import DeliveryTimeoutError
+    from repro.transport import faults
+
+    total = 0.0
+    for _ in range(max_retries + 1):
+        decision, error = schedule.next_decision()
+        if decision == "sever":
+            from repro.errors import TransportClosedError
+
+            raise TransportClosedError("injected connection sever")
+        if decision == "error":
+            assert error is not None
+            raise error
+        if decision in (faults.DROP, faults.CORRUPT):
+            schedule.count(decision)
+            total += retransmit_timeout_us
+            continue
+        if decision == faults.DELAY:
+            schedule.count(decision)
+            total += schedule.plan.delay_s * 1e6
+        elif decision == faults.DUPLICATE:
+            schedule.count(decision)
+        return total + base_us
+    raise DeliveryTimeoutError(
+        f"peer declared dead after {max_retries} lost exchanges"
+    )

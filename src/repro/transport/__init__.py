@@ -21,10 +21,17 @@ Module                    Role
 :mod:`.reliability`       sliding-window ARQ engine (acks, retransmit, order)
 :mod:`.clf`               CLF = reliability + fragmentation over UDP sockets
 :mod:`.tcp`               stream transport with length-prefixed frames
+:mod:`.faults`            deterministic fault injection around any transport
 ========================  =====================================================
 """
 
 from repro.transport.base import DatagramTransport, StreamTransport
+from repro.transport.faults import (
+    FaultPlan,
+    FaultStats,
+    FaultyDatagram,
+    FaultyStream,
+)
 from repro.transport.inproc import InProcHub
 from repro.transport.udp import UdpTransport
 from repro.transport.clf import ClfEndpoint
@@ -33,6 +40,10 @@ from repro.transport.tcp import TcpConnection, TcpListener, connect_tcp
 __all__ = [
     "ClfEndpoint",
     "DatagramTransport",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyDatagram",
+    "FaultyStream",
     "InProcHub",
     "StreamTransport",
     "TcpConnection",

@@ -1,0 +1,411 @@
+"""Deterministic fault injection around any transport.
+
+The Octopus model assumes tentacles are flaky: devices join and leave
+over wireless links that drop, delay, duplicate, and corrupt traffic,
+and TCP connections to the cluster die mid-stream.  This module makes
+those conditions *reproducible*: a :class:`FaultPlan` is a seedable
+schedule of faults, and :func:`FaultPlan.wrap` turns any
+:class:`~repro.transport.base.StreamTransport` or
+:class:`~repro.transport.base.DatagramTransport` into one that misbehaves
+on that exact schedule.  The same plan drives the discrete-event
+simulator (:func:`repro.simnet.protocols.faulty_exchange_us`), so a fault
+schedule observed against real sockets can be replayed in simulation and
+vice versa.
+
+Determinism contract: a plan with the same seed and rates, applied to
+the same sequence of transport calls, makes the same decisions.  Every
+injected fault is counted in :class:`FaultStats` so tests can assert
+exactly what happened.
+
+Faults::
+
+    drop       frame/packet silently vanishes (recv reports a timeout)
+    delay      delivery sleeps ``delay_s`` first
+    duplicate  the payload is delivered twice
+    corrupt    one payload byte is flipped before delivery
+    sever_at   the underlying transport is closed at call count N
+    errors_at  a chosen exception is raised at call count N
+               ("ebadf" -> OSError(EBADF), "timeout" ->
+               DeliveryTimeoutError, or any Exception instance)
+
+Call counts are 1-based and shared across send and recv on one wrapped
+endpoint, in the order the wrapper sees them.
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import (
+    DeliveryTimeoutError,
+    FaultInjectedError,
+    TransportClosedError,
+)
+from repro.transport.base import DatagramTransport, StreamTransport
+from repro.util.logging import get_logger
+
+_log = get_logger("transport.faults")
+
+#: Decision labels a schedule can emit for one delivery.
+OK = "ok"
+DROP = "drop"
+DELAY = "delay"
+DUPLICATE = "duplicate"
+CORRUPT = "corrupt"
+
+#: Named error kinds accepted in ``errors_at`` (besides Exception objects).
+_NAMED_ERRORS = ("ebadf", "timeout")
+
+
+def _make_error(spec: Union[str, BaseException]) -> BaseException:
+    if isinstance(spec, BaseException):
+        return spec
+    if spec == "ebadf":
+        return OSError(errno.EBADF, "injected EBADF")
+    if spec == "timeout":
+        return DeliveryTimeoutError("injected timeout")
+    raise ValueError(
+        f"unknown injected error {spec!r} (expected one of "
+        f"{_NAMED_ERRORS} or an Exception instance)"
+    )
+
+
+@dataclass
+class FaultStats:
+    """Counts of every fault actually injected (for assertions)."""
+
+    calls: int = 0
+    drops: int = 0
+    delays: int = 0
+    duplicates: int = 0
+    corruptions: int = 0
+    severs: int = 0
+    errors: int = 0
+
+    @property
+    def injected(self) -> int:
+        """Total faults of any kind."""
+        return (self.drops + self.delays + self.duplicates
+                + self.corruptions + self.severs + self.errors)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-data view (logging, test output)."""
+        return {
+            "calls": self.calls, "drops": self.drops,
+            "delays": self.delays, "duplicates": self.duplicates,
+            "corruptions": self.corruptions, "severs": self.severs,
+            "errors": self.errors,
+        }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seedable, deterministic schedule of transport faults.
+
+    Rates are independent probabilities evaluated per delivery in the
+    fixed order drop, delay, duplicate, corrupt (first match wins).
+    ``sever_at`` and ``errors_at`` fire at exact 1-based call counts and
+    take precedence over the random faults.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    delay_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    delay_s: float = 0.01
+    sever_at: Sequence[int] = ()
+    errors_at: Mapping[int, Union[str, BaseException]] = \
+        field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "delay_rate", "duplicate_rate",
+                     "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        for spec in self.errors_at.values():
+            _make_error(spec)  # validate eagerly
+
+    def schedule(self) -> "FaultSchedule":
+        """A fresh decision stream for this plan (own RNG and counter)."""
+        return FaultSchedule(self)
+
+    def wrap(self, transport: Any) -> Any:
+        """Wrap *transport* in the matching faulty adapter."""
+        if isinstance(transport, StreamTransport):
+            return FaultyStream(transport, self)
+        if isinstance(transport, DatagramTransport):
+            return FaultyDatagram(transport, self)
+        raise TypeError(
+            f"cannot inject faults into {type(transport).__name__}: "
+            "expected a StreamTransport or DatagramTransport"
+        )
+
+
+class FaultSchedule:
+    """The mutable side of a plan: one deterministic decision stream.
+
+    Thread-safe; each :meth:`next_decision` consumes one position in the
+    stream.  Two schedules built from equal plans produce identical
+    decision sequences.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.stats = FaultStats()
+        self._rng = random.Random(plan.seed)
+        self._sever_at = frozenset(plan.sever_at)
+        self._lock = threading.Lock()
+
+    def next_decision(self) -> Tuple[str, Optional[BaseException]]:
+        """Advance one call: ``(decision, error-or-None)``.
+
+        ``decision`` is one of ``"sever"``, ``"error"``, :data:`OK`,
+        :data:`DROP`, :data:`DELAY`, :data:`DUPLICATE`, :data:`CORRUPT`.
+        The stats counter for the decision is incremented here, except
+        for per-delivery faults (drop/delay/duplicate/corrupt) which the
+        transport wrappers count when they actually apply them — the
+        simulator counts them itself via :meth:`count`.
+        """
+        with self._lock:
+            self.stats.calls += 1
+            call = self.stats.calls
+            if call in self._sever_at:
+                self.stats.severs += 1
+                return "sever", None
+            spec = self.plan.errors_at.get(call)
+            if spec is not None:
+                self.stats.errors += 1
+                return "error", _make_error(spec)
+            # One uniform draw per rate keeps the stream aligned across
+            # endpoints regardless of which rates are enabled.
+            draws = [self._rng.random() for _ in range(4)]
+        if draws[0] < self.plan.drop_rate:
+            return DROP, None
+        if draws[1] < self.plan.delay_rate:
+            return DELAY, None
+        if draws[2] < self.plan.duplicate_rate:
+            return DUPLICATE, None
+        if draws[3] < self.plan.corrupt_rate:
+            return CORRUPT, None
+        return OK, None
+
+    def count(self, decision: str) -> None:
+        """Record that *decision*'s fault was actually applied."""
+        with self._lock:
+            if decision == DROP:
+                self.stats.drops += 1
+            elif decision == DELAY:
+                self.stats.delays += 1
+            elif decision == DUPLICATE:
+                self.stats.duplicates += 1
+            elif decision == CORRUPT:
+                self.stats.corruptions += 1
+
+
+def _corrupt(payload: bytes, rng: random.Random) -> bytes:
+    """Flip one byte (deterministically positioned) of *payload*."""
+    if not payload:
+        return payload
+    position = rng.randrange(len(payload))
+    mutated = bytearray(payload)
+    mutated[position] ^= 0xFF
+    return bytes(mutated)
+
+
+class FaultyStream(StreamTransport):
+    """A :class:`StreamTransport` that misbehaves on a plan's schedule.
+
+    Wraps any stream transport (usually a
+    :class:`~repro.transport.tcp.TcpConnection`).  Dropped inbound frames
+    surface as :class:`~repro.errors.DeliveryTimeoutError` — exactly what
+    a poll-loop receiver sees when nothing arrives; dropped outbound
+    frames simply never reach the peer.  A ``sever`` closes the
+    underlying transport, as if the connection was reset mid-stream.
+    """
+
+    def __init__(self, inner: StreamTransport, plan: FaultPlan) -> None:
+        self._inner = inner
+        self._schedule = plan.schedule()
+        # Independent RNG for corruption positions so payload sizes do
+        # not perturb the decision stream.
+        self._payload_rng = random.Random(plan.seed ^ 0x5EED)
+        self._dup_pending: List[bytes] = []
+
+    @property
+    def stats(self) -> FaultStats:
+        """Counts of injected faults so far."""
+        return self._schedule.stats
+
+    @property
+    def inner(self) -> StreamTransport:
+        """The wrapped transport."""
+        return self._inner
+
+    def _decide(self) -> str:
+        decision, error = self._schedule.next_decision()
+        if decision == "sever":
+            _log.info("injected sever after %d calls",
+                      self._schedule.stats.calls)
+            self._inner.close()
+            raise TransportClosedError("injected connection sever")
+        if decision == "error":
+            _log.info("injected error %r", error)
+            assert error is not None
+            raise error
+        return decision
+
+    def send_frame(self, payload: bytes) -> None:
+        decision = self._decide()
+        if decision == DROP:
+            self._schedule.count(DROP)
+            return  # the frame vanishes on the wire
+        if decision == DELAY:
+            self._schedule.count(DELAY)
+            time.sleep(self._schedule.plan.delay_s)
+        elif decision == CORRUPT:
+            self._schedule.count(CORRUPT)
+            payload = _corrupt(payload, self._payload_rng)
+        self._inner.send_frame(payload)
+        if decision == DUPLICATE:
+            self._schedule.count(DUPLICATE)
+            self._inner.send_frame(payload)
+
+    def recv_frame(self, timeout: Optional[float] = None) -> bytes:
+        if self._dup_pending:
+            return self._dup_pending.pop(0)
+        # Receive first: idle poll timeouts must not consume decisions,
+        # or the schedule would depend on polling cadence instead of on
+        # the frame sequence.
+        frame = self._inner.recv_frame(timeout=timeout)
+        decision = self._decide()
+        if decision == DROP:
+            self._schedule.count(DROP)
+            raise DeliveryTimeoutError("frame dropped by fault injection")
+        if decision == DELAY:
+            self._schedule.count(DELAY)
+            time.sleep(self._schedule.plan.delay_s)
+        elif decision == CORRUPT:
+            self._schedule.count(CORRUPT)
+            frame = _corrupt(frame, self._payload_rng)
+        elif decision == DUPLICATE:
+            self._schedule.count(DUPLICATE)
+            self._dup_pending.append(frame)
+        return frame
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def __getattr__(self, name: str) -> Any:
+        # Pass through extras like peer_address so the wrapper is a
+        # drop-in replacement for the transport it wraps.
+        return getattr(self._inner, name)
+
+
+class FaultyDatagram(DatagramTransport):
+    """A :class:`DatagramTransport` that misbehaves on a plan's schedule.
+
+    Unlike streams, datagram drops are silent (that is what UDP loss
+    looks like): a dropped send never leaves, a dropped recv discards
+    the packet and keeps waiting for the next one within the caller's
+    timeout.
+    """
+
+    def __init__(self, inner: DatagramTransport, plan: FaultPlan) -> None:
+        self._inner = inner
+        self._schedule = plan.schedule()
+        self._payload_rng = random.Random(plan.seed ^ 0x5EED)
+        self._dup_pending: List[Tuple[Any, bytes]] = []
+
+    @property
+    def stats(self) -> FaultStats:
+        """Counts of injected faults so far."""
+        return self._schedule.stats
+
+    @property
+    def inner(self) -> DatagramTransport:
+        """The wrapped transport."""
+        return self._inner
+
+    @property
+    def address(self) -> Any:
+        return self._inner.address
+
+    def _decide(self) -> str:
+        decision, error = self._schedule.next_decision()
+        if decision == "sever":
+            self._inner.close()
+            raise TransportClosedError("injected endpoint sever")
+        if decision == "error":
+            assert error is not None
+            raise error
+        return decision
+
+    def send(self, destination: Any, payload: bytes) -> None:
+        decision = self._decide()
+        if decision == DROP:
+            self._schedule.count(DROP)
+            return
+        if decision == DELAY:
+            self._schedule.count(DELAY)
+            time.sleep(self._schedule.plan.delay_s)
+        elif decision == CORRUPT:
+            self._schedule.count(CORRUPT)
+            payload = _corrupt(payload, self._payload_rng)
+        self._inner.send(destination, payload)
+        if decision == DUPLICATE:
+            self._schedule.count(DUPLICATE)
+            self._inner.send(destination, payload)
+
+    def recv(self, timeout: Optional[float] = None) -> Tuple[Any, bytes]:
+        if self._dup_pending:
+            return self._dup_pending.pop(0)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            source, payload = self._inner.recv(timeout=remaining)
+            decision = self._decide()
+            if decision == DROP:
+                self._schedule.count(DROP)
+                if deadline is not None and \
+                        time.monotonic() >= deadline:
+                    raise DeliveryTimeoutError(
+                        "packet dropped by fault injection"
+                    )
+                continue
+            if decision == DELAY:
+                self._schedule.count(DELAY)
+                time.sleep(self._schedule.plan.delay_s)
+            elif decision == CORRUPT:
+                self._schedule.count(CORRUPT)
+                payload = _corrupt(payload, self._payload_rng)
+            elif decision == DUPLICATE:
+                self._schedule.count(DUPLICATE)
+                self._dup_pending.append((source, payload))
+            return source, payload
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+__all__ = [
+    "CORRUPT",
+    "DELAY",
+    "DROP",
+    "DUPLICATE",
+    "FaultInjectedError",
+    "FaultPlan",
+    "FaultSchedule",
+    "FaultStats",
+    "FaultyDatagram",
+    "FaultyStream",
+    "OK",
+]

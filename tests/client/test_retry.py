@@ -1,0 +1,72 @@
+"""Unit tests for the client retry policy and op classification."""
+
+import pytest
+
+from repro.client.retry import NO_RETRY, RetryPolicy
+from repro.runtime import ops
+
+
+class TestRetryPolicy:
+    def test_defaults_give_a_ladder(self):
+        policy = RetryPolicy(jitter=0.0)
+        assert list(policy.delays()) == [0.05, 0.1, 0.2]
+
+    def test_ladder_is_capped(self):
+        policy = RetryPolicy(max_attempts=8, base_delay=0.5,
+                             multiplier=4.0, max_delay=1.0, jitter=0.0)
+        delays = list(policy.delays())
+        assert delays == [0.5, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+
+    def test_jitter_only_shrinks_delays(self):
+        policy = RetryPolicy(max_attempts=6, base_delay=1.0,
+                             multiplier=1.0, jitter=0.5, seed=11)
+        for delay in policy.delays():
+            assert 0.5 <= delay <= 1.0
+
+    def test_seeded_jitter_is_reproducible(self):
+        policy = RetryPolicy(max_attempts=5, jitter=0.3, seed=42)
+        assert list(policy.delays()) == list(policy.delays())
+
+    def test_unseeded_jitter_varies(self):
+        policy = RetryPolicy(max_attempts=10, jitter=1.0)
+        # Astronomically unlikely to collide across 9 uniform draws.
+        assert list(policy.delays()) != list(policy.delays())
+
+    def test_no_retry_yields_nothing(self):
+        assert NO_RETRY.max_attempts == 1
+        assert list(NO_RETRY.delays()) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_frozen(self):
+        policy = RetryPolicy()
+        with pytest.raises(Exception):
+            policy.max_attempts = 99
+
+
+class TestIdempotentOps:
+    def test_destructive_ops_are_never_auto_retried(self):
+        # queue get dequeues and queue put has no dedup key; both are
+        # kind-dependent and therefore excluded from the blanket set.
+        assert ops.OP_GET not in ops.IDEMPOTENT_OPS
+        assert ops.OP_PUT not in ops.IDEMPOTENT_OPS
+        assert ops.OP_ATTACH not in ops.IDEMPOTENT_OPS
+        assert ops.OP_HELLO not in ops.IDEMPOTENT_OPS
+        assert ops.OP_RESUME not in ops.IDEMPOTENT_OPS
+
+    def test_read_only_and_absorbing_ops_are_retried(self):
+        for opcode in (ops.OP_CONSUME, ops.OP_CONSUME_UNTIL,
+                       ops.OP_DETACH, ops.OP_NS_LOOKUP, ops.OP_NS_LIST,
+                       ops.OP_PING, ops.OP_INSPECT):
+            assert opcode in ops.IDEMPOTENT_OPS
+
+    def test_classified_ops_all_exist(self):
+        assert ops.IDEMPOTENT_OPS <= set(ops.OP_SCHEMAS)

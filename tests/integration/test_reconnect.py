@@ -1,0 +1,309 @@
+"""End-device fault tolerance: reconnect, RESUME, leases.
+
+The Octopus model's tentacles live on flaky links.  These tests pin the
+recovery behaviour end to end against a real server over real sockets:
+a connection severed mid-stream is transparently re-dialled and the
+session RESUMEd with no lost attach state; a session that never comes
+back is released at grace expiry with no leaked live items; a silent
+device's name-server leases expire; and the acceptance bar of the fault
+model — a put/get/consume loop under 5% packet drop plus one forced
+sever completes with zero application-visible errors.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro import (
+    ConnectionMode,
+    FaultPlan,
+    RetryPolicy,
+    Runtime,
+    StampedeClient,
+    StampedeServer,
+)
+from repro.errors import SessionResumeError, TransportClosedError
+
+#: Seed for the fault schedules; the CI fault matrix overrides it.
+SEED = int(os.environ.get("FAULT_SEED", "42"))
+
+#: Aggressive ladder so recovery happens at test speed.
+FAST_RETRY = RetryPolicy(max_attempts=10, base_delay=0.02,
+                         multiplier=1.5, max_delay=0.2, jitter=0.1,
+                         seed=SEED)
+
+
+@pytest.fixture()
+def cluster():
+    runtime = Runtime(gc_interval=0.02)
+    server = StampedeServer(runtime, session_grace=5.0).start()
+    try:
+        yield runtime, server
+    finally:
+        server.close()
+        runtime.shutdown()
+
+
+def _sever_server_side(server):
+    """Reset the (single) device's connection from the cluster side."""
+    (surrogate,) = server.surrogates()
+    surrogate.connection.close()
+
+
+class TestSessionResume:
+    def test_mid_stream_sever_keeps_attach_state(self, cluster):
+        runtime, server = cluster
+        degraded = threading.Event()
+        recovered = []
+        client = StampedeClient(
+            *server.address, client_name="flaky", retry=FAST_RETRY,
+            rpc_timeout=2.0, on_degraded=lambda exc: degraded.set(),
+            on_recovered=recovered.append,
+        )
+        session_id = client.session_id
+        client.create_channel("frames")
+        out = client.attach("frames", ConnectionMode.OUT)
+        inp = client.attach("frames", ConnectionMode.IN)
+        for ts in range(5):
+            out.put(ts, f"frame-{ts}")
+
+        _sever_server_side(server)
+
+        # The same handles keep working across the outage: the session
+        # (and both attachments) survived on the cluster.
+        for ts in range(5, 10):
+            out.put(ts, f"frame-{ts}")
+        for ts in range(10):
+            assert inp.get(ts, timeout=5.0) == (ts, f"frame-{ts}")
+        assert degraded.is_set()
+        assert recovered == [2]  # both connections came back
+        assert client.state == "connected"
+        assert client.session_id == session_id
+        assert server.parked_count == 0
+        client.close()
+
+    def test_concurrent_threads_share_one_recovery(self, cluster):
+        runtime, server = cluster
+        client = StampedeClient(*server.address, client_name="multi",
+                                retry=FAST_RETRY, rpc_timeout=2.0)
+        client.create_channel("shared")
+        out = client.attach("shared", ConnectionMode.OUT)
+        out.put(0, "payload")
+        readers = [client.attach("shared", ConnectionMode.IN)
+                   for _ in range(4)]
+
+        _sever_server_side(server)
+
+        results, errors = [], []
+
+        def read(connection):
+            try:
+                results.append(connection.get(0, timeout=5.0))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=read, args=(r,))
+                   for r in readers]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert errors == []
+        assert results == [(0, "payload")] * 4
+        client.close()
+
+    def test_reconnect_disabled_fails_fast(self, cluster):
+        runtime, server = cluster
+        client = StampedeClient(*server.address, client_name="rigid",
+                                retry=FAST_RETRY, reconnect=False)
+        client.create_channel("c")
+        out = client.attach("c", ConnectionMode.OUT)
+        _sever_server_side(server)
+        with pytest.raises(TransportClosedError):
+            out.put(0, "x")
+        client.close()
+
+    def test_grace_expiry_releases_session_and_items(self):
+        runtime = Runtime(gc_interval=0.02)
+        server = StampedeServer(runtime, session_grace=0.25).start()
+        try:
+            victim = StampedeClient(*server.address, client_name="victim",
+                                    retry=FAST_RETRY, rpc_timeout=2.0)
+            survivor = StampedeClient(*server.address,
+                                      client_name="survivor")
+            victim.create_channel("shared")
+            veto = victim.attach("shared", ConnectionMode.IN)
+            out = survivor.attach("shared", ConnectionMode.OUT)
+            inp = survivor.attach("shared", ConnectionMode.IN)
+            out.put(0, "item")
+            inp.consume(0)
+            channel = runtime.lookup_container("shared")
+            time.sleep(0.1)
+            assert channel.live_timestamps() == [0]  # victim vetoes
+
+            # Crash without BYE; never reconnect within the grace.
+            victim._rpc.close()
+            deadline = time.monotonic() + 5.0
+            while channel.live_timestamps() and \
+                    time.monotonic() < deadline:
+                time.sleep(0.02)
+            # No leaked live items: grace expiry detached the victim's
+            # veto and the collector reclaimed the item.
+            assert channel.live_timestamps() == []
+            assert server.parked_count == 0
+            assert not veto.detached  # the handle simply went stale
+            survivor.close()
+        finally:
+            server.close()
+            runtime.shutdown()
+
+    def test_late_resume_is_refused(self):
+        runtime = Runtime(gc_interval=0.02)
+        server = StampedeServer(runtime, session_grace=0.2).start()
+        try:
+            client = StampedeClient(*server.address, client_name="late",
+                                    retry=FAST_RETRY, rpc_timeout=2.0)
+            client.create_channel("c")
+            out = client.attach("c", ConnectionMode.OUT)
+            client._rpc.close()
+            time.sleep(0.8)  # grace long gone
+            with pytest.raises(SessionResumeError):
+                out.put(0, "too late")
+            assert client.state == "closed"
+        finally:
+            server.close()
+            runtime.shutdown()
+
+
+class TestHeartbeatRecovery:
+    def test_idle_client_recovers_via_heartbeat(self, cluster):
+        runtime, server = cluster
+        recovered = threading.Event()
+        client = StampedeClient(
+            *server.address, client_name="idle", retry=FAST_RETRY,
+            rpc_timeout=2.0, heartbeat=0.05,
+            on_recovered=lambda n: recovered.set(),
+        )
+        client.create_channel("c")
+        time.sleep(0.1)  # heartbeat running
+        _sever_server_side(server)
+        # No application call: the heartbeat alone must resume.
+        assert recovered.wait(timeout=5.0)
+        assert client.state == "connected"
+        client.close()
+
+    def test_close_stops_heartbeat_before_socket(self, cluster):
+        runtime, server = cluster
+        client = StampedeClient(*server.address, client_name="tidy",
+                                heartbeat=0.05)
+        thread = client._heartbeat_thread
+        assert thread is not None and thread.is_alive()
+        client.close()
+        assert not thread.is_alive()
+        assert client.state == "closed"
+
+
+class TestNameServerLeases:
+    def test_silent_device_lease_expires(self, cluster):
+        runtime, server = cluster
+        silent = StampedeClient(*server.address, client_name="silent")
+        watcher = StampedeClient(*server.address, client_name="watcher")
+        silent.ns_register("cam-silent", "thread", ttl=0.3)
+        assert "cam-silent" in watcher.ns_list()
+        snapshot = watcher.inspect()
+        (entry,) = [n for n in snapshot["names"]
+                    if n["name"] == "cam-silent"]
+        assert 0.0 < entry["lease_remaining"] <= 0.3
+        # The device goes silent (no heartbeat at all): within one TTL
+        # the binding stops advertising.
+        time.sleep(0.5)
+        assert "cam-silent" not in watcher.ns_list()
+        silent._rpc.close()
+        watcher.close()
+
+    def test_heartbeat_refreshes_lease(self, cluster):
+        runtime, server = cluster
+        device = StampedeClient(*server.address, client_name="beater",
+                                heartbeat=0.1)
+        watcher = StampedeClient(*server.address, client_name="watcher")
+        device.ns_register("cam-live", "thread", ttl=0.4)
+        # Several TTLs pass; the heartbeat keeps the lease alive.
+        for _ in range(4):
+            time.sleep(0.3)
+            assert "cam-live" in watcher.ns_list()
+        device.close()
+        watcher.close()
+
+
+class TestAcceptance:
+    """The fault model's acceptance bar (docs/FAULTS.md)."""
+
+    def test_stream_survives_drops_and_a_sever(self, cluster):
+        runtime, server = cluster
+        wrapped = []
+
+        def wrapper(connection):
+            # Dial 1 (setup handshake) is clean; every later dial
+            # carries the acceptance weather — 5% drop, and a forced
+            # sever once the link has carried 50 frames, so whichever
+            # connection ends up serving the stream gets cut mid-loop.
+            if not wrapped:
+                plan = FaultPlan()
+            else:
+                plan = FaultPlan(seed=SEED + len(wrapped),
+                                 drop_rate=0.05, sever_at=[50])
+            faulty = plan.wrap(connection)
+            wrapped.append(faulty)
+            return faulty
+
+        # op_timeout bounds blocking put/get attempts: without it a lost
+        # response frame would park the caller forever (the paper's
+        # block-indefinitely semantics), which no retry could rescue.
+        policy = RetryPolicy(max_attempts=10, base_delay=0.02,
+                             multiplier=1.5, max_delay=0.2, jitter=0.1,
+                             op_timeout=0.75, seed=SEED)
+        client = StampedeClient(
+            *server.address, client_name="acceptance",
+            retry=policy, rpc_timeout=1.0,
+            transport_wrapper=wrapper,
+        )
+        client.create_channel("stream")
+        out = client.attach("stream", ConnectionMode.OUT)
+        inp = client.attach("stream", ConnectionMode.IN)
+
+        # Push the session onto the faulty link: sever the clean pipe
+        # from the cluster side; the re-dial goes through dial-2's plan.
+        _sever_server_side(server)
+
+        # Zero application-visible errors, by construction of the loop:
+        # any exception fails the test.
+        for ts in range(40):
+            out.put(ts, f"frame-{ts}")
+            got = inp.get(ts)
+            assert got == (ts, f"frame-{ts}")
+            inp.consume(ts)
+
+        assert len(wrapped) >= 3  # setup + faulty dial + post-sever
+        assert sum(w.stats.severs for w in wrapped) >= 1, \
+            "the forced sever never fired"
+        assert sum(w.stats.drops for w in wrapped) >= 1, \
+            "the 5%% drop rate never fired"
+        assert client.state == "connected"
+
+        # Everything consumed: the collector reclaims the whole stream.
+        channel = runtime.lookup_container("stream")
+        deadline = time.monotonic() + 5.0
+        while channel.live_timestamps() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert channel.live_timestamps() == []
+
+        client.close()
+        # No leaked connections on the cluster after the clean goodbye.
+        deadline = time.monotonic() + 5.0
+        while (server.device_count or server.parked_count) and \
+                time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert server.device_count == 0
+        assert server.parked_count == 0

@@ -108,3 +108,65 @@ class TestWaitFor:
         for t in threads:
             t.join(timeout=2.0)
         assert len(results) == 5
+
+
+class TestLeases:
+    def test_lease_expires_and_lookup_purges(self, ns):
+        ns.register(NameRecord(name="cam", kind="thread"), ttl=0.05)
+        assert ns.contains("cam")
+        time.sleep(0.1)
+        assert not ns.contains("cam")
+        with pytest.raises(NameNotBoundError):
+            ns.lookup("cam")
+
+    def test_refresh_keeps_binding_alive(self, ns):
+        ns.register(NameRecord(name="cam", kind="thread"), ttl=0.15)
+        for _ in range(4):
+            time.sleep(0.05)
+            assert ns.refresh("cam")
+        assert ns.contains("cam")
+
+    def test_refresh_after_expiry_returns_false(self, ns):
+        ns.register(NameRecord(name="cam", kind="thread"), ttl=0.02)
+        time.sleep(0.05)
+        assert not ns.refresh("cam")
+
+    def test_refresh_unleased_name_is_noop(self, ns):
+        ns.register(NameRecord(name="forever", kind="channel"))
+        assert not ns.refresh("forever")  # nothing to extend
+        assert ns.contains("forever")  # and nothing harmed
+
+    def test_lease_remaining(self, ns):
+        ns.register(NameRecord(name="cam", kind="thread"), ttl=30.0)
+        remaining = ns.lease_remaining("cam")
+        assert remaining is not None
+        assert 0.0 < remaining <= 30.0
+        ns.register(NameRecord(name="rock", kind="channel"))
+        assert ns.lease_remaining("rock") is None
+
+    def test_purge_expired_reports_names(self, ns):
+        ns.register(NameRecord(name="a", kind="thread"), ttl=0.02)
+        ns.register(NameRecord(name="b", kind="thread"), ttl=30.0)
+        ns.register(NameRecord(name="c", kind="channel"))
+        time.sleep(0.05)
+        assert ns.purge_expired() == ["a"]
+        assert [r.name for r in ns.list()] == ["b", "c"]
+
+    def test_expired_name_is_reusable(self, ns):
+        ns.register(NameRecord(name="x", kind="thread"), ttl=0.02)
+        time.sleep(0.05)
+        ns.register(NameRecord(name="x", kind="queue"))
+        assert ns.lookup("x").kind == "queue"
+
+    def test_invalid_ttl_rejected(self, ns):
+        with pytest.raises(ValueError):
+            ns.register(NameRecord(name="x", kind="thread"), ttl=0.0)
+        with pytest.raises(ValueError):
+            ns.register(NameRecord(name="y", kind="thread"), ttl=-1.0)
+
+    def test_listing_hides_expired(self, ns):
+        ns.register(NameRecord(name="dead", kind="thread"), ttl=0.02)
+        ns.register(NameRecord(name="live", kind="thread"), ttl=60.0)
+        time.sleep(0.05)
+        assert [r.name for r in ns.list()] == ["live"]
+        assert len(ns) == 1

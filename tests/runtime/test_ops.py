@@ -37,6 +37,7 @@ class TestRequests:
             ops.OP_CONSUME_UNTIL: {"connection_id": 1, "timestamp": 9},
             ops.OP_NS_REGISTER: {
                 "name": "n", "kind": "thread", "metadata": b"meta",
+                "has_ttl": True, "ttl": 30.0,
             },
             ops.OP_NS_UNREGISTER: {"name": "n"},
             ops.OP_NS_LOOKUP: {"name": "n"},
@@ -47,6 +48,9 @@ class TestRequests:
                                   "tolerance": 0.005},
             ops.OP_GC_REPORT: {},
             ops.OP_INSPECT: {},
+            ops.OP_RESUME: {
+                "session_id": "session-4", "token": "ab12cd34",
+            },
         }
         assert set(samples) == set(ops.OP_SCHEMAS)
         for opcode, args in samples.items():

@@ -1,0 +1,75 @@
+"""Replaying fault schedules against the simnet latency models."""
+
+import pytest
+
+from repro.errors import DeliveryTimeoutError, TransportClosedError
+from repro.simnet.protocols import faulty_exchange_us
+from repro.transport.faults import FaultPlan
+
+
+class TestFaultyExchange:
+    def test_clean_schedule_is_free(self):
+        schedule = FaultPlan().schedule()
+        assert faulty_exchange_us(100.0, schedule) == 100.0
+
+    def test_drop_costs_one_retransmit_timeout(self):
+        schedule = FaultPlan(seed=1, drop_rate=1.0).schedule()
+        with pytest.raises(DeliveryTimeoutError):
+            # Every exchange is lost: the ARQ gives up eventually.
+            faulty_exchange_us(100.0, schedule, max_retries=3)
+        assert schedule.stats.drops == 4  # 1 try + 3 retries
+
+    def test_single_drop_then_success(self):
+        # drop exactly once by alternating: use errors-free plan with
+        # a seed whose first draw drops and second doesn't.
+        plan = FaultPlan(seed=0, drop_rate=0.5)
+        probe = plan.schedule()
+        decisions = [probe.next_decision()[0] for _ in range(8)]
+        losses = 0
+        for d in decisions:
+            if d in ("drop", "corrupt"):
+                losses += 1
+            else:
+                break
+        schedule = plan.schedule()
+        latency = faulty_exchange_us(
+            100.0, schedule, retransmit_timeout_us=1000.0, max_retries=8
+        )
+        assert latency >= 100.0 + losses * 1000.0
+
+    def test_delay_adds_plan_delay(self):
+        schedule = FaultPlan(seed=1, delay_rate=1.0,
+                             delay_s=0.002).schedule()
+        latency = faulty_exchange_us(100.0, schedule)
+        assert latency == pytest.approx(100.0 + 2000.0)
+
+    def test_duplicate_is_free(self):
+        schedule = FaultPlan(seed=1, duplicate_rate=1.0).schedule()
+        assert faulty_exchange_us(100.0, schedule) == 100.0
+        assert schedule.stats.duplicates == 1
+
+    def test_sever_raises(self):
+        schedule = FaultPlan(sever_at=[1]).schedule()
+        with pytest.raises(TransportClosedError):
+            faulty_exchange_us(100.0, schedule)
+
+    def test_injected_error_raises(self):
+        schedule = FaultPlan(errors_at={1: "timeout"}).schedule()
+        with pytest.raises(DeliveryTimeoutError):
+            faulty_exchange_us(100.0, schedule)
+
+    def test_same_seed_same_latency_trace(self):
+        plan = FaultPlan(seed=9, drop_rate=0.2, delay_rate=0.2,
+                         delay_s=0.001)
+
+        def trace():
+            schedule = plan.schedule()
+            out = []
+            for _ in range(50):
+                try:
+                    out.append(faulty_exchange_us(100.0, schedule))
+                except DeliveryTimeoutError:
+                    out.append("dead")
+            return out
+
+        assert trace() == trace()

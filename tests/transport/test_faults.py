@@ -1,0 +1,247 @@
+"""Unit tests for the deterministic fault-injection layer."""
+
+import collections
+import threading
+
+import pytest
+
+from repro.errors import (
+    DeliveryTimeoutError,
+    TransportClosedError,
+)
+from repro.transport.base import DatagramTransport, StreamTransport
+from repro.transport.faults import (
+    OK,
+    FaultPlan,
+    FaultyDatagram,
+    FaultyStream,
+)
+
+
+class LoopbackStream(StreamTransport):
+    """In-memory stream: send_frame enqueues, recv_frame dequeues."""
+
+    def __init__(self):
+        self.frames = collections.deque()
+        self.closed = False
+        self.sent = []
+
+    def send_frame(self, payload):
+        if self.closed:
+            raise TransportClosedError("loopback closed")
+        self.sent.append(payload)
+        self.frames.append(payload)
+
+    def recv_frame(self, timeout=None):
+        if self.closed:
+            raise TransportClosedError("loopback closed")
+        if not self.frames:
+            raise DeliveryTimeoutError("empty loopback")
+        return self.frames.popleft()
+
+    def close(self):
+        self.closed = True
+
+
+class LoopbackDatagram(DatagramTransport):
+    """Minimal datagram endpoint for FaultyDatagram tests."""
+
+    def __init__(self):
+        self.packets = collections.deque()
+        self.sent = []
+        self.closed = False
+
+    @property
+    def address(self):
+        return "loopback"
+
+    def send(self, destination, payload):
+        self.sent.append((destination, payload))
+        self.packets.append(("peer", payload))
+
+    def recv(self, timeout=None):
+        if not self.packets:
+            raise DeliveryTimeoutError("empty loopback")
+        return self.packets.popleft()
+
+    def close(self):
+        self.closed = True
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(corrupt_rate=-0.1)
+
+    def test_named_errors_validated_eagerly(self):
+        with pytest.raises(ValueError):
+            FaultPlan(errors_at={3: "segfault"})
+
+    def test_decision_stream_is_deterministic(self):
+        plan = FaultPlan(seed=7, drop_rate=0.3, delay_rate=0.2,
+                         duplicate_rate=0.1, corrupt_rate=0.1)
+        first = [plan.schedule().next_decision()[0] for _ in range(1)]
+        a = plan.schedule()
+        b = plan.schedule()
+        seq_a = [a.next_decision()[0] for _ in range(200)]
+        seq_b = [b.next_decision()[0] for _ in range(200)]
+        assert seq_a == seq_b
+        assert first[0] == seq_a[0]
+        # With these rates something must fire in 200 draws.
+        assert any(d != OK for d in seq_a)
+
+    def test_different_seeds_differ(self):
+        seqs = set()
+        for seed in range(20):
+            sched = FaultPlan(seed=seed, drop_rate=0.5).schedule()
+            seqs.add(tuple(sched.next_decision()[0] for _ in range(20)))
+        assert len(seqs) > 1
+
+    def test_wrap_picks_adapter(self):
+        plan = FaultPlan()
+        assert isinstance(plan.wrap(LoopbackStream()), FaultyStream)
+        assert isinstance(plan.wrap(LoopbackDatagram()), FaultyDatagram)
+        with pytest.raises(TypeError):
+            plan.wrap(object())
+
+
+class TestFaultyStream:
+    def test_clean_plan_is_transparent(self):
+        inner = LoopbackStream()
+        faulty = FaultyStream(inner, FaultPlan())
+        faulty.send_frame(b"hello")
+        assert faulty.recv_frame() == b"hello"
+        assert faulty.stats.injected == 0
+        assert faulty.stats.calls == 2
+
+    def test_send_drop_never_reaches_the_wire(self):
+        inner = LoopbackStream()
+        faulty = FaultyStream(inner, FaultPlan(seed=1, drop_rate=1.0))
+        faulty.send_frame(b"gone")
+        assert inner.sent == []
+        assert faulty.stats.drops == 1
+
+    def test_recv_drop_looks_like_a_timeout(self):
+        inner = LoopbackStream()
+        inner.frames.append(b"doomed")
+        faulty = FaultyStream(inner, FaultPlan(seed=1, drop_rate=1.0))
+        with pytest.raises(DeliveryTimeoutError):
+            faulty.recv_frame()
+
+    def test_duplicate_delivers_twice(self):
+        inner = LoopbackStream()
+        faulty = FaultyStream(inner, FaultPlan(seed=1, duplicate_rate=1.0))
+        faulty.send_frame(b"twice")
+        assert inner.sent == [b"twice", b"twice"]
+        assert faulty.stats.duplicates == 1
+
+    def test_corrupt_flips_exactly_one_byte(self):
+        inner = LoopbackStream()
+        faulty = FaultyStream(inner, FaultPlan(seed=1, corrupt_rate=1.0))
+        original = b"payload-bytes"
+        faulty.send_frame(original)
+        (mutated,) = inner.sent
+        assert mutated != original
+        assert len(mutated) == len(original)
+        diffs = [i for i, (x, y) in enumerate(zip(original, mutated))
+                 if x != y]
+        assert len(diffs) == 1
+
+    def test_sever_at_call_count_closes_transport(self):
+        inner = LoopbackStream()
+        faulty = FaultyStream(inner, FaultPlan(sever_at=[3]))
+        faulty.send_frame(b"1")
+        faulty.send_frame(b"2")
+        with pytest.raises(TransportClosedError):
+            faulty.send_frame(b"3")
+        assert inner.closed
+        assert faulty.stats.severs == 1
+        # The transport stays dead afterwards, like a real reset.
+        with pytest.raises(TransportClosedError):
+            faulty.send_frame(b"4")
+
+    def test_injected_ebadf_and_timeout(self):
+        inner = LoopbackStream()
+        faulty = FaultyStream(
+            inner, FaultPlan(errors_at={1: "ebadf", 2: "timeout"})
+        )
+        with pytest.raises(OSError) as excinfo:
+            faulty.send_frame(b"x")
+        import errno
+
+        assert excinfo.value.errno == errno.EBADF
+        with pytest.raises(DeliveryTimeoutError):
+            faulty.send_frame(b"x")
+        assert faulty.stats.errors == 2
+
+    def test_idle_recv_timeouts_do_not_consume_decisions(self):
+        """Polling an empty transport must not advance the schedule,
+        or fault positions would depend on poll cadence."""
+        inner = LoopbackStream()
+        faulty = FaultyStream(inner, FaultPlan(sever_at=[1]))
+        for _ in range(5):
+            with pytest.raises(DeliveryTimeoutError):
+                faulty.recv_frame(timeout=0.01)
+        assert faulty.stats.calls == 0  # sever still pending
+        with pytest.raises(TransportClosedError):
+            faulty.send_frame(b"now")  # call 1 -> sever fires here
+
+    def test_passthrough_attributes(self):
+        inner = LoopbackStream()
+        inner.peer_address = ("10.0.0.1", 9)
+        faulty = FaultyStream(inner, FaultPlan())
+        assert faulty.peer_address == ("10.0.0.1", 9)
+        assert faulty.inner is inner
+
+    def test_thread_safe_decision_stream(self):
+        inner = LoopbackStream()
+        faulty = FaultyStream(inner, FaultPlan(seed=3, drop_rate=0.5))
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(200):
+                    faulty.send_frame(b"x")
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert faulty.stats.calls == 800
+        assert faulty.stats.drops + len(inner.sent) == 800
+
+
+class TestFaultyDatagram:
+    def test_drop_and_duplicate(self):
+        inner = LoopbackDatagram()
+        faulty = FaultyDatagram(inner, FaultPlan(seed=2, drop_rate=1.0))
+        faulty.send("peer", b"gone")
+        assert inner.sent == []
+
+        inner2 = LoopbackDatagram()
+        faulty2 = FaultyDatagram(
+            inner2, FaultPlan(seed=2, duplicate_rate=1.0)
+        )
+        faulty2.send("peer", b"twice")
+        assert len(inner2.sent) == 2
+
+    def test_recv_drop_discards_and_keeps_waiting(self):
+        inner = LoopbackDatagram()
+        inner.packets.append(("peer", b"lost"))
+        faulty = FaultyDatagram(inner, FaultPlan(seed=2, drop_rate=1.0))
+        # The only packet is dropped; the retry finds an empty queue.
+        with pytest.raises(DeliveryTimeoutError):
+            faulty.recv(timeout=0.05)
+
+    def test_sever_closes_endpoint(self):
+        inner = LoopbackDatagram()
+        faulty = FaultyDatagram(inner, FaultPlan(sever_at=[1]))
+        with pytest.raises(TransportClosedError):
+            faulty.send("peer", b"x")
+        assert inner.closed
