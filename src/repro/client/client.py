@@ -257,6 +257,15 @@ class StampedeClient:
         Hook applied to every freshly dialled TCP connection; used to
         inject faults (:class:`repro.transport.faults.FaultPlan.wrap`)
         or instrumentation.
+    batching:
+        Whether fire-and-forget casts (async puts/consumes) are
+        coalesced into batch envelopes — one syscall and one wire frame
+        for a burst of N items.  Ordering is unchanged: any synchronous
+        call flushes the pending batch first.  Default True.
+    batch_max_items, batch_max_bytes, batch_linger:
+        Coalescer knobs: flush when the batch reaches this many items or
+        payload bytes, or ``batch_linger`` seconds after the first item,
+        whichever comes first.
     """
 
     def __init__(self, host: str, port: int, client_name: str = "device",
@@ -268,7 +277,11 @@ class StampedeClient:
                  on_degraded: Optional[Callable[[BaseException],
                                                None]] = None,
                  on_recovered: Optional[Callable[[int], None]] = None,
-                 transport_wrapper: Optional[TransportWrapper] = None
+                 transport_wrapper: Optional[TransportWrapper] = None,
+                 batching: bool = True,
+                 batch_max_items: int = 64,
+                 batch_max_bytes: int = 128 * 1024,
+                 batch_linger: float = 0.002
                  ) -> None:
         self.codec = get_codec(codec)
         self.client_name = client_name
@@ -277,6 +290,10 @@ class StampedeClient:
         self._address = (host, port)
         self._reconnect_enabled = reconnect
         self._transport_wrapper = transport_wrapper
+        self._batching = batching
+        self._batch_max_items = batch_max_items
+        self._batch_max_bytes = batch_max_bytes
+        self._batch_linger = batch_linger
         self._on_degraded = on_degraded
         self._on_recovered = on_recovered
         self._user_reclaim_cb = on_reclaim
@@ -442,7 +459,13 @@ class StampedeClient:
         connection: StreamTransport = connect_tcp(self._address)
         if self._transport_wrapper is not None:
             connection = self._transport_wrapper(connection)
-        return RpcChannel(connection, reclaim_listener=self._on_reclaim)
+        return RpcChannel(
+            connection, reclaim_listener=self._on_reclaim,
+            batching=self._batching,
+            batch_max_items=self._batch_max_items,
+            batch_max_bytes=self._batch_max_bytes,
+            batch_linger=self._batch_linger,
+        )
 
     def _cast(self, opcode: int, args: dict) -> None:
         """Fire-and-forget RPC (see :meth:`RpcChannel.cast`).
@@ -450,7 +473,10 @@ class StampedeClient:
         A cast that dies with the connection is replayed once on the
         recovered session — put/consume casts are the only casts the
         client issues, and both tolerate replay (channel puts dedup by
-        timestamp on the cluster; consume is idempotent).
+        timestamp on the cluster; consume is idempotent).  The same
+        tolerance covers the rare double replay where a cast sits in the
+        coalescer when the transport dies *and* the caller re-casts
+        after recovery: the duplicate is absorbed cluster-side.
         """
         rpc = self._rpc
         try:
@@ -588,6 +614,18 @@ class StampedeClient:
                     time.sleep(pause)
             old = self._rpc
             self._rpc = rpc
+            # Casts the old channel buffered (coalescer) or failed to
+            # send die with it otherwise: replay them byte-identically,
+            # in order, before anything new goes out.  Replays are safe
+            # — every cast the client issues tolerates duplication
+            # (channel puts dedup by timestamp; consumes are
+            # idempotent).
+            for cast_opcode, cast_frame in old.drain_unsent_casts():
+                try:
+                    rpc.cast_frame(cast_opcode, cast_frame)
+                except StampedeError:
+                    _log.warning("lost a buffered cast during recovery")
+                    break
             old.close()
             self.space = results["space"]
         self._note_recovered(results["connections"])

@@ -6,13 +6,33 @@ display thread).  The channel therefore correlates responses to requests
 by id: callers block on a per-request event while a single receiver
 thread routes incoming frames.  A display thread blocked in a ``get``
 never stops the producer's ``put`` calls.
+
+With ``batching=True`` the channel also runs an **adaptive coalescer**
+for casts: back-to-back fire-and-forget puts (or consumes) are gathered
+into one batch envelope and leave in a single vectored write — one
+syscall and one wire frame for N items.  A pending batch is flushed by
+whichever comes first:
+
+* a **synchronous call** on this channel (so a later ``call`` always
+  observes every earlier cast's effects — ordering is unchanged);
+* the **linger deadline** (``batch_linger`` seconds after the first
+  item — bounded added latency for a trickling producer);
+* the **size caps** (``batch_max_items`` items or ``batch_max_bytes``
+  payload bytes);
+* a **kind switch** (puts and consumes never share an envelope).
+
+Casts buffered when the transport dies are exposed via
+:meth:`RpcChannel.drain_unsent_casts` so the client's recovery replays
+them on the resumed session; batched items keep their per-item dedup
+semantics because each travels as a complete ordinary cast frame.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
-from typing import Any, Callable, Dict, List, Optional
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import repro.errors as errors_module
 from repro.errors import (
@@ -64,13 +84,28 @@ class RpcChannel:
     """Request/response correlation over one framed TCP connection."""
 
     def __init__(self, connection: TcpConnection,
-                 reclaim_listener: Optional[ReclaimListener] = None) -> None:
+                 reclaim_listener: Optional[ReclaimListener] = None, *,
+                 batching: bool = False, batch_max_items: int = 64,
+                 batch_max_bytes: int = 128 * 1024,
+                 batch_linger: float = 0.002) -> None:
         self._connection = connection
         self._reclaim_listener = reclaim_listener
         self._pending: Dict[int, _PendingCall] = {}
         self._pending_lock = threading.Lock()
         self._request_ids = itertools.count(1)
         self._closed = threading.Event()
+        # Cast coalescer state, all guarded by _batch_cond's lock.
+        self._batching = batching
+        self._batch_max_items = max(1, batch_max_items)
+        self._batch_max_bytes = max(1, batch_max_bytes)
+        self._batch_linger = batch_linger
+        self._batch_cond = threading.Condition()
+        self._batch_frames: List[Tuple[int, bytes]] = []  # (opcode, frame)
+        self._batch_envelope: Optional[int] = None
+        self._batch_bytes = 0
+        self._batch_deadline: Optional[float] = None
+        self._unsent: List[Tuple[int, bytes]] = []
+        self._flusher: Optional[threading.Thread] = None
         self._receiver = threading.Thread(
             target=self._receive_loop, name="rpc-recv", daemon=True
         )
@@ -89,6 +124,10 @@ class RpcChannel:
         """
         if self._closed.is_set():
             raise TransportClosedError("RPC channel is closed")
+        # Ordering barrier: every coalesced cast reaches the wire before
+        # this request, so the surrogate's serial executors observe the
+        # same order the caller issued.
+        self.flush_casts()
         request_id = next(self._request_ids)
         pending = _PendingCall()
         with self._pending_lock:
@@ -124,11 +163,123 @@ class RpcChannel:
         lost — use only for operations whose failure the next
         synchronous call would surface anyway (streaming puts,
         consumes).
+
+        With batching enabled, batchable casts (puts/consumes) may be
+        coalesced: "sent" then means "accepted for the current batch",
+        which flushes per the rules in the module docstring.
+        """
+        self.cast_frame(
+            opcode, ops.encode_request(ops.CAST_REQUEST_ID, opcode, args)
+        )
+
+    def cast_frame(self, opcode: int, frame: bytes) -> None:
+        """Send (or coalesce) one already-encoded cast frame.
+
+        Split from :meth:`cast` so session recovery can replay buffered
+        casts byte-identically on the new channel.
         """
         if self._closed.is_set():
             raise TransportClosedError("RPC channel is closed")
-        frame = ops.encode_request(ops.CAST_REQUEST_ID, opcode, args)
-        self._connection.send_frame(frame)
+        envelope = ops.BATCHABLE.get(opcode) if self._batching else None
+        if envelope is None:
+            # Non-batchable cast: anything already coalesced must go
+            # first to keep wire order equal to issue order.
+            self.flush_casts()
+            self._connection.send_frame(frame)
+            return
+        with self._batch_cond:
+            if (self._batch_envelope is not None
+                    and self._batch_envelope != envelope):
+                self._flush_locked()  # kind switch: puts vs consumes
+            first = not self._batch_frames
+            self._batch_frames.append((opcode, frame))
+            self._batch_envelope = envelope
+            self._batch_bytes += len(frame)
+            if (len(self._batch_frames) >= self._batch_max_items
+                    or self._batch_bytes >= self._batch_max_bytes):
+                self._flush_locked()
+            elif first:
+                self._batch_deadline = (
+                    time.monotonic() + self._batch_linger
+                )
+                if self._flusher is None:
+                    self._flusher = threading.Thread(
+                        target=self._flush_loop, name="rpc-batch-flush",
+                        daemon=True,
+                    )
+                    self._flusher.start()
+                self._batch_cond.notify_all()
+
+    def flush_casts(self) -> None:
+        """Force any coalesced casts onto the wire now."""
+        if self._batching:
+            with self._batch_cond:
+                self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        """Send the pending batch (caller holds ``_batch_cond``).
+
+        Sending happens under the condition's lock so no other cast or
+        call can slip between "batch taken" and "batch on the wire" —
+        the lock order (coalescer lock, then the connection's send lock)
+        is the same everywhere, so there is no deadlock.  If the
+        transport is dead the items move to the unsent list for the
+        client's recovery replay, and the error propagates.
+        """
+        items = self._batch_frames
+        if not items:
+            return
+        self._batch_frames = []
+        self._batch_envelope = None
+        self._batch_bytes = 0
+        self._batch_deadline = None
+        try:
+            if len(items) == 1:
+                self._connection.send_frame(items[0][1])
+            else:
+                envelope = ops.BATCHABLE[items[0][0]]
+                self._connection.send_frame_parts(
+                    ops.encode_batch_parts(
+                        envelope, [frame for _op, frame in items]
+                    )
+                )
+        except TransportClosedError:
+            self._unsent.extend(items)
+            raise
+
+    def _flush_loop(self) -> None:
+        """Linger-deadline flusher: sends batches a trickling producer
+        never fills, at most ``batch_linger`` seconds after the first
+        item."""
+        with self._batch_cond:
+            while not self._closed.is_set():
+                if not self._batch_frames:
+                    self._batch_cond.wait(timeout=0.5)
+                    continue
+                delay = self._batch_deadline - time.monotonic() \
+                    if self._batch_deadline is not None else 0.0
+                if delay > 0:
+                    self._batch_cond.wait(timeout=delay)
+                    continue
+                try:
+                    self._flush_locked()
+                except TransportClosedError:
+                    # Items are parked in _unsent; the receive loop
+                    # notices the dead transport and fails pending calls.
+                    pass
+
+    def drain_unsent_casts(self) -> List[Tuple[int, bytes]]:
+        """Take every cast that never reached the wire (dead transport):
+        both failed-send items and still-buffered ones.  Used by session
+        recovery to replay them, in order, on the new channel."""
+        with self._batch_cond:
+            items = self._unsent + self._batch_frames
+            self._unsent = []
+            self._batch_frames = []
+            self._batch_envelope = None
+            self._batch_bytes = 0
+            self._batch_deadline = None
+        return items
 
     def _deliver_reclaims(self, reclaims: List[ops.Reclaim]) -> None:
         if self._reclaim_listener is None:
@@ -181,9 +332,24 @@ class RpcChannel:
         return self._closed.is_set()
 
     def close(self) -> None:
-        """Close the connection and fail every pending call."""
+        """Close the connection and fail every pending call.
+
+        Coalesced casts are flushed best-effort first, and the flusher
+        and receiver threads are joined so a closed channel leaves no
+        threads behind.
+        """
         if self._closed.is_set():
             return
+        try:
+            self.flush_casts()
+        except StampedeError:
+            pass  # dead transport: items stay in _unsent for recovery
         self._closed.set()
+        with self._batch_cond:
+            self._batch_cond.notify_all()
+        if self._flusher is not None:
+            self._flusher.join(timeout=2.0)
         self._connection.close()
+        if self._receiver is not threading.current_thread():
+            self._receiver.join(timeout=2.0)
         self._fail_all_pending()

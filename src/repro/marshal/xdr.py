@@ -156,6 +156,27 @@ class XdrDecoder:
             )
         return self.unpack_opaque_fixed(length)
 
+    def unpack_opaque_view(self) -> memoryview:
+        """Decode an XDR opaque as a zero-copy view into the buffer.
+
+        Identical wire layout to :meth:`unpack_opaque` but the payload is
+        returned as a ``memoryview`` aliasing the decode buffer — no copy.
+        Use on the server hot path where the payload is immediately handed
+        to a container; the view is only valid while the frame buffer is.
+        """
+        length = self.unpack_uint()
+        if length > self.remaining:
+            raise DecodeError(
+                f"opaque length {length} exceeds remaining "
+                f"{self.remaining} bytes"
+            )
+        data = self._reader.read_view(length)
+        padding = (-length) % _PAD
+        pad = self._reader.read_bytes(padding)
+        if pad != b"\x00" * padding:
+            raise DecodeError("non-zero XDR padding")
+        return data
+
     def unpack_string(self) -> str:
         """Decode an XDR string."""
         try:

@@ -61,6 +61,8 @@ OP_SET_REALTIME = 16
 OP_GC_REPORT = 17
 OP_INSPECT = 18
 OP_RESUME = 19
+OP_PUT_BATCH = 20
+OP_CONSUME_BATCH = 21
 
 STATUS_OK = 0
 STATUS_ERROR = 1
@@ -206,7 +208,42 @@ OP_SCHEMAS: Dict[int, OpSchema] = {
         args=[("session_id", "str"), ("token", "str")],
         results=[("space", "str"), ("connections", "u32")],
     ),
+    OP_PUT_BATCH: OpSchema(
+        "put_batch",
+        # Batch envelope: N complete, individually-encoded cast request
+        # frames (each an OP_PUT) travelling as one wire frame and one
+        # syscall.  Cast-only — a batch never expects a reply; each inner
+        # frame is dispatched exactly as if it had arrived alone, so
+        # ordering and dedup semantics are unchanged.
+        args=[("frames", "frames")],
+        results=[],
+    ),
+    OP_CONSUME_BATCH: OpSchema(
+        "consume_batch",
+        # Same envelope as put_batch but carrying OP_CONSUME /
+        # OP_CONSUME_UNTIL casts.
+        args=[("frames", "frames")],
+        results=[],
+    ),
 }
+
+#: Cast opcodes the client coalescer may gather into a batch envelope,
+#: mapped to the envelope opcode that carries them.
+BATCHABLE: Dict[int, int] = {
+    OP_PUT: OP_PUT_BATCH,
+    OP_CONSUME: OP_CONSUME_BATCH,
+    OP_CONSUME_UNTIL: OP_CONSUME_BATCH,
+}
+
+#: Inner opcodes each batch envelope is allowed to carry; the surrogate
+#: refuses anything else (no nested batches, no smuggled sync ops).
+BATCH_INNER_OPS: Dict[int, frozenset] = {
+    OP_PUT_BATCH: frozenset({OP_PUT}),
+    OP_CONSUME_BATCH: frozenset({OP_CONSUME, OP_CONSUME_UNTIL}),
+}
+
+#: The batch envelope opcodes themselves.
+BATCH_OPS = frozenset(BATCH_INNER_OPS)
 
 #: Operations safe to re-issue after a transport failure: executing them
 #: twice is indistinguishable from once (consume of a missing/reclaimed
@@ -261,12 +298,15 @@ def _pack_fields(enc: XdrEncoder, specs: Sequence[_FieldSpec],
             enc.pack_opaque(value)
         elif kind == "strlist":
             enc.pack_array(list(value), enc.pack_string)
+        elif kind == "frames":
+            enc.pack_array(list(value),
+                           lambda f: enc.pack_opaque(bytes(f)))
         else:  # pragma: no cover - schema typo guard
             raise RpcError(f"unknown field kind {kind!r}")
 
 
-def _unpack_fields(dec: XdrDecoder,
-                   specs: Sequence[_FieldSpec]) -> Dict[str, Any]:
+def _unpack_fields(dec: XdrDecoder, specs: Sequence[_FieldSpec],
+                   bytes_as_view: bool = False) -> Dict[str, Any]:
     values: Dict[str, Any] = {}
     for field, kind in specs:
         if kind == "str":
@@ -280,9 +320,14 @@ def _unpack_fields(dec: XdrDecoder,
         elif kind == "double":
             values[field] = dec.unpack_double()
         elif kind == "bytes":
-            values[field] = dec.unpack_opaque()
+            values[field] = (dec.unpack_opaque_view() if bytes_as_view
+                             else dec.unpack_opaque())
         elif kind == "strlist":
             values[field] = dec.unpack_array(dec.unpack_string)
+        elif kind == "frames":
+            unpack = (dec.unpack_opaque_view if bytes_as_view
+                      else dec.unpack_opaque)
+            values[field] = dec.unpack_array(unpack)
         else:  # pragma: no cover
             raise RpcError(f"unknown field kind {kind!r}")
     return values
@@ -304,17 +349,54 @@ def encode_request(request_id: int, opcode: int,
     return enc.getvalue()
 
 
-def decode_request(frame: bytes) -> Tuple[int, int, Dict[str, Any]]:
-    """Parse a request frame into ``(request_id, opcode, args)``."""
+def decode_request(frame: bytes,
+                   payload_views: bool = False
+                   ) -> Tuple[int, int, Dict[str, Any]]:
+    """Parse a request frame into ``(request_id, opcode, args)``.
+
+    With ``payload_views=True`` every ``bytes``/``frames`` field comes
+    back as a zero-copy ``memoryview`` into *frame* — the server hot path
+    uses this so an item payload is never copied between the socket
+    buffer and the container.  Views are only valid while *frame* is.
+    """
     dec = XdrDecoder(frame)
     request_id = dec.unpack_uint()
     opcode = dec.unpack_uint()
     schema = OP_SCHEMAS.get(opcode)
     if schema is None:
         raise DecodeError(f"unknown opcode {opcode} in request")
-    args = _unpack_fields(dec, schema.args)
+    args = _unpack_fields(dec, schema.args, bytes_as_view=payload_views)
     dec.done()
     return request_id, opcode, args
+
+
+def encode_batch_parts(batch_opcode: int,
+                       frames: Sequence[bytes]) -> List[bytes]:
+    """Build the wire parts of a batch envelope **without joining**.
+
+    Returns a list of buffer slices (header, then per-frame length
+    prefix + the frame itself, already referenced rather than copied)
+    suitable for :meth:`StreamTransport.send_frame_parts` — the whole
+    batch leaves in one scatter/gather syscall.  The layout is byte-for-
+    byte identical to ``encode_request(0, batch_opcode, {"frames": ...})``.
+    """
+    if batch_opcode not in BATCH_OPS:
+        raise RpcError(f"opcode {batch_opcode} is not a batch op")
+    enc = XdrEncoder()
+    enc.pack_uint(CAST_REQUEST_ID)
+    enc.pack_uint(batch_opcode)
+    enc.pack_uint(len(frames))
+    parts: List[bytes] = [enc.getvalue()]
+    for frame in frames:
+        length = len(frame)
+        head = XdrEncoder()
+        head.pack_uint(length)
+        parts.append(head.getvalue())
+        parts.append(frame)
+        padding = (-length) % 4
+        if padding:  # XDR frames are 4-aligned, so normally absent
+            parts.append(b"\x00" * padding)
+    return parts
 
 
 # -- responses --------------------------------------------------------------------

@@ -1,0 +1,241 @@
+"""A shared ``selectors``-based event loop for the cluster's front door.
+
+The seed design gave every connected end device its own receive thread
+waking twice a second — at 1000 devices that is 1000 threads and ~2000
+idle wakeups per second before a single byte arrives.  The reactor
+replaces them with **one** I/O thread multiplexing every device socket:
+
+* sockets register a readability callback (:meth:`add_reader`); the
+  callback does a non-blocking buffered frame decode and hands complete
+  requests to the surrogate's per-connection serial executors, so
+  blocking container ops never run on the loop and ordering semantics
+  are untouched;
+* periodic work (lease ageing, parked-session sweeps) hangs off the same
+  loop as timers (:meth:`call_every`) instead of dedicated janitor
+  threads;
+* an idle reactor sleeps in ``select`` until the next timer — idle
+  wakeups are O(1) in the number of connected devices, which
+  ``benchmarks/test_rpc_throughput.py`` checks via the :attr:`wakeups`
+  counter.
+
+Thread-safety: every method may be called from any thread.  Mutations of
+the selector are marshalled onto the loop thread through a waker
+socketpair; :meth:`remove_reader` is synchronous (it waits for the loop
+to acknowledge) so a caller can safely close the fd afterwards without
+racing a concurrent ``select`` on a reused descriptor.
+"""
+
+from __future__ import annotations
+
+import heapq
+import logging
+import selectors
+import socket
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+log = logging.getLogger(__name__)
+
+
+class Reactor:
+    """Single-threaded event loop: fd readability callbacks plus timers."""
+
+    def __init__(self, name: str = "reactor") -> None:
+        self._selector = selectors.DefaultSelector()
+        self._name = name
+        # Waker: writing one byte to _waker_tx makes a blocked select
+        # return so queued work can run.
+        self._waker_rx, self._waker_tx = socket.socketpair()
+        self._waker_rx.setblocking(False)
+        self._waker_tx.setblocking(False)
+        self._selector.register(self._waker_rx, selectors.EVENT_READ, None)
+        self._pending: Deque[Callable[[], None]] = deque()
+        self._timers: List[Tuple[float, int, Callable[[], None]]] = []
+        self._timer_seq = 0
+        self._readers: Dict[int, Callable[[], None]] = {}
+        self._lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        #: Times the loop has woken from ``select`` — the benchmark's
+        #: idle-CPU proxy.  Read-only for callers.
+        self.wakeups = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the loop thread (idempotent)."""
+        with self._lock:
+            if self._thread is not None:
+                return
+            self._thread = threading.Thread(
+                target=self._run, name=self._name, daemon=True
+            )
+            self._thread.start()
+
+    def stop(self, join: bool = True) -> None:
+        """Stop the loop; with *join* wait for the thread to exit."""
+        self._stop_event.set()
+        self._wake()
+        thread = self._thread
+        if join and thread is not None \
+                and thread is not threading.current_thread():
+            thread.join()
+
+    @property
+    def running(self) -> bool:
+        """Whether the loop thread is alive."""
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def on_loop_thread(self) -> bool:
+        """Whether the caller is the loop thread itself."""
+        return threading.current_thread() is self._thread
+
+    # -- registration -------------------------------------------------------
+
+    def add_reader(self, fileobj, callback: Callable[[], None]) -> None:
+        """Invoke *callback* on the loop whenever *fileobj* is readable."""
+        def _register() -> None:
+            try:
+                self._selector.register(
+                    fileobj, selectors.EVENT_READ, callback
+                )
+            except (ValueError, KeyError, OSError) as exc:
+                log.warning("reactor: register(%r) failed: %s",
+                            fileobj, exc)
+            else:
+                self._readers[_fd_of(fileobj)] = callback
+        self._invoke(_register)
+
+    def remove_reader(self, fileobj) -> None:
+        """Unregister *fileobj* and wait until the loop has done so.
+
+        Synchronous on purpose: once this returns, the loop holds no
+        reference to the fd and the caller may close it without a
+        descriptor-reuse race.  Safe to call for an fd that was never
+        registered (no-op), from the loop thread (direct), or after the
+        loop has stopped (direct).
+        """
+        def _unregister() -> None:
+            try:
+                self._selector.unregister(fileobj)
+            except (KeyError, ValueError, OSError):
+                pass
+            self._readers.pop(_fd_of(fileobj), None)
+
+        thread = self._thread
+        if self.on_loop_thread() or thread is None or not thread.is_alive():
+            _unregister()
+            return
+        done = threading.Event()
+
+        def _unregister_and_ack() -> None:
+            _unregister()
+            done.set()
+
+        self.call_soon(_unregister_and_ack)
+        if not done.wait(2.0):
+            # Loop wedged or died mid-wait; last-resort direct removal
+            # (selectors tolerate concurrent unregister of distinct fds).
+            _unregister()
+
+    # -- deferred work ------------------------------------------------------
+
+    def call_soon(self, callback: Callable[[], None]) -> None:
+        """Run *callback* on the loop thread as soon as possible."""
+        self._invoke(callback)
+
+    def call_later(self, delay: float,
+                   callback: Callable[[], None]) -> None:
+        """Run *callback* on the loop thread after *delay* seconds."""
+        def _arm() -> None:
+            self._timer_seq += 1
+            heapq.heappush(
+                self._timers,
+                (time.monotonic() + delay, self._timer_seq, callback),
+            )
+        self._invoke(_arm)
+
+    def call_every(self, interval: float,
+                   callback: Callable[[], None]) -> None:
+        """Run *callback* every *interval* seconds until the loop stops."""
+        def _tick() -> None:
+            try:
+                callback()
+            except Exception:
+                log.exception("reactor: periodic task failed")
+            self.call_later(interval, _tick)
+        self.call_later(interval, _tick)
+
+    # -- internals ----------------------------------------------------------
+
+    def _invoke(self, callback: Callable[[], None]) -> None:
+        if self.on_loop_thread():
+            callback()
+            return
+        self._pending.append(callback)
+        self._wake()
+
+    def _wake(self) -> None:
+        try:
+            self._waker_tx.send(b"\x00")
+        except (BlockingIOError, OSError):
+            pass  # pipe full = a wakeup is already queued; closed = done
+
+    def _run(self) -> None:
+        try:
+            while not self._stop_event.is_set():
+                timeout = None
+                if self._timers:
+                    timeout = max(0.0,
+                                  self._timers[0][0] - time.monotonic())
+                events = self._selector.select(timeout)
+                self.wakeups += 1
+                for key, _mask in events:
+                    if key.fileobj is self._waker_rx:
+                        self._drain_waker()
+                        continue
+                    callback = key.data
+                    try:
+                        callback()
+                    except Exception:
+                        log.exception("reactor: reader callback failed")
+                while self._pending:
+                    callback = self._pending.popleft()
+                    try:
+                        callback()
+                    except Exception:
+                        log.exception("reactor: queued callback failed")
+                now = time.monotonic()
+                while self._timers and self._timers[0][0] <= now:
+                    _when, _seq, callback = heapq.heappop(self._timers)
+                    try:
+                        callback()
+                    except Exception:
+                        log.exception("reactor: timer callback failed")
+        finally:
+            try:
+                self._selector.close()
+            except OSError:  # pragma: no cover
+                pass
+            for sock in (self._waker_rx, self._waker_tx):
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover
+                    pass
+
+    def _drain_waker(self) -> None:
+        while True:
+            try:
+                if not self._waker_rx.recv(4096):
+                    return
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+
+
+def _fd_of(fileobj) -> int:
+    return fileobj if isinstance(fileobj, int) else fileobj.fileno()

@@ -6,6 +6,15 @@ that listens to new end devices joining a D-Stampede computation"
 management: every accepted TCP connection gets a
 :class:`~repro.runtime.surrogate.Surrogate` bound to an address space
 chosen round-robin from the configured device spaces (the ``N_i`` of §4).
+
+The front door is event-driven: one shared
+:class:`~repro.runtime.reactor.Reactor` thread multiplexes the listening
+socket and every device socket, and the lease sweep and parked-session
+sweep run as timers on the same loop.  Total server-side thread count is
+therefore one I/O thread plus the per-connection serial executors that
+active container traffic materialises — not one thread (plus two janitor
+threads) per connected device — and an idle server performs O(1) wakeups
+per second regardless of how many devices are connected.
 """
 
 from __future__ import annotations
@@ -16,15 +25,12 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import (
-    DeliveryTimeoutError,
-    SessionResumeError,
-    TransportClosedError,
-)
+from repro.errors import SessionResumeError
+from repro.runtime.reactor import Reactor
 from repro.runtime.runtime import Runtime
 from repro.runtime.service import SessionService
-from repro.runtime.surrogate import LeaseReaper, Surrogate
-from repro.transport.tcp import TcpListener
+from repro.runtime.surrogate import Surrogate
+from repro.transport.tcp import TcpConnection, TcpListener
 from repro.util.logging import get_logger
 
 _log = get_logger("runtime.server")
@@ -69,7 +75,10 @@ class StampedeServer:
                  session_grace: Optional[float] = None) -> None:
         if session_grace is not None and session_grace <= 0:
             raise ValueError("session_grace must be positive")
+        if lease_timeout is not None and lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
         self.runtime = runtime
+        self._lease_timeout = lease_timeout
         self._session_grace = session_grace
         self._parked: Dict[str, _ParkedSession] = {}
         self._spaces = device_spaces or ["edge"]
@@ -84,30 +93,22 @@ class StampedeServer:
         self._surrogates: Dict[str, Surrogate] = {}
         self._surrogates_lock = threading.Lock()
         self._closed = threading.Event()
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="dstampede-listener", daemon=True
-        )
-        self._reaper: Optional[LeaseReaper] = None
-        if lease_timeout is not None:
-            self._reaper = LeaseReaper(
-                self._surrogates, self._surrogates_lock, lease_timeout
-            )
-        self._janitor: Optional[threading.Thread] = None
-        if session_grace is not None:
-            self._janitor = threading.Thread(
-                target=self._sweep_parked, name="session-janitor",
-                daemon=True,
-            )
+        self._reactor = Reactor(name="dstampede-reactor")
 
     # -- lifecycle -----------------------------------------------------------------
 
     def start(self) -> "StampedeServer":
         """Start accepting end devices; returns self."""
-        self._accept_thread.start()
-        if self._reaper is not None:
-            self._reaper.start()
-        if self._janitor is not None:
-            self._janitor.start()
+        self._reactor.start()
+        self._listener.raw_socket.setblocking(False)
+        self._reactor.add_reader(self._listener.raw_socket,
+                                 self._on_accept)
+        if self._lease_timeout is not None:
+            self._reactor.call_every(self._lease_timeout / 4,
+                                     self._sweep_leases)
+        if self._session_grace is not None:
+            self._reactor.call_every(min(0.25, self._session_grace / 4),
+                                     self._sweep_parked)
         _log.info("server listening on %s", self.address)
         return self
 
@@ -116,15 +117,25 @@ class StampedeServer:
         """The listen address devices join through."""
         return self._address
 
+    @property
+    def reactor(self) -> Reactor:
+        """The server's event loop (benchmarks read its wakeup count)."""
+        return self._reactor
+
     def close(self) -> None:
         """Stop accepting, reap every surrogate, keep the runtime running
-        (the runtime may serve other servers or in-process threads)."""
+        (the runtime may serve other servers or in-process threads).
+
+        Joins the reactor thread — which subsumes the old accept thread,
+        lease reaper, and parked-session janitor — so tests cannot leak
+        threads across cases.
+        """
         if self._closed.is_set():
             return
         self._closed.set()
+        self._reactor.remove_reader(self._listener.raw_socket)
         self._listener.close()
-        if self._reaper is not None:
-            self._reaper.stop()
+        self._reactor.stop(join=True)
         with self._surrogates_lock:
             surrogates = list(self._surrogates.values())
             parked = list(self._parked.values())
@@ -154,29 +165,63 @@ class StampedeServer:
         with self._surrogates_lock:
             return sum(1 for s in self._surrogates.values() if s.alive)
 
-    def _accept_loop(self) -> None:
+    def _on_accept(self) -> None:
+        """Reactor callback: admit every connection the kernel has queued."""
         while not self._closed.is_set():
             try:
-                connection = self._listener.accept(timeout=0.5)
-            except DeliveryTimeoutError:
-                continue
-            except TransportClosedError:
-                break
-            service = SessionService(self.runtime, next(self._space_cycle))
-            surrogate = Surrogate(
-                connection, service, on_close=self._forget,
-                park=self._park_session,
-                resume_lookup=self._resume_session,
-            )
-            with self._surrogates_lock:
-                self._surrogates[service.session_id] = surrogate
-            surrogate.start()
-            _log.info("end device joined: %s assigned to space %r",
-                      service.session_id, service.space)
+                sock, _addr = self._listener.raw_socket.accept()
+            except (BlockingIOError, InterruptedError):
+                return  # queue drained
+            except OSError:
+                return  # listener closed under us
+            # Accepted sockets must not inherit the listener's
+            # non-blocking flag (platform-dependent): the surrogate
+            # manages its own blocking mode.
+            sock.setblocking(True)
+            self._admit(TcpConnection(sock))
+
+    def _admit(self, connection: TcpConnection) -> None:
+        service = SessionService(self.runtime, next(self._space_cycle))
+        surrogate = Surrogate(
+            connection, service, on_close=self._forget,
+            park=self._park_session,
+            resume_lookup=self._resume_session,
+            reactor=self._reactor,
+        )
+        with self._surrogates_lock:
+            self._surrogates[service.session_id] = surrogate
+        surrogate.start()
+        _log.info("end device joined: %s assigned to space %r",
+                  service.session_id, service.space)
 
     def _forget(self, surrogate: Surrogate) -> None:
         with self._surrogates_lock:
             self._surrogates.pop(surrogate.service.session_id, None)
+
+    def _sweep_leases(self) -> None:
+        """Timer callback: reap surrogates idle past their lease.
+
+        Runs on the reactor; the closes themselves (which join executor
+        threads) happen on a short-lived worker so the loop never blocks.
+        """
+        with self._surrogates_lock:
+            expired = [
+                s for s in self._surrogates.values()
+                if s.alive and s.idle_seconds > self._lease_timeout
+            ]
+        if not expired:
+            return
+
+        def _reap() -> None:
+            for surrogate in expired:
+                _log.warning(
+                    "lease expired for %s (idle %.1fs) — reaping",
+                    surrogate.service.session_id, surrogate.idle_seconds,
+                )
+                surrogate.close()
+
+        threading.Thread(target=_reap, name="lease-reap",
+                         daemon=True).start()
 
     # -- session parking / resume -----------------------------------------------------
 
@@ -208,11 +253,11 @@ class StampedeServer:
         lock, so a second concurrent RESUME for the same session fails.
 
         A device can re-dial faster than the cluster notices its old
-        connection died (the old surrogate's receive loop polls, then
-        drains its executors, *then* parks).  A RESUME that arrives in
-        that window waits for the park instead of failing — it runs
-        inline on the new surrogate's receive loop, so briefly blocking
-        it stalls nothing else.
+        connection died (the old surrogate tears down, drains its
+        executors, *then* parks).  A RESUME that arrives in that window
+        waits for the park instead of failing — it runs on the new
+        surrogate's lifecycle worker with that connection's reads
+        paused, so briefly blocking it stalls nothing else.
         """
         wait_deadline = time.monotonic() + 5.0
         while True:
@@ -239,7 +284,7 @@ class StampedeServer:
                     f"bad resume token for session {session_id!r}"
                 )
             if entry.deadline <= time.monotonic():
-                # Janitor hasn't swept yet, but the grace period is over:
+                # Sweep hasn't fired yet, but the grace period is over:
                 # honour the documented deadline.
                 del self._parked[session_id]
                 entry.service.close()
@@ -253,17 +298,22 @@ class StampedeServer:
         return entry.service
 
     def _sweep_parked(self) -> None:
-        interval = min(0.25, self._session_grace / 4) \
-            if self._session_grace else 0.25
-        while not self._closed.wait(timeout=interval):
-            now = time.monotonic()
-            with self._surrogates_lock:
-                expired = [sid for sid, entry in self._parked.items()
-                           if entry.deadline <= now]
-                entries = [self._parked.pop(sid) for sid in expired]
+        """Timer callback: release parked sessions whose grace expired."""
+        now = time.monotonic()
+        with self._surrogates_lock:
+            expired = [sid for sid, entry in self._parked.items()
+                       if entry.deadline <= now]
+            entries = [self._parked.pop(sid) for sid in expired]
+        if not entries:
+            return
+
+        def _release() -> None:
             for sid, entry in zip(expired, entries):
                 _log.warning(
                     "grace period expired for parked session %s — "
                     "releasing its connections", sid,
                 )
                 entry.service.close()
+
+        threading.Thread(target=_release, name="park-expiry",
+                         daemon=True).start()

@@ -1,4 +1,4 @@
-"""Surrogate threads: the cluster-side representatives of end devices.
+"""Surrogates: the cluster-side representatives of end devices.
 
 "Upon joining, a specific surrogate thread is created on the cluster on
 behalf of the new end device.  All subsequent D-Stampede calls from this
@@ -6,10 +6,21 @@ end device are fielded and carried out by this specific surrogate thread"
 (§3.2.2).
 
 A :class:`Surrogate` owns one TCP connection and one
-:class:`~repro.runtime.service.SessionService`.  The receive loop decodes
-request frames; each request is executed on its own worker thread so a
-blocking ``get`` from the device's display thread never stalls the puts
-of its producer thread (both share the device's single connection).
+:class:`~repro.runtime.service.SessionService`.  Requests on a container
+connection are executed on that connection's serial worker so a blocking
+``get`` from the device's display thread never stalls the puts of its
+producer thread (both share the device's single connection).
+
+Two receive modes exist:
+
+* **thread mode** (``reactor=None``) — the seed design: a dedicated
+  receive thread polls the connection with a 0.5s timeout.  Kept for
+  direct embedding and unit tests.
+* **reactor mode** — the production path: the server's shared
+  :class:`~repro.runtime.reactor.Reactor` watches every device socket
+  and calls :meth:`_on_readable`, which does a non-blocking buffered
+  frame decode.  No per-device thread, no idle polls; dispatch and
+  ordering semantics are identical because routing is shared.
 
 Beyond the paper (which lists failure handling as an open limitation), a
 surrogate carries a **lease**: the server can reap surrogates whose
@@ -25,7 +36,9 @@ from typing import Callable, Dict, Optional
 
 from repro.errors import StampedeError, TransportClosedError
 from repro.runtime import ops
+from repro.runtime.reactor import Reactor
 from repro.runtime.service import SessionService
+from repro.transport.message import FrameReader
 from repro.transport.tcp import TcpConnection
 from repro.util import trace as tracepoints
 from repro.util.logging import get_logger
@@ -52,35 +65,60 @@ class Surrogate:
         SessionService``.  Serves the RESUME wire op: returns the parked
         session to adopt or raises
         :class:`~repro.errors.SessionResumeError`.
+    reactor:
+        Optional shared event loop.  When given, this surrogate has no
+        receive thread: the reactor drives :meth:`_on_readable`.
     """
+
+    #: Frames drained per readability callback before yielding the loop
+    #: back to other connections (fairness under a flooding device).
+    _RX_BURST = 64
 
     def __init__(self, connection: TcpConnection, service: SessionService,
                  on_close: Optional[Callable[["Surrogate"], None]] = None,
                  park: Optional[Callable[[SessionService], bool]] = None,
                  resume_lookup: Optional[
                      Callable[["Surrogate", str, str], SessionService]
-                 ] = None) -> None:
+                 ] = None,
+                 reactor: Optional[Reactor] = None) -> None:
         self.connection = connection
         self.service = service
         self._on_close = on_close
         self._park = park
         self._resume_lookup = resume_lookup
+        self._reactor = reactor
         self._closed = threading.Event()
-        self._send_lock = threading.Lock()
         self._executors: Dict[int, "_SerialExecutor"] = {}
         self._executors_lock = threading.Lock()
         self.last_activity = time.monotonic()
         self.requests_served = 0
-        self._thread = threading.Thread(
-            target=self._serve, name=f"surrogate-{service.session_id}",
-            daemon=True,
-        )
+        self._name = f"surrogate-{service.session_id}"
+        self._reader: Optional[FrameReader] = None
+        self._rx_paused = False
+        self._teardown_started = False
+        self._thread: Optional[threading.Thread] = None
+        if reactor is None:
+            self._thread = threading.Thread(
+                target=self._serve, name=self._name, daemon=True,
+            )
 
     def start(self) -> "Surrogate":
         """Begin serving the device; returns self."""
         trace(tracepoints.JOIN, self.service.session_id,
               client=self.service.client_name, space=self.service.space)
-        self._thread.start()
+        if self._reactor is not None:
+            self.connection.setblocking(False)
+            self._reader = FrameReader()
+            # A locally-closed socket vanishes from the selector without
+            # an event; the hook turns any local close (lease reap,
+            # test-driven sever, server shutdown) into a teardown.
+            self.connection.on_close(self._on_transport_closed)
+            self._reactor.add_reader(
+                self.connection.raw_socket, self._on_readable
+            )
+        else:
+            assert self._thread is not None
+            self._thread.start()
         return self
 
     @property
@@ -96,6 +134,7 @@ class Surrogate:
     # -- serving ------------------------------------------------------------------
 
     def _serve(self) -> None:
+        """Thread-mode receive loop (``reactor=None`` only)."""
         try:
             while not self._closed.is_set():
                 try:
@@ -111,24 +150,42 @@ class Surrogate:
             # never said BYE may be parked for resume.
             self.close(park=True)
 
-    def _dispatch(self, frame: bytes) -> None:
-        """Route one request to the right execution context.
+    def _on_readable(self) -> None:
+        """Reactor-mode receive: drain buffered frames without blocking.
 
-        * Operations on a container connection (put/get/consume/...)
-          run on that connection's **serial executor**: a lazily-created
-          per-connection worker that preserves issue order even when an
-          operation blocks — without it, a blocked put racing later puts
-          (possible with fire-and-forget streaming) could fill a bounded
-          channel out of order and deadlock an in-order consumer.
-          Different connections execute in parallel, so a display
-          thread's blocking get never stalls its device's producer.
-        * ``attach`` with ``wait`` may block on the name server: its own
-          worker thread.
-        * Everything else (HELLO, PING, NS ops, INSPECT...) is fast and
-          runs inline on the receive loop.
+        Runs on the reactor thread.  Anything that could block — the
+        container ops themselves, RESUME, BYE, teardown — is handed to
+        worker threads by :meth:`_route`; this method only decodes and
+        routes.
+        """
+        assert self._reader is not None
+        try:
+            for _ in range(self._RX_BURST):
+                if self._closed.is_set() or self._rx_paused:
+                    return
+                frame = self._reader.read(self.connection.raw_socket)
+                if frame is None:
+                    return  # kernel buffer dry: wait for the next event
+                self.last_activity = time.monotonic()
+                self._dispatch(frame)
+        except Exception as exc:  # noqa: BLE001 - any rx failure ends it
+            if not isinstance(exc, TransportClosedError):
+                _log.warning("surrogate %s: receive failed: %r",
+                             self.service.session_id, exc)
+            self._teardown_async()
+
+    def _dispatch(self, frame: bytes) -> None:
+        """Decode one request frame and route it (see :meth:`_route`).
+
+        Payload fields are decoded as zero-copy ``memoryview`` slices of
+        *frame*: the frame buffer is freshly allocated per frame and
+        never reused, so the views stay valid for as long as anything
+        (e.g. a channel item) references them.
         """
         try:
-            request_id, opcode, args = ops.decode_request(frame)
+            request_id, opcode, args = ops.decode_request(
+                frame, payload_views=True
+            )
         except Exception as exc:  # noqa: BLE001 - hostile frame
             try:
                 request_id = ops.peek_request_id(frame)
@@ -140,6 +197,90 @@ class Surrogate:
                     reclaims=self.service.drain_reclaims(),
                 ))
             return
+        if opcode in ops.BATCH_OPS:
+            self._dispatch_batch(request_id, opcode, args["frames"])
+            return
+        self._route(request_id, opcode, args)
+
+    def _dispatch_batch(self, request_id: int, batch_opcode: int,
+                        frames) -> None:
+        """Unpack a batch envelope and route each inner cast normally.
+
+        Each subframe is a complete, individually-encoded cast request;
+        routing it through :meth:`_route` sends it to the same serial
+        executor a lone frame would reach, so per-connection ordering
+        and dedup semantics are exactly those of unbatched traffic.
+        """
+        if request_id != ops.CAST_REQUEST_ID:
+            # A synchronous batch has no meaningful single reply; the
+            # client never sends one.
+            self._send(ops.encode_error_response(
+                request_id, "RpcError", "batch envelopes must be casts",
+                reclaims=self.service.drain_reclaims(),
+            ))
+            return
+        allowed = ops.BATCH_INNER_OPS[batch_opcode]
+        # Consecutive items bound for the same connection are handed to
+        # its serial executor as ONE chunk: order within the run is kept
+        # by the executor's FIFO, and the per-item queue/wakeup handoff
+        # (two context switches per cast on a busy box) is paid once per
+        # run instead of once per item.  Items for different connections
+        # already had no mutual ordering guarantee unbatched (parallel
+        # executors), so run boundaries lose nothing.
+        run: list = []
+        run_connection: Optional[int] = None
+        for subframe in frames:
+            try:
+                sub_id, sub_op, sub_args = ops.decode_request(
+                    subframe, payload_views=True
+                )
+                if sub_id != ops.CAST_REQUEST_ID:
+                    raise ops.RpcError("batched frames must be casts")
+                if sub_op not in allowed:
+                    raise ops.RpcError(
+                        f"opcode {sub_op} not allowed in "
+                        f"{ops.OP_SCHEMAS[batch_opcode].name}"
+                    )
+            except Exception as exc:  # noqa: BLE001 - skip bad item
+                _log.warning("batched cast from %s rejected: %r",
+                             self.service.session_id, exc)
+                continue
+            connection_id = sub_args.get("connection_id")
+            if connection_id is not None \
+                    and self.service.has_connection(connection_id):
+                if run and connection_id != run_connection:
+                    self._executor(run_connection).submit_many(run)
+                    run = []
+                run_connection = connection_id
+                run.append((sub_id, sub_op, sub_args))
+            else:
+                if run:
+                    self._executor(run_connection).submit_many(run)
+                    run = []
+                self._route(sub_id, sub_op, sub_args)
+        if run:
+            self._executor(run_connection).submit_many(run)
+
+    def _route(self, request_id: int, opcode: int, args) -> None:
+        """Pick the execution context for one decoded request.
+
+        * Operations on a container connection (put/get/consume/...)
+          run on that connection's **serial executor**: a lazily-created
+          per-connection worker that preserves issue order even when an
+          operation blocks — without it, a blocked put racing later puts
+          (possible with fire-and-forget streaming) could fill a bounded
+          channel out of order and deadlock an in-order consumer.
+          Different connections execute in parallel, so a display
+          thread's blocking get never stalls its device's producer.
+        * ``attach`` with ``wait`` may block on the name server: its own
+          worker thread.
+        * In reactor mode, RESUME and BYE (which join or sleep) run on a
+          lifecycle worker with this connection's reads paused, keeping
+          the thread-mode ordering guarantee that nothing else of this
+          device dispatches until they finish.
+        * Everything else (HELLO, PING, NS ops, INSPECT...) is fast and
+          runs inline on the receive context.
+        """
         connection_id = args.get("connection_id")
         if connection_id is not None:
             if not self.service.has_connection(connection_id):
@@ -156,11 +297,37 @@ class Surrogate:
         if opcode == ops.OP_ATTACH and args.get("wait"):
             worker = threading.Thread(
                 target=self._handle, args=(request_id, opcode, args),
-                name=f"{self._thread.name}-attach", daemon=True,
+                name=f"{self._name}-attach", daemon=True,
             )
             worker.start()
             return
+        if self._reactor is not None and \
+                opcode in (ops.OP_RESUME, ops.OP_BYE):
+            self._offload_paused(request_id, opcode, args)
+            return
         self._handle(request_id, opcode, args)
+
+    def _offload_paused(self, request_id: int, opcode: int,
+                        args) -> None:
+        """Run a session-lifecycle op off the reactor loop with this
+        connection's reads paused until it completes."""
+        reactor = self._reactor
+        assert reactor is not None
+        sock = self.connection.raw_socket
+        self._rx_paused = True
+        reactor.remove_reader(sock)
+
+        def _work() -> None:
+            try:
+                self._handle(request_id, opcode, args)
+            finally:
+                if not self._closed.is_set() \
+                        and not self._teardown_started:
+                    self._rx_paused = False
+                    reactor.add_reader(sock, self._on_readable)
+
+        threading.Thread(target=_work, name=f"{self._name}-lifecycle",
+                         daemon=True).start()
 
     def _executor(self, connection_id: int) -> "_SerialExecutor":
         with self._executors_lock:
@@ -186,10 +353,10 @@ class Surrogate:
                 # A clean goodbye races queued casts: the device fires
                 # consume casts and BYE back to back, TCP delivers them in
                 # order, but the casts execute on per-connection worker
-                # threads while BYE runs inline here.  Executing BYE
-                # first would detach the connections out from under the
-                # queued consumes and lose them (leaving items live
-                # forever), so drain the workers before saying goodbye.
+                # threads while BYE runs here.  Executing BYE first would
+                # detach the connections out from under the queued
+                # consumes and lose them (leaving items live forever), so
+                # drain the workers before saying goodbye.
                 self._drain_executors()
             results = self.service.execute(opcode, args)
             self.requests_served += 1
@@ -226,10 +393,11 @@ class Surrogate:
         """Adopt a parked session: swap this surrogate's (empty, fresh)
         service for the one the reconnecting device left behind.
 
-        Runs inline on the receive loop before any other request of the
-        new connection, so the swap cannot race the session's own
-        operations.  The discarded fresh service held no resources — it
-        existed only to field this handshake.
+        Runs before any other request of the new connection — inline on
+        the receive loop in thread mode, on the lifecycle worker with
+        reads paused in reactor mode — so the swap cannot race the
+        session's own operations.  The discarded fresh service held no
+        resources — it existed only to field this handshake.
         """
         assert self._resume_lookup is not None
         resumed = self._resume_lookup(
@@ -251,9 +419,38 @@ class Surrogate:
         try:
             self.connection.send_frame(frame)
         except TransportClosedError:
-            self.close(park=True)
+            if self._reactor is not None \
+                    and self._reactor.on_loop_thread():
+                self._teardown_async()
+            else:
+                self.close(park=True)
 
     # -- teardown --------------------------------------------------------------------
+
+    def _on_transport_closed(self) -> None:
+        """Close-hook from the transport: someone closed our socket
+        locally (not the peer).  Skip when the surrogate itself is
+        already closing — its own close() drives the same teardown."""
+        if self._closed.is_set():
+            return
+        self._teardown_async()
+
+    def _teardown_async(self) -> None:
+        """Take the connection off the loop; close on a worker thread.
+
+        ``close`` joins executor threads, which must never happen on the
+        reactor thread itself.
+        """
+        if self._teardown_started:
+            return
+        self._teardown_started = True
+        self._rx_paused = True
+        if self._reactor is not None:
+            self._reactor.remove_reader(self.connection.raw_socket)
+        threading.Thread(
+            target=self.close, kwargs={"park": True},
+            name=f"{self._name}-teardown", daemon=True,
+        ).start()
 
     def _drain_executors(self) -> None:
         """Run every queued request to completion and park the workers."""
@@ -278,6 +475,11 @@ class Surrogate:
         if self._closed.is_set():
             return
         self._closed.set()
+        if self._reactor is not None:
+            # Off the selector before the fd closes (fd-reuse safety);
+            # synchronous, and a no-op if teardown already removed it.
+            self._rx_paused = True
+            self._reactor.remove_reader(self.connection.raw_socket)
         # Same ordering as the BYE path: queued casts must finish before
         # the session's connections detach underneath them.
         self._drain_executors()
@@ -335,6 +537,14 @@ class _SerialExecutor:
         """Enqueue one decoded request for in-order execution."""
         self._queue.put(request)
 
+    def submit_many(self, requests: list) -> None:
+        """Enqueue a run of decoded requests as one in-order chunk.
+
+        The whole run costs a single queue handoff; the worker executes
+        the items back to back in list order.
+        """
+        self._queue.put(list(requests))
+
     def stop(self) -> None:
         """Stop the executor after the queued requests drain."""
         self._queue.put(self._STOP)
@@ -352,8 +562,12 @@ class _SerialExecutor:
             request = self._queue.get()
             if request is self._STOP:
                 return
-            request_id, opcode, args = request
-            self._surrogate._handle(request_id, opcode, args)
+            if isinstance(request, list):  # a submit_many chunk
+                for request_id, opcode, args in request:
+                    self._surrogate._handle(request_id, opcode, args)
+            else:
+                request_id, opcode, args = request
+                self._surrogate._handle(request_id, opcode, args)
 
 
 class LeaseReaper:
@@ -364,6 +578,9 @@ class LeaseReaper:
     an indeterminate state" (§3.3) — is closed by treating device silence
     longer than *lease_timeout* as a failure.  Client libraries keep the
     lease alive with periodic PINGs.
+
+    The reactor server hangs lease sweeps off its event loop instead of
+    running this thread; the class remains for thread-mode embeddings.
     """
 
     def __init__(self, surrogates: Dict[str, Surrogate],
@@ -381,11 +598,11 @@ class LeaseReaper:
         )
 
     def start(self) -> None:
-        """Begin serving the device; returns self."""
+        """Begin the periodic sweep."""
         self._thread.start()
 
     def stop(self) -> None:
-        """Stop the executor after the queued requests drain."""
+        """Stop sweeping and join the reaper thread."""
         self._stop.set()
         self._thread.join(timeout=5.0)
 

@@ -13,7 +13,7 @@ style of the original client library.
 from __future__ import annotations
 
 import abc
-from typing import Any, Optional, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 
 class DatagramTransport(abc.ABC):
@@ -53,6 +53,17 @@ class StreamTransport(abc.ABC):
     @abc.abstractmethod
     def send_frame(self, payload: bytes) -> None:
         """Send one length-delimited frame."""
+
+    def send_frame_parts(self, parts: Sequence) -> None:
+        """Send ONE frame whose payload is the concatenation of *parts*.
+
+        Default: join and delegate to :meth:`send_frame`, so every
+        transport (including instrumentation/fault wrappers, which see
+        the batch as the single frame it is on the wire) supports the
+        batched path.  Transports with real scatter/gather (TCP) override
+        this to skip the join entirely.
+        """
+        self.send_frame(b"".join(bytes(part) for part in parts))
 
     @abc.abstractmethod
     def recv_frame(self, timeout: Optional[float] = None) -> bytes:

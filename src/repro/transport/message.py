@@ -8,14 +8,29 @@ Two encodings live here:
 * **stream framing** — a 4-byte big-endian length prefix used on TCP,
   with a size ceiling so a corrupt prefix cannot make the reader allocate
   gigabytes.
+
+The stream-framing side is built for the cluster's hot path:
+
+* sends are scatter/gather — :func:`write_frame_parts` hands the length
+  prefix and any number of payload slices to ``sendmsg`` in one syscall,
+  so a frame (or a whole batch of coalesced casts) crosses the socket
+  without ever being joined into one intermediate buffer;
+* receives go through :class:`FrameReader`, which calls ``recv_into``
+  directly on an exactly-sized buffer (one kernel-to-user copy, no
+  chunk list, no join) and **keeps partial state across timeouts** — a
+  ``socket.timeout`` mid-frame no longer desyncs the stream, the next
+  read resumes where the last one stopped.  The same reader, fed a
+  non-blocking socket, returns ``None`` instead of blocking, which is
+  what the reactor's event loop uses for buffered incremental decode.
 """
 
 from __future__ import annotations
 
+import select
 import socket
 import struct
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from repro.errors import FramingError, MessageTooLargeError, TransportClosedError
 
@@ -98,45 +113,195 @@ _LENGTH = struct.Struct(">I")
 #: 190 KB images (~1.3 MB).
 MAX_FRAME_SIZE = 64 * 1024 * 1024
 
+#: Buffers handed to one ``sendmsg`` call.  Kernels cap the iovec count
+#: (``IOV_MAX``, typically 1024); staying well under it keeps one batch
+#: to one syscall without ever tripping ``EMSGSIZE``.
+_IOV_CAP = 64
 
-def write_frame(sock: socket.socket, payload: bytes) -> None:
-    """Write one length-prefixed frame to a connected socket."""
-    if len(payload) > MAX_FRAME_SIZE:
+
+def _sendmsg_all(sock: socket.socket,
+                 views: List[memoryview]) -> None:
+    """Vectored send of every buffer in *views*, handling partial sends.
+
+    Works on blocking, timeout-carrying, and non-blocking sockets: a
+    would-block on a non-blocking socket waits for writability instead
+    of failing (the reactor keeps server sockets non-blocking for reads;
+    responses still flow through here).  A timeout or reset surfaces as
+    :class:`~repro.errors.TransportClosedError`, exactly as the old
+    ``sendall`` path did.
+    """
+    index = 0
+    while index < len(views):
+        try:
+            sent = sock.sendmsg(views[index:index + _IOV_CAP])
+        except (BlockingIOError, InterruptedError):
+            select.select([], [sock], [])
+            continue
+        except OSError as exc:
+            raise TransportClosedError(f"send failed: {exc}") from exc
+        while sent:
+            head = views[index]
+            if sent >= head.nbytes:
+                sent -= head.nbytes
+                index += 1
+            else:
+                views[index] = head[sent:]
+                sent = 0
+
+
+def _as_views(parts: Sequence) -> "tuple[List[memoryview], int]":
+    """Normalise bytes-likes into flat byte views; returns (views, size)."""
+    views: List[memoryview] = []
+    total = 0
+    for part in parts:
+        view = memoryview(part)
+        if view.ndim != 1 or view.itemsize != 1:
+            view = view.cast("B")
+        if view.nbytes:
+            views.append(view)
+            total += view.nbytes
+    return views, total
+
+
+def write_frame_parts(sock: socket.socket, parts: Sequence) -> None:
+    """Write one frame whose payload is the concatenation of *parts*.
+
+    The length prefix and every part go out in a single scatter/gather
+    ``sendmsg`` — the payload slices are never copied or joined in user
+    space.  This is the zero-copy substrate for both single frames and
+    batched-cast envelopes.
+    """
+    views, total = _as_views(parts)
+    if total > MAX_FRAME_SIZE:
         raise MessageTooLargeError(
-            f"frame of {len(payload)} bytes exceeds {MAX_FRAME_SIZE}"
+            f"frame of {total} bytes exceeds {MAX_FRAME_SIZE}"
         )
-    try:
-        sock.sendall(_LENGTH.pack(len(payload)) + payload)
-    except OSError as exc:
-        raise TransportClosedError(f"send failed: {exc}") from exc
+    _sendmsg_all(sock, [memoryview(_LENGTH.pack(total))] + views)
+
+
+def write_frame(sock: socket.socket, payload) -> None:
+    """Write one length-prefixed frame to a connected socket."""
+    write_frame_parts(sock, (payload,))
+
+
+class FrameReader:
+    """Incremental reader of length-prefixed frames with durable state.
+
+    One instance per stream.  Each :meth:`read` call makes progress on
+    exactly one frame; partial progress (half a length prefix, half a
+    payload) survives both timeouts and would-blocks:
+
+    * on a socket with a timeout, ``socket.timeout`` propagates to the
+      caller but the bytes already consumed stay buffered — the next
+      ``read`` resumes mid-frame instead of desyncing the stream;
+    * on a non-blocking socket, ``read`` returns ``None`` when the
+      kernel buffer runs dry — this is the reactor's decode loop.
+
+    The payload is received with ``recv_into`` directly into an
+    exactly-sized ``bytearray`` allocated once per frame: one
+    kernel-to-user copy, no chunk accumulation, no join.  The returned
+    buffer is owned by the caller (never reused), so zero-copy
+    ``memoryview`` slices of it can be handed onward safely.
+    """
+
+    __slots__ = ("_limit", "_header", "_header_got", "_payload",
+                 "_payload_got")
+
+    def __init__(self, max_size: Optional[int] = None) -> None:
+        self._limit = max_size
+        self._header = bytearray(_LENGTH.size)
+        self._header_got = 0
+        self._payload: Optional[bytearray] = None
+        self._payload_got = 0
+
+    @property
+    def mid_frame(self) -> bool:
+        """Whether a partially-received frame is buffered."""
+        return self._header_got > 0 or self._payload is not None
+
+    def read(self, sock: socket.socket) -> Optional[bytearray]:
+        """Advance on the current frame; return it once complete.
+
+        Returns ``None`` if the socket would block (non-blocking mode).
+        Raises ``socket.timeout`` (state retained), ``FramingError`` on
+        an oversized length prefix, and
+        :class:`~repro.errors.TransportClosedError` on EOF or reset.
+        """
+        while True:
+            if self._payload is None:
+                if self._header_got < _LENGTH.size:
+                    view = memoryview(self._header)[self._header_got:]
+                    count = self._recv_into(sock, view)
+                    if count is None:
+                        return None
+                    self._header_got += count
+                    continue
+                (length,) = _LENGTH.unpack(self._header)
+                limit = MAX_FRAME_SIZE if self._limit is None \
+                    else self._limit
+                if length > limit:
+                    raise FramingError(
+                        f"frame length {length} exceeds limit {limit} "
+                        f"(corrupt prefix or protocol skew)"
+                    )
+                self._payload = bytearray(length)
+                self._payload_got = 0
+            if self._payload_got < len(self._payload):
+                view = memoryview(self._payload)[self._payload_got:]
+                count = self._recv_into(sock, view)
+                if count is None:
+                    return None
+                self._payload_got += count
+                continue
+            frame = self._payload
+            self._payload = None
+            self._payload_got = 0
+            self._header_got = 0
+            return frame
+
+    @staticmethod
+    def _recv_into(sock: socket.socket,
+                   view: memoryview) -> Optional[int]:
+        try:
+            count = sock.recv_into(view)
+        except socket.timeout:
+            raise
+        except (BlockingIOError, InterruptedError):
+            return None
+        except OSError as exc:
+            raise TransportClosedError(f"recv failed: {exc}") from exc
+        if count == 0:
+            raise TransportClosedError("peer closed the connection")
+        return count
 
 
 def read_exact(sock: socket.socket, count: int) -> bytes:
     """Read exactly *count* bytes or raise on EOF/reset."""
-    chunks = []
-    remaining = count
-    while remaining:
+    buffer = bytearray(count)
+    got = 0
+    while got < count:
         try:
-            chunk = sock.recv(min(remaining, 1 << 20))
+            received = sock.recv_into(memoryview(buffer)[got:])
         except socket.timeout:
             raise
         except OSError as exc:
             raise TransportClosedError(f"recv failed: {exc}") from exc
-        if not chunk:
+        if not received:
             raise TransportClosedError("peer closed the connection")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+        got += received
+    return bytes(buffer)
 
 
 def read_frame(sock: socket.socket,
                max_size: Optional[int] = None) -> bytes:
-    """Read one length-prefixed frame."""
-    limit = MAX_FRAME_SIZE if max_size is None else max_size
-    (length,) = _LENGTH.unpack(read_exact(sock, _LENGTH.size))
-    if length > limit:
-        raise FramingError(
-            f"frame length {length} exceeds limit {limit} "
-            f"(corrupt prefix or protocol skew)"
-        )
-    return read_exact(sock, length)
+    """Read one length-prefixed frame (one-shot; no cross-call state).
+
+    Stream endpoints that poll with timeouts should hold a
+    :class:`FrameReader` instead — it is the desync-safe path.
+    """
+    reader = FrameReader(max_size=max_size)
+    while True:
+        frame = reader.read(sock)
+        if frame is not None:
+            return bytes(frame)
+        select.select([sock], [], [])  # non-blocking socket: wait for data

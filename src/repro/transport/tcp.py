@@ -9,11 +9,15 @@ from __future__ import annotations
 
 import socket
 import threading
-from typing import Optional, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 from repro.errors import DeliveryTimeoutError, TransportClosedError
 from repro.transport.base import StreamTransport
-from repro.transport.message import read_frame, write_frame
+from repro.transport.message import (
+    FrameReader,
+    write_frame,
+    write_frame_parts,
+)
 
 Address = Tuple[str, int]
 
@@ -24,6 +28,11 @@ class TcpConnection(StreamTransport):
     Sends are serialised by a lock so multiple threads may share the
     connection (the client library funnels every API call of an end device
     through one connection to its surrogate).
+
+    Receives go through a persistent :class:`FrameReader`, so a timeout
+    that fires mid-frame keeps the partial bytes buffered instead of
+    desyncing the stream — the next ``recv_frame`` resumes exactly where
+    the last one stopped.
     """
 
     def __init__(self, sock: socket.socket) -> None:
@@ -35,7 +44,9 @@ class TcpConnection(StreamTransport):
         self._local: Address = sock.getsockname()
         self._send_lock = threading.Lock()
         self._recv_lock = threading.Lock()
+        self._reader = FrameReader()
         self._timeout: Optional[float] = sock.gettimeout()
+        self._close_hook: Optional[Callable[[], None]] = None
         self._closed = False
 
     @property
@@ -48,6 +59,28 @@ class TcpConnection(StreamTransport):
         """This endpoint's (host, port)."""
         return self._local
 
+    @property
+    def raw_socket(self) -> socket.socket:
+        """The underlying socket (reactor registration, diagnostics)."""
+        return self._sock
+
+    def setblocking(self, flag: bool) -> None:
+        """Switch the socket's blocking mode (reactor-managed reads)."""
+        self._sock.setblocking(flag)
+        self._timeout = self._sock.gettimeout()
+
+    def on_close(self, hook: Optional[Callable[[], None]]) -> None:
+        """Register a callback fired once when :meth:`close` runs.
+
+        An event loop watching this socket cannot see a *local* close —
+        the kernel silently drops a closed fd from ``epoll`` with no
+        event — so whoever closes the connection must tell the loop.
+        The hook fires *before* the fd is released, so the owner can
+        unregister it while the descriptor is still valid (no fd-reuse
+        race with a newly accepted connection).
+        """
+        self._close_hook = hook
+
     def send_frame(self, payload: bytes) -> None:
         """Send one length-prefixed frame (thread-safe)."""
         if self._closed:
@@ -55,8 +88,20 @@ class TcpConnection(StreamTransport):
         with self._send_lock:
             write_frame(self._sock, payload)
 
+    def send_frame_parts(self, parts: Sequence) -> None:
+        """Send one frame built from buffer slices: a single vectored
+        ``sendmsg``, no user-space join (thread-safe)."""
+        if self._closed:
+            raise TransportClosedError("TCP connection is closed")
+        with self._send_lock:
+            write_frame_parts(self._sock, parts)
+
     def recv_frame(self, timeout: Optional[float] = None) -> bytes:
-        """Receive one frame, waiting up to *timeout* seconds."""
+        """Receive one frame, waiting up to *timeout* seconds.
+
+        A timeout mid-frame is safe: the partial frame stays buffered in
+        the connection's reader and completes on a later call.
+        """
         if self._closed:
             raise TransportClosedError("TCP connection is closed")
         with self._recv_lock:
@@ -72,21 +117,33 @@ class TcpConnection(StreamTransport):
                     ) from None
                 self._timeout = timeout
             try:
-                return read_frame(self._sock)
+                frame = self._reader.read(self._sock)
             except socket.timeout:
                 raise DeliveryTimeoutError(
                     f"no TCP frame within {timeout}s"
                 ) from None
+            if frame is None:
+                # Non-blocking socket with nothing buffered: same
+                # contract as a zero-second timeout.
+                raise DeliveryTimeoutError("no TCP frame available")
+            return frame
 
     def close(self) -> None:
         """Shut down and close the socket (idempotent)."""
-        if not self._closed:
-            self._closed = True
+        if self._closed:
+            return
+        self._closed = True
+        hook, self._close_hook = self._close_hook, None
+        if hook is not None:
             try:
-                self._sock.shutdown(socket.SHUT_RDWR)
-            except OSError:
+                hook()
+            except Exception:  # noqa: BLE001 - owner callback isolation
                 pass
-            self._sock.close()
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
 
 
 class TcpListener:
@@ -112,6 +169,11 @@ class TcpListener:
     def address(self) -> Address:
         """The listening (host, port)."""
         return self._sock.getsockname()
+
+    @property
+    def raw_socket(self) -> socket.socket:
+        """The underlying listening socket (reactor-driven accept)."""
+        return self._sock
 
     def accept(self, timeout: Optional[float] = None) -> TcpConnection:
         """Block for the next inbound connection.

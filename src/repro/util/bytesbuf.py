@@ -115,6 +115,14 @@ class ByteReader:
         """Read exactly *count* bytes."""
         return bytes(self._take(count))
 
+    def read_view(self, count: int) -> memoryview:
+        """Read exactly *count* bytes as a zero-copy view.
+
+        The view aliases the buffer the reader was built on; callers that
+        outlive that buffer must copy (``bytes(view)``) themselves.
+        """
+        return self._take(count)
+
     def read_u8(self) -> int:
         """Read a big-endian 8-bit unsigned value."""
         return _U8.unpack(self._take(1))[0]

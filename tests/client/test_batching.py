@@ -1,0 +1,293 @@
+"""Tests for the client-side cast coalescer and batch envelopes."""
+
+import time
+
+import pytest
+
+from repro import ConnectionMode, Runtime, StampedeClient, StampedeServer
+from repro.errors import (
+    DeliveryTimeoutError,
+    RpcTimeoutError,
+    TransportClosedError,
+)
+from repro.client.rpc import RpcChannel
+from repro.runtime import ops
+
+
+def _put_frame(timestamp, connection_id=1):
+    return ops.encode_request(ops.CAST_REQUEST_ID, ops.OP_PUT, {
+        "connection_id": connection_id, "timestamp": timestamp,
+        "payload": b"p", "block": True, "has_timeout": False,
+        "timeout": 0.0,
+    })
+
+
+def _consume_frame(timestamp, connection_id=1):
+    return ops.encode_request(ops.CAST_REQUEST_ID, ops.OP_CONSUME, {
+        "connection_id": connection_id, "timestamp": timestamp,
+    })
+
+
+class FakeConnection:
+    """Transport double recording every send, in order."""
+
+    def __init__(self):
+        self.sends = []  # ("frame", bytes) | ("parts", joined bytes)
+        self.fail_sends = False
+        self._closed = False
+
+    def send_frame(self, frame):
+        if self.fail_sends:
+            raise TransportClosedError("fake transport down")
+        self.sends.append(("frame", bytes(frame)))
+
+    def send_frame_parts(self, parts):
+        if self.fail_sends:
+            raise TransportClosedError("fake transport down")
+        self.sends.append(
+            ("parts", b"".join(bytes(part) for part in parts))
+        )
+
+    def recv_frame(self, timeout=None):
+        if self._closed:
+            raise TransportClosedError("fake transport closed")
+        time.sleep(min(timeout or 0.01, 0.01))
+        raise DeliveryTimeoutError("nothing to receive")
+
+    def close(self):
+        self._closed = True
+
+
+@pytest.fixture()
+def wire():
+    connection = FakeConnection()
+    channel = RpcChannel(connection, batching=True, batch_max_items=4,
+                         batch_max_bytes=1 << 20, batch_linger=30.0)
+    yield connection, channel
+    try:
+        channel.close()
+    except TransportClosedError:
+        pass
+
+
+def _envelope_frames(payload):
+    """Decode a batch envelope; returns (opcode, inner frame list)."""
+    request_id, opcode, args = ops.decode_request(payload)
+    assert request_id == ops.CAST_REQUEST_ID
+    assert opcode in ops.BATCH_OPS
+    return opcode, args["frames"]
+
+
+class TestCoalescer:
+    def test_size_cap_flushes_one_envelope(self, wire):
+        connection, channel = wire
+        frames = [_put_frame(ts) for ts in range(4)]
+        for frame in frames:
+            channel.cast_frame(ops.OP_PUT, frame)
+        assert len(connection.sends) == 1
+        kind, payload = connection.sends[0]
+        assert kind == "parts"
+        opcode, inner = _envelope_frames(payload)
+        assert opcode == ops.OP_PUT_BATCH
+        assert inner == frames
+
+    def test_envelope_bytes_match_schema_encoding(self, wire):
+        # The scatter/gather parts must be byte-identical to an
+        # ordinary schema-encoded batch request.
+        connection, channel = wire
+        frames = [_put_frame(ts) for ts in range(4)]
+        for frame in frames:
+            channel.cast_frame(ops.OP_PUT, frame)
+        _kind, payload = connection.sends[0]
+        assert payload == ops.encode_request(
+            ops.CAST_REQUEST_ID, ops.OP_PUT_BATCH, {"frames": frames}
+        )
+
+    def test_lone_cast_flushes_as_plain_frame(self, wire):
+        connection, channel = wire
+        frame = _put_frame(0)
+        channel.cast_frame(ops.OP_PUT, frame)
+        assert connection.sends == []  # still lingering
+        channel.flush_casts()
+        assert connection.sends == [("frame", frame)]
+
+    def test_byte_cap_flushes(self):
+        connection = FakeConnection()
+        frames = [_put_frame(0), _put_frame(1)]
+        channel = RpcChannel(connection, batching=True,
+                             batch_max_items=1000,
+                             batch_max_bytes=len(frames[0]) + 1,
+                             batch_linger=30.0)
+        try:
+            channel.cast_frame(ops.OP_PUT, frames[0])  # under the cap
+            channel.cast_frame(ops.OP_PUT, frames[1])  # crosses it
+            assert len(connection.sends) == 1
+        finally:
+            channel.close()
+
+    def test_linger_deadline_flushes(self):
+        connection = FakeConnection()
+        channel = RpcChannel(connection, batching=True,
+                             batch_max_items=1000,
+                             batch_max_bytes=1 << 20,
+                             batch_linger=0.02)
+        try:
+            channel.cast_frame(ops.OP_PUT, _put_frame(0))
+            channel.cast_frame(ops.OP_PUT, _put_frame(1))
+            deadline = time.monotonic() + 5.0
+            while not connection.sends and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert len(connection.sends) == 1
+            _opcode, inner = _envelope_frames(connection.sends[0][1])
+            assert len(inner) == 2
+        finally:
+            channel.close()
+
+    def test_kind_switch_flushes_previous_batch(self, wire):
+        connection, channel = wire
+        put = _put_frame(0)
+        consume = _consume_frame(0)
+        channel.cast_frame(ops.OP_PUT, put)
+        channel.cast_frame(ops.OP_CONSUME, consume)  # puts -> consumes
+        channel.flush_casts()
+        assert connection.sends == [("frame", put), ("frame", consume)]
+
+    def test_consume_until_shares_consume_envelope(self, wire):
+        connection, channel = wire
+        consume = _consume_frame(1)
+        until = ops.encode_request(ops.CAST_REQUEST_ID,
+                                   ops.OP_CONSUME_UNTIL,
+                                   {"connection_id": 1, "timestamp": 5})
+        channel.cast_frame(ops.OP_CONSUME, consume)
+        channel.cast_frame(ops.OP_CONSUME_UNTIL, until)
+        channel.flush_casts()
+        opcode, inner = _envelope_frames(connection.sends[0][1])
+        assert opcode == ops.OP_CONSUME_BATCH
+        assert inner == [consume, until]
+
+    def test_non_batchable_cast_flushes_first(self, wire):
+        connection, channel = wire
+        put = _put_frame(0)
+        detach = ops.encode_request(ops.CAST_REQUEST_ID, ops.OP_DETACH,
+                                    {"connection_id": 1})
+        channel.cast_frame(ops.OP_PUT, put)
+        channel.cast_frame(ops.OP_DETACH, detach)
+        # Wire order equals issue order: the buffered put went first.
+        assert connection.sends == [("frame", put), ("frame", detach)]
+
+    def test_sync_call_is_an_ordering_barrier(self, wire):
+        connection, channel = wire
+        put = _put_frame(0)
+        channel.cast_frame(ops.OP_PUT, put)
+        with pytest.raises(RpcTimeoutError):
+            channel.call(ops.OP_PING, {"payload": b"x"}, timeout=0.05)
+        assert connection.sends[0] == ("frame", put)
+        assert len(connection.sends) == 2  # then the PING request
+
+
+class TestDeadTransport:
+    def test_failed_flush_parks_items_for_recovery(self, wire):
+        connection, channel = wire
+        frames = [_put_frame(ts) for ts in range(4)]
+        connection.fail_sends = True
+        with pytest.raises(TransportClosedError):
+            for frame in frames:
+                channel.cast_frame(ops.OP_PUT, frame)
+        assert [f for _op, f in channel.drain_unsent_casts()] == frames
+        assert channel.drain_unsent_casts() == []  # drained once
+
+    def test_drain_includes_still_buffered_casts(self, wire):
+        connection, channel = wire
+        frames = [_put_frame(ts) for ts in range(2)]  # below the cap
+        for frame in frames:
+            channel.cast_frame(ops.OP_PUT, frame)
+        assert [f for _op, f in channel.drain_unsent_casts()] == frames
+        channel.flush_casts()
+        assert connection.sends == []  # nothing left behind
+
+    def test_drained_casts_replay_on_a_new_channel(self, wire):
+        connection, channel = wire
+        connection.fail_sends = True
+        with pytest.raises(TransportClosedError):
+            for ts in range(4):
+                channel.cast_frame(ops.OP_PUT, _put_frame(ts))
+        replacement = FakeConnection()
+        fresh = RpcChannel(replacement, batching=True,
+                           batch_max_items=4, batch_linger=30.0)
+        try:
+            for cast_opcode, cast_frame in channel.drain_unsent_casts():
+                fresh.cast_frame(cast_opcode, cast_frame)
+            assert len(replacement.sends) == 1
+            _opcode, inner = _envelope_frames(replacement.sends[0][1])
+            assert len(inner) == 4
+        finally:
+            fresh.close()
+
+
+class TestEndToEnd:
+    @pytest.fixture()
+    def cluster(self):
+        runtime = Runtime(gc_interval=0.01)
+        server = StampedeServer(runtime).start()
+        yield runtime, server
+        server.close()
+        runtime.shutdown()
+
+    def test_batched_stream_preserves_order_and_content(self, cluster):
+        _, server = cluster
+        client = StampedeClient(*server.address, client_name="batcher",
+                                batching=True, batch_linger=0.001)
+        try:
+            client.create_channel("stream")
+            out = client.attach("stream", ConnectionMode.OUT)
+            inp = client.attach("stream", ConnectionMode.IN)
+            for ts in range(150):  # crosses several size-cap flushes
+                out.put(ts, f"item-{ts}", sync=False)
+            out.put(150, "last")  # sync barrier
+            for ts in range(151):
+                timestamp, value = inp.get(ts, timeout=10.0)
+                assert timestamp == ts
+            out.detach()
+            inp.detach()
+        finally:
+            client.close()
+
+    def test_batching_disabled_still_streams(self, cluster):
+        _, server = cluster
+        client = StampedeClient(*server.address, client_name="plain",
+                                batching=False)
+        try:
+            client.create_channel("plain")
+            out = client.attach("plain", ConnectionMode.OUT)
+            inp = client.attach("plain", ConnectionMode.IN)
+            for ts in range(20):
+                out.put(ts, ts, sync=False)
+            out.put(20, 20)
+            assert inp.get(20, timeout=10.0) == (20, 20)
+        finally:
+            client.close()
+
+    def test_mixed_puts_and_consumes_batch_by_kind(self, cluster):
+        runtime, server = cluster
+        client = StampedeClient(*server.address, client_name="mixed",
+                                batching=True)
+        try:
+            client.create_channel("mix")
+            out = client.attach("mix", ConnectionMode.OUT)
+            inp = client.attach("mix", ConnectionMode.IN)
+            for ts in range(30):
+                out.put(ts, ts, sync=False)
+            out.put(30, 30)
+            for ts in range(30):
+                assert inp.get(ts, timeout=10.0) == (ts, ts)
+                inp.consume(ts, sync=False)
+            # Barrier, then the consumed prefix must get collected.
+            assert inp.get(30, timeout=10.0) == (30, 30)
+            channel = runtime.lookup_container("mix")
+            deadline = time.monotonic() + 5.0
+            while channel.live_timestamps() != [30] \
+                    and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert channel.live_timestamps() == [30]
+        finally:
+            client.close()

@@ -51,6 +51,12 @@ class TestRequests:
             ops.OP_RESUME: {
                 "session_id": "session-4", "token": "ab12cd34",
             },
+            ops.OP_PUT_BATCH: {
+                "frames": [b"put1", b"putframe2xyz", b""],
+            },
+            ops.OP_CONSUME_BATCH: {
+                "frames": [b"consume-0001", b"consume-0002"],
+            },
         }
         assert set(samples) == set(ops.OP_SCHEMAS)
         for opcode, args in samples.items():

@@ -1,0 +1,137 @@
+"""Unit tests for the shared event loop behind the front door."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.runtime.reactor import Reactor
+
+
+@pytest.fixture()
+def reactor():
+    loop = Reactor(name="test-reactor")
+    loop.start()
+    yield loop
+    loop.stop(join=True)
+
+
+def _wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class TestLifecycle:
+    def test_start_is_idempotent(self, reactor):
+        reactor.start()
+        assert reactor.running
+
+    def test_stop_joins_the_loop_thread(self):
+        loop = Reactor(name="stop-test")
+        loop.start()
+        loop.stop(join=True)
+        assert not loop.running
+
+    def test_stop_from_callback_does_not_deadlock(self):
+        loop = Reactor(name="self-stop")
+        loop.start()
+        done = threading.Event()
+
+        def stopper():
+            loop.stop()  # join is skipped on the loop thread
+            done.set()
+
+        loop.call_soon(stopper)
+        assert done.wait(timeout=5.0)
+        assert _wait_for(lambda: not loop.running)
+
+
+class TestCallbacks:
+    def test_call_soon_runs_on_loop_thread(self, reactor):
+        seen = []
+        done = threading.Event()
+
+        def callback():
+            seen.append(reactor.on_loop_thread())
+            done.set()
+
+        reactor.call_soon(callback)
+        assert done.wait(timeout=5.0)
+        assert seen == [True]
+
+    def test_call_later_fires_once_after_delay(self, reactor):
+        fired = []
+        reactor.call_later(0.05, lambda: fired.append(time.monotonic()))
+        start = time.monotonic()
+        assert _wait_for(lambda: fired)
+        assert fired[0] - start >= 0.04
+        time.sleep(0.15)
+        assert len(fired) == 1
+
+    def test_call_every_rearms(self, reactor):
+        count = []
+        reactor.call_every(0.02, lambda: count.append(1))
+        assert _wait_for(lambda: len(count) >= 3)
+
+    def test_callback_exception_does_not_kill_loop(self, reactor):
+        def bomb():
+            raise RuntimeError("boom")
+
+        survived = threading.Event()
+        reactor.call_soon(bomb)
+        reactor.call_soon(survived.set)
+        assert survived.wait(timeout=5.0)
+        assert reactor.running
+
+
+class TestReaders:
+    def test_add_reader_dispatches_on_data(self, reactor):
+        a, b = socket.socketpair()
+        b.setblocking(False)
+        got = []
+
+        def on_readable():
+            got.append(b.recv(16))
+
+        reactor.add_reader(b, on_readable)
+        a.sendall(b"ping")
+        assert _wait_for(lambda: got)
+        assert got[0] == b"ping"
+        reactor.remove_reader(b)
+        a.close()
+        b.close()
+
+    def test_remove_reader_is_synchronous(self, reactor):
+        a, b = socket.socketpair()
+        b.setblocking(False)
+        calls = []
+        reactor.add_reader(b, lambda: calls.append(b.recv(16)))
+        reactor.remove_reader(b)  # returns only once unregistered
+        a.sendall(b"late")
+        time.sleep(0.1)
+        assert calls == []
+        a.close()
+        b.close()
+
+    def test_remove_reader_tolerates_unknown_fd(self, reactor):
+        a, b = socket.socketpair()
+        reactor.remove_reader(b)  # never registered: no-op
+        a.close()
+        b.close()
+
+    def test_idle_loop_does_not_wake(self, reactor):
+        a, b = socket.socketpair()
+        b.setblocking(False)
+        reactor.add_reader(b, lambda: b.recv(16))
+        time.sleep(0.1)  # settle
+        before = reactor.wakeups
+        time.sleep(0.3)
+        assert reactor.wakeups - before <= 2
+        reactor.remove_reader(b)
+        a.close()
+        b.close()

@@ -1,6 +1,7 @@
 """Unit tests for packet headers and stream framing."""
 
 import socket
+import struct
 import threading
 
 import pytest
@@ -11,8 +12,10 @@ from repro.transport.message import (
     PT_ACK,
     PT_DATA,
     ClfPacket,
+    FrameReader,
     read_frame,
     write_frame,
+    write_frame_parts,
 )
 
 
@@ -118,3 +121,118 @@ class TestFraming:
         write_frame(a, b"x" * 100)
         with pytest.raises(FramingError):
             read_frame(b, max_size=50)
+
+
+class TestFrameSizeBoundaries:
+    """The size ceiling must be exact on both sides of the wire."""
+
+    @pytest.fixture(autouse=True)
+    def small_limit(self, monkeypatch):
+        from repro.transport import message
+
+        monkeypatch.setattr(message, "MAX_FRAME_SIZE", 1024)
+
+    def test_exactly_max_size_passes(self, socket_pair):
+        a, b = socket_pair
+        payload = b"m" * 1024
+        write_frame(a, payload)
+        assert read_frame(b) == payload
+
+    def test_one_over_refused_on_send(self, socket_pair):
+        a, _ = socket_pair
+        with pytest.raises(MessageTooLargeError):
+            write_frame(a, b"m" * 1025)
+
+    def test_one_over_refused_on_send_parts(self, socket_pair):
+        a, _ = socket_pair
+        with pytest.raises(MessageTooLargeError):
+            write_frame_parts(a, [b"m" * 1000, b"m" * 25])
+
+    def test_one_over_refused_on_receive(self, socket_pair):
+        a, b = socket_pair
+        # A peer that ignores the ceiling: hand-built length prefix.
+        a.sendall(struct.pack(">I", 1025))
+        with pytest.raises(FramingError):
+            read_frame(b)
+
+
+class TestScatterGather:
+    def test_parts_arrive_as_one_frame(self, socket_pair):
+        a, b = socket_pair
+        parts = [b"head", memoryview(b"-body-"), bytearray(b"tail")]
+        write_frame_parts(a, parts)
+        assert read_frame(b) == b"head-body-tail"
+
+    def test_zero_length_frame_through_parts(self, socket_pair):
+        a, b = socket_pair
+        write_frame_parts(a, [])
+        write_frame_parts(a, [b"", memoryview(b"")])
+        assert read_frame(b) == b""
+        assert read_frame(b) == b""
+
+    def test_many_parts_exceeding_iov_cap(self, socket_pair):
+        a, b = socket_pair
+        parts = [bytes([i % 256]) * 3 for i in range(300)]
+        writer = threading.Thread(
+            target=write_frame_parts, args=(a, parts)
+        )
+        writer.start()
+        received = read_frame(b)
+        writer.join()
+        assert received == b"".join(parts)
+
+
+class TestFrameReaderDesync:
+    """Regression: a timeout mid-frame must not desync the stream."""
+
+    def test_timeout_mid_payload_resumes(self, socket_pair):
+        a, b = socket_pair
+        b.settimeout(0.05)
+        reader = FrameReader()
+        a.sendall(struct.pack(">I", 8) + b"four")  # half the payload
+        with pytest.raises(socket.timeout):
+            reader.read(b)
+        assert reader.mid_frame
+        a.sendall(b"more")
+        assert reader.read(b) == b"fourmore"
+        assert not reader.mid_frame
+
+    def test_timeout_mid_header_resumes(self, socket_pair):
+        a, b = socket_pair
+        b.settimeout(0.05)
+        reader = FrameReader()
+        prefix = struct.pack(">I", 3)
+        a.sendall(prefix[:2])  # half the length prefix
+        with pytest.raises(socket.timeout):
+            reader.read(b)
+        assert reader.mid_frame
+        a.sendall(prefix[2:] + b"abc")
+        assert reader.read(b) == b"abc"
+
+    def test_nonblocking_returns_none_then_frame(self, socket_pair):
+        a, b = socket_pair
+        b.setblocking(False)
+        reader = FrameReader()
+        assert reader.read(b) is None
+        write_frame(a, b"payload")
+        frame = None
+        while frame is None:  # loopback delivery may need a beat
+            frame = reader.read(b)
+        assert frame == b"payload"
+
+    def test_frames_after_resume_keep_boundaries(self, socket_pair):
+        # The seed bug: after a mid-frame timeout the old reader
+        # restarted at the payload middle, treating payload bytes as a
+        # length prefix and corrupting every later frame.
+        a, b = socket_pair
+        b.settimeout(0.05)
+        reader = FrameReader()
+        a.sendall(struct.pack(">I", 6) + b"abc")
+        with pytest.raises(socket.timeout):
+            reader.read(b)
+        a.sendall(b"def")
+        write_frame(a, b"second")
+        write_frame(a, b"third")
+        assert reader.read(b) == b"abcdef"
+        assert reader.read(b) == b"second"
+        assert reader.read(b) == b"third"
