@@ -25,10 +25,12 @@ is out).  ``docs/FAULTS.md`` is the authoritative failure model.
 
 from __future__ import annotations
 
+import json
 import queue
 import threading
 import time
-from typing import Any, Callable, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, List, Optional, Tuple
 
 from repro.client.retry import RetryPolicy
 from repro.core.connection import ConnectionMode
@@ -58,6 +60,7 @@ from repro.marshal import get_codec
 from repro.runtime import ops
 from repro.transport.base import StreamTransport
 from repro.transport.tcp import connect_tcp
+from repro.util import trace as tracepoints
 from repro.util.logging import get_logger
 
 _log = get_logger("client")
@@ -82,6 +85,31 @@ class RemoteConnection:
         self.mode = mode
         self.kind = kind
         self._detached = False
+
+    @contextmanager
+    def _traced(self, op: str, **details: Any) -> Iterator[None]:
+        """Trace context for one container operation.
+
+        When tracing is on, the operation runs under a trace id — the
+        caller's current one, or a freshly minted one — which the RPC
+        layer ships in the request frame, so the surrogate's routing
+        event, the container's PUT/GET and the eventual GC RECLAIM all
+        join this client-side event's timeline.  When tracing is off
+        this adds nothing and the frame stays old-format.
+        """
+        if not tracepoints.GLOBAL_TRACER.enabled:
+            yield
+            return
+        fresh = tracepoints.current_trace_id() is None
+        if fresh:
+            tracepoints.set_trace_id(tracepoints.new_trace_id())
+        tracepoints.trace(tracepoints.RPC, self.container_name,
+                          op=op, side="client", **details)
+        try:
+            yield
+        finally:
+            if fresh:
+                tracepoints.set_trace_id(None)
 
     # -- I/O ------------------------------------------------------------------
 
@@ -118,15 +146,17 @@ class RemoteConnection:
             "has_timeout": timeout is not None,
             "timeout": timeout if timeout is not None else 0.0,
         }
-        if sync:
-            is_channel = self.kind == "channel"
-            self._client._call(
-                ops.OP_PUT, args, io_timeout=timeout,
-                retryable=is_channel,
-                absorb=(DuplicateTimestampError,) if is_channel else (),
-            )
-        else:
-            self._client._cast(ops.OP_PUT, args)
+        with self._traced("put", ts=timestamp, sync=sync):
+            if sync:
+                is_channel = self.kind == "channel"
+                self._client._call(
+                    ops.OP_PUT, args, io_timeout=timeout,
+                    retryable=is_channel,
+                    absorb=(DuplicateTimestampError,)
+                    if is_channel else (),
+                )
+            else:
+                self._client._cast(ops.OP_PUT, args)
 
     def get(self, timestamp: VirtualTime = OLDEST, block: bool = True,
             timeout: Optional[float] = None) -> Tuple[Timestamp, Any]:
@@ -147,14 +177,17 @@ class RemoteConnection:
         else:
             vt_kind = ops.VT_CONCRETE
             wire_ts = validate_timestamp(timestamp)
-        results = self._client._call(ops.OP_GET, {
-            "connection_id": self._wire_id,
-            "vt_kind": vt_kind,
-            "timestamp": wire_ts,
-            "block": block,
-            "has_timeout": timeout is not None,
-            "timeout": timeout if timeout is not None else 0.0,
-        }, io_timeout=timeout, retryable=self.kind == "channel")
+        with self._traced("get", ts=wire_ts if vt_kind == ops.VT_CONCRETE
+                          else ("newest" if vt_kind == ops.VT_NEWEST
+                                else "oldest")):
+            results = self._client._call(ops.OP_GET, {
+                "connection_id": self._wire_id,
+                "vt_kind": vt_kind,
+                "timestamp": wire_ts,
+                "block": block,
+                "has_timeout": timeout is not None,
+                "timeout": timeout if timeout is not None else 0.0,
+            }, io_timeout=timeout, retryable=self.kind == "channel")
         value = self._client.codec.decode(results["payload"])
         return results["timestamp"], value
 
@@ -165,10 +198,11 @@ class RemoteConnection:
             "connection_id": self._wire_id,
             "timestamp": validate_timestamp(timestamp),
         }
-        if sync:
-            self._client._call(ops.OP_CONSUME, args)
-        else:
-            self._client._cast(ops.OP_CONSUME, args)
+        with self._traced("consume", ts=timestamp, sync=sync):
+            if sync:
+                self._client._call(ops.OP_CONSUME, args)
+            else:
+                self._client._cast(ops.OP_CONSUME, args)
 
     def consume_until(self, timestamp: Timestamp,
                       sync: bool = True) -> None:
@@ -178,10 +212,11 @@ class RemoteConnection:
             "connection_id": self._wire_id,
             "timestamp": validate_timestamp(timestamp),
         }
-        if sync:
-            self._client._call(ops.OP_CONSUME_UNTIL, args)
-        else:
-            self._client._cast(ops.OP_CONSUME_UNTIL, args)
+        with self._traced("consume_until", ts=timestamp, sync=sync):
+            if sync:
+                self._client._call(ops.OP_CONSUME_UNTIL, args)
+            else:
+                self._client._cast(ops.OP_CONSUME_UNTIL, args)
 
     def detach(self) -> None:
         """Detach on the cluster (idempotent)."""
@@ -436,6 +471,32 @@ class StampedeClient:
         """Full cluster snapshot (see :mod:`repro.runtime.inspect`)."""
         results = self._call(ops.OP_INSPECT, {})
         return self.codec.decode(results["snapshot"])
+
+    def stats(self) -> dict:
+        """Live observability snapshot of the cluster (STATS wire op).
+
+        Metrics registry plus per-container occupancy, oldest-item age
+        and blocking-connection suspects.  Served off the surrogate's
+        executors, so it answers even while this device's own container
+        operations are blocked — that is the point.
+        """
+        results = self._call(ops.OP_STATS, {})
+        return json.loads(bytes(results["snapshot"]).decode("utf-8"))
+
+    def trace_dump(self, max_events: int = 0,
+                   clear: bool = False) -> dict:
+        """Drain the cluster's trace ring (TRACE_DUMP wire op).
+
+        Returns ``{"label", "enabled", "dropped", "recorded",
+        "events"}``; the events feed
+        :meth:`repro.util.trace.Tracer.merge` alongside local dumps.
+        ``max_events`` keeps only the newest N; ``clear`` empties the
+        remote ring afterwards (hence not idempotent — never retried).
+        """
+        results = self._call(ops.OP_TRACE_DUMP, {
+            "max_events": max_events, "clear": clear,
+        })
+        return json.loads(bytes(results["events"]).decode("utf-8"))
 
     def take_reclaims(self) -> List[Tuple[str, int]]:
         """Drain queued reclaim notifications."""

@@ -42,11 +42,35 @@ from repro.errors import (
     StampedeError,
     TransportClosedError,
 )
+from repro.obs.metrics import COUNT_BOUNDS, GLOBAL_METRICS as _metrics
 from repro.runtime import ops
 from repro.transport.tcp import TcpConnection
+from repro.util import trace as tracepoints
 from repro.util.logging import get_logger
 
 _log = get_logger("client.rpc")
+
+# Client-side RPC instruments.  Per-op round-trip histograms are lazy
+# (one per opcode actually used); the coalescer counts *why* each batch
+# left — the flush-reason mix tells whether linger/size caps are tuned
+# for the workload — and how full it was when it did.
+_OP_HISTS: Dict[int, object] = {}
+_BATCH_ITEMS = _metrics.histogram(
+    "rpc.client.batch_items", bounds=COUNT_BOUNDS, unit="items")
+_FLUSH_REASONS = {
+    reason: _metrics.counter(f"rpc.client.flush_{reason}")
+    for reason in ("barrier", "kind_switch", "size_cap", "linger", "close")
+}
+
+
+def _op_hist(opcode: int):
+    hist = _OP_HISTS.get(opcode)
+    if hist is None:
+        schema = ops.OP_SCHEMAS.get(opcode)
+        name = schema.name if schema is not None else f"op{opcode}"
+        hist = _metrics.histogram(f"rpc.client.{name}_us")
+        _OP_HISTS[opcode] = hist
+    return hist
 
 #: Reclaim notification callback: ``(container name, timestamp)``.
 ReclaimListener = Callable[[str, int], None]
@@ -132,8 +156,12 @@ class RpcChannel:
         pending = _PendingCall()
         with self._pending_lock:
             self._pending[request_id] = pending
+        t0 = time.monotonic() if _metrics.enabled else 0.0
         try:
-            frame = ops.encode_request(request_id, opcode, args)
+            frame = ops.encode_request(
+                request_id, opcode, args,
+                trace_id=tracepoints.current_trace_id(),
+            )
             self._connection.send_frame(frame)
             if not pending.event.wait(timeout=timeout):
                 raise RpcTimeoutError(
@@ -147,6 +175,8 @@ class RpcChannel:
             raise TransportClosedError(
                 "connection closed while awaiting response"
             )
+        if t0:
+            _op_hist(opcode).observe((time.monotonic() - t0) * 1e6)
         response = ops.decode_response(pending.frame, opcode)
         self._deliver_reclaims(response.reclaims)
         if not response.ok:
@@ -169,7 +199,10 @@ class RpcChannel:
         which flushes per the rules in the module docstring.
         """
         self.cast_frame(
-            opcode, ops.encode_request(ops.CAST_REQUEST_ID, opcode, args)
+            opcode, ops.encode_request(
+                ops.CAST_REQUEST_ID, opcode, args,
+                trace_id=tracepoints.current_trace_id(),
+            )
         )
 
     def cast_frame(self, opcode: int, frame: bytes) -> None:
@@ -190,14 +223,14 @@ class RpcChannel:
         with self._batch_cond:
             if (self._batch_envelope is not None
                     and self._batch_envelope != envelope):
-                self._flush_locked()  # kind switch: puts vs consumes
+                self._flush_locked("kind_switch")  # puts vs consumes
             first = not self._batch_frames
             self._batch_frames.append((opcode, frame))
             self._batch_envelope = envelope
             self._batch_bytes += len(frame)
             if (len(self._batch_frames) >= self._batch_max_items
                     or self._batch_bytes >= self._batch_max_bytes):
-                self._flush_locked()
+                self._flush_locked("size_cap")
             elif first:
                 self._batch_deadline = (
                     time.monotonic() + self._batch_linger
@@ -210,13 +243,13 @@ class RpcChannel:
                     self._flusher.start()
                 self._batch_cond.notify_all()
 
-    def flush_casts(self) -> None:
+    def flush_casts(self, reason: str = "barrier") -> None:
         """Force any coalesced casts onto the wire now."""
         if self._batching:
             with self._batch_cond:
-                self._flush_locked()
+                self._flush_locked(reason)
 
-    def _flush_locked(self) -> None:
+    def _flush_locked(self, reason: str = "barrier") -> None:
         """Send the pending batch (caller holds ``_batch_cond``).
 
         Sending happens under the condition's lock so no other cast or
@@ -229,6 +262,9 @@ class RpcChannel:
         items = self._batch_frames
         if not items:
             return
+        if _metrics.enabled:
+            _FLUSH_REASONS[reason].value += 1
+            _BATCH_ITEMS.observe(len(items))
         self._batch_frames = []
         self._batch_envelope = None
         self._batch_bytes = 0
@@ -262,7 +298,7 @@ class RpcChannel:
                     self._batch_cond.wait(timeout=delay)
                     continue
                 try:
-                    self._flush_locked()
+                    self._flush_locked("linger")
                 except TransportClosedError:
                     # Items are parked in _unsent; the receive loop
                     # notices the dead transport and fails pending calls.
@@ -341,7 +377,7 @@ class RpcChannel:
         if self._closed.is_set():
             return
         try:
-            self.flush_casts()
+            self.flush_casts(reason="close")
         except StampedeError:
             pass  # dead transport: items stay in _unsent for recovery
         self._closed.set()

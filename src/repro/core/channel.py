@@ -53,6 +53,7 @@ from repro.core.timestamps import (
     is_marker,
     validate_timestamp,
 )
+from repro.obs.metrics import GLOBAL_METRICS as _metrics
 from repro.util import trace as tracepoints
 from repro.util.trace import trace
 from repro.errors import (
@@ -66,6 +67,22 @@ from repro.errors import (
 #: Above this many pending dead-candidates a sweep costs as much as a full
 #: scan anyway, so the set stays bounded by collapsing to one.
 _MAX_DEAD_CANDIDATES = 1024
+
+# Hot-path probes: a sampled latency histogram each.  One mask test per
+# operation against the op counter the container already maintains —
+# the probe's mask is -1 while disabled, so the same test covers the
+# on/off state with no separate enabled check (no extra per-op store
+# either: probe.tick advances by sample_every at sample time, so its op
+# count is an estimate; see repro.obs.metrics.OpProbe).
+_PUT_PROBE = _metrics.probe("core.channel.put")
+_GET_PROBE = _metrics.probe("core.channel.get")
+_CONSUME_PROBE = _metrics.probe("core.channel.consume")
+
+# Cached at import: the active-context cell (a stable list, contents
+# mutable) and the background sampling mask, so the traced put fast path
+# avoids attribute-chain lookups.
+_ACTIVE_IDS = tracepoints.ACTIVE_IDS
+_TRACE_SAMPLE_MASK = tracepoints.SAMPLE_MASK
 
 
 class Channel(Container):
@@ -149,6 +166,11 @@ class Channel(Container):
         :raises ChannelFullError: bounded blocking channel full and
             ``block=False`` (or the timeout expired).
         """
+        probe = _PUT_PROBE
+        t0 = 0.0
+        if not (self._puts + 1) & probe.mask:  # mask is -1 when off
+            probe.tick += probe.mask + 1
+            t0 = time.monotonic()
         validate_timestamp(timestamp)
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
@@ -173,13 +195,24 @@ class Channel(Container):
                         put_time=time.monotonic())
             self._insert_item(item)
             self._record_put(item.size)
-            trace(tracepoints.PUT, self.name, ts=timestamp,
-                  size=item.size)
+            if tracepoints.GLOBAL_TRACER.enabled:
+                # Correlated puts (an id in context — every client RPC
+                # mints one) always hit the ring; uncorrelated local puts
+                # are sampled, first-put-of-container always included.
+                tid = (tracepoints.current_trace_id()
+                       if _ACTIVE_IDS[0] else None)
+                item.trace_id = tid
+                if tid is not None or not (
+                        (self._puts - 1) & _TRACE_SAMPLE_MASK):
+                    trace(tracepoints.PUT, self.name, trace_id=tid,
+                          ts=timestamp, size=item.size)
             # A put below somebody's floor (or into a filtered channel) can
             # be garbage on arrival; flag it for the incremental sweep.
             if timestamp < self._max_floor or self._filtered_inputs:
                 self._add_dead_candidate(timestamp)
             self._not_empty.notify_all()
+        if t0:
+            probe.hist.observe((time.monotonic() - t0) * 1e6)
 
     def _insert_item(self, item: Item) -> None:
         """Add a live item to primary storage and the sorted index.
@@ -248,11 +281,20 @@ class Channel(Container):
         :raises ItemNotFoundError: nothing available and ``block=False``
             (or the timeout expired).
         """
+        probe = _GET_PROBE
+        t0 = 0.0
+        if not (self._gets + 1) & probe.mask:  # mask is -1 when off
+            probe.tick += probe.mask + 1
+            t0 = time.monotonic()
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             self._check_connection(connection)
             if is_marker(timestamp):
-                return self._get_marker(connection, timestamp, block, deadline)
+                result = self._get_marker(connection, timestamp, block,
+                                          deadline)
+                if t0:
+                    probe.hist.observe((time.monotonic() - t0) * 1e6)
+                return result
             validate_timestamp(timestamp)
             if timestamp < connection.interest_floor:
                 raise BadTimestampError(
@@ -269,6 +311,8 @@ class Channel(Container):
                 item = self._items.get(timestamp)
                 if item is not None:
                     self._gets += 1
+                    if t0:
+                        probe.hist.observe((time.monotonic() - t0) * 1e6)
                     return item.timestamp, item.value
                 if not block:
                     raise ItemNotFoundError(
@@ -357,15 +401,21 @@ class Channel(Container):
         be running ahead of the producer after a marker get on another
         channel); the mark simply has no effect then.
         """
+        probe = _CONSUME_PROBE
+        t0 = 0.0
+        if not (self._consumes + 1) & probe.mask:  # mask is -1 when off
+            probe.tick += probe.mask + 1
+            t0 = time.monotonic()
         validate_timestamp(timestamp)
         with self._lock:
             self._check_connection(connection)
             self._consumes += 1
             item = self._items.get(timestamp)
-            if item is None:
-                return
-            item.mark_consumed(connection.connection_id)
-            self._maybe_reclaim(item)
+            if item is not None:
+                item.mark_consumed(connection.connection_id)
+                self._maybe_reclaim(item)
+        if t0:
+            probe.hist.observe((time.monotonic() - t0) * 1e6)
 
     def consume_until(self, connection: Connection,
                       timestamp: Timestamp) -> None:
@@ -375,6 +425,11 @@ class Channel(Container):
         exactly those join the candidate set (an index slice, not a scan
         of everything) before the inline sweep.
         """
+        probe = _CONSUME_PROBE
+        t0 = 0.0
+        if not (self._consumes + 1) & probe.mask:  # mask is -1 when off
+            probe.tick += probe.mask + 1
+            t0 = time.monotonic()
         validate_timestamp(timestamp)
         with self._lock:
             self._check_connection(connection)
@@ -390,6 +445,8 @@ class Channel(Container):
                 # Inline sweep covers candidates parked by earlier events
                 # too (e.g. puts below an already-advanced floor).
                 self._sweep()
+        if t0:
+            probe.hist.observe((time.monotonic() - t0) * 1e6)
 
     def collect_garbage(self) -> Tuple[int, int]:
         """Sweep: reclaim every item flagged dead since the last sweep."""
@@ -474,8 +531,11 @@ class Channel(Container):
         self._dead_candidates.discard(timestamp)
         self._record_hole(timestamp)
         self._reclaimed += 1
-        trace(tracepoints.RECLAIM, self.name, ts=timestamp,
-              size=item.size)
+        # The reclaim runs on whichever thread swept, but it belongs to
+        # the trace of the put that created the item — the stamped id
+        # (not this thread's context) closes the end-to-end span.
+        trace(tracepoints.RECLAIM, self.name, trace_id=item.trace_id,
+              ts=timestamp, size=item.size)
         errors = self.handlers.run_reclaim(timestamp, item.value)
         item.state = ItemState.RECLAIMED
         if errors:
@@ -559,6 +619,47 @@ class Channel(Container):
         """Largest live timestamp, or None when empty."""
         with self._lock:
             return self._live_index[-1] if self._live_index else None
+
+    def oldest_live_age(self, now: Optional[float] = None) -> Optional[float]:
+        """Seconds the oldest live item has sat unreclaimed, or None.
+
+        The core stall signal: a healthy pipeline keeps this bounded by
+        its consumers' pace; a stuck consumer makes it grow without
+        limit while occupancy may look fine.
+        """
+        with self._lock:
+            if not self._live_index:
+                return None
+            item = self._items[self._live_index[0]]
+            return (time.monotonic() if now is None else now) - item.put_time
+
+    def blocking_connections(self) -> List[Dict[str, Any]]:
+        """Input connections still vetoing reclaim of the oldest live item.
+
+        The stall watchdog uses this to *name* the laggard: when the
+        oldest-age breaches its limit, whoever appears here is the
+        consumer the rest of the pipeline is waiting on.
+        """
+        with self._lock:
+            if not self._live_index:
+                return []
+            item = self._items[self._live_index[0]]
+            culprits: List[Dict[str, Any]] = []
+            for conn in self.input_connections():
+                cid = conn.connection_id
+                if cid in item.consumed_by:
+                    continue
+                if item.timestamp < conn.interest_floor:
+                    continue
+                if not conn.wants(item.timestamp, item.value):
+                    continue
+                culprits.append({
+                    "connection_id": cid,
+                    "owner": conn.owner,
+                    "interest_floor": conn.interest_floor,
+                    "timestamp": item.timestamp,
+                })
+            return culprits
 
     def _live_footprint(self) -> Tuple[int, int]:
         return len(self._live_index), self._live_bytes

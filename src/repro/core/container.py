@@ -258,6 +258,22 @@ class Container:
         """(live item count, live byte count) — subclass supplies storage."""
         raise NotImplementedError
 
+    def oldest_live_age(self, now: Optional[float] = None) -> Optional[float]:
+        """Seconds the oldest unreclaimed item has been held, or None.
+
+        The stall watchdog's primary per-container signal; the concrete
+        containers override it with their storage's notion of "oldest".
+        """
+        return None
+
+    def blocking_connections(self) -> "List[dict]":
+        """Connections currently preventing the oldest item's reclaim.
+
+        Overridden by the concrete containers; the base container holds
+        no items, so nothing can block.
+        """
+        return []
+
     def stats(self) -> ContainerStats:
         """Point-in-time statistics snapshot."""
         with self._lock:

@@ -47,6 +47,7 @@ class Item:
         "consumed_by",
         "dequeued_by",
         "put_time",
+        "trace_id",
     )
 
     def __init__(
@@ -55,6 +56,7 @@ class Item:
         value: Any,
         size: Optional[int] = None,
         put_time: float = 0.0,
+        trace_id: Optional[str] = None,
     ) -> None:
         self.timestamp = timestamp
         self.value = value
@@ -66,6 +68,9 @@ class Item:
         self.dequeued_by: Optional[int] = None
         #: Wall/virtual time of the put, for latency accounting.
         self.put_time = put_time
+        #: Trace id of the logical put that created the item, if tracing
+        #: was active; lets the GC's reclaim event join the same trace.
+        self.trace_id = trace_id
 
     # Consumption marks are only ever mutated under the owning container's
     # lock, and ``set`` membership reads are atomic under the GIL, so the

@@ -46,6 +46,7 @@ from repro.core.timestamps import (
     is_marker,
     validate_timestamp,
 )
+from repro.obs.metrics import GLOBAL_METRICS as _metrics
 from repro.util import trace as tracepoints
 from repro.util.trace import trace
 from repro.errors import (
@@ -53,6 +54,15 @@ from repro.errors import (
     ChannelFullError,
     ItemNotFoundError,
 )
+
+# Hot-path probes, same contract as the channel's (repro.obs.metrics).
+_PUT_PROBE = _metrics.probe("core.squeue.put")
+_GET_PROBE = _metrics.probe("core.squeue.get")
+_CONSUME_PROBE = _metrics.probe("core.squeue.consume")
+
+# Cached at import for the traced put fast path (see channel.py).
+_ACTIVE_IDS = tracepoints.ACTIVE_IDS
+_TRACE_SAMPLE_MASK = tracepoints.SAMPLE_MASK
 
 
 class SQueue(Container):
@@ -103,6 +113,11 @@ class SQueue(Container):
             size: Optional[int] = None, block: bool = True,
             timeout: Optional[float] = None) -> None:
         """Append *value* with *timestamp* to the back of the queue."""
+        probe = _PUT_PROBE
+        t0 = 0.0
+        if not (self._puts + 1) & probe.mask:  # mask is -1 when off
+            probe.tick += probe.mask + 1
+            t0 = time.monotonic()
         validate_timestamp(timestamp)
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
@@ -122,13 +137,23 @@ class SQueue(Container):
             self._fifo.append(item)
             self._held_bytes += item.size
             self._record_put(item.size)
-            trace(tracepoints.PUT, self.name, ts=timestamp,
-                  size=item.size)
+            if tracepoints.GLOBAL_TRACER.enabled:
+                # Correlated puts always hit the ring; uncorrelated local
+                # puts are sampled, first-put-of-queue always included.
+                tid = (tracepoints.current_trace_id()
+                       if _ACTIVE_IDS[0] else None)
+                item.trace_id = tid
+                if tid is not None or not (
+                        (self._puts - 1) & _TRACE_SAMPLE_MASK):
+                    trace(tracepoints.PUT, self.name, trace_id=tid,
+                          ts=timestamp, size=item.size)
             # The newcomer may be acceptable to nobody (floored or filtered
             # out by every worker): flag it for the incremental sweep.
             self._sweep_candidates.append(item)
             self._mark_gc_dirty()
             self._not_empty.notify_all()
+        if t0:
+            probe.hist.observe((time.monotonic() - t0) * 1e6)
 
     def _held(self) -> int:
         return len(self._fifo) + len(self._pending)
@@ -153,6 +178,11 @@ class SQueue(Container):
             raise BadTimestampError(
                 "queues are FIFO: get() only accepts OLDEST"
             )
+        probe = _GET_PROBE
+        t0 = 0.0
+        if not (self._gets + 1) & probe.mask:  # mask is -1 when off
+            probe.tick += probe.mask + 1
+            t0 = time.monotonic()
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             self._check_connection(connection)
@@ -166,6 +196,8 @@ class SQueue(Container):
                         self._not_full.notify_all()
                     else:
                         self._add_pending(connection.connection_id, item)
+                    if t0:
+                        probe.hist.observe((time.monotonic() - t0) * 1e6)
                     return item.timestamp, item.value
                 if not block:
                     raise ItemNotFoundError(
@@ -212,20 +244,24 @@ class SQueue(Container):
 
     def consume(self, connection: Connection, timestamp: Timestamp) -> None:
         """Reclaim every item this connection dequeued at *timestamp*."""
+        probe = _CONSUME_PROBE
+        t0 = 0.0
+        if not (self._consumes + 1) & probe.mask:  # mask is -1 when off
+            probe.tick += probe.mask + 1
+            t0 = time.monotonic()
         validate_timestamp(timestamp)
         with self._lock:
             self._check_connection(connection)
             self._consumes += 1
             cid = connection.connection_id
             buckets = self._pending_index.get(cid)
-            if not buckets:
-                return
-            seqs = buckets.pop(timestamp, None)
-            if seqs is None:
-                return
-            ts_list = self._pending_ts[cid]
-            del ts_list[bisect_left(ts_list, timestamp)]
-            self._release_pending(seqs)
+            seqs = buckets.pop(timestamp, None) if buckets else None
+            if seqs is not None:
+                ts_list = self._pending_ts[cid]
+                del ts_list[bisect_left(ts_list, timestamp)]
+                self._release_pending(seqs)
+        if t0:
+            probe.hist.observe((time.monotonic() - t0) * 1e6)
 
     def consume_until(self, connection: Connection,
                       timestamp: Timestamp) -> None:
@@ -233,6 +269,11 @@ class SQueue(Container):
         raise its interest floor (future queued items below the floor are
         skipped for this connection and collectable once no one wants them).
         """
+        probe = _CONSUME_PROBE
+        t0 = 0.0
+        if not (self._consumes + 1) & probe.mask:  # mask is -1 when off
+            probe.tick += probe.mask + 1
+            t0 = time.monotonic()
         validate_timestamp(timestamp)
         with self._lock:
             self._check_connection(connection)
@@ -252,6 +293,8 @@ class SQueue(Container):
             # The raised floor may strand already-queued items below it.
             self._needs_full_sweep = True
             self._sweep_queued()
+        if t0:
+            probe.hist.observe((time.monotonic() - t0) * 1e6)
 
     def _release_pending(self, seqs: List[int]) -> None:
         """Reclaim the pending items behind *seqs*.  Caller holds the lock
@@ -324,8 +367,10 @@ class SQueue(Container):
     def _reclaim(self, item: Item) -> None:
         item.state = ItemState.GARBAGE
         self._reclaimed += 1
-        trace(tracepoints.RECLAIM, self.name, ts=item.timestamp,
-              size=item.size)
+        # Reclaims join the trace of the put that created the item (the
+        # stamped id), not whichever thread happened to sweep.
+        trace(tracepoints.RECLAIM, self.name, trace_id=item.trace_id,
+              ts=item.timestamp, size=item.size)
         errors = self.handlers.run_reclaim(item.timestamp, item.value)
         item.state = ItemState.RECLAIMED
         if errors:
@@ -377,6 +422,47 @@ class SQueue(Container):
         """Timestamps of queued items, FIFO order."""
         with self._lock:
             return [item.timestamp for item in self._fifo]
+
+    def oldest_live_age(self, now: Optional[float] = None) -> Optional[float]:
+        """Seconds the front queued item has waited for a getter, or the
+        oldest pending (dequeued-but-unconsumed) item for its consume —
+        whichever is older.  None when the queue holds nothing."""
+        with self._lock:
+            oldest: Optional[float] = None
+            if self._fifo:
+                oldest = self._fifo[0].put_time
+            if self._pending:
+                # Insertion-ordered dict: the first pending is the oldest.
+                first = next(iter(self._pending.values()))
+                if oldest is None or first.put_time < oldest:
+                    oldest = first.put_time
+            if oldest is None:
+                return None
+            return (time.monotonic() if now is None else now) - oldest
+
+    def blocking_connections(self) -> List[Dict[str, Any]]:
+        """Connections holding dequeued-but-unconsumed items.
+
+        For a queue the laggard is a worker that dequeued work and never
+        consumed it: the capacity those items pin is what eventually
+        back-pressures the producers.
+        """
+        with self._lock:
+            counts: Dict[int, int] = {}
+            for item in self._pending.values():
+                if item.dequeued_by is not None:
+                    counts[item.dequeued_by] = \
+                        counts.get(item.dequeued_by, 0) + 1
+            out = []
+            for conn in self.input_connections():
+                held = counts.get(conn.connection_id, 0)
+                if held:
+                    out.append({
+                        "connection_id": conn.connection_id,
+                        "owner": conn.owner,
+                        "pending": held,
+                    })
+            return out
 
     def _pending_items(self) -> List[Item]:
         """Dequeued-but-unconsumed items in dequeue order (checkpointing)."""

@@ -1,0 +1,36 @@
+"""Observability: metrics registry, Prometheus export, stall watchdog.
+
+The flight-recorder layer.  :mod:`repro.obs.metrics` holds the
+process-global instrument registry the runtime's hot paths report into;
+:mod:`repro.obs.prom` renders a registry snapshot as Prometheus text;
+:mod:`repro.obs.watchdog` turns the same signals into stall detection.
+
+Everything here is import-cheap and dependency-free within the package
+(core/runtime import obs, never the reverse), so instrumenting a hot
+path cannot create an import cycle.
+"""
+
+from repro.obs.metrics import (
+    GLOBAL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    OpProbe,
+    disable_metrics,
+    enable_metrics,
+)
+from repro.obs.watchdog import Stall, StallWatchdog
+
+__all__ = [
+    "GLOBAL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OpProbe",
+    "Stall",
+    "StallWatchdog",
+    "disable_metrics",
+    "enable_metrics",
+]

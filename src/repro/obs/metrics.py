@@ -1,0 +1,438 @@
+"""Lock-cheap metrics: counters, gauges, fixed-bucket histograms.
+
+Interactive stream systems fail in time-dependent ways, so the runtime
+needs numbers that are cheap enough to leave compiled into the hot
+paths.  Three cost tiers:
+
+* **Disabled** (the default): every instrumented site pays one
+  attribute read (``registry.enabled`` or ``probe.enabled``) and a
+  falsy branch — unmeasurable against a microsecond-scale operation.
+* **Enabled, cold path** (GC sweeps, RPC dispatch, flush decisions):
+  plain ``Counter.inc`` / ``Histogram.observe`` calls.  These sites run
+  thousands of times per second at most; a dict-free attribute
+  increment is fine.
+* **Enabled, hot path** (channel/queue put/get/consume, which run at
+  hundreds of thousands of ops per second): an :class:`OpProbe` —
+  a GIL-tolerant unlocked tick counter plus a *sampled* latency
+  histogram.  Only one operation in ``sample_every`` (default 64) pays
+  the two ``time.monotonic`` calls and the bucket insert; the rest pay
+  a counter increment and a mask test.
+
+Counters are deliberately unlocked: CPython's GIL makes ``x.value += 1``
+lose updates only across a preemption between the read and the store,
+which for monitoring counters means an occasional off-by-one, not
+corruption — the same trade :mod:`repro.util.trace` makes for its
+``enabled`` flag.  Snapshots are therefore *consistent enough*, never
+torn (ints and floats swap atomically).
+
+Histogram percentiles mirror :func:`repro.util.stats.percentile`
+(linear interpolation) at bucket granularity: the reported quantile is
+interpolated inside the bucket that holds the target rank, clamped to
+the observed min/max.
+
+Enable globally with ``DSTAMPEDE_METRICS=1`` in the environment, or
+programmatically via :func:`enable_metrics`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from bisect import bisect_left
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "OpProbe",
+    "MetricsRegistry",
+    "GLOBAL_METRICS",
+    "enable_metrics",
+    "disable_metrics",
+    "LATENCY_US_BOUNDS",
+    "COUNT_BOUNDS",
+]
+
+#: Default buckets for microsecond latencies: a 1-2-5 decade ladder from
+#: 1µs to 1s.  Anything slower lands in the overflow bucket.
+LATENCY_US_BOUNDS: Tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500,
+    1_000, 2_000, 5_000, 10_000, 20_000, 50_000,
+    100_000, 200_000, 500_000, 1_000_000,
+)
+
+#: Default buckets for small cardinalities (batch sizes, ready sets).
+COUNT_BOUNDS: Tuple[float, ...] = (
+    0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+)
+
+
+class Counter:
+    """A monotonically increasing count.
+
+    ``value`` is public and unlocked on purpose: hot sites increment it
+    inline (``c.value += 1``) without a method call.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value: either set explicitly or read lazily.
+
+    A gauge constructed with a callable is a *collector*: it is invoked
+    at snapshot time, so tracking it costs nothing between snapshots
+    (used for channel occupancy and oldest-live age).
+    """
+
+    __slots__ = ("name", "value", "fn")
+
+    def __init__(self, name: str,
+                 fn: Optional[Callable[[], float]] = None) -> None:
+        self.name = name
+        self.value = 0.0
+        self.fn = fn
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def read(self) -> float:
+        if self.fn is not None:
+            return float(self.fn())
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.read()})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` semantics.
+
+    Bucket *i* counts observations ``v <= bounds[i]``; one extra
+    overflow bucket counts everything above the last bound.  Bounds are
+    fixed at construction so ``observe`` is a single ``bisect`` plus a
+    list-index increment — no allocation, no lock.
+    """
+
+    __slots__ = ("name", "unit", "bounds", "buckets",
+                 "count", "total", "min", "max")
+
+    def __init__(self, name: str,
+                 bounds: Sequence[float] = LATENCY_US_BOUNDS,
+                 unit: str = "us") -> None:
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        ordered = tuple(float(b) for b in bounds)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError(
+                f"bucket bounds must be strictly increasing: {bounds!r}")
+        self.name = name
+        self.unit = unit
+        self.bounds = ordered
+        self.buckets = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def percentile(self, q: float) -> float:
+        """Bucket-interpolated quantile, ``0 <= q <= 100``.
+
+        Mirrors :func:`repro.util.stats.percentile` (linear
+        interpolation between neighbouring ranks) at the resolution the
+        buckets allow; exact for q=0/q=100 (observed min/max).
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        if q == 0:
+            return self.min
+        if q == 100:
+            return self.max
+        target = (q / 100.0) * self.count
+        cumulative = 0
+        for idx, bucket_count in enumerate(self.buckets):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= target:
+                # Interpolate inside this bucket, clamped to what was
+                # actually observed so sparse data cannot report a
+                # quantile outside [min, max].
+                lo = self.bounds[idx - 1] if idx else self.min
+                hi = (self.bounds[idx] if idx < len(self.bounds)
+                      else self.max)
+                lo = max(lo, self.min)
+                hi = min(hi, self.max)
+                if hi <= lo:
+                    return lo
+                fraction = (target - cumulative) / bucket_count
+                return lo + fraction * (hi - lo)
+            cumulative += bucket_count
+        return self.max  # unreachable, but keeps the checker honest
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        for i in range(len(self.buckets)):
+            self.buckets[i] = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def snapshot(self) -> Dict[str, Any]:
+        snap: Dict[str, Any] = {
+            "unit": self.unit,
+            "count": self.count,
+            "total": self.total,
+            "buckets": [[bound, self.buckets[i]]
+                        for i, bound in enumerate(self.bounds)],
+            "overflow": self.buckets[-1],
+        }
+        if self.count:
+            snap.update(
+                min=self.min, max=self.max, mean=self.mean,
+                p50=self.percentile(50), p95=self.percentile(95),
+                p99=self.percentile(99),
+            )
+        return snap
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class OpProbe:
+    """Hot-path instrument: an op counter plus a sampled latency histogram.
+
+    Sites that already maintain a per-op counter (the containers count
+    puts/gets/consumes regardless) piggyback on it, and the enabled state
+    is folded into :attr:`mask` — ``-1`` while disabled, so the test can
+    never fire — making the cycle-critical pattern one masked compare
+    with no separate enabled check::
+
+        t0 = 0.0
+        if not (self._ops + 1) & probe.mask:   # mask is -1 when off
+            probe.tick += probe.mask + 1       # amortised op estimate
+            t0 = time.monotonic()
+        ...                                    # the operation
+        if t0:
+            probe.hist.observe((time.monotonic() - t0) * 1e6)
+
+    Only every ``sample_every``-th call pays for clock reads and a
+    bucket insert; ``tick`` then advances by ``sample_every``, making
+    the probe's op count an estimate accurate to one sampling window.
+    Sites without a counter of their own (RPC dispatch, where the op
+    itself costs microseconds) use :meth:`start`/:meth:`stop`, which
+    keep ``tick`` exact.  Toggle via :meth:`set_enabled` (the owning
+    registry mirrors its own flag there) so ``mask`` stays in sync.
+    """
+
+    __slots__ = ("name", "enabled", "tick", "mask", "sample_every",
+                 "hist")
+
+    def __init__(self, name: str, hist: Histogram,
+                 sample_every: int = 64, enabled: bool = False) -> None:
+        if sample_every < 1 or sample_every & (sample_every - 1):
+            raise ValueError(
+                f"sample_every must be a power of two, got {sample_every}")
+        self.name = name
+        self.sample_every = sample_every
+        self.tick = 0
+        self.hist = hist
+        self.set_enabled(enabled)
+
+    def set_enabled(self, enabled: bool) -> None:
+        """Flip the probe on or off, keeping ``mask`` consistent."""
+        self.enabled = enabled
+        self.mask = self.sample_every - 1 if enabled else -1
+
+    # Convenience wrappers for sites that are not cycle-critical.
+    def start(self) -> float:
+        if self.enabled:
+            self.tick = t = self.tick + 1
+            if not t & self.mask:
+                return time.monotonic()
+        return 0.0
+
+    def stop(self, t0: float) -> None:
+        if t0:
+            self.hist.observe((time.monotonic() - t0) * 1e6)
+
+    def reset(self) -> None:
+        self.tick = 0
+        self.hist.reset()
+
+    def snapshot(self) -> Dict[str, Any]:
+        snap = self.hist.snapshot()
+        snap["ops"] = self.tick
+        snap["sample_every"] = self.sample_every
+        snap["sampled"] = self.hist.count
+        return snap
+
+
+class MetricsRegistry:
+    """Named instruments plus an enabled flag the instruments mirror.
+
+    ``counter``/``gauge``/``histogram``/``probe`` are get-or-create and
+    idempotent, so modules can declare their instruments at import time
+    regardless of import order.  The registry lock guards only the name
+    tables — never the instruments' own mutation, which stays unlocked
+    by design (see the module docstring).
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._probes: Dict[str, OpProbe] = {}
+        self._collectors: Dict[str, Callable[[], Any]] = {}
+
+    # -- instrument registration ----------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter(name)
+            return inst
+
+    def gauge(self, name: str,
+              fn: Optional[Callable[[], float]] = None) -> Gauge:
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge(name, fn)
+            elif fn is not None:
+                inst.fn = fn
+            return inst
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = LATENCY_US_BOUNDS,
+                  unit: str = "us") -> Histogram:
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram(
+                    name, bounds=bounds, unit=unit)
+            return inst
+
+    def probe(self, name: str, sample_every: int = 64,
+              bounds: Sequence[float] = LATENCY_US_BOUNDS) -> OpProbe:
+        with self._lock:
+            inst = self._probes.get(name)
+            if inst is None:
+                hist = Histogram(f"{name}_us", bounds=bounds, unit="us")
+                inst = self._probes[name] = OpProbe(
+                    name, hist, sample_every=sample_every,
+                    enabled=self.enabled)
+            return inst
+
+    def add_collector(self, name: str, fn: Callable[[], Any]) -> None:
+        """Register a lazy data source invoked only at snapshot time."""
+        with self._lock:
+            self._collectors[name] = fn
+
+    def remove_collector(self, name: str) -> None:
+        with self._lock:
+            self._collectors.pop(name, None)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+        with self._lock:
+            for probe in self._probes.values():
+                probe.set_enabled(True)
+
+    def disable(self) -> None:
+        self.enabled = False
+        with self._lock:
+            for probe in self._probes.values():
+                probe.set_enabled(False)
+
+    def reset(self) -> None:
+        """Zero every instrument (collectors are left registered)."""
+        with self._lock:
+            instruments: List[Any] = (
+                list(self._counters.values()) + list(self._gauges.values())
+                + list(self._histograms.values())
+                + list(self._probes.values()))
+        for inst in instruments:
+            inst.reset()
+
+    # -- export ----------------------------------------------------------------
+
+    def snapshot(self, include_collectors: bool = True) -> Dict[str, Any]:
+        """A plain-dict, JSON-able view of every instrument."""
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+            probes = list(self._probes.values())
+            collectors = list(self._collectors.items())
+        snap: Dict[str, Any] = {
+            "enabled": self.enabled,
+            "monotonic": time.monotonic(),
+            "counters": {c.name: c.value for c in counters},
+            "gauges": {g.name: g.read() for g in gauges},
+            "histograms": {h.name: h.snapshot() for h in histograms
+                           if h.count},
+            "probes": {p.name: p.snapshot() for p in probes if p.tick},
+        }
+        if include_collectors:
+            collected: Dict[str, Any] = {}
+            for name, fn in collectors:
+                try:
+                    collected[name] = fn()
+                except Exception as exc:  # a dying source must not kill STATS
+                    collected[name] = {"error": repr(exc)}
+            snap["collectors"] = collected
+        return snap
+
+
+#: The process-global registry every runtime instrument reports into.
+GLOBAL_METRICS = MetricsRegistry(
+    enabled=os.environ.get("DSTAMPEDE_METRICS", "") not in ("", "0"))
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Turn on the process-global registry and return it."""
+    GLOBAL_METRICS.enable()
+    return GLOBAL_METRICS
+
+
+def disable_metrics() -> None:
+    """Turn off the process-global registry."""
+    GLOBAL_METRICS.disable()

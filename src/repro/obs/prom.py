@@ -1,0 +1,95 @@
+"""Prometheus text-format rendering of a metrics-registry snapshot.
+
+No client library, no HTTP server — just the exposition format
+(`# TYPE` lines, cumulative ``le`` buckets, ``_sum``/``_count``), so a
+scrape endpoint is one ``BaseHTTPRequestHandler`` away and tests can
+assert on plain text.  Works from a live
+:class:`~repro.obs.metrics.MetricsRegistry` or from the JSON snapshot
+the STATS wire op returns, which is how ``tools/top.py --prom`` exports
+a *remote* cluster's metrics without running anything on it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.obs.metrics import GLOBAL_METRICS, MetricsRegistry
+
+
+def _sanitize(name: str) -> str:
+    """Dots and dashes to underscores: registry names are hierarchical
+    (``core.channel.put``), Prometheus names are flat."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    sanitized = "".join(out)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _render_histogram(name: str, snap: Mapping[str, Any],
+                      lines: List[str]) -> None:
+    base = _sanitize(name)
+    lines.append(f"# TYPE {base} histogram")
+    cumulative = 0
+    for bound, count in snap["buckets"]:
+        cumulative += count
+        lines.append(
+            f'{base}_bucket{{le="{_format_value(float(bound))}"}} '
+            f"{cumulative}"
+        )
+    cumulative += snap["overflow"]
+    lines.append(f'{base}_bucket{{le="+Inf"}} {cumulative}')
+    lines.append(f"{base}_sum {_format_value(snap['total'])}")
+    lines.append(f"{base}_count {snap['count']}")
+
+
+def render(source: Optional[Union[MetricsRegistry,
+                                  Mapping[str, Any]]] = None) -> str:
+    """Render *source* as Prometheus exposition text.
+
+    *source* may be a :class:`MetricsRegistry` (snapshotted here), an
+    already-taken ``registry.snapshot()`` dict (e.g. the ``metrics``
+    field of a remote STATS payload), or ``None`` for the process-global
+    registry.
+    """
+    if source is None:
+        source = GLOBAL_METRICS
+    snap: Mapping[str, Any]
+    if isinstance(source, MetricsRegistry):
+        snap = source.snapshot(include_collectors=False)
+    else:
+        snap = source
+    lines: List[str] = []
+    for name, value in sorted(snap.get("counters", {}).items()):
+        base = _sanitize(name)
+        lines.append(f"# TYPE {base} counter")
+        lines.append(f"{base} {_format_value(value)}")
+    for name, value in sorted(snap.get("gauges", {}).items()):
+        base = _sanitize(name)
+        lines.append(f"# TYPE {base} gauge")
+        lines.append(f"{base} {_format_value(value)}")
+    for name, hist in sorted(snap.get("histograms", {}).items()):
+        _render_histogram(name, hist, lines)
+    for name, probe in sorted(snap.get("probes", {}).items()):
+        # A probe is an op counter plus a *sampled* latency histogram;
+        # export both, with the sampling made explicit so nobody reads
+        # the histogram count as a request count.
+        base = _sanitize(name)
+        lines.append(f"# TYPE {base}_ops counter")
+        lines.append(f"{base}_ops {probe['ops']}")
+        _render_histogram(f"{name}_sampled_us", probe, lines)
+    return "\n".join(lines) + "\n" if lines else ""

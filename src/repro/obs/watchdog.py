@@ -1,0 +1,250 @@
+"""Stall watchdog: turns the flight-recorder signals into detections.
+
+A ubiquitous-computing pipeline fails soft: a slow consumer does not
+crash anything, it just quietly pins timestamps in a channel until the
+producer blocks on capacity and the whole application "hangs".  The
+watchdog watches the two leading indicators of that failure mode:
+
+* **reactor loop lag** — a heartbeat timer on the event loop; when the
+  beat arrives late, some callback is monopolising the loop (or the
+  process is starved) and every connected device's I/O is delayed;
+* **oldest live timestamp age** — per container, how long the oldest
+  unreclaimed item has been held.  A breach means some consumer has
+  stopped advancing its interest floor; the container itself names the
+  suspect connections (``blocking_connections``).
+
+Detections are emitted as structured :data:`~repro.util.trace.STALL`
+trace events (so they land in the same merged timeline as the RPCs that
+caused them), counted in the metrics registry, and optionally delivered
+to an ``on_stall`` callback.
+
+The module deliberately imports nothing from ``repro.core`` or
+``repro.runtime`` — containers and runtimes are duck-typed — so the
+instrumented hot paths can import :mod:`repro.obs` without a cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.metrics import GLOBAL_METRICS as _metrics
+from repro.util import trace as tracepoints
+
+_STALLS_DETECTED = _metrics.counter("obs.watchdog.stalls")
+_CHECKS = _metrics.counter("obs.watchdog.checks")
+
+
+@dataclass(frozen=True)
+class Stall:
+    """One detected stall.
+
+    ``kind`` is ``"reactor_lag"`` (the event loop heartbeat arrived
+    late) or ``"oldest_age"`` (a container's oldest live item exceeded
+    its age limit).  ``measured`` and ``limit`` are both in seconds.
+    ``suspects`` holds the blocking-connection descriptions the
+    container reported — for an age stall, the consumers whose interest
+    floors are pinning the oldest item.
+    """
+
+    kind: str
+    subject: str
+    measured: float
+    limit: float
+    suspects: List[Dict[str, Any]] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """One-line human rendering."""
+        who = ""
+        if self.suspects:
+            owners = ", ".join(
+                str(s.get("owner") or f"conn-{s.get('connection_id')}")
+                for s in self.suspects
+            )
+            who = f" (blocked by: {owners})"
+        return (f"{self.kind} on {self.subject}: "
+                f"{self.measured:.3f}s > {self.limit:.3f}s{who}")
+
+
+class StallWatchdog:
+    """Periodic detector for reactor lag and oldest-timestamp-age breaches.
+
+    Parameters
+    ----------
+    runtime:
+        Optional object with ``address_spaces()`` yielding spaces whose
+        ``containers()`` yield containers (duck-typed; the real
+        :class:`~repro.runtime.runtime.Runtime` fits).  Containers are
+        probed via ``oldest_live_age()`` / ``blocking_connections()``.
+    reactor:
+        Optional event loop with ``call_every(interval, fn)`` and
+        ``running``; when given, :meth:`watch_reactor` hangs a heartbeat
+        off it and :meth:`check` flags a late beat as loop lag.
+    max_loop_lag:
+        Seconds of heartbeat lateness tolerated before a
+        ``reactor_lag`` stall is reported.
+    max_oldest_age:
+        Seconds an item may stay live before an ``oldest_age`` stall is
+        reported for its container.
+    on_stall:
+        Optional callback invoked once per detected :class:`Stall`.
+        Exceptions from it are swallowed (a broken observer must not
+        take down the observed).
+    interval:
+        Period of the background checker started by :meth:`start`, and
+        of the reactor heartbeat.
+    clock:
+        Injectable monotonic clock — the simnet stall test drives
+        ``check`` with a fake clock for determinism.
+    """
+
+    def __init__(self, runtime: Optional[Any] = None,
+                 reactor: Optional[Any] = None,
+                 max_loop_lag: float = 0.25,
+                 max_oldest_age: float = 5.0,
+                 on_stall: Optional[Callable[[Stall], None]] = None,
+                 interval: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_loop_lag <= 0 or max_oldest_age <= 0:
+            raise ValueError("stall limits must be positive")
+        self.runtime = runtime
+        self.reactor = reactor
+        self.max_loop_lag = max_loop_lag
+        self.max_oldest_age = max_oldest_age
+        self.on_stall = on_stall
+        self.interval = interval
+        self._clock = clock
+        self._beat_interval = interval
+        self._last_beat: Optional[float] = None
+        self._watching_reactor = False
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        #: Every stall ever detected, newest last (bounded by callers
+        #: clearing it; detections are rare by construction).
+        self.stalls: List[Stall] = []
+
+    # -- reactor heartbeat --------------------------------------------------
+
+    def watch_reactor(self) -> None:
+        """Arm the loop-lag detector: a heartbeat timer on the reactor.
+
+        The beat runs *on* the loop, so a callback that monopolises the
+        loop delays the beat — which is exactly the condition being
+        detected.  Idempotent.
+        """
+        if self.reactor is None or self._watching_reactor:
+            return
+        self._watching_reactor = True
+        self._last_beat = self._clock()
+        self.reactor.call_every(self._beat_interval, self._beat)
+
+    def _beat(self) -> None:
+        self._last_beat = self._clock()
+
+    def beat(self) -> None:
+        """Record a heartbeat manually (tests; loops other than Reactor)."""
+        self._last_beat = self._clock()
+
+    # -- checking -----------------------------------------------------------
+
+    def check(self, now: Optional[float] = None) -> List[Stall]:
+        """Run one detection pass; returns the stalls found (may be [])."""
+        if now is None:
+            now = self._clock()
+        _CHECKS.value += 1
+        found: List[Stall] = []
+        if self._last_beat is not None:
+            # Lag = how much later than scheduled the next beat is.  One
+            # whole beat interval of silence is normal (the beat is
+            # periodic); anything past interval + max_loop_lag means the
+            # loop could not run a trivial timer on time.
+            lag = now - self._last_beat - self._beat_interval
+            if lag > self.max_loop_lag:
+                found.append(Stall(
+                    kind="reactor_lag",
+                    subject=getattr(self.reactor, "_name", "reactor"),
+                    measured=lag,
+                    limit=self.max_loop_lag,
+                ))
+        if self.runtime is not None:
+            for space in self.runtime.address_spaces():
+                for container in space.containers():
+                    found.extend(self._check_container(container, now))
+        for stall in found:
+            self._emit(stall)
+        return found
+
+    def _check_container(self, container: Any,
+                         now: float) -> List[Stall]:
+        try:
+            age = container.oldest_live_age(now=now)
+        except Exception:  # noqa: BLE001 - racing destroy()
+            return []
+        if age is None or age <= self.max_oldest_age:
+            return []
+        try:
+            suspects = container.blocking_connections()
+        except Exception:  # noqa: BLE001 - racing destroy()
+            suspects = []
+        return [Stall(
+            kind="oldest_age",
+            subject=container.name,
+            measured=age,
+            limit=self.max_oldest_age,
+            suspects=suspects,
+        )]
+
+    def _emit(self, stall: Stall) -> None:
+        self.stalls.append(stall)
+        _STALLS_DETECTED.value += 1
+        tracepoints.trace(
+            tracepoints.STALL, stall.subject,
+            kind=stall.kind,
+            measured=round(stall.measured, 6),
+            limit=stall.limit,
+            suspects=[s.get("owner") or s.get("connection_id")
+                      for s in stall.suspects],
+        )
+        if self.on_stall is not None:
+            try:
+                self.on_stall(stall)
+            except Exception:  # noqa: BLE001 - observer must not harm
+                pass
+
+    # -- background operation ----------------------------------------------
+
+    def start(self) -> "StallWatchdog":
+        """Run :meth:`check` every ``interval`` s on a daemon thread."""
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self.watch_reactor()
+        self._thread = threading.Thread(
+            target=self._run, name="dstampede-watchdog", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the background checker (the reactor heartbeat, if armed,
+        dies with the reactor)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(timeout=self.interval):
+            try:
+                self.check()
+            except Exception:  # noqa: BLE001 - watchdog must survive
+                pass
+
+    def __enter__(self) -> "StallWatchdog":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

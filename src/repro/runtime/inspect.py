@@ -89,6 +89,65 @@ def snapshot(runtime: Runtime) -> Dict[str, Any]:
     }
 
 
+def observability_snapshot(runtime: Runtime) -> Dict[str, Any]:
+    """The STATS wire payload: metrics registry + liveness per container.
+
+    Occupancy, oldest-item age and blocking-connection suspects are
+    computed here, lazily, at snapshot time — the hot paths pay nothing
+    for them.  Everything is plain JSON-able data so scrapers
+    (``tools/top.py``, the Prometheus exporter) need no codec.
+    """
+    import time
+
+    from repro.obs.metrics import GLOBAL_METRICS
+
+    now = time.monotonic()
+    containers = []
+    spaces = []
+    for space in runtime.address_spaces():
+        report = space.gc.report
+        spaces.append({
+            "name": space.name,
+            "gc_running": space.gc.running,
+            "gc_sweeps": report.sweeps,
+            "gc_items_reclaimed": report.items_reclaimed,
+            "gc_bytes_reclaimed": report.bytes_reclaimed,
+            "gc_containers_swept": report.containers_swept,
+            "gc_containers_skipped": report.containers_skipped,
+        })
+        for container in space.containers():
+            stats = container.stats()
+            age = container.oldest_live_age(now=now)
+            entry = {
+                "name": container.name,
+                "kind": container.KIND,
+                "space": space.name,
+                "capacity": container.capacity,
+                "live_items": stats.live_items,
+                "live_bytes": stats.live_bytes,
+                "puts": stats.puts,
+                "gets": stats.gets,
+                "consumes": stats.consumes,
+                "reclaimed": stats.reclaimed,
+                "oldest_age": age,
+                "input_connections": stats.input_connections,
+                "output_connections": stats.output_connections,
+            }
+            # Suspect lists only for containers actually holding data —
+            # walking every connection of every idle container would
+            # make STATS itself a load on big clusters.
+            if age is not None:
+                entry["blocking"] = container.blocking_connections()
+            containers.append(entry)
+    return {
+        "runtime": runtime.name,
+        "monotonic": now,
+        "metrics": GLOBAL_METRICS.snapshot(),
+        "spaces": spaces,
+        "containers": containers,
+    }
+
+
 def total_live_items(runtime: Runtime) -> int:
     """Live items across every container (leak checks in tests)."""
     return sum(

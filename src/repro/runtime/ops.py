@@ -35,7 +35,7 @@ the server dispatcher mechanically in sync.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import DecodeError, RpcError
 from repro.marshal.xdr import XdrDecoder, XdrEncoder
@@ -63,6 +63,8 @@ OP_INSPECT = 18
 OP_RESUME = 19
 OP_PUT_BATCH = 20
 OP_CONSUME_BATCH = 21
+OP_STATS = 22
+OP_TRACE_DUMP = 23
 
 STATUS_OK = 0
 STATUS_ERROR = 1
@@ -225,7 +227,34 @@ OP_SCHEMAS: Dict[int, OpSchema] = {
         args=[("frames", "frames")],
         results=[],
     ),
+    OP_STATS: OpSchema(
+        "stats",
+        # Live observability snapshot (metrics registry + per-container
+        # occupancy/age + GC/reactor state) as UTF-8 JSON.  JSON rather
+        # than XDR because the instrument set is open-ended and the
+        # consumers are dashboards, not stubs.
+        args=[],
+        results=[("snapshot", "bytes")],
+    ),
+    OP_TRACE_DUMP: OpSchema(
+        "trace_dump",
+        # Drain the cluster's trace ring: newest ``max_events`` events
+        # (0 = all) as UTF-8 JSON; ``clear`` empties the ring after the
+        # read, making the dump a true drain.
+        args=[("max_events", "u32"), ("clear", "bool")],
+        results=[("events", "bytes")],
+    ),
 }
+
+#: Diagnostic operations the surrogate serves on a dedicated thread,
+#: bypassing the per-connection serial executors entirely — a cluster
+#: whose app executors are wedged must still answer "what is stuck?".
+OBSERVER_OPS = frozenset({OP_STATS, OP_TRACE_DUMP})
+
+#: Reserved args key carrying the optional trace-id envelope field out
+#: of :func:`decode_request`.  Underscore-prefixed so it can never
+#: collide with a schema field name.
+TRACE_ID_KEY = "_trace_id"
 
 #: Cast opcodes the client coalescer may gather into a batch envelope,
 #: mapped to the envelope opcode that carries them.
@@ -264,6 +293,9 @@ IDEMPOTENT_OPS = frozenset({
     OP_SET_REALTIME,
     OP_GC_REPORT,
     OP_INSPECT,
+    # STATS is a pure read.  TRACE_DUMP is deliberately absent: with
+    # ``clear`` set it drains the ring, so a blind replay loses events.
+    OP_STATS,
 })
 
 _OPCODE_BY_NAME = {schema.name: code for code, schema in OP_SCHEMAS.items()}
@@ -336,9 +368,16 @@ def _unpack_fields(dec: XdrDecoder, specs: Sequence[_FieldSpec],
 # -- requests ------------------------------------------------------------------
 
 
-def encode_request(request_id: int, opcode: int,
-                   args: Dict[str, Any]) -> bytes:
-    """Build a request frame."""
+def encode_request(request_id: int, opcode: int, args: Dict[str, Any],
+                   trace_id: Optional[str] = None) -> bytes:
+    """Build a request frame.
+
+    *trace_id*, when given, is appended after the schema args as an
+    **optional trailing envelope field** (an XDR string).  Frames
+    without it are byte-identical to the pre-trace-id wire format, so
+    the field costs nothing unless tracing is active and stays off the
+    wire entirely for untraced peers.
+    """
     schema = OP_SCHEMAS.get(opcode)
     if schema is None:
         raise RpcError(f"unknown opcode {opcode}")
@@ -346,6 +385,8 @@ def encode_request(request_id: int, opcode: int,
     enc.pack_uint(request_id)
     enc.pack_uint(opcode)
     _pack_fields(enc, schema.args, args)
+    if trace_id:
+        enc.pack_string(trace_id)
     return enc.getvalue()
 
 
@@ -358,6 +399,10 @@ def decode_request(frame: bytes,
     back as a zero-copy ``memoryview`` into *frame* — the server hot path
     uses this so an item payload is never copied between the socket
     buffer and the container.  Views are only valid while *frame* is.
+
+    If the frame carries the optional trailing trace-id envelope field,
+    it is delivered in *args* under :data:`TRACE_ID_KEY`; old-format
+    frames (no trailing field) decode exactly as before.
     """
     dec = XdrDecoder(frame)
     request_id = dec.unpack_uint()
@@ -366,6 +411,8 @@ def decode_request(frame: bytes,
     if schema is None:
         raise DecodeError(f"unknown opcode {opcode} in request")
     args = _unpack_fields(dec, schema.args, bytes_as_view=payload_views)
+    if dec.remaining:
+        args[TRACE_ID_KEY] = dec.unpack_string()
     dec.done()
     return request_id, opcode, args
 

@@ -28,7 +28,6 @@ racing a concurrent ``select`` on a reused descriptor.
 from __future__ import annotations
 
 import heapq
-import logging
 import selectors
 import socket
 import threading
@@ -36,7 +35,20 @@ import time
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-log = logging.getLogger(__name__)
+from repro.obs.metrics import COUNT_BOUNDS, GLOBAL_METRICS as _metrics
+from repro.util.logging import get_logger
+
+log = get_logger("runtime.reactor")
+
+# Loop instruments: how late timers fire (the loop-lag signal — a
+# callback monopolising the loop shows up here first), how many fds are
+# ready per wakeup, and how much work each tick retires.
+_TIMER_LAG_US = _metrics.histogram("runtime.reactor.timer_lag_us")
+_READY_SET = _metrics.histogram("runtime.reactor.ready_set",
+                                bounds=COUNT_BOUNDS, unit="fds")
+_CALLBACKS_PER_TICK = _metrics.histogram(
+    "runtime.reactor.callbacks_per_tick", bounds=COUNT_BOUNDS, unit="cbs")
+_WAKEUPS = _metrics.counter("runtime.reactor.wakeups")
 
 
 class Reactor:
@@ -193,17 +205,24 @@ class Reactor:
                                   self._timers[0][0] - time.monotonic())
                 events = self._selector.select(timeout)
                 self.wakeups += 1
+                metered = _metrics.enabled
+                if metered:
+                    _WAKEUPS.value += 1
+                    _READY_SET.observe(len(events))
+                ran = 0
                 for key, _mask in events:
                     if key.fileobj is self._waker_rx:
                         self._drain_waker()
                         continue
                     callback = key.data
+                    ran += 1
                     try:
                         callback()
                     except Exception:
                         log.exception("reactor: reader callback failed")
                 while self._pending:
                     callback = self._pending.popleft()
+                    ran += 1
                     try:
                         callback()
                     except Exception:
@@ -211,10 +230,15 @@ class Reactor:
                 now = time.monotonic()
                 while self._timers and self._timers[0][0] <= now:
                     _when, _seq, callback = heapq.heappop(self._timers)
+                    ran += 1
+                    if metered:
+                        _TIMER_LAG_US.observe((now - _when) * 1e6)
                     try:
                         callback()
                     except Exception:
                         log.exception("reactor: timer callback failed")
+                if metered and ran:
+                    _CALLBACKS_PER_TICK.observe(ran)
         finally:
             try:
                 self._selector.close()

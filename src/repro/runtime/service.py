@@ -282,6 +282,35 @@ class SessionService:
 
         return {"snapshot": self.codec.encode(snapshot(self.runtime))}
 
+    def _op_stats(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        # JSON rather than the session codec: the snapshot is diagnostic
+        # data for dashboards and scrapers (tools/top.py, the Prometheus
+        # exporter), which should not need an XDR decoder.
+        import json
+
+        from repro.runtime.inspect import observability_snapshot
+
+        payload = observability_snapshot(self.runtime)
+        return {"snapshot": json.dumps(payload, default=str).encode("utf-8")}
+
+    def _op_trace_dump(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        import json
+
+        from repro.util.trace import GLOBAL_TRACER
+
+        max_events = args.get("max_events", 0)
+        events = GLOBAL_TRACER.export(limit=max_events or None)
+        payload = {
+            "label": f"{self.runtime.name}",
+            "enabled": GLOBAL_TRACER.enabled,
+            "dropped": GLOBAL_TRACER.dropped,
+            "recorded": GLOBAL_TRACER.recorded,
+            "events": events,
+        }
+        if args.get("clear"):
+            GLOBAL_TRACER.clear()
+        return {"events": json.dumps(payload, default=str).encode("utf-8")}
+
     _DISPATCH = {
         ops.OP_HELLO: _op_hello,
         ops.OP_CREATE_CHANNEL: _op_create_channel,
@@ -302,6 +331,8 @@ class SessionService:
         ops.OP_GC_REPORT: _op_gc_report,
         ops.OP_INSPECT: _op_inspect,
         ops.OP_RESUME: _op_resume,
+        ops.OP_STATS: _op_stats,
+        ops.OP_TRACE_DUMP: _op_trace_dump,
     }
 
     # -- connection table -------------------------------------------------------------

@@ -35,6 +35,7 @@ import time
 from typing import Callable, Dict, Optional
 
 from repro.errors import StampedeError, TransportClosedError
+from repro.obs.metrics import COUNT_BOUNDS, GLOBAL_METRICS as _metrics
 from repro.runtime import ops
 from repro.runtime.reactor import Reactor
 from repro.runtime.service import SessionService
@@ -45,6 +46,26 @@ from repro.util.logging import get_logger
 from repro.util.trace import trace
 
 _log = get_logger("runtime.surrogate")
+
+# Server-side RPC instruments.  Per-op latency histograms are created
+# lazily on first use (one per opcode actually seen); the batch pair
+# measures how full the client coalescer's envelopes arrive — the fill
+# factor that decides whether batching is earning its latency cost.
+_OP_HISTS: Dict[int, object] = {}
+_BATCHES = _metrics.counter("rpc.server.batches")
+_BATCH_ITEMS = _metrics.histogram(
+    "rpc.server.batch_items", bounds=COUNT_BOUNDS, unit="items")
+
+
+def _op_hist(opcode: int):
+    hist = _OP_HISTS.get(opcode)
+    if hist is None:
+        schema = ops.OP_SCHEMAS.get(opcode)
+        name = schema.name if schema is not None else f"op{opcode}"
+        # Racing creators both get the registry's single instance.
+        hist = _metrics.histogram(f"rpc.server.{name}_us")
+        _OP_HISTS[opcode] = hist
+    return hist
 
 
 class Surrogate:
@@ -219,6 +240,9 @@ class Surrogate:
                 reclaims=self.service.drain_reclaims(),
             ))
             return
+        if _metrics.enabled:
+            _BATCHES.value += 1
+            _BATCH_ITEMS.observe(len(frames))
         allowed = ops.BATCH_INNER_OPS[batch_opcode]
         # Consecutive items bound for the same connection are handed to
         # its serial executor as ONE chunk: order within the run is kept
@@ -281,6 +305,18 @@ class Surrogate:
         * Everything else (HELLO, PING, NS ops, INSPECT...) is fast and
           runs inline on the receive context.
         """
+        if opcode in ops.OBSERVER_OPS:
+            # Diagnostics must answer even when every serial executor is
+            # wedged behind a blocking container op — that is precisely
+            # the situation being diagnosed.  A fresh daemon thread per
+            # observer request keeps STATS/TRACE_DUMP off both the
+            # reactor loop and the (possibly stalled) executors; the ops
+            # only read snapshots, so ordering does not matter.
+            threading.Thread(
+                target=self._handle, args=(request_id, opcode, args),
+                name=f"{self._name}-observer", daemon=True,
+            ).start()
+            return
         connection_id = args.get("connection_id")
         if connection_id is not None:
             if not self.service.has_connection(connection_id):
@@ -338,6 +374,33 @@ class Surrogate:
             return executor
 
     def _handle(self, request_id: int, opcode: int, args) -> None:
+        """Execute one request: trace-context + timing around the work.
+
+        A trace id the client attached to the frame becomes this
+        thread's trace context for the duration, so every event the
+        operation records — the surrogate's own routing event, the
+        container's PUT/GET, eventually the GC's RECLAIM of the item it
+        stamped — carries the client's id and joins its timeline.
+        """
+        trace_id = args.pop(ops.TRACE_ID_KEY, None)
+        t0 = time.monotonic() if _metrics.enabled else 0.0
+        if trace_id is None:
+            self._handle_inner(request_id, opcode, args)
+        else:
+            prior = tracepoints.set_trace_id(trace_id)
+            try:
+                if tracepoints.GLOBAL_TRACER.enabled:
+                    schema = ops.OP_SCHEMAS.get(opcode)
+                    trace(tracepoints.RPC, self.service.session_id,
+                          op=schema.name if schema else opcode,
+                          side="server")
+                self._handle_inner(request_id, opcode, args)
+            finally:
+                tracepoints.set_trace_id(prior)
+        if t0:
+            _op_hist(opcode).observe((time.monotonic() - t0) * 1e6)
+
+    def _handle_inner(self, request_id: int, opcode: int, args) -> None:
         is_cast = request_id == ops.CAST_REQUEST_ID
         try:
             if opcode == ops.OP_RESUME and \

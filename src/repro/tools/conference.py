@@ -13,6 +13,9 @@ import time
 from typing import List, Optional
 
 from repro.apps.videoconf import run_conference
+from repro.util.logging import get_logger
+
+_log = get_logger("tools.conference")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,10 +38,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    print(
-        f"conference: {args.participants} participants x {args.frames} "
-        f"frames of {args.image_size} B, {args.mixer}-threaded mixer, "
-        f"{args.codec} clients"
+    # Progress goes to the component logger; only the verification
+    # table below is this tool's product output.
+    _log.info(
+        "conference: %d participants x %d frames of %d B, "
+        "%s-threaded mixer, %s clients",
+        args.participants, args.frames, args.image_size,
+        args.mixer, args.codec,
     )
     started = time.monotonic()
     result = run_conference(

@@ -18,8 +18,10 @@ from typing import List, Optional
 
 from repro.runtime.runtime import Runtime
 from repro.runtime.server import StampedeServer
-from repro.util.logging import configure_debug_logging
+from repro.util.logging import configure_debug_logging, get_logger
 from repro.util.trace import enable_tracing
+
+_log = get_logger("tools.server")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,6 +48,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--trace", action="store_true",
                         help="record runtime events; dump on shutdown")
+    parser.add_argument("--metrics", action="store_true",
+                        help="enable the metrics registry (served via "
+                             "the STATS wire op)")
+    parser.add_argument(
+        "--watchdog", type=float, default=None, metavar="SECONDS",
+        help="run the stall watchdog: flag items older than SECONDS "
+             "and reactor-loop lag (implies --metrics)",
+    )
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the runtime's info logging")
     return parser
@@ -57,6 +67,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not args.quiet:
         configure_debug_logging()
     tracer = enable_tracing() if args.trace else None
+    if args.metrics or args.watchdog is not None:
+        from repro.obs.metrics import enable_metrics
+
+        enable_metrics()
 
     runtime = Runtime(name="standalone", gc_interval=args.gc_interval)
     spaces = [s.strip() for s in args.spaces.split(",") if s.strip()]
@@ -64,11 +78,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         runtime, host=args.host, port=args.port,
         device_spaces=spaces or None, lease_timeout=args.lease,
     ).start()
+    watchdog = None
+    if args.watchdog is not None:
+        from repro.obs.watchdog import StallWatchdog
+
+        watchdog = StallWatchdog(
+            runtime=runtime, reactor=server.reactor,
+            max_oldest_age=args.watchdog,
+            on_stall=lambda stall: _log.warning("STALL: %s",
+                                                stall.describe()),
+        ).start()
     host, port = server.address
-    print(f"D-Stampede cluster serving on {host}:{port} "
-          f"(spaces: {', '.join(spaces)};"
-          f" lease: {args.lease if args.lease else 'off'})")
-    print("press Ctrl-C to stop")
+    _log.info(
+        "D-Stampede cluster serving on %s:%d (spaces: %s; lease: %s) — "
+        "press Ctrl-C to stop",
+        host, port, ", ".join(spaces),
+        args.lease if args.lease else "off",
+    )
 
     stop = threading.Event()
 
@@ -79,7 +105,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     signal.signal(signal.SIGTERM, handle_signal)
     stop.wait()
 
-    print("\nshutting down...")
+    _log.info("shutting down")
+    if watchdog is not None:
+        watchdog.stop()
     server.close()
     runtime.shutdown()
     if tracer is not None:

@@ -1,0 +1,165 @@
+"""Live cluster dashboard (curses-free ``top`` for a D-Stampede cluster).
+
+Connects as an ordinary end device, polls the STATS wire op, and renders
+the flight recorder's view of the cluster: reactor health, GC activity,
+per-container occupancy and age (with stall suspects), and the hottest
+RPC operations by p95 latency::
+
+    python -m repro.tools.top --host 127.0.0.1 --port 7070
+    python -m repro.tools.top --once --json    # one machine-readable shot
+    python -m repro.tools.top --once --prom    # Prometheus text format
+
+The server must run with metrics enabled (``--metrics`` on
+``repro.tools.server``, or ``DSTAMPEDE_METRICS=1``); without them the
+dashboard still shows container occupancy, which comes from container
+state rather than the registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.client.client import StampedeClient
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.top",
+        description="Live observability dashboard for a running cluster.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7070)
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="refresh period in seconds (default 2)")
+    parser.add_argument("--once", action="store_true",
+                        help="print one snapshot and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="raw JSON snapshot instead of the dashboard")
+    parser.add_argument("--prom", action="store_true",
+                        help="Prometheus text format instead of the "
+                             "dashboard (implies --once semantics per "
+                             "scrape)")
+    parser.add_argument("--top-ops", type=int, default=8,
+                        help="RPC ops shown in the latency table")
+    return parser
+
+
+def _fmt_us(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}s"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}ms"
+    return f"{value:.0f}us"
+
+
+def _fmt_age(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.2f}s"
+
+
+def render_dashboard(snap: Dict[str, Any], top_ops: int = 8) -> str:
+    """Render one STATS payload as the text dashboard."""
+    metrics = snap.get("metrics", {})
+    counters = metrics.get("counters", {})
+    hists = metrics.get("histograms", {})
+    lines: List[str] = []
+    lines.append(
+        f"cluster {snap.get('runtime', '?')!r} — metrics "
+        f"{'on' if metrics.get('enabled') else 'OFF'}"
+    )
+
+    lag = hists.get("runtime.reactor.timer_lag_us", {})
+    lines.append(
+        "reactor: "
+        f"{counters.get('runtime.reactor.wakeups', 0)} wakeups, "
+        f"timer lag p95 {_fmt_us(lag.get('p95'))} "
+        f"max {_fmt_us(lag.get('max'))}"
+    )
+
+    sweep = hists.get("core.gc.sweep_us", {})
+    swept = counters.get("core.gc.containers_swept", 0)
+    skipped = counters.get("core.gc.containers_skipped", 0)
+    visited = swept + skipped
+    skip_ratio = f"{skipped / visited:.0%}" if visited else "-"
+    lines.append(
+        f"gc: {counters.get('core.gc.sweeps', 0)} sweeps "
+        f"(p95 {_fmt_us(sweep.get('p95'))}), "
+        f"{counters.get('core.gc.items_reclaimed', 0)} items / "
+        f"{counters.get('core.gc.bytes_reclaimed', 0)} B reclaimed, "
+        f"dirty-skip {skip_ratio}"
+    )
+    lines.append(
+        f"wire: {counters.get('transport.frames_in', 0)} frames in / "
+        f"{counters.get('transport.frames_out', 0)} out, "
+        f"{counters.get('transport.bytes_in', 0)} B in / "
+        f"{counters.get('transport.bytes_out', 0)} B out, "
+        f"{counters.get('transport.partial_reads', 0)} partial reads"
+    )
+
+    lines.append("")
+    lines.append(f"{'container':<24}{'kind':<9}{'live':>6}{'bytes':>10}"
+                 f"{'puts':>8}{'reclaim':>8}{'oldest':>9}  blocked-by")
+    for entry in snap.get("containers", []):
+        suspects = ", ".join(
+            str(s.get("owner") or f"conn-{s.get('connection_id')}")
+            for s in entry.get("blocking", [])
+        )
+        lines.append(
+            f"{entry['name']:<24.24}{entry['kind']:<9}"
+            f"{entry['live_items']:>6}{entry['live_bytes']:>10}"
+            f"{entry['puts']:>8}{entry['reclaimed']:>8}"
+            f"{_fmt_age(entry.get('oldest_age')):>9}  {suspects}"
+        )
+
+    server_ops = [
+        (name[len("rpc.server."):-len("_us")], hist)
+        for name, hist in hists.items()
+        if name.startswith("rpc.server.") and name.endswith("_us")
+    ]
+    if server_ops:
+        server_ops.sort(key=lambda pair: pair[1].get("p95", 0),
+                        reverse=True)
+        lines.append("")
+        lines.append(f"{'rpc op (server)':<24}{'count':>8}{'p50':>10}"
+                     f"{'p95':>10}{'max':>10}")
+        for name, hist in server_ops[:top_ops]:
+            lines.append(
+                f"{name:<24}{hist.get('count', 0):>8}"
+                f"{_fmt_us(hist.get('p50')):>10}"
+                f"{_fmt_us(hist.get('p95')):>10}"
+                f"{_fmt_us(hist.get('max')):>10}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    with StampedeClient(args.host, args.port,
+                        client_name="top") as client:
+        while True:
+            snap = client.stats()
+            if args.json:
+                print(json.dumps(snap, indent=2, default=str))
+            elif args.prom:
+                from repro.obs.prom import render
+
+                print(render(snap.get("metrics", {})), end="")
+            else:
+                print(render_dashboard(snap, top_ops=args.top_ops))
+            if args.once:
+                return 0
+            print("-" * 72)
+            try:
+                time.sleep(args.interval)
+            except KeyboardInterrupt:
+                return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

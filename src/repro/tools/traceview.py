@@ -1,0 +1,85 @@
+"""Interleave trace dumps from multiple address spaces into one timeline.
+
+Each input file is a JSON TRACE_DUMP payload (what
+``StampedeClient.trace_dump()`` returns, saved with ``json.dump``) or a
+bare JSON list of exported events (``Tracer.export()``).  Events are
+merged by :meth:`repro.util.trace.Tracer.merge` and rendered
+chronologically, each line tagged with the file it came from, so one
+logical operation — a put travelling client → surrogate → container →
+GC — reads top to bottom::
+
+    python -m repro.tools.traceview client.json cluster.json
+    python -m repro.tools.traceview --trace-id 3fa9c1d2 *.json
+
+Timestamps are ``time.monotonic`` values; interleaving is meaningful for
+dumps taken on the same host (the videoconf experiments and the test
+rig), which is where multi-space debugging happens in this repro.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.util.trace import Tracer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.traceview",
+        description="Merge and render trace dumps from several spaces.",
+    )
+    parser.add_argument("files", nargs="+",
+                        help="JSON trace dumps (TRACE_DUMP payloads or "
+                             "exported event lists)")
+    parser.add_argument("--trace-id", default=None,
+                        help="show only events of one trace id")
+    parser.add_argument("--category", default=None,
+                        help="show only one event category (put, rpc, "
+                             "reclaim, stall, ...)")
+    parser.add_argument("--limit", type=int, default=0,
+                        help="show only the newest N merged events")
+    return parser
+
+
+def _load_events(path: str) -> List[Dict[str, Any]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict):
+        return payload.get("events", [])
+    return payload
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    streams: Dict[str, List[Dict[str, Any]]] = {}
+    for path in args.files:
+        label = os.path.splitext(os.path.basename(path))[0]
+        # Two files with the same stem stay distinguishable.
+        key = label
+        serial = 1
+        while key in streams:
+            serial += 1
+            key = f"{label}#{serial}"
+        streams[key] = _load_events(path)
+    merged = Tracer.merge(streams)
+    if args.trace_id:
+        merged = [e for e in merged
+                  if e.trace_id and e.trace_id.startswith(args.trace_id)]
+    if args.category:
+        merged = [e for e in merged if e.category == args.category]
+    if args.limit:
+        merged = merged[-args.limit:]
+    if not merged:
+        print("(no matching events)")
+        return 1
+    print(Tracer.render_merged(merged))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,10 +46,23 @@ from repro.errors import (
     FaultInjectedError,
     TransportClosedError,
 )
+from repro.obs.metrics import GLOBAL_METRICS as _metrics
 from repro.transport.base import DatagramTransport, StreamTransport
 from repro.util.logging import get_logger
 
 _log = get_logger("transport.faults")
+
+# Fault-injection hits, mirrored into the metrics registry so a STATS
+# snapshot shows what the chaos layer actually did to the wire (the
+# per-schedule FaultStats stay authoritative for test assertions).
+_FAULT_COUNTERS = {
+    "sever": _metrics.counter("transport.faults.severs"),
+    "error": _metrics.counter("transport.faults.errors"),
+    "drop": _metrics.counter("transport.faults.drops"),
+    "delay": _metrics.counter("transport.faults.delays"),
+    "duplicate": _metrics.counter("transport.faults.duplicates"),
+    "corrupt": _metrics.counter("transport.faults.corruptions"),
+}
 
 #: Decision labels a schedule can emit for one delivery.
 OK = "ok"
@@ -178,10 +191,14 @@ class FaultSchedule:
             call = self.stats.calls
             if call in self._sever_at:
                 self.stats.severs += 1
+                if _metrics.enabled:
+                    _FAULT_COUNTERS["sever"].value += 1
                 return "sever", None
             spec = self.plan.errors_at.get(call)
             if spec is not None:
                 self.stats.errors += 1
+                if _metrics.enabled:
+                    _FAULT_COUNTERS["error"].value += 1
                 return "error", _make_error(spec)
             # One uniform draw per rate keeps the stream aligned across
             # endpoints regardless of which rates are enabled.
@@ -207,6 +224,8 @@ class FaultSchedule:
                 self.stats.duplicates += 1
             elif decision == CORRUPT:
                 self.stats.corruptions += 1
+        if _metrics.enabled and decision in _FAULT_COUNTERS:
+            _FAULT_COUNTERS[decision].value += 1
 
 
 def _corrupt(payload: bytes, rng: random.Random) -> bytes:

@@ -33,6 +33,18 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.errors import FramingError, MessageTooLargeError, TransportClosedError
+from repro.obs.metrics import GLOBAL_METRICS as _metrics
+
+# Wire-level instruments.  Frames/bytes counters live at this layer so
+# every path (plain calls, casts, batch envelopes, responses) is counted
+# once, where the bytes actually cross the socket; partial_reads counts
+# read() calls that made progress on a frame but could not finish it —
+# the back-pressure signal of a slow or bursty peer.
+_FRAMES_OUT = _metrics.counter("transport.frames_out")
+_BYTES_OUT = _metrics.counter("transport.bytes_out")
+_FRAMES_IN = _metrics.counter("transport.frames_in")
+_BYTES_IN = _metrics.counter("transport.bytes_in")
+_PARTIAL_READS = _metrics.counter("transport.partial_reads")
 
 # ---------------------------------------------------------------------------
 # CLF packet header
@@ -176,6 +188,9 @@ def write_frame_parts(sock: socket.socket, parts: Sequence) -> None:
         raise MessageTooLargeError(
             f"frame of {total} bytes exceeds {MAX_FRAME_SIZE}"
         )
+    if _metrics.enabled:
+        _FRAMES_OUT.value += 1
+        _BYTES_OUT.value += total + _LENGTH.size
     _sendmsg_all(sock, [memoryview(_LENGTH.pack(total))] + views)
 
 
@@ -233,6 +248,8 @@ class FrameReader:
                     view = memoryview(self._header)[self._header_got:]
                     count = self._recv_into(sock, view)
                     if count is None:
+                        if _metrics.enabled and self._header_got:
+                            _PARTIAL_READS.value += 1
                         return None
                     self._header_got += count
                     continue
@@ -250,6 +267,8 @@ class FrameReader:
                 view = memoryview(self._payload)[self._payload_got:]
                 count = self._recv_into(sock, view)
                 if count is None:
+                    if _metrics.enabled:
+                        _PARTIAL_READS.value += 1
                     return None
                 self._payload_got += count
                 continue
@@ -257,6 +276,9 @@ class FrameReader:
             self._payload = None
             self._payload_got = 0
             self._header_got = 0
+            if _metrics.enabled:
+                _FRAMES_IN.value += 1
+                _BYTES_IN.value += len(frame) + _LENGTH.size
             return frame
 
     @staticmethod

@@ -10,21 +10,49 @@ Design:
 
 * one process-global :class:`Tracer` (plus injectable instances for
   tests);
-* events carry a monotonic timestamp, a category, and a small payload;
+* events carry a monotonic timestamp, a category, a small payload, and
+  an optional **trace id** correlating the event with a logical
+  operation that may span address spaces (client RPC event, surrogate
+  dispatch, container insert, GC reclaim);
+* the current trace id lives in thread-local context
+  (:func:`set_trace_id` / :func:`trace_context`); :meth:`Tracer.record`
+  attaches it automatically, so call sites do not thread ids through
+  their signatures;
 * recording is lock-free-ish (a single lock around a deque append — the
   contention of interest is avoided by checking ``enabled`` first,
-  outside the lock);
+  outside the lock); every read snapshots the deque *under* that lock,
+  so concurrent appends can never raise ``deque mutated during
+  iteration``;
 * :meth:`Tracer.dump` renders chronologically for humans;
-  :meth:`Tracer.events` filters programmatically for tests.
+  :meth:`Tracer.events` filters programmatically for tests;
+  :meth:`Tracer.export` emits JSON-able dicts for the ``TRACE_DUMP``
+  wire op; :meth:`Tracer.merge` interleaves dumps from multiple address
+  spaces onto one timeline (valid when the spaces share a monotonic
+  clock — i.e. same host — which is what the simnet and the loopback
+  integration tests use).
+
+Enable globally with ``DSTAMPEDE_TRACE=1`` in the environment, or
+programmatically via :func:`enable_tracing`.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+import uuid
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Deque, Dict, List, Optional
+from typing import Any, Deque, Dict, Iterable, Iterator, List, Mapping, Optional, Union
+
+#: Sampling mask for *uncorrelated* hot-path events (a put with no trace
+#: id in context).  Correlated operations are always recorded — that is
+#: the end-to-end guarantee — but background churn is sampled 1-in-64 so
+#: the flight recorder is cheap enough to leave on in production.  Call
+#: sites test ``not (op_count & SAMPLE_MASK)`` against a counter they
+#: already maintain, so the unsampled path costs one branch.
+SAMPLE_MASK = 63
 
 #: Conventional categories used by the runtime's own trace points.
 PUT = "put"
@@ -37,6 +65,52 @@ RPC = "rpc"
 JOIN = "join"
 LEAVE = "leave"
 SLIP = "slip"
+STALL = "stall"
+
+
+# -- trace-id context ----------------------------------------------------------
+
+_context = threading.local()
+
+#: Count of threads currently holding a non-None trace id, kept in a
+#: one-element list so hot paths can cache the container at import time
+#: and test ``ACTIVE_IDS[0]`` with a single subscript.  When it is zero
+#: no thread anywhere has a context id, so an uncorrelated put can skip
+#: the (comparatively costly) thread-local lookup outright.
+ACTIVE_IDS = [0]
+_active_lock = threading.Lock()
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id (collision-safe for a trace ring)."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id bound to this thread, or ``None``."""
+    return getattr(_context, "trace_id", None)
+
+
+def set_trace_id(trace_id: Optional[str]) -> Optional[str]:
+    """Bind *trace_id* to this thread; returns the previous binding."""
+    prior = getattr(_context, "trace_id", None)
+    _context.trace_id = trace_id
+    delta = (trace_id is not None) - (prior is not None)
+    if delta:
+        with _active_lock:
+            ACTIVE_IDS[0] += delta
+    return prior
+
+
+@contextmanager
+def trace_context(trace_id: Optional[str] = None) -> Iterator[str]:
+    """Scope a trace id to a ``with`` block (fresh id when omitted)."""
+    tid = trace_id if trace_id is not None else new_trace_id()
+    prior = set_trace_id(tid)
+    try:
+        yield tid
+    finally:
+        set_trace_id(prior)
 
 
 @dataclass(frozen=True)
@@ -47,13 +121,50 @@ class TraceEvent:
     category: str
     subject: str
     details: Dict[str, Any]
+    trace_id: Optional[str] = None
+    origin: str = ""
 
     def render(self, origin: float) -> str:
         """One-line human rendering, offset from *origin* seconds."""
         offset_ms = (self.at - origin) * 1e3
         details = " ".join(f"{k}={v!r}" for k, v in self.details.items())
-        return (f"[{offset_ms:10.3f}ms] {self.category:<8} "
+        line = (f"[{offset_ms:10.3f}ms] {self.category:<8} "
                 f"{self.subject:<24} {details}")
+        if self.trace_id:
+            line += f" <{self.trace_id}>"
+        if self.origin:
+            line = f"{self.origin:<10} {line}"
+        return line
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form (the ``TRACE_DUMP`` wire payload element)."""
+        out: Dict[str, Any] = {
+            "at": self.at,
+            "category": self.category,
+            "subject": self.subject,
+            "details": dict(self.details),
+        }
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
+        if self.origin:
+            out["origin"] = self.origin
+        return out
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any],
+                  origin: str = "") -> "TraceEvent":
+        return TraceEvent(
+            at=float(data["at"]),
+            category=str(data["category"]),
+            subject=str(data["subject"]),
+            details=dict(data.get("details") or {}),
+            trace_id=data.get("trace_id"),
+            origin=origin or str(data.get("origin", "")),
+        )
+
+
+#: Anything `Tracer.merge` accepts as one stream of events.
+EventStream = Union["Tracer", Iterable[Union[TraceEvent, Mapping[str, Any]]]]
 
 
 class Tracer:
@@ -73,22 +184,32 @@ class Tracer:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.enabled = enabled
-        self._ring: Deque[TraceEvent] = deque(maxlen=capacity)
+        # The ring holds plain tuples mirroring TraceEvent's field order;
+        # events are materialized lazily on read.  A frozen-dataclass
+        # construction per record would triple the hot-path cost (each
+        # field lands via object.__setattr__).
+        self._ring: Deque[tuple] = deque(maxlen=capacity)
         self._lock = threading.Lock()
-        self._dropped = 0
         self._recorded = 0
 
     # -- recording -------------------------------------------------------------
 
-    def record(self, category: str, subject: str, **details: Any) -> None:
-        """Record one event (no-op while disabled)."""
+    def record(self, category: str, subject: str,
+               trace_id: Optional[str] = None, **details: Any) -> None:
+        """Record one event (no-op while disabled).
+
+        The thread's current trace id is attached automatically; pass
+        ``trace_id=`` to override it (GC reclaim does, because the
+        reclaim runs on the collector thread but belongs to the trace
+        of the ``put`` that created the item).
+        """
         if not self.enabled:
             return
-        event = TraceEvent(time.monotonic(), category, subject, details)
+        if trace_id is None:
+            trace_id = getattr(_context, "trace_id", None)
+        entry = (time.monotonic(), category, subject, details, trace_id)
         with self._lock:
-            if len(self._ring) == self.capacity:
-                self._dropped += 1
-            self._ring.append(event)
+            self._ring.append(entry)
             self._recorded += 1
 
     def enable(self) -> None:
@@ -103,20 +224,23 @@ class Tracer:
         """Drop all retained events and reset counters."""
         with self._lock:
             self._ring.clear()
-            self._dropped = 0
             self._recorded = 0
 
     # -- reading ----------------------------------------------------------------
 
     def events(self, category: Optional[str] = None,
-               subject: Optional[str] = None) -> List[TraceEvent]:
+               subject: Optional[str] = None,
+               trace_id: Optional[str] = None) -> List[TraceEvent]:
         """Snapshot of retained events, optionally filtered."""
         with self._lock:
-            snapshot = list(self._ring)
+            entries = list(self._ring)
+        snapshot = [TraceEvent(*e) for e in entries]
         if category is not None:
             snapshot = [e for e in snapshot if e.category == category]
         if subject is not None:
             snapshot = [e for e in snapshot if e.subject == subject]
+        if trace_id is not None:
+            snapshot = [e for e in snapshot if e.trace_id == trace_id]
         return snapshot
 
     @property
@@ -127,23 +251,77 @@ class Tracer:
 
     @property
     def dropped(self) -> int:
-        """Events that fell off the full ring."""
+        """Events that fell off the full ring.
+
+        The bounded deque drops exactly one entry per append once full,
+        so the count is ``recorded - retained`` — no per-record branch.
+        """
         with self._lock:
-            return self._dropped
+            return self._recorded - len(self._ring)
+
+    def export(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """JSON-able dicts of the newest *limit* events (all when None)."""
+        with self._lock:
+            entries = list(self._ring)
+        if limit is not None:
+            entries = entries[-limit:]
+        return [TraceEvent(*e).to_dict() for e in entries]
 
     def dump(self, limit: Optional[int] = None) -> str:
         """Human-readable chronological rendering of the ring."""
-        events = self.events()
+        # One lock acquisition for both the ring and the drop counter,
+        # so the footer can never disagree with the events above it.
+        with self._lock:
+            entries = list(self._ring)
+            dropped = self._recorded - len(entries)
         if limit is not None:
-            events = events[-limit:]
-        if not events:
+            entries = entries[-limit:]
+        if not entries:
             return "(no events)"
+        events = [TraceEvent(*e) for e in entries]
         origin = events[0].at
         lines = [event.render(origin) for event in events]
         footer = ""
-        if self.dropped:
-            footer = f"\n({self.dropped} older events dropped)"
+        if dropped:
+            footer = f"\n({dropped} older events dropped)"
         return "\n".join(lines) + footer
+
+    # -- cross-space correlation -------------------------------------------------
+
+    @staticmethod
+    def merge(streams: Mapping[str, EventStream]) -> List[TraceEvent]:
+        """Interleave event streams from multiple address spaces.
+
+        *streams* maps an origin label (e.g. ``"client"``, ``"cluster"``)
+        to a :class:`Tracer`, a list of :class:`TraceEvent`, or a list
+        of exported dicts (what ``TRACE_DUMP`` returns).  The result is
+        one chronologically sorted list whose events carry their origin
+        label.  Ordering across spaces is meaningful when they share a
+        monotonic clock — processes on one host, or the simnet.
+        """
+        merged: List[TraceEvent] = []
+        for label, stream in streams.items():
+            if isinstance(stream, Tracer):
+                items: Iterable[Any] = stream.events()
+            else:
+                items = stream
+            for item in items:
+                if isinstance(item, TraceEvent):
+                    merged.append(TraceEvent(
+                        item.at, item.category, item.subject,
+                        item.details, item.trace_id, origin=label))
+                else:
+                    merged.append(TraceEvent.from_dict(item, origin=label))
+        merged.sort(key=lambda e: e.at)
+        return merged
+
+    @staticmethod
+    def render_merged(events: List[TraceEvent]) -> str:
+        """Human rendering of a :meth:`merge` result."""
+        if not events:
+            return "(no events)"
+        origin = events[0].at
+        return "\n".join(event.render(origin) for event in events)
 
     def __enter__(self) -> "Tracer":
         self.enable()
@@ -154,12 +332,27 @@ class Tracer:
 
 
 #: The process-global tracer the runtime's trace points use.
-GLOBAL_TRACER = Tracer(enabled=False)
+GLOBAL_TRACER = Tracer(
+    enabled=os.environ.get("DSTAMPEDE_TRACE", "") not in ("", "0"))
 
 
-def trace(category: str, subject: str, **details: Any) -> None:
-    """Record into the global tracer (the runtime's trace-point entry)."""
-    GLOBAL_TRACER.record(category, subject, **details)
+def trace(category: str, subject: str,
+          trace_id: Optional[str] = None, **details: Any) -> None:
+    """Record into the global tracer (the runtime's trace-point entry).
+
+    Inlines :meth:`Tracer.record`'s fast path: forwarding ``**details``
+    through a second call would rebuild the keyword dict on every traced
+    put, and this function sits on the container hot paths.
+    """
+    tracer = GLOBAL_TRACER
+    if not tracer.enabled:
+        return
+    if trace_id is None:
+        trace_id = getattr(_context, "trace_id", None)
+    entry = (time.monotonic(), category, subject, details, trace_id)
+    with tracer._lock:
+        tracer._ring.append(entry)
+        tracer._recorded += 1
 
 
 def enable_tracing(capacity: Optional[int] = None) -> Tracer:

@@ -1,0 +1,152 @@
+"""End-to-end trace correlation: one logical put, one trace id.
+
+The ISSUE-4 acceptance scenario: a channel ``put`` issued from a client
+must be traceable across the address-space boundary — the client-side
+RPC event, the surrogate's server-side routing event, the container's
+insert, and the eventual GC reclaim all carry the same trace id, and
+``Tracer.merge`` interleaves the client's and the cluster's dumps onto
+one timeline.
+
+Client and cluster share this test process (loopback), but the id still
+crosses the wire: the client stamps it into the request frame's optional
+envelope field and the surrogate rebinds it from the frame, exactly as
+it would across real processes.
+"""
+
+import time
+
+import pytest
+
+from repro import (
+    ConnectionMode,
+    Runtime,
+    StampedeClient,
+    StampedeServer,
+)
+from repro.util.trace import (
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    trace_context,
+)
+
+
+@pytest.fixture()
+def tracing():
+    tracer = enable_tracing(capacity=4096)
+    tracer.clear()
+    yield tracer
+    disable_tracing()
+    tracer.clear()
+
+
+@pytest.fixture()
+def cluster():
+    runtime = Runtime(gc_interval=0.01)
+    server = StampedeServer(runtime, device_spaces=["N1"]).start()
+    yield runtime, server
+    server.close()
+    runtime.shutdown()
+
+
+def _await_category(tracer, category, trace_id, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        events = tracer.events(category=category, trace_id=trace_id)
+        if events:
+            return events
+        time.sleep(0.02)
+    return tracer.events(category=category, trace_id=trace_id)
+
+
+class TestEndToEndTraceId:
+    def test_put_spans_client_surrogate_container_and_gc(self, cluster,
+                                                         tracing):
+        _, server = cluster
+        host, port = server.address
+        with StampedeClient(host, port, client_name="cam-0") as client:
+            client.create_channel("video")
+            out = client.attach("video", ConnectionMode.OUT)
+            inp = client.attach("video", ConnectionMode.IN)
+
+            with trace_context() as tid:
+                out.put(42, b"frame")
+
+            # Consume outside the put's context: the reclaim must join
+            # via the id stamped on the item, not thread context.
+            inp.consume(42)
+
+            rpcs = _await_category(tracing, "rpc", tid)
+            sides = {e.details.get("side") for e in rpcs}
+            assert "client" in sides, "client RPC event missing"
+            assert "server" in sides, "surrogate routing event missing"
+
+            puts = _await_category(tracing, "put", tid)
+            assert len(puts) == 1, "container insert did not carry the id"
+            assert puts[0].subject == "video"
+            assert puts[0].details["ts"] == 42
+
+            reclaims = _await_category(tracing, "reclaim", tid)
+            assert len(reclaims) == 1, "GC reclaim did not carry the id"
+            assert reclaims[0].subject == "video"
+            assert reclaims[0].details["ts"] == 42
+
+            # The whole span, in causal order on one timeline.
+            span = tracing.events(trace_id=tid)
+            cats = [e.category for e in span]
+            assert cats.index("rpc") < cats.index("put") \
+                < cats.index("reclaim")
+
+    def test_distinct_puts_get_distinct_ids(self, cluster, tracing):
+        _, server = cluster
+        host, port = server.address
+        with StampedeClient(host, port, client_name="cam-1") as client:
+            client.create_channel("multi")
+            out = client.attach("multi", ConnectionMode.OUT)
+            out.put(1, b"a")
+            out.put(2, b"b")
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                puts = tracing.events(category="put", subject="multi")
+                if len(puts) == 2:
+                    break
+                time.sleep(0.02)
+            ids = {e.trace_id for e in puts}
+            assert None not in ids, "puts were not auto-traced"
+            assert len(ids) == 2, "auto-minted ids must be per-operation"
+
+    def test_merged_dump_shows_one_timeline(self, cluster, tracing):
+        """Tracer.merge over the client's local events and the cluster's
+        TRACE_DUMP payload: the acceptance criterion's merged view."""
+        _, server = cluster
+        host, port = server.address
+        with StampedeClient(host, port, client_name="cam-2") as client:
+            client.create_channel("merged")
+            out = client.attach("merged", ConnectionMode.OUT)
+            with trace_context() as tid:
+                out.put(5, b"frame")
+            _await_category(tracing, "put", tid)
+
+            # "Client dump": the locally recorded client-side RPC event.
+            client_events = [e for e in tracing.events(trace_id=tid)
+                             if e.category == "rpc"
+                             and e.details.get("side") == "client"]
+            # "Cluster dump": what the wire op returns, as JSON dicts.
+            remote = client.trace_dump()
+            cluster_events = [e for e in remote["events"]
+                              if e.get("trace_id") == tid
+                              and (e["category"] != "rpc"
+                                   or e["details"].get("side") == "server")]
+
+            merged = Tracer.merge({
+                "client": client_events,
+                "cluster": cluster_events,
+            })
+            origins = [e.origin for e in merged]
+            assert origins[0] == "client", "client RPC must lead"
+            assert "cluster" in origins
+            cats = [e.category for e in merged]
+            assert "put" in cats
+            text = Tracer.render_merged(merged)
+            assert "client" in text and "cluster" in text
+            assert f"<{tid}>" in text

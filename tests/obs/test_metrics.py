@@ -1,0 +1,292 @@
+"""Unit + property tests for the metrics registry (repro.obs.metrics)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    COUNT_BOUNDS,
+    LATENCY_US_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    OpProbe,
+)
+
+
+class TestCounter:
+    def test_inc_and_reset(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        c.reset()
+        assert c.value == 0
+
+    def test_inline_increment(self):
+        c = Counter("x")
+        c.value += 1
+        assert c.value == 1
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        g = Gauge("x")
+        g.set(3.5)
+        assert g.read() == 3.5
+
+    def test_collector_gauge_reads_lazily(self):
+        backing = {"v": 1}
+        g = Gauge("x", fn=lambda: backing["v"])
+        assert g.read() == 1
+        backing["v"] = 7
+        assert g.read() == 7
+
+
+class TestHistogramBoundaries:
+    """Bucket-boundary semantics: ``le`` buckets, exact on the edge."""
+
+    def test_value_on_bound_lands_in_that_bucket(self):
+        h = Histogram("h", bounds=(10, 20, 30))
+        h.observe(10)  # le=10 (not the 20 bucket)
+        h.observe(20)
+        h.observe(30)
+        assert h.buckets == [1, 1, 1, 0]
+
+    def test_value_above_last_bound_overflows(self):
+        h = Histogram("h", bounds=(10, 20))
+        h.observe(20.0001)
+        h.observe(1e12)
+        assert h.buckets == [0, 0, 2]
+
+    def test_value_below_first_bound(self):
+        h = Histogram("h", bounds=(10, 20))
+        h.observe(-5)
+        h.observe(0)
+        assert h.buckets[0] == 2
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(10, 5))
+
+    def test_duplicate_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(10, 10, 20))
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+
+    @given(values=st.lists(
+        st.floats(min_value=0, max_value=2e6, allow_nan=False,
+                  allow_infinity=False),
+        min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_bucket_counts_partition_observations(self, values):
+        h = Histogram("h", bounds=LATENCY_US_BOUNDS)
+        for v in values:
+            h.observe(v)
+        assert sum(h.buckets) == h.count == len(values)
+        # Every bucket count matches a direct recount against its range.
+        lo = -math.inf
+        for idx, hi in enumerate(h.bounds):
+            expected = sum(1 for v in values if lo < v <= hi)
+            assert h.buckets[idx] == expected
+            lo = hi
+        assert h.buckets[-1] == sum(1 for v in values if v > h.bounds[-1])
+
+    @given(values=st.lists(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False,
+                  allow_infinity=False),
+        min_size=1, max_size=100),
+        q=st.integers(min_value=1, max_value=99))
+    @settings(max_examples=100, deadline=None)
+    def test_percentile_lands_in_the_rank_holding_bucket(self, values, q):
+        """Independent oracle: recount the raw values to find which
+        bucket holds the target rank; the reported quantile must lie in
+        that bucket's (min/max-clamped) span."""
+        h = Histogram("h", bounds=LATENCY_US_BOUNDS)
+        for v in values:
+            h.observe(v)
+        approx = h.percentile(q)
+        assert h.min <= approx <= h.max
+        target = (q / 100.0) * len(values)
+        bounds = h.bounds + (math.inf,)
+        for idx, hi in enumerate(bounds):
+            if sum(1 for v in values if v <= hi) >= target:
+                lo = bounds[idx - 1] if idx else -math.inf
+                assert (max(lo, h.min) - 1e-9 <= approx
+                        <= min(hi, h.max) + 1e-9)
+                break
+
+    @given(values=st.lists(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False,
+                  allow_infinity=False),
+        min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_percentile_monotone_in_q(self, values):
+        h = Histogram("h", bounds=LATENCY_US_BOUNDS)
+        for v in values:
+            h.observe(v)
+        series = [h.percentile(q) for q in range(0, 101, 5)]
+        assert series == sorted(series)
+        # And the mean agrees with the exact mean (totals are exact).
+        assert h.mean == pytest.approx(sum(values) / len(values))
+
+    def test_percentile_extremes_are_exact(self):
+        h = Histogram("h", bounds=(100, 200))
+        for v in (3, 42, 150, 199):
+            h.observe(v)
+        assert h.percentile(0) == 3
+        assert h.percentile(100) == 199
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1,)).percentile(50)
+
+    def test_percentile_out_of_range_raises(self):
+        h = Histogram("h", bounds=(1,))
+        h.observe(0.5)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_single_value_all_quantiles_collapse(self):
+        h = Histogram("h", bounds=(10, 20))
+        h.observe(15)
+        for q in (0, 25, 50, 75, 100):
+            assert h.percentile(q) == 15
+
+    def test_mean_and_snapshot(self):
+        h = Histogram("h", bounds=(10, 20), unit="us")
+        h.observe(5)
+        h.observe(15)
+        snap = h.snapshot()
+        assert snap["count"] == 2
+        assert snap["mean"] == 10
+        assert snap["min"] == 5 and snap["max"] == 15
+        assert snap["buckets"] == [[10.0, 1], [20.0, 1]]
+        assert snap["overflow"] == 0
+
+    def test_reset(self):
+        h = Histogram("h", bounds=(10,))
+        h.observe(3)
+        h.reset()
+        assert h.count == 0
+        assert h.buckets == [0, 0]
+        assert h.min == float("inf")
+
+
+class TestOpProbe:
+    def test_sample_every_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            OpProbe("p", Histogram("h", bounds=(1,)), sample_every=3)
+
+    def test_disabled_probe_costs_nothing(self):
+        p = OpProbe("p", Histogram("h", bounds=(1,)), enabled=False)
+        assert p.start() == 0.0
+        p.stop(0.0)
+        assert p.tick == 0
+        assert p.hist.count == 0
+
+    def test_sampling_rate(self):
+        p = OpProbe("p", Histogram("h", bounds=LATENCY_US_BOUNDS),
+                    sample_every=4, enabled=True)
+        for _ in range(16):
+            p.stop(p.start())
+        assert p.tick == 16
+        assert p.hist.count == 4  # every 4th op sampled
+
+    def test_snapshot_separates_ops_from_samples(self):
+        p = OpProbe("p", Histogram("h", bounds=LATENCY_US_BOUNDS),
+                    sample_every=2, enabled=True)
+        for _ in range(8):
+            p.stop(p.start())
+        snap = p.snapshot()
+        assert snap["ops"] == 8
+        assert snap["sampled"] == 4
+        assert snap["sample_every"] == 2
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert reg.probe("p") is reg.probe("p")
+
+    def test_enable_mirrors_to_probes(self):
+        reg = MetricsRegistry(enabled=False)
+        p = reg.probe("p")
+        assert not p.enabled
+        reg.enable()
+        assert p.enabled
+        late = reg.probe("late")
+        assert late.enabled  # created after enable inherits it
+        reg.disable()
+        assert not p.enabled and not late.enabled
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", bounds=(10,)).observe(3)
+        probe = reg.probe("p", sample_every=1)
+        probe.stop(probe.start())
+        snap = reg.snapshot()
+        assert snap["enabled"] is True
+        assert snap["counters"]["c"] == 2
+        assert snap["gauges"]["g"] == 1.5
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["probes"]["p"]["ops"] == 1
+
+    def test_snapshot_skips_empty_instruments(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.histogram("empty")
+        reg.probe("idle")
+        snap = reg.snapshot()
+        assert snap["histograms"] == {}
+        assert snap["probes"] == {}
+
+    def test_collectors_run_at_snapshot_time_only(self):
+        reg = MetricsRegistry(enabled=True)
+        calls = []
+        reg.add_collector("src", lambda: calls.append(1) or {"n": 1})
+        assert calls == []
+        snap = reg.snapshot()
+        assert snap["collectors"]["src"] == {"n": 1}
+        assert calls == [1]
+        reg.remove_collector("src")
+        assert "src" not in reg.snapshot().get("collectors", {})
+
+    def test_broken_collector_reported_not_raised(self):
+        reg = MetricsRegistry(enabled=True)
+
+        def boom():
+            raise RuntimeError("source died")
+
+        reg.add_collector("bad", boom)
+        snap = reg.snapshot()
+        assert "source died" in snap["collectors"]["bad"]["error"]
+
+    def test_reset_zeroes_everything(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c").inc()
+        reg.gauge("g").set(9)
+        reg.histogram("h", bounds=(1,)).observe(0.5)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["counters"]["c"] == 0
+        assert snap["gauges"]["g"] == 0.0
+        assert snap["histograms"] == {}
+
+    def test_snapshot_is_json_able(self):
+        import json
+
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c").inc()
+        reg.histogram("h", bounds=COUNT_BOUNDS).observe(3)
+        json.dumps(reg.snapshot())

@@ -1,0 +1,56 @@
+"""Tests for the Prometheus text exporter (repro.obs.prom)."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import render
+
+
+def _registry() -> MetricsRegistry:
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("transport.frames_out").inc(3)
+    reg.gauge("core.channel.occupancy").set(7)
+    hist = reg.histogram("core.gc.sweep_us", bounds=(10, 100))
+    hist.observe(5)
+    hist.observe(50)
+    hist.observe(500)
+    probe = reg.probe("core.channel.put", sample_every=1)
+    probe.stop(probe.start())
+    return reg
+
+
+class TestRender:
+    def test_counter_and_gauge_lines(self):
+        text = render(_registry())
+        assert "# TYPE transport_frames_out counter" in text
+        assert "transport_frames_out 3" in text
+        assert "# TYPE core_channel_occupancy gauge" in text
+        assert "core_channel_occupancy 7" in text
+
+    def test_histogram_cumulative_le_buckets(self):
+        lines = render(_registry()).splitlines()
+        assert '# TYPE core_gc_sweep_us histogram' in lines
+        assert 'core_gc_sweep_us_bucket{le="10"} 1' in lines
+        assert 'core_gc_sweep_us_bucket{le="100"} 2' in lines
+        assert 'core_gc_sweep_us_bucket{le="+Inf"} 3' in lines
+        assert "core_gc_sweep_us_count 3" in lines
+        assert any(line.startswith("core_gc_sweep_us_sum")
+                   for line in lines)
+
+    def test_probe_exports_ops_counter_and_sampled_histogram(self):
+        text = render(_registry())
+        assert "core_channel_put_ops 1" in text
+        assert "core_channel_put_sampled_us_count 1" in text
+
+    def test_render_from_snapshot_dict(self):
+        """The remote path: STATS payload dict instead of a registry."""
+        reg = _registry()
+        snap = reg.snapshot(include_collectors=False)
+        assert render(snap) == render(reg)
+
+    def test_empty_registry_renders_empty(self):
+        assert render(MetricsRegistry()) == ""
+
+    def test_names_are_sanitized(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("a.b-c/d").inc()
+        text = render(reg)
+        assert "a_b_c_d 1" in text

@@ -1,0 +1,208 @@
+"""Tests for the stall watchdog (repro.obs.watchdog)."""
+
+import pytest
+
+from repro.core import Channel, ConnectionMode
+from repro.obs.watchdog import Stall, StallWatchdog
+from repro.util.trace import disable_tracing, enable_tracing
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class FakeSpace:
+    def __init__(self, *containers):
+        self._containers = list(containers)
+
+    def containers(self):
+        return list(self._containers)
+
+
+class FakeRuntime:
+    def __init__(self, *containers):
+        self._spaces = [FakeSpace(*containers)]
+
+    def address_spaces(self):
+        return list(self._spaces)
+
+
+class FakeContainer:
+    def __init__(self, name, age=None, suspects=()):
+        self.name = name
+        self.age = age
+        self.suspects = list(suspects)
+
+    def oldest_live_age(self, now=None):
+        return self.age
+
+    def blocking_connections(self):
+        return list(self.suspects)
+
+
+@pytest.fixture()
+def tracing():
+    tracer = enable_tracing()
+    tracer.clear()
+    yield tracer
+    disable_tracing()
+    tracer.clear()
+
+
+class TestReactorLag:
+    def test_on_time_beat_is_quiet(self):
+        clock = FakeClock()
+        dog = StallWatchdog(max_loop_lag=0.25, interval=1.0, clock=clock)
+        dog.beat()
+        clock.advance(1.0)  # exactly one beat interval late: normal
+        assert dog.check() == []
+
+    def test_late_beat_reports_lag(self):
+        clock = FakeClock()
+        dog = StallWatchdog(max_loop_lag=0.25, interval=1.0, clock=clock)
+        dog.beat()
+        clock.advance(1.5)  # 0.5s past the scheduled beat
+        stalls = dog.check()
+        assert len(stalls) == 1
+        assert stalls[0].kind == "reactor_lag"
+        assert stalls[0].measured == pytest.approx(0.5)
+        assert stalls[0].limit == 0.25
+
+    def test_no_beat_recorded_no_lag_check(self):
+        dog = StallWatchdog(max_loop_lag=0.25, clock=FakeClock(100.0))
+        assert dog.check() == []
+
+
+class TestOldestAge:
+    def test_young_container_is_quiet(self):
+        runtime = FakeRuntime(FakeContainer("video", age=1.0))
+        dog = StallWatchdog(runtime=runtime, max_oldest_age=5.0,
+                            clock=FakeClock())
+        assert dog.check() == []
+
+    def test_breach_names_the_suspects(self):
+        suspects = [{"connection_id": 7, "owner": "display-3"}]
+        runtime = FakeRuntime(
+            FakeContainer("video", age=9.0, suspects=suspects))
+        dog = StallWatchdog(runtime=runtime, max_oldest_age=5.0,
+                            clock=FakeClock())
+        stalls = dog.check()
+        assert len(stalls) == 1
+        stall = stalls[0]
+        assert stall.kind == "oldest_age"
+        assert stall.subject == "video"
+        assert stall.measured == 9.0
+        assert stall.suspects == suspects
+        assert "display-3" in stall.describe()
+
+    def test_empty_container_is_quiet(self):
+        runtime = FakeRuntime(FakeContainer("idle", age=None))
+        dog = StallWatchdog(runtime=runtime, max_oldest_age=5.0,
+                            clock=FakeClock())
+        assert dog.check() == []
+
+    def test_dying_container_skipped(self):
+        class Exploding:
+            name = "dying"
+
+            def oldest_live_age(self, now=None):
+                raise RuntimeError("destroyed")
+
+        runtime = FakeRuntime(Exploding())
+        dog = StallWatchdog(runtime=runtime, clock=FakeClock())
+        assert dog.check() == []
+
+    def test_real_channel_breach(self):
+        """End-to-end against a real Channel: an unconsumed item ages."""
+        channel = Channel("wd-chan")
+        out = channel.attach(ConnectionMode.OUT)
+        inp = channel.attach(ConnectionMode.IN, owner="slow-display")
+        try:
+            out.put(1, b"frame")
+            runtime = FakeRuntime(channel)
+            dog = StallWatchdog(runtime=runtime, max_oldest_age=5.0)
+            import time
+
+            stalls = dog.check(now=time.monotonic() + 10.0)
+            assert len(stalls) == 1
+            owners = [s["owner"] for s in stalls[0].suspects]
+            assert owners == ["slow-display"]
+            assert inp is not None
+        finally:
+            channel.destroy()
+
+
+class TestEmission:
+    def test_stall_traced_and_counted(self, tracing):
+        from repro.obs.metrics import GLOBAL_METRICS
+
+        before = GLOBAL_METRICS.counter("obs.watchdog.stalls").value
+        runtime = FakeRuntime(FakeContainer(
+            "video", age=9.0,
+            suspects=[{"connection_id": 3, "owner": "mixer"}]))
+        dog = StallWatchdog(runtime=runtime, max_oldest_age=5.0,
+                            clock=FakeClock())
+        dog.check()
+        events = tracing.events(category="stall", subject="video")
+        assert len(events) == 1
+        assert events[0].details["kind"] == "oldest_age"
+        assert events[0].details["suspects"] == ["mixer"]
+        after = GLOBAL_METRICS.counter("obs.watchdog.stalls").value
+        assert after == before + 1
+
+    def test_on_stall_callback_receives_stall(self):
+        seen = []
+        runtime = FakeRuntime(FakeContainer("video", age=9.0))
+        dog = StallWatchdog(runtime=runtime, max_oldest_age=5.0,
+                            on_stall=seen.append, clock=FakeClock())
+        dog.check()
+        assert len(seen) == 1
+        assert isinstance(seen[0], Stall)
+
+    def test_broken_callback_swallowed(self):
+        def boom(stall):
+            raise RuntimeError("observer bug")
+
+        runtime = FakeRuntime(FakeContainer("video", age=9.0))
+        dog = StallWatchdog(runtime=runtime, max_oldest_age=5.0,
+                            on_stall=boom, clock=FakeClock())
+        assert len(dog.check()) == 1  # detection survives the observer
+
+    def test_stalls_accumulate(self):
+        runtime = FakeRuntime(FakeContainer("video", age=9.0))
+        dog = StallWatchdog(runtime=runtime, max_oldest_age=5.0,
+                            clock=FakeClock())
+        dog.check()
+        dog.check()
+        assert len(dog.stalls) == 2
+
+
+class TestLifecycle:
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ValueError):
+            StallWatchdog(max_loop_lag=0)
+        with pytest.raises(ValueError):
+            StallWatchdog(max_oldest_age=-1)
+
+    def test_background_thread_start_stop(self):
+        import threading
+
+        dog = StallWatchdog(interval=0.01)
+        before = threading.active_count()
+        dog.start()
+        dog.start()  # idempotent
+        assert threading.active_count() == before + 1
+        dog.stop()
+        assert threading.active_count() == before
+
+    def test_context_manager(self):
+        with StallWatchdog(interval=0.01) as dog:
+            assert dog._thread.is_alive()
+        assert dog._thread is None

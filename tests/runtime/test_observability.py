@@ -1,0 +1,274 @@
+"""STATS / TRACE_DUMP wire ops and the observability snapshot.
+
+Covers the ISSUE-4 acceptance points that live cluster-side:
+
+* ``observability_snapshot`` computes occupancy / oldest-age / suspect
+  lists lazily and stays JSON-able;
+* the STATS and TRACE_DUMP ops answer over the wire — including while
+  the device's app executor is deliberately blocked (they are served
+  off-executor, on a dedicated observer thread);
+* the optional trace-id envelope field is wire-compatible: old-format
+  frames (no trailing field) decode exactly as before.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import (
+    ConnectionMode,
+    OLDEST,
+    Runtime,
+    StampedeClient,
+    StampedeServer,
+)
+from repro.obs.metrics import GLOBAL_METRICS
+from repro.runtime import ops
+from repro.runtime.inspect import observability_snapshot
+from repro.util.trace import disable_tracing, enable_tracing
+
+
+@pytest.fixture()
+def cluster():
+    runtime = Runtime(gc_interval=0.01)
+    server = StampedeServer(runtime, device_spaces=["N1"]).start()
+    yield runtime, server
+    server.close()
+    runtime.shutdown()
+
+
+@pytest.fixture()
+def client(cluster):
+    _, server = cluster
+    host, port = server.address
+    client = StampedeClient(host, port, client_name="observer")
+    yield client
+    client.close()
+
+
+@pytest.fixture()
+def metrics():
+    GLOBAL_METRICS.enable()
+    yield GLOBAL_METRICS
+    GLOBAL_METRICS.disable()
+
+
+@pytest.fixture()
+def tracing():
+    tracer = enable_tracing()
+    tracer.clear()
+    yield tracer
+    disable_tracing()
+    tracer.clear()
+
+
+class TestObservabilitySnapshot:
+    def test_containers_reported_with_liveness(self):
+        runtime = Runtime(gc_interval=60.0)
+        try:
+            runtime.create_address_space("N1")
+            channel = runtime.create_channel("video", "N1")
+            out = channel.attach(ConnectionMode.OUT)
+            channel.attach(ConnectionMode.IN, owner="slow-display")
+            out.put(1, b"frame", size=5)
+            snap = observability_snapshot(runtime)
+            entry = next(c for c in snap["containers"]
+                         if c["name"] == "video")
+            assert entry["kind"] == "channel"
+            assert entry["space"] == "N1"
+            assert entry["live_items"] == 1
+            assert entry["live_bytes"] == 5
+            assert entry["puts"] == 1
+            assert entry["oldest_age"] >= 0
+            owners = [s["owner"] for s in entry["blocking"]]
+            assert owners == ["slow-display"]
+        finally:
+            runtime.shutdown()
+
+    def test_empty_container_has_no_suspect_list(self):
+        runtime = Runtime(gc_interval=60.0)
+        try:
+            runtime.create_address_space("N1")
+            runtime.create_channel("idle", "N1")
+            snap = observability_snapshot(runtime)
+            entry = next(c for c in snap["containers"]
+                         if c["name"] == "idle")
+            assert entry["oldest_age"] is None
+            assert "blocking" not in entry
+        finally:
+            runtime.shutdown()
+
+    def test_gc_state_per_space(self):
+        runtime = Runtime(gc_interval=60.0)
+        try:
+            runtime.create_address_space("N1")
+            snap = observability_snapshot(runtime)
+            space = next(s for s in snap["spaces"] if s["name"] == "N1")
+            assert {"gc_running", "gc_sweeps", "gc_items_reclaimed",
+                    "gc_containers_swept"} <= set(space)
+        finally:
+            runtime.shutdown()
+
+    def test_snapshot_is_json_able(self):
+        runtime = Runtime(gc_interval=60.0)
+        try:
+            runtime.create_address_space("N1")
+            runtime.create_channel("video", "N1")
+            json.dumps(observability_snapshot(runtime), default=str)
+        finally:
+            runtime.shutdown()
+
+
+class TestStatsWireOp:
+    def test_stats_roundtrip(self, client, metrics):
+        client.create_channel("video")
+        out = client.attach("video", ConnectionMode.OUT)
+        out.put(1, b"frame")
+        snap = client.stats()
+        assert snap["metrics"]["enabled"] is True
+        entry = next(c for c in snap["containers"]
+                     if c["name"] == "video")
+        assert entry["live_items"] == 1
+        # The put travelled the instrumented wire path.
+        assert snap["metrics"]["counters"]["transport.frames_in"] > 0
+
+    def test_stats_without_metrics_still_reports_containers(self, client):
+        client.create_channel("video")
+        snap = client.stats()
+        assert snap["metrics"]["enabled"] is False
+        assert any(c["name"] == "video" for c in snap["containers"])
+
+    def test_stats_feeds_prometheus_render(self, client, metrics):
+        from repro.obs.prom import render
+
+        client.create_channel("video")
+        text = render(client.stats()["metrics"])
+        assert "transport_frames_in" in text
+
+
+class TestTraceDumpWireOp:
+    def test_trace_dump_roundtrip(self, client, tracing):
+        client.create_channel("video")
+        out = client.attach("video", ConnectionMode.OUT)
+        out.put(7, b"frame")
+        dump = client.trace_dump()
+        assert dump["enabled"] is True
+        cats = {e["category"] for e in dump["events"]}
+        assert "put" in cats
+        put = next(e for e in dump["events"] if e["category"] == "put")
+        assert put["subject"] == "video"
+        assert put["details"]["ts"] == 7
+
+    def test_trace_dump_limit(self, client, tracing):
+        client.create_channel("video")
+        out = client.attach("video", ConnectionMode.OUT)
+        for ts in range(10):
+            out.put(ts, b"x")
+        dump = client.trace_dump(max_events=3)
+        assert len(dump["events"]) == 3
+
+    def test_trace_dump_clear_drains_ring(self, client, tracing):
+        client.create_channel("video")
+        out = client.attach("video", ConnectionMode.OUT)
+        out.put(1, b"x")
+        dump = client.trace_dump(clear=True)
+        assert dump["events"]  # the put was traced
+        # The ring was emptied by the first drain; later events are new.
+        second = client.trace_dump()
+        firsts = {(e["at"], e["category"]) for e in dump["events"]}
+        assert all((e["at"], e["category"]) not in firsts
+                   for e in second["events"])
+
+    def test_trace_dump_disabled_tracer(self, client):
+        dump = client.trace_dump()
+        assert dump["enabled"] is False
+        assert dump["events"] == []
+
+
+class TestServedOffExecutor:
+    def test_stats_answers_while_app_executor_blocked(self, client,
+                                                      metrics):
+        """The acceptance scenario: the device's serial executor is
+        wedged behind a blocking ``get`` on an empty channel, and
+        STATS / TRACE_DUMP must still answer promptly."""
+        client.create_channel("empty")
+        inp = client.attach("empty", ConnectionMode.IN)
+
+        unblocked = threading.Event()
+
+        def blocked_get():
+            try:
+                inp.get(OLDEST, block=True, timeout=10.0)
+            except Exception:
+                pass
+            finally:
+                unblocked.set()
+
+        blocker = threading.Thread(target=blocked_get, daemon=True)
+        blocker.start()
+        time.sleep(0.1)  # let the get reach the executor and block
+        assert not unblocked.is_set()
+
+        t0 = time.monotonic()
+        snap = client.stats()
+        dump = client.trace_dump()
+        elapsed = time.monotonic() - t0
+        assert elapsed < 2.0, (
+            f"observer ops took {elapsed:.1f}s behind a blocked executor"
+        )
+        assert any(c["name"] == "empty" for c in snap["containers"])
+        assert "events" in dump
+
+        # Unblock the executor so teardown is clean.
+        out = client.attach("empty", ConnectionMode.OUT)
+        out.put(1, b"x")
+        assert unblocked.wait(timeout=5.0)
+
+
+class TestTraceIdWireCompat:
+    OLD_FORMAT_ARGS = {
+        "connection_id": 3,
+        "timestamp": 9,
+        "payload": b"value",
+        "block": True,
+        "has_timeout": False,
+        "timeout": 0.0,
+    }
+
+    def test_old_format_frame_decodes_without_trace_id(self):
+        frame = ops.encode_request(1, ops.OP_PUT, self.OLD_FORMAT_ARGS)
+        _rid, _op, args = ops.decode_request(frame)
+        assert ops.TRACE_ID_KEY not in args
+
+    def test_trace_id_field_roundtrips(self):
+        frame = ops.encode_request(1, ops.OP_PUT, self.OLD_FORMAT_ARGS,
+                                   trace_id="cafe0123")
+        _rid, _op, args = ops.decode_request(frame)
+        assert args.pop(ops.TRACE_ID_KEY) == "cafe0123"
+        args.pop("payload")
+        expected = dict(self.OLD_FORMAT_ARGS)
+        expected.pop("payload")
+        assert args == expected
+
+    def test_traced_frame_is_strict_superset_of_old_format(self):
+        old = ops.encode_request(1, ops.OP_PUT, self.OLD_FORMAT_ARGS)
+        traced = ops.encode_request(1, ops.OP_PUT, self.OLD_FORMAT_ARGS,
+                                    trace_id="cafe0123")
+        assert traced.startswith(old)  # pure trailing extension
+
+    def test_empty_trace_id_stays_old_format(self):
+        plain = ops.encode_request(1, ops.OP_PUT, self.OLD_FORMAT_ARGS)
+        blank = ops.encode_request(1, ops.OP_PUT, self.OLD_FORMAT_ARGS,
+                                   trace_id="")
+        assert plain == blank
+
+    def test_untraced_client_sends_old_format(self, client, cluster):
+        """With tracing off (the default) a live client's frames carry
+        no envelope field — old servers would parse them unchanged."""
+        client.create_channel("compat")
+        out = client.attach("compat", ConnectionMode.OUT)
+        out.put(1, b"x")  # would fail decode server-side if malformed
+        snap = client.inspect()
+        assert snap is not None

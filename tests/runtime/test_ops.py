@@ -57,6 +57,8 @@ class TestRequests:
             ops.OP_CONSUME_BATCH: {
                 "frames": [b"consume-0001", b"consume-0002"],
             },
+            ops.OP_STATS: {},
+            ops.OP_TRACE_DUMP: {"max_events": 256, "clear": True},
         }
         assert set(samples) == set(ops.OP_SCHEMAS)
         for opcode, args in samples.items():

@@ -1,9 +1,19 @@
 """Unit tests for the event tracer and the runtime's trace points."""
 
+import threading
+
 import pytest
 
 from repro.util import trace as trace_mod
-from repro.util.trace import Tracer, disable_tracing, enable_tracing
+from repro.util.trace import (
+    TraceEvent,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    new_trace_id,
+    set_trace_id,
+    trace_context,
+)
 
 
 @pytest.fixture()
@@ -93,6 +103,201 @@ class TestTracer:
             assert trace_mod.GLOBAL_TRACER is tracer
         finally:
             disable_tracing()
+
+
+class TestConcurrency:
+    """The ISSUE-4 satellite: reads must snapshot the ring under the
+    lock, so concurrent appends can never raise ``RuntimeError: deque
+    mutated during iteration`` — and overflow during a read must stay
+    safe too."""
+
+    def _hammer(self, read_fn, capacity=64, writers=4, per_writer=3000):
+        tracer = Tracer(capacity=capacity, enabled=True)
+        errors = []
+        stop = threading.Event()
+
+        def write(n):
+            for i in range(per_writer):
+                tracer.record("put", f"w{n}", n=i)
+
+        def read():
+            while not stop.is_set():
+                try:
+                    read_fn(tracer)
+                except Exception as exc:  # noqa: BLE001 - the assertion
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=write, args=(n,))
+                   for n in range(writers)]
+        reader = threading.Thread(target=read)
+        reader.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        reader.join()
+        assert errors == []
+        return tracer
+
+    def test_events_during_overflowing_appends(self):
+        tracer = self._hammer(lambda t: t.events(category="put"))
+        # The ring overflowed many times over; accounting must balance.
+        assert tracer.recorded == 4 * 3000
+        assert tracer.dropped == tracer.recorded - len(tracer.events())
+
+    def test_dump_during_overflowing_appends(self):
+        self._hammer(lambda t: t.dump())
+
+    def test_export_during_overflowing_appends(self):
+        self._hammer(lambda t: t.export(limit=16))
+
+    def test_enabled_toggle_race(self):
+        """Flipping ``enabled`` mid-stream must never corrupt the ring
+        or the counters — records land entirely or not at all."""
+        tracer = Tracer(capacity=128, enabled=True)
+        errors = []
+        stop = threading.Event()
+
+        def toggle():
+            while not stop.is_set():
+                tracer.disable()
+                tracer.enable()
+
+        def write():
+            try:
+                for i in range(20_000):
+                    tracer.record("put", "c", n=i)
+            except Exception as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+
+        toggler = threading.Thread(target=toggle)
+        writer = threading.Thread(target=write)
+        toggler.start()
+        writer.start()
+        writer.join()
+        stop.set()
+        toggler.join()
+        assert errors == []
+        events = tracer.events()
+        assert len(events) <= 128
+        # recorded counts exactly the events that made it past the
+        # enabled gate: ring + dropped must equal it.
+        assert tracer.recorded == len(events) + tracer.dropped
+
+    def test_clear_during_appends(self):
+        self._hammer(lambda t: t.clear(), per_writer=1000)
+
+
+class TestTraceIds:
+    def test_no_context_no_id(self, tracer):
+        tracer.record("put", "c")
+        assert tracer.events()[0].trace_id is None
+
+    def test_context_id_attached(self, tracer):
+        with trace_context() as tid:
+            tracer.record("put", "c")
+        assert tracer.events()[0].trace_id == tid
+        assert trace_mod.current_trace_id() is None  # restored
+
+    def test_explicit_id_overrides_context(self, tracer):
+        with trace_context("ctx-id"):
+            tracer.record("reclaim", "c", trace_id="stamped-id")
+        assert tracer.events()[0].trace_id == "stamped-id"
+
+    def test_nested_contexts_restore(self, tracer):
+        with trace_context("outer"):
+            with trace_context("inner"):
+                tracer.record("put", "c")
+            tracer.record("put", "c")
+        events = tracer.events()
+        assert [e.trace_id for e in events] == ["inner", "outer"]
+
+    def test_set_trace_id_returns_prior(self):
+        assert set_trace_id("a") is None
+        assert set_trace_id(None) == "a"
+
+    def test_ids_are_thread_local(self, tracer):
+        seen = {}
+
+        def other():
+            seen["other"] = trace_mod.current_trace_id()
+
+        with trace_context("mine"):
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+        assert seen["other"] is None
+
+    def test_new_trace_ids_unique(self):
+        ids = {new_trace_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_events_filter_by_trace_id(self, tracer):
+        with trace_context("one"):
+            tracer.record("put", "a")
+        with trace_context("two"):
+            tracer.record("put", "b")
+        assert [e.subject for e in tracer.events(trace_id="one")] == ["a"]
+
+    def test_render_includes_trace_id(self, tracer):
+        with trace_context("deadbeef"):
+            tracer.record("put", "c")
+        assert "<deadbeef>" in tracer.dump()
+
+
+class TestExportAndMerge:
+    def test_export_roundtrip(self, tracer):
+        with trace_context("tid-1"):
+            tracer.record("put", "video", ts=3)
+        exported = tracer.export()
+        assert len(exported) == 1
+        event = TraceEvent.from_dict(exported[0], origin="cluster")
+        assert event.category == "put"
+        assert event.subject == "video"
+        assert event.details == {"ts": 3}
+        assert event.trace_id == "tid-1"
+        assert event.origin == "cluster"
+
+    def test_export_limit_keeps_newest(self, tracer):
+        for i in range(5):
+            tracer.record("put", "c", n=i)
+        exported = tracer.export(limit=2)
+        assert [e["details"]["n"] for e in exported] == [3, 4]
+
+    def test_export_is_json_able(self, tracer):
+        import json
+
+        tracer.record("put", "c", ts=1, size=10)
+        json.dumps(tracer.export())
+
+    def test_merge_interleaves_chronologically(self):
+        a = Tracer(enabled=True)
+        b = Tracer(enabled=True)
+        a.record("put", "chan", n=1)
+        b.record("rpc", "session", n=2)
+        a.record("reclaim", "chan", n=3)
+        merged = Tracer.merge({"client": a, "cluster": b})
+        assert [e.details["n"] for e in merged] == [1, 2, 3]
+        assert [e.origin for e in merged] == ["client", "cluster",
+                                             "client"]
+
+    def test_merge_accepts_exported_dicts(self):
+        a = Tracer(enabled=True)
+        with trace_context("tid"):
+            a.record("put", "chan")
+        merged = Tracer.merge({"remote": a.export(), "local": a})
+        assert len(merged) == 2
+        assert all(e.trace_id == "tid" for e in merged)
+        assert {e.origin for e in merged} == {"remote", "local"}
+
+    def test_render_merged_tags_origins(self):
+        a = Tracer(enabled=True)
+        a.record("put", "chan")
+        text = Tracer.render_merged(Tracer.merge({"spaceA": a}))
+        assert "spaceA" in text
+        assert Tracer.render_merged([]) == "(no events)"
 
 
 class TestRuntimeTracePoints:
