@@ -6,7 +6,7 @@ interrogates it the way an operator would:
 
 * ``client.stats()`` — the STATS wire op: metrics-registry snapshot
   plus per-container occupancy and blocking-connection suspects, served
-  off the surrogate executors so it answers even when the application
+  off the surrogate's execution lanes so it answers even when the application
   is wedged;
 * ``client.trace_dump()`` — the cluster's trace ring over the wire;
 * ``Tracer.merge`` — the client's local ring interleaved with the

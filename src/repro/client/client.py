@@ -477,8 +477,8 @@ class StampedeClient:
 
         Metrics registry plus per-container occupancy, oldest-item age
         and blocking-connection suspects.  Served off the surrogate's
-        executors, so it answers even while this device's own container
-        operations are blocked — that is the point.
+        execution lanes, so it answers even while this device's own
+        container operations are blocked — that is the point.
         """
         results = self._call(ops.OP_STATS, {})
         return json.loads(bytes(results["snapshot"]).decode("utf-8"))

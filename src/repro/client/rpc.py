@@ -149,7 +149,7 @@ class RpcChannel:
         if self._closed.is_set():
             raise TransportClosedError("RPC channel is closed")
         # Ordering barrier: every coalesced cast reaches the wire before
-        # this request, so the surrogate's serial executors observe the
+        # this request, so the surrogate's lane sub-queue observes the
         # same order the caller issued.
         self.flush_casts()
         request_id = next(self._request_ids)

@@ -281,6 +281,22 @@ class Channel(Container):
         :raises ItemNotFoundError: nothing available and ``block=False``
             (or the timeout expired).
         """
+        item = self.get_item(connection, timestamp, block=block,
+                             timeout=timeout)
+        return item.timestamp, item.value
+
+    def get_item(self, connection: Connection, timestamp: VirtualTime,
+                 block: bool = True,
+                 timeout: Optional[float] = None) -> Item:
+        """:meth:`get`, but returning the raw :class:`Item` record.
+
+        Boundary layers (the wire surrogate, cross-space isolation) use
+        this to reach :meth:`Item.encoded_payload` — the serialize-once
+        fan-out cache — instead of re-encoding the value once per
+        consumer.  Application code should stick to :meth:`get`; the
+        record's bookkeeping fields belong to the container and the GC.
+        Same semantics and exceptions as :meth:`get`.
+        """
         probe = _GET_PROBE
         t0 = 0.0
         if not (self._gets + 1) & probe.mask:  # mask is -1 when off
@@ -313,7 +329,7 @@ class Channel(Container):
                     self._gets += 1
                     if t0:
                         probe.hist.observe((time.monotonic() - t0) * 1e6)
-                    return item.timestamp, item.value
+                    return item
                 if not block:
                     raise ItemNotFoundError(
                         f"no item at timestamp {timestamp} in channel "
@@ -327,15 +343,14 @@ class Channel(Container):
                 self._check_connection(connection)
 
     def _get_marker(self, connection: Connection, marker: VirtualTime,
-                    block: bool, deadline: Optional[float]
-                    ) -> Tuple[Timestamp, Any]:
+                    block: bool, deadline: Optional[float]) -> Item:
         pick_newest = marker is NEWEST
         while True:
             item = (self._scan_newest(connection) if pick_newest
                     else self._scan_oldest(connection))
             if item is not None:
                 self._gets += 1
-                return item.timestamp, item.value
+                return item
             if not block:
                 raise ItemNotFoundError(
                     f"no live item for {marker!r} in channel {self.name!r}"
@@ -523,6 +538,7 @@ class Channel(Container):
 
     def _reclaim(self, item: Item) -> None:
         item.state = ItemState.GARBAGE
+        item.drop_wire_cache()
         timestamp = item.timestamp
         del self._items[timestamp]
         index_pos = bisect_left(self._live_index, timestamp)

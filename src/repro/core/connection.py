@@ -171,6 +171,20 @@ class Connection:
             self, timestamp, block=block, timeout=timeout
         )
 
+    def get_item(self, timestamp: VirtualTime, block: bool = True,
+                 timeout: Optional[float] = None) -> Any:
+        """Fetch the raw :class:`~repro.core.item.Item` record.
+
+        Boundary layers use this to reach the item's serialize-once
+        encoding cache; only containers that expose ``get_item``
+        (channels — queues dequeue, so there is no fan-out to cache)
+        support it.  Application code should use :meth:`get`.
+        """
+        self._require_get()
+        return self.container.get_item(  # type: ignore[attr-defined]
+            self, timestamp, block=block, timeout=timeout
+        )
+
     def consume(self, timestamp: Timestamp) -> None:
         """Declare the item at *timestamp* garbage as far as this connection
         is concerned (§3.1 "Garbage Collection")."""

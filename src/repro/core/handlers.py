@@ -56,6 +56,26 @@ class HandlerSet:
         """Unregister a reclamation callback."""
         self.reclaim_handlers.remove(handler)
 
+    def outbound(
+        self, codec: Any
+    ) -> "tuple[str, Serializer, Deserializer]":
+        """The ``(cache_key, serialize, deserialize)`` triple for sending
+        an item across a boundary.
+
+        The user's serializer/deserializer pair wins when both are
+        installed; otherwise the transport *codec* is the fallback
+        (§3.2.4).  The key names the encoding identity for the item-level
+        serialize-once cache: user handlers are keyed by object identity
+        (two containers with different serializers must not share bytes),
+        codecs by personality name (``xdr`` and ``jdr`` encode
+        differently).
+        """
+        serializer = self.serializer
+        deserializer = self.deserializer
+        if serializer is not None and deserializer is not None:
+            return f"handler:{id(serializer)}", serializer, deserializer
+        return f"codec:{codec.name}", codec.encode, codec.decode
+
     def run_reclaim(self, timestamp: Timestamp, value: Any) -> List[Exception]:
         """Invoke every reclaim handler; collect (not raise) their errors.
 

@@ -9,9 +9,15 @@ collector reclaims an item once every relevant consumer is done with it.
 from __future__ import annotations
 
 import enum
-from typing import Any, Optional, Set
+from typing import Any, Callable, Dict, Optional, Set
 
 from repro.core.timestamps import Timestamp
+from repro.obs.metrics import GLOBAL_METRICS as _metrics
+
+# Serialize-once fan-out accounting: how often a wire- or boundary-bound
+# get reused a pinned encoding vs. ran the serializer.
+_CACHE_HITS = _metrics.counter("core.encode_cache.hits")
+_CACHE_MISSES = _metrics.counter("core.encode_cache.misses")
 
 
 class ItemState(enum.Enum):
@@ -48,6 +54,7 @@ class Item:
         "dequeued_by",
         "put_time",
         "trace_id",
+        "wire_cache",
     )
 
     def __init__(
@@ -71,11 +78,55 @@ class Item:
         #: Trace id of the logical put that created the item, if tracing
         #: was active; lets the GC's reclaim event join the same trace.
         self.trace_id = trace_id
+        #: Serialize-once fan-out cache: encoding key -> encoded bytes,
+        #: populated lazily by the first boundary-bound get (see
+        #: :meth:`encoded_payload`), dropped by the GC with the item.
+        self.wire_cache: Optional[Dict[str, bytes]] = None
 
     # Consumption marks are only ever mutated under the owning container's
     # lock, and ``set`` membership reads are atomic under the GIL, so the
     # item needs no lock of its own — scans over thousands of items would
     # otherwise pay a lock acquisition per item per check.
+
+    def encoded_payload(
+        self, key: str, encode: Callable[[Any], bytes]
+    ) -> "tuple[bytes, bool]":
+        """The item's serialized form under *key*; ``(data, was_hit)``.
+
+        The §3.2.4 serializer runs **once per item per encoding**, not
+        once per consumer: the first boundary-bound get pays the encode
+        and pins the bytes here; every later consumer of the fan-out
+        (and every re-get by a marker reader) reuses the pinned buffer.
+        *key* names the encoding (a codec personality or a user
+        serializer handler), so consumers speaking different formats
+        never see each other's bytes.
+
+        Deliberately lock-free: racing first readers may both encode and
+        one write wins — a lost cache entry, never a wrong one, since
+        item values are immutable once put.  Nothing is pinned on
+        reclaimed items (the GC already dropped the cache; caching here
+        would resurrect it).
+        """
+        cache = self.wire_cache
+        if cache is not None:
+            data = cache.get(key)
+            if data is not None:
+                if _metrics.enabled:
+                    _CACHE_HITS.value += 1
+                return data, True
+        data = encode(self.value)
+        if _metrics.enabled:
+            _CACHE_MISSES.value += 1
+        if self.state is ItemState.LIVE:
+            if cache is None:
+                cache = self.wire_cache = {}
+            cache[key] = data
+        return data, False
+
+    def drop_wire_cache(self) -> None:
+        """Release any pinned encodings (GC reclaim calls this so the
+        cache's lifetime is exactly the item's)."""
+        self.wire_cache = None
 
     def mark_consumed(self, connection_id: int) -> None:
         """Record that *connection_id* consumed this item."""

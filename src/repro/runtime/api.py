@@ -38,7 +38,7 @@ class StampedeApp:
     serve:
         When true, start a :class:`StampedeServer` so end devices can
         join over TCP.
-    host, port, device_spaces, lease_timeout:
+    host, port, device_spaces, lease_timeout, lanes:
         Forwarded to the server when *serve* is true.
     """
 
@@ -49,7 +49,8 @@ class StampedeApp:
                  device_spaces: Optional[List[str]] = None,
                  lease_timeout: Optional[float] = None,
                  gc_interval: float = 0.05,
-                 default_codec: str = "xdr") -> None:
+                 default_codec: str = "xdr",
+                 lanes: Optional[int] = None) -> None:
         self.runtime = Runtime(name=name, gc_interval=gc_interval,
                                default_codec=default_codec)
         for space in address_spaces or []:
@@ -59,6 +60,7 @@ class StampedeApp:
             self.server = StampedeServer(
                 self.runtime, host=host, port=port,
                 device_spaces=device_spaces, lease_timeout=lease_timeout,
+                lanes=lanes,
             ).start()
 
     # -- delegation ------------------------------------------------------------

@@ -126,7 +126,8 @@ class FederatedRuntime:
                  device_spaces: Optional[List[str]] = None,
                  lease_timeout: Optional[float] = None,
                  bridge_codec: str = "xdr",
-                 bridge_heartbeat: Optional[float] = None) -> None:
+                 bridge_heartbeat: Optional[float] = None,
+                 lanes: Optional[int] = None) -> None:
         self.cluster_name = cluster_name
         self.runtime = runtime if runtime is not None else Runtime(
             name=cluster_name
@@ -138,6 +139,7 @@ class FederatedRuntime:
             self.server = StampedeServer(
                 self.runtime, host=host, port=port,
                 device_spaces=device_spaces, lease_timeout=lease_timeout,
+                lanes=lanes,
             ).start()
         self._bridges: Dict[str, ClusterBridge] = {}
         self._lock = threading.Lock()

@@ -247,8 +247,8 @@ OP_SCHEMAS: Dict[int, OpSchema] = {
 }
 
 #: Diagnostic operations the surrogate serves on a dedicated thread,
-#: bypassing the per-connection serial executors entirely — a cluster
-#: whose app executors are wedged must still answer "what is stuck?".
+#: bypassing the execution lanes entirely — a cluster whose app
+#: operations are wedged must still answer "what is stuck?".
 OBSERVER_OPS = frozenset({OP_STATS, OP_TRACE_DUMP})
 
 #: Reserved args key carrying the optional trace-id envelope field out
@@ -463,6 +463,55 @@ def encode_ok_response(request_id: int, opcode: int,
     _pack_reclaims(enc, reclaims)
     _pack_fields(enc, schema.results, results)
     return enc.getvalue()
+
+
+#: Below this, a ``bytes`` result field is copied into the header part
+#: instead of getting its own iovec entry: for tiny payloads the copy is
+#: cheaper than the extra scatter/gather bookkeeping.
+_PARTS_MIN_BYTES = 256
+
+
+def encode_ok_response_parts(request_id: int, opcode: int,
+                             results: Dict[str, Any],
+                             reclaims: Sequence[Reclaim] = ()) -> List[Any]:
+    """Build a success response as wire **parts** instead of one frame.
+
+    Byte-for-byte identical on the wire to :func:`encode_ok_response`,
+    but large ``bytes`` result fields are *referenced* (appended as
+    their own buffer, typically a ``memoryview`` of an item's cached
+    encoding) rather than copied into the frame — the whole response
+    leaves in one ``sendmsg`` via ``send_frame_parts``.  This is what
+    lets the serialize-once fan-out cache stay zero-copy end to end:
+    encode once on the first get, then every later consumer's response
+    scatters the same pinned buffer.
+    """
+    schema = OP_SCHEMAS[opcode]
+    enc = XdrEncoder()
+    enc.pack_uint(request_id)
+    enc.pack_uint(STATUS_OK)
+    _pack_reclaims(enc, reclaims)
+    parts: List[Any] = []
+    for field, kind in schema.results:
+        if kind == "bytes":
+            try:
+                value = results[field]
+            except KeyError:
+                raise RpcError(f"missing field {field!r}") from None
+            length = len(value)
+            if length >= _PARTS_MIN_BYTES:
+                enc.pack_uint(length)
+                parts.append(enc.getvalue())
+                parts.append(value)  # referenced, not copied
+                padding = (-length) % 4
+                if padding:
+                    parts.append(b"\x00" * padding)
+                enc = XdrEncoder()
+                continue
+        _pack_fields(enc, [(field, kind)], results)
+    tail = enc.getvalue()
+    if tail:
+        parts.append(tail)
+    return parts  # never empty: the header words precede any flush
 
 
 def encode_error_response(request_id: int, error_type: str, message: str,

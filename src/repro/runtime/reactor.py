@@ -7,7 +7,7 @@ replaces them with **one** I/O thread multiplexing every device socket:
 
 * sockets register a readability callback (:meth:`add_reader`); the
   callback does a non-blocking buffered frame decode and hands complete
-  requests to the surrogate's per-connection serial executors, so
+  requests to the surrogate's per-connection lane sub-queues, so
   blocking container ops never run on the loop and ordering semantics
   are untouched;
 * periodic work (lease ageing, parked-session sweeps) hangs off the same

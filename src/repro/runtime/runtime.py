@@ -104,7 +104,21 @@ class IsolatedConnection:
 
     def get(self, timestamp: VirtualTime, block: bool = True,
             timeout: Optional[float] = None) -> Tuple[Timestamp, Any]:
-        """Get an item; the returned value is a marshalled copy."""
+        """Get an item; the returned value is a marshalled copy.
+
+        When the container exposes raw item records (channels), the
+        serializer runs at most once per item — the encoded bytes are
+        pinned on the item and every fan-out consumer deserializes its
+        own private copy from the cached buffer.  Queues keep the
+        serialize-per-get path: a dequeued item has exactly one consumer.
+        """
+        if hasattr(self._inner.container, "get_item"):
+            handlers = self._inner.container.handlers
+            key, serialize, deserialize = handlers.outbound(self._codec)
+            item = self._inner.get_item(timestamp, block=block,
+                                        timeout=timeout)
+            data, _hit = item.encoded_payload(key, serialize)
+            return item.timestamp, deserialize(data)
         ts, value = self._inner.get(timestamp, block=block, timeout=timeout)
         copied, _wire_size = self._outbound(value)
         return ts, copied

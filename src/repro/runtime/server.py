@@ -10,11 +10,13 @@ chosen round-robin from the configured device spaces (the ``N_i`` of §4).
 The front door is event-driven: one shared
 :class:`~repro.runtime.reactor.Reactor` thread multiplexes the listening
 socket and every device socket, and the lease sweep and parked-session
-sweep run as timers on the same loop.  Total server-side thread count is
-therefore one I/O thread plus the per-connection serial executors that
-active container traffic materialises — not one thread (plus two janitor
-threads) per connected device — and an idle server performs O(1) wakeups
-per second regardless of how many devices are connected.
+sweep run as timers on the same loop.  Request execution is bounded too:
+a shared :class:`~repro.runtime.lanes.LanePool` runs every surrogate's
+container traffic on a fixed number of lane threads (connections are
+affinity-mapped to lanes; per-connection FIFO order is preserved), so
+total server-side thread count is one I/O thread plus O(lanes) — not
+O(connected devices) — and an idle server performs O(1) wakeups per
+second regardless of how many devices are connected.
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SessionResumeError
+from repro.runtime.lanes import LanePool
 from repro.runtime.reactor import Reactor
 from repro.runtime.runtime import Runtime
 from repro.runtime.service import SessionService
@@ -66,13 +69,21 @@ class StampedeServer:
         connections stay attached (still vetoing GC) so the device can
         reconnect and RESUME with no lost attach state.  Grace expiry
         closes the session exactly as a disconnect does today.
+    lanes:
+        Number of lane threads executing container operations for all
+        connected devices.  Default: the ``DSTAMPEDE_LANES`` environment
+        variable, else ``min(32, 4 × cpu_count)``.  Requests from one
+        connection always run in arrival order regardless of the lane
+        count; ``lanes=1`` serialises the whole server (useful as an
+        ordering oracle in tests).
     """
 
     def __init__(self, runtime: Runtime, host: str = "127.0.0.1",
                  port: int = 0,
                  device_spaces: Optional[List[str]] = None,
                  lease_timeout: Optional[float] = None,
-                 session_grace: Optional[float] = None) -> None:
+                 session_grace: Optional[float] = None,
+                 lanes: Optional[int] = None) -> None:
         if session_grace is not None and session_grace <= 0:
             raise ValueError("session_grace must be positive")
         if lease_timeout is not None and lease_timeout <= 0:
@@ -94,6 +105,8 @@ class StampedeServer:
         self._surrogates_lock = threading.Lock()
         self._closed = threading.Event()
         self._reactor = Reactor(name="dstampede-reactor")
+        self._lane_pool = LanePool(lanes)
+        self._lane_pool.register_gauges()
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -122,6 +135,12 @@ class StampedeServer:
         """The server's event loop (benchmarks read its wakeup count)."""
         return self._reactor
 
+    @property
+    def lane_pool(self) -> LanePool:
+        """The shared execution pool (tests/benchmarks read its size and
+        started-thread count)."""
+        return self._lane_pool
+
     def close(self) -> None:
         """Stop accepting, reap every surrogate, keep the runtime running
         (the runtime may serve other servers or in-process threads).
@@ -144,6 +163,7 @@ class StampedeServer:
             surrogate.close()
         for entry in parked:
             entry.service.close()
+        self._lane_pool.close()
         _log.info("server on %s closed", self.address)
 
     def __enter__(self) -> "StampedeServer":
@@ -187,6 +207,7 @@ class StampedeServer:
             park=self._park_session,
             resume_lookup=self._resume_session,
             reactor=self._reactor,
+            lane_pool=self._lane_pool,
         )
         with self._surrogates_lock:
             self._surrogates[service.session_id] = surrogate
@@ -201,8 +222,8 @@ class StampedeServer:
     def _sweep_leases(self) -> None:
         """Timer callback: reap surrogates idle past their lease.
 
-        Runs on the reactor; the closes themselves (which join executor
-        threads) happen on a short-lived worker so the loop never blocks.
+        Runs on the reactor; the closes themselves (which drain lane
+        queues) happen on a short-lived worker so the loop never blocks.
         """
         with self._surrogates_lock:
             expired = [
@@ -254,7 +275,7 @@ class StampedeServer:
 
         A device can re-dial faster than the cluster notices its old
         connection died (the old surrogate tears down, drains its
-        executors, *then* parks).  A RESUME that arrives in that window
+        lane queues, *then* parks).  A RESUME that arrives in that window
         waits for the park instead of failing — it runs on the new
         surrogate's lifecycle worker with that connection's reads
         paused, so briefly blocking it stalls nothing else.

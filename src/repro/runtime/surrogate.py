@@ -7,9 +7,12 @@ end device are fielded and carried out by this specific surrogate thread"
 
 A :class:`Surrogate` owns one TCP connection and one
 :class:`~repro.runtime.service.SessionService`.  Requests on a container
-connection are executed on that connection's serial worker so a blocking
+connection are executed on that connection's
+:class:`~repro.runtime.lanes.LaneClient` — a FIFO sub-queue of the
+server's bounded :class:`~repro.runtime.lanes.LanePool` — so a blocking
 ``get`` from the device's display thread never stalls the puts of its
-producer thread (both share the device's single connection).
+producer thread (both share the device's single connection), while the
+server's thread count stays O(lanes) instead of O(connections).
 
 Two receive modes exist:
 
@@ -34,9 +37,14 @@ import threading
 import time
 from typing import Callable, Dict, Optional
 
-from repro.errors import StampedeError, TransportClosedError
+from repro.errors import (
+    ChannelFullError,
+    ItemNotFoundError,
+    StampedeError,
+    TransportClosedError,
+)
 from repro.obs.metrics import COUNT_BOUNDS, GLOBAL_METRICS as _metrics
-from repro.runtime import ops
+from repro.runtime import lanes, ops
 from repro.runtime.reactor import Reactor
 from repro.runtime.service import SessionService
 from repro.transport.message import FrameReader
@@ -68,6 +76,22 @@ def _op_hist(opcode: int):
     return hist
 
 
+#: Container ops that can wait (a consumer's get, a bounded put).  On a
+#: shared lane they are probed non-blockingly first; a genuine wait is
+#: moved off the lane (see :meth:`Surrogate._execute`).
+_BLOCKING_OPS = frozenset({ops.OP_PUT, ops.OP_GET})
+#: What a non-blocking probe raises when the op would have waited.
+_WOULD_BLOCK = (ChannelFullError, ItemNotFoundError)
+
+
+class _Offloaded(Exception):
+    """Internal: the op moved to a dedicated worker; no response yet."""
+
+
+#: Return marker of :meth:`Surrogate._handle` for the offloaded case.
+_OFFLOADED = object()
+
+
 class Surrogate:
     """The cluster-side agent of one end device.
 
@@ -89,6 +113,11 @@ class Surrogate:
     reactor:
         Optional shared event loop.  When given, this surrogate has no
         receive thread: the reactor drives :meth:`_on_readable`.
+    lane_pool:
+        Optional shared :class:`~repro.runtime.lanes.LanePool` for
+        container-op execution.  The server passes its pool so every
+        surrogate shares the same bounded lane set; a standalone
+        (embedded / unit-test) surrogate lazily creates a private pool.
     """
 
     #: Frames drained per readability callback before yielding the loop
@@ -101,7 +130,8 @@ class Surrogate:
                  resume_lookup: Optional[
                      Callable[["Surrogate", str, str], SessionService]
                  ] = None,
-                 reactor: Optional[Reactor] = None) -> None:
+                 reactor: Optional[Reactor] = None,
+                 lane_pool: Optional[lanes.LanePool] = None) -> None:
         self.connection = connection
         self.service = service
         self._on_close = on_close
@@ -109,8 +139,10 @@ class Surrogate:
         self._resume_lookup = resume_lookup
         self._reactor = reactor
         self._closed = threading.Event()
-        self._executors: Dict[int, "_SerialExecutor"] = {}
-        self._executors_lock = threading.Lock()
+        self._lane_pool = lane_pool
+        self._own_pool: Optional[lanes.LanePool] = None
+        self._lanes: Dict[int, lanes.LaneClient] = {}
+        self._lanes_lock = threading.Lock()
         self.last_activity = time.monotonic()
         self.requests_served = 0
         self._name = f"surrogate-{service.session_id}"
@@ -228,8 +260,8 @@ class Surrogate:
         """Unpack a batch envelope and route each inner cast normally.
 
         Each subframe is a complete, individually-encoded cast request;
-        routing it through :meth:`_route` sends it to the same serial
-        executor a lone frame would reach, so per-connection ordering
+        routing it through :meth:`_route` sends it to the same lane
+        client a lone frame would reach, so per-connection ordering
         and dedup semantics are exactly those of unbatched traffic.
         """
         if request_id != ops.CAST_REQUEST_ID:
@@ -245,12 +277,12 @@ class Surrogate:
             _BATCH_ITEMS.observe(len(frames))
         allowed = ops.BATCH_INNER_OPS[batch_opcode]
         # Consecutive items bound for the same connection are handed to
-        # its serial executor as ONE chunk: order within the run is kept
-        # by the executor's FIFO, and the per-item queue/wakeup handoff
+        # its lane client as ONE chunk: order within the run is kept
+        # by the client's FIFO, and the per-item queue/wakeup handoff
         # (two context switches per cast on a busy box) is paid once per
         # run instead of once per item.  Items for different connections
         # already had no mutual ordering guarantee unbatched (parallel
-        # executors), so run boundaries lose nothing.
+        # lanes), so run boundaries lose nothing.
         run: list = []
         run_connection: Optional[int] = None
         for subframe in frames:
@@ -273,29 +305,30 @@ class Surrogate:
             if connection_id is not None \
                     and self.service.has_connection(connection_id):
                 if run and connection_id != run_connection:
-                    self._executor(run_connection).submit_many(run)
+                    self._lane_client(run_connection).submit_many(run)
                     run = []
                 run_connection = connection_id
                 run.append((sub_id, sub_op, sub_args))
             else:
                 if run:
-                    self._executor(run_connection).submit_many(run)
+                    self._lane_client(run_connection).submit_many(run)
                     run = []
                 self._route(sub_id, sub_op, sub_args)
         if run:
-            self._executor(run_connection).submit_many(run)
+            self._lane_client(run_connection).submit_many(run)
 
     def _route(self, request_id: int, opcode: int, args) -> None:
         """Pick the execution context for one decoded request.
 
         * Operations on a container connection (put/get/consume/...)
-          run on that connection's **serial executor**: a lazily-created
-          per-connection worker that preserves issue order even when an
-          operation blocks — without it, a blocked put racing later puts
-          (possible with fire-and-forget streaming) could fill a bounded
-          channel out of order and deadlock an in-order consumer.
-          Different connections execute in parallel, so a display
-          thread's blocking get never stalls its device's producer.
+          run on that connection's **lane client**: a lazily-bound FIFO
+          sub-queue of the bounded lane pool that preserves issue order
+          even when an operation blocks — without it, a blocked put
+          racing later puts (possible with fire-and-forget streaming)
+          could fill a bounded channel out of order and deadlock an
+          in-order consumer.  Different connections execute in parallel
+          across lanes, so a display thread's blocking get never stalls
+          its device's producer.
         * ``attach`` with ``wait`` may block on the name server: its own
           worker thread.
         * In reactor mode, RESUME and BYE (which join or sleep) run on a
@@ -306,11 +339,11 @@ class Surrogate:
           runs inline on the receive context.
         """
         if opcode in ops.OBSERVER_OPS:
-            # Diagnostics must answer even when every serial executor is
-            # wedged behind a blocking container op — that is precisely
-            # the situation being diagnosed.  A fresh daemon thread per
+            # Diagnostics must answer even when every lane is wedged
+            # behind a blocking container op — that is precisely the
+            # situation being diagnosed.  A fresh daemon thread per
             # observer request keeps STATS/TRACE_DUMP off both the
-            # reactor loop and the (possibly stalled) executors; the ops
+            # reactor loop and the (possibly stalled) lanes; the ops
             # only read snapshots, so ordering does not matter.
             threading.Thread(
                 target=self._handle, args=(request_id, opcode, args),
@@ -321,12 +354,12 @@ class Surrogate:
         if connection_id is not None:
             if not self.service.has_connection(connection_id):
                 # Unknown/detached id: answer inline with the usual
-                # RpcError instead of materialising an executor thread —
-                # otherwise a hostile client could mint one thread per
-                # random id.
+                # RpcError instead of minting lane-client state —
+                # otherwise a hostile client could grow the lane table
+                # with one entry per random id.
                 self._handle(request_id, opcode, args)
                 return
-            self._executor(connection_id).submit(
+            self._lane_client(connection_id).submit(
                 (request_id, opcode, args)
             )
             return
@@ -365,15 +398,51 @@ class Surrogate:
         threading.Thread(target=_work, name=f"{self._name}-lifecycle",
                          daemon=True).start()
 
-    def _executor(self, connection_id: int) -> "_SerialExecutor":
-        with self._executors_lock:
-            executor = self._executors.get(connection_id)
-            if executor is None:
-                executor = _SerialExecutor(self, connection_id)
-                self._executors[connection_id] = executor
-            return executor
+    def _lane_client(self, connection_id: int) -> lanes.LaneClient:
+        with self._lanes_lock:
+            client = self._lanes.get(connection_id)
+            if client is None:
+                pool = self._lane_pool
+                if pool is None:
+                    # Standalone embedding (reactor-less unit tests, no
+                    # server): a lazily-created private pool with the
+                    # same default sizing.  Lane threads start lazily,
+                    # so the pool costs only the lanes actually used.
+                    pool = self._own_pool
+                    if pool is None:
+                        pool = self._own_pool = lanes.LanePool(
+                            name=f"{self._name}-lane")
+                client = pool.client(
+                    self._run_request,
+                    name=f"{self._name}-conn{connection_id}",
+                )
+                self._lanes[connection_id] = client
+            return client
 
-    def _handle(self, request_id: int, opcode: int, args) -> None:
+    def _run_request(self, request) -> object:
+        """Lane-client runner: execute one queued request tuple.
+
+        Translates the surrogate's offload marker into the pool's STOP
+        protocol: the in-flight op moved to a dedicated thread with this
+        client suspended, so the lane must not run the connection's
+        later tasks yet.
+        """
+        request_id, opcode, args = request
+        if self._handle(request_id, opcode, args) is _OFFLOADED:
+            return lanes.STOP
+        return None
+
+    def _evict_lane(self, connection_id: Optional[int]) -> None:
+        """Drop a departed connection's lane bookkeeping immediately
+        (clean detach), instead of retaining it until close()."""
+        if connection_id is None:
+            return
+        with self._lanes_lock:
+            client = self._lanes.pop(connection_id, None)
+        if client is not None:
+            client.evict()
+
+    def _handle(self, request_id: int, opcode: int, args) -> object:
         """Execute one request: trace-context + timing around the work.
 
         A trace id the client attached to the frame becomes this
@@ -381,11 +450,14 @@ class Surrogate:
         operation records — the surrogate's own routing event, the
         container's PUT/GET, eventually the GC's RECLAIM of the item it
         stamped — carries the client's id and joins its timeline.
+
+        Returns ``_OFFLOADED`` when the op moved to a dedicated blocking
+        worker (the lane runner translates that into STOP), else None.
         """
         trace_id = args.pop(ops.TRACE_ID_KEY, None)
         t0 = time.monotonic() if _metrics.enabled else 0.0
         if trace_id is None:
-            self._handle_inner(request_id, opcode, args)
+            outcome = self._handle_inner(request_id, opcode, args)
         else:
             prior = tracepoints.set_trace_id(trace_id)
             try:
@@ -394,13 +466,60 @@ class Surrogate:
                     trace(tracepoints.RPC, self.service.session_id,
                           op=schema.name if schema else opcode,
                           side="server")
-                self._handle_inner(request_id, opcode, args)
+                outcome = self._handle_inner(request_id, opcode, args)
             finally:
                 tracepoints.set_trace_id(prior)
         if t0:
             _op_hist(opcode).observe((time.monotonic() - t0) * 1e6)
+        return outcome
 
-    def _handle_inner(self, request_id: int, opcode: int, args) -> None:
+    def _execute(self, request_id: int, opcode: int, args):
+        """``service.execute`` with lane-liveness protection.
+
+        On a lane thread, a PUT/GET that may wait is probed with
+        ``block=False`` first — the hot path (item present, channel has
+        room) stays inline with zero extra threads.  Only when the probe
+        says the op would genuinely block does it move to a transient
+        worker, with this connection's lane client suspended so the
+        device's later operations keep their issue order; the shared
+        lane meanwhile serves its other clients.  Without this, one
+        consumer blocked in ``get`` would wedge every connection on its
+        lane — fatal at ``lanes=1``, where the producer whose put would
+        unblock it is queued *behind* it.
+        """
+        if (opcode in _BLOCKING_OPS and args.get("block")
+                and lanes.current_client() is not None):
+            probe = dict(args)
+            probe["block"] = False
+            try:
+                return self.service.execute(opcode, probe)
+            except _WOULD_BLOCK:
+                self._offload_blocking(request_id, opcode, args)
+                raise _Offloaded()
+        return self.service.execute(opcode, args)
+
+    def _offload_blocking(self, request_id: int, opcode: int,
+                          args) -> None:
+        """Move a genuinely-blocking container op to its own transient
+        thread.  Thread cost is O(concurrently-blocked ops) — paid only
+        while an op actually waits — not O(connections)."""
+        client = lanes.current_client()
+        assert client is not None
+        client.suspend()
+
+        def _work() -> None:
+            try:
+                # Re-enters _handle off the lane: current_client() is
+                # None there, so the op executes with real blocking
+                # semantics and sends its own response.
+                self._handle(request_id, opcode, args)
+            finally:
+                client.resume()
+
+        threading.Thread(target=_work, name=f"{self._name}-blocked-op",
+                         daemon=True).start()
+
+    def _handle_inner(self, request_id: int, opcode: int, args) -> object:
         is_cast = request_id == ops.CAST_REQUEST_ID
         try:
             if opcode == ops.OP_RESUME and \
@@ -411,18 +530,22 @@ class Surrogate:
                         request_id, opcode, results,
                         reclaims=self.service.drain_reclaims(),
                     ))
-                return
+                return None
             if opcode == ops.OP_BYE:
                 # A clean goodbye races queued casts: the device fires
                 # consume casts and BYE back to back, TCP delivers them in
-                # order, but the casts execute on per-connection worker
-                # threads while BYE runs here.  Executing BYE first would
-                # detach the connections out from under the queued
-                # consumes and lose them (leaving items live forever), so
-                # drain the workers before saying goodbye.
-                self._drain_executors()
-            results = self.service.execute(opcode, args)
+                # order, but the casts execute on the lane clients while
+                # BYE runs here.  Executing BYE first would detach the
+                # connections out from under the queued consumes and lose
+                # them (leaving items live forever), so drain the lanes
+                # before saying goodbye.
+                self._drain_lanes()
+            results = self._execute(request_id, opcode, args)
             self.requests_served += 1
+            if opcode == ops.OP_DETACH:
+                # Clean departure: the connection's lane bookkeeping
+                # goes with it (not retained until server close).
+                self._evict_lane(args.get("connection_id"))
             if opcode == ops.OP_BYE:
                 if not is_cast:
                     self._send(ops.encode_ok_response(
@@ -430,13 +553,16 @@ class Surrogate:
                         reclaims=self.service.drain_reclaims(),
                     ))
                 self.close()
-                return
+                return None
             if is_cast:
-                return  # fire-and-forget: no response
-            response = ops.encode_ok_response(
+                return None  # fire-and-forget: no response
+            parts = ops.encode_ok_response_parts(
                 request_id, opcode, results,
                 reclaims=self.service.drain_reclaims(),
             )
+        except _Offloaded:
+            # A dedicated worker owns the op now; it will respond.
+            return _OFFLOADED
         except Exception as exc:  # noqa: BLE001 - becomes an error frame
             if is_cast:
                 _log.warning(
@@ -445,12 +571,13 @@ class Surrogate:
                                        ops.OP_SCHEMAS[ops.OP_PING]).name,
                     self.service.session_id, exc,
                 )
-                return
-            response = ops.encode_error_response(
+                return None
+            parts = [ops.encode_error_response(
                 request_id, type(exc).__name__, str(exc),
                 reclaims=self.service.drain_reclaims(),
-            )
-        self._send(response)
+            )]
+        self._send_parts(parts)
+        return None
 
     def _resume(self, args) -> dict:
         """Adopt a parked session: swap this surrogate's (empty, fresh)
@@ -482,11 +609,23 @@ class Surrogate:
         try:
             self.connection.send_frame(frame)
         except TransportClosedError:
-            if self._reactor is not None \
-                    and self._reactor.on_loop_thread():
-                self._teardown_async()
-            else:
-                self.close(park=True)
+            self._on_send_failed()
+
+    def _send_parts(self, parts) -> None:
+        """Scatter/gather send: response header and payload buffers go
+        to the kernel as one ``sendmsg``, so a cached item payload is
+        never copied into an intermediate response frame."""
+        try:
+            self.connection.send_frame_parts(parts)
+        except TransportClosedError:
+            self._on_send_failed()
+
+    def _on_send_failed(self) -> None:
+        if self._reactor is not None \
+                and self._reactor.on_loop_thread():
+            self._teardown_async()
+        else:
+            self.close(park=True)
 
     # -- teardown --------------------------------------------------------------------
 
@@ -501,8 +640,8 @@ class Surrogate:
     def _teardown_async(self) -> None:
         """Take the connection off the loop; close on a worker thread.
 
-        ``close`` joins executor threads, which must never happen on the
-        reactor thread itself.
+        ``close`` drains lane queues (a bounded wait), which must never
+        happen on the reactor thread itself.
         """
         if self._teardown_started:
             return
@@ -515,14 +654,33 @@ class Surrogate:
             name=f"{self._name}-teardown", daemon=True,
         ).start()
 
-    def _drain_executors(self) -> None:
-        """Run every queued request to completion and park the workers."""
-        with self._executors_lock:
-            executors = list(self._executors.values())
-        for executor in executors:
-            executor.stop()
-        for executor in executors:
-            executor.join(timeout=2.0)
+    #: Shared drain budget at teardown.  The old per-executor join gave
+    #: each worker its own 2 s — worst case 2 s × connections; now every
+    #: client drains against one absolute deadline.
+    _DRAIN_TIMEOUT = 2.0
+
+    def _drain_lanes(self) -> None:
+        """Run every queued request of this surrogate to completion.
+
+        The waits race ONE shared deadline: while we wait on the first
+        client, the others' lanes keep executing in parallel, so a
+        surrogate (or a server with 1000 of them) tears down in at most
+        ``_DRAIN_TIMEOUT`` seconds total.  Deadlock-safe when close()
+        runs on a lane thread — a client affined to the current lane is
+        drained inline by :meth:`~repro.runtime.lanes.LaneClient.drain`.
+        """
+        with self._lanes_lock:
+            clients = list(self._lanes.values())
+        if not clients:
+            return
+        deadline = time.monotonic() + self._DRAIN_TIMEOUT
+        for client in clients:
+            if not client.drain(
+                    timeout=max(0.0, deadline - time.monotonic())):
+                _log.warning(
+                    "surrogate %s: %s still busy at the teardown "
+                    "deadline", self.service.session_id, client.name,
+                )
 
     def close(self, park: bool = False) -> None:
         """Annihilate the surrogate: release session state, drop the pipe.
@@ -545,9 +703,14 @@ class Surrogate:
             self._reactor.remove_reader(self.connection.raw_socket)
         # Same ordering as the BYE path: queued casts must finish before
         # the session's connections detach underneath them.
-        self._drain_executors()
-        with self._executors_lock:
-            self._executors.clear()
+        self._drain_lanes()
+        with self._lanes_lock:
+            clients = list(self._lanes.values())
+            self._lanes.clear()
+        for client in clients:
+            client.evict()
+        if self._own_pool is not None:
+            self._own_pool.close(timeout=self._DRAIN_TIMEOUT)
         parked = False
         if park and self._park is not None and not self.service.closed:
             parked = self._park(self.service)
@@ -570,67 +733,6 @@ class Surrogate:
             f"<Surrogate {self.service.session_id} "
             f"client={self.service.client_name!r} {state}>"
         )
-
-
-class _SerialExecutor:
-    """In-order executor for one wire connection's operations.
-
-    A lazily-started daemon thread drains a FIFO of requests, so the
-    issue order a device thread observes locally is exactly the
-    execution order on the cluster — including across fire-and-forget
-    casts — while other connections proceed in parallel.
-    """
-
-    _STOP = object()
-
-    def __init__(self, surrogate: Surrogate, connection_id: int) -> None:
-        import queue
-
-        self._surrogate = surrogate
-        self._queue: "queue.Queue" = queue.Queue()
-        self._thread = threading.Thread(
-            target=self._run,
-            name=(f"surrogate-{surrogate.service.session_id}"
-                  f"-conn{connection_id}"),
-            daemon=True,
-        )
-        self._thread.start()
-
-    def submit(self, request) -> None:
-        """Enqueue one decoded request for in-order execution."""
-        self._queue.put(request)
-
-    def submit_many(self, requests: list) -> None:
-        """Enqueue a run of decoded requests as one in-order chunk.
-
-        The whole run costs a single queue handoff; the worker executes
-        the items back to back in list order.
-        """
-        self._queue.put(list(requests))
-
-    def stop(self) -> None:
-        """Stop the executor after the queued requests drain."""
-        self._queue.put(self._STOP)
-
-    def join(self, timeout: Optional[float] = None) -> None:
-        """Wait for the drain to finish (no-op from the executor's own
-        thread — a BYE executes *on* this executor and must not
-        self-join)."""
-        if threading.current_thread() is self._thread:
-            return
-        self._thread.join(timeout=timeout)
-
-    def _run(self) -> None:
-        while True:
-            request = self._queue.get()
-            if request is self._STOP:
-                return
-            if isinstance(request, list):  # a submit_many chunk
-                for request_id, opcode, args in request:
-                    self._surrogate._handle(request_id, opcode, args)
-            else:
-                request_id, opcode, args = request
-                self._surrogate._handle(request_id, opcode, args)
 
 
 class LeaseReaper:

@@ -43,6 +43,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="surrogate lease timeout in seconds (default: no reaping)",
     )
     parser.add_argument(
+        "--lanes", type=int, default=None,
+        help="execution lane threads shared by all devices (default: "
+             "$DSTAMPEDE_LANES, else min(32, 4*cpu))",
+    )
+    parser.add_argument(
         "--gc-interval", type=float, default=0.05,
         help="garbage-collector sweep period (default 0.05s)",
     )
@@ -77,6 +82,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     server = StampedeServer(
         runtime, host=args.host, port=args.port,
         device_spaces=spaces or None, lease_timeout=args.lease,
+        lanes=args.lanes,
     ).start()
     watchdog = None
     if args.watchdog is not None:

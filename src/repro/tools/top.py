@@ -101,6 +101,22 @@ def render_dashboard(snap: Dict[str, Any], top_ops: int = 8) -> str:
         f"{counters.get('transport.partial_reads', 0)} partial reads"
     )
 
+    gauges = metrics.get("gauges", {})
+    depth = hists.get("runtime.lanes.queue_depth", {})
+    hits = counters.get("core.encode_cache.hits", 0)
+    misses = counters.get("core.encode_cache.misses", 0)
+    encodes = hits + misses
+    hit_ratio = f"{hits / encodes:.0%}" if encodes else "-"
+    lines.append(
+        f"lanes: {gauges.get('runtime.lanes.count', '-')} "
+        f"({gauges.get('runtime.lanes.busy', 0)} busy, "
+        f"depth {gauges.get('runtime.lanes.depth', 0)}, "
+        f"p95 {depth.get('p95', 0) or 0:.0f}), "
+        f"{counters.get('runtime.lanes.executed', 0)} ops run, "
+        f"{counters.get('runtime.lanes.suspends', 0)} suspends; "
+        f"encode-cache {hits}/{encodes} hits ({hit_ratio})"
+    )
+
     lines.append("")
     lines.append(f"{'container':<24}{'kind':<9}{'live':>6}{'bytes':>10}"
                  f"{'puts':>8}{'reclaim':>8}{'oldest':>9}  blocked-by")

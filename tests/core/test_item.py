@@ -1,4 +1,4 @@
-"""Unit tests for items and size estimation."""
+"""Unit tests for items, the serialize-once cache, and size estimation."""
 
 from repro.core.item import Item, ItemState, _estimate_size
 
@@ -30,6 +30,45 @@ class TestItem:
         text = repr(Item(42, b""))
         assert "42" in text
         assert "live" in text
+
+
+class TestEncodedPayloadCache:
+    def test_first_get_encodes_then_caches(self):
+        calls = []
+
+        def encode(value):
+            calls.append(value)
+            return b"enc:" + value
+
+        item = Item(0, b"payload")
+        data, hit = item.encoded_payload("codec:xdr", encode)
+        assert (data, hit) == (b"enc:payload", False)
+        data, hit = item.encoded_payload("codec:xdr", encode)
+        assert (data, hit) == (b"enc:payload", True)
+        assert calls == [b"payload"], "serializer ran more than once"
+
+    def test_distinct_keys_do_not_share_bytes(self):
+        item = Item(0, b"v")
+        xdr, _ = item.encoded_payload("codec:xdr", lambda v: b"X" + v)
+        jdr, _ = item.encoded_payload("codec:jdr", lambda v: b"J" + v)
+        assert (xdr, jdr) == (b"Xv", b"Jv")
+        # Both stay cached independently.
+        assert item.encoded_payload("codec:xdr", lambda v: b"?")[0] == b"Xv"
+        assert item.encoded_payload("codec:jdr", lambda v: b"?")[0] == b"Jv"
+
+    def test_nothing_pinned_on_dead_items(self):
+        item = Item(0, b"v")
+        item.state = ItemState.GARBAGE
+        data, hit = item.encoded_payload("codec:xdr", lambda v: b"E" + v)
+        assert (data, hit) == (b"Ev", False)
+        assert item.wire_cache is None
+
+    def test_drop_wire_cache_releases_pins(self):
+        item = Item(0, b"v")
+        item.encoded_payload("codec:xdr", lambda v: v)
+        assert item.wire_cache is not None
+        item.drop_wire_cache()
+        assert item.wire_cache is None
 
 
 class TestSizeEstimation:

@@ -56,10 +56,42 @@ class TestThreadHygiene:
                 client.close()
             server.close()
             runtime.shutdown()
-        # Executors, the reactor, lifecycle workers, client receivers and
-        # flushers must all be gone; allow a little slack for unrelated
-        # daemon threads the test runner may own.
+        # Lane threads, the reactor, lifecycle workers, client receivers
+        # and flushers must all be gone; allow a little slack for
+        # unrelated daemon threads the test runner may own.
         assert _settled_count(before) <= before + 1
+
+    def test_busy_devices_use_o_lanes_threads(self):
+        """Active traffic from many devices materialises lane threads,
+        never per-connection threads: the server-side execution thread
+        count is bounded by the configured lane count."""
+        runtime = Runtime(gc_interval=0.05)
+        server = StampedeServer(runtime, lanes=4).start()
+        clients = []
+        try:
+            for index in range(12):
+                clients.append(StampedeClient(
+                    *server.address, client_name=f"busy-{index}"))
+            clients[0].create_channel("fanout")
+            handles = [client.attach("fanout", ConnectionMode.INOUT)
+                       for client in clients]
+            for ts, handle in enumerate(handles):
+                handle.put(ts, ts)
+            for handle in handles:
+                assert handle.get(0, timeout=10.0) == (0, 0)
+            lane_threads = sum(
+                1 for thread in threading.enumerate()
+                if thread.name.startswith("dstampede-lane")
+            )
+            assert 1 <= lane_threads <= 4, (
+                f"{lane_threads} lane threads for a 4-lane server"
+            )
+            assert server.lane_pool.started_threads() <= 4
+        finally:
+            for client in clients:
+                client.close()
+            server.close()
+            runtime.shutdown()
 
     def test_idle_devices_use_no_threads(self):
         runtime = Runtime(gc_interval=0.05)

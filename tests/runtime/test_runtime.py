@@ -1,5 +1,7 @@
 """Unit tests for the in-process cluster runtime and space isolation."""
 
+import time
+
 import pytest
 
 from repro.core.connection import Connection, ConnectionMode
@@ -132,6 +134,52 @@ class TestAttachAndIsolation:
         _, frame = inp.get(0)
         assert isinstance(frame, Frame)
         assert frame.pixels == [1, 2, 3]
+
+    def test_fan_out_serializes_once_per_item(self, rt):
+        """§3.2.4 serializer economy: N isolated consumers of one item
+        cost one serializer invocation, not N — the encoded bytes are
+        pinned on the item and each consumer rehydrates its own copy."""
+        calls = []
+
+        class Frame:
+            def __init__(self, pixels):
+                self.pixels = pixels
+
+        def serialize(frame):
+            calls.append(frame)
+            return bytes(frame.pixels)
+
+        ch = rt.create_channel("fan", space="A")
+        ch.set_serializer(
+            serializer=serialize,
+            deserializer=lambda data: Frame(list(data)),
+        )
+        out = rt.attach("fan", ConnectionMode.OUT, from_space="A")
+        consumers = [rt.attach("fan", ConnectionMode.IN, from_space="B")
+                     for _ in range(8)]
+        out.put(0, Frame([1, 2, 3]))
+        frames = [conn.get(0)[1] for conn in consumers]
+        assert all(f.pixels == [1, 2, 3] for f in frames)
+        assert len({id(f) for f in frames}) == 8, "copies must be private"
+        assert len(calls) == 1, (
+            f"serializer ran {len(calls)} times for an 8-consumer fan-out"
+        )
+
+    def test_reclaim_drops_pinned_encoding(self, rt):
+        ch = rt.create_channel("short", space="A")
+        out = rt.attach("short", ConnectionMode.OUT, from_space="A")
+        inp = rt.attach("short", ConnectionMode.IN, from_space="B")
+        out.put(0, b"payload")
+        inp.get(0)
+        item = ch._items[0]
+        assert item.wire_cache, "boundary get should have pinned bytes"
+        inp.consume(0)
+        out.detach()  # producer leaves; consumer marks decide GC
+        deadline = time.monotonic() + 5.0
+        while 0 in ch._items:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        assert item.wire_cache is None, "reclaim must drop the cache"
 
     def test_isolated_connection_full_api(self, rt):
         rt.create_channel("c", space="A", capacity=10)

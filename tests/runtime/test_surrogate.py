@@ -117,9 +117,9 @@ class TestRequestHandling:
 
 
 class TestExecutorHygiene:
-    def test_bogus_connection_ids_do_not_mint_executors(self, wired):
-        """Hostile connection ids must be answered inline, not grow one
-        executor thread each."""
+    def test_bogus_connection_ids_do_not_mint_lane_state(self, wired):
+        """Hostile connection ids must be answered inline, not grow lane
+        bookkeeping each."""
         surrogate, device = wired
         for bogus in (1_000, 2_000, 3_000, 4_000):
             response = roundtrip(device, bogus, ops.OP_CONSUME, {
@@ -127,9 +127,9 @@ class TestExecutorHygiene:
             })
             assert not response.ok
             assert response.error_type == "RpcError"
-        assert surrogate._executors == {}
+        assert surrogate._lanes == {}
 
-    def test_real_connection_gets_exactly_one_executor(self, rt, wired):
+    def test_real_connection_gets_exactly_one_lane_client(self, rt, wired):
         surrogate, device = wired
         rt.create_channel("exec-chan", space="N1")
         response = roundtrip(device, 1, ops.OP_ATTACH, {
@@ -147,7 +147,7 @@ class TestExecutorHygiene:
                 "block": False, "has_timeout": False, "timeout": 0.0,
             })
             assert reply.ok
-        assert list(surrogate._executors) == [conn_id]
+        assert list(surrogate._lanes) == [conn_id]
 
 
 class TestLeaseReaper:
