@@ -1,0 +1,213 @@
+"""Shard scale benchmark: puts/s across worker processes at 1000 devices.
+
+BENCH_scale.json settles one question — lanes do not buy throughput on
+container puts (puts/s is flat from 1 to 32 lanes) because CPython's
+GIL serialises them.  This module measures the escape hatch: the same
+1000-device cast-put drain against ``shards ∈ {1, 2, 4}`` worker
+*processes* sharing the front-door port via ``SO_REUSEPORT``.
+
+Placement follows the docs/SCALING.md playbook: one channel per shard
+(named with :func:`repro.runtime.shards.local_name`), and every device
+asks SHARD_MAP where its connection landed, then streams to the channel
+its own shard owns — all puts shard-local, which is the workload
+sharding is for.  Cross-shard forwarding costs ride the RPC benchmarks
+instead.
+
+Honesty gates (read before comparing machines):
+
+* numbers are recorded with the host's ``cpu_count``; on a single-core
+  host N processes time-slice one core and the curve is *expected* to
+  be flat or slightly negative — the scaling assertion
+  (``shards=4 >= 2.5x shards=1``) only arms when the host has >= 4
+  CPUs;
+* the ``shards=1`` run must stay within 10% of the single-process
+  BENCH_scale baseline at the same lane count — the sharding machinery
+  may cost nothing when it is not used (this gate always arms, it is
+  the perf twin of the ``DSTAMPEDE_SHARDS=1`` CI oracle).
+
+Summaries land in ``BENCH_shard.json``; ``BENCH_UPDATE=1`` re-baselines
+and ``BENCH_QUICK=1`` runs a CI-sized smoke that never writes it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import print_series, write_csv
+from repro import Runtime, StampedeClient, StampedeServer
+from repro.marshal import get_codec
+from repro.runtime import ops
+from repro.runtime.shards import local_name
+from repro.transport.tcp import connect_tcp
+
+BASELINE_PATH = Path(__file__).parent.parent / "BENCH_shard.json"
+SCALE_BASELINE_PATH = Path(__file__).parent.parent / "BENCH_scale.json"
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+
+DEVICES = 100 if QUICK else 1000
+CASTS_PER_DEVICE = 2 if QUICK else 3
+SHARD_COUNTS = [1, 2, 4]
+#: Matches the BENCH_scale "8" row so the shards=1 oracle gate compares
+#: like with like.
+LANES = 8
+PAYLOAD = b"x" * 256
+#: shards=4 must beat shards=1 by this factor — on hosts that have the
+#: cores for it to be physically possible.
+SCALING_FACTOR = 2.5
+#: shards=1 may lag the single-process baseline by at most this much.
+ORACLE_TOLERANCE = 0.10
+
+
+def _rpc(device, request_id: int, opcode: int, args: dict) -> dict:
+    device.send_frame(ops.encode_request(request_id, opcode, args))
+    response = ops.decode_response(device.recv_frame(timeout=30.0),
+                                   opcode)
+    assert response.ok, response.error_type
+    return response.results
+
+
+def _measure_shard_config(shards: int) -> dict:
+    """The 1000-device cast-put drain rate at one shard count."""
+    runtime = Runtime(gc_interval=60.0)
+    runtime.create_address_space("N1")
+    server = StampedeServer(runtime, device_spaces=["N1"],
+                            lanes=LANES, shards=shards).start()
+    devices = []
+    try:
+        # One channel per shard, placed on it by name (the playbook).
+        admin = StampedeClient(*server.address, client_name="admin")
+        channels = [local_name("scale", shard, shards)
+                    for shard in range(shards)]
+        for name in channels:
+            admin.create_channel(name, space="N1")
+        admin.close()
+
+        for _ in range(DEVICES):
+            devices.append(connect_tcp(server.address))
+        conn_ids = []
+        occupancy = [0] * shards
+        for device in devices:
+            info = _rpc(device, 1, ops.OP_SHARD_MAP, {})
+            shard_id = info["shard_id"]
+            occupancy[shard_id] += 1
+            results = _rpc(device, 2, ops.OP_ATTACH, {
+                "container": channels[shard_id], "mode": "out",
+                "wait": False, "wait_timeout": 0.0, "filter": b"",
+            })
+            conn_ids.append(results["connection_id"])
+
+        payload = get_codec("xdr").encode(PAYLOAD)
+
+        def put_frame(request_id, conn_id, timestamp):
+            return ops.encode_request(request_id, ops.OP_PUT, {
+                "connection_id": conn_id, "timestamp": timestamp,
+                "payload": payload, "block": True,
+                "has_timeout": False, "timeout": 0.0,
+            })
+
+        start = time.perf_counter()
+        timestamp = 0
+        for device, conn_id in zip(devices, conn_ids):
+            for _ in range(CASTS_PER_DEVICE):
+                device.send_frame(put_frame(
+                    ops.CAST_REQUEST_ID, conn_id, timestamp))
+                timestamp += 1
+        # Barrier: one synchronous put per device runs strictly after
+        # that device's casts (same connection, same ordered path).
+        for device, conn_id in zip(devices, conn_ids):
+            device.send_frame(put_frame(3, conn_id, timestamp))
+            timestamp += 1
+        for device in devices:
+            response = ops.decode_response(
+                device.recv_frame(timeout=120.0), ops.OP_PUT)
+            assert response.ok, response.error_type
+        elapsed = time.perf_counter() - start
+    finally:
+        for device in devices:
+            device.close()
+        server.close()
+        runtime.shutdown()
+
+    total_puts = DEVICES * (CASTS_PER_DEVICE + 1)
+    return {
+        "shards": shards,
+        "devices": DEVICES,
+        "lanes": LANES,
+        "cpu_count": os.cpu_count() or 1,
+        "puts_per_s": total_puts / elapsed,
+        "devices_per_shard": occupancy,
+    }
+
+
+def test_bench_puts_vs_shards(results_dir):
+    """The shard curve at 1000 devices, with the honesty gates."""
+    summary = {}
+    rows = []
+    for shards in SHARD_COUNTS:
+        result = _measure_shard_config(shards)
+        summary[str(shards)] = result
+        rows.append([
+            shards, result["devices"], result["cpu_count"],
+            round(result["puts_per_s"], 1),
+            "/".join(str(n) for n in result["devices_per_shard"]),
+        ])
+
+    header = ["shards", "devices", "cpus", "puts_per_s",
+              "devices_per_shard"]
+    write_csv(results_dir / "shard_scale.csv", header, rows)
+    print_series(f"shard scale at {DEVICES} connections", header, rows)
+
+    cpus = os.cpu_count() or 1
+    s1 = summary["1"]["puts_per_s"]
+    s4 = summary["4"]["puts_per_s"]
+    if cpus >= 4:
+        assert s4 >= SCALING_FACTOR * s1, (
+            f"shards=4 at {s4:.0f} puts/s vs shards=1 at {s1:.0f} on a "
+            f"{cpus}-CPU host — sharding is not scaling"
+        )
+    else:
+        print(f"[gate skipped] {cpus} CPU(s): {SHARD_COUNTS[-1]} "
+              f"processes time-slice one core; scaling assertion "
+              f"needs >= 4")
+
+    # The always-on oracle: unused sharding machinery must be free.
+    if SCALE_BASELINE_PATH.exists() and not QUICK:
+        scale = json.loads(SCALE_BASELINE_PATH.read_text())
+        reference = scale.get("lanes", {}).get(str(LANES))
+        if reference:
+            floor = reference["puts_per_s"] * (1 - ORACLE_TOLERANCE)
+            assert s1 >= floor, (
+                f"shards=1 at {s1:.0f} puts/s vs single-process "
+                f"baseline {reference['puts_per_s']:.0f} — the shard "
+                f"plumbing slowed the unsharded server"
+            )
+
+    _check_or_write_baseline(summary)
+
+
+def _check_or_write_baseline(summary: dict) -> None:
+    """Record BENCH_shard.json (or, once it exists, compare loosely)."""
+    if BASELINE_PATH.exists() and not os.environ.get("BENCH_UPDATE"):
+        if QUICK:
+            return
+        baseline = json.loads(BASELINE_PATH.read_text())["shards"]
+        for shards, result in summary.items():
+            recorded = baseline.get(shards)
+            if recorded and recorded.get("cpu_count") == \
+                    result["cpu_count"]:
+                assert result["puts_per_s"] >= \
+                    recorded["puts_per_s"] / 2.0, (
+                        f"shards={shards}: {result['puts_per_s']:.0f} "
+                        f"puts/s vs baseline "
+                        f"{recorded['puts_per_s']:.0f} (>2x regression)"
+                    )
+        return
+    if QUICK:
+        return  # never baseline from a quick run
+    BASELINE_PATH.write_text(
+        json.dumps({"shards": summary}, indent=2, sort_keys=True) + "\n"
+    )

@@ -352,7 +352,10 @@ def run_chat_room(participants: int = 3, frames: int = 6,
         raise ValueError("a chat room needs at least two participants")
     runtime = Runtime(name="telepresence", gc_interval=0.02)
     runtime.create_address_space("fusion")
-    server = StampedeServer(runtime, device_spaces=["edge"]).start()
+    # shards=1: avatar builders attach to this runtime object directly,
+    # which fork-sharding cannot support (see docs/SCALING.md).
+    server = StampedeServer(runtime, device_spaces=["edge"],
+                            shards=1).start()
     stations: List[TelepresenceStation] = []
     try:
         host, port = server.address

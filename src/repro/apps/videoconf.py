@@ -61,9 +61,14 @@ class ConferenceServer:
         self.mixer_mode = mixer_mode
         self.runtime = Runtime(name="videoconf", gc_interval=0.02)
         self.runtime.create_address_space("N_M")
+        # shards is pinned to 1: the mixer threads live in this process
+        # and attach to the runtime object directly, so the space-time
+        # memory cannot be fork-sharded out from under them (sharding
+        # requires every producer/consumer to enter through the TCP
+        # front door — see docs/SCALING.md).
         self.server = StampedeServer(
             self.runtime, host=host, port=port,
-            device_spaces=["N1", "N2"],
+            device_spaces=["N1", "N2"], shards=1,
         ).start()
         self.runtime.create_channel(COMPOSITE_CHANNEL, space="N_M",
                                     capacity=8)

@@ -455,6 +455,18 @@ class StampedeClient:
         """Bound names, optionally filtered by kind."""
         return self._call(ops.OP_NS_LIST, {"kind": kind})["names"]
 
+    def ns_refresh(self, name: str) -> bool:
+        """Refresh one leased binding by name (NS_REFRESH wire op).
+
+        Returns False for unleased, unbound, or already-expired names —
+        refreshes race expiry by design.  The heartbeat PING already
+        refreshes every name this device registered; this call is for
+        refreshing a *specific* lease, possibly registered by someone
+        else (the shard control plane forwards per-name refreshes this
+        way).
+        """
+        return self._call(ops.OP_NS_REFRESH, {"name": name})["refreshed"]
+
     # -- misc -------------------------------------------------------------------------
 
     def ping(self, payload: bytes = b"") -> bytes:
@@ -482,6 +494,24 @@ class StampedeClient:
         """
         results = self._call(ops.OP_STATS, {})
         return json.loads(bytes(results["snapshot"]).decode("utf-8"))
+
+    def shard_map(self) -> dict:
+        """The cluster's shard topology (SHARD_MAP wire op).
+
+        Returns ``{"shard_id", "shards", "peers"}``: which shard this
+        connection landed on, how many shards serve the front door, and
+        each shard's private peer-door address.  A single-process
+        server answers ``shard_id=0, shards=1`` — no special case
+        needed.  Producers use this with
+        :func:`repro.runtime.shards.local_name` to place containers on
+        their own shard (see docs/SCALING.md).
+        """
+        results = self._call(ops.OP_SHARD_MAP, {})
+        raw = bytes(results["peers"]).decode("utf-8") or "{}"
+        peers = {int(sid): tuple(address)
+                 for sid, address in json.loads(raw).items()}
+        return {"shard_id": results["shard_id"],
+                "shards": results["shards"], "peers": peers}
 
     def trace_dump(self, max_events: int = 0,
                    clear: bool = False) -> dict:

@@ -1,0 +1,209 @@
+"""Merging observability snapshots across shard workers.
+
+A sharded server is N processes, each with its own
+:data:`~repro.obs.metrics.GLOBAL_METRICS` registry and its own runtime.
+Dashboards and scrapers must see **one logical server** — "the server
+library ... within an SMP" presents a single body to the tentacles — so
+the shard that answers a STATS request folds its peers' snapshots into
+its own with the functions here.
+
+Merge rules per instrument kind:
+
+* **counters** and **gauges** sum (every gauge the runtime exports —
+  queue depths, started threads, live connections — is a per-process
+  quantity whose cluster-wide meaning is the total);
+* **histograms** merge bucket-wise when the bound ladders agree
+  (they do: every process builds them from the same code), then the
+  summary statistics (mean, p50/p95/p99) are recomputed from the merged
+  buckets with the same linear interpolation
+  :meth:`repro.obs.metrics.Histogram.percentile` uses, so a merged
+  quantile is exactly what one process observing all the samples would
+  have reported at bucket granularity;
+* **probes** are histograms plus an ``ops`` tick estimate, which sums;
+* **containers** concatenate — each container lives on exactly one
+  shard, so the union is disjoint;
+* **spaces** (GC reports) concatenate likewise, tagged with the shard
+  that owns them.
+
+Everything operates on the plain-JSON snapshot dicts that travel in the
+STATS wire op, never on live registries, so the merge works identically
+for in-process peers and remote ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "merge_histogram_snapshots",
+    "merge_metrics_snapshots",
+    "merge_stats_snapshots",
+]
+
+
+def _recompute_quantile(buckets: List[List[float]], overflow: int,
+                        count: int, lo_min: float, hi_max: float,
+                        q: float) -> float:
+    """Bucket-interpolated quantile over a merged bucket list.
+
+    Mirrors :meth:`repro.obs.metrics.Histogram.percentile`: linear
+    interpolation inside the bucket holding the target rank, clamped to
+    the merged [min, max].
+    """
+    if q == 0:
+        return lo_min
+    if q == 100:
+        return hi_max
+    target = (q / 100.0) * count
+    cumulative = 0
+    bounds = [b for b, _n in buckets]
+    counts = [n for _b, n in buckets] + [overflow]
+    for idx, bucket_count in enumerate(counts):
+        if not bucket_count:
+            continue
+        if cumulative + bucket_count >= target:
+            lo = bounds[idx - 1] if idx else lo_min
+            hi = bounds[idx] if idx < len(bounds) else hi_max
+            lo = max(lo, lo_min)
+            hi = min(hi, hi_max)
+            if hi <= lo:
+                return lo
+            fraction = (target - cumulative) / bucket_count
+            return lo + fraction * (hi - lo)
+        cumulative += bucket_count
+    return hi_max
+
+
+def merge_histogram_snapshots(snaps: Sequence[Dict[str, Any]]
+                              ) -> Dict[str, Any]:
+    """Fold histogram snapshot dicts into one.
+
+    All inputs must share a bucket ladder (same code built them); a
+    snapshot with a different ladder is skipped rather than corrupting
+    the merge — version skew between shards is a restart away, not a
+    crash.
+    """
+    snaps = [s for s in snaps if s]
+    if not snaps:
+        return {}
+    base = snaps[0]
+    bounds = [b for b, _n in base.get("buckets", [])]
+    merged_buckets = [[b, 0] for b in bounds]
+    overflow = 0
+    count = 0
+    total = 0.0
+    lo = float("inf")
+    hi = float("-inf")
+    for snap in snaps:
+        if [b for b, _n in snap.get("buckets", [])] != bounds:
+            continue  # incompatible ladder: skip, never corrupt
+        for i, (_b, n) in enumerate(snap["buckets"]):
+            merged_buckets[i][1] += n
+        overflow += snap.get("overflow", 0)
+        count += snap.get("count", 0)
+        total += snap.get("total", 0.0)
+        if snap.get("count"):
+            lo = min(lo, snap["min"])
+            hi = max(hi, snap["max"])
+    merged: Dict[str, Any] = {
+        "unit": base.get("unit", "us"),
+        "count": count,
+        "total": total,
+        "buckets": merged_buckets,
+        "overflow": overflow,
+    }
+    if count:
+        merged.update(
+            min=lo, max=hi, mean=total / count,
+            p50=_recompute_quantile(merged_buckets, overflow, count,
+                                    lo, hi, 50),
+            p95=_recompute_quantile(merged_buckets, overflow, count,
+                                    lo, hi, 95),
+            p99=_recompute_quantile(merged_buckets, overflow, count,
+                                    lo, hi, 99),
+        )
+    return merged
+
+
+def _merge_probe_snapshots(snaps: Sequence[Dict[str, Any]]
+                           ) -> Dict[str, Any]:
+    merged = merge_histogram_snapshots(snaps)
+    merged["ops"] = sum(s.get("ops", 0) for s in snaps if s)
+    merged["sampled"] = merged.get("count", 0)
+    merged["sample_every"] = next(
+        (s["sample_every"] for s in snaps if s and "sample_every" in s), 64
+    )
+    return merged
+
+
+def merge_metrics_snapshots(snaps: Sequence[Dict[str, Any]]
+                            ) -> Dict[str, Any]:
+    """Fold ``MetricsRegistry.snapshot()`` dicts into one registry view."""
+    snaps = [s for s in snaps if s]
+    if not snaps:
+        return {}
+    merged: Dict[str, Any] = {
+        "enabled": any(s.get("enabled") for s in snaps),
+        "monotonic": max(s.get("monotonic", 0.0) for s in snaps),
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+        "probes": {},
+    }
+    for snap in snaps:
+        for name, value in snap.get("counters", {}).items():
+            merged["counters"][name] = (
+                merged["counters"].get(name, 0) + value)
+        for name, value in snap.get("gauges", {}).items():
+            merged["gauges"][name] = merged["gauges"].get(name, 0.0) + value
+    hist_names = {n for s in snaps for n in s.get("histograms", {})}
+    for name in hist_names:
+        merged["histograms"][name] = merge_histogram_snapshots(
+            [s.get("histograms", {}).get(name) for s in snaps])
+    probe_names = {n for s in snaps for n in s.get("probes", {})}
+    for name in probe_names:
+        merged["probes"][name] = _merge_probe_snapshots(
+            [s.get("probes", {}).get(name) for s in snaps])
+    collectors = [s["collectors"] for s in snaps if "collectors" in s]
+    if collectors:
+        # Collector payloads are free-form; keep each shard's verbatim.
+        merged["collectors"] = {
+            f"shard{i}": c for i, c in enumerate(collectors)
+        } if len(collectors) > 1 else collectors[0]
+    return merged
+
+
+def merge_stats_snapshots(snaps: Sequence[Dict[str, Any]],
+                          shard_ids: Optional[Sequence[int]] = None
+                          ) -> Dict[str, Any]:
+    """Fold full ``observability_snapshot`` payloads into one.
+
+    *snaps* is ordered; ``shard_ids`` (parallel to it) labels each
+    space/container entry with its owning shard so dashboards can show
+    placement.  The merged payload gains a ``"shards"`` key with the
+    participating shard count.
+    """
+    snaps = [s for s in snaps if s]
+    if not snaps:
+        return {}
+    if shard_ids is None:
+        shard_ids = list(range(len(snaps)))
+    merged: Dict[str, Any] = {
+        "runtime": snaps[0].get("runtime", ""),
+        "monotonic": max(s.get("monotonic", 0.0) for s in snaps),
+        "shards": len(snaps),
+        "metrics": merge_metrics_snapshots(
+            [s.get("metrics", {}) for s in snaps]),
+        "spaces": [],
+        "containers": [],
+    }
+    for shard_id, snap in zip(shard_ids, snaps):
+        for space in snap.get("spaces", []):
+            entry = dict(space)
+            entry["shard"] = shard_id
+            merged["spaces"].append(entry)
+        for container in snap.get("containers", []):
+            entry = dict(container)
+            entry["shard"] = shard_id
+            merged["containers"].append(entry)
+    return merged

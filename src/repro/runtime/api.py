@@ -38,8 +38,13 @@ class StampedeApp:
     serve:
         When true, start a :class:`StampedeServer` so end devices can
         join over TCP.
-    host, port, device_spaces, lease_timeout, lanes:
-        Forwarded to the server when *serve* is true.
+    host, port, device_spaces, lease_timeout, lanes, shards:
+        Forwarded to the server when *serve* is true.  ``shards``
+        defaults to 1 here (``DSTAMPEDE_SHARDS`` is *not* consulted):
+        an application holds the runtime object and may attach to it
+        from in-process threads, which fork-sharding cannot support.
+        Pass ``shards=N`` explicitly only when every producer and
+        consumer joins through the TCP front door (docs/SCALING.md).
     """
 
     def __init__(self, name: str = "dstampede-app",
@@ -50,7 +55,8 @@ class StampedeApp:
                  lease_timeout: Optional[float] = None,
                  gc_interval: float = 0.05,
                  default_codec: str = "xdr",
-                 lanes: Optional[int] = None) -> None:
+                 lanes: Optional[int] = None,
+                 shards: Optional[int] = None) -> None:
         self.runtime = Runtime(name=name, gc_interval=gc_interval,
                                default_codec=default_codec)
         for space in address_spaces or []:
@@ -60,7 +66,7 @@ class StampedeApp:
             self.server = StampedeServer(
                 self.runtime, host=host, port=port,
                 device_spaces=device_spaces, lease_timeout=lease_timeout,
-                lanes=lanes,
+                lanes=lanes, shards=1 if shards is None else shards,
             ).start()
 
     # -- delegation ------------------------------------------------------------

@@ -118,6 +118,12 @@ class FederatedRuntime:
     bridge_codec:
         Wire personality for outgoing bridges (peers may differ — the
         "heterogeneous clusters" of the future-work item).
+    shards:
+        Defaults to 1 (``DSTAMPEDE_SHARDS`` is *not* consulted): a
+        federated cluster creates containers on its runtime object
+        directly, which fork-sharding cannot support.  Pass
+        ``shards=N`` explicitly only for a pure front-door head where
+        all traffic joins over TCP (docs/SCALING.md).
     """
 
     def __init__(self, cluster_name: str,
@@ -127,7 +133,8 @@ class FederatedRuntime:
                  lease_timeout: Optional[float] = None,
                  bridge_codec: str = "xdr",
                  bridge_heartbeat: Optional[float] = None,
-                 lanes: Optional[int] = None) -> None:
+                 lanes: Optional[int] = None,
+                 shards: Optional[int] = None) -> None:
         self.cluster_name = cluster_name
         self.runtime = runtime if runtime is not None else Runtime(
             name=cluster_name
@@ -139,7 +146,7 @@ class FederatedRuntime:
             self.server = StampedeServer(
                 self.runtime, host=host, port=port,
                 device_spaces=device_spaces, lease_timeout=lease_timeout,
-                lanes=lanes,
+                lanes=lanes, shards=1 if shards is None else shards,
             ).start()
         self._bridges: Dict[str, ClusterBridge] = {}
         self._lock = threading.Lock()

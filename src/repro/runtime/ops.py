@@ -65,6 +65,8 @@ OP_PUT_BATCH = 20
 OP_CONSUME_BATCH = 21
 OP_STATS = 22
 OP_TRACE_DUMP = 23
+OP_SHARD_MAP = 24
+OP_NS_REFRESH = 25
 
 STATUS_OK = 0
 STATUS_ERROR = 1
@@ -244,6 +246,31 @@ OP_SCHEMAS: Dict[int, OpSchema] = {
         args=[("max_events", "u32"), ("clear", "bool")],
         results=[("events", "bytes")],
     ),
+    OP_SHARD_MAP: OpSchema(
+        "shard_map",
+        # Shard-cluster control plane: which shard accepted this
+        # connection, how many shards exist, and every shard's private
+        # peer-door address (JSON ``{"0": [host, port], ...}``).  A
+        # single-process server answers ``shard_id=0, shards=1`` so
+        # clients need no special case.  Clients use this to place
+        # containers on their own shard (see docs/SCALING.md).
+        args=[],
+        results=[("shard_id", "u32"), ("shards", "u32"),
+                 ("peers", "bytes")],
+    ),
+    OP_NS_REFRESH: OpSchema(
+        "ns_refresh",
+        # Refresh one leased name-server binding without side effects.
+        # Introduced for the shard control plane: a device's PING lands
+        # on the shard that accepted its connection, but a leased name
+        # it registered may live on the shard the ring assigned it —
+        # the accepting shard forwards the refresh per name over its
+        # peer link.  Useful to ordinary clients too.  ``refreshed`` is
+        # False for unleased/unbound names (heartbeats race expiry by
+        # design and must not error).
+        args=[("name", "str")],
+        results=[("refreshed", "bool")],
+    ),
 }
 
 #: Diagnostic operations the surrogate serves on a dedicated thread,
@@ -296,6 +323,8 @@ IDEMPOTENT_OPS = frozenset({
     # STATS is a pure read.  TRACE_DUMP is deliberately absent: with
     # ``clear`` set it drains the ring, so a blind replay loses events.
     OP_STATS,
+    OP_SHARD_MAP,  # pure read of static cluster topology
+    OP_NS_REFRESH,  # refreshing twice equals refreshing once
 })
 
 _OPCODE_BY_NAME = {schema.name: code for code, schema in OP_SCHEMAS.items()}

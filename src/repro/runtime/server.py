@@ -76,6 +76,24 @@ class StampedeServer:
         connection always run in arrival order regardless of the lane
         count; ``lanes=1`` serialises the whole server (useful as an
         ordering oracle in tests).
+    shards:
+        Number of worker **processes** sharing the front door (the
+        Octopus body; see :mod:`repro.runtime.shards`).  Default: the
+        ``DSTAMPEDE_SHARDS`` environment variable, else 1.  With
+        ``shards=N > 1`` this server forks N-1 workers, each owning a
+        consistent-hash slice of the container names and listening on
+        the *same* port via ``SO_REUSEPORT``; this instance is shard 0.
+        ``shards=1`` builds none of that machinery and is byte-for-byte
+        the single-process server (the CI oracle, mirroring
+        ``lanes=1``).  Lanes scale threads inside one GIL; shards scale
+        processes across cores.
+    reuse_port:
+        Bind the listener with ``SO_REUSEPORT`` (shard workers set
+        this; there is no reason to outside the sharding machinery).
+    router:
+        Internal — the :class:`~repro.runtime.shards.ShardRouter` of a
+        cluster member.  A server given a router is one member of an
+        existing shard cluster and never forks.
     """
 
     def __init__(self, runtime: Runtime, host: str = "127.0.0.1",
@@ -83,7 +101,10 @@ class StampedeServer:
                  device_spaces: Optional[List[str]] = None,
                  lease_timeout: Optional[float] = None,
                  session_grace: Optional[float] = None,
-                 lanes: Optional[int] = None) -> None:
+                 lanes: Optional[int] = None,
+                 shards: Optional[int] = None,
+                 reuse_port: bool = False,
+                 router: Optional[object] = None) -> None:
         if session_grace is not None and session_grace <= 0:
             raise ValueError("session_grace must be positive")
         if lease_timeout is not None and lease_timeout <= 0:
@@ -99,7 +120,21 @@ class StampedeServer:
             except Exception:  # noqa: BLE001 - missing space
                 runtime.create_address_space(space)
         self._space_cycle = itertools.cycle(self._spaces)
-        self._listener = TcpListener(host, port)
+        self._router = router
+        self._cluster = None
+        self._peer_door: Optional["StampedeServer"] = None
+        if router is not None:
+            # A cluster member (worker front door or a peer door): the
+            # forking was done by whoever built the router.
+            self.shards = 1
+        else:
+            from repro.runtime.shards import resolve_shards
+
+            self.shards = resolve_shards(shards)
+        if router is None and self.shards > 1:
+            port, reuse_port = self._start_shard_cluster(
+                host, port, lanes)
+        self._listener = TcpListener(host, port, reuse_port=reuse_port)
         self._address = self._listener.address
         self._surrogates: Dict[str, Surrogate] = {}
         self._surrogates_lock = threading.Lock()
@@ -107,6 +142,53 @@ class StampedeServer:
         self._reactor = Reactor(name="dstampede-reactor")
         self._lane_pool = LanePool(lanes)
         self._lane_pool.register_gauges()
+
+    def _start_shard_cluster(self, host: str, port: int,
+                             lanes: Optional[int]) -> Tuple[int, bool]:
+        """Fork the worker shards and become shard 0.
+
+        Order matters: the front-door port is reserved first (so
+        ``port=0`` resolves exactly once), the workers fork **before**
+        this process starts any reactor/lane threads (forking a
+        multithreaded process keeps only the forking thread alive in
+        the child), and only then does shard 0 open its own peer door
+        and broadcast the complete shard map.  Returns the resolved
+        port and the ``reuse_port`` flag for this instance's listener.
+        """
+        from repro.runtime.shards import (
+            ShardConfig,
+            ShardRouter,
+            _ShardCluster,
+        )
+
+        self._router = ShardRouter(0, self.shards)
+        config = ShardConfig(
+            shard_id=0, shards=self.shards, host=host, port=port,
+            device_spaces=tuple(self._spaces),
+            lease_timeout=self._lease_timeout,
+            session_grace=self._session_grace, lanes=lanes,
+            gc_interval=getattr(self.runtime, "_gc_interval", 0.05),
+            runtime_name=self.runtime.name,
+        )
+        self._cluster = _ShardCluster(config)
+        try:
+            self._peer_door = StampedeServer(
+                self.runtime, host=host, port=0,
+                device_spaces=list(self._spaces), lanes=lanes,
+                router=self._router.peer_view(),
+            ).start()
+            peers = dict(self._cluster.worker_peers)
+            peers[0] = self._peer_door.address
+            self._router.set_peers(peers)
+            self._cluster.broadcast_map(peers)
+        except Exception:
+            if self._peer_door is not None:
+                self._peer_door.close()
+            self._cluster.close()
+            raise
+        _log.info("shard cluster up: %d shards on port %d",
+                  self.shards, self._cluster.port)
+        return self._cluster.port, True
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -164,6 +246,13 @@ class StampedeServer:
         for entry in parked:
             entry.service.close()
         self._lane_pool.close()
+        if self._cluster is not None:
+            # Workers quiesce first: their in-flight cross-shard
+            # forwards may still need shard 0's peer door and router.
+            self._cluster.close()
+            if self._peer_door is not None:
+                self._peer_door.close()
+            self._router.close()
         _log.info("server on %s closed", self.address)
 
     def __enter__(self) -> "StampedeServer":
@@ -201,7 +290,8 @@ class StampedeServer:
             self._admit(TcpConnection(sock))
 
     def _admit(self, connection: TcpConnection) -> None:
-        service = SessionService(self.runtime, next(self._space_cycle))
+        service = SessionService(self.runtime, next(self._space_cycle),
+                                 router=self._router)
         surrogate = Surrogate(
             connection, service, on_close=self._forget,
             park=self._park_session,

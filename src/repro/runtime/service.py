@@ -22,7 +22,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core.connection import Connection, ConnectionMode
 from repro.core.container import Container
 from repro.core.timestamps import NEWEST, OLDEST
-from repro.errors import RpcError
+from repro.errors import RpcError, StampedeError
 from repro.marshal import get_codec
 from repro.runtime import ops
 from repro.runtime.nameserver import NameRecord
@@ -49,13 +49,25 @@ class SessionService:
         listener lives in, §4).
     client_name:
         Diagnostic label until HELLO overrides it.
+    router:
+        The shard router when this service runs inside a sharded server
+        (see :mod:`repro.runtime.shards`).  ``None`` — the default and
+        the ``shards=1`` case — leaves every operation exactly as the
+        single-process server executes it.  With a router, operations
+        naming a container (or name binding) the local shard does not
+        own are forwarded over the owner's peer link; aggregate
+        operations (STATS, GC_REPORT, NS_LIST) additionally merge every
+        peer's answer when the router has ``fanout`` set (front-door
+        sessions do; peer-door sessions do not, so forwarded aggregates
+        answer locally and can never recurse).
     """
 
     def __init__(self, runtime: Runtime, space: str,
-                 client_name: str = "") -> None:
+                 client_name: str = "", router: Any = None) -> None:
         self.runtime = runtime
         self.space = space
         self.client_name = client_name
+        self._router = router
         self.session_id = f"session-{next(_session_ids)}"
         #: Credential a reconnecting device presents in RESUME to reclaim
         #: this session after its transport died (handed out in HELLO).
@@ -93,6 +105,16 @@ class SessionService:
             self._handlers[container.name] = (container, forwarder)
         container.add_reclaim_handler(forwarder)
 
+    def note_reclaim(self, container_name: str, timestamp: int) -> None:
+        """Queue a reclaim notification from a *remote* container.
+
+        The shard router calls this when the owner shard of a forwarded
+        connection reclaims an item this session saw; it piggybacks on
+        the next response exactly like a local reclaim (§3.2.4).
+        """
+        with self._lock:
+            self._pending_reclaims.append((container_name, timestamp))
+
     # -- dispatch -----------------------------------------------------------------
 
     def execute(self, opcode: int, args: Dict[str, Any]) -> Dict[str, Any]:
@@ -118,12 +140,25 @@ class SessionService:
     def _op_create_channel(self, args: Dict[str, Any]) -> Dict[str, Any]:
         space = args["space"] or self.space
         capacity = args["capacity"] if args["bounded"] else None
+        if self._router is not None \
+                and not self._router.is_local(args["name"]):
+            # Container-create routing: the consistent-hash ring assigns
+            # this name to another shard; create it there.
+            self._router.client_for(args["name"]).create_channel(
+                args["name"], space=space, capacity=capacity)
+            return {}
         self.runtime.create_channel(args["name"], space, capacity=capacity)
         return {}
 
     def _op_create_queue(self, args: Dict[str, Any]) -> Dict[str, Any]:
         space = args["space"] or self.space
         capacity = args["capacity"] if args["bounded"] else None
+        if self._router is not None \
+                and not self._router.is_local(args["name"]):
+            self._router.client_for(args["name"]).create_queue(
+                args["name"], space=space, capacity=capacity,
+                auto_consume=args["auto_consume"])
+            return {}
         self.runtime.create_queue(
             args["name"], space, capacity=capacity,
             auto_consume=args["auto_consume"],
@@ -135,6 +170,9 @@ class SessionService:
         mode = _MODES.get(mode_name)
         if mode is None:
             raise RpcError(f"unknown connection mode {mode_name!r}")
+        if self._router is not None \
+                and not self._router.is_local(args["container"]):
+            return self._attach_forwarded(args, mode)
         if args["wait"]:
             self.runtime.nameserver.wait_for(
                 args["container"], timeout=args["wait_timeout"]
@@ -161,6 +199,44 @@ class SessionService:
         with self._lock:
             self._connections[wire_id] = connection
         return {"connection_id": wire_id, "kind": container.KIND}
+
+    def _attach_forwarded(self, args: Dict[str, Any],
+                          mode: ConnectionMode) -> Dict[str, Any]:
+        """Attach to a container another shard owns.
+
+        The owner's peer link performs the real attach; the returned
+        handle is wrapped in a
+        :class:`~repro.runtime.shards._ForwardedConnection` and stored
+        under a local wire id, so the device cannot tell the container
+        is remote.  The attention filter is re-built from its spec and
+        shipped onward — it executes on the *owner* shard, so filtered
+        items never cross the shard link either.
+        """
+        from repro.runtime.shards import _ForwardedConnection
+
+        name = args["container"]
+        attention_filter = None
+        if args["filter"]:
+            from repro.core.filters import filter_from_spec
+
+            spec = self.codec.decode(args["filter"])
+            attention_filter = filter_from_spec(spec)
+        client = self._router.client_for(name)
+        remote = client.attach(
+            name, mode,
+            wait=args["wait_timeout"] if args["wait"] else None,
+            attention_filter=attention_filter,
+        )
+        if mode.can_get:
+            # Reclaims on the owner shard must reach this device: route
+            # them through the router's interest registry (the shared
+            # peer link delivers them; see §3.2.4 piggybacking).
+            self._router.add_reclaim_interest(name, self)
+        forwarded = _ForwardedConnection(remote, self._router, name, self)
+        wire_id = next(self._conn_ids)
+        with self._lock:
+            self._connections[wire_id] = forwarded
+        return {"connection_id": wire_id, "kind": remote.kind}
 
     def _op_detach(self, args: Dict[str, Any]) -> Dict[str, Any]:
         connection = self._take_connection(args["connection_id"])
@@ -217,23 +293,41 @@ class SessionService:
         metadata = self.codec.decode(args["metadata"]) \
             if args["metadata"] else {}
         ttl = args["ttl"] if args.get("has_ttl") else None
-        self.runtime.nameserver.register(
-            NameRecord(name=args["name"], kind=args["kind"],
-                       address_space=self.space, metadata=metadata),
-            ttl=ttl,
-        )
+        if self._router is not None \
+                and not self._router.is_local(args["name"]):
+            # Name bindings ride the same ring as containers, so a
+            # lookup from any shard finds any binding.
+            self._router.client_for(args["name"]).ns_register(
+                args["name"], args["kind"], metadata=metadata, ttl=ttl)
+        else:
+            self.runtime.nameserver.register(
+                NameRecord(name=args["name"], kind=args["kind"],
+                           address_space=self.space, metadata=metadata),
+                ttl=ttl,
+            )
         with self._lock:
             self._registered_names.append(args["name"])
         return {}
 
     def _op_ns_unregister(self, args: Dict[str, Any]) -> Dict[str, Any]:
-        self.runtime.nameserver.unregister(args["name"])
+        if self._router is not None \
+                and not self._router.is_local(args["name"]):
+            self._router.client_for(args["name"]).ns_unregister(
+                args["name"])
+        else:
+            self.runtime.nameserver.unregister(args["name"])
         with self._lock:
             if args["name"] in self._registered_names:
                 self._registered_names.remove(args["name"])
         return {}
 
     def _op_ns_lookup(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        if self._router is not None \
+                and not self._router.is_local(args["name"]):
+            kind, space, metadata = self._router.client_for(
+                args["name"]).ns_lookup(args["name"])
+            return {"kind": kind, "space": space,
+                    "metadata": self.codec.encode(metadata)}
         record = self.runtime.nameserver.lookup(args["name"])
         return {
             "kind": record.kind,
@@ -244,16 +338,36 @@ class SessionService:
     def _op_ns_list(self, args: Dict[str, Any]) -> Dict[str, Any]:
         kind: Optional[str] = args["kind"] or None
         records = self.runtime.nameserver.list(kind=kind)
-        return {"names": [r.name for r in records]}
+        names = [r.name for r in records]
+        if self._router is not None and self._router.fanout:
+            names = self._router.merged_ns_list(names, args["kind"])
+        return {"names": names}
+
+    def _op_ns_refresh(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        if self._router is not None \
+                and not self._router.is_local(args["name"]):
+            refreshed = self._router.client_for(
+                args["name"]).ns_refresh(args["name"])
+            return {"refreshed": refreshed}
+        return {"refreshed": self.runtime.nameserver.refresh(
+            args["name"])}
 
     def _op_ping(self, args: Dict[str, Any]) -> Dict[str, Any]:
         # The device's heartbeat doubles as the lease refresh for every
         # name it registered with a TTL: a silent device's names expire,
-        # a merely idle one's do not.
+        # a merely idle one's do not.  Names the ring placed on another
+        # shard are refreshed there, per name, over the peer link.
         with self._lock:
             names = list(self._registered_names)
         for name in names:
-            self.runtime.nameserver.refresh(name)
+            if self._router is not None \
+                    and not self._router.is_local(name):
+                try:
+                    self._router.client_for(name).ns_refresh(name)
+                except StampedeError:
+                    pass  # peer briefly unreachable: same as a lost ping
+            else:
+                self.runtime.nameserver.refresh(name)
         return {"payload": args["payload"]}
 
     def _op_bye(self, args: Dict[str, Any]) -> Dict[str, Any]:
@@ -286,6 +400,9 @@ class SessionService:
             for container in space.containers():
                 items += container.stats().reclaimed
             bytes_ += space.gc.report.bytes_reclaimed
+        if self._router is not None and self._router.fanout:
+            sweeps, items, bytes_ = self._router.merged_gc_report(
+                (sweeps, items, bytes_))
         return {"sweeps": sweeps, "items": items, "bytes": bytes_}
 
     def _op_inspect(self, args: Dict[str, Any]) -> Dict[str, Any]:
@@ -302,7 +419,27 @@ class SessionService:
         from repro.runtime.inspect import observability_snapshot
 
         payload = observability_snapshot(self.runtime)
+        if self._router is not None and self._router.fanout:
+            # Sharded server: fold every peer's snapshot in, so
+            # dashboards and scrapers see one logical server.  Peer-door
+            # sessions (fanout=False) answer locally — that is what
+            # stops the fan-out from recursing shard-to-shard.
+            payload = self._router.merged_stats(payload)
         return {"snapshot": json.dumps(payload, default=str).encode("utf-8")}
+
+    def _op_shard_map(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        import json
+
+        if self._router is None:
+            # Single-process server: one shard, itself, no peers.
+            return {"shard_id": 0, "shards": 1, "peers": b"{}"}
+        peers = {str(sid): list(address)
+                 for sid, address in self._router.peers.items()}
+        return {
+            "shard_id": self._router.shard_id,
+            "shards": self._router.nshards,
+            "peers": json.dumps(peers).encode("utf-8"),
+        }
 
     def _op_trace_dump(self, args: Dict[str, Any]) -> Dict[str, Any]:
         import json
@@ -344,6 +481,8 @@ class SessionService:
         ops.OP_RESUME: _op_resume,
         ops.OP_STATS: _op_stats,
         ops.OP_TRACE_DUMP: _op_trace_dump,
+        ops.OP_SHARD_MAP: _op_shard_map,
+        ops.OP_NS_REFRESH: _op_ns_refresh,
     }
 
     # -- connection table -------------------------------------------------------------

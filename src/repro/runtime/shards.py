@@ -1,0 +1,617 @@
+"""Sharded multi-process space-time memory — the Octopus body.
+
+The paper's deployment answer to a CPU-bound cluster node is the
+Octopus body itself: "the Stampede server library ... runs over CLF
+with shared memory within an SMP" — many workers, one logical server.
+A single CPython process cannot use more than one core for container
+operations (the GIL serialises them; BENCH_scale.json shows puts/s flat
+across lane counts), so this module escapes sideways: it forks
+``shards=N`` **worker processes**, each a complete single-process
+server — its own :class:`~repro.runtime.reactor.Reactor`, its own
+:class:`~repro.runtime.lanes.LanePool`, its own
+:class:`~repro.runtime.runtime.Runtime` — and splits the space-time
+memory between them by **consistent hash of container name**.
+
+Three mechanisms make N processes look like one server:
+
+**Accept sharding.**  Every worker (and the parent, which serves as
+shard 0) listens on the *same* front-door port with ``SO_REUSEPORT``;
+the kernel spreads inbound device connections across the listeners by
+4-tuple hash.  No user-space load balancer, no handoff: a device's
+connection lands on one shard and stays there.  The parent additionally
+holds a bound-but-not-listening reservation socket on the port for the
+server's whole life, so an ephemeral ``port=0`` bind is race-free (a
+TCP socket that is bound but never listens receives no connections).
+
+**Consistent-hash ownership.**  A :class:`HashRing` (SHA-1, virtual
+nodes, no process-randomised ``hash()`` anywhere) maps every container
+name to exactly one owner shard.  Every process builds the identical
+ring from ``(nshards, vnodes)`` alone — the ring never travels.
+
+**A control plane.**  Each shard runs a second, private
+:class:`~repro.runtime.server.StampedeServer` — its **peer door** — on
+an ephemeral port.  The doors' addresses are exchanged over the fork
+pipes at startup (the shard map; clients can read it with the
+SHARD_MAP wire op).  When a device's operation names a container the
+accepting shard does not own, the shard's :class:`ShardRouter` forwards
+it through a shared :class:`~repro.client.client.StampedeClient` link
+to the owner's peer door — the surrogate/service machinery on the far
+side is exactly the one end devices use, so marshalling, blocking
+semantics, reclaim piggybacking and error mapping need no second
+implementation.  Peer-door sessions carry a ``fanout=False`` router
+view, which keeps aggregate operations (STATS, GC_REPORT, NS_LIST)
+answering locally — a fan-out op forwarded to a peer must not fan out
+again.
+
+Ordering: the paper's contract is per-connection, per-container
+ordering, which sharding preserves for free — one container lives on
+exactly one shard, and a device connection's operations execute in
+issue order whether they run locally or ride one ordered peer link.
+There is no cross-container, cross-shard ordering, but there never was
+one cross-lane either (see docs/ARCHITECTURE.md for the full
+contract).
+
+``shards=1`` builds none of this — no fork, no ring, no peer door —
+and is byte-for-byte the single-process server, which is what lets CI
+run the whole suite under ``DSTAMPEDE_SHARDS=1`` as an oracle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+import time
+from bisect import bisect_right
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import StampedeError
+from repro.obs.aggregate import merge_stats_snapshots
+from repro.obs.metrics import GLOBAL_METRICS
+from repro.util.logging import get_logger
+
+_log = get_logger("runtime.shards")
+
+#: Environment override for the default shard count.
+SHARDS_ENV = "DSTAMPEDE_SHARDS"
+
+Address = Tuple[str, int]
+
+
+def resolve_shards(explicit: Optional[int] = None) -> int:
+    """The effective shard count: *explicit*, else ``DSTAMPEDE_SHARDS``,
+    else 1 (single-process, the seed behaviour)."""
+    if explicit is not None:
+        count = int(explicit)
+    else:
+        env = os.environ.get(SHARDS_ENV, "").strip()
+        count = int(env) if env else 1
+    if count < 1:
+        raise ValueError(f"shards must be >= 1, got {count}")
+    return count
+
+
+# The child reinitialises this lock right after fork: a lane/GC/reactor
+# thread of the parent may hold it at the fork instant, and those
+# threads do not exist in the child to ever release it.
+if hasattr(os, "register_at_fork"):  # pragma: no branch - always on Linux
+    os.register_at_fork(
+        after_in_child=lambda: setattr(
+            GLOBAL_METRICS, "_lock", threading.Lock())
+    )
+
+
+class HashRing:
+    """Deterministic consistent-hash ring over shard ids.
+
+    SHA-1 based so every process — parent, forked worker, test — maps a
+    name to the same owner regardless of ``PYTHONHASHSEED``.  Virtual
+    nodes smooth the split: with the default 64 per shard, container
+    counts per shard stay within a few percent of even for realistic
+    name sets.
+    """
+
+    def __init__(self, nshards: int, vnodes: int = 64) -> None:
+        if nshards < 1:
+            raise ValueError("need at least one shard")
+        self.nshards = nshards
+        self.vnodes = vnodes
+        points: List[Tuple[int, int]] = []
+        for shard in range(nshards):
+            for vnode in range(vnodes):
+                digest = hashlib.sha1(
+                    f"shard-{shard}/vnode-{vnode}".encode("ascii")
+                ).digest()
+                points.append(
+                    (int.from_bytes(digest[:8], "big"), shard))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [s for _, s in points]
+
+    @staticmethod
+    def _point(name: str) -> int:
+        return int.from_bytes(
+            hashlib.sha1(name.encode("utf-8")).digest()[:8], "big")
+
+    def owner(self, name: str) -> int:
+        """The shard id owning container *name*."""
+        if self.nshards == 1:
+            return 0
+        idx = bisect_right(self._hashes, self._point(name))
+        return self._owners[idx % len(self._owners)]
+
+
+def local_name(base: str, shard_id: int, nshards: int,
+               ring: Optional[HashRing] = None) -> str:
+    """A container name derived from *base* that shard *shard_id* owns.
+
+    Clients that learned their shard via the SHARD_MAP op use this to
+    place containers on the shard their connection landed on, making
+    every operation shard-local (the scaling playbook in
+    docs/SCALING.md).  Returns *base* itself when it already lands
+    right, else the first ``base~sK`` suffix that does.
+    """
+    ring = ring or HashRing(nshards)
+    if ring.owner(base) == shard_id:
+        return base
+    attempt = 0
+    while True:
+        name = f"{base}~s{attempt}"
+        if ring.owner(name) == shard_id:
+            return name
+        attempt += 1
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything a forked worker needs to build its shard (picklable)."""
+
+    shard_id: int
+    shards: int
+    host: str
+    port: int
+    device_spaces: Tuple[str, ...]
+    lease_timeout: Optional[float]
+    session_grace: Optional[float]
+    lanes: Optional[int]
+    gc_interval: float
+    runtime_name: str
+
+
+class _RouterShared:
+    """State one shard's front-door router and peer-door view share:
+    the ring, the shard map, the lazily-dialled peer links, and the
+    reclaim-interest registry."""
+
+    def __init__(self, nshards: int) -> None:
+        self.ring = HashRing(nshards)
+        self.peers: Dict[int, Address] = {}
+        self._clients: Dict[int, Any] = {}
+        self._lock = threading.Lock()
+        #: container name -> {SessionService: refcount} of sessions that
+        #: hold a consuming forwarded connection and must receive the
+        #: container's reclaim notifications.
+        self._interest: Dict[str, Dict[Any, int]] = {}
+        self.closed = False
+
+    def client(self, shard_id: int, my_shard: int):
+        """The shared client link to *shard_id*'s peer door (lazy)."""
+        with self._lock:
+            client = self._clients.get(shard_id)
+            if client is not None:
+                return client
+            if self.closed:
+                raise StampedeError("shard router is closed")
+            address = self.peers.get(shard_id)
+            if address is None:
+                raise StampedeError(
+                    f"no peer-door address for shard {shard_id}")
+            from repro.client.client import StampedeClient
+
+            client = StampedeClient(
+                address[0], address[1],
+                client_name=f"shard{my_shard}-link{shard_id}",
+                codec="xdr", reconnect=False, batching=False,
+                on_reclaim=self._dispatch_reclaim,
+            )
+            self._clients[shard_id] = client
+            return client
+
+    # -- reclaim-interest registry ----------------------------------------------
+
+    def add_interest(self, name: str, service: Any) -> None:
+        with self._lock:
+            holders = self._interest.setdefault(name, {})
+            holders[service] = holders.get(service, 0) + 1
+
+    def drop_interest(self, name: str, service: Any) -> None:
+        with self._lock:
+            holders = self._interest.get(name)
+            if not holders:
+                return
+            count = holders.get(service, 0) - 1
+            if count > 0:
+                holders[service] = count
+            else:
+                holders.pop(service, None)
+                if not holders:
+                    self._interest.pop(name, None)
+
+    def _dispatch_reclaim(self, container: str, timestamp: int) -> None:
+        with self._lock:
+            services = list(self._interest.get(container, ()))
+        for service in services:
+            try:
+                service.note_reclaim(container, timestamp)
+            except Exception:  # noqa: BLE001 - one session must not block
+                _log.exception("reclaim dispatch to a session failed")
+
+    def close(self) -> None:
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            clients = list(self._clients.values())
+            self._clients.clear()
+            self._interest.clear()
+        for client in clients:
+            try:
+                client.close()
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+
+
+class ShardRouter:
+    """One shard's view of the cluster: who owns what, and the links.
+
+    The front-door router has ``fanout=True``: it answers aggregate
+    operations (STATS, GC_REPORT, NS_LIST) by merging its peers'
+    answers.  :meth:`peer_view` derives the ``fanout=False`` router the
+    shard's *peer door* uses — same ring, same links, same reclaim
+    registry — so a forwarded aggregate op answers locally and the
+    fan-out can never recurse.
+    """
+
+    def __init__(self, shard_id: int, nshards: int, fanout: bool = True,
+                 _shared: Optional[_RouterShared] = None) -> None:
+        self.shard_id = shard_id
+        self.nshards = nshards
+        self.fanout = fanout
+        self._shared = _shared or _RouterShared(nshards)
+        self.ring = self._shared.ring
+
+    # -- topology ----------------------------------------------------------------
+
+    @property
+    def peers(self) -> Dict[int, Address]:
+        """Shard id -> peer-door address, every shard included."""
+        return dict(self._shared.peers)
+
+    def set_peers(self, peers: Dict[int, Address]) -> None:
+        """Install the shard map (startup handshake)."""
+        self._shared.peers = {
+            int(sid): (host, int(port))
+            for sid, (host, port) in peers.items()
+        }
+
+    def peer_view(self) -> "ShardRouter":
+        """The ``fanout=False`` router for this shard's peer door."""
+        return ShardRouter(self.shard_id, self.nshards, fanout=False,
+                           _shared=self._shared)
+
+    def owner(self, name: str) -> int:
+        """The shard owning container/binding *name*."""
+        return self.ring.owner(name)
+
+    def is_local(self, name: str) -> bool:
+        """Whether this shard owns *name*."""
+        return self.ring.owner(name) == self.shard_id
+
+    def peer_client(self, shard_id: int):
+        """The shared :class:`StampedeClient` link to *shard_id*."""
+        return self._shared.client(shard_id, self.shard_id)
+
+    def client_for(self, name: str):
+        """The link to the shard owning *name*."""
+        return self.peer_client(self.ring.owner(name))
+
+    # -- reclaim interest ---------------------------------------------------------
+
+    def add_reclaim_interest(self, name: str, service: Any) -> None:
+        """Route *name*'s reclaim notifications to *service*."""
+        self._shared.add_interest(name, service)
+
+    def drop_reclaim_interest(self, name: str, service: Any) -> None:
+        """Withdraw one forwarded connection's interest."""
+        self._shared.drop_interest(name, service)
+
+    # -- aggregate operations -----------------------------------------------------
+
+    def merged_stats(self, local_snapshot: Dict[str, Any]
+                     ) -> Dict[str, Any]:
+        """Fold every shard's STATS snapshot into one logical view."""
+        snaps: List[Dict[str, Any]] = []
+        shard_ids: List[int] = []
+        for sid in range(self.nshards):
+            if sid == self.shard_id:
+                snaps.append(local_snapshot)
+                shard_ids.append(sid)
+                continue
+            try:
+                snaps.append(self.peer_client(sid).stats())
+                shard_ids.append(sid)
+            except StampedeError:
+                _log.warning("shard %d unreachable for STATS merge", sid)
+        return merge_stats_snapshots(snaps, shard_ids)
+
+    def merged_gc_report(self, local: Tuple[int, int, int]
+                         ) -> Tuple[int, int, int]:
+        """Sum ``(sweeps, items, bytes)`` across every shard."""
+        sweeps, items, bytes_ = local
+        for sid in range(self.nshards):
+            if sid == self.shard_id:
+                continue
+            try:
+                s, i, b = self.peer_client(sid).gc_report()
+            except StampedeError:
+                _log.warning("shard %d unreachable for GC_REPORT", sid)
+                continue
+            sweeps += s
+            items += i
+            bytes_ += b
+        return sweeps, items, bytes_
+
+    def merged_ns_list(self, local_names: List[str],
+                       kind: str) -> List[str]:
+        """Union of every shard's name listing."""
+        names = set(local_names)
+        for sid in range(self.nshards):
+            if sid == self.shard_id:
+                continue
+            try:
+                names.update(self.peer_client(sid).ns_list(kind))
+            except StampedeError:
+                _log.warning("shard %d unreachable for NS_LIST", sid)
+        return sorted(names)
+
+    def close(self) -> None:
+        """Drop every peer link (server shutdown)."""
+        self._shared.close()
+
+
+class _ForwardedConnection:
+    """Server-side adapter: a cross-shard container connection.
+
+    Stored in a :class:`~repro.runtime.service.SessionService`'s
+    connection table exactly like a local
+    :class:`~repro.core.connection.Connection`; every method forwards
+    over the owner shard's peer link.  ``container`` is ``None`` so the
+    service's serialize-once fast path (``hasattr(connection.container,
+    "get_item")``) falls through to the plain get — the caching happens
+    once, on the owner shard, where the item actually lives.
+
+    Blocking composes with the lane liveness discipline unchanged: the
+    surrogate probes PUT/GET with ``block=False``, the probe's
+    :class:`~repro.errors.ChannelFullError` /
+    :class:`~repro.errors.ItemNotFoundError` is rehydrated to the real
+    class by the peer link's RPC layer, the surrogate sees its usual
+    would-block signal and offloads the genuinely-blocking call to a
+    transient worker — where the peer link happily carries a blocking
+    request alongside other traffic (the RPC channel multiplexes
+    concurrent outstanding calls).
+    """
+
+    container = None  # a remote container has no local object
+
+    def __init__(self, remote: Any, router: ShardRouter, name: str,
+                 service: Any) -> None:
+        self._remote = remote
+        self._router = router
+        self._service = service
+        self.container_name = name
+        self.mode = remote.mode
+        self.kind = remote.kind
+
+    def put(self, timestamp: int, value: Any, size: int = 0,
+            block: bool = True, timeout: Optional[float] = None) -> None:
+        self._remote.put(timestamp, value, block=block, timeout=timeout)
+
+    def get(self, timestamp: Any, block: bool = True,
+            timeout: Optional[float] = None) -> Tuple[int, Any]:
+        return self._remote.get(timestamp, block=block, timeout=timeout)
+
+    def consume(self, timestamp: int) -> None:
+        self._remote.consume(timestamp)
+
+    def consume_until(self, timestamp: int) -> None:
+        self._remote.consume_until(timestamp)
+
+    def detach(self) -> None:
+        """Detach on the owner shard and withdraw reclaim interest.
+
+        Every eviction path funnels here — explicit DETACH, BYE,
+        surrogate lease expiry and parked-session grace expiry all end
+        in the service's ``close()``/``_take_connection``, which calls
+        ``detach()`` on each held connection — so cross-shard forwarding
+        state can never outlive the session that created it.
+        """
+        if self._remote.detached:
+            return
+        if self.mode.can_get:
+            self._router.drop_reclaim_interest(
+                self.container_name, self._service)
+        try:
+            self._remote.detach()
+        except StampedeError:
+            _log.warning("cross-shard detach of %r failed (peer gone?)",
+                         self.container_name)
+
+
+# -- worker processes ---------------------------------------------------------
+
+
+def _worker_main(config: ShardConfig, pipe: Any) -> None:
+    """Entry point of a forked shard worker.
+
+    Builds everything fresh — runtime, reactor, lanes, listener — and
+    never touches inherited parent objects (whose owning threads do not
+    exist on this side of the fork).  The pipe protocol with the parent:
+
+    1. child sends ``("ready", peer_door_address)``;
+    2. parent sends ``("map", {shard_id: peer_door_address})``;
+    3. child opens its front door and sends ``("up", None)``;
+    4. parent sends ``("stop", None)``; child tears down and sends
+       ``("stopped", None)``.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent drives shutdown
+    from repro.runtime.runtime import Runtime
+    from repro.runtime.server import StampedeServer
+
+    front = None
+    peer_door = None
+    runtime = None
+    router = ShardRouter(config.shard_id, config.shards)
+    try:
+        runtime = Runtime(
+            name=f"{config.runtime_name}-shard{config.shard_id}",
+            gc_interval=config.gc_interval,
+        )
+        peer_door = StampedeServer(
+            runtime, host=config.host, port=0,
+            device_spaces=list(config.device_spaces),
+            lanes=config.lanes, router=router.peer_view(),
+        ).start()
+        pipe.send(("ready", peer_door.address))
+        message, peers = pipe.recv()
+        if message != "map":  # pragma: no cover - protocol guard
+            raise RuntimeError(f"expected shard map, got {message!r}")
+        router.set_peers(peers)
+        front = StampedeServer(
+            runtime, host=config.host, port=config.port,
+            device_spaces=list(config.device_spaces),
+            lease_timeout=config.lease_timeout,
+            session_grace=config.session_grace,
+            lanes=config.lanes, router=router, reuse_port=True,
+        ).start()
+        pipe.send(("up", None))
+    except Exception as exc:  # noqa: BLE001 - report, then die
+        try:
+            pipe.send(("error", repr(exc)))
+        except OSError:
+            pass
+        os._exit(1)
+    while True:
+        try:
+            message = pipe.recv()
+        except (EOFError, OSError):
+            break  # parent died: fall through to teardown
+        if message[0] == "stop":
+            break
+    try:
+        front.close()
+        peer_door.close()
+        router.close()
+        runtime.shutdown()
+        pipe.send(("stopped", None))
+    except Exception:  # noqa: BLE001 - exiting anyway
+        pass
+    os._exit(0)
+
+
+class _ShardCluster:
+    """Parent-side manager of the forked shard workers.
+
+    Construction reserves the front-door port (so ``port=0`` resolves
+    once, race-free, before anyone listens), forks the workers — which
+    MUST happen before the parent starts its own reactor/lane/peer-door
+    threads, since forking a multithreaded process only preserves the
+    forking thread — and collects each worker's peer-door address.
+    :meth:`broadcast_map` then completes the handshake once the parent
+    knows its own peer-door address.
+    """
+
+    def __init__(self, config: ShardConfig) -> None:
+        reservation = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        reservation.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        reservation.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        try:
+            reservation.bind((config.host, config.port))
+        except OSError:
+            reservation.close()
+            raise
+        self._reservation = reservation
+        self.port: int = reservation.getsockname()[1]
+        self.worker_peers: Dict[int, Address] = {}
+        context = multiprocessing.get_context("fork")
+        self._pipes: Dict[int, Any] = {}
+        self._procs: Dict[int, Any] = {}
+        try:
+            for shard_id in range(1, config.shards):
+                parent_end, child_end = context.Pipe()
+                worker_config = replace(config, shard_id=shard_id,
+                                        port=self.port)
+                process = context.Process(
+                    target=_worker_main,
+                    args=(worker_config, child_end),
+                    name=f"dstampede-shard{shard_id}", daemon=True,
+                )
+                process.start()
+                child_end.close()
+                self._pipes[shard_id] = parent_end
+                self._procs[shard_id] = process
+            for shard_id, pipe in self._pipes.items():
+                self.worker_peers[shard_id] = self._expect(
+                    shard_id, pipe, "ready")
+        except Exception:
+            self.close()
+            raise
+
+    @staticmethod
+    def _expect(shard_id: int, pipe: Any, expected: str,
+                timeout: float = 30.0) -> Any:
+        if not pipe.poll(timeout):
+            raise RuntimeError(
+                f"shard {shard_id} did not report {expected!r} "
+                f"within {timeout}s")
+        message, payload = pipe.recv()
+        if message == "error":
+            raise RuntimeError(f"shard {shard_id} failed: {payload}")
+        if message != expected:
+            raise RuntimeError(
+                f"shard {shard_id}: expected {expected!r}, "
+                f"got {message!r}")
+        return payload
+
+    def broadcast_map(self, peers: Dict[int, Address]) -> None:
+        """Ship the complete shard map; workers open their front doors."""
+        for pipe in self._pipes.values():
+            pipe.send(("map", peers))
+        for shard_id, pipe in self._pipes.items():
+            self._expect(shard_id, pipe, "up")
+
+    def close(self) -> None:
+        """Stop every worker (graceful, then SIGTERM) and release the
+        port reservation."""
+        for pipe in self._pipes.values():
+            try:
+                pipe.send(("stop", None))
+            except (OSError, BrokenPipeError):
+                pass
+        deadline = time.monotonic() + 5.0
+        for process in self._procs.values():
+            process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+        for pipe in self._pipes.values():
+            try:
+                pipe.close()
+            except OSError:
+                pass
+        self._pipes.clear()
+        self._procs.clear()
+        self._reservation.close()

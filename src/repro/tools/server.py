@@ -48,6 +48,12 @@ def build_parser() -> argparse.ArgumentParser:
              "$DSTAMPEDE_LANES, else min(32, 4*cpu))",
     )
     parser.add_argument(
+        "--shards", type=int, default=None,
+        help="worker processes sharing the port via SO_REUSEPORT, each "
+             "owning a hash slice of the containers (default: "
+             "$DSTAMPEDE_SHARDS, else 1)",
+    )
+    parser.add_argument(
         "--gc-interval", type=float, default=0.05,
         help="garbage-collector sweep period (default 0.05s)",
     )
@@ -82,7 +88,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     server = StampedeServer(
         runtime, host=args.host, port=args.port,
         device_spaces=spaces or None, lease_timeout=args.lease,
-        lanes=args.lanes,
+        lanes=args.lanes, shards=args.shards,
     ).start()
     watchdog = None
     if args.watchdog is not None:

@@ -72,6 +72,11 @@ def render_dashboard(snap: Dict[str, Any], top_ops: int = 8) -> str:
         f"cluster {snap.get('runtime', '?')!r} — metrics "
         f"{'on' if metrics.get('enabled') else 'OFF'}"
     )
+    if snap.get("shards", 1) > 1:
+        lines.append(
+            f"shards: {snap['shards']} worker processes "
+            "(counters summed, histograms merged across shards)"
+        )
 
     lag = hists.get("runtime.reactor.timer_lag_us", {})
     lines.append(

@@ -154,9 +154,14 @@ class TcpListener:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 backlog: int = 64) -> None:
+                 backlog: int = 64, reuse_port: bool = False) -> None:
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuse_port:
+            # Accept sharding: several processes listen on the same
+            # (host, port) and the kernel spreads inbound connections
+            # across them by 4-tuple hash (the shard front door).
+            self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
         try:
             self._sock.bind((host, port))
             self._sock.listen(backlog)

@@ -1,0 +1,285 @@
+"""Cross-shard routing, eviction and ordering — real forked shards.
+
+Every test here runs a genuine sharded server: N processes, one
+SO_REUSEPORT port, peer doors, the lot.  The kernel picks which shard a
+client lands on, so tests that need a *cross-shard* container never
+guess — they read the connection's shard from the SHARD_MAP wire op and
+derive a name the ring places on a different shard.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ConnectionMode, Runtime, StampedeClient, StampedeServer
+from repro.runtime.shards import HashRing, local_name
+
+_unique = itertools.count()
+
+
+def _fresh(base: str) -> str:
+    """A name no other test (or hypothesis example) has used."""
+    return f"{base}-{next(_unique)}"
+
+
+def _remote_name(client: StampedeClient, base: str) -> str:
+    """A container name owned by a shard *other than* the client's.
+
+    Guarantees the forwarded path is exercised no matter which shard
+    the kernel's SO_REUSEPORT hash handed this connection to.
+    """
+    info = client.shard_map()
+    target = (info["shard_id"] + 1) % info["shards"]
+    return local_name(base, target, info["shards"])
+
+
+def _container_entry(client: StampedeClient, name: str):
+    for entry in client.stats().get("containers", []):
+        if entry["name"] == name:
+            return entry
+    return None
+
+
+def _poll(predicate, timeout=5.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    """One shards=2 server shared by the module (forking is costly)."""
+    runtime = Runtime(name="routing", gc_interval=0.02)
+    server = StampedeServer(runtime, shards=2, lease_timeout=30.0).start()
+    yield server
+    server.close()
+    runtime.shutdown()
+
+
+class TestCrossShardDataPath:
+    def test_create_on_a_consume_on_b(self, sharded):
+        """A container created via one connection is fully usable — put,
+        get, consume, reclaim — via a connection on another shard."""
+        creator = StampedeClient(*sharded.address, client_name="creator")
+        consumer = StampedeClient(*sharded.address, client_name="consumer")
+        try:
+            # Owned by a shard the creator is NOT on: the create itself
+            # is forwarded, and at least one of the two clients reaches
+            # it over a peer link.
+            name = _remote_name(creator, _fresh("xshard"))
+            creator.create_channel(name, capacity=8)
+            out = creator.attach(name, ConnectionMode.OUT)
+            inp = consumer.attach(name, ConnectionMode.IN)
+            for ts in range(5):
+                out.put(ts, {"ts": ts})
+            for ts in range(5):
+                assert inp.get(ts, timeout=5.0) == (ts, {"ts": ts})
+                inp.consume(ts)
+            # Consumption propagated to the owner shard: the collector
+            # there reclaims, visible through the merged stats.
+            assert _poll(lambda: (_container_entry(consumer, name)
+                                  or {}).get("live_items") == 0)
+            out.detach()
+            inp.detach()
+        finally:
+            creator.close()
+            consumer.close()
+
+    def test_merged_stats_sees_every_shard(self, sharded):
+        client = StampedeClient(*sharded.address, client_name="observer")
+        try:
+            info = client.shard_map()
+            assert info["shards"] == 2
+            assert set(info["peers"]) == {0, 1}
+            # Place one container on each shard explicitly; the merged
+            # STATS payload must show both with their shard tags.
+            names = [local_name(_fresh("placed"), shard, 2)
+                     for shard in range(2)]
+            for name in names:
+                client.create_channel(name)
+            snap = client.stats()
+            assert snap["shards"] == 2
+            entries = {e["name"]: e["shard"] for e in snap["containers"]}
+            ring = HashRing(2)
+            for name in names:
+                assert entries[name] == ring.owner(name)
+        finally:
+            client.close()
+
+    def test_ns_binding_on_remote_shard(self, sharded):
+        """Name bindings ride the ring too: register/lookup/unregister
+        from connections that do not own the name."""
+        a = StampedeClient(*sharded.address, client_name="ns-a")
+        b = StampedeClient(*sharded.address, client_name="ns-b")
+        try:
+            name = _remote_name(a, _fresh("svc"))
+            a.ns_register(name, "service", metadata={"port": 99})
+            assert b.ns_lookup(name) == ("service", "edge", {"port": 99})
+            assert name in b.ns_list()
+            a.ns_unregister(name)
+            assert _poll(lambda: name not in b.ns_list())
+        finally:
+            a.close()
+            b.close()
+
+    def test_forwarded_lease_heartbeat(self, sharded):
+        """A heartbeating device keeps a cross-shard name lease alive
+        (PING refreshes forwarded names one by one via NS_REFRESH);
+        a silent device's cross-shard lease expires."""
+        beater = StampedeClient(*sharded.address, client_name="beater",
+                                heartbeat=0.1)
+        silent = StampedeClient(*sharded.address, client_name="mute")
+        watcher = StampedeClient(*sharded.address, client_name="watch")
+        try:
+            live = _remote_name(beater, _fresh("live"))
+            dead = _remote_name(silent, _fresh("dead"))
+            beater.ns_register(live, "thread", ttl=0.4)
+            silent.ns_register(dead, "thread", ttl=0.4)
+            time.sleep(1.0)  # several TTLs
+            names = watcher.ns_list()
+            assert live in names
+            assert dead not in names
+        finally:
+            beater.close()
+            silent.close()
+            watcher.close()
+
+
+class TestForwardingEviction:
+    """Cross-shard forwarding state dies with the session, on every
+    exit path: explicit DETACH, clean BYE, and crash + lease expiry."""
+
+    def _attached_count(self, client, name):
+        entry = _container_entry(client, name)
+        return (entry or {}).get("input_connections", 0)
+
+    def test_detach_evicts(self, sharded):
+        client = StampedeClient(*sharded.address, client_name="det")
+        try:
+            name = _remote_name(client, _fresh("evict-detach"))
+            client.create_channel(name)
+            inp = client.attach(name, ConnectionMode.IN)
+            assert _poll(lambda: self._attached_count(client, name) == 1)
+            inp.detach()
+            assert _poll(lambda: self._attached_count(client, name) == 0)
+        finally:
+            client.close()
+
+    def test_bye_evicts(self, sharded):
+        watcher = StampedeClient(*sharded.address, client_name="w")
+        doomed = StampedeClient(*sharded.address, client_name="doomed")
+        try:
+            name = _remote_name(doomed, _fresh("evict-bye"))
+            doomed.create_channel(name)
+            doomed.attach(name, ConnectionMode.IN)
+            assert _poll(lambda: self._attached_count(watcher, name) == 1)
+            doomed.close()  # clean BYE
+            assert _poll(lambda: self._attached_count(watcher, name) == 0)
+        finally:
+            watcher.close()
+
+    def test_lease_expiry_evicts(self):
+        """A crashed device's forwarded attachments are detached on the
+        owner shard when its surrogate lease expires — reclaim vetoes
+        included (the owner's collector reclaims once the lease dies)."""
+        runtime = Runtime(name="lease-evict", gc_interval=0.02)
+        server = StampedeServer(runtime, shards=2,
+                                lease_timeout=0.3).start()
+        try:
+            victim = StampedeClient(*server.address, client_name="victim",
+                                    reconnect=False)
+            survivor = StampedeClient(*server.address, client_name="surv",
+                                      heartbeat=0.1)
+            name = _remote_name(victim, _fresh("evict-lease"))
+            victim.create_channel(name)
+            out = survivor.attach(name, ConnectionMode.OUT)
+            veto = victim.attach(name, ConnectionMode.IN)
+            inp = survivor.attach(name, ConnectionMode.IN)
+            out.put(0, "item")
+            inp.consume(0)
+            entry = _container_entry(survivor, name)
+            assert entry["live_items"] == 1  # victim's veto holds
+
+            victim._rpc.close()  # crash: no BYE, no reconnect
+            assert _poll(
+                lambda: (_container_entry(survivor, name)
+                         or {}).get("live_items") == 0, timeout=10.0)
+            assert not veto.detached  # the stale handle, untouched
+            survivor.close()
+        finally:
+            server.close()
+            runtime.shutdown()
+
+
+class _OrderingHarness:
+    """One sharded server per shard count, kept for the whole module —
+    hypothesis examples share it and use fresh container names."""
+
+    def __init__(self):
+        self.servers = {}
+
+    def get(self, shards):
+        if shards not in self.servers:
+            runtime = Runtime(name=f"order{shards}", gc_interval=0.05)
+            server = StampedeServer(runtime, shards=shards).start()
+            self.servers[shards] = (runtime, server)
+        return self.servers[shards][1]
+
+    def close(self):
+        for runtime, server in self.servers.values():
+            server.close()
+            runtime.shutdown()
+
+
+@pytest.fixture(scope="module")
+def harness():
+    h = _OrderingHarness()
+    yield h
+    h.close()
+
+
+class TestPerConnectionOrdering:
+    """The paper's ordering contract — one connection's operations on
+    one container apply in issue order — must hold at every shard
+    count, including when the puts ride a peer link."""
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(shards=st.sampled_from([1, 2, 4]),
+           script=st.lists(st.tuples(st.integers(0, 2),
+                                     st.integers(0, 999)),
+                           min_size=1, max_size=30))
+    def test_order_holds(self, harness, shards, script):
+        server = harness.get(shards)
+        client = StampedeClient(*server.address, client_name="ordered")
+        try:
+            channels = [_fresh(f"ord{shards}-{i}") for i in range(3)]
+            outs = {}
+            for name in channels:
+                client.create_channel(name, capacity=len(script) + 1)
+                outs[name] = client.attach(name, ConnectionMode.OUT)
+            expected = {name: [] for name in channels}
+            clocks = {name: 0 for name in channels}
+            for idx, value in script:
+                name = channels[idx]
+                ts = clocks[name]
+                clocks[name] += 1
+                outs[name].put(ts, value)
+                expected[name].append((ts, value))
+            for name in channels:
+                inp = client.attach(name, ConnectionMode.IN)
+                got = [inp.get(ts, timeout=5.0)
+                       for ts, _v in expected[name]]
+                assert got == expected[name]
+                inp.detach()
+                outs[name].detach()
+        finally:
+            client.close()

@@ -1,0 +1,104 @@
+"""Tests for cross-shard snapshot merging (repro.obs.aggregate).
+
+The merge must be indistinguishable — at bucket granularity — from one
+process having observed every sample itself, so these tests compare
+merged output against a single Histogram fed the union of the samples.
+"""
+
+from __future__ import annotations
+
+from repro.obs.aggregate import (
+    merge_histogram_snapshots,
+    merge_metrics_snapshots,
+    merge_stats_snapshots,
+)
+from repro.obs.metrics import Histogram
+
+
+def _hist(samples):
+    h = Histogram("t", unit="us")
+    for s in samples:
+        h.observe(s)
+    return h
+
+
+class TestHistogramMerge:
+    def test_matches_single_observer(self):
+        a = list(range(10, 500, 7))
+        b = list(range(3, 900, 13))
+        merged = merge_histogram_snapshots(
+            [_hist(a).snapshot(), _hist(b).snapshot()])
+        union = _hist(a + b).snapshot()
+        assert merged["count"] == union["count"]
+        assert merged["total"] == union["total"]
+        assert merged["buckets"] == union["buckets"]
+        assert merged["overflow"] == union["overflow"]
+        assert merged["min"] == union["min"]
+        assert merged["max"] == union["max"]
+        for q in ("p50", "p95", "p99"):
+            assert abs(merged[q] - union[q]) < 1e-9, q
+
+    def test_empty_inputs(self):
+        assert merge_histogram_snapshots([]) == {}
+        assert merge_histogram_snapshots([None, {}]) == {}
+
+    def test_one_empty_shard(self):
+        # A shard that never observed anything must not poison min/max.
+        busy = _hist([5, 50, 500]).snapshot()
+        idle = _hist([]).snapshot()
+        merged = merge_histogram_snapshots([busy, idle])
+        assert merged["count"] == 3
+        assert merged["min"] == busy["min"]
+        assert merged["max"] == busy["max"]
+
+    def test_incompatible_ladder_skipped(self):
+        good = _hist([10, 20]).snapshot()
+        bad = dict(good)
+        bad["buckets"] = [[1, 1], [2, 1]]  # alien ladder
+        merged = merge_histogram_snapshots([good, bad])
+        assert merged["count"] == good["count"]
+
+
+class TestMetricsMerge:
+    def test_counters_and_gauges_sum(self):
+        merged = merge_metrics_snapshots([
+            {"enabled": True, "monotonic": 5.0,
+             "counters": {"ops": 10}, "gauges": {"depth": 2.0}},
+            {"enabled": False, "monotonic": 9.0,
+             "counters": {"ops": 32, "errs": 1}, "gauges": {"depth": 3.0}},
+        ])
+        assert merged["enabled"] is True
+        assert merged["monotonic"] == 9.0
+        assert merged["counters"] == {"ops": 42, "errs": 1}
+        assert merged["gauges"] == {"depth": 5.0}
+
+    def test_histograms_merged_by_name_union(self):
+        a = {"histograms": {"x": _hist([1, 2]).snapshot()}}
+        b = {"histograms": {"x": _hist([3]).snapshot(),
+                            "y": _hist([9]).snapshot()}}
+        merged = merge_metrics_snapshots([a, b])
+        assert merged["histograms"]["x"]["count"] == 3
+        assert merged["histograms"]["y"]["count"] == 1
+
+
+class TestStatsMerge:
+    def test_containers_tagged_and_concatenated(self):
+        merged = merge_stats_snapshots(
+            [
+                {"runtime": "app", "monotonic": 1.0, "metrics": {},
+                 "spaces": [{"name": "edge"}],
+                 "containers": [{"name": "a"}]},
+                {"runtime": "app-shard1", "monotonic": 2.0, "metrics": {},
+                 "spaces": [{"name": "edge"}],
+                 "containers": [{"name": "b"}, {"name": "c"}]},
+            ],
+            shard_ids=[0, 1],
+        )
+        assert merged["shards"] == 2
+        assert merged["runtime"] == "app"
+        assert [(c["name"], c["shard"]) for c in merged["containers"]] == [
+            ("a", 0), ("b", 1), ("c", 1)]
+        assert [s["shard"] for s in merged["spaces"]] == [0, 1]
+
+    def test_empty(self):
+        assert merge_stats_snapshots([]) == {}

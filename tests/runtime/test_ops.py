@@ -59,6 +59,8 @@ class TestRequests:
             },
             ops.OP_STATS: {},
             ops.OP_TRACE_DUMP: {"max_events": 256, "clear": True},
+            ops.OP_SHARD_MAP: {},
+            ops.OP_NS_REFRESH: {"name": "n"},
         }
         assert set(samples) == set(ops.OP_SCHEMAS)
         for opcode, args in samples.items():

@@ -1,0 +1,150 @@
+"""Unit tests for the shard primitives: ring, naming, config plumbing.
+
+The integration behaviour (cross-shard routing, eviction, ordering) is
+exercised in tests/integration/test_shard_routing.py; this module pins
+down the deterministic pieces every process must agree on.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.runtime.shards import (
+    SHARDS_ENV,
+    HashRing,
+    ShardRouter,
+    local_name,
+    resolve_shards,
+)
+
+
+class TestHashRing:
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(1)
+        assert all(ring.owner(f"name-{i}") == 0 for i in range(100))
+
+    def test_deterministic_across_instances(self):
+        # Two independently built rings (as in two forked processes)
+        # must agree on every owner — the ring never travels over the
+        # wire, so determinism IS the protocol.
+        a, b = HashRing(4), HashRing(4)
+        for i in range(500):
+            name = f"container/{i}"
+            assert a.owner(name) == b.owner(name)
+
+    def test_owner_in_range(self):
+        ring = HashRing(3)
+        for i in range(200):
+            assert 0 <= ring.owner(f"x{i}") < 3
+
+    def test_balance_within_tolerance(self):
+        # 64 vnodes/shard keeps a 1000-name split within a loose
+        # factor of even — this guards against a broken point function
+        # (e.g. hashing the shard id instead of the vnode label), not
+        # against statistical drift.
+        ring = HashRing(4)
+        counts = collections.Counter(
+            ring.owner(f"chan-{i}") for i in range(1000))
+        assert set(counts) == {0, 1, 2, 3}
+        assert min(counts.values()) > 1000 / 4 / 3
+
+    def test_consistency_under_growth(self):
+        # Consistent hashing's point: growing the ring moves only the
+        # names the new shard captures; nobody else's names shuffle
+        # between surviving shards.
+        small, big = HashRing(3), HashRing(4)
+        moved = 0
+        for i in range(1000):
+            name = f"item-{i}"
+            before, after = small.owner(name), big.owner(name)
+            if before != after:
+                assert after == 3  # may only move TO the new shard
+                moved += 1
+        assert 0 < moved < 1000 / 2
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+
+
+class TestLocalName:
+    def test_base_kept_when_already_local(self):
+        ring = HashRing(4)
+        base = "video-frames"
+        owner = ring.owner(base)
+        assert local_name(base, owner, 4) == base
+
+    def test_derived_name_lands_on_target(self):
+        ring = HashRing(4)
+        for shard in range(4):
+            name = local_name("audio", shard, 4)
+            assert ring.owner(name) == shard
+
+    def test_single_shard_is_identity(self):
+        assert local_name("anything", 0, 1) == "anything"
+
+    def test_stable(self):
+        assert local_name("t", 2, 4) == local_name("t", 2, 4)
+
+
+class TestResolveShards:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        assert resolve_shards(None) == 1
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "8")
+        assert resolve_shards(2) == 2
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "4")
+        assert resolve_shards(None) == 4
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            resolve_shards(0)
+
+
+class TestShardRouter:
+    def test_peer_view_shares_state_without_fanout(self):
+        router = ShardRouter(0, 4)
+        router.set_peers({i: ("127.0.0.1", 9000 + i) for i in range(4)})
+        view = router.peer_view()
+        assert router.fanout and not view.fanout
+        assert view.peers == router.peers
+        assert view.ring is router.ring
+
+    def test_is_local_matches_ring(self):
+        router = ShardRouter(2, 4)
+        for i in range(100):
+            name = f"n{i}"
+            assert router.is_local(name) == (router.owner(name) == 2)
+
+    def test_set_peers_coerces_keys(self):
+        # The shard map rides a JSON leg (SHARD_MAP wire op), which
+        # stringifies keys and listifies addresses.
+        router = ShardRouter(0, 2)
+        router.set_peers({"1": ["127.0.0.1", 7001],
+                          0: ("127.0.0.1", 7000)})
+        assert router.peers == {0: ("127.0.0.1", 7000),
+                                1: ("127.0.0.1", 7001)}
+
+    def test_reclaim_interest_refcounts(self):
+        router = ShardRouter(0, 2)
+        calls = []
+
+        class FakeService:
+            def note_reclaim(self, container, timestamp):
+                calls.append((container, timestamp))
+
+        service = FakeService()
+        router.add_reclaim_interest("c", service)
+        router.add_reclaim_interest("c", service)
+        router.drop_reclaim_interest("c", service)
+        router._shared._dispatch_reclaim("c", 7)
+        assert calls == [("c", 7)]  # one ref left -> still interested
+        router.drop_reclaim_interest("c", service)
+        router._shared._dispatch_reclaim("c", 8)
+        assert calls == [("c", 7)]  # fully dropped -> no dispatch

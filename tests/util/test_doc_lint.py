@@ -1,0 +1,127 @@
+"""Documentation lint: links must resolve, knobs must exist.
+
+Docs drift silently — a renamed file breaks a link, a renamed knob
+leaves the playbook recommending an argument that no longer exists
+(the per-connection-executor description outlived the executor by two
+releases).  This module makes both failure modes loud:
+
+* every relative markdown link in the repo's docs must point at an
+  existing file, and a ``#fragment`` must match a real heading anchor
+  of the target (GitHub slug rules);
+* every knob named in the docs/SCALING.md tables must occur in the
+  source tree, so the playbook cannot recommend a knob that was
+  renamed or removed.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+#: The linted document set: the README and every tracked guide.
+DOCS = sorted(
+    [REPO / "README.md", REPO / "DESIGN.md", REPO / "EXPERIMENTS.md",
+     REPO / "ROADMAP.md", REPO / "CHANGES.md"]
+    + list((REPO / "docs").glob("*.md"))
+)
+
+#: ``[text](target)`` — excluding images; target split from any title.
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+
+def _strip_fences(text: str) -> str:
+    return _CODE_FENCE.sub("", text)
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's heading → anchor id transform (the practical subset)."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading)          # code spans
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # links
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    return slug.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set:
+    anchors = set()
+    for match in _HEADING.finditer(_strip_fences(path.read_text())):
+        slug = _github_slug(match.group(1))
+        # Duplicate headings get -1, -2 … suffixes on GitHub; admit
+        # the bare slug for each (we never link the duplicates).
+        anchors.add(slug)
+    return anchors
+
+
+def _links(path: Path):
+    for match in _LINK.finditer(_strip_fences(path.read_text())):
+        yield match.group(1)
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=lambda p: str(p.relative_to(REPO)))
+def test_relative_links_resolve(doc):
+    if not doc.exists():
+        pytest.skip(f"{doc.name} not present")
+    broken = []
+    for target in _links(doc):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if _github_slug(target[1:]) not in _anchors(doc):
+                broken.append(f"{target} (no such heading here)")
+            continue
+        raw, _, fragment = target.partition("#")
+        resolved = (doc.parent / raw).resolve()
+        if not resolved.exists():
+            broken.append(f"{target} (file missing)")
+            continue
+        if fragment and resolved.suffix == ".md" and \
+                fragment not in _anchors(resolved):
+            broken.append(f"{target} (no such heading in {raw})")
+    assert not broken, (
+        f"{doc.relative_to(REPO)} has broken links:\n  "
+        + "\n  ".join(broken)
+    )
+
+
+# -- SCALING.md knob existence ------------------------------------------------
+
+_TABLE_KNOB = re.compile(r"^\|\s*`([^`]+)`", re.MULTILINE)
+
+
+def _scaling_knobs():
+    text = (REPO / "docs" / "SCALING.md").read_text()
+    knobs = set()
+    for cell in _TABLE_KNOB.findall(text):
+        # A cell like `StampedeServer(shards=N)` names the knob inside.
+        inner = re.search(r"(\w+)=", cell)
+        knobs.add(inner.group(1) if inner else cell)
+    return sorted(knobs)
+
+
+def test_scaling_playbook_names_the_expected_knobs():
+    """The playbook must keep covering the core knob set — removing a
+    row (or this whole check) should be a deliberate act."""
+    knobs = set(_scaling_knobs())
+    for expected in ("lanes", "shards", "DSTAMPEDE_LANES",
+                     "DSTAMPEDE_SHARDS", "batch_max_items",
+                     "batch_max_bytes", "batch_linger", "gc_interval",
+                     "lease_timeout", "session_grace", "heartbeat"):
+        assert expected in knobs, f"SCALING.md lost the {expected} row"
+
+
+@pytest.mark.parametrize("knob", _scaling_knobs())
+def test_scaling_knob_exists_in_source(knob):
+    """Every knob the playbook names must occur in src/repro — a
+    renamed or removed knob must take its doc row with it."""
+    pattern = re.compile(rf"\b{re.escape(knob)}\b")
+    for path in (REPO / "src" / "repro").rglob("*.py"):
+        if pattern.search(path.read_text()):
+            return
+    pytest.fail(f"SCALING.md documents {knob!r} but no file under "
+                f"src/repro mentions it")
