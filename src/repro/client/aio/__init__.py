@@ -1,0 +1,44 @@
+"""Asyncio client stack: massive fan-out from one process.
+
+The sync :mod:`repro.client` pays one thread per connection (receiver)
+plus one per blocked call; this package is the same wire protocol and
+fault-tolerance contract rebuilt on the event loop, so a single
+gateway process can hold 10–100k simulated devices — the Octopus
+model's "cluster as resource-rich backend for swarms of cheap
+tentacles" taken to its load-test conclusion.
+
+Public surface:
+
+* :class:`AioStampedeClient` / :class:`AioRemoteConnection` — the
+  async mirror of the sync API (``await AioStampedeClient.connect``).
+* :func:`~repro.client.aio.rpc.open_channel` /
+  :class:`~repro.client.aio.rpc.AioRpcChannel` — the pipelined,
+  coalescing RPC layer, for anyone building their own client shape.
+* :class:`~repro.client.aio.bridge.BridgedClient` — a blocking facade
+  over a private loop thread; drives the aio stack through the sync
+  call shapes (parity tests, piecemeal migration).
+
+See docs/API.md for the quickstart and the sync/aio feature matrix.
+"""
+
+from repro.client.aio.bridge import BridgedClient, BridgedConnection
+from repro.client.aio.client import (
+    AioRemoteConnection,
+    AioStampedeClient,
+)
+from repro.client.aio.rpc import AioRpcChannel, open_channel
+from repro.client.aio.scheduler import (
+    AioHeartbeatScheduler,
+    loop_scheduler,
+)
+
+__all__ = [
+    "AioHeartbeatScheduler",
+    "AioRemoteConnection",
+    "AioRpcChannel",
+    "AioStampedeClient",
+    "BridgedClient",
+    "BridgedConnection",
+    "loop_scheduler",
+    "open_channel",
+]

@@ -1,0 +1,216 @@
+"""Sync facade over the aio client: one loop thread, blocking calls.
+
+The parity suite (and any legacy threaded application migrating
+piecemeal) needs to drive the asyncio client through the *sync*
+client's exact call shapes.  :class:`BridgedClient` does that: it owns
+a private event loop on a daemon thread, hosts one
+:class:`~repro.client.aio.client.AioStampedeClient` there, and turns
+every method into a blocking ``run_coroutine_threadsafe`` round trip.
+
+This is a compatibility shim, not the fast path — each blocking call
+costs a cross-thread hop, so a gateway should use the aio client
+natively.  Its value is that the observable semantics (results,
+errors, retry/replay behaviour) are exactly the aio client's, which is
+what the sync/aio parity tests exercise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import Future
+from typing import Any, Awaitable, Optional, TypeVar
+
+from repro.client.aio.client import (
+    AioRemoteConnection,
+    AioStampedeClient,
+)
+
+_T = TypeVar("_T")
+
+
+class _LoopThread:
+    """A private event loop running forever on a daemon thread."""
+
+    def __init__(self, name: str) -> None:
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._main, name=name, daemon=True)
+        self._thread.start()
+
+    def _main(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_forever()
+        # Drain callbacks scheduled during shutdown, then free the loop.
+        self.loop.run_until_complete(asyncio.sleep(0))
+        self.loop.close()
+
+    def run(self, coro: Awaitable[_T],
+            timeout: Optional[float] = None) -> _T:
+        future: "Future[_T]" = asyncio.run_coroutine_threadsafe(
+            coro, self.loop)
+        return future.result(timeout)
+
+    def stop(self) -> None:
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=5.0)
+
+
+class BridgedConnection:
+    """Blocking wrapper over one :class:`AioRemoteConnection`."""
+
+    def __init__(self, bridge: "BridgedClient",
+                 connection: AioRemoteConnection) -> None:
+        self._bridge = bridge
+        self._connection = connection
+        self.container_name = connection.container_name
+        self.mode = connection.mode
+        self.kind = connection.kind
+
+    def put(self, timestamp, value, block: bool = True,
+            timeout: Optional[float] = None, sync: bool = True) -> None:
+        self._bridge._run(self._connection.put(
+            timestamp, value, block=block, timeout=timeout, sync=sync))
+
+    def get(self, timestamp=None, block: bool = True,
+            timeout: Optional[float] = None):
+        kwargs: dict = {"block": block, "timeout": timeout}
+        if timestamp is None:
+            return self._bridge._run(self._connection.get(**kwargs))
+        return self._bridge._run(
+            self._connection.get(timestamp, **kwargs))
+
+    def consume(self, timestamp, sync: bool = True) -> None:
+        self._bridge._run(self._connection.consume(timestamp, sync=sync))
+
+    def consume_until(self, timestamp, sync: bool = True) -> None:
+        self._bridge._run(
+            self._connection.consume_until(timestamp, sync=sync))
+
+    def detach(self) -> None:
+        self._bridge._run(self._connection.detach())
+
+    @property
+    def detached(self) -> bool:
+        return self._connection.detached
+
+    def __enter__(self) -> "BridgedConnection":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.detach()
+
+
+class BridgedClient:
+    """The aio client behind the sync client's API.
+
+    Constructor arguments are
+    :meth:`AioStampedeClient.connect`'s.  Every method blocks the
+    calling thread until the coroutine completes on the private loop.
+    """
+
+    def __init__(self, host: str, port: int, **kwargs: Any) -> None:
+        name = kwargs.get("client_name", "device")
+        self._loop_thread = _LoopThread(f"{name}-aio-bridge")
+        try:
+            self._aio: AioStampedeClient = self._loop_thread.run(
+                AioStampedeClient.connect(host, port, **kwargs))
+        except BaseException:
+            self._loop_thread.stop()
+            raise
+
+    def _run(self, coro: Awaitable[_T]) -> _T:
+        return self._loop_thread.run(coro)
+
+    # -- mirrored surface ---------------------------------------------------
+
+    @property
+    def aio(self) -> AioStampedeClient:
+        """The underlying aio client (for loop-side assertions)."""
+        return self._aio
+
+    @property
+    def state(self) -> str:
+        return self._aio.state
+
+    @property
+    def session_id(self):
+        return self._aio.session_id
+
+    @property
+    def space(self) -> str:
+        return self._aio.space
+
+    @property
+    def codec(self):
+        return self._aio.codec
+
+    def create_channel(self, name: str, space: str = "",
+                       capacity: Optional[int] = None) -> None:
+        self._run(self._aio.create_channel(name, space, capacity))
+
+    def create_queue(self, name: str, space: str = "",
+                     capacity: Optional[int] = None,
+                     auto_consume: bool = False) -> None:
+        self._run(self._aio.create_queue(
+            name, space, capacity, auto_consume))
+
+    def attach(self, container: str, mode, wait: Optional[float] = None,
+               attention_filter=None) -> BridgedConnection:
+        connection = self._run(self._aio.attach(
+            container, mode, wait=wait,
+            attention_filter=attention_filter))
+        return BridgedConnection(self, connection)
+
+    def ns_register(self, name: str, kind: str,
+                    metadata: Optional[dict] = None,
+                    ttl: Optional[float] = None) -> None:
+        self._run(self._aio.ns_register(name, kind, metadata, ttl))
+
+    def ns_unregister(self, name: str) -> None:
+        self._run(self._aio.ns_unregister(name))
+
+    def ns_lookup(self, name: str):
+        return self._run(self._aio.ns_lookup(name))
+
+    def ns_list(self, kind: str = ""):
+        return self._run(self._aio.ns_list(kind))
+
+    def ns_refresh(self, name: str) -> bool:
+        return self._run(self._aio.ns_refresh(name))
+
+    def ping(self, payload: bytes = b"") -> bytes:
+        return self._run(self._aio.ping(payload))
+
+    def gc_report(self):
+        return self._run(self._aio.gc_report())
+
+    def inspect(self) -> dict:
+        return self._run(self._aio.inspect())
+
+    def stats(self) -> dict:
+        return self._run(self._aio.stats())
+
+    def shard_map(self) -> dict:
+        return self._run(self._aio.shard_map())
+
+    def trace_dump(self, max_events: int = 0, clear: bool = False):
+        return self._run(self._aio.trace_dump(max_events, clear))
+
+    def take_reclaims(self):
+        return self._aio.take_reclaims()
+
+    def close(self) -> None:
+        try:
+            self._run(self._aio.close())
+        finally:
+            self._loop_thread.stop()
+
+    def __enter__(self) -> "BridgedClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+__all__ = ["BridgedClient", "BridgedConnection"]

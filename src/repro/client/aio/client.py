@@ -1,0 +1,744 @@
+"""The asyncio end-device client: the sync API, one coroutine deep.
+
+:class:`AioStampedeClient` mirrors :class:`repro.client.client
+.StampedeClient` method-for-method — same wire protocol, same codecs,
+same fault-tolerance contract (docs/FAULTS.md) — but every operation is
+a coroutine and every connection costs zero threads.  That inversion is
+what makes the massive-fanout gateway shape of the Octopus model
+practical: one process can hold tens of thousands of attached devices,
+each a few futures and a slotted protocol object, where the sync client
+would need a thread per blocked call.
+
+Construction is ``await AioStampedeClient.connect(...)`` (the HELLO
+handshake must be awaited).  Everything else reads like the sync
+client with ``await`` in front:
+
+* synchronous container ops pipeline freely — thousands of coroutines
+  may each have a call in flight on the same connection;
+* ``sync=False`` puts/consumes coalesce into batch envelopes exactly
+  like the sync coalescer (same knobs, same flush rules);
+* transport failure degrades the session, a capped-backoff reconnect
+  RESUMEs it, retry-safe ops re-issue with the same absorb-on-replay
+  dedup semantics (exactly-once for channel puts, at-most-once for
+  queue ops);
+* the optional heartbeat rides the loop's **shared** scheduler task
+  (:func:`repro.client.aio.scheduler.loop_scheduler`) — 10k heartbeating
+  clients cost one timer, and a degraded client's recovery runs in its
+  own task so it never stalls the others' pings.
+
+Fault injection: pass ``fault_plan`` (a
+:class:`~repro.transport.faults.FaultPlan`) and every (re)dialled
+connection consumes a fresh decision stream at frame granularity, the
+aio analogue of wrapping the sync transport in ``FaultyStream``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Callable, Deque, Iterator, List, Optional, Tuple
+
+from repro.client.aio.rpc import AioRpcChannel, open_channel
+from repro.client.aio.scheduler import loop_scheduler
+from repro.client.retry import RetryPolicy
+from repro.core.connection import ConnectionMode
+from repro.core.filters import AttentionFilter
+from repro.core.timestamps import (
+    NEWEST,
+    OLDEST,
+    Timestamp,
+    VirtualTime,
+    is_marker,
+    validate_timestamp,
+)
+from repro.errors import (
+    ConnectionClosedError,
+    ConnectionModeError,
+    DuplicateTimestampError,
+    NameAlreadyBoundError,
+    NameNotBoundError,
+    RetryExhaustedError,
+    RpcTimeoutError,
+    SessionResumeError,
+    StampedeError,
+    TransportClosedError,
+    TransportError,
+)
+from repro.marshal import get_codec
+from repro.runtime import ops
+from repro.transport.faults import FaultPlan
+from repro.util import trace as tracepoints
+from repro.util.logging import get_logger
+
+_log = get_logger("client.aio")
+
+
+class _NoopTrace:
+    """Shared do-nothing context for the tracing-disabled hot path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NOOP_TRACE = _NoopTrace()
+
+
+class AioRemoteConnection:
+    """Async handle to one attached container (mirror of
+    :class:`repro.client.client.RemoteConnection`)."""
+
+    __slots__ = ("_client", "_wire_id", "container_name", "mode", "kind",
+                 "_detached")
+
+    def __init__(self, client: "AioStampedeClient", wire_id: int,
+                 container: str, mode: ConnectionMode, kind: str) -> None:
+        self._client = client
+        self._wire_id = wire_id
+        self.container_name = container
+        self.mode = mode
+        self.kind = kind
+        self._detached = False
+
+    def _traced(self, op: str, **details: Any):
+        if not tracepoints.GLOBAL_TRACER.enabled:
+            return _NOOP_TRACE  # no generator machinery on the hot path
+        return self._traced_live(op, **details)
+
+    @contextmanager
+    def _traced_live(self, op: str, **details: Any) -> Iterator[None]:
+        fresh = tracepoints.current_trace_id() is None
+        if fresh:
+            tracepoints.set_trace_id(tracepoints.new_trace_id())
+        tracepoints.trace(tracepoints.RPC, self.container_name,
+                          op=op, side="client", **details)
+        try:
+            yield
+        finally:
+            if fresh:
+                tracepoints.set_trace_id(None)
+
+    # -- I/O ------------------------------------------------------------------
+
+    async def put(self, timestamp: Timestamp, value: Any,
+                  block: bool = True, timeout: Optional[float] = None,
+                  sync: bool = True) -> None:
+        """Encode *value* and put it remotely (see the sync docstring).
+
+        ``sync=False`` coalesces the put into the channel's batch — no
+        round trip and no await on the wire; a burst of N casts becomes
+        one frame.  Same retry/absorb semantics as the sync client:
+        channel puts are effectively exactly-once, queue puts
+        at-most-once.
+        """
+        self._require_open()
+        if not self.mode.can_put:
+            raise ConnectionModeError(
+                f"connection to {self.container_name!r} is input-only"
+            )
+        validate_timestamp(timestamp)
+        payload = self._client.codec.encode(value)
+        args = {
+            "connection_id": self._wire_id,
+            "timestamp": timestamp,
+            "payload": payload,
+            "block": block,
+            "has_timeout": timeout is not None,
+            "timeout": timeout if timeout is not None else 0.0,
+        }
+        with self._traced("put", ts=timestamp, sync=sync):
+            if sync:
+                is_channel = self.kind == "channel"
+                await self._client._call(
+                    ops.OP_PUT, args, io_timeout=timeout,
+                    retryable=is_channel,
+                    absorb=(DuplicateTimestampError,)
+                    if is_channel else (),
+                )
+            else:
+                await self._client._cast(ops.OP_PUT, args)
+
+    async def get(self, timestamp: VirtualTime = OLDEST,
+                  block: bool = True, timeout: Optional[float] = None
+                  ) -> Tuple[Timestamp, Any]:
+        """Fetch ``(timestamp, value)``; markers work exactly as
+        locally.  Channel gets retry; queue gets are destructive and do
+        not."""
+        self._require_open()
+        if not self.mode.can_get:
+            raise ConnectionModeError(
+                f"connection to {self.container_name!r} is output-only"
+            )
+        if is_marker(timestamp):
+            vt_kind = ops.VT_NEWEST if timestamp is NEWEST \
+                else ops.VT_OLDEST
+            wire_ts = 0
+        else:
+            vt_kind = ops.VT_CONCRETE
+            wire_ts = validate_timestamp(timestamp)
+        with self._traced("get", ts=wire_ts if vt_kind == ops.VT_CONCRETE
+                          else ("newest" if vt_kind == ops.VT_NEWEST
+                                else "oldest")):
+            results = await self._client._call(ops.OP_GET, {
+                "connection_id": self._wire_id,
+                "vt_kind": vt_kind,
+                "timestamp": wire_ts,
+                "block": block,
+                "has_timeout": timeout is not None,
+                "timeout": timeout if timeout is not None else 0.0,
+            }, io_timeout=timeout, retryable=self.kind == "channel")
+        value = self._client.codec.decode(results["payload"])
+        return results["timestamp"], value
+
+    async def consume(self, timestamp: Timestamp,
+                      sync: bool = True) -> None:
+        """Declare the item at *timestamp* garbage for this device."""
+        self._require_open()
+        args = {
+            "connection_id": self._wire_id,
+            "timestamp": validate_timestamp(timestamp),
+        }
+        with self._traced("consume", ts=timestamp, sync=sync):
+            if sync:
+                await self._client._call(ops.OP_CONSUME, args)
+            else:
+                await self._client._cast(ops.OP_CONSUME, args)
+
+    async def consume_until(self, timestamp: Timestamp,
+                            sync: bool = True) -> None:
+        """Raise this connection's interest floor to *timestamp*."""
+        self._require_open()
+        args = {
+            "connection_id": self._wire_id,
+            "timestamp": validate_timestamp(timestamp),
+        }
+        with self._traced("consume_until", ts=timestamp, sync=sync):
+            if sync:
+                await self._client._call(ops.OP_CONSUME_UNTIL, args)
+            else:
+                await self._client._cast(ops.OP_CONSUME_UNTIL, args)
+
+    async def detach(self) -> None:
+        """Detach on the cluster (idempotent)."""
+        if self._detached:
+            return
+        self._detached = True
+        await self._client._call(ops.OP_DETACH,
+                                 {"connection_id": self._wire_id})
+
+    @property
+    def detached(self) -> bool:
+        """Whether this handle has been detached."""
+        return self._detached
+
+    def _require_open(self) -> None:
+        if self._detached:
+            raise ConnectionClosedError(
+                f"connection to {self.container_name!r} is detached"
+            )
+
+    async def __aenter__(self) -> "AioRemoteConnection":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.detach()
+
+    def __repr__(self) -> str:
+        return (
+            f"<AioRemoteConnection {self.container_name!r} "
+            f"mode={self.mode.value} kind={self.kind}>"
+        )
+
+
+class AioStampedeClient:
+    """An end device joined to a D-Stampede computation, asyncio-side.
+
+    Build with ``await AioStampedeClient.connect(host, port, ...)`` —
+    the constructor arguments are the sync client's, with two
+    differences: ``fault_plan`` (a frame-level
+    :class:`~repro.transport.faults.FaultPlan`) replaces
+    ``transport_wrapper``, and ``on_reclaim`` must be a plain callable
+    (invoked on the event loop; never blocks).
+    """
+
+    def __init__(self) -> None:
+        raise TypeError(
+            "use 'await AioStampedeClient.connect(...)' "
+            "to build an aio client"
+        )
+
+    @classmethod
+    async def connect(cls, host: str, port: int,
+                      client_name: str = "device",
+                      codec: str = "xdr",
+                      heartbeat: Optional[float] = None,
+                      on_reclaim: Optional[Callable[[str, int],
+                                                    None]] = None,
+                      rpc_timeout: float = 30.0,
+                      retry: Optional[RetryPolicy] = None,
+                      reconnect: bool = True,
+                      on_degraded: Optional[Callable[[BaseException],
+                                                     None]] = None,
+                      on_recovered: Optional[Callable[[int],
+                                                      None]] = None,
+                      fault_plan: Optional[FaultPlan] = None,
+                      batching: bool = True,
+                      batch_max_items: int = 64,
+                      batch_max_bytes: int = 128 * 1024,
+                      batch_linger: float = 0.002
+                      ) -> "AioStampedeClient":
+        """Dial the cluster, run the HELLO handshake, start the
+        heartbeat; returns the joined client."""
+        self = cls.__new__(cls)
+        self.codec = get_codec(codec)
+        self.client_name = client_name
+        self.rpc_timeout = rpc_timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._address = (host, port)
+        self._reconnect_enabled = reconnect
+        self._fault_plan = fault_plan
+        self._batching = batching
+        self._batch_max_items = batch_max_items
+        self._batch_max_bytes = batch_max_bytes
+        self._batch_linger = batch_linger
+        self._on_degraded = on_degraded
+        self._on_recovered = on_recovered
+        self._user_reclaim_cb = on_reclaim
+        self._reclaims: Deque[Tuple[str, int]] = deque()
+        self._closed = False
+        self._state = "connected"
+        self._session_lock = asyncio.Lock()  # single-flight reconnect
+        self._recovery_task: Optional[asyncio.Task] = None
+        self._rpc = await self._dial()
+        # The join handshake itself is not retried (same contract as
+        # the sync client): an unreachable cluster at construction time
+        # is an application error, not weather.
+        try:
+            hello = await self._rpc.call(ops.OP_HELLO, {
+                "client_name": client_name, "codec": codec,
+            }, timeout=rpc_timeout)
+        except StampedeError:
+            self._rpc.close()
+            raise
+        self.session_id = hello["session_id"]
+        self.space = hello["space"]
+        self._resume_token = hello["token"]
+        self._heartbeat_interval = heartbeat
+        self._heartbeat_handle = None
+        if heartbeat is not None:
+            self._heartbeat_handle = loop_scheduler().register(
+                heartbeat, self._heartbeat_tick)
+        return self
+
+    @property
+    def state(self) -> str:
+        """``"connected"``, ``"degraded"`` (reconnecting), or
+        ``"closed"``."""
+        return self._state
+
+    # -- container API -----------------------------------------------------------
+
+    async def create_channel(self, name: str, space: str = "",
+                             capacity: Optional[int] = None) -> None:
+        """Create a channel on the cluster and register it (retried;
+        duplicate-name replays absorbed — exactly-once)."""
+        await self._call(ops.OP_CREATE_CHANNEL, {
+            "name": name, "space": space,
+            "bounded": capacity is not None,
+            "capacity": capacity if capacity is not None else 0,
+        }, retryable=True, absorb=(NameAlreadyBoundError,))
+
+    async def create_queue(self, name: str, space: str = "",
+                           capacity: Optional[int] = None,
+                           auto_consume: bool = False) -> None:
+        """Create a queue on the cluster and register it (retried with
+        duplicate-name absorption, like :meth:`create_channel`)."""
+        await self._call(ops.OP_CREATE_QUEUE, {
+            "name": name, "space": space,
+            "bounded": capacity is not None,
+            "capacity": capacity if capacity is not None else 0,
+            "auto_consume": auto_consume,
+        }, retryable=True, absorb=(NameAlreadyBoundError,))
+
+    async def attach(self, container: str, mode: ConnectionMode,
+                     wait: Optional[float] = None,
+                     attention_filter: Optional[AttentionFilter] = None
+                     ) -> AioRemoteConnection:
+        """Connect to a named container; ``wait`` blocks for late
+        names.  The attention filter executes cluster-side, so
+        filtered-out items never cross the network."""
+        filter_bytes = b""
+        if attention_filter is not None:
+            filter_bytes = self.codec.encode(attention_filter.to_spec())
+        results = await self._call(ops.OP_ATTACH, {
+            "container": container,
+            "mode": mode.value,
+            "wait": wait is not None,
+            "wait_timeout": wait if wait is not None else 0.0,
+            "filter": filter_bytes,
+        }, io_timeout=wait)
+        return AioRemoteConnection(
+            self, results["connection_id"], container, mode,
+            results["kind"],
+        )
+
+    # -- name server API ----------------------------------------------------------
+
+    async def ns_register(self, name: str, kind: str,
+                          metadata: Optional[dict] = None,
+                          ttl: Optional[float] = None) -> None:
+        """Bind *name* in the cluster's name server (leased when *ttl*
+        is set; this client's heartbeat refreshes its leases)."""
+        await self._call(ops.OP_NS_REGISTER, {
+            "name": name, "kind": kind,
+            "metadata": self.codec.encode(metadata or {}),
+            "has_ttl": ttl is not None,
+            "ttl": ttl if ttl is not None else 0.0,
+        }, retryable=True, absorb=(NameAlreadyBoundError,))
+
+    async def ns_unregister(self, name: str) -> None:
+        """Remove a binding (retried; not-bound replays absorbed)."""
+        await self._call(ops.OP_NS_UNREGISTER, {"name": name},
+                         retryable=True, absorb=(NameNotBoundError,))
+
+    async def ns_lookup(self, name: str) -> Tuple[str, str, dict]:
+        """Returns ``(kind, address_space, metadata)``."""
+        results = await self._call(ops.OP_NS_LOOKUP, {"name": name})
+        metadata = self.codec.decode(results["metadata"]) \
+            if results["metadata"] else {}
+        return results["kind"], results["space"], metadata
+
+    async def ns_list(self, kind: str = "") -> List[str]:
+        """Bound names, optionally filtered by kind."""
+        results = await self._call(ops.OP_NS_LIST, {"kind": kind})
+        return results["names"]
+
+    async def ns_refresh(self, name: str) -> bool:
+        """Refresh one leased binding by name (NS_REFRESH wire op)."""
+        results = await self._call(ops.OP_NS_REFRESH, {"name": name})
+        return results["refreshed"]
+
+    # -- misc ---------------------------------------------------------------------
+
+    async def ping(self, payload: bytes = b"") -> bytes:
+        """Round-trip *payload* through the surrogate (latency probe
+        and lease keep-alive)."""
+        results = await self._call(ops.OP_PING, {"payload": payload})
+        return results["payload"]
+
+    async def gc_report(self) -> Tuple[int, int, int]:
+        """Cluster-wide ``(sweeps, items reclaimed, bytes
+        reclaimed)``."""
+        r = await self._call(ops.OP_GC_REPORT, {})
+        return r["sweeps"], r["items"], r["bytes"]
+
+    async def inspect(self) -> dict:
+        """Full cluster snapshot (see :mod:`repro.runtime.inspect`)."""
+        results = await self._call(ops.OP_INSPECT, {})
+        return self.codec.decode(results["snapshot"])
+
+    async def stats(self) -> dict:
+        """Live observability snapshot of the cluster (STATS op)."""
+        results = await self._call(ops.OP_STATS, {})
+        return json.loads(bytes(results["snapshot"]).decode("utf-8"))
+
+    async def shard_map(self) -> dict:
+        """The cluster's shard topology (SHARD_MAP wire op)."""
+        results = await self._call(ops.OP_SHARD_MAP, {})
+        raw = bytes(results["peers"]).decode("utf-8") or "{}"
+        peers = {int(sid): tuple(address)
+                 for sid, address in json.loads(raw).items()}
+        return {"shard_id": results["shard_id"],
+                "shards": results["shards"], "peers": peers}
+
+    async def trace_dump(self, max_events: int = 0,
+                         clear: bool = False) -> dict:
+        """Drain the cluster's trace ring (TRACE_DUMP wire op)."""
+        results = await self._call(ops.OP_TRACE_DUMP, {
+            "max_events": max_events, "clear": clear,
+        })
+        return json.loads(bytes(results["events"]).decode("utf-8"))
+
+    def take_reclaims(self) -> List[Tuple[str, int]]:
+        """Drain queued reclaim notifications."""
+        drained = list(self._reclaims)
+        self._reclaims.clear()
+        return drained
+
+    def _on_reclaim(self, container: str, timestamp: int) -> None:
+        self._reclaims.append((container, timestamp))
+        if self._user_reclaim_cb is not None:
+            self._user_reclaim_cb(container, timestamp)
+
+    # -- plumbing -----------------------------------------------------------------
+
+    async def _dial(self) -> AioRpcChannel:
+        # ``fault_plan`` may be a plan (same weather on every dial) or
+        # a zero-argument callable returning a plan-or-None per dial —
+        # the aio mirror of dial-indexed ``transport_wrapper`` tricks
+        # (clean handshake, faulty steady state).
+        plan = self._fault_plan
+        if callable(plan):
+            plan = plan()
+        return await open_channel(
+            self._address, reclaim_listener=self._on_reclaim,
+            batching=self._batching,
+            batch_max_items=self._batch_max_items,
+            batch_max_bytes=self._batch_max_bytes,
+            batch_linger=self._batch_linger,
+            fault_plan=plan,
+            connect_timeout=self.rpc_timeout,
+        )
+
+    async def _cast(self, opcode: int, args: dict) -> None:
+        """Fire-and-forget RPC; a cast that dies with the connection is
+        replayed once on the recovered session (safe: channel puts
+        dedup by timestamp, consumes are idempotent)."""
+        rpc = self._rpc
+        try:
+            rpc.cast(opcode, args)
+        except TransportClosedError as exc:
+            if self._closed:
+                raise
+            self._note_degraded(exc)
+            await self._recover(rpc)
+            self._rpc.cast(opcode, args)
+
+    async def _call(self, opcode: int, args: dict,
+                    io_timeout: Optional[float] = None,
+                    retryable: Optional[bool] = None,
+                    absorb: Tuple[type, ...] = ()) -> dict:
+        """One RPC under the retry policy — the sync client's ladder,
+        coroutine-shaped (see ``StampedeClient._call`` for the full
+        contract: retryable defaults from IDEMPOTENT_OPS, *absorb*
+        turns dedup-key replays into success, a dead connection always
+        triggers session recovery)."""
+        if retryable is None:
+            retryable = opcode in ops.IDEMPOTENT_OPS
+        deadline = self._deadline(opcode, io_timeout)
+        delays = self.retry.delays()
+        attempt = 0
+        while True:
+            rpc = self._rpc
+            try:
+                return await rpc.call(opcode, args, timeout=deadline)
+            except TransportClosedError as exc:
+                if self._closed:
+                    raise
+                self._note_degraded(exc)
+                await self._recover(rpc)  # raises if the session died
+                if not retryable:
+                    raise
+                last: StampedeError = exc
+            except RpcTimeoutError as exc:
+                # The connection may be fine (response lost or late);
+                # retry on the same channel, never reconnect here.
+                if not retryable:
+                    raise
+                last = exc
+            except StampedeError as exc:
+                if attempt > 0 and absorb and isinstance(exc, absorb):
+                    _log.debug(
+                        "absorbed %s on retry of %s (original attempt "
+                        "landed)", type(exc).__name__,
+                        ops.OP_SCHEMAS[opcode].name,
+                    )
+                    return {}
+                raise
+            attempt += 1
+            pause = next(delays, None)
+            if pause is None:
+                raise RetryExhaustedError(
+                    f"{ops.OP_SCHEMAS[opcode].name!r} failed after "
+                    f"{attempt} attempts"
+                ) from last
+            await asyncio.sleep(pause)
+
+    def _deadline(self, opcode: int,
+                  io_timeout: Optional[float]) -> Optional[float]:
+        deadline = self.rpc_timeout
+        if io_timeout is not None:
+            deadline += io_timeout
+        elif opcode in (ops.OP_GET, ops.OP_PUT, ops.OP_ATTACH):
+            return self.retry.op_timeout
+        return deadline
+
+    # -- fault recovery -----------------------------------------------------------
+
+    async def _recover(self, dead_rpc: AioRpcChannel) -> None:
+        """Re-dial and RESUME the session (single-flight).
+
+        Coroutines that hit the dead connection concurrently all land
+        here; the first one reconnects under the lock, the rest observe
+        the fresh channel and return immediately.  Same error contract
+        as the sync ``_recover``.
+        """
+        async with self._session_lock:
+            if self._closed:
+                raise TransportClosedError("client is closed")
+            if self._rpc is not dead_rpc and not self._rpc.closed:
+                return  # someone already recovered the session
+            if not self._reconnect_enabled:
+                raise TransportClosedError(
+                    "connection to the cluster lost (reconnect disabled)"
+                )
+            delays = self.retry.delays()
+            while True:
+                rpc = None
+                try:
+                    rpc = await self._dial()
+                    results = await rpc.call(ops.OP_RESUME, {
+                        "session_id": self.session_id,
+                        "token": self._resume_token,
+                    }, timeout=self.rpc_timeout)
+                    break
+                except SessionResumeError:
+                    if rpc is not None:
+                        rpc.close()
+                    self._state = "closed"
+                    raise
+                except (TransportError, OSError) as exc:
+                    if rpc is not None:
+                        rpc.close()
+                    pause = next(delays, None)
+                    if pause is None:
+                        raise RetryExhaustedError(
+                            f"could not reconnect to {self._address} "
+                            f"after {self.retry.max_attempts} attempts"
+                        ) from exc
+                    _log.info(
+                        "reconnect to %s failed (%r); retrying in %.2fs",
+                        self._address, exc, pause,
+                    )
+                    await asyncio.sleep(pause)
+            old = self._rpc
+            self._rpc = rpc
+            # Replay casts the old channel never got onto the wire,
+            # byte-identically and in order, before anything new goes
+            # out — replays are duplicate-tolerant by construction.
+            for cast_opcode, cast_frame in old.drain_unsent_casts():
+                try:
+                    rpc.cast_frame(cast_opcode, cast_frame)
+                except StampedeError:
+                    _log.warning("lost a buffered cast during recovery")
+                    break
+            old.close()
+            self.space = results["space"]
+        self._note_recovered(results["connections"])
+
+    def _note_degraded(self, exc: BaseException) -> None:
+        if self._state != "connected":
+            return
+        self._state = "degraded"
+        _log.warning("connection to %s degraded: %r", self._address, exc)
+        if self._on_degraded is not None:
+            try:
+                self._on_degraded(exc)
+            except Exception:  # noqa: BLE001 - user callback isolation
+                _log.exception("on_degraded callback raised")
+
+    def _note_recovered(self, connections: int) -> None:
+        self._state = "connected"
+        _log.info("session %s resumed with %d connections",
+                  self.session_id, connections)
+        if self._on_recovered is not None:
+            try:
+                self._on_recovered(connections)
+            except Exception:  # noqa: BLE001 - user callback isolation
+                _log.exception("on_recovered callback raised")
+
+    async def _heartbeat_tick(self) -> Optional[float]:
+        """One shared-scheduler tick: a quick PING, never a long block.
+
+        Runs inline in the loop's single heartbeat task, so it must
+        stay fast: the ping gets a bounded timeout and is not retried
+        here, and a dead connection hands recovery to its own task
+        instead of walking the backoff ladder inside the shared timer.
+        Returning ``None`` unregisters this client.
+        """
+        if self._closed or self._state == "closed":
+            return None
+        if self._state == "degraded":
+            # Keep driving recovery while the application is idle, so
+            # the session resumes as soon as the cluster returns.
+            self._spawn_recovery()
+            return self._heartbeat_interval
+        rpc = self._rpc
+        try:
+            await rpc.call(ops.OP_PING, {"payload": b""},
+                           timeout=min(self.rpc_timeout, 5.0))
+        except TransportClosedError as exc:
+            if self._closed or not self._reconnect_enabled:
+                return None
+            self._note_degraded(exc)
+            self._spawn_recovery()
+        except StampedeError:
+            # Timeout or a slow cluster: the connection may be fine, so
+            # neither degrade nor block — the next tick tries again.
+            pass
+        return self._heartbeat_interval
+
+    def _spawn_recovery(self) -> None:
+        """Start (at most one) background reconnect+RESUME task."""
+        task = self._recovery_task
+        if task is not None and not task.done():
+            return
+        self._recovery_task = asyncio.get_event_loop().create_task(
+            self._recovery_main(self._rpc))
+
+    async def _recovery_main(self, dead_rpc: AioRpcChannel) -> None:
+        try:
+            await self._recover(dead_rpc)
+        except StampedeError:
+            # Unreachable cluster (retry next tick) or session gone
+            # (state is "closed"; the next tick unregisters us).
+            pass
+        except Exception:  # noqa: BLE001 - never kill the loop
+            _log.exception("background session recovery failed")
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def close(self) -> None:
+        """Leave the computation cleanly (BYE) and drop the connection.
+
+        The heartbeat registration is cancelled before the socket goes
+        away, so a shutdown never races a ping into a closing
+        connection.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._heartbeat_handle is not None:
+            self._heartbeat_handle.cancel()
+        task = self._recovery_task
+        if task is not None and not task.done():
+            task.cancel()
+        try:
+            await self._rpc.call(ops.OP_BYE, {}, timeout=2.0)
+        except Exception:  # noqa: BLE001 - best-effort goodbye
+            pass
+        self._rpc.close()
+        await self._rpc.wait_closed()
+        self._state = "closed"
+
+    async def __aenter__(self) -> "AioStampedeClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<AioStampedeClient {self.client_name!r} session="
+            f"{getattr(self, 'session_id', '?')} "
+            f"codec={self.codec.name}>"
+        )
+
+
+__all__ = ["AioRemoteConnection", "AioStampedeClient"]

@@ -1,0 +1,519 @@
+"""Asyncio client RPC: pipelined request/response over one connection.
+
+The sync :class:`~repro.client.rpc.RpcChannel` spends a thread per
+blocked call (plus a receiver thread per connection); this is its
+event-loop twin, built for the massive-fanout shape of the Octopus
+model — one gateway process multiplexing 10–100k devices.  One
+:class:`AioRpcChannel` is simultaneously the asyncio protocol, the
+request/response correlator, and the cast coalescer:
+
+* **pipelining** — any number of calls may be in flight per connection;
+  each allocates a request id and awaits its own future, and the
+  protocol's ``data_received`` routes response frames back by id.  No
+  thread, no lock: everything runs on the event loop.
+* **coalescing** — fire-and-forget casts gather into batch envelopes
+  under exactly the sync coalescer's rules (sync-call barrier, linger
+  deadline, size caps, kind switch), with the linger served by a loop
+  timer instead of a flusher thread.
+* **recovery replay** — casts buffered (or failed to send) when the
+  transport dies are exposed via :meth:`drain_unsent_casts`, so the
+  client's reconnect/RESUME machinery replays them byte-identically —
+  the same exactly-once dedup story as the sync client.
+
+The wire format is shared, not reimplemented: frames are encoded by
+:mod:`repro.runtime.ops`, framed with the prefix from
+:mod:`repro.transport.message`, and parsed by that module's push-style
+:class:`~repro.transport.message.FrameAssembler`.
+
+Fault injection hooks in at the frame boundary (``fault_plan``): the
+same seedable :class:`~repro.transport.faults.FaultPlan` decision
+stream that wraps sync transports decides, per wire frame, whether to
+drop/duplicate/corrupt/sever — so the aio client is testable under the
+exact fault model of docs/FAULTS.md.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.client.rpc import _op_hist as _sync_op_hist  # noqa: F401 (doc xref)
+from repro.client.rpc import _rehydrate_error
+from repro.errors import (
+    RpcTimeoutError,
+    StampedeError,
+    TransportClosedError,
+)
+from repro.obs.metrics import COUNT_BOUNDS, GLOBAL_METRICS as _metrics
+from repro.runtime import ops
+from repro.transport import faults as fault_mod
+from repro.transport.faults import FaultPlan, FaultStats
+from repro.transport.message import FrameAssembler, encode_frame_prefix
+from repro.util import trace as tracepoints
+from repro.util.logging import get_logger
+
+_log = get_logger("client.aio.rpc")
+
+# Aio-side instruments, parallel to the sync channel's: per-op
+# round-trip histograms are lazy, and the coalescer records why each
+# batch left and how full it was.
+_OP_HISTS: Dict[int, object] = {}
+_BATCH_ITEMS = _metrics.histogram(
+    "rpc.aio.batch_items", bounds=COUNT_BOUNDS, unit="items")
+_FLUSH_REASONS = {
+    reason: _metrics.counter(f"rpc.aio.flush_{reason}")
+    for reason in ("barrier", "kind_switch", "size_cap", "linger", "close")
+}
+
+
+def _op_hist(opcode: int):
+    hist = _OP_HISTS.get(opcode)
+    if hist is None:
+        schema = ops.OP_SCHEMAS.get(opcode)
+        name = schema.name if schema is not None else f"op{opcode}"
+        hist = _metrics.histogram(f"rpc.aio.{name}_us")
+        _OP_HISTS[opcode] = hist
+    return hist
+
+
+class _FrameFaultFilter:
+    """Per-wire-frame fault decisions for the aio channel.
+
+    Consumes one :class:`~repro.transport.faults.FaultSchedule` decision
+    per frame crossing the wire in either direction — the same
+    deterministic stream the sync :class:`FaultyStream` consumes per
+    transport call.  ``sever``/``error`` raise (the channel aborts the
+    transport on sever); drop/delay/duplicate/corrupt return the
+    decision for the channel to apply at its layer.
+    """
+
+    __slots__ = ("_schedule", "_payload_rng", "channel")
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self._schedule = plan.schedule()
+        self._payload_rng = random.Random(plan.seed ^ 0x5EED)
+        self.channel: Optional["AioRpcChannel"] = None
+
+    @property
+    def stats(self) -> FaultStats:
+        return self._schedule.stats
+
+    def decide(self) -> str:
+        decision, error = self._schedule.next_decision()
+        if decision == "sever":
+            _log.info("injected sever after %d frames",
+                      self._schedule.stats.calls)
+            if self.channel is not None:
+                self.channel._abort("injected connection sever")
+            raise TransportClosedError("injected connection sever")
+        if decision == "error":
+            _log.info("injected error %r", error)
+            assert error is not None
+            raise error
+        if decision == fault_mod.DELAY:
+            self._schedule.count(fault_mod.DELAY)
+            # Test-only path: a blocking sleep models link latency the
+            # same way the threaded wrapper does.  delay_s is tiny.
+            time.sleep(self._schedule.plan.delay_s)
+            return fault_mod.OK
+        if decision in (fault_mod.DROP, fault_mod.DUPLICATE,
+                        fault_mod.CORRUPT):
+            self._schedule.count(decision)
+        return decision
+
+    def corrupt(self, frame: bytes) -> bytes:
+        return fault_mod._corrupt(frame, self._payload_rng)
+
+
+class AioRpcChannel(asyncio.Protocol):
+    """One framed connection: protocol + correlator + coalescer.
+
+    Everything lives on the event loop thread, so — unlike the sync
+    channel — no state needs a lock, and a connection costs zero
+    threads.  Slots keep the per-device footprint small enough that a
+    load generator can hold tens of thousands of these in one process.
+    """
+
+    __slots__ = (
+        "_loop", "_transport", "_assembler", "_pending", "_next_id",
+        "_closed", "_reclaim_listener", "_batching", "_batch_max_items",
+        "_batch_max_bytes", "_batch_linger", "_batch_frames",
+        "_batch_envelope", "_batch_bytes", "_linger_handle", "_unsent",
+        "_paused", "_drain_waiter", "_closed_waiter", "_faults",
+    )
+
+    def __init__(self, reclaim_listener=None, *, batching: bool = False,
+                 batch_max_items: int = 64,
+                 batch_max_bytes: int = 128 * 1024,
+                 batch_linger: float = 0.002,
+                 fault_filter: Optional[_FrameFaultFilter] = None) -> None:
+        self._loop = asyncio.get_event_loop()
+        self._transport: Optional[asyncio.Transport] = None
+        self._assembler = FrameAssembler()
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._closed = False
+        self._reclaim_listener = reclaim_listener
+        self._batching = batching
+        self._batch_max_items = max(1, batch_max_items)
+        self._batch_max_bytes = max(1, batch_max_bytes)
+        self._batch_linger = batch_linger
+        self._batch_frames: List[Tuple[int, bytes]] = []
+        self._batch_envelope: Optional[int] = None
+        self._batch_bytes = 0
+        self._linger_handle: Optional[asyncio.TimerHandle] = None
+        self._unsent: List[Tuple[int, bytes]] = []
+        self._paused = False
+        self._drain_waiter: Optional[asyncio.Future] = None
+        self._closed_waiter: Optional[asyncio.Future] = None
+        self._faults = fault_filter
+        if fault_filter is not None:
+            fault_filter.channel = self
+
+    # -- asyncio.Protocol --------------------------------------------------
+
+    def connection_made(self, transport) -> None:
+        self._transport = transport
+
+    def data_received(self, data: bytes) -> None:
+        try:
+            frames = self._assembler.feed(data)
+        except StampedeError:
+            _log.warning("framing desync; closing the connection")
+            self._abort("framing desync")
+            return
+        for frame in frames:
+            if self._faults is not None:
+                try:
+                    decision = self._faults.decide()
+                except StampedeError:
+                    return  # severed (connection_lost will fire)
+                except Exception:  # noqa: BLE001 - injected error
+                    continue
+                if decision == fault_mod.DROP:
+                    continue
+                if decision == fault_mod.CORRUPT:
+                    frame = self._faults.corrupt(frame)
+                elif decision == fault_mod.DUPLICATE:
+                    self._route_frame(frame)
+            self._route_frame(frame)
+
+    def _route_frame(self, frame: bytes) -> None:
+        try:
+            request_id = ops.peek_request_id(frame)
+        except Exception:  # noqa: BLE001 - hostile frame
+            _log.warning("dropping unparseable response frame")
+            return
+        future = self._pending.pop(request_id, None)
+        if future is None:
+            _log.warning("response for unknown request %d", request_id)
+            return
+        if not future.done():
+            future.set_result(frame)
+
+    def connection_lost(self, exc: Optional[Exception]) -> None:
+        self._closed = True
+        self._cancel_linger()
+        # Coalesced casts die with the transport: park them for the
+        # recovery replay, exactly like the sync channel.
+        if self._batch_frames:
+            self._unsent.extend(self._batch_frames)
+            self._batch_frames = []
+            self._batch_envelope = None
+            self._batch_bytes = 0
+        error = TransportClosedError(
+            "connection closed while awaiting response")
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+        if self._drain_waiter is not None and \
+                not self._drain_waiter.done():
+            self._drain_waiter.set_result(None)
+        if self._closed_waiter is not None and \
+                not self._closed_waiter.done():
+            self._closed_waiter.set_result(None)
+
+    def pause_writing(self) -> None:
+        self._paused = True
+
+    def resume_writing(self) -> None:
+        self._paused = False
+        if self._drain_waiter is not None and \
+                not self._drain_waiter.done():
+            self._drain_waiter.set_result(None)
+
+    # -- calls -------------------------------------------------------------
+
+    async def call(self, opcode: int, args: Dict[str, Any],
+                   timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Execute one remote operation; any number may be in flight.
+
+        Identical contract to the sync channel's ``call``: remote errors
+        are rehydrated, a missing response within *timeout* raises
+        :class:`RpcTimeoutError` (the connection may still be healthy),
+        a dead connection raises :class:`TransportClosedError`.
+        """
+        if self._closed:
+            raise TransportClosedError("RPC channel is closed")
+        # Ordering barrier: every coalesced cast reaches the wire before
+        # this request, so the surrogate observes issue order.
+        self.flush_casts()
+        self._next_id += 1
+        request_id = self._next_id
+        future = self._loop.create_future()
+        self._pending[request_id] = future
+        t0 = time.monotonic() if _metrics.enabled else 0.0
+        try:
+            frame = ops.encode_request(
+                request_id, opcode, args,
+                trace_id=tracepoints.current_trace_id(),
+            )
+            self._send_wire_frame(frame)
+            await self.drain()
+            if timeout is None:
+                response_frame = await future
+            else:
+                try:
+                    response_frame = await asyncio.wait_for(
+                        asyncio.shield(future), timeout)
+                except asyncio.TimeoutError:
+                    raise RpcTimeoutError(
+                        f"no response to "
+                        f"{ops.OP_SCHEMAS[opcode].name!r} "
+                        f"within {timeout}s"
+                    ) from None
+        finally:
+            self._pending.pop(request_id, None)
+        if t0:
+            _op_hist(opcode).observe((time.monotonic() - t0) * 1e6)
+        response = ops.decode_response(response_frame, opcode)
+        self._deliver_reclaims(response.reclaims)
+        if not response.ok:
+            raise _rehydrate_error(response.error_type,
+                                   response.error_message)
+        return response.results
+
+    def cast(self, opcode: int, args: Dict[str, Any]) -> None:
+        """Fire-and-forget (possibly coalesced); returns immediately."""
+        self.cast_frame(
+            opcode, ops.encode_request(
+                ops.CAST_REQUEST_ID, opcode, args,
+                trace_id=tracepoints.current_trace_id(),
+            )
+        )
+
+    def cast_frame(self, opcode: int, frame: bytes) -> None:
+        """Send (or coalesce) one already-encoded cast frame.
+
+        Split from :meth:`cast` so session recovery can replay buffered
+        casts byte-identically on the new channel.
+        """
+        if self._closed:
+            raise TransportClosedError("RPC channel is closed")
+        envelope = ops.BATCHABLE.get(opcode) if self._batching else None
+        if envelope is None:
+            self.flush_casts()
+            self._send_wire_frame(frame)
+            return
+        if (self._batch_envelope is not None
+                and self._batch_envelope != envelope):
+            self._flush("kind_switch")  # puts vs consumes
+        first = not self._batch_frames
+        self._batch_frames.append((opcode, frame))
+        self._batch_envelope = envelope
+        self._batch_bytes += len(frame)
+        if (len(self._batch_frames) >= self._batch_max_items
+                or self._batch_bytes >= self._batch_max_bytes):
+            self._flush("size_cap")
+        elif first:
+            self._linger_handle = self._loop.call_later(
+                self._batch_linger, self._linger_fired)
+
+    def _linger_fired(self) -> None:
+        self._linger_handle = None
+        try:
+            self._flush("linger")
+        except StampedeError:
+            pass  # items parked in _unsent; pending calls fail via loss
+
+    def flush_casts(self, reason: str = "barrier") -> None:
+        """Force any coalesced casts onto the wire now."""
+        if self._batching:
+            self._flush(reason)
+
+    def _flush(self, reason: str) -> None:
+        items = self._batch_frames
+        if not items:
+            return
+        if _metrics.enabled:
+            _FLUSH_REASONS[reason].value += 1
+            _BATCH_ITEMS.observe(len(items))
+        self._batch_frames = []
+        self._batch_envelope = None
+        self._batch_bytes = 0
+        self._cancel_linger()
+        try:
+            if len(items) == 1:
+                self._send_wire_frame(items[0][1])
+            else:
+                envelope = ops.BATCHABLE[items[0][0]]
+                self._send_wire_parts(ops.encode_batch_parts(
+                    envelope, [frame for _op, frame in items]))
+        except TransportClosedError:
+            self._unsent.extend(items)
+            raise
+
+    def _cancel_linger(self) -> None:
+        if self._linger_handle is not None:
+            self._linger_handle.cancel()
+            self._linger_handle = None
+
+    def drain_unsent_casts(self) -> List[Tuple[int, bytes]]:
+        """Take every cast that never reached the wire (dead transport):
+        both failed-send items and still-buffered ones, in order."""
+        items = self._unsent + self._batch_frames
+        self._unsent = []
+        self._batch_frames = []
+        self._batch_envelope = None
+        self._batch_bytes = 0
+        self._cancel_linger()
+        return items
+
+    # -- wire --------------------------------------------------------------
+
+    def _send_wire_frame(self, frame: bytes) -> None:
+        self._send_wire_parts((frame,))
+
+    def _send_wire_parts(self, parts) -> None:
+        """One wire frame (prefix + payload slices) onto the transport.
+
+        ``transport.write`` buffers without blocking; genuine
+        backpressure is surfaced to coroutines via :meth:`drain`.
+        """
+        transport = self._transport
+        if self._closed or transport is None or transport.is_closing():
+            raise TransportClosedError("RPC channel is closed")
+        if self._faults is not None:
+            decision = self._faults.decide()  # raises on sever/error
+            if decision == fault_mod.DROP:
+                return  # the frame vanishes on the wire
+            if decision == fault_mod.CORRUPT:
+                parts = [self._faults.corrupt(b"".join(
+                    bytes(p) for p in parts))]
+            elif decision == fault_mod.DUPLICATE:
+                payload = b"".join(bytes(p) for p in parts)
+                transport.writelines(
+                    [encode_frame_prefix(len(payload)), payload,
+                     encode_frame_prefix(len(payload)), payload])
+                return
+        total = 0
+        views = []
+        for part in parts:
+            views.append(part)
+            total += len(part)
+        transport.writelines([encode_frame_prefix(total)] + views)
+
+    async def drain(self) -> None:
+        """Wait until the transport's write buffer is below the high
+        watermark (no-op on a healthy, unpressured connection)."""
+        if not self._paused or self._closed:
+            return
+        if self._drain_waiter is None or self._drain_waiter.done():
+            self._drain_waiter = self._loop.create_future()
+        await self._drain_waiter
+
+    def _deliver_reclaims(self, reclaims: List[ops.Reclaim]) -> None:
+        if self._reclaim_listener is None:
+            return
+        for container, timestamp in reclaims:
+            try:
+                self._reclaim_listener(container, timestamp)
+            except Exception:  # noqa: BLE001 - user callback isolation
+                _log.exception("reclaim listener raised")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether the channel has shut down."""
+        return self._closed
+
+    @property
+    def fault_stats(self) -> Optional[FaultStats]:
+        """Injected-fault counts, when a ``fault_plan`` is active."""
+        return None if self._faults is None else self._faults.stats
+
+    def _abort(self, reason: str) -> None:
+        if self._transport is not None and \
+                not self._transport.is_closing():
+            self._transport.abort()
+
+    def close(self) -> None:
+        """Flush best-effort, close the transport, fail pending calls."""
+        if self._closed:
+            return
+        try:
+            self.flush_casts(reason="close")
+        except StampedeError:
+            pass  # dead transport: items stay in _unsent for recovery
+        self._closed = True
+        self._cancel_linger()
+        if self._transport is not None:
+            self._transport.close()
+
+    async def wait_closed(self) -> None:
+        """Await ``connection_lost`` (after :meth:`close`)."""
+        if self._transport is None:
+            return
+        if self._closed_waiter is None:
+            self._closed_waiter = self._loop.create_future()
+            if self._transport.is_closing() and self._closed and \
+                    not self._pending:
+                # connection_lost may already have run before the waiter
+                # existed; poll the transport cheaply instead of hanging.
+                self._loop.call_soon(self._maybe_release_closed_waiter)
+        await self._closed_waiter
+
+    def _maybe_release_closed_waiter(self) -> None:
+        waiter = self._closed_waiter
+        if waiter is not None and not waiter.done():
+            waiter.set_result(None)
+
+
+async def open_channel(address, *, reclaim_listener=None,
+                       batching: bool = False, batch_max_items: int = 64,
+                       batch_max_bytes: int = 128 * 1024,
+                       batch_linger: float = 0.002,
+                       fault_plan: Optional[FaultPlan] = None,
+                       connect_timeout: float = 10.0) -> AioRpcChannel:
+    """Dial *address* and return the connected channel."""
+    loop = asyncio.get_event_loop()
+    fault_filter = None if fault_plan is None \
+        else _FrameFaultFilter(fault_plan)
+
+    def factory() -> AioRpcChannel:
+        return AioRpcChannel(
+            reclaim_listener=reclaim_listener, batching=batching,
+            batch_max_items=batch_max_items,
+            batch_max_bytes=batch_max_bytes,
+            batch_linger=batch_linger, fault_filter=fault_filter,
+        )
+
+    host, port = address
+    try:
+        _transport, channel = await asyncio.wait_for(
+            loop.create_connection(factory, host, port),
+            connect_timeout)
+    except asyncio.TimeoutError:
+        raise TransportClosedError(
+            f"connect to {address} timed out") from None
+    except OSError as exc:
+        raise TransportClosedError(
+            f"connect to {address} failed: {exc}") from exc
+    return channel
+
+
+__all__ = ["AioRpcChannel", "open_channel"]

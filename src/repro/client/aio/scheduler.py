@@ -1,0 +1,177 @@
+"""One shared heartbeat task per event loop, for every aio client.
+
+The event-loop twin of :class:`repro.client.scheduler.HeartbeatScheduler`:
+where the sync side multiplexes every client's heartbeat onto one timer
+*thread*, this multiplexes every :class:`AioStampedeClient` in a loop
+onto one asyncio *task* — a deadline heap, a single sleeper, zero cost
+per extra device.  At 10k devices the naive alternative (one
+``asyncio.Task`` sleeping per client) would keep 10k timers resident in
+the loop purely for pings; here the loop carries exactly one.
+
+Ticks are coroutines but must stay quick — a tick that needs to block
+(reconnect backoff) must hand off to its own task (see
+``AioStampedeClient._spawn_recovery``), exactly like the sync design.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import time
+from typing import Awaitable, Callable, List, Optional, Tuple
+from weakref import WeakKeyDictionary
+
+from repro.util.logging import get_logger
+
+_log = get_logger("client.aio.heartbeat")
+
+#: A tick coroutine resolves to the next interval in seconds, or
+#: ``None`` to unregister itself (client closed, session gone).
+AsyncTickCallback = Callable[[], Awaitable[Optional[float]]]
+
+
+class AioHeartbeatHandle:
+    """One registered heartbeat; ``cancel()`` stops it."""
+
+    __slots__ = ("_scheduler", "_seq", "cancelled")
+
+    def __init__(self, scheduler: "AioHeartbeatScheduler",
+                 seq: int) -> None:
+        self._scheduler = scheduler
+        self._seq = seq
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Unregister this heartbeat (idempotent).  If it was the last
+        one, the shared task winds down on its own."""
+        self._scheduler._cancel(self)
+
+    @property
+    def active(self) -> bool:
+        """Whether this heartbeat is still registered."""
+        return not self.cancelled
+
+
+class AioHeartbeatScheduler:
+    """A deadline heap served by (at most) one task on one loop.
+
+    All state is touched only from the owning event loop's thread, so —
+    like everything aio-side — no locks.
+    """
+
+    def __init__(self) -> None:
+        # heap of (deadline, seq, handle, callback); cancelled handles
+        # are skipped lazily when they surface at the heap top.
+        self._heap: List[Tuple[float, int, AioHeartbeatHandle,
+                               AsyncTickCallback]] = []
+        self._live = 0
+        self._seq = itertools.count()
+        self._task: Optional[asyncio.Task] = None
+        self._wakeup: Optional[asyncio.Event] = None
+
+    def register(self, interval: float,
+                 callback: AsyncTickCallback) -> AioHeartbeatHandle:
+        """Run *callback* every *interval* seconds (first tick after one
+        interval) until it resolves ``None`` or the handle is
+        cancelled."""
+        if interval <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        handle = AioHeartbeatHandle(self, next(self._seq))
+        heapq.heappush(
+            self._heap,
+            (time.monotonic() + interval, handle._seq, handle, callback),
+        )
+        self._live += 1
+        if self._task is None or self._task.done():
+            self._wakeup = asyncio.Event()
+            self._task = asyncio.get_event_loop().create_task(
+                self._run())
+        else:
+            assert self._wakeup is not None
+            self._wakeup.set()
+        return handle
+
+    @property
+    def live_count(self) -> int:
+        """Number of registered (uncancelled) heartbeats."""
+        return self._live
+
+    @property
+    def task(self) -> Optional[asyncio.Task]:
+        """The shared timer task while any heartbeat is registered."""
+        return self._task if self._live else None
+
+    def _cancel(self, handle: AioHeartbeatHandle) -> None:
+        if handle.cancelled:
+            return
+        handle.cancelled = True
+        self._live -= 1
+        if self._wakeup is not None:
+            self._wakeup.set()  # let the task notice and wind down
+
+    async def _run(self) -> None:
+        while True:
+            while self._heap and self._heap[0][2].cancelled:
+                heapq.heappop(self._heap)
+            if not self._live:
+                # Last heartbeat gone: retire the task (a later
+                # register starts a fresh one).
+                self._task = None
+                return
+            now = time.monotonic()
+            deadline = self._heap[0][0]
+            if deadline > now:
+                assert self._wakeup is not None
+                self._wakeup.clear()
+                try:
+                    await asyncio.wait_for(self._wakeup.wait(),
+                                           deadline - now)
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            _deadline, seq, handle, callback = heapq.heappop(self._heap)
+            interval = await self._tick(handle, callback)
+            if interval is None:
+                if not handle.cancelled:
+                    handle.cancelled = True
+                    self._live -= 1
+            elif not handle.cancelled:
+                heapq.heappush(
+                    self._heap,
+                    (time.monotonic() + interval, seq, handle, callback),
+                )
+
+    @staticmethod
+    async def _tick(handle: AioHeartbeatHandle,
+                    callback: AsyncTickCallback) -> Optional[float]:
+        if handle.cancelled:
+            return None
+        try:
+            return await callback()
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # noqa: BLE001 - one bad tick must not kill all
+            _log.exception("heartbeat tick raised; unregistering it")
+            return None
+
+
+_PER_LOOP: "WeakKeyDictionary[asyncio.AbstractEventLoop, AioHeartbeatScheduler]" \
+    = WeakKeyDictionary()
+
+
+def loop_scheduler() -> AioHeartbeatScheduler:
+    """The running loop's shared scheduler (created on first use)."""
+    loop = asyncio.get_event_loop()
+    scheduler = _PER_LOOP.get(loop)
+    if scheduler is None:
+        scheduler = AioHeartbeatScheduler()
+        _PER_LOOP[loop] = scheduler
+    return scheduler
+
+
+__all__ = [
+    "AioHeartbeatHandle",
+    "AioHeartbeatScheduler",
+    "loop_scheduler",
+]

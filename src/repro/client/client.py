@@ -33,6 +33,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Iterator, List, Optional, Tuple
 
 from repro.client.retry import RetryPolicy
+from repro.client.scheduler import GLOBAL_HEARTBEATS
 from repro.core.connection import ConnectionMode
 from repro.core.filters import AttentionFilter
 from repro.core.timestamps import (
@@ -70,6 +71,21 @@ _log = get_logger("client")
 TransportWrapper = Callable[[StreamTransport], StreamTransport]
 
 
+class _NoopTrace:
+    """Shared do-nothing context for the tracing-disabled hot path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NOOP_TRACE = _NoopTrace()
+
+
 class RemoteConnection:
     """Client-side handle mirroring :class:`~repro.core.connection.Connection`.
 
@@ -86,8 +102,7 @@ class RemoteConnection:
         self.kind = kind
         self._detached = False
 
-    @contextmanager
-    def _traced(self, op: str, **details: Any) -> Iterator[None]:
+    def _traced(self, op: str, **details: Any):
         """Trace context for one container operation.
 
         When tracing is on, the operation runs under a trace id — the
@@ -95,11 +110,15 @@ class RemoteConnection:
         layer ships in the request frame, so the surrogate's routing
         event, the container's PUT/GET and the eventual GC RECLAIM all
         join this client-side event's timeline.  When tracing is off
-        this adds nothing and the frame stays old-format.
+        this costs one attribute check (a shared no-op context, no
+        generator machinery) and the frame stays old-format.
         """
         if not tracepoints.GLOBAL_TRACER.enabled:
-            yield
-            return
+            return _NOOP_TRACE
+        return self._traced_live(op, **details)
+
+    @contextmanager
+    def _traced_live(self, op: str, **details: Any) -> Iterator[None]:
         fresh = tracepoints.current_trace_id() is None
         if fresh:
             tracepoints.set_trace_id(tracepoints.new_trace_id())
@@ -262,11 +281,16 @@ class StampedeClient:
     codec:
         ``"xdr"`` (C personality) or ``"jdr"`` (Java personality).
     heartbeat:
-        If set, a daemon thread PINGs the surrogate every *heartbeat*
-        seconds to keep the failure-detection lease alive (and to
-        refresh the lease of every name this device registered with a
-        TTL).  With reconnection enabled, the heartbeat doubles as the
-        recovery driver while the application is idle.
+        If set, the surrogate is PINGed every *heartbeat* seconds to
+        keep the failure-detection lease alive (and to refresh the
+        lease of every name this device registered with a TTL).  With
+        reconnection enabled, the heartbeat doubles as the recovery
+        driver while the application is idle.  All clients in the
+        process share **one** timer thread
+        (:data:`repro.client.scheduler.GLOBAL_HEARTBEATS`) — a gateway
+        multiplexing hundreds of devices heartbeats them all at the
+        cost of one; recovery of a degraded client runs on a transient
+        thread so it never stalls the others' pings.
     on_reclaim:
         Optional callback ``(container_name, timestamp)`` invoked when the
         cluster notifies this device that an item it saw was garbage
@@ -347,14 +371,21 @@ class StampedeClient:
         self.session_id = hello["session_id"]
         self.space = hello["space"]
         self._resume_token = hello["token"]
-        self._heartbeat_stop = threading.Event()
-        self._heartbeat_thread: Optional[threading.Thread] = None
+        self._heartbeat_interval = heartbeat
+        self._heartbeat_handle = None
+        self._recovery_lock = threading.Lock()
+        self._recovery_thread: Optional[threading.Thread] = None
         if heartbeat is not None:
-            self._heartbeat_thread = threading.Thread(
-                target=self._heartbeat_loop, args=(heartbeat,),
-                name=f"{client_name}-heartbeat", daemon=True,
-            )
-            self._heartbeat_thread.start()
+            self._heartbeat_handle = GLOBAL_HEARTBEATS.register(
+                heartbeat, self._heartbeat_tick)
+
+    @property
+    def _heartbeat_thread(self) -> Optional[threading.Thread]:
+        """The shared timer thread, while this client heartbeats on it."""
+        if self._heartbeat_handle is None \
+                or not self._heartbeat_handle.active:
+            return None
+        return GLOBAL_HEARTBEATS.thread
 
     @property
     def state(self) -> str:
@@ -744,39 +775,86 @@ class StampedeClient:
             except Exception:  # noqa: BLE001 - user callback isolation
                 _log.exception("on_recovered callback raised")
 
-    def _heartbeat_loop(self, interval: float) -> None:
-        while not self._heartbeat_stop.wait(timeout=interval):
+    def _heartbeat_tick(self) -> Optional[float]:
+        """One shared-scheduler tick: a quick PING, never a long block.
+
+        Runs inline on the process-wide timer thread, so it must stay
+        fast: the ping gets a bounded timeout and is **not** retried
+        here (a lost response simply waits for the next tick), and a
+        dead connection hands recovery to a transient thread instead of
+        walking the backoff ladder on the shared timer.  Returning
+        ``None`` unregisters this client (closed, or session gone).
+        """
+        if self._closed or self._state == "closed":
+            return None
+        if self._state == "degraded":
+            # Keep driving recovery while the application is idle, so
+            # the session resumes as soon as the cluster returns.
+            self._spawn_recovery()
+            return self._heartbeat_interval
+        rpc = self._rpc
+        try:
+            rpc.call(ops.OP_PING, {"payload": b""},
+                     timeout=min(self.rpc_timeout, 5.0))
+        except TransportClosedError as exc:
             if self._closed:
-                break
-            try:
-                self.ping()
-            except StampedeError:
-                # ping() already drove reconnection + backoff; while the
-                # device stays up, keep heartbeating so the session is
-                # recovered as soon as the cluster returns.
-                if self._closed or not self._reconnect_enabled:
-                    break
-            except Exception:  # noqa: BLE001 - unexpected: stop quietly
-                break
+                return None
+            if not self._reconnect_enabled:
+                return None
+            self._note_degraded(exc)
+            self._spawn_recovery()
+        except StampedeError:
+            # Timeout or a slow cluster: the connection may be fine, so
+            # neither degrade nor block — the next tick tries again.
+            pass
+        return self._heartbeat_interval
+
+    def _spawn_recovery(self) -> None:
+        """Start (at most one) background reconnect+RESUME driver.
+
+        Single-flight at the thread level: if a recovery thread is
+        already running — or another caller's `_call` is recovering
+        inline — this returns immediately.  The thread is transient: it
+        exists only while the client is degraded, exactly like the lane
+        pool's offload workers.
+        """
+        with self._recovery_lock:
+            thread = self._recovery_thread
+            if thread is not None and thread.is_alive():
+                return
+            dead_rpc = self._rpc
+            thread = threading.Thread(
+                target=self._recovery_main, args=(dead_rpc,),
+                name=f"{self.client_name}-recover", daemon=True,
+            )
+            self._recovery_thread = thread
+            thread.start()
+
+    def _recovery_main(self, dead_rpc: "RpcChannel") -> None:
+        try:
+            self._recover(dead_rpc)
+        except StampedeError:
+            # Unreachable cluster (retry next tick) or session gone
+            # (state is "closed"; the next tick unregisters us).
+            pass
+        except Exception:  # noqa: BLE001 - never kill the process
+            _log.exception("background session recovery failed")
 
     # -- lifecycle ----------------------------------------------------------------------
 
     def close(self) -> None:
         """Leave the computation cleanly (BYE) and drop the connection.
 
-        The heartbeat thread is stopped *and joined* before the socket
-        goes away, so a shutdown never races a ping into a closing
-        connection (which used to log spurious ping failures).
+        The heartbeat registration is cancelled before the socket goes
+        away, so a shutdown never races a ping into a closing
+        connection; if this was the last heartbeating client in the
+        process, the shared timer thread is joined too.
         """
         if self._closed:
             return
         self._closed = True
-        self._heartbeat_stop.set()
-        if self._heartbeat_thread is not None:
-            # Idle heartbeats wake from the stop event immediately; one
-            # stuck mid-ping on a dead link is abandoned after the grace
-            # join (it is a daemon thread and checks _closed on wake).
-            self._heartbeat_thread.join(timeout=1.0)
+        if self._heartbeat_handle is not None:
+            self._heartbeat_handle.cancel(join_timeout=1.0)
         try:
             self._rpc.call(ops.OP_BYE, {}, timeout=2.0)
         except Exception:  # noqa: BLE001 - best-effort goodbye

@@ -14,6 +14,7 @@ used for item payloads whose shape only the application knows.
 
 from __future__ import annotations
 
+import struct
 from typing import Any, Callable, Dict, List
 
 from repro.errors import DecodeError, EncodeError
@@ -207,6 +208,9 @@ _T_OPAQUE = 5
 _T_ARRAY = 6
 _T_STRUCT = 7  # dict with string keys
 
+_OPAQUE_HEAD = struct.Struct(">II").pack  # tag, length
+_OPAQUE_PAD = (b"", b"\x00\x00\x00", b"\x00\x00", b"\x00")  # by len & 3
+
 
 class XdrCodec(Codec):
     """Generic value codec: XDR union of the shared codec domain.
@@ -219,6 +223,13 @@ class XdrCodec(Codec):
 
     def encode(self, value: Any) -> bytes:
         """Encode a domain value as a self-describing XDR union."""
+        if type(value) is bytes and len(value) < 0xFFFFFFFF:
+            # The streamed-media hot path: a raw payload encodes as one
+            # packed header plus the bytes themselves, byte-identical
+            # to the generic union writer below.
+            length = len(value)
+            return (_OPAQUE_HEAD(_T_OPAQUE, length) + value
+                    + _OPAQUE_PAD[length & 3])
         check_in_domain(value)
         enc = XdrEncoder()
         self._encode_value(enc, value)

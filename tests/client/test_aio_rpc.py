@@ -1,0 +1,336 @@
+"""Aio RPC channel: pipelining, the coalescer under it, and replay.
+
+The sync coalescer's contract (tests/client/test_batching.py) must
+survive the move to the event loop — plus the two shapes that only
+exist aio-side: many in-flight futures on one connection, and frame-
+level injected faults.  The edge cases pinned here:
+
+* flush-on-sync-barrier **ordering** when several calls are in flight
+  at once (the batch must hit the wire before the first request, and
+  out-of-order responses must route to the right futures);
+* ``drain_unsent_casts`` replay through the dedup keys after a
+  mid-batch ``sever_at`` fault — the casts that died with the
+  transport land exactly once on the recovered session.
+"""
+
+import asyncio
+import struct
+import time
+
+import pytest
+
+from repro import ConnectionMode, Runtime, StampedeServer
+from repro.client.aio import AioStampedeClient, open_channel
+from repro.client.aio.rpc import AioRpcChannel
+from repro.client.retry import RetryPolicy
+from repro.errors import TransportClosedError
+from repro.runtime import ops
+from repro.transport.faults import FaultPlan
+
+FAST_RETRY = RetryPolicy(max_attempts=10, base_delay=0.02,
+                         multiplier=1.5, max_delay=0.2, jitter=0.1,
+                         seed=0)
+
+
+def _put_frame(timestamp, connection_id=1, payload=b"p"):
+    return ops.encode_request(ops.CAST_REQUEST_ID, ops.OP_PUT, {
+        "connection_id": connection_id, "timestamp": timestamp,
+        "payload": payload, "block": True, "has_timeout": False,
+        "timeout": 0.0,
+    })
+
+
+def _consume_frame(timestamp, connection_id=1):
+    return ops.encode_request(ops.CAST_REQUEST_ID, ops.OP_CONSUME, {
+        "connection_id": connection_id, "timestamp": timestamp,
+    })
+
+
+class FakeTransport:
+    """asyncio.Transport double recording every write, in order."""
+
+    def __init__(self):
+        self.wire = bytearray()
+        self._closing = False
+
+    def writelines(self, parts):
+        for part in parts:
+            self.wire.extend(bytes(part))
+
+    def is_closing(self):
+        return self._closing
+
+    def close(self):
+        self._closing = True
+
+    def abort(self):
+        self._closing = True
+
+    def frames(self):
+        """The length-prefixed stream, split back into frame payloads."""
+        frames, offset = [], 0
+        while offset + 4 <= len(self.wire):
+            (size,) = struct.unpack_from(">I", self.wire, offset)
+            frames.append(bytes(self.wire[offset + 4:offset + 4 + size]))
+            offset += 4 + size
+        assert offset == len(self.wire), "trailing partial frame"
+        return frames
+
+
+def _make_channel(**kwargs):
+    kwargs.setdefault("batching", True)
+    kwargs.setdefault("batch_max_items", 4)
+    kwargs.setdefault("batch_linger", 30.0)
+    channel = AioRpcChannel(**kwargs)
+    transport = FakeTransport()
+    channel.connection_made(transport)
+    return transport, channel
+
+
+def _feed(channel, frame):
+    channel.data_received(struct.pack(">I", len(frame)) + frame)
+
+
+class TestCoalescer:
+    def test_size_cap_flushes_one_envelope(self):
+        async def scenario():
+            transport, channel = _make_channel()
+            frames = [_put_frame(ts) for ts in range(4)]
+            for frame in frames:
+                channel.cast_frame(ops.OP_PUT, frame)
+            assert transport.frames() == [ops.encode_request(
+                ops.CAST_REQUEST_ID, ops.OP_PUT_BATCH,
+                {"frames": frames},
+            )]
+        asyncio.run(scenario())
+
+    def test_kind_switch_flushes_previous_batch(self):
+        async def scenario():
+            transport, channel = _make_channel()
+            put, consume = _put_frame(0), _consume_frame(0)
+            channel.cast_frame(ops.OP_PUT, put)
+            channel.cast_frame(ops.OP_CONSUME, consume)
+            channel.flush_casts()
+            assert transport.frames() == [put, consume]
+        asyncio.run(scenario())
+
+    def test_linger_deadline_flushes(self):
+        async def scenario():
+            transport, channel = _make_channel(batch_max_items=1000,
+                                               batch_linger=0.02)
+            channel.cast_frame(ops.OP_PUT, _put_frame(0))
+            channel.cast_frame(ops.OP_PUT, _put_frame(1))
+            assert transport.frames() == []  # still lingering
+            deadline = time.monotonic() + 5.0
+            while not transport.wire and time.monotonic() < deadline:
+                await asyncio.sleep(0.005)
+            frames = transport.frames()
+            assert len(frames) == 1
+            _rid, opcode, args = ops.decode_request(frames[0])
+            assert opcode == ops.OP_PUT_BATCH
+            assert len(args["frames"]) == 2
+        asyncio.run(scenario())
+
+
+class TestPipelinedBarrier:
+    def test_barrier_orders_batch_before_in_flight_calls(self):
+        """Two concurrent calls behind a buffered batch: wire order is
+        batch, call 1, call 2 — and responses arriving out of order
+        still resolve the right futures."""
+        async def scenario():
+            transport, channel = _make_channel()
+            frames = [_put_frame(ts) for ts in range(3)]  # under cap
+            for frame in frames:
+                channel.cast_frame(ops.OP_PUT, frame)
+            assert transport.frames() == []  # lingering
+            call_a = asyncio.ensure_future(
+                channel.call(ops.OP_PING, {"payload": b"a"}, timeout=5.0))
+            call_b = asyncio.ensure_future(
+                channel.call(ops.OP_PING, {"payload": b"b"}, timeout=5.0))
+            await asyncio.sleep(0)  # let both calls reach the wire
+            await asyncio.sleep(0)
+            wire = transport.frames()
+            assert len(wire) == 3
+            # The coalesced batch flushed before the first request.
+            _rid, opcode, args = ops.decode_request(wire[0])
+            assert opcode == ops.OP_PUT_BATCH
+            assert args["frames"] == frames
+            id_a = ops.peek_request_id(wire[1])
+            id_b = ops.peek_request_id(wire[2])
+            assert id_a != id_b
+            # Answer in reverse order: correlation is by id, not order.
+            _feed(channel, ops.encode_ok_response(
+                id_b, ops.OP_PING, {"payload": b"b"}))
+            _feed(channel, ops.encode_ok_response(
+                id_a, ops.OP_PING, {"payload": b"a"}))
+            results = await asyncio.gather(call_a, call_b)
+            assert [bytes(r["payload"]) for r in results] == [b"a", b"b"]
+        asyncio.run(scenario())
+
+    def test_many_in_flight_futures_resolve_independently(self):
+        async def scenario():
+            transport, channel = _make_channel(batching=False)
+            calls = [asyncio.ensure_future(
+                channel.call(ops.OP_PING,
+                             {"payload": bytes([n])}, timeout=5.0))
+                for n in range(16)]
+            await asyncio.sleep(0)
+            await asyncio.sleep(0)
+            wire = transport.frames()
+            assert len(wire) == 16
+            # Respond strided so no completion order equals issue order.
+            for frame in wire[1::2] + wire[0::2]:
+                request_id = ops.peek_request_id(frame)
+                _rid, _opcode, args = ops.decode_request(frame)
+                _feed(channel, ops.encode_ok_response(
+                    request_id, ops.OP_PING,
+                    {"payload": bytes(args["payload"])}))
+            results = await asyncio.gather(*calls)
+            assert [bytes(r["payload"]) for r in results] \
+                == [bytes([n]) for n in range(16)]
+        asyncio.run(scenario())
+
+    def test_connection_lost_fails_every_in_flight_future(self):
+        async def scenario():
+            transport, channel = _make_channel(batching=False)
+            calls = [asyncio.ensure_future(
+                channel.call(ops.OP_PING, {"payload": b"x"},
+                             timeout=5.0)) for _ in range(4)]
+            await asyncio.sleep(0)
+            await asyncio.sleep(0)
+            channel.connection_lost(None)
+            results = await asyncio.gather(*calls,
+                                           return_exceptions=True)
+            assert all(isinstance(r, TransportClosedError)
+                       for r in results)
+        asyncio.run(scenario())
+
+
+class TestDeadTransport:
+    def test_failed_flush_parks_items_for_recovery(self):
+        async def scenario():
+            transport, channel = _make_channel()
+            frames = [_put_frame(ts) for ts in range(3)]
+            for frame in frames:
+                channel.cast_frame(ops.OP_PUT, frame)
+            transport.close()  # dead before the flush
+            with pytest.raises(TransportClosedError):
+                channel.flush_casts()
+            assert [f for _op, f in channel.drain_unsent_casts()] \
+                == frames
+            assert channel.drain_unsent_casts() == []  # drained once
+        asyncio.run(scenario())
+
+    def test_connection_lost_parks_buffered_casts(self):
+        async def scenario():
+            transport, channel = _make_channel()
+            frames = [_put_frame(ts) for ts in range(2)]
+            for frame in frames:
+                channel.cast_frame(ops.OP_PUT, frame)
+            channel.connection_lost(ConnectionResetError())
+            assert [f for _op, f in channel.drain_unsent_casts()] \
+                == frames
+        asyncio.run(scenario())
+
+    def test_injected_sever_parks_the_batch(self):
+        """A ``sever_at`` fault on the flush frame: the whole batch
+        parks for replay, nothing half-sent."""
+        async def scenario():
+            from repro.client.aio.rpc import _FrameFaultFilter
+            fault_filter = _FrameFaultFilter(FaultPlan(sever_at=[1]))
+            transport, channel = _make_channel(
+                fault_filter=fault_filter)
+            frames = [_put_frame(ts) for ts in range(4)]  # hits the cap
+            with pytest.raises(TransportClosedError):
+                for frame in frames:
+                    channel.cast_frame(ops.OP_PUT, frame)
+            assert transport.wire == b""  # nothing reached the wire
+            assert fault_filter.stats.severs == 1
+            assert [f for _op, f in channel.drain_unsent_casts()] \
+                == frames
+        asyncio.run(scenario())
+
+
+@pytest.fixture()
+def cluster():
+    runtime = Runtime(gc_interval=0.02)
+    server = StampedeServer(runtime, session_grace=5.0).start()
+    try:
+        yield runtime, server
+    finally:
+        server.close()
+        runtime.shutdown()
+
+
+def _await_timestamps(runtime, container, expected, deadline_s=5.0):
+    holder = runtime.lookup_container(container)
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        if holder.live_timestamps() == expected:
+            return
+        time.sleep(0.02)
+    assert holder.live_timestamps() == expected
+
+
+class TestReplayThroughDedup:
+    def test_mid_batch_sever_replays_casts_exactly_once(self, cluster):
+        """The acceptance scenario of satellite 3: a coalesced batch of
+        channel puts dies mid-flush to an injected sever; recovery
+        RESUMEs the session and replays the drained casts through
+        their dedup keys (the timestamps), landing each exactly once.
+
+        Frame budget: HELLO (2 frames), CREATE_CHANNEL (2), ATTACH (2)
+        — the 7th frame on the wire is the batch flush, so
+        ``sever_at=[7]`` kills precisely that send.
+        """
+        async def scenario(runtime, server):
+            events = []
+            client = await AioStampedeClient.connect(
+                *server.address, client_name="midbatch",
+                retry=FAST_RETRY, rpc_timeout=2.0,
+                fault_plan=FaultPlan(sever_at=[7]),
+                batch_linger=30.0,
+                on_degraded=lambda exc: events.append("degraded"),
+                on_recovered=lambda n: events.append(("recovered", n)),
+            )
+            await client.create_channel("chan")
+            connection = await client.attach("chan",
+                                             ConnectionMode.INOUT)
+            for ts in range(4):
+                await connection.put(ts, f"v{ts}", sync=False)
+            # The sync get is the barrier that flushes the batch into
+            # the sever; its own retry rides the recovered session.
+            timestamp, value = await connection.get(0, timeout=5.0)
+            assert (timestamp, value) == (0, "v0")
+            assert events[0] == "degraded"
+            assert ("recovered", 1) in events
+            assert client.state == "connected"
+            await client.close()
+        runtime, server = cluster
+        asyncio.run(scenario(runtime, server))
+        _await_timestamps(runtime, "chan", [0, 1, 2, 3])
+
+    def test_replayed_duplicates_absorb_on_dedup_keys(self, cluster):
+        """An ambiguous outage can replay casts the cluster already
+        applied; the timestamp dedup key absorbs the duplicates, so
+        the channel still holds each item exactly once."""
+        async def scenario(runtime, server):
+            client = await AioStampedeClient.connect(
+                *server.address, client_name="dup",
+                retry=FAST_RETRY, rpc_timeout=2.0, batch_linger=30.0)
+            await client.create_channel("dup-chan")
+            connection = await client.attach("dup-chan",
+                                             ConnectionMode.INOUT)
+            for ts in range(3):
+                await connection.put(ts, f"v{ts}", sync=False)
+            await client.ping()  # barrier: the batch lands
+            # Same timestamps again — the worst-case replay.
+            for ts in range(3):
+                await connection.put(ts, f"v{ts}", sync=False)
+            await client.ping()
+            timestamp, value = await connection.get(2, timeout=5.0)
+            assert (timestamp, value) == (2, "v2")
+            await client.close()
+        runtime, server = cluster
+        asyncio.run(scenario(runtime, server))
+        _await_timestamps(runtime, "dup-chan", [0, 1, 2])

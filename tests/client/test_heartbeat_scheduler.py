@@ -1,0 +1,208 @@
+"""The shared heartbeat schedulers (sync thread, aio task).
+
+Both sides multiplex every client's heartbeat onto one timer: the
+process-wide thread for sync clients, one task per event loop for aio.
+These tests pin the sharing contract — N registrations cost one
+timer, the timer retires when the last registration goes, one failing
+tick never takes down its neighbours.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.client.aio.scheduler import AioHeartbeatScheduler
+from repro.client.scheduler import HeartbeatScheduler
+
+
+def _wait_until(predicate, deadline_s=5.0):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class TestSyncScheduler:
+    def test_two_clients_share_one_timer_thread(self):
+        scheduler = HeartbeatScheduler(name="test-heartbeat")
+        ticks_a, ticks_b = [], []
+        handle_a = scheduler.register(
+            0.01, lambda: ticks_a.append(1) or 0.01)
+        handle_b = scheduler.register(
+            0.01, lambda: ticks_b.append(1) or 0.01)
+        try:
+            assert _wait_until(lambda: len(ticks_a) >= 3
+                               and len(ticks_b) >= 3)
+            assert scheduler.live_count == 2
+            thread = scheduler.thread
+            assert thread is not None and thread.is_alive()
+            assert sum(1 for t in threading.enumerate()
+                       if t.name == "test-heartbeat") == 1
+        finally:
+            handle_a.cancel()
+            handle_b.cancel()
+
+    def test_thread_retires_after_last_cancel(self):
+        scheduler = HeartbeatScheduler(name="test-retire")
+        handle = scheduler.register(0.01, lambda: 0.01)
+        thread = scheduler.thread
+        assert thread is not None
+        handle.cancel(join_timeout=2.0)
+        assert scheduler.live_count == 0
+        assert scheduler.thread is None
+        assert _wait_until(lambda: not thread.is_alive())
+
+    def test_thread_restarts_on_reregister(self):
+        scheduler = HeartbeatScheduler(name="test-restart")
+        first = scheduler.register(0.01, lambda: 0.01)
+        first.cancel(join_timeout=2.0)
+        ticks = []
+        second = scheduler.register(
+            0.01, lambda: ticks.append(1) or 0.01)
+        try:
+            assert _wait_until(lambda: len(ticks) >= 2)
+        finally:
+            second.cancel()
+
+    def test_callback_returning_none_unregisters(self):
+        scheduler = HeartbeatScheduler(name="test-none")
+        ticks = []
+        scheduler.register(0.01, lambda: ticks.append(1))  # None return
+        assert _wait_until(lambda: scheduler.live_count == 0)
+        count = len(ticks)
+        time.sleep(0.05)
+        assert len(ticks) == count == 1  # exactly one tick, then gone
+
+    def test_raising_tick_unregisters_only_itself(self):
+        scheduler = HeartbeatScheduler(name="test-raise")
+        healthy = []
+
+        def bad():
+            raise RuntimeError("boom")
+
+        scheduler.register(0.01, bad)
+        handle = scheduler.register(
+            0.01, lambda: healthy.append(1) or 0.01)
+        try:
+            assert _wait_until(lambda: len(healthy) >= 3)
+            assert scheduler.live_count == 1
+        finally:
+            handle.cancel()
+
+    def test_rejects_nonpositive_interval(self):
+        scheduler = HeartbeatScheduler()
+        with pytest.raises(ValueError):
+            scheduler.register(0.0, lambda: None)
+
+    def test_intervals_are_per_registration(self):
+        scheduler = HeartbeatScheduler(name="test-mixed")
+        fast, slow = [], []
+        handle_fast = scheduler.register(
+            0.01, lambda: fast.append(1) or 0.01)
+        handle_slow = scheduler.register(
+            0.08, lambda: slow.append(1) or 0.08)
+        try:
+            assert _wait_until(lambda: len(fast) >= 8)
+            assert len(slow) <= len(fast) // 2
+        finally:
+            handle_fast.cancel()
+            handle_slow.cancel()
+
+
+class TestAioScheduler:
+    def test_registrations_share_one_task(self):
+        async def scenario():
+            scheduler = AioHeartbeatScheduler()
+            ticks_a, ticks_b = [], []
+
+            async def tick(sink):
+                sink.append(1)
+                return 0.01
+
+            handle_a = scheduler.register(0.01, lambda: tick(ticks_a))
+            handle_b = scheduler.register(0.01, lambda: tick(ticks_b))
+            task = scheduler.task
+            assert task is not None
+            deadline = time.monotonic() + 5.0
+            while (len(ticks_a) < 3 or len(ticks_b) < 3) \
+                    and time.monotonic() < deadline:
+                await asyncio.sleep(0.005)
+            assert len(ticks_a) >= 3 and len(ticks_b) >= 3
+            assert scheduler.task is task  # still the same single task
+            assert scheduler.live_count == 2
+            handle_a.cancel()
+            handle_b.cancel()
+            await asyncio.sleep(0.05)
+            assert scheduler.task is None
+            assert task.done()
+        asyncio.run(scenario())
+
+    def test_none_return_unregisters(self):
+        async def scenario():
+            scheduler = AioHeartbeatScheduler()
+            ticks = []
+
+            async def tick_once():
+                ticks.append(1)
+                return None
+
+            scheduler.register(0.01, tick_once)
+            deadline = time.monotonic() + 5.0
+            while scheduler.live_count and \
+                    time.monotonic() < deadline:
+                await asyncio.sleep(0.005)
+            assert scheduler.live_count == 0
+            await asyncio.sleep(0.05)
+            assert ticks == [1]
+        asyncio.run(scenario())
+
+    def test_raising_tick_unregisters_only_itself(self):
+        async def scenario():
+            scheduler = AioHeartbeatScheduler()
+            healthy = []
+
+            async def bad():
+                raise RuntimeError("boom")
+
+            async def good():
+                healthy.append(1)
+                return 0.01
+
+            scheduler.register(0.01, bad)
+            handle = scheduler.register(0.01, good)
+            deadline = time.monotonic() + 5.0
+            while len(healthy) < 3 and time.monotonic() < deadline:
+                await asyncio.sleep(0.005)
+            assert len(healthy) >= 3
+            assert scheduler.live_count == 1
+            handle.cancel()
+        asyncio.run(scenario())
+
+    def test_task_restarts_on_reregister(self):
+        async def scenario():
+            scheduler = AioHeartbeatScheduler()
+
+            async def tick():
+                return 0.01
+
+            first = scheduler.register(0.01, tick)
+            first.cancel()
+            await asyncio.sleep(0.05)
+            assert scheduler.task is None
+            ticks = []
+
+            async def tick2():
+                ticks.append(1)
+                return 0.01
+
+            second = scheduler.register(0.01, tick2)
+            deadline = time.monotonic() + 5.0
+            while len(ticks) < 2 and time.monotonic() < deadline:
+                await asyncio.sleep(0.005)
+            assert len(ticks) >= 2
+            second.cancel()
+        asyncio.run(scenario())

@@ -97,6 +97,50 @@ class TestRequests:
         assert ops.opcode_for("hello") == ops.OP_HELLO
 
 
+class TestCompiledStubs:
+    """The rpcgen-style compiled encoders must be invisible: byte-for-
+    byte the generic packer's output, same errors, same fallbacks."""
+
+    SAMPLES = {"str": "héllo wörld", "u32": 2**32 - 1, "hyper": -2**63,
+               "bool": True, "double": 3.14159, "bytes": b"\x00\x01!",
+               "strlist": ["a", "bb"], "frames": [b"f1", b"frame-two"]}
+
+    def test_every_compilable_schema_matches_generic(self):
+        compiled = 0
+        for opcode, schema in ops.OP_SCHEMAS.items():
+            args = {f: self.SAMPLES[k] for f, k in schema.args}
+            fast = ops.encode_request(17, opcode, args)
+            slow = ops._encode_request_generic(17, opcode, args)
+            assert fast == slow, schema.name
+            compiled += opcode in ops._REQUEST_STUBS
+        # The hot ops must actually be on the fast path.
+        assert ops.OP_PUT in ops._REQUEST_STUBS
+        assert ops.OP_CONSUME in ops._REQUEST_STUBS
+        assert compiled >= 10
+
+    def test_payload_padding_identity_at_every_alignment(self):
+        for size in range(9):
+            args = {"connection_id": 0, "timestamp": 0,
+                    "payload": b"y" * size, "block": False,
+                    "has_timeout": False, "timeout": 0.0}
+            assert ops.encode_request(0, ops.OP_PUT, args) \
+                == ops._encode_request_generic(0, ops.OP_PUT, args)
+
+    def test_stub_error_parity_falls_back_to_generic(self):
+        with pytest.raises(RpcError):  # missing field
+            ops.encode_request(1, ops.OP_PUT, {"connection_id": 1})
+        from repro.errors import EncodeError
+        with pytest.raises(EncodeError):  # out-of-range u32
+            ops.encode_request(1, ops.OP_DETACH,
+                               {"connection_id": -1})
+
+    def test_trace_id_rides_the_generic_path(self):
+        frame = ops.encode_request(1, ops.OP_PING, {"payload": b"p"},
+                                   trace_id="t-1")
+        _rid, _op, args = ops.decode_request(frame)
+        assert args[ops.TRACE_ID_KEY] == "t-1"
+
+
 class TestResponses:
     def test_ok_response_round_trip(self):
         frame = ops.encode_ok_response(
