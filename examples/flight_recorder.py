@@ -11,12 +11,23 @@ interrogates it the way an operator would:
 * ``client.trace_dump()`` — the cluster's trace ring over the wire;
 * ``Tracer.merge`` — the client's local ring interleaved with the
   cluster's onto one timeline, so a single logical put reads top to
-  bottom across the address-space boundary.
+  bottom across the address-space boundary;
+* ``client.span_dump()`` — the item provenance ring: every hop each
+  stamped item took (client put, lane dequeue, container insert,
+  consume, GC reclaim) with offsets from the origin put;
+* ``client.prof_dump()`` — the continuous profiler's collapsed stacks,
+  rendered as flamegraph text.
+
+An intentionally unmeetable SLO on the video channel (10 microsecond
+e2e p99) makes the STATS snapshot carry a live breach, so the artifact
+shows the SLO engine's output shape too.
 
 With an output directory argument the artifacts are written to disk
 (``stats.json``, ``client_trace.json``, ``cluster_trace.json``,
-``merged_trace.txt``) — CI uploads these from every push, so a sample
-snapshot and a correlated cross-space trace are always one click away.
+``merged_trace.txt``, ``span_timeline.txt``, ``flamegraph.txt``) — CI
+uploads these from every push, so a sample snapshot, a correlated
+cross-space trace, an item journey timeline, and a flamegraph are
+always one click away.
 
 Run:  python examples/flight_recorder.py [output_dir]
 """
@@ -28,6 +39,10 @@ from pathlib import Path
 
 from repro import ConnectionMode, Runtime, StampedeClient, StampedeServer
 from repro.obs.metrics import enable_metrics
+from repro.obs.profiler import GLOBAL_PROFILER, start_profiler, stop_profiler
+from repro.obs.slo import GLOBAL_SLO, SloTarget
+from repro.obs.spans import enable_spans, journey_breakdown, render_timeline
+from repro.tools.flame import render_flame
 from repro.util.trace import GLOBAL_TRACER, enable_tracing, trace_context
 
 #: Enough frames that the sampled hot-path probes (1-in-64) fire and
@@ -56,6 +71,12 @@ def main() -> int:
     enable_metrics()
     tracer = enable_tracing(capacity=4096)
     tracer.clear()
+    spans = enable_spans()
+    spans.clear()
+    # A 10us e2e p99 no loopback run can meet: the STATS artifact then
+    # carries a live SLO breach alongside the healthy series.
+    GLOBAL_SLO.add_target(SloTarget(channel="video", e2e_p99_ms=0.01))
+    start_profiler(interval=0.002)
 
     runtime = Runtime(gc_interval=0.02)
     server = StampedeServer(runtime, device_spaces=["N1"]).start()
@@ -65,9 +86,13 @@ def main() -> int:
             tid = run_pipeline(client)
             stats = client.stats()
             cluster_trace = client.trace_dump()
+            span_dump = client.span_dump()
+            GLOBAL_PROFILER.sample_once()  # at least one stack, even if
+            profile = client.prof_dump()   # the run beat the sampler
     finally:
         server.close()
         runtime.shutdown()
+        stop_profiler()
 
     # Loopback caveat: client and cluster share this process, hence one
     # trace ring.  Keep only the client *side* of the RPC events in the
@@ -85,6 +110,10 @@ def main() -> int:
     span = [e for e in merged if e.trace_id == tid]
     rendered = Tracer.render_merged(merged)
 
+    timeline = render_timeline(span_dump.get("spans", []))
+    journeys = journey_breakdown(span_dump)
+    flamegraph = render_flame(profile.get("samples", {}), min_pct=0.5)
+
     metrics = stats.get("metrics", {})
     print(f"rpc batches: {metrics.get('counters', {}).get('rpc.server.batches', 0)}  "
           f"probes sampled: {sorted(metrics.get('probes', {}))}  "
@@ -92,6 +121,15 @@ def main() -> int:
           f"trace events merged: {len(merged)}")
     print(f"\nlast put's cross-space span (trace id {tid}):")
     print(Tracer.render_merged(span) if span else "(not captured)")
+
+    for subject, journey in journeys.items():
+        print(f"\nitem journey [{subject}]: e2e p50 "
+              f"{journey['e2e_p50_us']:.1f}us, slowest hop "
+              f"{journey['slowest_hop']} "
+              f"(+{journey['slowest_delta_us']:.1f}us)")
+    breaches = stats.get("slo", {}).get("breaches", 0)
+    print(f"slo breaches: {breaches}  "
+          f"profiler samples: {profile.get('sample_count', 0)}")
 
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -102,6 +140,13 @@ def main() -> int:
         (out_dir / "client_trace.json").write_text(
             json.dumps(client_trace, indent=2) + "\n")
         (out_dir / "merged_trace.txt").write_text(rendered + "\n")
+        journey_lines = [
+            f"{subject}: e2e p50 {j['e2e_p50_us']:.1f}us, slowest hop "
+            f"{j['slowest_hop']} (+{j['slowest_delta_us']:.1f}us)"
+            for subject, j in journeys.items()]
+        (out_dir / "span_timeline.txt").write_text(
+            timeline + "\n\n" + "\n".join(journey_lines) + "\n")
+        (out_dir / "flamegraph.txt").write_text(flamegraph + "\n")
         print(f"\nartifacts written to {out_dir}/")
     return 0
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from collections import deque
 from contextlib import contextmanager
 from typing import Any, Callable, Deque, Iterator, List, Optional, Tuple
@@ -67,6 +68,7 @@ from repro.errors import (
     TransportError,
 )
 from repro.marshal import get_codec
+from repro.obs import spans as _spanmod
 from repro.runtime import ops
 from repro.transport.faults import FaultPlan
 from repro.util import trace as tracepoints
@@ -152,17 +154,37 @@ class AioRemoteConnection:
             "has_timeout": timeout is not None,
             "timeout": timeout if timeout is not None else 0.0,
         }
-        with self._traced("put", ts=timestamp, sync=sync):
-            if sync:
-                is_channel = self.kind == "channel"
-                await self._client._call(
-                    ops.OP_PUT, args, io_timeout=timeout,
-                    retryable=is_channel,
-                    absorb=(DuplicateTimestampError,)
-                    if is_channel else (),
-                )
-            else:
-                await self._client._cast(ops.OP_PUT, args)
+        span_prior = None
+        span_bound = False
+        if _spanmod.GLOBAL_SPANS.enabled:
+            # Same provenance birth as the sync client.  The context is
+            # thread-local — like the trace binding above it spans the
+            # awaits, which is sound because the frame is encoded (and
+            # the origin captured) synchronously before the first yield.
+            origin = _spanmod.current_origin()
+            if not origin:
+                origin = time.monotonic()
+                _spanmod.GLOBAL_SPANS.record(
+                    _spanmod.CLIENT_PUT, self.container_name, origin,
+                    at=origin)
+            span_prior = _spanmod.set_context(
+                (origin, self.container_name))
+            span_bound = True
+        try:
+            with self._traced("put", ts=timestamp, sync=sync):
+                if sync:
+                    is_channel = self.kind == "channel"
+                    await self._client._call(
+                        ops.OP_PUT, args, io_timeout=timeout,
+                        retryable=is_channel,
+                        absorb=(DuplicateTimestampError,)
+                        if is_channel else (),
+                    )
+                else:
+                    await self._client._cast(ops.OP_PUT, args)
+        finally:
+            if span_bound:
+                _spanmod.set_context(span_prior)
 
     async def get(self, timestamp: VirtualTime = OLDEST,
                   block: bool = True, timeout: Optional[float] = None
@@ -464,6 +486,19 @@ class AioStampedeClient:
             "max_events": max_events, "clear": clear,
         })
         return json.loads(bytes(results["events"]).decode("utf-8"))
+
+    async def span_dump(self, max_spans: int = 0,
+                        clear: bool = False) -> dict:
+        """Drain the cluster's provenance-span ring (SPAN_DUMP op)."""
+        results = await self._call(ops.OP_SPAN_DUMP, {
+            "max_spans": max_spans, "clear": clear,
+        })
+        return json.loads(bytes(results["spans"]).decode("utf-8"))
+
+    async def prof_dump(self, clear: bool = False) -> dict:
+        """Drain the cluster's sampling profiler (PROF_DUMP op)."""
+        results = await self._call(ops.OP_PROF_DUMP, {"clear": clear})
+        return json.loads(bytes(results["profile"]).decode("utf-8"))
 
     def take_reclaims(self) -> List[Tuple[str, int]]:
         """Drain queued reclaim notifications."""

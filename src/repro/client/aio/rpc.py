@@ -47,6 +47,7 @@ from repro.errors import (
     TransportClosedError,
 )
 from repro.obs.metrics import COUNT_BOUNDS, GLOBAL_METRICS as _metrics
+from repro.obs import spans as _spanmod
 from repro.runtime import ops
 from repro.transport import faults as fault_mod
 from repro.transport.faults import FaultPlan, FaultStats
@@ -140,7 +141,8 @@ class AioRpcChannel(asyncio.Protocol):
         "_loop", "_transport", "_assembler", "_pending", "_next_id",
         "_closed", "_reclaim_listener", "_batching", "_batch_max_items",
         "_batch_max_bytes", "_batch_linger", "_batch_frames",
-        "_batch_envelope", "_batch_bytes", "_linger_handle", "_unsent",
+        "_batch_origins", "_batch_envelope", "_batch_bytes",
+        "_linger_handle", "_unsent",
         "_paused", "_drain_waiter", "_closed_waiter", "_faults",
     )
 
@@ -161,6 +163,9 @@ class AioRpcChannel(asyncio.Protocol):
         self._batch_max_bytes = max(1, batch_max_bytes)
         self._batch_linger = batch_linger
         self._batch_frames: List[Tuple[int, bytes]] = []
+        # Provenance (origin, subject) of each coalesced frame, so the
+        # flush can record how long each item lingered in the batch.
+        self._batch_origins: List[Tuple[float, str]] = []
         self._batch_envelope: Optional[int] = None
         self._batch_bytes = 0
         self._linger_handle: Optional[asyncio.TimerHandle] = None
@@ -221,6 +226,7 @@ class AioRpcChannel(asyncio.Protocol):
         if self._batch_frames:
             self._unsent.extend(self._batch_frames)
             self._batch_frames = []
+            self._batch_origins = []
             self._batch_envelope = None
             self._batch_bytes = 0
         error = TransportClosedError(
@@ -270,6 +276,7 @@ class AioRpcChannel(asyncio.Protocol):
             frame = ops.encode_request(
                 request_id, opcode, args,
                 trace_id=tracepoints.current_trace_id(),
+                origin=_spanmod.current_origin(),
             )
             self._send_wire_frame(frame)
             await self.drain()
@@ -298,14 +305,18 @@ class AioRpcChannel(asyncio.Protocol):
 
     def cast(self, opcode: int, args: Dict[str, Any]) -> None:
         """Fire-and-forget (possibly coalesced); returns immediately."""
+        entry = _spanmod.current_entry()
         self.cast_frame(
             opcode, ops.encode_request(
                 ops.CAST_REQUEST_ID, opcode, args,
                 trace_id=tracepoints.current_trace_id(),
-            )
+                origin=entry[0] if entry is not None else 0.0,
+            ),
+            span_origin=entry,
         )
 
-    def cast_frame(self, opcode: int, frame: bytes) -> None:
+    def cast_frame(self, opcode: int, frame: bytes,
+                   span_origin: Optional[Tuple[float, str]] = None) -> None:
         """Send (or coalesce) one already-encoded cast frame.
 
         Split from :meth:`cast` so session recovery can replay buffered
@@ -323,6 +334,8 @@ class AioRpcChannel(asyncio.Protocol):
             self._flush("kind_switch")  # puts vs consumes
         first = not self._batch_frames
         self._batch_frames.append((opcode, frame))
+        if span_origin is not None:
+            self._batch_origins.append(span_origin)
         self._batch_envelope = envelope
         self._batch_bytes += len(frame)
         if (len(self._batch_frames) >= self._batch_max_items
@@ -351,10 +364,18 @@ class AioRpcChannel(asyncio.Protocol):
         if _metrics.enabled:
             _FLUSH_REASONS[reason].value += 1
             _BATCH_ITEMS.observe(len(items))
+        origins = self._batch_origins
         self._batch_frames = []
+        self._batch_origins = []
         self._batch_envelope = None
         self._batch_bytes = 0
         self._cancel_linger()
+        if origins and _spanmod.GLOBAL_SPANS.enabled:
+            # One hop per coalesced item: origin→here is exactly how
+            # long the put sat parked behind the linger/size caps.
+            for origin, subject in origins:
+                _spanmod.GLOBAL_SPANS.record(
+                    _spanmod.COALESCER_FLUSH, subject, origin)
         try:
             if len(items) == 1:
                 self._send_wire_frame(items[0][1])
@@ -377,6 +398,7 @@ class AioRpcChannel(asyncio.Protocol):
         items = self._unsent + self._batch_frames
         self._unsent = []
         self._batch_frames = []
+        self._batch_origins = []
         self._batch_envelope = None
         self._batch_bytes = 0
         self._cancel_linger()

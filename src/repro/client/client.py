@@ -58,6 +58,7 @@ from repro.errors import (
     TransportError,
 )
 from repro.marshal import get_codec
+from repro.obs import spans as _spanmod
 from repro.runtime import ops
 from repro.transport.base import StreamTransport
 from repro.transport.tcp import connect_tcp
@@ -165,17 +166,37 @@ class RemoteConnection:
             "has_timeout": timeout is not None,
             "timeout": timeout if timeout is not None else 0.0,
         }
-        with self._traced("put", ts=timestamp, sync=sync):
-            if sync:
-                is_channel = self.kind == "channel"
-                self._client._call(
-                    ops.OP_PUT, args, io_timeout=timeout,
-                    retryable=is_channel,
-                    absorb=(DuplicateTimestampError,)
-                    if is_channel else (),
-                )
-            else:
-                self._client._cast(ops.OP_PUT, args)
+        span_prior = None
+        span_bound = False
+        if _spanmod.GLOBAL_SPANS.enabled:
+            # Birth of the item's provenance timeline — unless an origin
+            # is already bound (a shard forwarding a device's put), in
+            # which case the existing stamp rides through unchanged so
+            # the e2e clock keeps ticking from the first put.
+            origin = _spanmod.current_origin()
+            if not origin:
+                origin = time.monotonic()
+                _spanmod.GLOBAL_SPANS.record(
+                    _spanmod.CLIENT_PUT, self.container_name, origin,
+                    at=origin)
+            span_prior = _spanmod.set_context(
+                (origin, self.container_name))
+            span_bound = True
+        try:
+            with self._traced("put", ts=timestamp, sync=sync):
+                if sync:
+                    is_channel = self.kind == "channel"
+                    self._client._call(
+                        ops.OP_PUT, args, io_timeout=timeout,
+                        retryable=is_channel,
+                        absorb=(DuplicateTimestampError,)
+                        if is_channel else (),
+                    )
+                else:
+                    self._client._cast(ops.OP_PUT, args)
+        finally:
+            if span_bound:
+                _spanmod.set_context(span_prior)
 
     def get(self, timestamp: VirtualTime = OLDEST, block: bool = True,
             timeout: Optional[float] = None) -> Tuple[Timestamp, Any]:
@@ -558,6 +579,36 @@ class StampedeClient:
             "max_events": max_events, "clear": clear,
         })
         return json.loads(bytes(results["events"]).decode("utf-8"))
+
+    def span_dump(self, max_spans: int = 0, clear: bool = False) -> dict:
+        """Drain the cluster's provenance-span ring (SPAN_DUMP wire op).
+
+        Returns ``{"label", "enabled", "recorded", "dropped", "hops",
+        "e2e", "spans"}`` — hop-offset and end-to-end information-latency
+        histograms plus the raw span ring.  On a sharded server the
+        accepting shard fans out and merges every peer's dump (spans
+        gain an ``origin_label`` naming their shard), so the timeline
+        :func:`repro.obs.spans.render_timeline` draws is cluster-wide.
+        ``clear`` empties the remote rings afterwards (hence not
+        idempotent — never retried).
+        """
+        results = self._call(ops.OP_SPAN_DUMP, {
+            "max_spans": max_spans, "clear": clear,
+        })
+        return json.loads(bytes(results["spans"]).decode("utf-8"))
+
+    def prof_dump(self, clear: bool = False) -> dict:
+        """Drain the cluster's sampling profiler (PROF_DUMP wire op).
+
+        Returns ``{"label", "interval", "running", "sample_count",
+        "samples"}`` with ``samples`` in collapsed-stack form
+        (``"thread;outer;inner" -> count``).  A sharded server merges
+        every worker process's samples, so ``tools/flame.py`` renders
+        one cluster-wide flamegraph.  ``clear`` resets the remote
+        counters afterwards (not idempotent — never retried).
+        """
+        results = self._call(ops.OP_PROF_DUMP, {"clear": clear})
+        return json.loads(bytes(results["profile"]).decode("utf-8"))
 
     def take_reclaims(self) -> List[Tuple[str, int]]:
         """Drain queued reclaim notifications."""

@@ -43,6 +43,7 @@ from repro.errors import (
     TransportClosedError,
 )
 from repro.obs.metrics import COUNT_BOUNDS, GLOBAL_METRICS as _metrics
+from repro.obs import spans as _spanmod
 from repro.runtime import ops
 from repro.transport.tcp import TcpConnection
 from repro.util import trace as tracepoints
@@ -125,6 +126,9 @@ class RpcChannel:
         self._batch_linger = batch_linger
         self._batch_cond = threading.Condition()
         self._batch_frames: List[Tuple[int, bytes]] = []  # (opcode, frame)
+        # Provenance (origin, subject) of each coalesced frame, so the
+        # flush can record how long each item lingered in the batch.
+        self._batch_origins: List[Tuple[float, str]] = []
         self._batch_envelope: Optional[int] = None
         self._batch_bytes = 0
         self._batch_deadline: Optional[float] = None
@@ -161,6 +165,7 @@ class RpcChannel:
             frame = ops.encode_request(
                 request_id, opcode, args,
                 trace_id=tracepoints.current_trace_id(),
+                origin=_spanmod.current_origin(),
             )
             self._connection.send_frame(frame)
             if not pending.event.wait(timeout=timeout):
@@ -198,14 +203,18 @@ class RpcChannel:
         coalesced: "sent" then means "accepted for the current batch",
         which flushes per the rules in the module docstring.
         """
+        entry = _spanmod.current_entry()
         self.cast_frame(
             opcode, ops.encode_request(
                 ops.CAST_REQUEST_ID, opcode, args,
                 trace_id=tracepoints.current_trace_id(),
-            )
+                origin=entry[0] if entry is not None else 0.0,
+            ),
+            span_origin=entry,
         )
 
-    def cast_frame(self, opcode: int, frame: bytes) -> None:
+    def cast_frame(self, opcode: int, frame: bytes,
+                   span_origin: Optional[Tuple[float, str]] = None) -> None:
         """Send (or coalesce) one already-encoded cast frame.
 
         Split from :meth:`cast` so session recovery can replay buffered
@@ -226,6 +235,8 @@ class RpcChannel:
                 self._flush_locked("kind_switch")  # puts vs consumes
             first = not self._batch_frames
             self._batch_frames.append((opcode, frame))
+            if span_origin is not None:
+                self._batch_origins.append(span_origin)
             self._batch_envelope = envelope
             self._batch_bytes += len(frame)
             if (len(self._batch_frames) >= self._batch_max_items
@@ -265,10 +276,18 @@ class RpcChannel:
         if _metrics.enabled:
             _FLUSH_REASONS[reason].value += 1
             _BATCH_ITEMS.observe(len(items))
+        origins = self._batch_origins
         self._batch_frames = []
+        self._batch_origins = []
         self._batch_envelope = None
         self._batch_bytes = 0
         self._batch_deadline = None
+        if origins and _spanmod.GLOBAL_SPANS.enabled:
+            # One hop per coalesced item: origin→here is exactly how
+            # long the put sat parked behind the linger/size caps.
+            for origin, subject in origins:
+                _spanmod.GLOBAL_SPANS.record(
+                    _spanmod.COALESCER_FLUSH, subject, origin)
         try:
             if len(items) == 1:
                 self._connection.send_frame(items[0][1])
@@ -312,6 +331,7 @@ class RpcChannel:
             items = self._unsent + self._batch_frames
             self._unsent = []
             self._batch_frames = []
+            self._batch_origins = []
             self._batch_envelope = None
             self._batch_bytes = 0
             self._batch_deadline = None

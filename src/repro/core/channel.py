@@ -54,6 +54,7 @@ from repro.core.timestamps import (
     validate_timestamp,
 )
 from repro.obs.metrics import GLOBAL_METRICS as _metrics
+from repro.obs import spans as _spanmod
 from repro.util import trace as tracepoints
 from repro.util.trace import trace
 from repro.errors import (
@@ -83,6 +84,16 @@ _CONSUME_PROBE = _metrics.probe("core.channel.consume")
 # avoids attribute-chain lookups.
 _ACTIVE_IDS = tracepoints.ACTIVE_IDS
 _TRACE_SAMPLE_MASK = tracepoints.SAMPLE_MASK
+
+# Provenance spans: one recorder object for the process lifetime (the
+# enable/disable API mutates it in place), so the hot paths pay a single
+# attribute check while spans are off.  Stamped items (an origin rode
+# the wire) always record; unstamped local churn is sampled.
+_SPANS = _spanmod.GLOBAL_SPANS
+_SPAN_SAMPLE_MASK = _spanmod.SAMPLE_MASK
+# The raw thread-local, read inline: a function call per put would cost
+# more than the whole spans feature is allowed to.
+_SPAN_CTX = _spanmod._context
 
 
 class Channel(Container):
@@ -195,6 +206,16 @@ class Channel(Container):
                         put_time=time.monotonic())
             self._insert_item(item)
             self._record_put(item.size)
+            if _SPANS.enabled:
+                entry = _SPAN_CTX.entry
+                origin = entry[0] if entry is not None else 0.0
+                if origin:
+                    item.origin_time = origin
+                    _SPANS.record(_spanmod.CONTAINER_INSERT, self.name,
+                                  origin, at=item.put_time)
+                elif not ((self._puts - 1) & _SPAN_SAMPLE_MASK):
+                    _SPANS.record(_spanmod.CONTAINER_INSERT, self.name,
+                                  item.put_time, at=item.put_time)
             if tracepoints.GLOBAL_TRACER.enabled:
                 # Correlated puts (an id in context — every client RPC
                 # mints one) always hit the ring; uncorrelated local puts
@@ -427,6 +448,14 @@ class Channel(Container):
             self._consumes += 1
             item = self._items.get(timestamp)
             if item is not None:
+                if _SPANS.enabled:
+                    origin = item.origin_time
+                    if origin:
+                        _SPANS.consume_span(self.name, origin,
+                                            trace_id=item.trace_id)
+                    elif not (self._consumes & _SPAN_SAMPLE_MASK):
+                        _SPANS.consume_span(self.name, item.put_time,
+                                            trace_id=item.trace_id)
                 item.mark_consumed(connection.connection_id)
                 self._maybe_reclaim(item)
         if t0:
@@ -547,6 +576,16 @@ class Channel(Container):
         self._dead_candidates.discard(timestamp)
         self._record_hole(timestamp)
         self._reclaimed += 1
+        if _SPANS.enabled:
+            # Same stamping rule as the trace event below: the reclaim
+            # belongs to the item's journey, so the span uses the
+            # item's origin, not whatever the sweeping thread carries.
+            if item.origin_time:
+                _SPANS.record(_spanmod.GC_RECLAIM, self.name,
+                              item.origin_time, trace_id=item.trace_id)
+            elif not ((self._reclaimed - 1) & _SPAN_SAMPLE_MASK):
+                _SPANS.record(_spanmod.GC_RECLAIM, self.name,
+                              item.put_time, trace_id=item.trace_id)
         # The reclaim runs on whichever thread swept, but it belongs to
         # the trace of the put that created the item — the stamped id
         # (not this thread's context) closes the end-to-end span.

@@ -53,6 +53,7 @@ class Item:
         "consumed_by",
         "dequeued_by",
         "put_time",
+        "origin_time",
         "trace_id",
         "wire_cache",
     )
@@ -63,6 +64,7 @@ class Item:
         value: Any,
         size: Optional[int] = None,
         put_time: float = 0.0,
+        origin_time: float = 0.0,
         trace_id: Optional[str] = None,
     ) -> None:
         self.timestamp = timestamp
@@ -75,6 +77,11 @@ class Item:
         self.dequeued_by: Optional[int] = None
         #: Wall/virtual time of the put, for latency accounting.
         self.put_time = put_time
+        #: Provenance stamp: the *client-side* monotonic put time that
+        #: rode the wire envelope, when the item arrived with one
+        #: (0.0 for local/unstamped puts).  Feeds the end-to-end
+        #: information-latency spans (see repro.obs.spans).
+        self.origin_time = origin_time
         #: Trace id of the logical put that created the item, if tracing
         #: was active; lets the GC's reclaim event join the same trace.
         self.trace_id = trace_id

@@ -47,6 +47,7 @@ from repro.core.timestamps import (
     validate_timestamp,
 )
 from repro.obs.metrics import GLOBAL_METRICS as _metrics
+from repro.obs import spans as _spanmod
 from repro.util import trace as tracepoints
 from repro.util.trace import trace
 from repro.errors import (
@@ -63,6 +64,14 @@ _CONSUME_PROBE = _metrics.probe("core.squeue.consume")
 # Cached at import for the traced put fast path (see channel.py).
 _ACTIVE_IDS = tracepoints.ACTIVE_IDS
 _TRACE_SAMPLE_MASK = tracepoints.SAMPLE_MASK
+
+# Provenance spans, same contract as the channel's: stamped items always
+# record, unstamped local churn is sampled (see repro.obs.spans).
+_SPANS = _spanmod.GLOBAL_SPANS
+_SPAN_SAMPLE_MASK = _spanmod.SAMPLE_MASK
+# The raw thread-local, read inline: a function call per put would cost
+# more than the whole spans feature is allowed to.
+_SPAN_CTX = _spanmod._context
 
 
 class SQueue(Container):
@@ -137,6 +146,16 @@ class SQueue(Container):
             self._fifo.append(item)
             self._held_bytes += item.size
             self._record_put(item.size)
+            if _SPANS.enabled:
+                entry = _SPAN_CTX.entry
+                origin = entry[0] if entry is not None else 0.0
+                if origin:
+                    item.origin_time = origin
+                    _SPANS.record(_spanmod.CONTAINER_INSERT, self.name,
+                                  origin, at=item.put_time)
+                elif not ((self._puts - 1) & _SPAN_SAMPLE_MASK):
+                    _SPANS.record(_spanmod.CONTAINER_INSERT, self.name,
+                                  item.put_time, at=item.put_time)
             if tracepoints.GLOBAL_TRACER.enabled:
                 # Correlated puts always hit the ring; uncorrelated local
                 # puts are sampled, first-put-of-queue always included.
@@ -191,6 +210,7 @@ class SQueue(Container):
                 if item is not None:
                     self._gets += 1
                     if self.auto_consume:
+                        self._note_consume(item, self._gets)
                         self._reclaim(item)
                         self._held_bytes -= item.size
                         self._not_full.notify_all()
@@ -296,12 +316,26 @@ class SQueue(Container):
         if t0:
             probe.hist.observe((time.monotonic() - t0) * 1e6)
 
+    def _note_consume(self, item: Item, tick: int) -> None:
+        """Span hook for the moment a worker is done with *item* (an
+        explicit consume, or an auto-consuming get).  *tick* drives the
+        sampling of unstamped items."""
+        if _SPANS.enabled:
+            origin = item.origin_time
+            if origin:
+                _SPANS.consume_span(self.name, origin,
+                                    trace_id=item.trace_id)
+            elif not (tick & _SPAN_SAMPLE_MASK):
+                _SPANS.consume_span(self.name, item.put_time,
+                                    trace_id=item.trace_id)
+
     def _release_pending(self, seqs: List[int]) -> None:
         """Reclaim the pending items behind *seqs*.  Caller holds the lock
         and has already unlinked them from the per-connection index."""
         for seq in seqs:
             item = self._pending.pop(seq)
             self._held_bytes -= item.size
+            self._note_consume(item, self._consumes)
             self._reclaim(item)
         if seqs:
             self._not_full.notify_all()
@@ -367,6 +401,15 @@ class SQueue(Container):
     def _reclaim(self, item: Item) -> None:
         item.state = ItemState.GARBAGE
         self._reclaimed += 1
+        if _SPANS.enabled:
+            # Stamped like the trace event below: the span belongs to
+            # the item's journey, not the sweeping thread's context.
+            if item.origin_time:
+                _SPANS.record(_spanmod.GC_RECLAIM, self.name,
+                              item.origin_time, trace_id=item.trace_id)
+            elif not ((self._reclaimed - 1) & _SPAN_SAMPLE_MASK):
+                _SPANS.record(_spanmod.GC_RECLAIM, self.name,
+                              item.put_time, trace_id=item.trace_id)
         # Reclaims join the trace of the put that created the item (the
         # stamped id), not whichever thread happened to sweep.
         trace(tracepoints.RECLAIM, self.name, trace_id=item.trace_id,

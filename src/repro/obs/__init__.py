@@ -1,9 +1,15 @@
-"""Observability: metrics registry, Prometheus export, stall watchdog.
+"""Observability: metrics, spans, SLOs, profiler, Prometheus, watchdog.
 
 The flight-recorder layer.  :mod:`repro.obs.metrics` holds the
 process-global instrument registry the runtime's hot paths report into;
-:mod:`repro.obs.prom` renders a registry snapshot as Prometheus text;
-:mod:`repro.obs.watchdog` turns the same signals into stall detection.
+:mod:`repro.obs.spans` records per-item provenance spans (the hop-by-hop
+journey and end-to-end information latency of every item);
+:mod:`repro.obs.slo` evaluates declarative per-channel SLO targets with
+burn-rate windows over those histograms; :mod:`repro.obs.profiler` is a
+sampling continuous profiler; :mod:`repro.obs.prom` renders it all as
+Prometheus text; :mod:`repro.obs.watchdog` turns the same signals into
+stall detection; :mod:`repro.obs.aggregate` merges any of it across
+shard workers.
 
 Everything here is import-cheap and dependency-free within the package
 (core/runtime import obs, never the reverse), so instrumenting a hot
@@ -20,17 +26,44 @@ from repro.obs.metrics import (
     disable_metrics,
     enable_metrics,
 )
+from repro.obs.profiler import (
+    GLOBAL_PROFILER,
+    StackProfiler,
+    start_profiler,
+    stop_profiler,
+)
+from repro.obs.slo import GLOBAL_SLO, SloBreach, SloEngine, SloTarget
+from repro.obs.spans import (
+    GLOBAL_SPANS,
+    SpanRecorder,
+    disable_spans,
+    enable_spans,
+    journey_breakdown,
+)
 from repro.obs.watchdog import Stall, StallWatchdog
 
 __all__ = [
     "GLOBAL_METRICS",
+    "GLOBAL_PROFILER",
+    "GLOBAL_SLO",
+    "GLOBAL_SPANS",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "OpProbe",
+    "SloBreach",
+    "SloEngine",
+    "SloTarget",
+    "SpanRecorder",
+    "StackProfiler",
     "Stall",
     "StallWatchdog",
     "disable_metrics",
+    "disable_spans",
     "enable_metrics",
+    "enable_spans",
+    "journey_breakdown",
+    "start_profiler",
+    "stop_profiler",
 ]

@@ -38,6 +38,9 @@ __all__ = [
     "merge_histogram_snapshots",
     "merge_metrics_snapshots",
     "merge_stats_snapshots",
+    "merge_span_sections",
+    "merge_span_dumps",
+    "merge_profile_dumps",
 ]
 
 
@@ -206,4 +209,110 @@ def merge_stats_snapshots(snaps: Sequence[Dict[str, Any]],
             entry = dict(container)
             entry["shard"] = shard_id
             merged["containers"].append(entry)
+    span_sections = [s.get("spans") for s in snaps if s.get("spans")]
+    if span_sections:
+        merged["spans"] = merge_span_sections(span_sections)
+    slo_sections = [s.get("slo") for s in snaps if s.get("slo")]
+    if slo_sections:
+        # Targets are declared identically in every shard process (same
+        # env/config); status rows are disjoint because each channel
+        # lives on exactly one shard.
+        merged["slo"] = {
+            "targets": slo_sections[0].get("targets", []),
+            "status": [row for section in slo_sections
+                       for row in section.get("status", [])],
+            "breaches": sum(section.get("breaches", 0)
+                            for section in slo_sections),
+        }
     return merged
+
+
+def merge_span_sections(sections: Sequence[Dict[str, Any]]
+                        ) -> Dict[str, Any]:
+    """Fold the ``"spans"`` STATS sections (hop/e2e histograms, no
+    ring) of several processes into one.
+
+    Hop offsets and e2e latencies merge bucket-wise per (hop, subject) /
+    per subject — every process builds the same ladder — so the merged
+    histograms answer "where did the time go" for items whose journeys
+    crossed processes.
+    """
+    sections = [s for s in sections if s]
+    if not sections:
+        return {}
+    merged: Dict[str, Any] = {
+        "enabled": any(s.get("enabled") for s in sections),
+        "recorded": sum(s.get("recorded", 0) for s in sections),
+        "dropped": sum(s.get("dropped", 0) for s in sections),
+        "hops": {},
+        "e2e": {},
+    }
+    hop_names = {h for s in sections for h in s.get("hops", {})}
+    for hop in hop_names:
+        subjects = {subj for s in sections
+                    for subj in s.get("hops", {}).get(hop, {})}
+        merged["hops"][hop] = {
+            subj: merge_histogram_snapshots(
+                [s.get("hops", {}).get(hop, {}).get(subj)
+                 for s in sections])
+            for subj in subjects
+        }
+    e2e_subjects = {subj for s in sections for subj in s.get("e2e", {})}
+    for subj in e2e_subjects:
+        merged["e2e"][subj] = merge_histogram_snapshots(
+            [s.get("e2e", {}).get(subj) for s in sections])
+    return merged
+
+
+def merge_span_dumps(payloads: Sequence[Dict[str, Any]],
+                     labels: Optional[Sequence[str]] = None
+                     ) -> Dict[str, Any]:
+    """Fold full SPAN_DUMP payloads (histograms **and** span rings)
+    across processes into one cluster timeline.
+
+    Each span gains an ``origin_label`` naming the process it was
+    recorded in; the combined ring is re-sorted by monotonic time,
+    which interleaves correctly exactly when the processes share a
+    monotonic clock (same host — the shard and loopback cases).
+    """
+    payloads = [p for p in payloads if p]
+    if not payloads:
+        return {}
+    if labels is None:
+        labels = [p.get("label") or f"proc{i}"
+                  for i, p in enumerate(payloads)]
+    merged = merge_span_sections(payloads)
+    merged["label"] = "+".join(str(label) for label in labels)
+    spans: List[Dict[str, Any]] = []
+    for label, payload in zip(labels, payloads):
+        for span in payload.get("spans", []):
+            entry = dict(span)
+            entry.setdefault("origin_label", str(label))
+            spans.append(entry)
+    spans.sort(key=lambda s: s.get("at", 0.0))
+    merged["spans"] = spans
+    return merged
+
+
+def merge_profile_dumps(payloads: Sequence[Dict[str, Any]]
+                        ) -> Dict[str, Any]:
+    """Fold PROF_DUMP payloads into one collapsed-stack counter set.
+
+    Stacks are function-granular strings, so the merge is exact
+    addition per stack — the cluster flamegraph is the sum of the
+    per-process flamegraphs.
+    """
+    payloads = [p for p in payloads if p]
+    if not payloads:
+        return {}
+    samples: Dict[str, int] = {}
+    for payload in payloads:
+        for stack, count in payload.get("samples", {}).items():
+            samples[stack] = samples.get(stack, 0) + int(count)
+    return {
+        "interval": max(p.get("interval", 0.0) for p in payloads),
+        "running": any(p.get("running") for p in payloads),
+        "sample_count": sum(p.get("sample_count", 0) for p in payloads),
+        "samples": samples,
+        "processes": len(payloads),
+    }

@@ -1,12 +1,15 @@
 """Prometheus text-format rendering of a metrics-registry snapshot.
 
 No client library, no HTTP server — just the exposition format
-(`# TYPE` lines, cumulative ``le`` buckets, ``_sum``/``_count``), so a
-scrape endpoint is one ``BaseHTTPRequestHandler`` away and tests can
-assert on plain text.  Works from a live
-:class:`~repro.obs.metrics.MetricsRegistry` or from the JSON snapshot
-the STATS wire op returns, which is how ``tools/top.py --prom`` exports
-a *remote* cluster's metrics without running anything on it.
+(`# HELP`/`# TYPE` lines, cumulative ``le`` buckets, ``_sum``/
+``_count``), so a scrape endpoint is one ``BaseHTTPRequestHandler``
+away and tests can assert on plain text.  Works from a live
+:class:`~repro.obs.metrics.MetricsRegistry`, from the ``metrics`` field
+of the JSON snapshot the STATS wire op returns, or from the **whole**
+STATS payload — in which case the per-channel end-to-end information-
+latency histograms (the span pipeline's headline number) and the SLO
+engine's burn-rate/breach series are exported too, with the channel
+name as a properly escaped label value.
 """
 
 from __future__ import annotations
@@ -28,6 +31,25 @@ def _sanitize(name: str) -> str:
     return sanitized
 
 
+def _escape_label(value: Any) -> str:
+    """Escape a label *value* per the exposition format: backslash,
+    double-quote and newline are the three characters with escapes."""
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_labels(labels: Optional[Mapping[str, Any]],
+                   extra: Optional[Dict[str, str]] = None) -> str:
+    pairs: List[str] = []
+    for key, value in (labels or {}).items():
+        pairs.append(f'{_sanitize(key)}="{_escape_label(value)}"')
+    for key, value in (extra or {}).items():
+        pairs.append(f'{key}="{value}"')
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
 def _format_value(value: Any) -> str:
     if value is None:
         return "NaN"
@@ -41,45 +63,46 @@ def _format_value(value: Any) -> str:
 
 
 def _render_histogram(name: str, snap: Mapping[str, Any],
-                      lines: List[str]) -> None:
+                      lines: List[str],
+                      labels: Optional[Mapping[str, Any]] = None,
+                      help_text: Optional[str] = None) -> None:
     base = _sanitize(name)
+    unit = snap.get("unit", "")
+    lines.append(f"# HELP {base} "
+                 f"{help_text or f'{name} distribution'}"
+                 f"{f' ({unit})' if unit else ''}")
     lines.append(f"# TYPE {base} histogram")
     cumulative = 0
     for bound, count in snap["buckets"]:
         cumulative += count
-        lines.append(
-            f'{base}_bucket{{le="{_format_value(float(bound))}"}} '
-            f"{cumulative}"
-        )
+        label_str = _format_labels(
+            labels, {"le": _format_value(float(bound))})
+        lines.append(f"{base}_bucket{label_str} {cumulative}")
     cumulative += snap["overflow"]
-    lines.append(f'{base}_bucket{{le="+Inf"}} {cumulative}')
-    lines.append(f"{base}_sum {_format_value(snap['total'])}")
-    lines.append(f"{base}_count {snap['count']}")
+    label_str = _format_labels(labels, {"le": "+Inf"})
+    lines.append(f"{base}_bucket{label_str} {cumulative}")
+    # The exposition format implies _sum/_count from the histogram
+    # family, but scrapers that treat each series independently (and
+    # humans reading the page) get no typing for them — so they carry
+    # their own HELP/TYPE, like the bucket series do.
+    plain = _format_labels(labels)
+    lines.append(f"# HELP {base}_sum total of observed {name} values")
+    lines.append(f"# TYPE {base}_sum counter")
+    lines.append(f"{base}_sum{plain} {_format_value(snap['total'])}")
+    lines.append(f"# HELP {base}_count number of observed {name} values")
+    lines.append(f"# TYPE {base}_count counter")
+    lines.append(f"{base}_count{plain} {snap['count']}")
 
 
-def render(source: Optional[Union[MetricsRegistry,
-                                  Mapping[str, Any]]] = None) -> str:
-    """Render *source* as Prometheus exposition text.
-
-    *source* may be a :class:`MetricsRegistry` (snapshotted here), an
-    already-taken ``registry.snapshot()`` dict (e.g. the ``metrics``
-    field of a remote STATS payload), or ``None`` for the process-global
-    registry.
-    """
-    if source is None:
-        source = GLOBAL_METRICS
-    snap: Mapping[str, Any]
-    if isinstance(source, MetricsRegistry):
-        snap = source.snapshot(include_collectors=False)
-    else:
-        snap = source
-    lines: List[str] = []
+def _render_metrics(snap: Mapping[str, Any], lines: List[str]) -> None:
     for name, value in sorted(snap.get("counters", {}).items()):
         base = _sanitize(name)
+        lines.append(f"# HELP {base} {name} (counter)")
         lines.append(f"# TYPE {base} counter")
         lines.append(f"{base} {_format_value(value)}")
     for name, value in sorted(snap.get("gauges", {}).items()):
         base = _sanitize(name)
+        lines.append(f"# HELP {base} {name} (gauge)")
         lines.append(f"# TYPE {base} gauge")
         lines.append(f"{base} {_format_value(value)}")
     for name, hist in sorted(snap.get("histograms", {}).items()):
@@ -89,7 +112,77 @@ def render(source: Optional[Union[MetricsRegistry,
         # export both, with the sampling made explicit so nobody reads
         # the histogram count as a request count.
         base = _sanitize(name)
+        lines.append(f"# HELP {base}_ops total {name} operations")
         lines.append(f"# TYPE {base}_ops counter")
         lines.append(f"{base}_ops {probe['ops']}")
         _render_histogram(f"{name}_sampled_us", probe, lines)
+
+
+def _render_spans(section: Mapping[str, Any], lines: List[str]) -> None:
+    """Per-channel e2e information latency, channel as a label."""
+    for channel, hist in sorted(section.get("e2e", {}).items()):
+        _render_histogram(
+            "dstampede_e2e_latency_us", hist, lines,
+            labels={"channel": channel},
+            help_text="end-to-end information latency from first put "
+                      "to consume")
+
+
+def _render_slo(section: Mapping[str, Any], lines: List[str]) -> None:
+    """SLO burn rates and breach flags, (channel, objective) labeled."""
+    status = section.get("status", [])
+    if status:
+        lines.append("# HELP dstampede_slo_burn_rate error-budget burn "
+                     "rate over the objective's window (1.0 = budget "
+                     "exactly spent)")
+        lines.append("# TYPE dstampede_slo_burn_rate gauge")
+        for row in status:
+            labels = _format_labels({"channel": row.get("channel"),
+                                     "objective": row.get("objective")})
+            lines.append(
+                "dstampede_slo_burn_rate"
+                f"{labels} {_format_value(row.get('burn_rate'))}")
+        lines.append("# HELP dstampede_slo_breaching whether the "
+                     "objective is currently breaching its burn budget")
+        lines.append("# TYPE dstampede_slo_breaching gauge")
+        for row in status:
+            labels = _format_labels({"channel": row.get("channel"),
+                                     "objective": row.get("objective")})
+            lines.append(
+                "dstampede_slo_breaching"
+                f"{labels} {1 if row.get('breaching') else 0}")
+    lines.append("# HELP dstampede_slo_breaches_total SLO breaches "
+                 "raised since start")
+    lines.append("# TYPE dstampede_slo_breaches_total counter")
+    lines.append("dstampede_slo_breaches_total "
+                 f"{section.get('breaches', 0)}")
+
+
+def render(source: Optional[Union[MetricsRegistry,
+                                  Mapping[str, Any]]] = None) -> str:
+    """Render *source* as Prometheus exposition text.
+
+    *source* may be a :class:`MetricsRegistry` (snapshotted here), an
+    already-taken ``registry.snapshot()`` dict (e.g. the ``metrics``
+    field of a remote STATS payload), a **full** STATS payload
+    (detected by its ``metrics`` key; spans and SLO sections are then
+    exported too), or ``None`` for the process-global registry.
+    """
+    if source is None:
+        source = GLOBAL_METRICS
+    snap: Mapping[str, Any]
+    if isinstance(source, MetricsRegistry):
+        snap = source.snapshot(include_collectors=False)
+    else:
+        snap = source
+    lines: List[str] = []
+    if "metrics" in snap and "counters" not in snap:
+        # A whole STATS payload: metrics plus the span/SLO sections.
+        _render_metrics(snap.get("metrics", {}), lines)
+        if snap.get("spans"):
+            _render_spans(snap["spans"], lines)
+        if snap.get("slo"):
+            _render_slo(snap["slo"], lines)
+    else:
+        _render_metrics(snap, lines)
     return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,375 @@
+"""Declarative per-channel SLOs evaluated from the span histograms.
+
+A target declares what a channel owes its consumers::
+
+    SloTarget("video", freshness_s=0.5, e2e_p99_ms=100,
+              delivery_ratio=0.99)
+
+Three objectives, all measured from data the flight recorder already
+collects (no new hot-path cost):
+
+* **freshness** — the container's oldest live timestamp age must stay
+  under ``freshness_s`` (the PR 4 watchdog signal, now per-channel);
+* **e2e p99** — the 99th percentile of the channel's end-to-end
+  information latency (the provenance-span histogram observed at each
+  consume, :mod:`repro.obs.spans`) must stay under ``e2e_p99_ms``;
+* **delivery ratio** — the fraction of puts that were *not* evicted by
+  channel overflow (``1 - evictions/puts``) must stay at or above
+  ``delivery_ratio``.
+
+Each objective burns an **error budget**: over a sliding ``window_s``
+the engine tracks what fraction of evaluations violated the target, and
+the *burn rate* is that fraction divided by the allowed budget
+(default 1%).  A burn rate >= 1 means the channel is consuming its
+window's budget faster than allowed — that is a **breach**.  Breaches
+are counted in the metrics registry, exported through STATS/Prometheus,
+and routed into the stall watchdog's ``on_stall`` path (as
+``slo_breach`` stalls) so ROADMAP item 3 can later convert them into
+load-shedding decisions.
+
+Targets come from code (:meth:`SloEngine.add_target`) or from the
+``DSTAMPEDE_SLO`` environment variable::
+
+    DSTAMPEDE_SLO="video:freshness=0.5,e2e_p99_ms=100,delivery=0.99;tele*:freshness=5"
+
+Channel patterns are :mod:`fnmatch` globs.  Like the watchdog, this
+module imports nothing from ``repro.core``/``repro.runtime`` —
+containers and runtimes are duck-typed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import (Any, Callable, Deque, Dict, Iterable, List, Mapping,
+                    Optional, Tuple)
+
+from repro.obs import spans as _spanmod
+from repro.obs.metrics import GLOBAL_METRICS as _metrics
+from repro.obs.watchdog import Stall
+
+__all__ = [
+    "SloTarget",
+    "SloBreach",
+    "SloEngine",
+    "GLOBAL_SLO",
+    "parse_slo_spec",
+]
+
+_BREACHES = _metrics.counter("obs.slo.breaches")
+
+#: Objective keys, in evaluation/report order.
+OBJECTIVES = ("freshness", "e2e_p99", "delivery")
+
+
+@dataclass(frozen=True)
+class SloTarget:
+    """Per-channel service-level objectives (None = objective unset).
+
+    ``channel`` may be an exact container name or an fnmatch glob;
+    ``budget`` is the violation fraction the window tolerates before
+    the burn rate crosses 1.
+    """
+
+    channel: str
+    freshness_s: Optional[float] = None
+    e2e_p99_ms: Optional[float] = None
+    delivery_ratio: Optional[float] = None
+    window_s: float = 60.0
+    budget: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if not 0.0 < self.budget <= 1.0:
+            raise ValueError("budget must be in (0, 1]")
+        if (self.freshness_s is None and self.e2e_p99_ms is None
+                and self.delivery_ratio is None):
+            raise ValueError(
+                f"SLO for {self.channel!r} declares no objective")
+
+    def matches(self, name: str) -> bool:
+        return name == self.channel or fnmatchcase(name, self.channel)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "channel": self.channel,
+            "freshness_s": self.freshness_s,
+            "e2e_p99_ms": self.e2e_p99_ms,
+            "delivery_ratio": self.delivery_ratio,
+            "window_s": self.window_s,
+            "budget": self.budget,
+        }
+
+
+@dataclass(frozen=True)
+class SloBreach:
+    """One objective whose burn rate crossed 1 within its window."""
+
+    channel: str
+    objective: str
+    measured: float
+    target: float
+    burn_rate: float
+    window_s: float
+
+    def as_stall(self) -> Stall:
+        """Adapt to the watchdog's stall shape so breaches ride the
+        existing ``on_stall`` delivery path."""
+        return Stall(
+            kind="slo_breach",
+            subject=self.channel,
+            measured=self.measured,
+            limit=self.target,
+            suspects=[{"owner": f"slo:{self.objective}",
+                       "burn_rate": round(self.burn_rate, 3),
+                       "window_s": self.window_s}],
+        )
+
+    def describe(self) -> str:
+        return (f"slo_breach {self.channel}/{self.objective}: "
+                f"measured={self.measured:.6g} target={self.target:.6g} "
+                f"burn={self.burn_rate:.1f}x over {self.window_s:.0f}s")
+
+
+def parse_slo_spec(spec: str) -> List[SloTarget]:
+    """Parse the ``DSTAMPEDE_SLO`` format.
+
+    ``;``-separated channel clauses, each ``pattern:key=value,...`` with
+    keys ``freshness`` (seconds), ``e2e_p99_ms`` (milliseconds),
+    ``delivery`` (ratio), ``window`` (seconds), ``budget`` (fraction).
+    Raises ``ValueError`` on malformed clauses — a mistyped SLO that
+    silently guards nothing is worse than a crash at startup.
+    """
+    targets: List[SloTarget] = []
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        # Split on the LAST colon: channel names may contain colons
+        # ("video:C1", "composite:C0"), the key=value body never does.
+        channel, sep, body = clause.rpartition(":")
+        if not sep or not channel.strip():
+            raise ValueError(f"malformed SLO clause {clause!r} "
+                             "(want 'channel:key=value,...')")
+        kwargs: Dict[str, float] = {}
+        for pair in body.split(","):
+            pair = pair.strip()
+            if not pair:
+                continue
+            key, sep, value = pair.partition("=")
+            if not sep:
+                raise ValueError(f"malformed SLO setting {pair!r} in "
+                                 f"clause {clause!r}")
+            try:
+                kwargs[key.strip()] = float(value)
+            except ValueError:
+                raise ValueError(f"non-numeric SLO value {pair!r} in "
+                                 f"clause {clause!r}") from None
+        mapped: Dict[str, float] = {}
+        for key, value in kwargs.items():
+            name = {"freshness": "freshness_s",
+                    "freshness_s": "freshness_s",
+                    "e2e_p99_ms": "e2e_p99_ms",
+                    "delivery": "delivery_ratio",
+                    "delivery_ratio": "delivery_ratio",
+                    "window": "window_s",
+                    "window_s": "window_s",
+                    "budget": "budget"}.get(key)
+            if name is None:
+                raise ValueError(f"unknown SLO key {key!r} in clause "
+                                 f"{clause!r}")
+            mapped[name] = value
+        targets.append(SloTarget(channel.strip(), **mapped))
+    return targets
+
+
+class SloEngine:
+    """Evaluates targets against container + span data, tracking burn.
+
+    The engine is clock-injectable and evaluation-driven: each
+    :meth:`evaluate` records one (violated-or-not) sample per active
+    objective into that objective's sliding window, then reports status
+    rows with the current burn rate.  Drive it from the watchdog's
+    periodic check (pass the engine as ``StallWatchdog(slo=...)``), or
+    directly in tests with explicit ``now`` values.
+    """
+
+    def __init__(self, targets: Iterable[SloTarget] = (),
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.targets: List[SloTarget] = list(targets)
+        self._clock = clock
+        #: (channel, objective) -> deque[(t, violated)]
+        self._windows: Dict[Tuple[str, str], Deque[Tuple[float, bool]]] = {}
+        #: Status rows from the most recent evaluate (for STATS).
+        self.last_status: List[Dict[str, Any]] = []
+        self.breach_count = 0
+
+    def add_target(self, target: SloTarget) -> None:
+        self.targets.append(target)
+
+    def clear(self) -> None:
+        """Drop all targets and burn windows (tests)."""
+        self.targets.clear()
+        self._windows.clear()
+        self.last_status = []
+        self.breach_count = 0
+
+    # -- measurement -----------------------------------------------------------
+
+    @staticmethod
+    def _measurements(target: SloTarget,
+                      entry: Mapping[str, Any],
+                      e2e: Mapping[str, Mapping[str, Any]]
+                      ) -> List[Tuple[str, Optional[float], float, bool]]:
+        """``(objective, measured, target_value, violated)`` rows for one
+        container entry.  ``measured`` is None when no data exists yet
+        (no data is never a violation — an idle channel is not broken).
+        """
+        rows: List[Tuple[str, Optional[float], float, bool]] = []
+        name = entry.get("name", "")
+        if target.freshness_s is not None:
+            age = entry.get("oldest_age")
+            measured = float(age) if age is not None else None
+            rows.append(("freshness", measured, target.freshness_s,
+                         measured is not None
+                         and measured > target.freshness_s))
+        if target.e2e_p99_ms is not None:
+            hist = e2e.get(name)
+            measured = None
+            if hist and hist.get("count"):
+                measured = float(hist.get("p99", 0.0)) / 1e3  # µs -> ms
+            rows.append(("e2e_p99", measured, target.e2e_p99_ms,
+                         measured is not None
+                         and measured > target.e2e_p99_ms))
+        if target.delivery_ratio is not None:
+            puts = int(entry.get("puts", 0) or 0)
+            evictions = int(entry.get("evictions", 0) or 0)
+            measured = (1.0 - evictions / puts) if puts else None
+            rows.append(("delivery", measured, target.delivery_ratio,
+                         measured is not None
+                         and measured < target.delivery_ratio))
+        return rows
+
+    def _burn(self, key: Tuple[str, str], target: SloTarget,
+              violated: bool, now: float) -> float:
+        window = self._windows.get(key)
+        if window is None:
+            window = self._windows[key] = deque()
+        window.append((now, violated))
+        floor = now - target.window_s
+        while window and window[0][0] < floor:
+            window.popleft()
+        bad = sum(1 for _, v in window if v)
+        return (bad / len(window)) / target.budget if window else 0.0
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(self, containers: Iterable[Mapping[str, Any]],
+                 e2e: Optional[Mapping[str, Mapping[str, Any]]] = None,
+                 now: Optional[float] = None) -> List[Dict[str, Any]]:
+        """One evaluation pass over container entries (the shape
+        ``runtime/inspect.py`` emits) and per-channel e2e histogram
+        snapshots.  Returns status rows and remembers them in
+        :attr:`last_status`."""
+        if now is None:
+            now = self._clock()
+        e2e = e2e or {}
+        status: List[Dict[str, Any]] = []
+        for entry in containers:
+            name = entry.get("name", "")
+            for target in self.targets:
+                if not target.matches(name):
+                    continue
+                for objective, measured, limit, violated in \
+                        self._measurements(target, entry, e2e):
+                    burn = self._burn((name, objective), target,
+                                      violated, now)
+                    status.append({
+                        "channel": name,
+                        "objective": objective,
+                        "measured": measured,
+                        "target": limit,
+                        "violated": violated,
+                        "burn_rate": round(burn, 3),
+                        "window_s": target.window_s,
+                        "breaching": burn >= 1.0,
+                    })
+        self.last_status = status
+        return status
+
+    def check(self, runtime: Optional[Any] = None,
+              containers: Optional[Iterable[Mapping[str, Any]]] = None,
+              e2e: Optional[Mapping[str, Mapping[str, Any]]] = None,
+              now: Optional[float] = None) -> List[SloBreach]:
+        """Evaluate and return the objectives currently breaching.
+
+        Either pass pre-extracted ``containers``/``e2e`` (a STATS
+        payload's pieces) or a duck-typed runtime to probe live.
+        Breaches increment the ``obs.slo.breaches`` counter.
+        """
+        if not self.targets:
+            return []
+        if containers is None:
+            containers = (self._probe_runtime(runtime, now)
+                          if runtime is not None else [])
+        if e2e is None:
+            e2e = _spanmod.GLOBAL_SPANS.snapshot().get("e2e", {})
+        breaches: List[SloBreach] = []
+        for row in self.evaluate(containers, e2e, now=now):
+            if row["breaching"]:
+                breaches.append(SloBreach(
+                    channel=row["channel"],
+                    objective=row["objective"],
+                    measured=(row["measured"]
+                              if row["measured"] is not None else 0.0),
+                    target=row["target"],
+                    burn_rate=row["burn_rate"],
+                    window_s=row["window_s"],
+                ))
+        if breaches:
+            self.breach_count += len(breaches)
+            _BREACHES.value += len(breaches)
+        return breaches
+
+    def _probe_runtime(self, runtime: Any,
+                       now: Optional[float]) -> List[Dict[str, Any]]:
+        entries: List[Dict[str, Any]] = []
+        for space in runtime.address_spaces():
+            for container in space.containers():
+                try:
+                    age = container.oldest_live_age(now=now)
+                except Exception:  # noqa: BLE001 - racing destroy()
+                    continue
+                entries.append({
+                    "name": container.name,
+                    "oldest_age": age,
+                    "puts": getattr(container, "puts", 0),
+                    "evictions": getattr(container, "evictions", 0),
+                })
+        return entries
+
+    # -- export ----------------------------------------------------------------
+
+    def status_payload(self) -> Dict[str, Any]:
+        """The STATS-embedded view: declared targets, the latest status
+        rows, and the cumulative breach count."""
+        return {
+            "targets": [t.to_dict() for t in self.targets],
+            "status": list(self.last_status),
+            "breaches": self.breach_count,
+        }
+
+
+def _targets_from_env() -> List[SloTarget]:
+    spec = os.environ.get("DSTAMPEDE_SLO", "")
+    if not spec:
+        return []
+    return parse_slo_spec(spec)
+
+
+#: The process-global engine; preloaded from ``DSTAMPEDE_SLO``.
+GLOBAL_SLO = SloEngine(targets=_targets_from_env())

@@ -1,0 +1,438 @@
+"""Item provenance spans: per-hop latency accounting for every item.
+
+The paper's pitch is temporal correlation of streams across address
+spaces; after sharding and the massive-fanout client nobody could answer
+the production question *"how stale is the frame a consumer just got,
+and where did the time go?"*.  Spans answer it: every item carries a
+compact **origin stamp** — the monotonic time of the client-side ``put``
+call, piggybacked on the request frame's optional trailing envelope
+(old frames parse unchanged) — and every hop of the item's journey
+records a span::
+
+    client_put -> coalescer_flush -> lane_dequeue -> container_insert
+               -> shard_forward -> consume -> gc_reclaim
+
+A span is ``(at, hop, subject, offset_us, trace_id)`` where ``offset_us``
+is the time since the origin stamp — the item's age when it reached that
+hop.  Per ``(hop, subject)`` the recorder keeps an offset histogram, and
+per subject a true end-to-end **information latency** histogram observed
+at each consume; :func:`journey_breakdown` turns the hop histograms into
+"where did the millisecond go": the hop whose offset *increment* is the
+largest is where the time went.
+
+Cost model mirrors :mod:`repro.util.trace`: disabled, every hop costs
+one attribute read.  Enabled, **stamped** operations (an origin rode the
+wire — they are RPC-driven and already paid for a socket) always record;
+unstamped local churn is sampled 1-in-:data:`SAMPLE_MASK`+1.
+
+Origin stamps are monotonic clock readings, so cross-space offsets are
+meaningful exactly when the spaces share a monotonic clock — processes
+on one host, the simnet, co-host shard workers — the same validity rule
+as :meth:`repro.util.trace.Tracer.merge`.
+
+Enable with ``DSTAMPEDE_SPANS=1`` or :func:`enable_spans`.  The ring
+travels over the wire via the ``SPAN_DUMP`` op; cross-shard merging
+lives in :mod:`repro.obs.aggregate`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.metrics import LATENCY_US_BOUNDS, Histogram
+from repro.util import trace as tracepoints
+
+__all__ = [
+    "CLIENT_PUT",
+    "COALESCER_FLUSH",
+    "LANE_DEQUEUE",
+    "CONTAINER_INSERT",
+    "SHARD_FORWARD",
+    "CONSUME",
+    "GC_RECLAIM",
+    "HOP_ORDER",
+    "SpanRecorder",
+    "GLOBAL_SPANS",
+    "enable_spans",
+    "disable_spans",
+    "set_context",
+    "current_entry",
+    "current_origin",
+    "origin_context",
+    "journey_breakdown",
+    "render_timeline",
+]
+
+# -- hop names (the item's journey, in order) ---------------------------------
+
+CLIENT_PUT = "client_put"          #: the application called put()
+COALESCER_FLUSH = "coalescer_flush"  #: the cast batch left the client
+LANE_DEQUEUE = "lane_dequeue"      #: a server lane started executing it
+CONTAINER_INSERT = "container_insert"  #: the item landed in its container
+SHARD_FORWARD = "shard_forward"    #: it crossed a shard peer link
+CONSUME = "consume"                #: a consumer declared it done
+GC_RECLAIM = "gc_reclaim"          #: the collector reclaimed it
+
+#: Canonical journey order, used by :func:`journey_breakdown` to compute
+#: per-hop increments.  ``shard_forward`` sits between the lane and the
+#: insert because a forwarded put leaves the accepting shard's lane
+#: before it can land in the owner shard's container.
+HOP_ORDER: Tuple[str, ...] = (
+    CLIENT_PUT, COALESCER_FLUSH, LANE_DEQUEUE, SHARD_FORWARD,
+    CONTAINER_INSERT, CONSUME, GC_RECLAIM,
+)
+
+#: Sampling mask for *unstamped* hot-path spans (a local put with no
+#: origin on the wire).  Stamped operations always record — that is the
+#: end-to-end guarantee — matching :data:`repro.util.trace.SAMPLE_MASK`.
+SAMPLE_MASK = 63
+
+#: Distinct subjects tracked per recorder before new ones collapse into
+#: one overflow bucket — bounds memory when an app churns container names.
+MAX_SUBJECTS = 512
+
+_OVERFLOW_SUBJECT = "__other__"
+
+
+# -- origin-stamp context ------------------------------------------------------
+
+# Thread-local (origin, subject) carried from the client library's put()
+# down to the RPC encode, and on the server from the surrogate's request
+# decode down to the container insert — so hop sites never thread the
+# stamp through their signatures (the same design as trace-id context).
+#
+# The class-level ``entry = None`` default matters: threads that never
+# bound a stamp (every local producer) read the class attribute in
+# ~100ns, where a bare ``threading.local()`` would pay getattr's
+# internal AttributeError on every hot-path check (~5x slower — enough
+# to fail the 5% overhead gate by itself).
+class _SpanContext(threading.local):
+    entry: Optional[Tuple[float, str]] = None
+
+
+_context = _SpanContext()
+
+
+def set_context(entry: Optional[Tuple[float, str]]
+                ) -> Optional[Tuple[float, str]]:
+    """Bind an ``(origin, subject)`` stamp to this thread; returns the
+    previous binding."""
+    prior = _context.entry
+    _context.entry = entry
+    return prior
+
+
+def current_entry() -> Optional[Tuple[float, str]]:
+    """The ``(origin, subject)`` stamp bound to this thread, or None."""
+    return _context.entry
+
+
+def current_origin() -> float:
+    """The origin stamp bound to this thread, or ``0.0``."""
+    entry = _context.entry
+    return entry[0] if entry is not None else 0.0
+
+
+@contextmanager
+def origin_context(origin: float, subject: str) -> Iterator[None]:
+    """Scope an origin stamp to a ``with`` block."""
+    prior = set_context((origin, subject))
+    try:
+        yield
+    finally:
+        set_context(prior)
+
+
+class SpanRecorder:
+    """Per-process span ring plus per-hop / per-subject offset histograms.
+
+    Parameters
+    ----------
+    capacity:
+        Spans retained in the ring; older ones fall off.  The hop and
+        e2e histograms are cumulative and unaffected by ring overflow.
+    enabled:
+        Start recording immediately (disabled recorders cost one
+        attribute read per hop site).
+    clock:
+        Injectable monotonic clock — the simnet localization test drives
+        the recorder deterministically.
+    """
+
+    def __init__(self, capacity: int = 8192, enabled: bool = False,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.enabled = enabled
+        self._clock = clock
+        self._ring: Deque[tuple] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._recorded = 0
+        #: (hop, subject) -> offset Histogram (µs since origin stamp).
+        self._hops: Dict[Tuple[str, str], Histogram] = {}
+        #: subject -> end-to-end information-latency Histogram, observed
+        #: at every consume of a stamped item.
+        self._e2e: Dict[str, Histogram] = {}
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, hop: str, subject: str, origin: float,
+               at: Optional[float] = None,
+               trace_id: Optional[str] = None) -> None:
+        """Record one hop span (no-op while disabled).
+
+        ``origin`` is the item's origin stamp (monotonic seconds); the
+        span's offset is ``at - origin``.  ``at`` defaults to now; the
+        thread's trace id is attached automatically when tracing is on.
+        """
+        if not self.enabled:
+            return
+        if at is None:
+            at = self._clock()
+        if trace_id is None and tracepoints.ACTIVE_IDS[0]:
+            trace_id = tracepoints.current_trace_id()
+        offset_us = (at - origin) * 1e6 if origin else 0.0
+        if offset_us < 0.0:
+            offset_us = 0.0  # clock skew across hosts: clamp, never lie big
+        with self._lock:
+            self._ring.append((at, hop, subject, offset_us, trace_id))
+            self._recorded += 1
+        self._hop_hist(hop, subject).observe(offset_us)
+
+    def consume_span(self, subject: str, origin: float,
+                     at: Optional[float] = None,
+                     trace_id: Optional[str] = None) -> None:
+        """Record the consume hop **and** the subject's e2e latency."""
+        if not self.enabled:
+            return
+        if at is None:
+            at = self._clock()
+        self.record(CONSUME, subject, origin, at=at, trace_id=trace_id)
+        if origin:
+            self._e2e_hist(subject).observe(
+                max(0.0, (at - origin) * 1e6))
+
+    def _hop_hist(self, hop: str, subject: str) -> Histogram:
+        key = (hop, subject)
+        hist = self._hops.get(key)
+        if hist is None:
+            with self._lock:
+                hist = self._hops.get(key)
+                if hist is None:
+                    if len(self._hops) >= MAX_SUBJECTS * len(HOP_ORDER):
+                        key = (hop, _OVERFLOW_SUBJECT)
+                        hist = self._hops.get(key)
+                        if hist is not None:
+                            return hist
+                    hist = self._hops[key] = Histogram(
+                        f"spans.hop.{hop}.{key[1]}",
+                        bounds=LATENCY_US_BOUNDS, unit="us")
+        return hist
+
+    def _e2e_hist(self, subject: str) -> Histogram:
+        hist = self._e2e.get(subject)
+        if hist is None:
+            with self._lock:
+                hist = self._e2e.get(subject)
+                if hist is None:
+                    if len(self._e2e) >= MAX_SUBJECTS:
+                        subject = _OVERFLOW_SUBJECT
+                        hist = self._e2e.get(subject)
+                        if hist is not None:
+                            return hist
+                    hist = self._e2e[subject] = Histogram(
+                        f"spans.e2e.{subject}",
+                        bounds=LATENCY_US_BOUNDS, unit="us")
+        return hist
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop the ring and every histogram."""
+        with self._lock:
+            self._ring.clear()
+            self._recorded = 0
+            self._hops.clear()
+            self._e2e.clear()
+
+    @property
+    def recorded(self) -> int:
+        with self._lock:
+            return self._recorded
+
+    @property
+    def dropped(self) -> int:
+        """Spans that fell off the full ring (histograms saw them all)."""
+        with self._lock:
+            return self._recorded - len(self._ring)
+
+    # -- export ----------------------------------------------------------------
+
+    def export(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """JSON-able dicts of the newest *limit* spans (all when None)."""
+        with self._lock:
+            entries = list(self._ring)
+        if limit is not None:
+            entries = entries[-limit:]
+        out: List[Dict[str, Any]] = []
+        for at, hop, subject, offset_us, trace_id in entries:
+            span: Dict[str, Any] = {
+                "at": at, "hop": hop, "subject": subject,
+                "offset_us": round(offset_us, 3),
+            }
+            if trace_id:
+                span["trace_id"] = trace_id
+            out.append(span)
+        return out
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The STATS-embedded view: histograms only (no ring — it can be
+        large; the ring travels via SPAN_DUMP)."""
+        with self._lock:
+            hop_items = list(self._hops.items())
+            e2e_items = list(self._e2e.items())
+            recorded = self._recorded
+            dropped = self._recorded - len(self._ring)
+        hops: Dict[str, Dict[str, Any]] = {}
+        for (hop, subject), hist in hop_items:
+            if hist.count:
+                hops.setdefault(hop, {})[subject] = hist.snapshot()
+        return {
+            "enabled": self.enabled,
+            "recorded": recorded,
+            "dropped": dropped,
+            "hops": hops,
+            "e2e": {subject: hist.snapshot()
+                    for subject, hist in e2e_items if hist.count},
+        }
+
+    def dump_payload(self, label: str = "",
+                     limit: Optional[int] = None) -> Dict[str, Any]:
+        """The SPAN_DUMP wire payload: snapshot plus the span ring."""
+        payload = self.snapshot()
+        payload["label"] = label
+        payload["spans"] = self.export(limit=limit)
+        return payload
+
+
+#: The process-global recorder every hop site reports into.
+GLOBAL_SPANS = SpanRecorder(
+    enabled=os.environ.get("DSTAMPEDE_SPANS", "") not in ("", "0"))
+
+
+def enable_spans(capacity: Optional[int] = None) -> SpanRecorder:
+    """Turn on the process-global recorder (optionally resizing) and
+    return it for inspection.
+
+    The recorder object is mutated in place, never rebound — hot-path
+    instrumentation caches a reference to it at import time.
+    """
+    if capacity is not None and capacity != GLOBAL_SPANS.capacity:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        with GLOBAL_SPANS._lock:
+            GLOBAL_SPANS.capacity = capacity
+            GLOBAL_SPANS._ring = deque(GLOBAL_SPANS._ring,
+                                       maxlen=capacity)
+    GLOBAL_SPANS.enable()
+    return GLOBAL_SPANS
+
+
+def disable_spans() -> None:
+    """Turn off the process-global recorder."""
+    GLOBAL_SPANS.disable()
+
+
+# A forked shard worker inherits the recorder mid-mutation: the parent's
+# lane/GC threads may hold its lock at the fork instant and never exist
+# in the child to release it.  Fresh lock, empty ring.
+if hasattr(os, "register_at_fork"):  # pragma: no branch - always on Linux
+    def _reinit_after_fork() -> None:
+        recorder = GLOBAL_SPANS
+        recorder._lock = threading.Lock()
+        recorder._ring = deque(maxlen=recorder.capacity)
+        recorder._recorded = 0
+        recorder._hops = {}
+        recorder._e2e = {}
+
+    os.register_at_fork(after_in_child=_reinit_after_fork)
+
+
+# -- analysis ------------------------------------------------------------------
+
+
+def journey_breakdown(snapshot: Dict[str, Any]
+                      ) -> Dict[str, Dict[str, Any]]:
+    """"Where did the time go", per subject, from a spans snapshot.
+
+    For each subject, orders the hop offset medians along
+    :data:`HOP_ORDER` and computes each hop's **increment** over the
+    previous hop; the hop with the largest increment is where the item
+    spent its time.  Works on a single process's snapshot or on the
+    merged cross-shard payload :func:`repro.obs.aggregate.merge_span_dumps`
+    produces.
+    """
+    hops = snapshot.get("hops", {})
+    subjects = {subject
+                for per_subject in hops.values()
+                for subject in per_subject}
+    out: Dict[str, Dict[str, Any]] = {}
+    for subject in sorted(subjects):
+        seq: List[Tuple[str, float]] = []
+        for hop in HOP_ORDER:
+            hist = hops.get(hop, {}).get(subject)
+            if hist and hist.get("count"):
+                seq.append((hop, float(hist.get("p50", 0.0))))
+        if not seq:
+            continue
+        increments: List[Tuple[str, float]] = []
+        prev = 0.0
+        for hop, offset in seq:
+            increments.append((hop, max(0.0, offset - prev)))
+            prev = max(prev, offset)
+        slowest_hop, slowest_delta = max(increments, key=lambda p: p[1])
+        out[subject] = {
+            "hops": seq,
+            "increments": increments,
+            "slowest_hop": slowest_hop,
+            "slowest_delta_us": slowest_delta,
+            "e2e_p50_us": seq[-1][1],
+        }
+    return out
+
+
+def render_timeline(spans: List[Dict[str, Any]]) -> str:
+    """Human-readable chronological rendering of exported span dicts.
+
+    Accepts one process's :meth:`SpanRecorder.export` output or the
+    merged ``spans`` list of a cross-shard SPAN_DUMP (whose entries
+    carry an ``origin_label``).
+    """
+    if not spans:
+        return "(no spans)"
+    ordered = sorted(spans, key=lambda s: s.get("at", 0.0))
+    base = ordered[0].get("at", 0.0)
+    lines = []
+    for span in ordered:
+        offset_ms = (span.get("at", 0.0) - base) * 1e3
+        age_ms = span.get("offset_us", 0.0) / 1e3
+        line = (f"[{offset_ms:10.3f}ms] {span.get('hop', '?'):<17} "
+                f"{span.get('subject', '?'):<24} age={age_ms:9.3f}ms")
+        if span.get("trace_id"):
+            line += f" <{span['trace_id']}>"
+        if span.get("origin_label"):
+            line = f"{span['origin_label']:<10} {line}"
+        lines.append(line)
+    return "\n".join(lines)

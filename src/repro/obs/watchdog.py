@@ -98,6 +98,13 @@ class StallWatchdog:
     clock:
         Injectable monotonic clock — the simnet stall test drives
         ``check`` with a fake clock for determinism.
+    slo:
+        Optional :class:`repro.obs.slo.SloEngine` (duck-typed: anything
+        with ``check(runtime=..., now=...) -> breaches`` whose breaches
+        offer ``as_stall()``).  Each check folds the engine's current
+        breaches into the detection pass as ``slo_breach`` stalls, so
+        SLO violations ride the same trace/counter/``on_stall``
+        delivery as reactor-lag and oldest-age stalls.
     """
 
     def __init__(self, runtime: Optional[Any] = None,
@@ -106,11 +113,13 @@ class StallWatchdog:
                  max_oldest_age: float = 5.0,
                  on_stall: Optional[Callable[[Stall], None]] = None,
                  interval: float = 1.0,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 slo: Optional[Any] = None) -> None:
         if max_loop_lag <= 0 or max_oldest_age <= 0:
             raise ValueError("stall limits must be positive")
         self.runtime = runtime
         self.reactor = reactor
+        self.slo = slo
         self.max_loop_lag = max_loop_lag
         self.max_oldest_age = max_oldest_age
         self.on_stall = on_stall
@@ -172,6 +181,12 @@ class StallWatchdog:
             for space in self.runtime.address_spaces():
                 for container in space.containers():
                     found.extend(self._check_container(container, now))
+        if self.slo is not None:
+            try:
+                breaches = self.slo.check(runtime=self.runtime, now=now)
+            except Exception:  # noqa: BLE001 - observer must not harm
+                breaches = []
+            found.extend(breach.as_stall() for breach in breaches)
         for stall in found:
             self._emit(stall)
         return found

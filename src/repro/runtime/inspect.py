@@ -100,6 +100,8 @@ def observability_snapshot(runtime: Runtime) -> Dict[str, Any]:
     import time
 
     from repro.obs.metrics import GLOBAL_METRICS
+    from repro.obs.slo import GLOBAL_SLO
+    from repro.obs.spans import GLOBAL_SPANS
 
     now = time.monotonic()
     containers = []
@@ -129,6 +131,9 @@ def observability_snapshot(runtime: Runtime) -> Dict[str, Any]:
                 "gets": stats.gets,
                 "consumes": stats.consumes,
                 "reclaimed": stats.reclaimed,
+                # Drop-oldest overflow evictions (0 for queues and
+                # blocking channels); feeds the SLO delivery ratio.
+                "evictions": getattr(container, "evictions", 0),
                 "oldest_age": age,
                 "input_connections": stats.input_connections,
                 "output_connections": stats.output_connections,
@@ -139,13 +144,25 @@ def observability_snapshot(runtime: Runtime) -> Dict[str, Any]:
             if age is not None:
                 entry["blocking"] = container.blocking_connections()
             containers.append(entry)
-    return {
+    payload = {
         "runtime": runtime.name,
         "monotonic": now,
-        "metrics": GLOBAL_METRICS.snapshot(),
         "spaces": spaces,
         "containers": containers,
     }
+    if GLOBAL_SPANS.enabled or GLOBAL_SPANS.recorded:
+        # Histograms only (the hop-offset and e2e information-latency
+        # views); the span ring itself travels via SPAN_DUMP.
+        payload["spans"] = GLOBAL_SPANS.snapshot()
+    if GLOBAL_SLO.targets:
+        GLOBAL_SLO.check(containers=containers,
+                         e2e=payload.get("spans", {}).get("e2e", {}),
+                         now=now)
+        payload["slo"] = GLOBAL_SLO.status_payload()
+    # Metrics go last: the SLO check above may have just incremented
+    # the breach counter, and this snapshot should already show it.
+    payload["metrics"] = GLOBAL_METRICS.snapshot()
+    return payload
 
 
 def total_live_items(runtime: Runtime) -> int:

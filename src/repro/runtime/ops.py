@@ -68,6 +68,8 @@ OP_STATS = 22
 OP_TRACE_DUMP = 23
 OP_SHARD_MAP = 24
 OP_NS_REFRESH = 25
+OP_SPAN_DUMP = 26
+OP_PROF_DUMP = 27
 
 STATUS_OK = 0
 STATUS_ERROR = 1
@@ -272,17 +274,41 @@ OP_SCHEMAS: Dict[int, OpSchema] = {
         args=[("name", "str")],
         results=[("refreshed", "bool")],
     ),
+    OP_SPAN_DUMP: OpSchema(
+        "span_dump",
+        # Drain the cluster's provenance-span ring: newest ``max_spans``
+        # spans (0 = all) plus the per-hop / per-channel e2e latency
+        # histograms, as UTF-8 JSON; ``clear`` empties the recorder
+        # after the read.  A sharded front shard folds every worker's
+        # payload in (see repro/obs/aggregate.py merge_span_dumps).
+        args=[("max_spans", "u32"), ("clear", "bool")],
+        results=[("spans", "bytes")],
+    ),
+    OP_PROF_DUMP: OpSchema(
+        "prof_dump",
+        # Snapshot the continuous profiler's collapsed-stack sample
+        # counts as UTF-8 JSON; ``clear`` resets the counts.  Merged
+        # across shards like SPAN_DUMP; render with tools/flame.py.
+        args=[("clear", "bool")],
+        results=[("profile", "bytes")],
+    ),
 }
 
 #: Diagnostic operations the surrogate serves on a dedicated thread,
 #: bypassing the execution lanes entirely — a cluster whose app
 #: operations are wedged must still answer "what is stuck?".
-OBSERVER_OPS = frozenset({OP_STATS, OP_TRACE_DUMP})
+OBSERVER_OPS = frozenset({OP_STATS, OP_TRACE_DUMP, OP_SPAN_DUMP,
+                          OP_PROF_DUMP})
 
 #: Reserved args key carrying the optional trace-id envelope field out
 #: of :func:`decode_request`.  Underscore-prefixed so it can never
 #: collide with a schema field name.
 TRACE_ID_KEY = "_trace_id"
+
+#: Reserved args key carrying the optional origin-stamp envelope field
+#: (the client-side monotonic put time, seconds) out of
+#: :func:`decode_request`.  Same reservation rule as TRACE_ID_KEY.
+ORIGIN_KEY = "_origin"
 
 #: Cast opcodes the client coalescer may gather into a batch envelope,
 #: mapped to the envelope opcode that carries them.
@@ -321,8 +347,9 @@ IDEMPOTENT_OPS = frozenset({
     OP_SET_REALTIME,
     OP_GC_REPORT,
     OP_INSPECT,
-    # STATS is a pure read.  TRACE_DUMP is deliberately absent: with
-    # ``clear`` set it drains the ring, so a blind replay loses events.
+    # STATS is a pure read.  TRACE_DUMP, SPAN_DUMP and PROF_DUMP are
+    # deliberately absent: with ``clear`` set they drain their rings,
+    # so a blind replay loses events.
     OP_STATS,
     OP_SHARD_MAP,  # pure read of static cluster topology
     OP_NS_REFRESH,  # refreshing twice equals refreshing once
@@ -467,28 +494,35 @@ del _opcode, _schema, _stub
 
 
 def encode_request(request_id: int, opcode: int, args: Dict[str, Any],
-                   trace_id: Optional[str] = None) -> bytes:
+                   trace_id: Optional[str] = None,
+                   origin: float = 0.0) -> bytes:
     """Build a request frame.
 
     *trace_id*, when given, is appended after the schema args as an
-    **optional trailing envelope field** (an XDR string).  Frames
-    without it are byte-identical to the pre-trace-id wire format, so
-    the field costs nothing unless tracing is active and stays off the
-    wire entirely for untraced peers.
+    **optional trailing envelope field** (an XDR string).  *origin*,
+    when non-zero, is the item's provenance stamp — the client-side
+    monotonic put time in seconds — appended as a second trailing field
+    (an XDR double) after the trace id; a frame carrying an origin but
+    no trace id packs an empty trace-id string as placeholder so the
+    fields stay positional.  Frames without either are byte-identical
+    to the pre-envelope wire format, so the fields cost nothing unless
+    tracing/spans are active and stay off the wire for untraced peers.
     """
-    if not trace_id:
+    if not trace_id and not origin:
         stub = _REQUEST_STUBS.get(opcode)
         if stub is not None:
             try:
                 return stub(request_id, args)
             except (KeyError, TypeError, AttributeError, struct.error):
                 pass  # re-run generically for exact error semantics
-    return _encode_request_generic(request_id, opcode, args, trace_id)
+    return _encode_request_generic(request_id, opcode, args, trace_id,
+                                   origin)
 
 
 def _encode_request_generic(request_id: int, opcode: int,
                             args: Dict[str, Any],
-                            trace_id: Optional[str] = None) -> bytes:
+                            trace_id: Optional[str] = None,
+                            origin: float = 0.0) -> bytes:
     schema = OP_SCHEMAS.get(opcode)
     if schema is None:
         raise RpcError(f"unknown opcode {opcode}")
@@ -496,8 +530,10 @@ def _encode_request_generic(request_id: int, opcode: int,
     enc.pack_uint(request_id)
     enc.pack_uint(opcode)
     _pack_fields(enc, schema.args, args)
-    if trace_id:
-        enc.pack_string(trace_id)
+    if trace_id or origin:
+        enc.pack_string(trace_id or "")
+    if origin:
+        enc.pack_double(origin)
     return enc.getvalue()
 
 
@@ -512,8 +548,11 @@ def decode_request(frame: bytes,
     buffer and the container.  Views are only valid while *frame* is.
 
     If the frame carries the optional trailing trace-id envelope field,
-    it is delivered in *args* under :data:`TRACE_ID_KEY`; old-format
-    frames (no trailing field) decode exactly as before.
+    it is delivered in *args* under :data:`TRACE_ID_KEY` (when
+    non-empty — an empty string is the placeholder an origin-only frame
+    packs); a second trailing origin-stamp field is delivered under
+    :data:`ORIGIN_KEY`.  Old-format frames (no trailing fields) decode
+    exactly as before.
     """
     dec = XdrDecoder(frame)
     request_id = dec.unpack_uint()
@@ -523,7 +562,11 @@ def decode_request(frame: bytes,
         raise DecodeError(f"unknown opcode {opcode} in request")
     args = _unpack_fields(dec, schema.args, bytes_as_view=payload_views)
     if dec.remaining:
-        args[TRACE_ID_KEY] = dec.unpack_string()
+        trace_id = dec.unpack_string()
+        if trace_id:
+            args[TRACE_ID_KEY] = trace_id
+        if dec.remaining:
+            args[ORIGIN_KEY] = dec.unpack_double()
     dec.done()
     return request_id, opcode, args
 

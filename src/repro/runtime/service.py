@@ -459,6 +459,39 @@ class SessionService:
             GLOBAL_TRACER.clear()
         return {"events": json.dumps(payload, default=str).encode("utf-8")}
 
+    def _op_span_dump(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        import json
+
+        from repro.obs.spans import GLOBAL_SPANS
+
+        max_spans = args.get("max_spans", 0)
+        payload = GLOBAL_SPANS.dump_payload(
+            label=self.runtime.name, limit=max_spans or None)
+        if args.get("clear"):
+            GLOBAL_SPANS.clear()
+        if self._router is not None and self._router.fanout:
+            # Fold every shard worker's ring + histograms into one
+            # cluster timeline (same non-recursion rule as STATS).
+            payload = self._router.merged_spans(
+                payload, max_spans=max_spans,
+                clear=bool(args.get("clear")))
+        return {"spans": json.dumps(payload, default=str).encode("utf-8")}
+
+    def _op_prof_dump(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        import json
+
+        from repro.obs.profiler import GLOBAL_PROFILER
+
+        payload = GLOBAL_PROFILER.snapshot()
+        payload["label"] = self.runtime.name
+        if args.get("clear"):
+            GLOBAL_PROFILER.clear()
+        if self._router is not None and self._router.fanout:
+            payload = self._router.merged_profile(
+                payload, clear=bool(args.get("clear")))
+        return {"profile": json.dumps(payload,
+                                      default=str).encode("utf-8")}
+
     _DISPATCH = {
         ops.OP_HELLO: _op_hello,
         ops.OP_CREATE_CHANNEL: _op_create_channel,
@@ -483,6 +516,8 @@ class SessionService:
         ops.OP_TRACE_DUMP: _op_trace_dump,
         ops.OP_SHARD_MAP: _op_shard_map,
         ops.OP_NS_REFRESH: _op_ns_refresh,
+        ops.OP_SPAN_DUMP: _op_span_dump,
+        ops.OP_PROF_DUMP: _op_prof_dump,
     }
 
     # -- connection table -------------------------------------------------------------
@@ -503,6 +538,19 @@ class SessionService:
         if connection is None:
             raise RpcError(f"unknown connection id {wire_id}")
         return connection
+
+    def connection_container(self, wire_id: Any) -> Optional[str]:
+        """Container name behind *wire_id*, or None (unknown id, or a
+        forwarded connection whose container lives on another shard).
+        Span instrumentation uses this to label lane-dequeue hops."""
+        with self._lock:
+            connection = self._connections.get(wire_id)
+        if connection is None:
+            return None
+        container = getattr(connection, "container", None)
+        if container is not None:
+            return getattr(container, "name", None)
+        return getattr(connection, "container_name", None)
 
     def _take_connection(self, wire_id: int) -> Connection:
         with self._lock:

@@ -70,8 +70,13 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import StampedeError
-from repro.obs.aggregate import merge_stats_snapshots
+from repro.obs.aggregate import (
+    merge_profile_dumps,
+    merge_span_dumps,
+    merge_stats_snapshots,
+)
 from repro.obs.metrics import GLOBAL_METRICS
+from repro.obs import spans as _spanmod
 from repro.util.logging import get_logger
 
 _log = get_logger("runtime.shards")
@@ -348,6 +353,49 @@ class ShardRouter:
                 _log.warning("shard %d unreachable for STATS merge", sid)
         return merge_stats_snapshots(snaps, shard_ids)
 
+    def merged_spans(self, local_payload: Dict[str, Any],
+                     max_spans: int = 0,
+                     clear: bool = False) -> Dict[str, Any]:
+        """Fold every shard's SPAN_DUMP payload into one timeline.
+
+        Shards share the host's monotonic clock, so re-sorting the
+        combined ring by record time yields a true cluster-wide
+        interleaving — the cross-shard forward on shard A and the
+        container insert on shard B appear in causal order.
+        """
+        payloads: List[Dict[str, Any]] = [local_payload]
+        labels: List[str] = [
+            str(local_payload.get("label") or f"shard{self.shard_id}")]
+        for sid in range(self.nshards):
+            if sid == self.shard_id:
+                continue
+            try:
+                payloads.append(self.peer_client(sid).span_dump(
+                    max_spans=max_spans, clear=clear))
+                labels.append(f"shard{sid}")
+            except StampedeError:
+                _log.warning(
+                    "shard %d unreachable for SPAN_DUMP merge", sid)
+        return merge_span_dumps(payloads, labels)
+
+    def merged_profile(self, local_payload: Dict[str, Any],
+                       clear: bool = False) -> Dict[str, Any]:
+        """Sum every shard's collapsed-stack profile into one."""
+        payloads: List[Dict[str, Any]] = [local_payload]
+        for sid in range(self.nshards):
+            if sid == self.shard_id:
+                continue
+            try:
+                payloads.append(self.peer_client(sid).prof_dump(
+                    clear=clear))
+            except StampedeError:
+                _log.warning(
+                    "shard %d unreachable for PROF_DUMP merge", sid)
+        merged = merge_profile_dumps(payloads)
+        merged["label"] = str(local_payload.get("label") or
+                              f"shard{self.shard_id}")
+        return merged
+
     def merged_gc_report(self, local: Tuple[int, int, int]
                          ) -> Tuple[int, int, int]:
         """Sum ``(sweeps, items, bytes)`` across every shard."""
@@ -418,6 +466,15 @@ class _ForwardedConnection:
 
     def put(self, timestamp: int, value: Any, size: int = 0,
             block: bool = True, timeout: Optional[float] = None) -> None:
+        # The surrogate bound this lane thread's span context from the
+        # frame's origin stamp; mark the hand-off hop here, and the peer
+        # link's RPC layer re-stamps the forwarded frame from the same
+        # context — the owner shard's insert lands on the original
+        # timeline, not a fresh one.
+        entry = _spanmod.current_entry()
+        if entry is not None and _spanmod.GLOBAL_SPANS.enabled:
+            _spanmod.GLOBAL_SPANS.record(
+                _spanmod.SHARD_FORWARD, self.container_name, entry[0])
         self._remote.put(timestamp, value, block=block, timeout=timeout)
 
     def get(self, timestamp: Any, block: bool = True,

@@ -44,6 +44,7 @@ from repro.errors import (
     TransportClosedError,
 )
 from repro.obs.metrics import COUNT_BOUNDS, GLOBAL_METRICS as _metrics
+from repro.obs import spans as _spanmod
 from repro.runtime import lanes, ops
 from repro.runtime.reactor import Reactor
 from repro.runtime.service import SessionService
@@ -455,6 +456,10 @@ class Surrogate:
         worker (the lane runner translates that into STOP), else None.
         """
         trace_id = args.pop(ops.TRACE_ID_KEY, None)
+        origin = args.pop(ops.ORIGIN_KEY, 0.0)
+        if origin and _spanmod.GLOBAL_SPANS.enabled:
+            return self._handle_stamped(
+                request_id, opcode, args, trace_id, origin)
         t0 = time.monotonic() if _metrics.enabled else 0.0
         if trace_id is None:
             outcome = self._handle_inner(request_id, opcode, args)
@@ -472,6 +477,33 @@ class Surrogate:
         if t0:
             _op_hist(opcode).observe((time.monotonic() - t0) * 1e6)
         return outcome
+
+    def _handle_stamped(self, request_id: int, opcode: int, args,
+                        trace_id, origin: float) -> object:
+        """Handle a request carrying a provenance origin stamp.
+
+        Records the LANE_DEQUEUE hop (the origin→here offset is exactly
+        the time the frame spent in flight plus queued on its lane) and
+        binds the (origin, subject) span context so downstream hops —
+        the container's insert, a cross-shard forward, the eventual GC
+        reclaim — measure against the same birth instant.  Delegates
+        back to :meth:`_handle` with the origin consumed, so the normal
+        trace/timing path runs unchanged inside the span context.
+        """
+        subject = self.service.connection_container(
+            args.get("connection_id"))
+        if subject is None:
+            schema = ops.OP_SCHEMAS.get(opcode)
+            subject = schema.name if schema else f"op{opcode}"
+        _spanmod.GLOBAL_SPANS.record(
+            _spanmod.LANE_DEQUEUE, subject, origin, trace_id=trace_id)
+        if trace_id is not None:
+            args[ops.TRACE_ID_KEY] = trace_id
+        prior = _spanmod.set_context((origin, subject))
+        try:
+            return self._handle(request_id, opcode, args)
+        finally:
+            _spanmod.set_context(prior)
 
     def _execute(self, request_id: int, opcode: int, args):
         """``service.execute`` with lane-liveness protection.
@@ -506,6 +538,16 @@ class Surrogate:
         client = lanes.current_client()
         assert client is not None
         client.suspend()
+        # _handle already consumed the frame's trace/origin envelope, so
+        # the re-entry would run contextless.  Re-attach whatever this
+        # lane thread currently carries: the worker's container insert
+        # then still lands on the item's original timeline.
+        trace_id = tracepoints.current_trace_id()
+        if trace_id is not None:
+            args[ops.TRACE_ID_KEY] = trace_id
+        entry = _spanmod.current_entry()
+        if entry is not None:
+            args[ops.ORIGIN_KEY] = entry[0]
 
         def _work() -> None:
             try:

@@ -1,0 +1,164 @@
+"""Flamegraph-text renderer for the continuous profiler.
+
+Takes collapsed-stack sample counters (the PROF_DUMP payload of
+:mod:`repro.obs.profiler`, possibly merged across shard workers) and
+renders them as an indented call tree with per-frame sample percentages
+and bars — a flamegraph readable in a terminal, no external tooling::
+
+    python -m repro.tools.flame --host 127.0.0.1 --port 7070
+    python -m repro.tools.flame --collapsed dump.txt --min-pct 1.0
+
+Also exposes :func:`merge_collapsed` (sum counters stack-by-stack) and
+:func:`render_flame` for programmatic use (``examples/flight_recorder.py``
+writes its flamegraph artifact through them).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+__all__ = [
+    "merge_collapsed",
+    "parse_collapsed",
+    "render_flame",
+    "main",
+]
+
+
+def merge_collapsed(dumps: Iterable[Mapping[str, int]]) -> Dict[str, int]:
+    """Sum collapsed-stack counters stack-by-stack.
+
+    Because stacks are function-granular strings, merging across
+    processes (shard workers, clients) is exact addition.
+    """
+    merged: Dict[str, int] = {}
+    for dump in dumps:
+        for stack, count in dump.items():
+            merged[stack] = merged.get(stack, 0) + int(count)
+    return merged
+
+
+def parse_collapsed(text: str) -> Dict[str, int]:
+    """Parse classic ``stack count`` collapsed-stack lines."""
+    samples: Dict[str, int] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        stack, _, count = line.rpartition(" ")
+        if not stack:
+            continue
+        try:
+            samples[stack] = samples.get(stack, 0) + int(count)
+        except ValueError:
+            continue
+    return samples
+
+
+class _Node:
+    __slots__ = ("count", "children")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.children: Dict[str, "_Node"] = {}
+
+
+def _build_tree(samples: Mapping[str, int]) -> _Node:
+    root = _Node()
+    for stack, count in samples.items():
+        node = root
+        node.count += count
+        for frame in stack.split(";"):
+            child = node.children.get(frame)
+            if child is None:
+                child = node.children[frame] = _Node()
+            child.count += count
+            node = child
+    return root
+
+
+def render_flame(samples: Mapping[str, int], min_pct: float = 0.5,
+                 bar_width: int = 20) -> str:
+    """Render collapsed-stack counters as indented flamegraph text.
+
+    Frames holding fewer than ``min_pct`` percent of all samples are
+    pruned (their time still shows in their ancestors).  Siblings are
+    ordered hottest-first.
+    """
+    total = sum(samples.values())
+    if not total:
+        return "(no samples)"
+    root = _build_tree(samples)
+    lines: List[str] = [f"total samples: {total}"]
+
+    def walk(node: _Node, depth: int) -> None:
+        ordered = sorted(node.children.items(),
+                         key=lambda kv: kv[1].count, reverse=True)
+        for frame, child in ordered:
+            pct = 100.0 * child.count / total
+            if pct < min_pct:
+                continue
+            bar = "#" * max(1, round(bar_width * child.count / total))
+            lines.append(
+                f"{pct:6.2f}% {bar:<{bar_width}} "
+                f"{'  ' * depth}{frame} ({child.count})")
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.flame",
+        description="Render a cluster's continuous-profiler samples as "
+                    "flamegraph text.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7070)
+    parser.add_argument("--collapsed", action="append", default=[],
+                        metavar="FILE",
+                        help="render/merge collapsed-stack file(s) "
+                             "instead of querying a server")
+    parser.add_argument("--min-pct", type=float, default=0.5,
+                        help="prune frames below this percent of "
+                             "samples (default 0.5)")
+    parser.add_argument("--clear", action="store_true",
+                        help="reset the server's sample counters after "
+                             "the read")
+    parser.add_argument("--json", action="store_true",
+                        help="print the raw profile payload instead of "
+                             "the rendering")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.collapsed:
+        dumps = []
+        for path in args.collapsed:
+            with open(path, "r", encoding="utf-8") as fh:
+                dumps.append(parse_collapsed(fh.read()))
+        samples = merge_collapsed(dumps)
+        payload: Dict[str, Any] = {"samples": samples,
+                                   "sample_count": sum(samples.values())}
+    else:
+        from repro.client.client import StampedeClient
+
+        with StampedeClient(args.host, args.port,
+                            client_name="flame") as client:
+            payload = client.prof_dump(clear=args.clear)
+        samples = payload.get("samples", {})
+    if args.json:
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(render_flame(samples, min_pct=args.min_pct))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

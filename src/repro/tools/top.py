@@ -62,6 +62,16 @@ def _fmt_age(value: Optional[float]) -> str:
     return "-" if value is None else f"{value:.2f}s"
 
 
+def _journeys(snap: Dict[str, Any]) -> Dict[str, Any]:
+    """Per-channel hop breakdowns from the STATS spans section."""
+    section = snap.get("spans")
+    if not section:
+        return {}
+    from repro.obs.spans import journey_breakdown
+
+    return journey_breakdown(section)
+
+
 def render_dashboard(snap: Dict[str, Any], top_ops: int = 8) -> str:
     """Render one STATS payload as the text dashboard."""
     metrics = snap.get("metrics", {})
@@ -122,9 +132,13 @@ def render_dashboard(snap: Dict[str, Any], top_ops: int = 8) -> str:
         f"encode-cache {hits}/{encodes} hits ({hit_ratio})"
     )
 
+    e2e = snap.get("spans", {}).get("e2e", {})
+    sharded = snap.get("shards", 1) > 1
     lines.append("")
     lines.append(f"{'container':<24}{'kind':<9}{'live':>6}{'bytes':>10}"
-                 f"{'puts':>8}{'reclaim':>8}{'oldest':>9}  blocked-by")
+                 f"{'puts':>8}{'reclaim':>8}{'oldest':>9}{'e2e p99':>10}"
+                 + ("{:>6}".format("shard") if sharded else "")
+                 + "  blocked-by")
     for entry in snap.get("containers", []):
         suspects = ", ".join(
             str(s.get("owner") or f"conn-{s.get('connection_id')}")
@@ -134,8 +148,61 @@ def render_dashboard(snap: Dict[str, Any], top_ops: int = 8) -> str:
             f"{entry['name']:<24.24}{entry['kind']:<9}"
             f"{entry['live_items']:>6}{entry['live_bytes']:>10}"
             f"{entry['puts']:>8}{entry['reclaimed']:>8}"
-            f"{_fmt_age(entry.get('oldest_age')):>9}  {suspects}"
+            f"{_fmt_age(entry.get('oldest_age')):>9}"
+            f"{_fmt_us(e2e.get(entry['name'], {}).get('p99')):>10}"
+            + (f"{entry.get('shard', '-'):>6}" if sharded else "")
+            + f"  {suspects}"
         )
+    if sharded:
+        # One breakdown row per shard: where the data and the load
+        # actually sit, so a hot shard is visible at a glance.
+        per_shard: Dict[Any, Dict[str, int]] = {}
+        for entry in snap.get("containers", []):
+            row = per_shard.setdefault(
+                entry.get("shard", "-"),
+                {"containers": 0, "live": 0, "bytes": 0, "puts": 0})
+            row["containers"] += 1
+            row["live"] += entry.get("live_items", 0)
+            row["bytes"] += entry.get("live_bytes", 0)
+            row["puts"] += entry.get("puts", 0)
+        lines.append("")
+        lines.append(f"{'shard':<8}{'containers':>11}{'live':>8}"
+                     f"{'bytes':>12}{'puts':>10}")
+        for shard in sorted(per_shard, key=str):
+            row = per_shard[shard]
+            lines.append(
+                f"{shard!s:<8}{row['containers']:>11}{row['live']:>8}"
+                f"{row['bytes']:>12}{row['puts']:>10}"
+            )
+
+    journeys = _journeys(snap)
+    if journeys:
+        lines.append("")
+        lines.append(f"{'item journey':<24}{'e2e p50':>10}"
+                     f"{'slowest hop':>18}{'cost':>10}")
+        for subject, detail in sorted(journeys.items()):
+            lines.append(
+                f"{subject:<24.24}"
+                f"{_fmt_us(detail.get('e2e_p50_us')):>10}"
+                f"{detail.get('slowest_hop') or '-':>18}"
+                f"{_fmt_us(detail.get('slowest_delta_us')):>10}"
+            )
+
+    slo = snap.get("slo", {})
+    if slo.get("status"):
+        lines.append("")
+        lines.append(f"{'slo (channel/objective)':<34}{'measured':>12}"
+                     f"{'target':>10}{'burn':>8}  state")
+        for row in slo["status"]:
+            measured = row.get("measured")
+            lines.append(
+                f"{row.get('channel', '?') + '/' + row.get('objective', '?'):<34.34}"
+                f"{'-' if measured is None else f'{measured:.4g}':>12}"
+                f"{row.get('target', 0):>10.4g}"
+                f"{row.get('burn_rate', 0):>8.2f}"
+                f"  {'BREACH' if row.get('breaching') else 'ok'}"
+            )
+        lines.append(f"slo breaches since start: {slo.get('breaches', 0)}")
 
     server_ops = [
         (name[len("rpc.server."):-len("_us")], hist)
@@ -170,7 +237,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             elif args.prom:
                 from repro.obs.prom import render
 
-                print(render(snap.get("metrics", {})), end="")
+                # The whole payload: the exporter adds the per-channel
+                # e2e histograms and SLO series when present.
+                print(render(snap), end="")
             else:
                 print(render_dashboard(snap, top_ops=args.top_ops))
             if args.once:

@@ -257,6 +257,68 @@ class TestHeartbeatParity:
             watcher.close()
 
 
+class TestMetricParity:
+    @staticmethod
+    def _usage(snapshot):
+        """name -> observation count for the *lazy* instruments."""
+        usage = {name: hist["count"]
+                 for name, hist in snapshot.get("histograms", {}).items()}
+        for name, probe in snapshot.get("probes", {}).items():
+            usage[name] = probe["ops"]
+        return usage
+
+    def test_sync_aio_instrument_name_parity(self, cluster):
+        """The aio stack must mirror every sync client instrument.
+
+        Drives the identical workload (batched casts, a sync barrier, a
+        get/consume) through both stacks with metrics on, then asserts
+        the instrument names under ``rpc.client.*`` and ``rpc.aio.*``
+        agree suffix-for-suffix — a dashboard written against one stack
+        reads the other unchanged.  Counters (the flush-reason mix) are
+        registered eagerly at import so their *names* compare directly;
+        the per-op histograms are created lazily per opcode used, so
+        those compare as a delta against a baseline snapshot — under
+        ``DSTAMPEDE_METRICS=1`` the process-global registry already
+        holds histograms from whatever ops *earlier tests* happened to
+        drive through one stack but not the other, and which flush
+        reasons fire is scheduler timing, not stack behaviour.
+        """
+        from repro.obs.metrics import GLOBAL_METRICS
+        _runtime, server = cluster
+        prior = GLOBAL_METRICS.enabled
+        GLOBAL_METRICS.enabled = True
+        try:
+            before = self._usage(
+                GLOBAL_METRICS.snapshot(include_collectors=False))
+            for kind in KINDS:
+                with _make_client(kind, server,
+                                  client_name=f"{kind}-metrics",
+                                  batching=True,
+                                  batch_linger=0.001) as c:
+                    c.create_channel(f"metrics-{kind}")
+                    out = c.attach(f"metrics-{kind}", ConnectionMode.OUT)
+                    inp = c.attach(f"metrics-{kind}", ConnectionMode.IN)
+                    for ts in range(10):
+                        out.put(ts, f"item-{ts}", sync=False)
+                    out.put(10, "barrier")
+                    assert inp.get(0, timeout=5.0)[0] == 0
+                    inp.consume(0)
+            snap = GLOBAL_METRICS.snapshot(include_collectors=False)
+            touched = {name for name, level in self._usage(snap).items()
+                       if level != before.get(name, 0)}
+            touched |= set(snap.get("counters", {}))
+            sync_suffixes = {name[len("rpc.client."):]
+                             for name in touched
+                             if name.startswith("rpc.client.")}
+            aio_suffixes = {name[len("rpc.aio."):]
+                            for name in touched
+                            if name.startswith("rpc.aio.")}
+            assert sync_suffixes, "sync workload recorded no instruments"
+            assert sync_suffixes == aio_suffixes
+        finally:
+            GLOBAL_METRICS.enabled = prior
+
+
 @pytest.mark.parametrize("kind", KINDS)
 class TestFaultWeatherParity:
     def test_stream_survives_drops_and_a_sever(self, cluster, kind):

@@ -7,6 +7,9 @@ merged output against a single Histogram fed the union of the samples.
 
 from __future__ import annotations
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.obs.aggregate import (
     merge_histogram_snapshots,
     merge_metrics_snapshots,
@@ -102,3 +105,90 @@ class TestStatsMerge:
 
     def test_empty(self):
         assert merge_stats_snapshots([]) == {}
+
+
+class TestConcurrentMergeProperty:
+    """Hypothesis: merging shard snapshots taken while writer threads
+    are still observing must (a) never produce a malformed snapshot and
+    (b) after the writers finish, agree with a single-registry oracle
+    to within one bucket boundary on every headline quantile.
+
+    Bucket granularity is the strongest guarantee a fixed-ladder
+    histogram can give: two value streams that land in the same buckets
+    are indistinguishable, so the merged quantile may sit anywhere in
+    the oracle quantile's bucket (or the interpolation may spill into a
+    neighbour) — hence "within one bucket", not exact equality.
+    """
+
+    @staticmethod
+    def _bucket_index(hist, value):
+        from bisect import bisect_left
+        if value is None:
+            return None
+        return bisect_left(list(hist.bounds), value)
+
+    @given(
+        shards=st.lists(
+            st.lists(st.floats(min_value=0.0, max_value=2e6,
+                               allow_nan=False, allow_infinity=False),
+                     min_size=1, max_size=120),
+            min_size=1, max_size=4,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_merged_quantiles_match_single_registry_oracle(self, shards):
+        import threading
+
+        from repro.obs.aggregate import merge_histogram_snapshots
+        from repro.obs.metrics import Histogram
+
+        hists = [Histogram(f"shard{i}", unit="us")
+                 for i in range(len(shards))]
+        start = threading.Barrier(len(shards) + 1)
+        done = threading.Event()
+
+        def _writer(hist, values):
+            start.wait()
+            for value in values:
+                hist.observe(value)
+
+        threads = [
+            threading.Thread(target=_writer, args=(h, vals), daemon=True)
+            for h, vals in zip(hists, shards)
+        ]
+        for t in threads:
+            t.start()
+        start.wait()
+        # Merge *while* the writers mutate: the result must be sane
+        # (well-formed, monotone cumulative counts) even if it reflects
+        # a torn moment in time.
+        total = sum(len(vals) for vals in shards)
+        while not done.is_set():
+            mid = merge_histogram_snapshots([h.snapshot() for h in hists])
+            if mid:
+                counts = [c for _b, c in mid["buckets"]]
+                assert all(c >= 0 for c in counts)
+                assert 0 <= sum(counts) + mid["overflow"] <= total + \
+                    len(shards)  # one racing observe per shard at most
+            if all(not t.is_alive() for t in threads):
+                done.set()
+        for t in threads:
+            t.join()
+
+        merged = merge_histogram_snapshots([h.snapshot() for h in hists])
+        oracle = Histogram("oracle", unit="us")
+        for values in shards:
+            for value in values:
+                oracle.observe(value)
+        snap = oracle.snapshot()
+        assert merged["count"] == snap["count"]
+        assert merged["overflow"] == snap["overflow"]
+        assert [c for _b, c in merged["buckets"]] == \
+            [c for _b, c in snap["buckets"]]
+        for quantile in ("p50", "p95", "p99"):
+            got = self._bucket_index(oracle, merged.get(quantile))
+            want = self._bucket_index(oracle, snap.get(quantile))
+            assert got is not None and want is not None
+            assert abs(got - want) <= 1, (
+                f"{quantile}: merged {merged.get(quantile)} vs oracle "
+                f"{snap.get(quantile)} differ by more than one bucket")

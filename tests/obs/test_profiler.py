@@ -1,0 +1,156 @@
+"""Tests for the sampling continuous profiler (repro.obs.profiler) and
+its flamegraph-text renderer (repro.tools.flame)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import profiler as profmod
+from repro.obs.profiler import StackProfiler
+from repro.tools.flame import (
+    build_parser,
+    merge_collapsed,
+    parse_collapsed,
+    render_flame,
+)
+
+
+class TestStackProfiler:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            StackProfiler(interval=0)
+
+    def test_sample_once_sees_a_live_thread(self):
+        prof = StackProfiler()
+        ready = threading.Event()
+        stop = threading.Event()
+
+        def parked_in_wait():
+            ready.set()
+            stop.wait(timeout=10.0)
+
+        t = threading.Thread(target=parked_in_wait,
+                             name="profilee", daemon=True)
+        t.start()
+        ready.wait(timeout=5.0)
+        try:
+            prof.sample_once()
+        finally:
+            stop.set()
+            t.join()
+        snap = prof.snapshot()
+        assert snap["sample_count"] >= 1
+        mine = [s for s in snap["samples"] if s.startswith("profilee;")]
+        assert mine, snap["samples"]
+        # Function-granular frames: "name (file.py)", leaf last.
+        (stack,) = mine
+        frames = stack.split(";")[1:]
+        assert all("(" in f and f.endswith(")") for f in frames)
+        assert any("parked_in_wait" in f for f in frames)
+
+    def test_never_profiles_the_sampling_thread(self):
+        prof = StackProfiler()
+        prof.sample_once()  # sampling from this thread directly
+        me = threading.current_thread().name
+        assert not any(s.startswith(f"{me};")
+                       for s in prof.snapshot()["samples"])
+
+    def test_collapsed_text_roundtrips(self):
+        prof = StackProfiler()
+        with prof._lock:
+            prof._samples = {"t;outer (a.py);inner (a.py)": 3,
+                             "t;other (b.py)": 1}
+            prof._sample_count = 4
+        parsed = parse_collapsed(prof.collapsed())
+        assert parsed == {"t;outer (a.py);inner (a.py)": 3,
+                          "t;other (b.py)": 1}
+
+    def test_start_stop_idempotent(self):
+        prof = StackProfiler(interval=0.005)
+        try:
+            assert prof.start() is prof
+            assert prof.start() is prof  # second start is a no-op
+            assert prof.running
+            deadline = time.monotonic() + 5.0
+            while prof.sample_count == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert prof.sample_count > 0
+        finally:
+            prof.stop()
+        assert not prof.running
+        prof.stop()  # stopping a stopped profiler is fine
+
+    def test_clear(self):
+        prof = StackProfiler()
+        prof.sample_once()
+        prof.clear()
+        assert prof.sample_count == 0
+        assert prof.snapshot()["samples"] == {}
+
+
+class TestGlobalProfiler:
+    def test_start_profiler_retunes_interval(self):
+        was_running = profmod.GLOBAL_PROFILER.running
+        interval0 = profmod.GLOBAL_PROFILER.interval
+        try:
+            prof = profmod.start_profiler(interval=0.123)
+            assert prof is profmod.GLOBAL_PROFILER
+            assert prof.interval == 0.123
+            assert prof.running
+        finally:
+            profmod.stop_profiler()
+            profmod.GLOBAL_PROFILER.interval = interval0
+            if was_running:
+                profmod.GLOBAL_PROFILER.start()
+        assert was_running or not profmod.GLOBAL_PROFILER.running
+
+
+class TestFlame:
+    def test_merge_collapsed_sums_exactly(self):
+        merged = merge_collapsed([
+            {"t;a (x.py)": 2, "t;a (x.py);b (x.py)": 1},
+            {"t;a (x.py)": 3, "t;c (y.py)": 4},
+        ])
+        assert merged == {"t;a (x.py)": 5,
+                          "t;a (x.py);b (x.py)": 1,
+                          "t;c (y.py)": 4}
+
+    def test_parse_collapsed_ignores_junk(self):
+        parsed = parse_collapsed(
+            "t;a (x.py) 3\n"
+            "\n"
+            "not-a-count-line\n"
+            "t;a (x.py) 2\n")
+        assert parsed == {"t;a (x.py)": 5}
+
+    def test_render_flame_tree_and_pruning(self):
+        samples = {
+            "main;hot (a.py);leaf (a.py)": 80,
+            "main;hot (a.py)": 10,
+            "main;cold (b.py)": 10,
+            "main;noise (c.py)": 1,
+        }
+        text = render_flame(samples, min_pct=5.0)
+        lines = text.splitlines()
+        assert lines[0] == "total samples: 101"
+        # Root frame holds everything; hottest-first ordering.
+        assert "main" in lines[1] and "100.00%" in lines[1]
+        hot_line = next(i for i, l in enumerate(lines) if "hot (a.py)" in l)
+        cold_line = next(i for i, l in enumerate(lines)
+                         if "cold (b.py)" in l)
+        assert hot_line < cold_line
+        # Sub-threshold frames pruned; ancestors keep their time.
+        assert "noise (c.py)" not in text
+        assert "leaf (a.py)" in text
+
+    def test_render_flame_empty(self):
+        assert render_flame({}) == "(no samples)"
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.port == 7070
+        assert args.min_pct == 0.5
+        assert not args.clear

@@ -1,0 +1,237 @@
+"""Tests for the declarative SLO engine (repro.obs.slo)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.slo import SloEngine, SloTarget, parse_slo_spec
+from repro.obs.watchdog import StallWatchdog
+
+
+class _FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> float:
+        self.now += dt
+        return self.now
+
+
+def _e2e(p99_us: float):
+    return {"count": 10, "p99": p99_us}
+
+
+class TestSloTarget:
+    def test_requires_an_objective(self):
+        with pytest.raises(ValueError):
+            SloTarget("video")
+
+    def test_validates_window_and_budget(self):
+        with pytest.raises(ValueError):
+            SloTarget("video", freshness_s=1.0, window_s=0)
+        with pytest.raises(ValueError):
+            SloTarget("video", freshness_s=1.0, budget=0.0)
+        with pytest.raises(ValueError):
+            SloTarget("video", freshness_s=1.0, budget=1.5)
+
+    def test_matches_exact_and_glob(self):
+        assert SloTarget("video", freshness_s=1).matches("video")
+        assert not SloTarget("video", freshness_s=1).matches("video2")
+        glob = SloTarget("tele*", freshness_s=1)
+        assert glob.matches("telepresence")
+        assert not glob.matches("video")
+
+
+class TestParseSpec:
+    def test_full_spec(self):
+        targets = parse_slo_spec(
+            "video:freshness=0.5,e2e_p99_ms=100,delivery=0.99;"
+            "tele*:freshness=5,window=30,budget=0.05")
+        assert len(targets) == 2
+        video, tele = targets
+        assert video.channel == "video"
+        assert video.freshness_s == 0.5
+        assert video.e2e_p99_ms == 100.0
+        assert video.delivery_ratio == 0.99
+        assert tele.channel == "tele*"
+        assert tele.window_s == 30.0
+        assert tele.budget == 0.05
+
+    def test_channel_names_may_contain_colons(self):
+        # The paper's own channels are "video:C1" / "composite:C0" —
+        # the parser splits the clause on its LAST colon.
+        (target,) = parse_slo_spec("video:*:e2e_p99_ms=5")
+        assert target.channel == "video:*"
+        assert target.e2e_p99_ms == 5.0
+        assert target.matches("video:C1")
+
+    def test_empty_clauses_skipped(self):
+        assert parse_slo_spec("") == []
+        assert parse_slo_spec(" ; ;") == []
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            parse_slo_spec("video")  # no colon at all
+        with pytest.raises(ValueError):
+            parse_slo_spec("video:freshness")  # no value
+        with pytest.raises(ValueError):
+            parse_slo_spec("video:freshness=fast")  # non-numeric
+        with pytest.raises(ValueError):
+            parse_slo_spec("video:warp=9")  # unknown key
+
+
+class TestEvaluate:
+    def test_freshness_objective(self):
+        clock = _FakeClock()
+        engine = SloEngine([SloTarget("video", freshness_s=0.5)],
+                           clock=clock)
+        (row,) = engine.evaluate(
+            [{"name": "video", "oldest_age": 0.9}])
+        assert row["objective"] == "freshness"
+        assert row["violated"] is True
+        assert row["measured"] == 0.9
+        (ok,) = engine.evaluate(
+            [{"name": "video", "oldest_age": 0.1}])
+        assert ok["violated"] is False
+
+    def test_e2e_p99_objective_reads_span_histogram(self):
+        clock = _FakeClock()
+        engine = SloEngine([SloTarget("video", e2e_p99_ms=100)],
+                           clock=clock)
+        (row,) = engine.evaluate([{"name": "video"}],
+                                 e2e={"video": _e2e(p99_us=250_000)})
+        assert row["objective"] == "e2e_p99"
+        assert row["measured"] == pytest.approx(250.0)  # us -> ms
+        assert row["violated"] is True
+
+    def test_delivery_objective_uses_evictions(self):
+        clock = _FakeClock()
+        engine = SloEngine([SloTarget("video", delivery_ratio=0.99)],
+                           clock=clock)
+        (row,) = engine.evaluate(
+            [{"name": "video", "puts": 100, "evictions": 5}])
+        assert row["measured"] == pytest.approx(0.95)
+        assert row["violated"] is True
+
+    def test_no_data_is_never_a_violation(self):
+        clock = _FakeClock()
+        engine = SloEngine(
+            [SloTarget("video", freshness_s=1, e2e_p99_ms=1,
+                       delivery_ratio=0.99)],
+            clock=clock)
+        rows = engine.evaluate([{"name": "video"}])
+        assert [r["measured"] for r in rows] == [None, None, None]
+        assert not any(r["violated"] for r in rows)
+
+    def test_nonmatching_channels_ignored(self):
+        clock = _FakeClock()
+        engine = SloEngine([SloTarget("video", freshness_s=1)],
+                           clock=clock)
+        assert engine.evaluate(
+            [{"name": "audio", "oldest_age": 99}]) == []
+
+
+class TestBurnRate:
+    def test_burn_crosses_one_and_window_expires(self):
+        clock = _FakeClock()
+        # 10s window, 50% budget: burn = violated-fraction / 0.5.
+        engine = SloEngine(
+            [SloTarget("video", freshness_s=0.5, window_s=10,
+                       budget=0.5)],
+            clock=clock)
+
+        def tick(age):
+            (row,) = engine.evaluate(
+                [{"name": "video", "oldest_age": age}], now=clock())
+            clock.advance(1.0)
+            return row
+
+        # 1 violation in 2 evaluations: fraction 0.5, burn 1.0 —
+        # breaching right at the budget edge.
+        assert tick(0.1)["breaching"] is False
+        row = tick(0.9)
+        assert row["burn_rate"] == pytest.approx(1.0)
+        assert row["breaching"] is True
+        # Clean evaluations dilute the fraction below the budget...
+        for _ in range(3):
+            row = tick(0.1)
+        assert row["breaching"] is False
+        # ...and after the window slides past the violation, burn is 0.
+        clock.advance(11.0)
+        assert tick(0.1)["burn_rate"] == 0.0
+
+    def test_check_counts_breaches(self):
+        clock = _FakeClock()
+        engine = SloEngine(
+            [SloTarget("video", freshness_s=0.5, budget=1.0)],
+            clock=clock)
+        breaches = engine.check(
+            containers=[{"name": "video", "oldest_age": 2.0}],
+            e2e={}, now=clock())
+        (breach,) = breaches
+        assert breach.channel == "video"
+        assert breach.objective == "freshness"
+        assert breach.measured == 2.0
+        assert engine.breach_count == 1
+        assert "slo_breach video/freshness" in breach.describe()
+
+    def test_check_without_targets_is_free(self):
+        engine = SloEngine()
+        assert engine.check(containers=[{"name": "x"}], e2e={}) == []
+
+
+class TestStatusPayload:
+    def test_payload_shape(self):
+        clock = _FakeClock()
+        engine = SloEngine([SloTarget("video", freshness_s=0.5)],
+                           clock=clock)
+        engine.check(containers=[{"name": "video", "oldest_age": 2.0}],
+                     e2e={}, now=clock())
+        payload = engine.status_payload()
+        assert payload["targets"][0]["channel"] == "video"
+        assert payload["breaches"] == engine.breach_count
+        (row,) = payload["status"]
+        assert row["channel"] == "video"
+        assert row["breaching"] is True
+
+
+class TestWatchdogIntegration:
+    def test_breach_rides_on_stall(self):
+        clock = _FakeClock()
+
+        class _Container:
+            name = "video"
+            puts = 10
+            evictions = 0
+
+            @staticmethod
+            def oldest_live_age(now=None):
+                return 7.5
+
+        class _Space:
+            @staticmethod
+            def containers():
+                return [_Container()]
+
+        class _Runtime:
+            @staticmethod
+            def address_spaces():
+                return [_Space()]
+
+        engine = SloEngine(
+            [SloTarget("video", freshness_s=0.5, budget=1.0)],
+            clock=clock)
+        seen = []
+        dog = StallWatchdog(runtime=_Runtime(), max_oldest_age=100.0,
+                            on_stall=seen.append, clock=clock,
+                            slo=engine)
+        stalls = dog.check(now=clock())
+        kinds = {s.kind for s in stalls}
+        assert "slo_breach" in kinds
+        breach_stall = next(s for s in stalls if s.kind == "slo_breach")
+        assert breach_stall.subject == "video"
+        assert breach_stall.suspects[0]["owner"] == "slo:freshness"
+        assert breach_stall in seen

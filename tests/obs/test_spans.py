@@ -1,0 +1,273 @@
+"""Tests for item provenance spans (repro.obs.spans).
+
+The recorder is exercised with an injected fake clock throughout, so
+every offset and ordering assertion is deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import spans as spanmod
+from repro.obs.spans import (
+    CLIENT_PUT,
+    CONSUME,
+    CONTAINER_INSERT,
+    GC_RECLAIM,
+    HOP_ORDER,
+    LANE_DEQUEUE,
+    MAX_SUBJECTS,
+    SpanRecorder,
+    journey_breakdown,
+    render_timeline,
+)
+
+
+class _FakeClock:
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> float:
+        self.now += dt
+        return self.now
+
+
+def _recorder(**kwargs):
+    clock = _FakeClock()
+    defaults = dict(capacity=64, enabled=True, clock=clock)
+    defaults.update(kwargs)
+    return SpanRecorder(**defaults), clock
+
+
+class TestRecording:
+    def test_disabled_recorder_records_nothing(self):
+        rec, clock = _recorder(enabled=False)
+        rec.record(CLIENT_PUT, "video", clock())
+        rec.consume_span("video", clock())
+        assert rec.recorded == 0
+        assert rec.export() == []
+        assert rec.snapshot()["hops"] == {}
+
+    def test_offset_is_age_since_origin(self):
+        rec, clock = _recorder()
+        origin = clock()
+        clock.advance(0.0015)  # 1.5ms later the lane picks it up
+        rec.record(LANE_DEQUEUE, "video", origin)
+        (span,) = rec.export()
+        assert span["hop"] == LANE_DEQUEUE
+        assert span["subject"] == "video"
+        assert span["offset_us"] == pytest.approx(1500.0, abs=0.01)
+
+    def test_zero_origin_means_zero_offset(self):
+        # Unstamped local churn records with origin 0 semantics: the
+        # span exists for the timeline, but carries no meaningful age.
+        rec, clock = _recorder()
+        rec.record(CONTAINER_INSERT, "video", 0.0)
+        (span,) = rec.export()
+        assert span["offset_us"] == 0.0
+
+    def test_negative_offset_clamped(self):
+        # Cross-host clock skew: never report a negative age.
+        rec, clock = _recorder()
+        rec.record(CONSUME, "video", clock() + 5.0)
+        (span,) = rec.export()
+        assert span["offset_us"] == 0.0
+
+    def test_explicit_trace_id_attached(self):
+        rec, clock = _recorder()
+        rec.record(CLIENT_PUT, "video", clock(), trace_id="abc123")
+        (span,) = rec.export()
+        assert span["trace_id"] == "abc123"
+
+    def test_consume_span_feeds_e2e_histogram(self):
+        rec, clock = _recorder()
+        origin = clock()
+        clock.advance(0.002)
+        rec.consume_span("video", origin)
+        snap = rec.snapshot()
+        assert snap["e2e"]["video"]["count"] == 1
+        assert snap["e2e"]["video"]["max"] == pytest.approx(2000.0, rel=0.01)
+        # The consume hop itself also lands in the hop histograms.
+        assert snap["hops"][CONSUME]["video"]["count"] == 1
+
+    def test_unstamped_consume_skips_e2e(self):
+        rec, clock = _recorder()
+        rec.consume_span("video", 0.0)
+        assert rec.snapshot()["e2e"] == {}
+
+
+class TestRing:
+    def test_ring_bounded_and_dropped_derived(self):
+        rec, clock = _recorder(capacity=4)
+        for i in range(10):
+            rec.record(CLIENT_PUT, f"s{i}", clock())
+        assert rec.recorded == 10
+        assert rec.dropped == 6
+        assert len(rec.export()) == 4
+        assert [s["subject"] for s in rec.export()] == \
+            ["s6", "s7", "s8", "s9"]
+
+    def test_export_limit_returns_newest(self):
+        rec, clock = _recorder()
+        for i in range(8):
+            rec.record(CLIENT_PUT, f"s{i}", clock())
+        assert [s["subject"] for s in rec.export(limit=2)] == ["s6", "s7"]
+
+    def test_histograms_survive_ring_overflow(self):
+        rec, clock = _recorder(capacity=2)
+        for _ in range(50):
+            rec.record(CLIENT_PUT, "video", clock())
+        assert rec.snapshot()["hops"][CLIENT_PUT]["video"]["count"] == 50
+
+    def test_clear_drops_everything(self):
+        rec, clock = _recorder()
+        rec.record(CLIENT_PUT, "video", clock())
+        rec.consume_span("video", clock() - 1.0)
+        rec.clear()
+        assert rec.recorded == 0
+        assert rec.export() == []
+        snap = rec.snapshot()
+        assert snap["hops"] == {} and snap["e2e"] == {}
+
+    def test_subject_cardinality_capped(self):
+        rec, clock = _recorder()
+        for i in range(MAX_SUBJECTS * len(HOP_ORDER) + 10):
+            rec.record(CLIENT_PUT, f"churn-{i}", clock())
+        snap = rec.snapshot()["hops"][CLIENT_PUT]
+        assert "__other__" in snap
+        assert snap["__other__"]["count"] >= 10
+
+
+class TestContext:
+    def test_set_and_restore(self):
+        assert spanmod.current_entry() is None
+        prior = spanmod.set_context((12.5, "video"))
+        assert prior is None
+        assert spanmod.current_entry() == (12.5, "video")
+        assert spanmod.current_origin() == 12.5
+        spanmod.set_context(prior)
+        assert spanmod.current_entry() is None
+        assert spanmod.current_origin() == 0.0
+
+    def test_origin_context_manager(self):
+        with spanmod.origin_context(3.0, "video"):
+            assert spanmod.current_origin() == 3.0
+            with spanmod.origin_context(4.0, "audio"):
+                assert spanmod.current_entry() == (4.0, "audio")
+            assert spanmod.current_entry() == (3.0, "video")
+        assert spanmod.current_entry() is None
+
+    def test_context_is_thread_local(self):
+        seen = {}
+
+        def other():
+            seen["entry"] = spanmod.current_entry()
+            spanmod.set_context((9.0, "other"))
+
+        with spanmod.origin_context(1.0, "mine"):
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+            assert seen["entry"] is None  # never saw this thread's stamp
+            assert spanmod.current_entry() == (1.0, "mine")
+
+
+class TestGlobalToggle:
+    def test_enable_disable_mutate_in_place(self):
+        # Hot paths cache the object at import time, so the identity
+        # must never change across toggles.
+        before = spanmod.GLOBAL_SPANS
+        enabled0 = before.enabled
+        try:
+            assert spanmod.enable_spans() is before
+            assert before.enabled
+            spanmod.disable_spans()
+            assert not before.enabled
+            assert spanmod.GLOBAL_SPANS is before
+        finally:
+            before.enabled = enabled0
+
+    def test_enable_resize_preserves_contents(self):
+        rec = spanmod.GLOBAL_SPANS
+        enabled0, cap0 = rec.enabled, rec.capacity
+        try:
+            spanmod.enable_spans()
+            rec.clear()
+            rec.record(CLIENT_PUT, "resize-probe", 0.0)
+            spanmod.enable_spans(capacity=cap0 * 2)
+            assert rec.capacity == cap0 * 2
+            assert any(s["subject"] == "resize-probe"
+                       for s in rec.export())
+            with pytest.raises(ValueError):
+                spanmod.enable_spans(capacity=-1)
+        finally:
+            rec.clear()
+            with rec._lock:
+                rec.capacity = cap0
+                from collections import deque
+                rec._ring = deque(maxlen=cap0)
+            rec.enabled = enabled0
+
+
+class TestJourneyBreakdown:
+    def _spans_for_journey(self, offsets_us):
+        """A recorder whose hop medians follow *offsets_us* exactly."""
+        rec, clock = _recorder()
+        origin = clock()
+        for hop, offset in offsets_us.items():
+            rec.record(hop, "video", origin,
+                       at=origin + offset / 1e6)
+        return rec
+
+    def test_slowest_hop_is_largest_increment(self):
+        rec = self._spans_for_journey({
+            CLIENT_PUT: 0.0,
+            LANE_DEQUEUE: 100.0,
+            CONTAINER_INSERT: 130.0,
+            CONSUME: 900.0,     # +770us: the fat hop
+            GC_RECLAIM: 950.0,
+        })
+        journey = journey_breakdown(rec.snapshot())["video"]
+        assert journey["slowest_hop"] == CONSUME
+        assert journey["slowest_delta_us"] == pytest.approx(770.0, rel=0.2)
+        assert [hop for hop, _ in journey["hops"]] == [
+            CLIENT_PUT, LANE_DEQUEUE, CONTAINER_INSERT, CONSUME,
+            GC_RECLAIM]
+
+    def test_missing_hops_skipped(self):
+        # A local-only journey has no coalescer or shard hops; the
+        # breakdown works over whatever hops exist.
+        rec = self._spans_for_journey({
+            CONTAINER_INSERT: 50.0,
+            CONSUME: 60.0,
+        })
+        journey = journey_breakdown(rec.snapshot())["video"]
+        assert journey["slowest_hop"] == CONTAINER_INSERT
+
+    def test_empty_snapshot(self):
+        rec, _clock = _recorder()
+        assert journey_breakdown(rec.snapshot()) == {}
+
+
+class TestRenderTimeline:
+    def test_chronological_and_labeled(self):
+        spans = [
+            {"at": 2.0, "hop": CONSUME, "subject": "video",
+             "offset_us": 1500.0, "origin_label": "shard1"},
+            {"at": 1.0, "hop": CLIENT_PUT, "subject": "video",
+             "offset_us": 0.0, "trace_id": "tid42"},
+        ]
+        text = render_timeline(spans)
+        lines = text.splitlines()
+        assert "client_put" in lines[0]  # re-sorted by `at`
+        assert "<tid42>" in lines[0]
+        assert lines[1].startswith("shard1")
+        assert "age=    1.500ms" in lines[1]
+
+    def test_empty(self):
+        assert render_timeline([]) == "(no spans)"

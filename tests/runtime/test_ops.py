@@ -61,6 +61,8 @@ class TestRequests:
             ops.OP_TRACE_DUMP: {"max_events": 256, "clear": True},
             ops.OP_SHARD_MAP: {},
             ops.OP_NS_REFRESH: {"name": "n"},
+            ops.OP_SPAN_DUMP: {"max_spans": 128, "clear": True},
+            ops.OP_PROF_DUMP: {"clear": False},
         }
         assert set(samples) == set(ops.OP_SCHEMAS)
         for opcode, args in samples.items():
@@ -139,6 +141,51 @@ class TestCompiledStubs:
                                    trace_id="t-1")
         _rid, _op, args = ops.decode_request(frame)
         assert args[ops.TRACE_ID_KEY] == "t-1"
+
+
+class TestOriginEnvelope:
+    """The optional trailing origin stamp (trace id + origin time) must
+    be invisible when absent and lossless when present."""
+
+    ARGS = {"connection_id": 7, "timestamp": 42, "payload": b"frame",
+            "block": True, "has_timeout": False, "timeout": 0.0}
+
+    def test_unstamped_frame_is_byte_identical(self):
+        # No trace id and no origin: the compiled-stub fast path runs
+        # and the frame matches the pre-envelope wire format exactly.
+        plain = ops.encode_request(1, ops.OP_PUT, self.ARGS)
+        assert plain == ops._encode_request_generic(1, ops.OP_PUT,
+                                                    self.ARGS)
+        stamped = ops.encode_request(1, ops.OP_PUT, self.ARGS,
+                                     origin=123.456)
+        assert len(stamped) > len(plain)
+
+    def test_origin_round_trips(self):
+        frame = ops.encode_request(1, ops.OP_PUT, self.ARGS,
+                                   origin=987.654321)
+        _rid, _op, args = ops.decode_request(frame)
+        assert args.pop(ops.ORIGIN_KEY) == pytest.approx(987.654321)
+        assert ops.TRACE_ID_KEY not in args  # empty placeholder elided
+        assert args == self.ARGS
+
+    def test_trace_id_and_origin_together(self):
+        frame = ops.encode_request(1, ops.OP_PUT, self.ARGS,
+                                   trace_id="tid-9", origin=55.5)
+        _rid, _op, args = ops.decode_request(frame)
+        assert args.pop(ops.TRACE_ID_KEY) == "tid-9"
+        assert args.pop(ops.ORIGIN_KEY) == pytest.approx(55.5)
+        assert args == self.ARGS
+
+    def test_trace_id_alone_has_no_origin_key(self):
+        frame = ops.encode_request(1, ops.OP_PUT, self.ARGS,
+                                   trace_id="tid-9")
+        _rid, _op, args = ops.decode_request(frame)
+        assert args.pop(ops.TRACE_ID_KEY) == "tid-9"
+        assert ops.ORIGIN_KEY not in args
+
+    def test_zero_origin_treated_as_unset(self):
+        frame = ops.encode_request(1, ops.OP_PUT, self.ARGS, origin=0.0)
+        assert frame == ops.encode_request(1, ops.OP_PUT, self.ARGS)
 
 
 class TestResponses:
