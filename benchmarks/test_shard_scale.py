@@ -10,8 +10,19 @@ Placement follows the docs/SCALING.md playbook: one channel per shard
 (named with :func:`repro.runtime.shards.local_name`), and every device
 asks SHARD_MAP where its connection landed, then streams to the channel
 its own shard owns — all puts shard-local, which is the workload
-sharding is for.  Cross-shard forwarding costs ride the RPC benchmarks
-instead.
+sharding is for.
+
+``test_bench_cross_shard_forwarding`` measures the opposite extreme:
+**anti-affine** placement (every device streams to the channel the
+*other* shard owns, so ~100% of puts cross a peer link) paired across
+the two peer-link transports — loopback TCP (``DSTAMPEDE_SHM=0``) and
+the shared-memory ring plane (default).  The pair lands in
+``BENCH_shard.json`` as ``forward_tcp`` / ``forward_shm`` rows; the
+``>= 2x`` SHM gate arms on hosts with at least 2 CPUs (on one core the
+two shard processes time-slice and the transport is not the
+bottleneck), while the shard-local parity oracle — SHM enabled must
+stay within 10% of SHM disabled when the peer links are idle — always
+arms.
 
 Honesty gates (read before comparing machines):
 
@@ -60,6 +71,14 @@ PAYLOAD = b"x" * 256
 SCALING_FACTOR = 2.5
 #: shards=1 may lag the single-process baseline by at most this much.
 ORACLE_TOLERANCE = 0.10
+#: forward_shm must beat forward_tcp by this factor — on hosts where
+#: the two shard processes actually run in parallel.
+SHM_SPEEDUP = 2.0
+#: SHM enabled may cost at most this much on a shard-local workload
+#: (peer links idle): the rings must be free when unused.
+SHM_PARITY_TOLERANCE = 0.10
+#: Paired forwarding runs take the best of this many attempts each.
+FORWARD_RUNS = 1 if QUICK else 3
 
 
 def _rpc(device, request_id: int, opcode: int, args: dict) -> dict:
@@ -70,8 +89,14 @@ def _rpc(device, request_id: int, opcode: int, args: dict) -> dict:
     return response.results
 
 
-def _measure_shard_config(shards: int) -> dict:
-    """The 1000-device cast-put drain rate at one shard count."""
+def _measure_shard_config(shards: int, remote: bool = False) -> dict:
+    """The 1000-device cast-put drain rate at one shard count.
+
+    With ``remote=True`` the placement is anti-affine: every device
+    streams to the channel owned by the *next* shard, so each put is
+    forwarded over a peer link — the cross-shard data plane is the
+    entire hot path.
+    """
     runtime = Runtime(gc_interval=60.0)
     runtime.create_address_space("N1")
     server = StampedeServer(runtime, device_spaces=["N1"],
@@ -94,8 +119,9 @@ def _measure_shard_config(shards: int) -> dict:
             info = _rpc(device, 1, ops.OP_SHARD_MAP, {})
             shard_id = info["shard_id"]
             occupancy[shard_id] += 1
+            target = (shard_id + 1) % shards if remote else shard_id
             results = _rpc(device, 2, ops.OP_ATTACH, {
-                "container": channels[shard_id], "mode": "out",
+                "container": channels[target], "mode": "out",
                 "wait": False, "wait_timeout": 0.0, "filter": b"",
             })
             conn_ids.append(results["connection_id"])
@@ -189,6 +215,103 @@ def test_bench_puts_vs_shards(results_dir):
     _check_or_write_baseline(summary)
 
 
+def _measure_with_shm(shards: int, shm: bool, remote: bool) -> dict:
+    """One shard run with the peer-link transport pinned via the env
+    knob (the workers inherit it at fork time)."""
+    prior = os.environ.get("DSTAMPEDE_SHM")
+    os.environ["DSTAMPEDE_SHM"] = "1" if shm else "0"
+    try:
+        result = _measure_shard_config(shards, remote=remote)
+    finally:
+        if prior is None:
+            os.environ.pop("DSTAMPEDE_SHM", None)
+        else:
+            os.environ["DSTAMPEDE_SHM"] = prior
+    result["transport"] = "shm" if shm else "tcp"
+    result["placement"] = "anti-affine" if remote else "shard-local"
+    return result
+
+
+def _best_of(runs: int, shards: int, shm: bool, remote: bool) -> dict:
+    best = None
+    for _ in range(runs):
+        result = _measure_with_shm(shards, shm=shm, remote=remote)
+        if best is None or result["puts_per_s"] > best["puts_per_s"]:
+            best = result
+    return best
+
+
+def test_bench_cross_shard_forwarding(results_dir):
+    """Peer-link transports head to head on a 100%-forwarding load."""
+    pairs = {
+        "forward_tcp": _best_of(FORWARD_RUNS, 2, shm=False, remote=True),
+        "forward_shm": _best_of(FORWARD_RUNS, 2, shm=True, remote=True),
+        "local_tcp": _measure_with_shm(2, shm=False, remote=False),
+        "local_shm": _measure_with_shm(2, shm=True, remote=False),
+    }
+
+    header = ["row", "transport", "placement", "cpus", "puts_per_s"]
+    rows = [[key, r["transport"], r["placement"], r["cpu_count"],
+             round(r["puts_per_s"], 1)] for key, r in pairs.items()]
+    write_csv(results_dir / "shard_forwarding.csv", header, rows)
+    print_series(
+        f"cross-shard forwarding at {DEVICES} connections, shards=2",
+        header, rows)
+
+    cpus = os.cpu_count() or 1
+    fwd_tcp = pairs["forward_tcp"]["puts_per_s"]
+    fwd_shm = pairs["forward_shm"]["puts_per_s"]
+    if cpus >= 2:
+        assert fwd_shm >= SHM_SPEEDUP * fwd_tcp, (
+            f"forwarded puts over SHM at {fwd_shm:.0f}/s vs loopback "
+            f"TCP at {fwd_tcp:.0f}/s on a {cpus}-CPU host — the ring "
+            f"plane is not paying for itself"
+        )
+    else:
+        print(f"[gate skipped] {cpus} CPU(s): both shard processes "
+              f"time-slice one core, the peer-link transport is not "
+              f"the bottleneck; speedup gate needs >= 2")
+
+    # Always-on parity oracle: rings that carry no traffic must not
+    # slow the shard-local path.
+    local_tcp = pairs["local_tcp"]["puts_per_s"]
+    local_shm = pairs["local_shm"]["puts_per_s"]
+    assert local_shm >= local_tcp * (1 - SHM_PARITY_TOLERANCE), (
+        f"shard-local puts at {local_shm:.0f}/s with SHM enabled vs "
+        f"{local_tcp:.0f}/s disabled — idle rings are costing "
+        f"throughput"
+    )
+
+    _check_or_write_forwarding(
+        {key: pairs[key] for key in ("forward_tcp", "forward_shm")})
+
+
+def _check_or_write_forwarding(summary: dict) -> None:
+    """Record the paired forwarding rows inside BENCH_shard.json."""
+    data = {}
+    if BASELINE_PATH.exists():
+        data = json.loads(BASELINE_PATH.read_text())
+    recorded = data.get("forwarding")
+    if recorded and not os.environ.get("BENCH_UPDATE"):
+        if QUICK:
+            return
+        for key, result in summary.items():
+            row = recorded.get(key)
+            if row and row.get("cpu_count") == result["cpu_count"]:
+                assert result["puts_per_s"] >= \
+                    row["puts_per_s"] / 2.0, (
+                        f"{key}: {result['puts_per_s']:.0f} puts/s vs "
+                        f"baseline {row['puts_per_s']:.0f} "
+                        f"(>2x regression)"
+                    )
+        return
+    if QUICK:
+        return  # never baseline from a quick run
+    data["forwarding"] = summary
+    BASELINE_PATH.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
 def _check_or_write_baseline(summary: dict) -> None:
     """Record BENCH_shard.json (or, once it exists, compare loosely)."""
     if BASELINE_PATH.exists() and not os.environ.get("BENCH_UPDATE"):
@@ -208,6 +331,10 @@ def _check_or_write_baseline(summary: dict) -> None:
         return
     if QUICK:
         return  # never baseline from a quick run
+    data = {}
+    if BASELINE_PATH.exists():
+        data = json.loads(BASELINE_PATH.read_text())
+    data["shards"] = summary
     BASELINE_PATH.write_text(
-        json.dumps({"shards": summary}, indent=2, sort_keys=True) + "\n"
+        json.dumps(data, indent=2, sort_keys=True) + "\n"
     )

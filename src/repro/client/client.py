@@ -337,6 +337,14 @@ class StampedeClient:
         Hook applied to every freshly dialled TCP connection; used to
         inject faults (:class:`repro.transport.faults.FaultPlan.wrap`)
         or instrumentation.
+    connect:
+        Optional dial factory ``() -> StreamTransport`` replacing the
+        default ``connect_tcp((host, port))``.  Every (re)connect —
+        including the RESUME ladder's re-dial — goes through it, so a
+        factory that prefers one transport and falls back to another
+        (the shard peer links dial shared memory first, loopback TCP
+        second — see :mod:`repro.transport.shm`) keeps the retry,
+        recovery and dedup semantics of the default path untouched.
     batching:
         Whether fire-and-forget casts (async puts/consumes) are
         coalesced into batch envelopes — one syscall and one wire frame
@@ -358,6 +366,8 @@ class StampedeClient:
                                                None]] = None,
                  on_recovered: Optional[Callable[[int], None]] = None,
                  transport_wrapper: Optional[TransportWrapper] = None,
+                 connect: Optional[
+                     Callable[[], StreamTransport]] = None,
                  batching: bool = True,
                  batch_max_items: int = 64,
                  batch_max_bytes: int = 128 * 1024,
@@ -370,6 +380,7 @@ class StampedeClient:
         self._address = (host, port)
         self._reconnect_enabled = reconnect
         self._transport_wrapper = transport_wrapper
+        self._connect = connect
         self._batching = batching
         self._batch_max_items = batch_max_items
         self._batch_max_bytes = batch_max_bytes
@@ -629,7 +640,8 @@ class StampedeClient:
     def _dial(self) -> "RpcChannel":
         from repro.client.rpc import RpcChannel
 
-        connection: StreamTransport = connect_tcp(self._address)
+        connection: StreamTransport = self._connect() \
+            if self._connect is not None else connect_tcp(self._address)
         if self._transport_wrapper is not None:
             connection = self._transport_wrapper(connection)
         return RpcChannel(

@@ -395,6 +395,11 @@ class RpcChannel:
         threads behind.
         """
         if self._closed.is_set():
+            # The receive loop marks the channel closed when the
+            # transport dies, but only this method releases the
+            # connection's resources (socket fd, or an SHM link's ring
+            # segments and doorbell pipes).  Idempotent, so always safe.
+            self._connection.close()
             return
         try:
             self.flush_casts(reason="close")

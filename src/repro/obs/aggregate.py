@@ -200,6 +200,7 @@ def merge_stats_snapshots(snaps: Sequence[Dict[str, Any]],
         "spaces": [],
         "containers": [],
     }
+    peer_links: Dict[str, Any] = {}
     for shard_id, snap in zip(shard_ids, snaps):
         for space in snap.get("spaces", []):
             entry = dict(space)
@@ -209,6 +210,13 @@ def merge_stats_snapshots(snaps: Sequence[Dict[str, Any]],
             entry = dict(container)
             entry["shard"] = shard_id
             merged["containers"].append(entry)
+        if snap.get("peer_links"):
+            # Per-shard transport of each dialled peer link ("shm" /
+            # "tcp"); kept keyed by owning shard — unlike counters,
+            # these are identities, not quantities to sum.
+            peer_links[str(shard_id)] = dict(snap["peer_links"])
+    if peer_links:
+        merged["peer_links"] = peer_links
     span_sections = [s.get("spans") for s in snaps if s.get("spans")]
     if span_sections:
         merged["spans"] = merge_span_sections(span_sections)

@@ -94,6 +94,15 @@ class StampedeServer:
         Internal — the :class:`~repro.runtime.shards.ShardRouter` of a
         cluster member.  A server given a router is one member of an
         existing shard cluster and never forks.
+    shm_door:
+        Internal — open a shared-memory rendezvous door
+        (:class:`~repro.transport.shm.ShmListener`) next to the TCP
+        listener.  Peer doors of a shard cluster set this so co-host
+        peer links can ride SHM rings instead of loopback TCP; the
+        door's path travels in the shard map (never the SHARD_MAP wire
+        op).  No-op when ``DSTAMPEDE_SHM=0``.  A ``shards=1`` server
+        never sets it — the single-process path builds no SHM
+        machinery.
     """
 
     def __init__(self, runtime: Runtime, host: str = "127.0.0.1",
@@ -104,7 +113,8 @@ class StampedeServer:
                  lanes: Optional[int] = None,
                  shards: Optional[int] = None,
                  reuse_port: bool = False,
-                 router: Optional[object] = None) -> None:
+                 router: Optional[object] = None,
+                 shm_door: bool = False) -> None:
         if session_grace is not None and session_grace <= 0:
             raise ValueError("session_grace must be positive")
         if lease_timeout is not None and lease_timeout <= 0:
@@ -136,6 +146,17 @@ class StampedeServer:
                 host, port, lanes)
         self._listener = TcpListener(host, port, reuse_port=reuse_port)
         self._address = self._listener.address
+        self._shm_listener = None
+        if shm_door:
+            from repro.transport.shm import ShmListener, shm_enabled
+
+            if shm_enabled():
+                try:
+                    self._shm_listener = ShmListener()
+                except OSError as exc:  # pragma: no cover - exotic hosts
+                    _log.warning(
+                        "SHM door unavailable (%s); peer links will "
+                        "use TCP", exc)
         self._surrogates: Dict[str, Surrogate] = {}
         self._surrogates_lock = threading.Lock()
         self._closed = threading.Event()
@@ -175,10 +196,11 @@ class StampedeServer:
             self._peer_door = StampedeServer(
                 self.runtime, host=host, port=0,
                 device_spaces=list(self._spaces), lanes=lanes,
-                router=self._router.peer_view(),
+                router=self._router.peer_view(), shm_door=True,
             ).start()
             peers = dict(self._cluster.worker_peers)
-            peers[0] = self._peer_door.address
+            peers[0] = (self._peer_door.address,
+                        self._peer_door.shm_address)
             self._router.set_peers(peers)
             self._cluster.broadcast_map(peers)
         except Exception:
@@ -198,6 +220,9 @@ class StampedeServer:
         self._listener.raw_socket.setblocking(False)
         self._reactor.add_reader(self._listener.raw_socket,
                                  self._on_accept)
+        if self._shm_listener is not None:
+            self._reactor.add_reader(self._shm_listener,
+                                     self._on_shm_accept)
         if self._lease_timeout is not None:
             self._reactor.call_every(self._lease_timeout / 4,
                                      self._sweep_leases)
@@ -211,6 +236,13 @@ class StampedeServer:
     def address(self) -> Tuple[str, int]:
         """The listen address devices join through."""
         return self._address
+
+    @property
+    def shm_address(self) -> Optional[str]:
+        """The SHM door's rendezvous path (None without a door)."""
+        if self._shm_listener is None:
+            return None
+        return self._shm_listener.address
 
     @property
     def reactor(self) -> Reactor:
@@ -236,6 +268,9 @@ class StampedeServer:
         self._closed.set()
         self._reactor.remove_reader(self._listener.raw_socket)
         self._listener.close()
+        if self._shm_listener is not None:
+            self._reactor.remove_reader(self._shm_listener)
+            self._shm_listener.close()
         self._reactor.stop(join=True)
         with self._surrogates_lock:
             surrogates = list(self._surrogates.values())
@@ -289,7 +324,27 @@ class StampedeServer:
             sock.setblocking(True)
             self._admit(TcpConnection(sock))
 
-    def _admit(self, connection: TcpConnection) -> None:
+    def _on_shm_accept(self) -> None:
+        """Reactor callback: complete queued SHM-door handshakes.
+
+        The accepted connection is admitted through the ordinary
+        :meth:`_admit`, so the surrogate serving an SHM peer link is
+        byte-for-byte the one serving a TCP device — the rings are
+        invisible above the framing layer.
+        """
+        from repro.errors import TransportError
+
+        while not self._closed.is_set():
+            try:
+                connection = self._shm_listener.accept_pending()
+            except TransportError as exc:
+                _log.warning("SHM handshake failed: %s", exc)
+                continue
+            if connection is None:
+                return  # queue drained
+            self._admit(connection)
+
+    def _admit(self, connection) -> None:
         service = SessionService(self.runtime, next(self._space_cycle),
                                  router=self._router)
         surrogate = Surrogate(

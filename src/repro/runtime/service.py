@@ -419,6 +419,14 @@ class SessionService:
         from repro.runtime.inspect import observability_snapshot
 
         payload = observability_snapshot(self.runtime)
+        if self._router is not None:
+            # Which transport each of this shard's dialled peer links
+            # rides ("shm" or "tcp") — the merge keys them by shard so
+            # dashboards can show the data plane per process.
+            links = self._router.link_transports
+            if links:
+                payload["peer_links"] = {
+                    str(sid): kind for sid, kind in links.items()}
         if self._router is not None and self._router.fanout:
             # Sharded server: fold every peer's snapshot in, so
             # dashboards and scrapers see one logical server.  Peer-door

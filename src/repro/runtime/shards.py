@@ -195,6 +195,11 @@ class _RouterShared:
     def __init__(self, nshards: int) -> None:
         self.ring = HashRing(nshards)
         self.peers: Dict[int, Address] = {}
+        #: shard id -> SHM-door path (None = peer offers no SHM door).
+        self.shm_doors: Dict[int, Optional[str]] = {}
+        #: shard id -> "shm" | "tcp", recorded at dial time (the STATS
+        #: peer-link transport column).
+        self.link_transports: Dict[int, str] = {}
         self._clients: Dict[int, Any] = {}
         self._lock = threading.Lock()
         #: container name -> {SessionService: refcount} of sessions that
@@ -222,9 +227,42 @@ class _RouterShared:
                 client_name=f"shard{my_shard}-link{shard_id}",
                 codec="xdr", reconnect=False, batching=False,
                 on_reclaim=self._dispatch_reclaim,
+                connect=self._dial_factory(shard_id, address),
             )
             self._clients[shard_id] = client
             return client
+
+    def _dial_factory(self, shard_id: int, address: Address):
+        """The peer link's transport-selection seam.
+
+        Shards of one cluster are co-host by construction (they fork
+        from one parent), so when the peer advertised an SHM door and
+        ``DSTAMPEDE_SHM`` allows it, the link dials shared memory; any
+        dial failure — door gone, env restrictions, platform without
+        unix sockets — falls back to loopback TCP *transparently*: the
+        same :class:`StampedeClient` above carries the same retry /
+        RESUME ladder and the same dedup keys either way.
+        """
+        from repro.transport import shm as shm_transport
+        from repro.transport.tcp import connect_tcp
+
+        door = self.shm_doors.get(shard_id)
+
+        def dial():
+            if door is not None and shm_transport.shm_enabled():
+                try:
+                    connection = shm_transport.connect_shm(door)
+                except (OSError, StampedeError) as exc:
+                    _log.warning(
+                        "SHM dial to shard %d failed (%s); "
+                        "falling back to TCP", shard_id, exc)
+                else:
+                    self.link_transports[shard_id] = "shm"
+                    return connection
+            self.link_transports[shard_id] = "tcp"
+            return connect_tcp(address)
+
+        return dial
 
     # -- reclaim-interest registry ----------------------------------------------
 
@@ -296,12 +334,33 @@ class ShardRouter:
         """Shard id -> peer-door address, every shard included."""
         return dict(self._shared.peers)
 
-    def set_peers(self, peers: Dict[int, Address]) -> None:
-        """Install the shard map (startup handshake)."""
-        self._shared.peers = {
-            int(sid): (host, int(port))
-            for sid, (host, port) in peers.items()
-        }
+    def set_peers(self, peers: Dict[int, Any]) -> None:
+        """Install the shard map (startup handshake).
+
+        Values are either a plain TCP ``(host, port)`` or the extended
+        ``((host, port), shm_door)`` pair the fork handshake ships —
+        the SHM door is the peer's unix-socket rendezvous path (None
+        when the peer opened no door, e.g. ``DSTAMPEDE_SHM=0``).  The
+        SHARD_MAP wire op keeps exposing TCP addresses only: doors are
+        process-private paths, meaningless to an end device.
+        """
+        addresses: Dict[int, Address] = {}
+        doors: Dict[int, Optional[str]] = {}
+        for sid, entry in peers.items():
+            sid = int(sid)
+            if entry and isinstance(entry[0], (tuple, list)):
+                (host, port), door = entry
+            else:
+                (host, port), door = entry, None
+            addresses[sid] = (host, int(port))
+            doors[sid] = door
+        self._shared.peers = addresses
+        self._shared.shm_doors = doors
+
+    @property
+    def link_transports(self) -> Dict[int, str]:
+        """Shard id -> ``"shm"``/``"tcp"`` for every dialled peer link."""
+        return dict(self._shared.link_transports)
 
     def peer_view(self) -> "ShardRouter":
         """The ``fanout=False`` router for this shard's peer door."""
@@ -518,8 +577,9 @@ def _worker_main(config: ShardConfig, pipe: Any) -> None:
     never touches inherited parent objects (whose owning threads do not
     exist on this side of the fork).  The pipe protocol with the parent:
 
-    1. child sends ``("ready", peer_door_address)``;
-    2. parent sends ``("map", {shard_id: peer_door_address})``;
+    1. child sends ``("ready", (peer_door_address, shm_door_path))``;
+    2. parent sends ``("map", {shard_id: (peer_door_address,
+       shm_door_path)})``;
     3. child opens its front door and sends ``("up", None)``;
     4. parent sends ``("stop", None)``; child tears down and sends
        ``("stopped", None)``.
@@ -541,8 +601,9 @@ def _worker_main(config: ShardConfig, pipe: Any) -> None:
             runtime, host=config.host, port=0,
             device_spaces=list(config.device_spaces),
             lanes=config.lanes, router=router.peer_view(),
+            shm_door=True,
         ).start()
-        pipe.send(("ready", peer_door.address))
+        pipe.send(("ready", (peer_door.address, peer_door.shm_address)))
         message, peers = pipe.recv()
         if message != "map":  # pragma: no cover - protocol guard
             raise RuntimeError(f"expected shard map, got {message!r}")
@@ -602,7 +663,8 @@ class _ShardCluster:
             raise
         self._reservation = reservation
         self.port: int = reservation.getsockname()[1]
-        self.worker_peers: Dict[int, Address] = {}
+        #: shard id -> (peer-door TCP address, SHM-door path or None).
+        self.worker_peers: Dict[int, Any] = {}
         context = multiprocessing.get_context("fork")
         self._pipes: Dict[int, Any] = {}
         self._procs: Dict[int, Any] = {}
@@ -643,7 +705,7 @@ class _ShardCluster:
                 f"got {message!r}")
         return payload
 
-    def broadcast_map(self, peers: Dict[int, Address]) -> None:
+    def broadcast_map(self, peers: Dict[int, Any]) -> None:
         """Ship the complete shard map; workers open their front doors."""
         for pipe in self._pipes.values():
             pipe.send(("map", peers))

@@ -5,7 +5,9 @@ behalf of the new end device.  All subsequent D-Stampede calls from this
 end device are fielded and carried out by this specific surrogate thread"
 (§3.2.2).
 
-A :class:`Surrogate` owns one TCP connection and one
+A :class:`Surrogate` owns one framed stream connection — a device's
+TCP socket, or the SHM ring pair of a co-host peer link
+(:mod:`repro.transport.shm`); the framing layer hides which — and one
 :class:`~repro.runtime.service.SessionService`.  Requests on a container
 connection are executed on that connection's
 :class:`~repro.runtime.lanes.LaneClient` — a FIFO sub-queue of the
@@ -48,8 +50,8 @@ from repro.obs import spans as _spanmod
 from repro.runtime import lanes, ops
 from repro.runtime.reactor import Reactor
 from repro.runtime.service import SessionService
+from repro.transport.base import StreamTransport
 from repro.transport.message import FrameReader
-from repro.transport.tcp import TcpConnection
 from repro.util import trace as tracepoints
 from repro.util.logging import get_logger
 from repro.util.trace import trace
@@ -125,7 +127,7 @@ class Surrogate:
     #: back to other connections (fairness under a flooding device).
     _RX_BURST = 64
 
-    def __init__(self, connection: TcpConnection, service: SessionService,
+    def __init__(self, connection: StreamTransport, service: SessionService,
                  on_close: Optional[Callable[["Surrogate"], None]] = None,
                  park: Optional[Callable[[SessionService], bool]] = None,
                  resume_lookup: Optional[

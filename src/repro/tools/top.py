@@ -117,6 +117,23 @@ def render_dashboard(snap: Dict[str, Any], top_ops: int = 8) -> str:
     )
 
     gauges = metrics.get("gauges", {})
+    if counters.get("transport.shm.bytes_out") \
+            or counters.get("transport.shm.bytes_in") \
+            or gauges.get("transport.shm.links"):
+        # The shared-memory data plane between co-host shards: ring
+        # traffic, doorbell activity and ring-full backpressure.
+        park = hists.get("transport.shm.park_wait_us", {})
+        lines.append(
+            f"shm: {counters.get('transport.shm.frames_out', 0)} "
+            f"frames out, "
+            f"{counters.get('transport.shm.bytes_out', 0)} B out / "
+            f"{counters.get('transport.shm.bytes_in', 0)} B in, "
+            f"occupancy {gauges.get('transport.shm.ring_occupancy', 0):.0f} B, "
+            f"{counters.get('transport.shm.doorbell_wakeups', 0)} doorbell "
+            f"wakeups, "
+            f"{counters.get('transport.shm.ring_full_parks', 0)} parks "
+            f"(p95 {_fmt_us(park.get('p95'))})"
+        )
     depth = hists.get("runtime.lanes.queue_depth", {})
     hits = counters.get("core.encode_cache.hits", 0)
     misses = counters.get("core.encode_cache.misses", 0)
@@ -165,14 +182,24 @@ def render_dashboard(snap: Dict[str, Any], top_ops: int = 8) -> str:
             row["live"] += entry.get("live_items", 0)
             row["bytes"] += entry.get("live_bytes", 0)
             row["puts"] += entry.get("puts", 0)
+        # Peer-link transport column: which data plane each shard's
+        # dialled links ride ("shm:2" = two SHM links, etc.).
+        link_map = snap.get("peer_links", {})
         lines.append("")
         lines.append(f"{'shard':<8}{'containers':>11}{'live':>8}"
-                     f"{'bytes':>12}{'puts':>10}")
+                     f"{'bytes':>12}{'puts':>10}  peer-links")
         for shard in sorted(per_shard, key=str):
             row = per_shard[shard]
+            links = link_map.get(str(shard), {})
+            by_kind: Dict[str, int] = {}
+            for kind in links.values():
+                by_kind[kind] = by_kind.get(kind, 0) + 1
+            rendered = " ".join(
+                f"{kind}:{count}"
+                for kind, count in sorted(by_kind.items())) or "-"
             lines.append(
                 f"{shard!s:<8}{row['containers']:>11}{row['live']:>8}"
-                f"{row['bytes']:>12}{row['puts']:>10}"
+                f"{row['bytes']:>12}{row['puts']:>10}  {rendered}"
             )
 
     journeys = _journeys(snap)

@@ -39,9 +39,13 @@ class InProcEndpoint(DatagramTransport):
         """Deliver *payload* to the named sibling endpoint."""
         if self._closed:
             raise TransportClosedError(f"endpoint {self._name!r} is closed")
-        # bytes() defensive copy: shared-memory transport must not alias
-        # a bytearray the sender keeps mutating.
-        self._hub._deliver(self._name, destination, bytes(payload))
+        # Defensive copy only for mutable buffers (bytearray/memoryview):
+        # shared-memory transport must not alias a buffer the sender
+        # keeps mutating.  Immutable bytes are delivered as-is —
+        # bytes(b) would re-copy the whole payload for nothing.
+        if not isinstance(payload, bytes):
+            payload = bytes(payload)
+        self._hub._deliver(self._name, destination, payload)
 
     def recv(self, timeout: Optional[float] = None) -> Tuple[str, bytes]:
         """Receive (source, payload), waiting up to *timeout*."""
@@ -118,7 +122,7 @@ class InProcHub:
             return sorted(self._endpoints)
 
     def close(self) -> None:
-        """Unregister from the hub and wake blocked receivers."""
+        """Close every endpoint still registered on this hub."""
         with self._lock:
             endpoints = list(self._endpoints.values())
         for ep in endpoints:

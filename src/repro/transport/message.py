@@ -22,6 +22,13 @@ The stream-framing side is built for the cluster's hot path:
   read resumes where the last one stopped.  The same reader, fed a
   non-blocking socket, returns ``None`` instead of blocking, which is
   what the reactor's event loop uses for buffered incremental decode.
+
+Neither side is socket-specific: the reader accepts **any source with
+the ``recv_into``/``fileno`` shape** — a TCP socket, or the shared-
+memory ring source of :mod:`repro.transport.shm`, whose rings carry
+these exact length-prefixed frames byte-for-byte — and the assembler
+accepts chunks from any push producer.  Everything above framing
+(clients, surrogates, the reactor) is transport-blind as a result.
 """
 
 from __future__ import annotations
@@ -131,6 +138,15 @@ MAX_FRAME_SIZE = 64 * 1024 * 1024
 _IOV_CAP = 64
 
 
+def _poll_wait(sock, events: int) -> None:
+    """Block until *sock* is ready for *events*.  Uses ``poll`` rather
+    than ``select`` so a process holding >1024 fds (a fan-out gateway,
+    or a shard worker under one) can still wait on any of them."""
+    poller = select.poll()
+    poller.register(sock, events)
+    poller.poll()
+
+
 def _sendmsg_all(sock: socket.socket,
                  views: List[memoryview]) -> None:
     """Vectored send of every buffer in *views*, handling partial sends.
@@ -147,7 +163,7 @@ def _sendmsg_all(sock: socket.socket,
         try:
             sent = sock.sendmsg(views[index:index + _IOV_CAP])
         except (BlockingIOError, InterruptedError):
-            select.select([], [sock], [])
+            _poll_wait(sock, select.POLLOUT)
             continue
         except OSError as exc:
             raise TransportClosedError(f"send failed: {exc}") from exc
@@ -217,6 +233,12 @@ class FrameReader:
     kernel-to-user copy, no chunk accumulation, no join.  The returned
     buffer is owned by the caller (never reused), so zero-copy
     ``memoryview`` slices of it can be handed onward safely.
+
+    The *source* argument of :meth:`read` need not be a socket — any
+    object with ``recv_into`` honouring the same contract (bytes
+    copied; ``BlockingIOError`` when dry; ``0`` at EOF) works, e.g.
+    :class:`repro.transport.shm.RingSource` reading frames out of a
+    shared-memory ring.
     """
 
     __slots__ = ("_limit", "_header", "_header_got", "_payload",
@@ -400,4 +422,4 @@ def read_frame(sock: socket.socket,
         frame = reader.read(sock)
         if frame is not None:
             return bytes(frame)
-        select.select([sock], [], [])  # non-blocking socket: wait for data
+        _poll_wait(sock, select.POLLIN)  # non-blocking: wait for data

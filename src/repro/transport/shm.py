@@ -1,0 +1,902 @@
+"""Shared-memory cross-shard data plane: zero-copy SPSC frame rings.
+
+The paper's CLF substrate "exploits shared memory within an SMP, and
+any available network between the nodes" (§3.2.2).  The sharded runtime
+(:mod:`repro.runtime.shards`) is exactly the within-an-SMP case — N
+worker processes of one OS image — yet its peer links rode loopback
+TCP: every forwarded operation paid syscalls, kernel socket buffers and
+a full byte copy in both directions where a memcpy would do.  This
+module is the shared-memory path: per peer-link direction, one
+fixed-size single-producer/single-consumer byte ring in
+:mod:`multiprocessing.shared_memory`, carrying the **identical**
+length-prefixed wire frames the TCP path carries (see
+docs/PROTOCOL.md) — everything above the framing layer (RPC channel,
+surrogate, dedup keys, RESUME ladder) is unchanged and unaware.
+
+Layout of one ring segment (offsets in bytes, little-endian)::
+
+    0   u64  head        consumer cursor (monotonic byte count)
+    8   u64  tail        producer cursor (monotonic byte count)
+    16  u32  data_wait   consumer is parked, wants a data doorbell
+    20  u32  space_wait  producer is parked, wants a space doorbell
+    24  u32  closed      either side closed; drain then EOF
+    28  u32  capacity    data-area size (attach-time validation)
+    64  ...  data        ``capacity`` bytes, indexed ``cursor % capacity``
+
+Cursors only grow; ``tail - head`` is the occupancy.  The producer owns
+``tail``, the consumer owns ``head``, so each 8-byte field has exactly
+one writer (aligned stores — effectively atomic on every platform
+CPython runs on; the GIL serialises the Python-level accesses within a
+process, and cross-process visibility rides the shared mapping).
+
+**Doorbells, not polling.**  Each direction carries two pipe doorbells:
+*data* (producer → consumer) and *space* (consumer → producer).  The
+consumer integrates with the reactor selector through the data
+doorbell's read end — idle costs zero wakeups.  The lost-wakeup-free
+protocol is the classic flag dance:
+
+* the consumer, before sleeping, drains the doorbell (only while the
+  ring is observed empty), sets ``data_wait``, then re-checks the ring;
+* the producer, after advancing ``tail``, rings the data doorbell when
+  the ring was empty (so a level-triggered selector stays readable
+  while data remains) or when ``data_wait`` is set (clearing it).
+
+The symmetric ``space_wait`` flag parks a producer on ring-full with
+backpressure accounting (``transport.shm.ring_full_parks`` /
+``park_wait_us``) — the same behaviour the TCP path has when
+``sendmsg`` blocks on a full socket buffer.
+
+**Rendezvous.**  Each peer door that opts in opens an
+:class:`ShmListener` — a unix stream socket whose path travels in the
+shard map next to the TCP address.  The dialer creates both segments
+and all four doorbell pipes, ships the peer's pipe ends over the unix
+socket with ``SCM_RIGHTS`` (:func:`socket.send_fds`), and — once the
+acceptor acknowledges it has attached — **unlinks both segments
+immediately**.  The mappings live on while either process holds them,
+but the names are gone from ``/dev/shm``, so an abnormal worker exit
+(SIGKILL mid-batch) leaks nothing.
+
+``DSTAMPEDE_SHM=0`` disables the whole plane (the CI forced-TCP
+oracle); ``DSTAMPEDE_SHM_RING`` sizes the per-direction ring in bytes.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import socket
+import struct
+import sys
+import tempfile
+import threading
+import time
+import uuid
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    DeliveryTimeoutError,
+    MessageTooLargeError,
+    TransportClosedError,
+    TransportError,
+)
+from repro.obs.metrics import GLOBAL_METRICS as _metrics
+from repro.transport.base import StreamTransport
+from repro.transport.message import (
+    MAX_FRAME_SIZE,
+    _BYTES_OUT as _WIRE_BYTES_OUT,
+    _FRAMES_OUT as _WIRE_FRAMES_OUT,
+    FrameReader,
+    _as_views,
+    encode_frame_prefix,
+)
+from repro.util.logging import get_logger
+
+_log = get_logger("transport.shm")
+
+#: Kill switch: ``DSTAMPEDE_SHM=0`` forces every peer link onto TCP.
+SHM_ENV = "DSTAMPEDE_SHM"
+#: Per-direction ring capacity in bytes (header not included).
+SHM_RING_ENV = "DSTAMPEDE_SHM_RING"
+DEFAULT_RING_BYTES = 1 << 20
+
+# SHM-plane instruments.  Frames/bytes also tick the generic
+# ``transport.*`` counters inside FrameReader / the send path, so the
+# "wire" totals stay transport-agnostic; these break the SHM share out
+# and carry the ring-health signals (occupancy, doorbells, parking).
+_SHM_BYTES_OUT = _metrics.counter("transport.shm.bytes_out")
+_SHM_BYTES_IN = _metrics.counter("transport.shm.bytes_in")
+_SHM_FRAMES_OUT = _metrics.counter("transport.shm.frames_out")
+_SHM_DOORBELL_RINGS = _metrics.counter("transport.shm.doorbell_rings")
+_SHM_DOORBELL_WAKEUPS = _metrics.counter("transport.shm.doorbell_wakeups")
+_SHM_PARKS = _metrics.counter("transport.shm.ring_full_parks")
+_SHM_PARK_WAIT = _metrics.histogram("transport.shm.park_wait_us")
+_SHM_OCCUPANCY = _metrics.gauge("transport.shm.ring_occupancy")
+_SHM_LINKS = _metrics.gauge("transport.shm.links")
+
+
+def shm_enabled() -> bool:
+    """Whether the SHM data plane is allowed (``DSTAMPEDE_SHM`` != 0)."""
+    return os.environ.get(SHM_ENV, "").strip() != "0"
+
+
+def ring_capacity() -> int:
+    """The configured per-direction ring size in bytes."""
+    env = os.environ.get(SHM_RING_ENV, "").strip()
+    return int(env) if env else DEFAULT_RING_BYTES
+
+
+_U64 = struct.Struct("<Q")
+_U32 = struct.Struct("<I")
+
+_OFF_HEAD = 0
+_OFF_TAIL = 8
+_OFF_DATA_WAIT = 16
+_OFF_SPACE_WAIT = 20
+_OFF_CLOSED = 24
+_OFF_CAPACITY = 28
+HEADER_SIZE = 64
+
+
+class ShmRing:
+    """One SPSC byte ring over a shared buffer (header + data area).
+
+    Pure data structure: no fds, no waiting — the connection layer owns
+    doorbells and parking, which keeps the ring testable over a plain
+    ``bytearray``.  Exactly one process may push and one may pop.
+    """
+
+    __slots__ = ("_buf", "_data", "capacity")
+
+    def __init__(self, buffer) -> None:
+        self._buf = memoryview(buffer).cast("B")
+        self.capacity = _U32.unpack_from(self._buf, _OFF_CAPACITY)[0]
+        if self.capacity <= 0 \
+                or len(self._buf) < HEADER_SIZE + self.capacity:
+            raise TransportError(
+                f"SHM ring header corrupt: capacity={self.capacity}, "
+                f"buffer={len(self._buf)}B")
+        self._data = self._buf[HEADER_SIZE:HEADER_SIZE + self.capacity]
+
+    @classmethod
+    def create(cls, buffer, capacity: int) -> "ShmRing":
+        """Initialise the header in *buffer* and return the ring."""
+        view = memoryview(buffer).cast("B")
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        if len(view) < HEADER_SIZE + capacity:
+            raise ValueError(
+                f"buffer of {len(view)}B too small for "
+                f"{HEADER_SIZE + capacity}B ring")
+        view[:HEADER_SIZE] = bytes(HEADER_SIZE)
+        _U32.pack_into(view, _OFF_CAPACITY, capacity)
+        return cls(view)
+
+    # -- cursors and flags (each u64 has exactly one writer) ------------------
+
+    @property
+    def head(self) -> int:
+        return _U64.unpack_from(self._buf, _OFF_HEAD)[0]
+
+    @property
+    def tail(self) -> int:
+        return _U64.unpack_from(self._buf, _OFF_TAIL)[0]
+
+    @property
+    def available(self) -> int:
+        """Bytes ready to pop."""
+        return self.tail - self.head
+
+    @property
+    def free(self) -> int:
+        """Bytes of space ready to push into."""
+        return self.capacity - (self.tail - self.head)
+
+    def _flag(self, offset: int) -> bool:
+        return _U32.unpack_from(self._buf, offset)[0] != 0
+
+    def _set_flag(self, offset: int, value: bool) -> None:
+        _U32.pack_into(self._buf, offset, 1 if value else 0)
+
+    @property
+    def data_wait(self) -> bool:
+        return self._flag(_OFF_DATA_WAIT)
+
+    @data_wait.setter
+    def data_wait(self, value: bool) -> None:
+        self._set_flag(_OFF_DATA_WAIT, value)
+
+    @property
+    def space_wait(self) -> bool:
+        return self._flag(_OFF_SPACE_WAIT)
+
+    @space_wait.setter
+    def space_wait(self, value: bool) -> None:
+        self._set_flag(_OFF_SPACE_WAIT, value)
+
+    @property
+    def closed(self) -> bool:
+        return self._flag(_OFF_CLOSED)
+
+    def mark_closed(self) -> None:
+        self._set_flag(_OFF_CLOSED, True)
+
+    # -- data movement ---------------------------------------------------------
+
+    def push(self, view: memoryview) -> Tuple[int, bool]:
+        """Copy up to ``free`` bytes of *view* in at ``tail``.
+
+        Returns ``(bytes_written, ring_was_empty)``; 0 bytes means the
+        ring is full (the caller parks).  The tail advances *after* the
+        copy, so the consumer can never observe unwritten bytes.
+        """
+        tail = self.tail
+        head = self.head
+        n = min(self.capacity - (tail - head), view.nbytes)
+        if n <= 0:
+            return 0, False
+        pos = tail % self.capacity
+        first = min(n, self.capacity - pos)
+        self._data[pos:pos + first] = view[:first]
+        if n > first:
+            self._data[:n - first] = view[first:n]
+        _U64.pack_into(self._buf, _OFF_TAIL, tail + n)
+        return n, tail == head
+
+    def pop_into(self, view: memoryview) -> int:
+        """Copy up to ``len(view)`` ready bytes out at ``head``."""
+        head = self.head
+        n = min(self.tail - head, view.nbytes)
+        if n <= 0:
+            return 0
+        pos = head % self.capacity
+        first = min(n, self.capacity - pos)
+        view[:first] = self._data[pos:pos + first]
+        if n > first:
+            view[first:n] = self._data[:n - first]
+        _U64.pack_into(self._buf, _OFF_HEAD, head + n)
+        return n
+
+    def release(self) -> None:
+        """Drop the buffer views (required before SharedMemory.close)."""
+        self._data.release()
+        self._buf.release()
+
+
+class _Doorbell:
+    """One direction of wakeup pipe: non-blocking ring and drain."""
+
+    __slots__ = ("rd", "wr")
+
+    def __init__(self, rd: Optional[int], wr: Optional[int]) -> None:
+        self.rd = rd
+        self.wr = wr
+        for fd in (rd, wr):
+            if fd is not None:
+                os.set_blocking(fd, False)
+
+    def ring(self) -> None:
+        """Write one wakeup byte; a full pipe already guarantees one."""
+        wr = self.wr
+        if wr is None:
+            return  # racing close: the sleeper is being woken by it
+        try:
+            os.write(wr, b"\x01")
+        except BlockingIOError:
+            pass
+        except OSError:
+            pass  # peer end gone: its death is detected on the read side
+        if _metrics.enabled:
+            _SHM_DOORBELL_RINGS.value += 1
+
+    def drain(self) -> bool:
+        """Swallow pending wakeup bytes; False when the peer end died."""
+        rd = self.rd
+        if rd is None:
+            return False
+        woke = False
+        while True:
+            try:
+                chunk = os.read(rd, 512)
+            except BlockingIOError:
+                break
+            except OSError:
+                return False
+            if not chunk:
+                return False  # EOF: every write end is closed (peer died)
+            woke = True
+        if woke and _metrics.enabled:
+            _SHM_DOORBELL_WAKEUPS.value += 1
+        return True
+
+    def close(self) -> None:
+        for fd in (self.rd, self.wr):
+            if fd is not None:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+        self.rd = self.wr = None
+
+
+class RingSource:
+    """The consumer endpoint of one ring, shaped like a socket.
+
+    Exposes exactly what the machinery above the framing layer needs:
+    ``fileno()`` (the data doorbell's read end — registers with the
+    reactor's selector and with ``select``) and ``recv_into(view)``
+    with socket semantics — bytes copied, ``BlockingIOError`` when the
+    ring is empty, ``0`` at EOF.  :class:`FrameReader` consumes it
+    unchanged, so the surrogate and RPC channel never learn the bytes
+    arrived through shared memory.
+
+    The doorbell is drained only while the ring is observed empty; a
+    wakeup byte therefore stays readable as long as data remains, which
+    keeps a level-triggered selector firing across read bursts exactly
+    like a TCP socket's kernel buffer does.
+    """
+
+    __slots__ = ("_ring", "_data_bell", "_space_bell", "_peer_gone")
+
+    def __init__(self, ring: ShmRing, data_bell: _Doorbell,
+                 space_bell: _Doorbell) -> None:
+        self._ring = ring
+        self._data_bell = data_bell
+        self._space_bell = space_bell
+        self._peer_gone = False
+
+    def fileno(self) -> int:
+        return self._data_bell.rd
+
+    def recv_into(self, view: memoryview) -> int:
+        try:
+            return self._recv_into(view)
+        except ValueError:
+            return 0  # ring buffer released by a racing close: EOF
+
+    def _recv_into(self, view: memoryview) -> int:
+        ring = self._ring
+        count = ring.pop_into(view)
+        if count:
+            self._after_pop(count)
+            return count
+        if ring.closed or self._peer_gone:
+            return 0  # EOF once drained
+        # Observed empty: drain the doorbell, announce the nap, then
+        # re-check — a publish that raced the announcement is caught
+        # here, and one that follows it rings the doorbell.
+        if not self._data_bell.drain():
+            self._peer_gone = True
+            if ring.available == 0:
+                return 0
+        ring.data_wait = True
+        count = ring.pop_into(view)
+        if count:
+            ring.data_wait = False
+            self._after_pop(count)
+            return count
+        if ring.closed:
+            return 0
+        raise BlockingIOError("SHM ring empty")
+
+    def _after_pop(self, count: int) -> None:
+        ring = self._ring
+        if _metrics.enabled:
+            _SHM_BYTES_IN.value += count
+            _SHM_OCCUPANCY.set(float(ring.available))
+        if ring.space_wait:
+            ring.space_wait = False
+            self._space_bell.ring()
+
+
+#: Cap on one park/poll interval while waiting for ring space or a
+#: handshake byte — bounds the cost of any lost wakeup to one interval.
+_PARK_POLL = 0.2
+
+
+def _wait_readable(source, timeout: float) -> None:
+    """Wait for *source* (an fd or ``fileno()`` object) to become
+    readable.  Built on ``poll``, not ``select``: a gateway process with
+    thousands of device sockets pushes doorbell fds past ``select``'s
+    ``FD_SETSIZE`` (1024), which would make every wait here raise."""
+    poller = select.poll()
+    poller.register(source, select.POLLIN)
+    poller.poll(max(0.0, timeout) * 1000)
+
+
+class ShmConnection(StreamTransport):
+    """One full-duplex framed connection over a pair of SHM rings.
+
+    API-compatible with :class:`~repro.transport.tcp.TcpConnection`:
+    ``send_frame`` / ``send_frame_parts`` (thread-safe, scatter/gather
+    ``memoryview`` slices land directly in the ring — no intermediate
+    join), ``recv_frame(timeout)``, ``raw_socket`` (the
+    :class:`RingSource`, for reactor registration), ``setblocking``
+    (a no-op: the source is permanently non-blocking, which is the only
+    mode the reactor uses), ``on_close`` and idempotent ``close``.
+    """
+
+    def __init__(self, tx_ring: ShmRing, rx_ring: ShmRing,
+                 tx_data_bell: _Doorbell, tx_space_bell: _Doorbell,
+                 rx_data_bell: _Doorbell, rx_space_bell: _Doorbell,
+                 segments: Sequence = (), label: str = "shm") -> None:
+        self._tx = tx_ring
+        self._rx = rx_ring
+        self._tx_data_bell = tx_data_bell
+        self._tx_space_bell = tx_space_bell
+        self._segments = list(segments)
+        self._label = label
+        self._source = RingSource(rx_ring, rx_data_bell, rx_space_bell)
+        self._rx_data_bell = rx_data_bell
+        self._rx_space_bell = rx_space_bell
+        self._reader = FrameReader()
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self._close_hook: Optional[Callable[[], None]] = None
+        self._closed = False
+        if _metrics.enabled:
+            _SHM_LINKS.set(_SHM_LINKS.value + 1)
+
+    # -- identity ---------------------------------------------------------------
+
+    @property
+    def peer_address(self) -> Tuple[str, str]:
+        """Diagnostic pseudo-address (no network endpoint exists)."""
+        return ("shm", self._label)
+
+    @property
+    def local_address(self) -> Tuple[str, str]:
+        return ("shm", self._label)
+
+    @property
+    def raw_socket(self) -> RingSource:
+        """The reactor-registrable receive endpoint."""
+        return self._source
+
+    def setblocking(self, flag: bool) -> None:
+        """No-op: a ring source is always non-blocking underneath."""
+
+    def on_close(self, hook: Optional[Callable[[], None]]) -> None:
+        """Register a callback fired once, before the fds are released
+        (same contract as the TCP connection's hook)."""
+        self._close_hook = hook
+
+    # -- send -------------------------------------------------------------------
+
+    def send_frame(self, payload) -> None:
+        """Send one length-prefixed frame (thread-safe)."""
+        self.send_frame_parts((payload,))
+
+    def send_frame_parts(self, parts: Sequence) -> None:
+        """Send one frame built from buffer slices.
+
+        The prefix and every part are copied straight from the caller's
+        buffers into the ring — the scatter/gather equivalent of the TCP
+        path's single ``sendmsg``, with the ring itself as the only
+        destination buffer.  Blocks (parking on the space doorbell) when
+        the ring is full, exactly as ``sendmsg`` blocks on a full socket
+        buffer; the wait is charged to the backpressure instruments.
+        """
+        views, total = _as_views(parts)
+        if total > MAX_FRAME_SIZE:
+            raise MessageTooLargeError(
+                f"frame of {total} bytes exceeds {MAX_FRAME_SIZE}")
+        prefix = encode_frame_prefix(total)
+        with self._send_lock:
+            if self._closed:
+                raise TransportClosedError("SHM connection is closed")
+            for view in [memoryview(prefix)] + views:
+                self._write_view(view)
+        if _metrics.enabled:
+            _SHM_FRAMES_OUT.value += 1
+            _SHM_BYTES_OUT.value += total + len(prefix)
+            # The generic wire counters tick here too, so "frames out"
+            # means the same thing whichever transport carried them.
+            _WIRE_FRAMES_OUT.value += 1
+            _WIRE_BYTES_OUT.value += total + len(prefix)
+
+    def _write_view(self, view: memoryview) -> None:
+        ring = self._tx
+        offset = 0
+        while offset < view.nbytes:
+            try:
+                if ring.closed or self._closed:
+                    raise TransportClosedError(
+                        "SHM connection is closed")
+                count, was_empty = ring.push(view[offset:])
+            except ValueError:
+                # Ring buffer released by a racing close.
+                raise TransportClosedError(
+                    "SHM connection is closed") from None
+            if count:
+                offset += count
+                if _metrics.enabled:
+                    _SHM_OCCUPANCY.set(float(ring.available))
+                if was_empty or ring.data_wait:
+                    ring.data_wait = False
+                    self._tx_data_bell.ring()
+                continue
+            self._park_for_space(ring)
+
+    def _park_for_space(self, ring: ShmRing) -> None:
+        """Ring full: sleep on the space doorbell until the consumer
+        frees room (backpressure, with accounting)."""
+        if _metrics.enabled:
+            _SHM_PARKS.value += 1
+        started = time.monotonic()
+        while True:
+            try:
+                ring.space_wait = True
+                if ring.free > 0 or ring.closed or self._closed:
+                    ring.space_wait = False
+                    break
+                rd = self._tx_space_bell.rd
+                if rd is not None:
+                    _wait_readable(rd, _PARK_POLL)
+                if not self._tx_space_bell.drain():
+                    # Peer process died without marking the ring closed.
+                    ring.mark_closed()
+                    break
+            except (OSError, ValueError):
+                break  # fds/buffer torn down under us: caller re-checks
+        if _metrics.enabled:
+            _SHM_PARK_WAIT.observe(
+                (time.monotonic() - started) * 1e6)
+
+    # -- receive ----------------------------------------------------------------
+
+    def recv_frame(self, timeout: Optional[float] = None) -> bytes:
+        """Receive one frame, waiting up to *timeout* seconds.
+
+        Partial frames stay buffered in the connection's reader across
+        timeouts, exactly like the TCP path.
+        """
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        with self._recv_lock:
+            while True:
+                if self._closed:
+                    raise TransportClosedError(
+                        "SHM connection is closed")
+                frame = self._reader.read(self._source)
+                if frame is not None:
+                    return frame
+                wait = _PARK_POLL
+                if deadline is not None:
+                    wait = deadline - time.monotonic()
+                    if wait <= 0:
+                        raise DeliveryTimeoutError(
+                            f"no SHM frame within {timeout}s")
+                    wait = min(wait, _PARK_POLL)
+                try:
+                    _wait_readable(self._source, wait)
+                except (OSError, ValueError) as exc:
+                    raise TransportClosedError(
+                        f"SHM connection is closed: {exc}") from None
+
+    # -- teardown ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Mark both rings closed, wake the peer, release fds and
+        mappings (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        hook, self._close_hook = self._close_hook, None
+        if hook is not None:
+            try:
+                hook()
+            except Exception:  # noqa: BLE001 - owner callback isolation
+                pass
+        for ring in (self._tx, self._rx):
+            try:
+                ring.mark_closed()
+            except ValueError:
+                pass  # buffer already released
+        # Wake whoever is parked on either side of either ring.
+        self._tx_data_bell.ring()
+        self._rx_space_bell.ring()
+        for bell in (self._tx_data_bell, self._tx_space_bell,
+                     self._rx_data_bell, self._rx_space_bell):
+            bell.close()
+        for ring in (self._tx, self._rx):
+            try:
+                ring.release()
+            except ValueError:
+                pass
+        for segment in self._segments:
+            try:
+                segment.close()
+            except (OSError, ValueError):
+                pass
+        if _metrics.enabled:
+            _SHM_LINKS.set(max(0.0, _SHM_LINKS.value - 1))
+
+
+# -- rendezvous ---------------------------------------------------------------
+
+#: Recognisable prefix for every segment this plane creates, so tests
+#: (and humans) can assert /dev/shm holds none after a run.
+SEGMENT_PREFIX = "dstampede_shm_"
+
+#: fd order on the handshake's SCM_RIGHTS message, acceptor's view:
+#: [c2s data read, c2s space write, s2c data write, s2c space read].
+_HANDSHAKE_FDS = 4
+_ACK = b"\x01"
+
+
+def _tracker_pid() -> Optional[int]:
+    """PID of this process's resource-tracker daemon (None if unknown).
+
+    Travels in the handshake header so the attacher can tell whether it
+    shares one tracker with the creator (forked from a parent that had
+    already spawned it) or runs its own.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        tracker = resource_tracker._resource_tracker
+        tracker.ensure_running()
+        return getattr(tracker, "_pid", None)
+    except Exception:  # noqa: BLE001 - tracker quirks must not break I/O
+        return None
+
+
+def _untrack(name: str) -> None:
+    """Forget a segment registration in this process's tracker."""
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister("/" + name.lstrip("/"),
+                                    "shared_memory")
+    except Exception:  # noqa: BLE001 - tracker quirks must not break I/O
+        pass
+
+
+def _new_segment(capacity: int):
+    from multiprocessing import shared_memory
+
+    name = f"{SEGMENT_PREFIX}{os.getpid():x}_{uuid.uuid4().hex[:12]}"
+    return shared_memory.SharedMemory(
+        name=name, create=True, size=HEADER_SIZE + capacity)
+
+
+def _attach_segment(name: str, creator_tracker: Optional[int]):
+    """Map an existing ring segment into this process.
+
+    ``SharedMemory`` registers attaches (not just creates) with the
+    resource tracker on this Python version, so exactly one unregister
+    must reach each tracker daemon that saw the name:
+
+    * **Shared tracker** (both ends forked from one parent): the attach
+      register is an idempotent duplicate of the creator's entry, and
+      the creator's single ``unlink()`` after the handshake ack retires
+      both the ``/dev/shm`` name and the entry.  A second unregister
+      here would hit the already-emptied cache.
+    * **Split trackers** (independent processes): the attach register
+      landed in OUR tracker, which would try to unlink the segment
+      again at exit; forget it here, the creator's tracker handles the
+      crash window.
+
+    The two cases are told apart by comparing tracker daemon PIDs —
+    the creator ships its own in the handshake header.
+    """
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=name)
+    if creator_tracker is None or creator_tracker != _tracker_pid():
+        _untrack(name)
+    return segment
+
+
+class ShmListener:
+    """The SHM door: a unix socket accepting ring handshakes.
+
+    The bound path is the segment-name channel of the shard map — it
+    rides the fork pipes next to the TCP peer-door address.  On Linux
+    the socket lives in the abstract namespace (nothing on disk to
+    clean up); elsewhere a temp path is unlinked on close.
+    """
+
+    def __init__(self) -> None:
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._path_on_disk: Optional[str] = None
+        tag = f"dstampede-shm-{os.getpid():x}-{uuid.uuid4().hex[:12]}"
+        if sys.platform.startswith("linux"):
+            address = "\0" + tag
+        else:  # pragma: no cover - non-Linux fallback
+            address = os.path.join(tempfile.gettempdir(), tag)
+            self._path_on_disk = address
+        try:
+            self._sock.bind(address)
+            self._sock.listen(16)
+            self._sock.setblocking(False)
+        except OSError:
+            self._sock.close()
+            raise
+        self._address = address
+        self._closed = False
+
+    @property
+    def address(self) -> str:
+        """The dialable unix-socket path (abstract: leading NUL)."""
+        return self._address
+
+    def fileno(self) -> int:
+        """Selector registration (the reactor watches the door)."""
+        return self._sock.fileno()
+
+    def accept_pending(self) -> Optional[ShmConnection]:
+        """Accept and complete one handshake; None when none is queued.
+
+        :raises TransportError: a queued handshake was malformed (the
+            caller logs and keeps accepting — one bad dialer must not
+            take the door down).
+        """
+        if self._closed:
+            return None
+        try:
+            conn, _addr = self._sock.accept()
+        except (BlockingIOError, InterruptedError):
+            return None
+        except OSError:
+            return None  # door closed under us
+        try:
+            return self._handshake(conn)
+        finally:
+            conn.close()
+
+    def _handshake(self, conn: socket.socket) -> ShmConnection:
+        import json
+
+        conn.settimeout(5.0)
+        try:
+            header_raw, fds, _flags, _addr = socket.recv_fds(
+                conn, 4096, _HANDSHAKE_FDS)
+        except (OSError, socket.timeout) as exc:
+            raise TransportError(
+                f"SHM handshake receive failed: {exc}") from exc
+        try:
+            if len(fds) != _HANDSHAKE_FDS:
+                raise TransportError(
+                    f"SHM handshake carried {len(fds)} fds, "
+                    f"expected {_HANDSHAKE_FDS}")
+            header = json.loads(header_raw.decode("utf-8"))
+            creator_tracker = header.get("tracker")
+            c2s = _attach_segment(header["c2s"], creator_tracker)
+            try:
+                s2c = _attach_segment(header["s2c"], creator_tracker)
+            except Exception:
+                c2s.close()
+                raise
+        except TransportError:
+            for fd in fds:
+                os.close(fd)
+            raise
+        except Exception as exc:
+            for fd in fds:
+                os.close(fd)
+            raise TransportError(
+                f"SHM handshake malformed: {exc}") from exc
+        c2s_data_rd, c2s_space_wr, s2c_data_wr, s2c_space_rd = fds
+        connection = ShmConnection(
+            tx_ring=ShmRing(s2c.buf), rx_ring=ShmRing(c2s.buf),
+            tx_data_bell=_Doorbell(None, s2c_data_wr),
+            tx_space_bell=_Doorbell(s2c_space_rd, None),
+            rx_data_bell=_Doorbell(c2s_data_rd, None),
+            rx_space_bell=_Doorbell(None, c2s_space_wr),
+            segments=(c2s, s2c),
+            label=f"door@{os.getpid()}",
+        )
+        try:
+            conn.sendall(_ACK)
+        except OSError as exc:
+            connection.close()
+            raise TransportError(
+                f"SHM handshake ack failed: {exc}") from exc
+        return connection
+
+    def close(self) -> None:
+        """Stop accepting (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._sock.close()
+        if self._path_on_disk:  # pragma: no cover - non-Linux fallback
+            try:
+                os.unlink(self._path_on_disk)
+            except OSError:
+                pass
+
+
+def connect_shm(door: str, capacity: Optional[int] = None,
+                timeout: float = 5.0) -> ShmConnection:
+    """Dial a peer's SHM door and return the framed connection.
+
+    Creates both ring segments and all four doorbell pipes, passes the
+    peer's ends over the door socket (``SCM_RIGHTS``), and unlinks the
+    segments the moment the peer acknowledges attachment — from then on
+    the rings exist only as the two processes' private mappings, so no
+    crash can strand an entry in ``/dev/shm``.
+    """
+    import json
+
+    capacity = ring_capacity() if capacity is None else int(capacity)
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    segments: List = []
+    rings: List[ShmRing] = []
+    pipes: List[int] = []
+    try:
+        sock.connect(door)
+        c2s = _new_segment(capacity)
+        segments.append(c2s)
+        s2c = _new_segment(capacity)
+        segments.append(s2c)
+        tx_ring = ShmRing.create(c2s.buf, capacity)
+        rings.append(tx_ring)
+        rx_ring = ShmRing.create(s2c.buf, capacity)
+        rings.append(rx_ring)
+        # Four pipes; the peer's four ends travel in the handshake.
+        c2s_data = os.pipe()
+        c2s_space = os.pipe()
+        s2c_data = os.pipe()
+        s2c_space = os.pipe()
+        pipes = [*c2s_data, *c2s_space, *s2c_data, *s2c_space]
+        header = json.dumps({
+            "c2s": c2s.name, "s2c": s2c.name,
+            "tracker": _tracker_pid(),
+        }).encode("utf-8")
+        socket.send_fds(sock, [header], [
+            c2s_data[0], c2s_space[1], s2c_data[1], s2c_space[0],
+        ])
+        ack = sock.recv(1)
+        if ack != _ACK:
+            raise TransportError(
+                "SHM door closed before acknowledging attach")
+    except (OSError, socket.timeout, TransportError) as exc:
+        for fd in pipes:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        # Release the ring views over the segments first — a segment
+        # cannot unmap while views are exported — and unlink before
+        # close so /dev/shm is clean even if the unmap still fails.
+        for ring in rings:
+            try:
+                ring.release()
+            except (BufferError, ValueError):
+                pass
+        for segment in segments:
+            try:
+                segment.unlink()
+            except OSError:
+                pass
+            try:
+                segment.close()
+            except (OSError, ValueError, BufferError):
+                pass
+        sock.close()
+        if isinstance(exc, TransportError):
+            raise
+        raise TransportError(f"SHM dial to {door!r} failed: {exc}") \
+            from exc
+    # Peer has attached: unlink now, so /dev/shm never outlives us.
+    for segment in segments:
+        try:
+            segment.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+    sock.close()
+    # Close the peer's ends locally; SCM_RIGHTS duplicated them.
+    for fd in (c2s_data[0], c2s_space[1], s2c_data[1], s2c_space[0]):
+        os.close(fd)
+    return ShmConnection(
+        tx_ring=tx_ring, rx_ring=rx_ring,
+        tx_data_bell=_Doorbell(None, c2s_data[1]),
+        tx_space_bell=_Doorbell(c2s_space[0], None),
+        rx_data_bell=_Doorbell(s2c_data[0], None),
+        rx_space_bell=_Doorbell(None, s2c_space[1]),
+        segments=segments,
+        label=f"dial@{os.getpid()}",
+    )

@@ -1,0 +1,222 @@
+"""SHM link fault tolerance: sever mid-batch, fall back to TCP.
+
+The shared-memory data plane rides the same client machinery as TCP —
+same retry ladder, same RESUME, same cast replay, same dedup keys.
+These tests pin that equivalence under failure: a link severed mid-way
+through a batched burst recovers onto loopback TCP (the SHM door having
+died with its process) and every buffered cast replays through the
+channel's timestamp dedup **exactly once**.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro import (
+    ConnectionMode,
+    RetryPolicy,
+    Runtime,
+    StampedeClient,
+    StampedeServer,
+)
+from repro.errors import TransportError
+from repro.transport.shm import connect_shm, shm_enabled
+from repro.transport.tcp import connect_tcp
+
+FAST_RETRY = RetryPolicy(max_attempts=10, base_delay=0.02,
+                         multiplier=1.5, max_delay=0.2, jitter=0.1,
+                         seed=7)
+
+
+@pytest.fixture()
+def shm_cluster(monkeypatch):
+    """A single-process server that also answers on an SHM door —
+    exactly the server shape a shard worker's peer door has."""
+    from repro.obs.metrics import GLOBAL_METRICS
+
+    # These tests exercise the SHM plane itself, so pin it on even
+    # under the DSTAMPEDE_SHM=0 oracle run (which must still pass the
+    # whole suite — the plane under test is selected explicitly here,
+    # exactly as shard tests pass shards=N regardless of the env).
+    monkeypatch.setenv("DSTAMPEDE_SHM", "1")
+    prior = GLOBAL_METRICS.enabled
+    GLOBAL_METRICS.enable()
+    runtime = Runtime(gc_interval=0.02)
+    server = StampedeServer(runtime, session_grace=5.0,
+                            shm_door=True).start()
+    try:
+        yield runtime, server
+    finally:
+        server.close()
+        runtime.shutdown()
+        if not prior:
+            GLOBAL_METRICS.disable()
+
+
+def _shm_first_factory(server, transports):
+    """The shard router's dial ladder in miniature: SHM while the door
+    answers, loopback TCP the moment it does not."""
+
+    def dial():
+        door = server.shm_address
+        if door is not None and shm_enabled():
+            try:
+                connection = connect_shm(door)
+            except (OSError, TransportError):
+                pass
+            else:
+                transports.append("shm")
+                return connection
+        transports.append("tcp")
+        return connect_tcp(server.address)
+
+    return dial
+
+
+class TestShmSeverFallsBackToTcp:
+    def test_mid_batch_sever_replays_exactly_once(self, shm_cluster):
+        _runtime, server = shm_cluster
+        assert server.shm_address is not None, \
+            "server did not open an SHM door"
+        transports = []
+        degraded = threading.Event()
+        client = StampedeClient(
+            *server.address, client_name="shm-faulty",
+            connect=_shm_first_factory(server, transports),
+            retry=FAST_RETRY, rpc_timeout=2.0,
+            on_degraded=lambda exc: degraded.set(),
+            batching=True, batch_max_items=64, batch_linger=0.5,
+        )
+        try:
+            assert transports == ["shm"], \
+                "first dial must ride the SHM door"
+            client.create_channel("frames", capacity=64)
+            out = client.attach("frames", ConnectionMode.OUT)
+            inp = client.attach("frames", ConnectionMode.IN)
+
+            # First half of the burst: fire-and-forget casts.  The
+            # linger window is longer than this test's sever, so the
+            # whole batch is still coalescing — open, unsent — when
+            # the link dies mid-batch.
+            for ts in range(12):
+                out.put(ts, {"seq": ts}, sync=False)
+
+            # Sever the link the way a dead shard worker does: the
+            # server side of the SHM rings drops AND the door stops
+            # answering, so the recovery re-dial MUST fall back to TCP.
+            server._shm_listener.close()
+            (surrogate,) = server.surrogates()
+            surrogate.connection.close()
+
+            # Rest of the burst rides through recovery.
+            for ts in range(12, 25):
+                out.put(ts, {"seq": ts}, sync=False)
+
+            # A synchronous call flushes the coalescer and (if needed)
+            # drives the reconnect ladder to completion.
+            for ts in range(25):
+                assert inp.get(ts, timeout=10.0) == (ts, {"seq": ts})
+
+            assert degraded.is_set(), "the sever was never noticed"
+            assert transports[0] == "shm"
+            assert "tcp" in transports, \
+                "recovery never fell back to TCP"
+            assert all(kind == "tcp" for kind in transports[1:]), \
+                "a re-dial reached SHM after the door died"
+
+            # Exactly once: replayed casts hit the channel's timestamp
+            # dedup, so the container holds each timestamp once even
+            # though unsent batches were replayed byte-identically.
+            entry = next(e for e in client.stats()["containers"]
+                         if e["name"] == "frames")
+            assert entry["live_items"] == 25
+        finally:
+            client.close()
+
+    def test_clean_shm_session_round_trip(self, shm_cluster):
+        """Control: with the door healthy, a whole session (attach,
+        puts, gets, consume, stats, BYE) rides SHM end to end."""
+        _runtime, server = shm_cluster
+        transports = []
+        client = StampedeClient(
+            *server.address, client_name="shm-clean",
+            connect=_shm_first_factory(server, transports),
+            retry=FAST_RETRY, rpc_timeout=5.0,
+        )
+        try:
+            client.create_channel("clean", capacity=16)
+            out = client.attach("clean", ConnectionMode.OUT)
+            inp = client.attach("clean", ConnectionMode.IN)
+            for ts in range(10):
+                out.put(ts, f"item-{ts}")
+            for ts in range(10):
+                assert inp.get(ts, timeout=5.0) == (ts, f"item-{ts}")
+                inp.consume(ts)
+            counters = client.stats()["metrics"]["counters"]
+            assert counters.get("transport.shm.frames_out", 0) > 0
+            assert counters.get("transport.shm.doorbell_wakeups", 0) > 0
+        finally:
+            client.close()
+        assert transports == ["shm"]
+
+
+class TestTransportSelectionOracle:
+    """DSTAMPEDE_SHM=0 is the CI oracle: same cluster, same traffic,
+    loopback TCP underneath."""
+
+    def _run_cross_shard(self, monkeypatch, shm_value):
+        if shm_value is not None:
+            monkeypatch.setenv("DSTAMPEDE_SHM", shm_value)
+        else:
+            monkeypatch.delenv("DSTAMPEDE_SHM", raising=False)
+        from repro.runtime.shards import local_name
+
+        runtime = Runtime(gc_interval=0.05)
+        server = StampedeServer(runtime, shards=2).start()
+        try:
+            client = StampedeClient(*server.address,
+                                    client_name="oracle")
+            try:
+                info = client.shard_map()
+                name = local_name(
+                    "oracle", (info["shard_id"] + 1) % 2, 2)
+                client.create_channel(name, capacity=32)
+                out = client.attach(name, ConnectionMode.OUT)
+                for ts in range(20):
+                    out.put(ts, {"ts": ts})
+                inp = client.attach(name, ConnectionMode.IN)
+                assert inp.get(0, timeout=5.0) == (0, {"ts": 0})
+                deadline = time.monotonic() + 5.0
+                links = {}
+                while time.monotonic() < deadline:
+                    links = client.stats().get("peer_links", {})
+                    if links:
+                        break
+                    time.sleep(0.1)
+                return links
+            finally:
+                client.close()
+        finally:
+            server.close()
+            runtime.shutdown()
+
+    def test_default_run_dials_shm(self, monkeypatch):
+        links = self._run_cross_shard(monkeypatch, None)
+        kinds = {kind for per_shard in links.values()
+                 for kind in per_shard.values()}
+        assert kinds == {"shm"}, links
+
+    def test_shm_disabled_forces_tcp(self, monkeypatch):
+        links = self._run_cross_shard(monkeypatch, "0")
+        kinds = {kind for per_shard in links.values()
+                 for kind in per_shard.values()}
+        assert kinds == {"tcp"}, links
+
+    def test_no_segments_leak_across_oracle_runs(self, monkeypatch):
+        self._run_cross_shard(monkeypatch, None)
+        time.sleep(0.2)
+        leaked = [f for f in os.listdir("/dev/shm")
+                  if f.startswith("dstampede_shm_")]
+        assert leaked == []

@@ -40,6 +40,23 @@ class TestDelivery:
         buffer[:] = b"mutated!"
         assert b.recv(timeout=1.0)[1] == b"original"
 
+    def test_memoryview_payload_is_copied_too(self, hub):
+        a = hub.endpoint("a")
+        b = hub.endpoint("b")
+        backing = bytearray(b"original")
+        a.send("b", memoryview(backing))
+        backing[:] = b"mutated!"
+        assert b.recv(timeout=1.0)[1] == b"original"
+
+    def test_immutable_bytes_are_not_recopied(self, hub):
+        # bytes can't alias a mutating sender buffer, so the defensive
+        # copy would be pure waste; pin the no-copy fast path.
+        a = hub.endpoint("a")
+        b = hub.endpoint("b")
+        payload = b"immutable payload"
+        a.send("b", payload)
+        assert b.recv(timeout=1.0)[1] is payload
+
     def test_self_send_works(self, hub):
         a = hub.endpoint("a")
         a.send("a", b"loopback")

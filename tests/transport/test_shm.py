@@ -1,0 +1,265 @@
+"""Unit and property tests for the shared-memory ring transport."""
+
+import os
+import select
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TransportClosedError, TransportError
+from repro.transport.message import FrameReader, MAX_FRAME_SIZE
+from repro.transport.shm import (
+    HEADER_SIZE,
+    SEGMENT_PREFIX,
+    ShmListener,
+    ShmRing,
+    connect_shm,
+    ring_capacity,
+    shm_enabled,
+)
+
+
+def _shm_entries():
+    try:
+        return [f for f in os.listdir("/dev/shm")
+                if f.startswith(SEGMENT_PREFIX)]
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return []
+
+
+def _ring(capacity: int) -> ShmRing:
+    """A ring over a plain bytearray — the SPSC logic needs no real
+    segment, so property tests stay fast and leak-proof."""
+    return ShmRing.create(
+        memoryview(bytearray(HEADER_SIZE + capacity)), capacity)
+
+
+@pytest.fixture()
+def pair():
+    """A connected (dialer, acceptor) SHM connection pair."""
+    listener = ShmListener()
+    accepted = []
+
+    def accept():
+        while not accepted:
+            select.select([listener], [], [], 0.5)
+            conn = listener.accept_pending()
+            if conn is not None:
+                accepted.append(conn)
+
+    thread = threading.Thread(target=accept, daemon=True)
+    thread.start()
+    dialer = connect_shm(listener.address, capacity=4096)
+    thread.join(timeout=5.0)
+    assert accepted, "acceptor thread never completed the handshake"
+    acceptor = accepted[0]
+    yield dialer, acceptor
+    dialer.close()
+    acceptor.close()
+    listener.close()
+
+
+class TestRingProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(chunks=st.lists(st.binary(min_size=1, max_size=40),
+                           min_size=1, max_size=60),
+           capacity=st.integers(min_value=8, max_value=64))
+    def test_byte_stream_survives_any_chunking(self, chunks, capacity):
+        """Arbitrary frame-size sequences through a tiny ring: every
+        wrap boundary offset is hit, and the byte stream comes out
+        identical."""
+        ring = _ring(capacity)
+        out = bytearray()
+        expected = b"".join(chunks)
+        pending = [memoryview(c) for c in chunks]
+        scratch = bytearray(capacity)
+        while pending or ring.available:
+            if pending:
+                pushed, _was_empty = ring.push(pending[0])
+                pending[0] = pending[0][pushed:]
+                if not len(pending[0]):
+                    pending.pop(0)
+            popped = ring.pop_into(memoryview(scratch))
+            out += scratch[:popped]
+        assert bytes(out) == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=16),
+                          min_size=1, max_size=100))
+    def test_cursors_stay_consistent(self, sizes):
+        """head ≤ tail always; available + free == capacity always."""
+        ring = _ring(16)
+        scratch = bytearray(16)
+        for size in sizes:
+            ring.push(memoryview(bytes(size)))
+            assert ring.head <= ring.tail
+            assert ring.available + ring.free == ring.capacity
+            ring.pop_into(memoryview(scratch))
+            assert ring.head <= ring.tail
+            assert ring.available + ring.free == ring.capacity
+
+    def test_wrap_at_every_boundary_offset(self):
+        """Deterministic sweep: a push/pop cycle starting at each
+        possible cursor offset inside the ring."""
+        capacity = 16
+        ring = _ring(capacity)
+        scratch = bytearray(capacity)
+        for offset in range(capacity):
+            payload = bytes((offset + i) % 251 for i in range(capacity))
+            view = memoryview(payload)
+            out = bytearray()
+            while len(view):
+                pushed, _ = ring.push(view)
+                view = view[pushed:]
+                got = ring.pop_into(memoryview(scratch))
+                out += scratch[:got]
+            assert bytes(out) == payload
+            assert ring.available == 0
+            # Advance the cursors by one so the next cycle starts at
+            # the following boundary offset inside the ring.
+            ring.push(memoryview(b"\x00"))
+            ring.pop_into(memoryview(scratch))
+
+    def test_push_reports_empty_transition(self):
+        ring = _ring(16)
+        _n, was_empty = ring.push(memoryview(b"ab"))
+        assert was_empty
+        _n, was_empty = ring.push(memoryview(b"cd"))
+        assert not was_empty
+
+    def test_full_ring_accepts_nothing(self):
+        ring = _ring(8)
+        pushed, _ = ring.push(memoryview(bytes(20)))
+        assert pushed == 8
+        pushed, _ = ring.push(memoryview(b"x"))
+        assert pushed == 0
+
+
+class TestConnectionPair:
+    def test_frames_cross_both_directions(self, pair):
+        dialer, acceptor = pair
+        dialer.send_frame(b"ping from dialer")
+        assert bytes(acceptor.recv_frame(timeout=5.0)) \
+            == b"ping from dialer"
+        acceptor.send_frame(b"pong from acceptor")
+        assert bytes(dialer.recv_frame(timeout=5.0)) \
+            == b"pong from acceptor"
+
+    def test_scatter_gather_parts_land_joined(self, pair):
+        dialer, acceptor = pair
+        parts = [b"alpha-", bytearray(b"beta-"),
+                 memoryview(b"gamma")]
+        dialer.send_frame_parts(parts)
+        assert bytes(acceptor.recv_frame(timeout=5.0)) \
+            == b"alpha-beta-gamma"
+
+    def test_frame_larger_than_ring_parks_and_completes(self, pair):
+        """A frame several times the ring size forces the producer to
+        park on ring-full repeatedly while the consumer drains."""
+        dialer, acceptor = pair
+        payload = os.urandom(40_000)  # ring is 4096 B
+        received = []
+
+        def consume():
+            received.append(bytes(acceptor.recv_frame(timeout=10.0)))
+
+        thread = threading.Thread(target=consume, daemon=True)
+        thread.start()
+        dialer.send_frame(payload)
+        thread.join(timeout=10.0)
+        assert received == [payload]
+
+    def test_concurrent_stream_of_frames(self, pair):
+        """Producer and consumer running flat out in separate threads:
+        ordering and integrity hold through wraps and parks."""
+        dialer, acceptor = pair
+        frames = [os.urandom(17 * (i % 50) + 1) for i in range(400)]
+        received = []
+
+        def consume():
+            for _ in frames:
+                received.append(bytes(acceptor.recv_frame(timeout=10.0)))
+
+        thread = threading.Thread(target=consume, daemon=True)
+        thread.start()
+        for frame in frames:
+            dialer.send_frame(frame)
+        thread.join(timeout=15.0)
+        assert received == frames
+
+    def test_peer_close_surfaces_as_transport_closed(self, pair):
+        dialer, acceptor = pair
+        acceptor.close()
+        with pytest.raises(TransportClosedError):
+            for _ in range(1000):
+                dialer.send_frame(b"into the void" * 64)
+        with pytest.raises((TransportClosedError, TransportError)):
+            dialer.recv_frame(timeout=1.0)
+
+    def test_ring_source_honours_reader_contract(self, pair):
+        """The ring source feeds FrameReader exactly like a socket:
+        BlockingIOError when dry (reader returns None), frames when
+        data arrives, EOF (0) after close."""
+        dialer, acceptor = pair
+        source = acceptor.raw_socket
+        reader = FrameReader()
+        assert reader.read(source) is None  # dry: no frame yet
+        dialer.send_frame(b"one frame")
+        frame = None
+        for _ in range(100):
+            frame = reader.read(source)
+            if frame is not None:
+                break
+        assert bytes(frame) == b"one frame"
+        dialer.close()
+        with pytest.raises(TransportClosedError):
+            for _ in range(100):
+                reader.read(source)
+
+    def test_oversize_frame_rejected_before_touching_ring(self, pair):
+        dialer, _acceptor = pair
+        with pytest.raises(Exception):
+            dialer.send_frame(bytes(MAX_FRAME_SIZE + 1))
+
+
+class TestRendezvousHygiene:
+    def test_no_dev_shm_entries_after_connect(self, pair):
+        """Segments are unlinked the moment the peer acks: nothing is
+        left in /dev/shm even while the link is live."""
+        assert _shm_entries() == []
+
+    def test_failed_dial_leaves_no_segments(self):
+        listener = ShmListener()
+        listener.close()  # door exists as a path but nobody answers
+        with pytest.raises(TransportError):
+            connect_shm(listener.address, timeout=0.5)
+        assert _shm_entries() == []
+
+    def test_dial_to_missing_door_raises(self):
+        with pytest.raises(TransportError):
+            connect_shm("\0dstampede-shm-test-nonexistent", timeout=0.5)
+        assert _shm_entries() == []
+
+    def test_close_is_idempotent(self, pair):
+        dialer, acceptor = pair
+        dialer.close()
+        dialer.close()
+        acceptor.close()
+        acceptor.close()
+        assert _shm_entries() == []
+
+
+class TestKnobs:
+    def test_shm_enabled_tracks_env(self, monkeypatch):
+        monkeypatch.delenv("DSTAMPEDE_SHM", raising=False)
+        assert shm_enabled()
+        monkeypatch.setenv("DSTAMPEDE_SHM", "0")
+        assert not shm_enabled()
+        monkeypatch.setenv("DSTAMPEDE_SHM", "1")
+        assert shm_enabled()
+
+    def test_ring_capacity_tracks_env(self, monkeypatch):
+        monkeypatch.setenv("DSTAMPEDE_SHM_RING", str(1 << 16))
+        assert ring_capacity() == 1 << 16
